@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the content-based primitives: publication
+//! matching, covering (subsumption) and intersection checks, and
+//! filter normalization — the operations every broker performs per
+//! message, whose cost model the simulator's `per_entry` processing
+//! parameter abstracts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use transmob_pubsub::{Filter, Publication};
+use transmob_workloads::SubWorkload;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    for arity in [1usize, 3, 6] {
+        let filter: Filter = (0..arity)
+            .fold(Filter::builder(), |b, i| {
+                b.ge(&format!("a{i}"), 0).le(&format!("a{i}"), 100)
+            })
+            .build();
+        let hit = (0..arity).fold(Publication::new(), |p, i| p.with(format!("a{i}"), 50));
+        let miss = (0..arity).fold(Publication::new(), |p, i| p.with(format!("a{i}"), 500));
+        g.bench_with_input(BenchmarkId::new("hit", arity), &arity, |b, _| {
+            b.iter(|| black_box(&filter).matches(black_box(&hit)))
+        });
+        g.bench_with_input(BenchmarkId::new("miss", arity), &arity, |b, _| {
+            b.iter(|| black_box(&filter).matches(black_box(&miss)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("covering");
+    let root = SubWorkload::Covered.instance(0, 0);
+    let leaf = SubWorkload::Covered.instance(5, 37);
+    let distinct = SubWorkload::Distinct.instance(2, 11);
+    g.bench_function("covers/true", |b| {
+        b.iter(|| black_box(&root).covers(black_box(&leaf)))
+    });
+    g.bench_function("covers/false", |b| {
+        b.iter(|| black_box(&leaf).covers(black_box(&root)))
+    });
+    g.bench_function("overlaps/true", |b| {
+        b.iter(|| black_box(&root).overlaps(black_box(&leaf)))
+    });
+    g.bench_function("overlaps/false", |b| {
+        b.iter(|| black_box(&root).overlaps(black_box(&distinct)))
+    });
+    g.finish();
+}
+
+fn bench_filter_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter_build");
+    for preds in [2usize, 6, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(preds), &preds, |b, &n| {
+            b.iter(|| {
+                let f = (0..n)
+                    .fold(Filter::builder(), |fb, i| {
+                        fb.ge(&format!("a{}", i % 4), i as i64)
+                    })
+                    .build();
+                black_box(f)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("workload_assign_400", |b| {
+        b.iter(|| {
+            for i in 0..400 {
+                black_box(SubWorkload::Covered.assign(i));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matching,
+    bench_covering,
+    bench_filter_construction,
+    bench_workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! End-to-end movement-protocol benchmarks on the deterministic
+//! instant network: one full movement transaction under each protocol,
+//! scaling with path length and bystander population, plus the
+//! make-before-break covering ablation and the hop-by-hop
+//! reconfiguration step in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use transmob_broker::Topology;
+use transmob_core::{ClientOp, InstantNet, MobileBrokerConfig, ProtocolKind};
+use transmob_pubsub::{BrokerId, ClientId};
+use transmob_workloads::{full_space_adv, SubWorkload};
+
+fn b(i: u32) -> BrokerId {
+    BrokerId(i)
+}
+
+/// A chain network with a publisher at B1, `bystanders` covered-
+/// workload subscribers at the far end, and the mover (a root
+/// subscription) also at the far end.
+fn setup(chain: u32, bystanders: usize, config: MobileBrokerConfig) -> InstantNet {
+    let mut net = InstantNet::new(Topology::chain(chain), config);
+    net.create_client(b(1), ClientId(1));
+    net.client_op(ClientId(1), ClientOp::Advertise(full_space_adv()));
+    for i in 0..bystanders {
+        let cid = ClientId(1000 + i as u64);
+        net.create_client(b(chain), cid);
+        net.client_op(cid, ClientOp::Subscribe(SubWorkload::Covered.assign(i + 1)));
+    }
+    let mover = ClientId(500);
+    net.create_client(b(chain), mover);
+    net.client_op(mover, ClientOp::Subscribe(SubWorkload::Covered.instance(0, 99)));
+    net
+}
+
+fn bench_move_by_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("one_movement");
+    for (name, protocol, config) in [
+        ("reconfig", ProtocolKind::Reconfig, MobileBrokerConfig::reconfig()),
+        ("covering", ProtocolKind::Covering, MobileBrokerConfig::covering()),
+        (
+            "covering_make_before_break",
+            ProtocolKind::Covering,
+            MobileBrokerConfig {
+                make_before_break: true,
+                ..MobileBrokerConfig::covering()
+            },
+        ),
+    ] {
+        let net = setup(8, 50, config);
+        g.bench_function(name, |bch| {
+            bch.iter_batched(
+                || net.clone(),
+                |mut net| {
+                    net.client_op(ClientId(500), ClientOp::MoveTo(b(2), black_box(protocol)));
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_move_by_path_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reconfig_path_length");
+    for chain in [4u32, 8, 16] {
+        let net = setup(chain, 20, MobileBrokerConfig::reconfig());
+        g.bench_with_input(BenchmarkId::from_parameter(chain), &chain, |bch, _| {
+            bch.iter_batched(
+                || net.clone(),
+                |mut net| {
+                    net.client_op(ClientId(500), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_move_by_population(c: &mut Criterion) {
+    let mut g = c.benchmark_group("move_vs_bystanders");
+    for n in [10usize, 100, 300] {
+        for (name, protocol, config) in [
+            ("reconfig", ProtocolKind::Reconfig, MobileBrokerConfig::reconfig()),
+            ("covering", ProtocolKind::Covering, MobileBrokerConfig::covering()),
+        ] {
+            let net = setup(8, n, config);
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |bch, _| {
+                bch.iter_batched(
+                    || net.clone(),
+                    |mut net| {
+                        net.client_op(
+                            ClientId(500),
+                            ClientOp::MoveTo(b(2), black_box(protocol)),
+                        );
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_move_by_protocol,
+    bench_move_by_path_length,
+    bench_move_by_population
+);
+criterion_main!(benches);

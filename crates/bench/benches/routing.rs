@@ -1,0 +1,162 @@
+//! Broker routing-table operation benchmarks, including the
+//! DESIGN.md ablations:
+//!
+//! - publication forwarding cost vs. PRT size (the congestion knob);
+//! - subscription handling with covering off / lazy / active;
+//! - the covering-release strategies — the paper's conservative
+//!   release vs. the precise variant — on the root-departure burst.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use transmob_broker::{BrokerConfig, BrokerCore, CoveringMode, Hop, PubSubMsg};
+use transmob_pubsub::{
+    AdvId, Advertisement, BrokerId, ClientId, PubId, Publication, PublicationMsg, SubId,
+    Subscription,
+};
+use transmob_workloads::{full_space_adv, SubWorkload, ATTR};
+
+fn b(i: u32) -> BrokerId {
+    BrokerId(i)
+}
+
+/// A broker with `n` workload subscriptions installed from a client
+/// and the full-space advertisement pointing off-broker.
+fn loaded_broker(n: usize, config: BrokerConfig) -> BrokerCore {
+    let mut core = BrokerCore::new(b(1), [b(2), b(3)], config);
+    core.handle(
+        Hop::Broker(b(2)),
+        PubSubMsg::Advertise(Advertisement::new(
+            AdvId::new(ClientId(1), 0),
+            full_space_adv(),
+        )),
+    );
+    for i in 0..n {
+        let cid = ClientId(1000 + i as u64);
+        let sub = Subscription::new(SubId::new(cid, 0), SubWorkload::Covered.assign(i));
+        core.handle(Hop::Client(cid), PubSubMsg::Subscribe(sub));
+    }
+    core
+}
+
+fn bench_publish_vs_table_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("publish_forwarding");
+    for n in [10usize, 100, 400] {
+        let core = loaded_broker(n, BrokerConfig::plain());
+        let p = PublicationMsg::new(
+            PubId(1),
+            ClientId(1),
+            Publication::new().with(ATTR, 1500),
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter_batched(
+                || core.clone(),
+                |mut core| core.handle(Hop::Broker(b(2)), PubSubMsg::Publish(black_box(p.clone()))),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_subscribe_by_covering_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subscribe");
+    for (name, mode) in [
+        ("off", CoveringMode::Off),
+        ("lazy", CoveringMode::Lazy),
+        ("active", CoveringMode::Active),
+    ] {
+        let config = BrokerConfig {
+            sub_covering: mode,
+            adv_covering: CoveringMode::Off,
+            conservative_release: true,
+        };
+        let core = loaded_broker(100, config);
+        let sub = Subscription::new(
+            SubId::new(ClientId(9999), 0),
+            SubWorkload::Covered.instance(4, 50),
+        );
+        g.bench_function(name, |bch| {
+            bch.iter_batched(
+                || core.clone(),
+                |mut core| {
+                    core.handle(
+                        Hop::Client(ClientId(9999)),
+                        PubSubMsg::Subscribe(black_box(sub.clone())),
+                    )
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// The DESIGN.md release-strategy ablation: cost of unsubscribing the
+/// only forwarded root while many covered subscriptions are quenched
+/// behind it.
+fn bench_release_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("root_unsubscribe_release");
+    for (name, config) in [
+        ("conservative", BrokerConfig::covering()),
+        ("precise", BrokerConfig::covering_precise_release()),
+    ] {
+        // One root (forwarded) + 99 covered leaves (quenched).
+        let mut core = BrokerCore::new(b(1), [b(2)], config);
+        core.handle(
+            Hop::Broker(b(2)),
+            PubSubMsg::Advertise(Advertisement::new(
+                AdvId::new(ClientId(1), 0),
+                full_space_adv(),
+            )),
+        );
+        let root = Subscription::new(
+            SubId::new(ClientId(500), 0),
+            SubWorkload::Covered.instance(0, 0),
+        );
+        core.handle(Hop::Client(ClientId(500)), PubSubMsg::Subscribe(root.clone()));
+        for i in 0..99 {
+            let cid = ClientId(1000 + i as u64);
+            let group = 1 + (i % 9);
+            let sub = Subscription::new(
+                SubId::new(cid, 0),
+                SubWorkload::Covered.instance(group, (i / 9) as i64),
+            );
+            core.handle(Hop::Client(cid), PubSubMsg::Subscribe(sub));
+        }
+        g.bench_function(name, |bch| {
+            bch.iter_batched(
+                || core.clone(),
+                |mut core| {
+                    black_box(core.handle(
+                        Hop::Client(ClientId(500)),
+                        PubSubMsg::Unsubscribe(root.id),
+                    ))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_advertise_flood(c: &mut Criterion) {
+    let mut g = c.benchmark_group("advertise");
+    let core = loaded_broker(200, BrokerConfig::plain());
+    let adv = Advertisement::new(AdvId::new(ClientId(77), 0), full_space_adv());
+    g.bench_function("flood_with_pull_200_subs", |bch| {
+        bch.iter_batched(
+            || core.clone(),
+            |mut core| core.handle(Hop::Broker(b(3)), PubSubMsg::Advertise(black_box(adv.clone()))),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_publish_vs_table_size,
+    bench_subscribe_by_covering_mode,
+    bench_release_strategies,
+    bench_advertise_flood
+);
+criterion_main!(benches);

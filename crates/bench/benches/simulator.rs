@@ -1,0 +1,37 @@
+//! Simulator-throughput benchmarks: events per second of the
+//! discrete-event engine under the paper's default experiment, and the
+//! cost of one full figure-style run at small scale — the numbers that
+//! bound how large a `--full` sweep can go.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use transmob_bench::{run_experiment, ExperimentConfig};
+use transmob_core::ProtocolKind;
+use transmob_sim::SimDuration;
+use transmob_workloads::{default_14, paper_default, SubWorkload};
+
+fn bench_experiment_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment_run");
+    g.sample_size(10);
+    for (name, protocol) in [
+        ("reconfig", ProtocolKind::Reconfig),
+        ("covering", ProtocolKind::Covering),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = ExperimentConfig::new(
+                    protocol,
+                    default_14(),
+                    paper_default(40, SubWorkload::Covered),
+                );
+                cfg.pause = SimDuration::from_secs(2);
+                cfg.duration = SimDuration::from_secs(20);
+                cfg.pub_rate = 1.0;
+                run_experiment(&cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiment_run);
+criterion_main!(benches);

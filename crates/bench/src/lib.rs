@@ -1,0 +1,21 @@
+//! # transmob-bench
+//!
+//! The benchmark and experiment harness of the transmob reproduction
+//! of *"Transactional Mobility in Distributed Content-Based
+//! Publish/Subscribe Systems"* (ICDCS 2009).
+//!
+//! - [`experiments`] — the parameterized experiment runner; every
+//!   figure of the paper's Sec. 5 is one sweep over
+//!   [`ExperimentConfig`].
+//! - `src/bin/figures.rs` — the binary that regenerates each figure's
+//!   data series (printed as tables and written as JSON under
+//!   `results/`).
+//! - `benches/` — Criterion micro-benchmarks of the primitives
+//!   (matching, covering, routing-table updates, protocol rounds) and
+//!   the design-choice ablations called out in `DESIGN.md`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{run_experiment, ExperimentConfig, ExperimentResult, MovePoint};

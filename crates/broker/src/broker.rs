@@ -1,0 +1,865 @@
+//! The broker routing state machine.
+//!
+//! [`BrokerCore`] is a *pure, synchronous* state machine: it owns the
+//! SRT/PRT routing tables and maps one input message to a list of
+//! [`BrokerOutput`] effects. It performs no I/O and holds no clock, so
+//! the same implementation is hosted unchanged by the discrete-event
+//! simulator (`transmob-sim`) and by the threaded runtime
+//! (`transmob-runtime`).
+//!
+//! The routing semantics are the paper's (Sec. 2):
+//!
+//! - **Advertisements flood** the acyclic overlay: an advertisement is
+//!   inserted into the SRT as an `{adv, lasthop}` pair and forwarded to
+//!   all other neighbours.
+//! - **Subscriptions route toward advertisements**: a subscription that
+//!   intersects an advertisement is forwarded to that advertisement's
+//!   lasthop and inserted into the PRT as a `{sub, lasthop}` pair.
+//! - **Publications route toward subscribers**: a publication matching
+//!   a PRT subscription is forwarded to the subscription's lasthop,
+//!   hop-by-hop to the subscriber.
+//!
+//! The **covering optimization** (configurable per broker via
+//! [`CoveringMode`]) quenches a subscription on links where a covering
+//! subscription was already forwarded, and — in
+//! [`CoveringMode::Active`], the behaviour the paper analyzes —
+//! retracts previously-forwarded covered subscriptions when a covering
+//! one is forwarded. Unsubscribing a covering subscription re-issues
+//! the subscriptions it quenched; this is exactly the cascade that
+//! makes the traditional covering-based movement protocol pathological
+//! for mobile clients (paper Sec. 4.4 and Fig. 9/11).
+//!
+//! Two consistency-maintenance rules keep the tables minimal:
+//!
+//! - **pull**: inserting an advertisement forwards the already-known
+//!   intersecting subscriptions toward it;
+//! - **prune**: removing an advertisement retracts subscriptions from
+//!   links where no other intersecting advertisement remains.
+//!
+//! Mobility support: entries can carry a *pending* configuration (the
+//! shadow `rc(adv′)` of the paper's Sec. 4.4) installed under a
+//! [`MoveId`]; publication forwarding honours both the active and the
+//! pending lasthop during the prepare–commit window, and
+//! [`BrokerCore::commit_move`] / [`BrokerCore::abort_move`] finish or
+//! roll back the transaction. The movement *protocol* itself lives in
+//! `transmob-core`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use transmob_pubsub::{
+    AdvId, Advertisement, BrokerId, ClientId, Filter, MoveId, PublicationMsg, SubId, Subscription,
+};
+
+use crate::messages::{BrokerOutput, Hop, MsgKind, PubSubMsg};
+use crate::routing::{PendingRoute, Prt, Srt};
+
+/// How aggressively a broker applies the covering optimization to
+/// subscription (or advertisement) propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CoveringMode {
+    /// No covering: every subscription propagates toward every
+    /// intersecting advertisement. This is the mode the reconfiguration
+    /// protocol is evaluated with.
+    #[default]
+    Off,
+    /// Quench new subscriptions covered by already-forwarded ones, but
+    /// never retract previously-forwarded subscriptions.
+    Lazy,
+    /// Full covering as described in the paper: quench covered
+    /// subscriptions *and* retract previously-forwarded subscriptions
+    /// when a covering one is forwarded (and re-issue them when the
+    /// covering one is removed).
+    Active,
+}
+
+impl CoveringMode {
+    /// Whether any quenching is performed.
+    pub fn enabled(self) -> bool {
+        !matches!(self, CoveringMode::Off)
+    }
+}
+
+/// Static configuration of a broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BrokerConfig {
+    /// Covering mode for subscription propagation.
+    pub sub_covering: CoveringMode,
+    /// Covering mode for advertisement propagation.
+    pub adv_covering: CoveringMode,
+    /// Release behaviour when a covering subscription (or
+    /// advertisement) is withdrawn. The paper's PADRES-era behaviour —
+    /// "unsubscriptions of the root subscription induce subscriptions
+    /// of the non-root subscriptions" — re-forwards everything the
+    /// withdrawn entry covered, leaving any re-quenching to the
+    /// downstream broker (`true`, the default for covering
+    /// deployments). The precise variant (`false`) first checks
+    /// whether another already-forwarded entry still covers the
+    /// candidate; it is cheaper but requires a full table scan per
+    /// candidate and is evaluated as an ablation.
+    pub conservative_release: bool,
+}
+
+impl BrokerConfig {
+    /// Configuration with all covering disabled (reconfiguration
+    /// protocol deployments).
+    pub fn plain() -> Self {
+        BrokerConfig::default()
+    }
+
+    /// Configuration with full covering enabled for both subscriptions
+    /// and advertisements (traditional covering deployments), with the
+    /// paper's conservative release behaviour.
+    pub fn covering() -> Self {
+        BrokerConfig {
+            sub_covering: CoveringMode::Active,
+            adv_covering: CoveringMode::Active,
+            conservative_release: true,
+        }
+    }
+
+    /// Full covering with the precise release ablation.
+    pub fn covering_precise_release() -> Self {
+        BrokerConfig {
+            conservative_release: false,
+            ..BrokerConfig::covering()
+        }
+    }
+}
+
+/// Counters a broker keeps about its own processing, for metrics and
+/// anomaly detection in tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerStats {
+    /// Messages handled, by kind.
+    pub handled: BTreeMap<MsgKind, u64>,
+    /// Messages that referenced unknown ids (tolerated, but counted;
+    /// zero on healthy runs of the reconfiguration protocol).
+    pub anomalies: u64,
+    /// Transient re-route events: an entry adopted a new lasthop, or a
+    /// retraction arrived from a stale direction. Expected while the
+    /// make-before-break covering variant overlaps the old and new
+    /// subscription trees; zero otherwise.
+    pub reroutes: u64,
+}
+
+/// The broker routing state machine. See the module docs for the
+/// semantics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrokerCore {
+    id: BrokerId,
+    neighbors: BTreeSet<BrokerId>,
+    srt: Srt,
+    prt: Prt,
+    clients: BTreeSet<ClientId>,
+    config: BrokerConfig,
+    stats: BrokerStats,
+    /// Out-of-band bookkeeping for pending (shadow) configurations:
+    /// per (entry, move), the forwarding-set addition to apply at
+    /// commit, and whether the entry was created by the transaction
+    /// (so abort removes it).
+    #[serde(with = "crate::routing::serde_pairs")]
+    pending_meta: BTreeMap<PendingKey, PendingMeta>,
+}
+
+/// Key for out-of-band pending bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+enum PendingKey {
+    Sub(SubId, MoveId),
+    Adv(AdvId, MoveId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PendingMeta {
+    /// Neighbour to add to `sent_to` at commit (the old subscriber /
+    /// publisher direction, over which later retractions travel).
+    commit_sent_add: Option<BrokerId>,
+    /// The entry did not exist before the transaction installed it.
+    created: bool,
+}
+
+impl BrokerCore {
+    /// Creates a broker with the given overlay neighbours.
+    pub fn new(
+        id: BrokerId,
+        neighbors: impl IntoIterator<Item = BrokerId>,
+        config: BrokerConfig,
+    ) -> Self {
+        BrokerCore {
+            id,
+            neighbors: neighbors.into_iter().collect(),
+            srt: Srt::new(),
+            prt: Prt::new(),
+            clients: BTreeSet::new(),
+            config,
+            stats: BrokerStats::default(),
+            pending_meta: BTreeMap::new(),
+        }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// The overlay neighbours.
+    pub fn neighbors(&self) -> &BTreeSet<BrokerId> {
+        &self.neighbors
+    }
+
+    /// The broker configuration.
+    pub fn config(&self) -> BrokerConfig {
+        self.config
+    }
+
+    /// Read access to the SRT (tests and property checkers).
+    pub fn srt(&self) -> &Srt {
+        &self.srt
+    }
+
+    /// Read access to the PRT (tests and property checkers).
+    pub fn prt(&self) -> &Prt {
+        &self.prt
+    }
+
+    /// Processing statistics.
+    pub fn stats(&self) -> &BrokerStats {
+        &self.stats
+    }
+
+    /// Registers a locally attached client.
+    pub fn attach_client(&mut self, c: ClientId) {
+        self.clients.insert(c);
+    }
+
+    /// Unregisters a locally attached client. Routing entries issued by
+    /// the client are *not* removed; the mobility protocols manage
+    /// them explicitly.
+    pub fn detach_client(&mut self, c: ClientId) {
+        self.clients.remove(&c);
+    }
+
+    /// Whether `c` is attached to this broker.
+    pub fn has_client(&self, c: ClientId) -> bool {
+        self.clients.contains(&c)
+    }
+
+    /// The attached clients.
+    pub fn clients(&self) -> &BTreeSet<ClientId> {
+        &self.clients
+    }
+
+    /// Handles one routing-layer message arriving from `from`.
+    pub fn handle(&mut self, from: Hop, msg: PubSubMsg) -> Vec<BrokerOutput> {
+        *self.stats.handled.entry(msg.kind()).or_insert(0) += 1;
+        match msg {
+            PubSubMsg::Advertise(a) => self.handle_advertise(from, a),
+            PubSubMsg::Unadvertise(id) => self.handle_unadvertise(from, id),
+            PubSubMsg::Subscribe(s) => self.handle_subscribe(from, s),
+            PubSubMsg::Unsubscribe(id) => self.handle_unsubscribe(from, id),
+            PubSubMsg::Publish(p) => self.handle_publish(from, p),
+        }
+    }
+
+    // ----- subscriptions ---------------------------------------------
+
+    fn handle_subscribe(&mut self, from: Hop, sub: Subscription) -> Vec<BrokerOutput> {
+        let id = sub.id;
+        if let Some(entry) = self.prt.get_mut(id) {
+            if entry.lasthop != from {
+                // A re-route while the old and new subscription trees
+                // overlap (make-before-break): adopt the newest
+                // direction.
+                entry.lasthop = from;
+                self.stats.reroutes += 1;
+            }
+        } else {
+            self.prt.insert(sub, from);
+        }
+        self.propagate_sub(id)
+    }
+
+    /// Forwards subscription `id` toward every intersecting
+    /// advertisement it has not reached yet, honouring covering.
+    fn propagate_sub(&mut self, id: SubId) -> Vec<BrokerOutput> {
+        let mut out = Vec::new();
+        let Some(entry) = self.prt.get(id) else {
+            return out;
+        };
+        let own_hop = entry.lasthop;
+        let filter = entry.sub.filter.clone();
+        // Collect the neighbours hosting (the direction of) intersecting
+        // advertisements.
+        let mut targets: BTreeSet<BrokerId> = BTreeSet::new();
+        for (_, a) in self.srt.iter() {
+            if !a.adv.filter.overlaps(&filter) {
+                continue;
+            }
+            for hop in [Some(a.lasthop), a.pending.as_ref().map(|p| p.lasthop)]
+                .into_iter()
+                .flatten()
+            {
+                if let Hop::Broker(n) = hop {
+                    if Hop::Broker(n) != own_hop {
+                        targets.insert(n);
+                    }
+                }
+            }
+        }
+        for n in targets {
+            out.extend(self.forward_sub_to(id, n));
+        }
+        out
+    }
+
+    /// Forwards subscription `id` to neighbour `n` unless it was
+    /// already sent or is quenched by covering; in active covering
+    /// mode, retracts subscriptions it covers on that link.
+    fn forward_sub_to(&mut self, id: SubId, n: BrokerId) -> Vec<BrokerOutput> {
+        let mut out = Vec::new();
+        let Some(entry) = self.prt.get(id) else {
+            return out;
+        };
+        if entry.lasthop == Hop::Broker(n) || entry.sent_to.contains(&n) {
+            return out;
+        }
+        let filter = entry.sub.filter.clone();
+        if self.config.sub_covering.enabled() && self.sub_quenched_on(n, id, &filter) {
+            return out;
+        }
+        let sub = entry.sub.clone();
+        // unwrap: entry existence checked above
+        self.prt.get_mut(id).unwrap().sent_to.insert(n);
+        out.push(BrokerOutput::ToBroker(n, PubSubMsg::Subscribe(sub)));
+        if self.config.sub_covering == CoveringMode::Active {
+            // Retract previously-forwarded subscriptions now covered on
+            // this link.
+            let retract: Vec<SubId> = self
+                .prt
+                .iter()
+                .filter(|(oid, e)| {
+                    **oid != id
+                        && e.sent_to.contains(&n)
+                        && filter.covers(&e.sub.filter)
+                        && !e.sub.filter.covers(&filter)
+                })
+                .map(|(oid, _)| *oid)
+                .collect();
+            for oid in retract {
+                // unwrap: ids were just drawn from the table
+                self.prt.get_mut(oid).unwrap().sent_to.remove(&n);
+                out.push(BrokerOutput::ToBroker(n, PubSubMsg::Unsubscribe(oid)));
+            }
+        }
+        out
+    }
+
+    /// Whether subscription `id` with `filter` is quenched on link `n`
+    /// by some covering subscription already forwarded there.
+    fn sub_quenched_on(&self, n: BrokerId, id: SubId, filter: &Filter) -> bool {
+        self.prt.iter().any(|(oid, e)| {
+            *oid != id
+                && e.sent_to.contains(&n)
+                && e.lasthop != Hop::Broker(n)
+                && e.sub.filter.covers(filter)
+        })
+    }
+
+    fn handle_unsubscribe(&mut self, from: Hop, id: SubId) -> Vec<BrokerOutput> {
+        let Some(entry) = self.prt.get(id) else {
+            // Stale retraction: the entry was already removed by a
+            // crossing retraction (idempotent outcome).
+            self.stats.reroutes += 1;
+            return Vec::new();
+        };
+        if entry.lasthop != from {
+            // Unsubscriptions travel the reverse of the subscription
+            // path; a mismatch means the entry was re-routed while the
+            // retraction was in flight — ignore the stale retraction.
+            self.stats.reroutes += 1;
+            return Vec::new();
+        }
+        // unwrap: presence checked above
+        let entry = self.prt.remove(id).unwrap();
+        let mut out = Vec::new();
+        for n in &entry.sent_to {
+            out.push(BrokerOutput::ToBroker(*n, PubSubMsg::Unsubscribe(id)));
+        }
+        // Covering release: subscriptions quenched by the removed one
+        // must now be forwarded.
+        if self.config.sub_covering.enabled() {
+            for n in &entry.sent_to {
+                out.extend(self.release_quenched_subs(*n, Some(&entry.sub.filter)));
+            }
+        }
+        out
+    }
+
+    /// Re-evaluates link `n` after `removed` was withdrawn from it: any
+    /// subscription that needs the link (an intersecting advertisement
+    /// lies that way) and has not been sent is forwarded now. This
+    /// implements the covering-release cascade of the paper's
+    /// pathological case.
+    ///
+    /// With `conservative_release` (the paper's behaviour) every
+    /// candidate the withdrawn filter covered is re-forwarded, even if
+    /// another covering subscription is still forwarded on the link —
+    /// re-quenching is left to the downstream broker. The precise
+    /// variant suppresses candidates still covered locally (the quench
+    /// check inside `forward_sub_to`).
+    fn release_quenched_subs(&mut self, n: BrokerId, removed: Option<&Filter>) -> Vec<BrokerOutput> {
+        let mut out = Vec::new();
+        let conservative = self.config.conservative_release && removed.is_some();
+        let candidates: Vec<SubId> = self
+            .prt
+            .iter()
+            .filter(|(_, e)| {
+                e.lasthop != Hop::Broker(n)
+                    && !e.sent_to.contains(&n)
+                    && removed.map_or(true, |r| r.covers(&e.sub.filter))
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in candidates {
+            // unwrap: candidate ids drawn from the table and the only
+            // mutation below is forwarding on the same id
+            let filter = self.prt.get(id).unwrap().sub.filter.clone();
+            let needed = self.srt.iter().any(|(_, a)| {
+                a.adv.filter.overlaps(&filter)
+                    && (a.lasthop == Hop::Broker(n)
+                        || a.pending.as_ref().is_some_and(|p| p.lasthop == Hop::Broker(n)))
+            });
+            if !needed {
+                continue;
+            }
+            if conservative {
+                out.extend(self.forward_sub_unchecked(id, n));
+            } else {
+                out.extend(self.forward_sub_to(id, n));
+            }
+        }
+        out
+    }
+
+    /// Forwards subscription `id` to `n` bypassing the quench check
+    /// (conservative covering release).
+    fn forward_sub_unchecked(&mut self, id: SubId, n: BrokerId) -> Vec<BrokerOutput> {
+        let Some(entry) = self.prt.get_mut(id) else {
+            return Vec::new();
+        };
+        if entry.lasthop == Hop::Broker(n) || !entry.sent_to.insert(n) {
+            return Vec::new();
+        }
+        let sub = entry.sub.clone();
+        vec![BrokerOutput::ToBroker(n, PubSubMsg::Subscribe(sub))]
+    }
+
+    // ----- advertisements --------------------------------------------
+
+    fn handle_advertise(&mut self, from: Hop, adv: Advertisement) -> Vec<BrokerOutput> {
+        let id = adv.id;
+        if let Some(entry) = self.srt.get_mut(id) {
+            if entry.lasthop != from {
+                entry.lasthop = from;
+                self.stats.reroutes += 1;
+            }
+        } else {
+            self.srt.insert(adv, from);
+        }
+        let mut out = self.propagate_adv(id);
+        // Pull rule: forward known intersecting subscriptions toward
+        // the new advertisement.
+        if let Hop::Broker(nf) = from {
+            out.extend(self.pull_subs_toward(id, nf));
+        }
+        out
+    }
+
+    /// Floods advertisement `id` to every neighbour it has not reached,
+    /// honouring advertisement covering.
+    fn propagate_adv(&mut self, id: AdvId) -> Vec<BrokerOutput> {
+        let mut out = Vec::new();
+        let Some(entry) = self.srt.get(id) else {
+            return out;
+        };
+        let own_hop = entry.lasthop;
+        let targets: Vec<BrokerId> = self
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|n| Hop::Broker(*n) != own_hop && !entry.sent_to.contains(n))
+            .collect();
+        for n in targets {
+            out.extend(self.forward_adv_to(id, n));
+        }
+        out
+    }
+
+    fn forward_adv_to(&mut self, id: AdvId, n: BrokerId) -> Vec<BrokerOutput> {
+        let mut out = Vec::new();
+        let Some(entry) = self.srt.get(id) else {
+            return out;
+        };
+        if entry.lasthop == Hop::Broker(n) || entry.sent_to.contains(&n) {
+            return out;
+        }
+        let filter = entry.adv.filter.clone();
+        if self.config.adv_covering.enabled() && self.adv_quenched_on(n, id, &filter) {
+            return out;
+        }
+        let adv = entry.adv.clone();
+        // unwrap: entry existence checked above
+        self.srt.get_mut(id).unwrap().sent_to.insert(n);
+        out.push(BrokerOutput::ToBroker(n, PubSubMsg::Advertise(adv)));
+        if self.config.adv_covering == CoveringMode::Active {
+            let retract: Vec<AdvId> = self
+                .srt
+                .iter()
+                .filter(|(oid, e)| {
+                    **oid != id
+                        && e.sent_to.contains(&n)
+                        && filter.covers(&e.adv.filter)
+                        && !e.adv.filter.covers(&filter)
+                })
+                .map(|(oid, _)| *oid)
+                .collect();
+            for oid in retract {
+                // unwrap: ids were just drawn from the table
+                self.srt.get_mut(oid).unwrap().sent_to.remove(&n);
+                out.push(BrokerOutput::ToBroker(n, PubSubMsg::Unadvertise(oid)));
+            }
+        }
+        out
+    }
+
+    fn adv_quenched_on(&self, n: BrokerId, id: AdvId, filter: &Filter) -> bool {
+        self.srt.iter().any(|(oid, e)| {
+            *oid != id
+                && e.sent_to.contains(&n)
+                && e.lasthop != Hop::Broker(n)
+                && e.adv.filter.covers(filter)
+        })
+    }
+
+    fn handle_unadvertise(&mut self, from: Hop, id: AdvId) -> Vec<BrokerOutput> {
+        let Some(entry) = self.srt.get(id) else {
+            self.stats.reroutes += 1;
+            return Vec::new();
+        };
+        if entry.lasthop != from {
+            self.stats.reroutes += 1;
+            return Vec::new();
+        }
+        // unwrap: presence checked above
+        let entry = self.srt.remove(id).unwrap();
+        let mut out = Vec::new();
+        for n in &entry.sent_to {
+            out.push(BrokerOutput::ToBroker(*n, PubSubMsg::Unadvertise(id)));
+        }
+        // Prune rule: subscriptions forwarded toward the removed
+        // advertisement are retracted from that link when no other
+        // intersecting advertisement remains there.
+        if let Hop::Broker(nl) = entry.lasthop {
+            out.extend(self.prune_subs_on_link(nl));
+        }
+        // Covering release for advertisements: previously-quenched
+        // advertisements must now flood.
+        if self.config.adv_covering.enabled() {
+            let release_links: Vec<BrokerId> = entry.sent_to.iter().copied().collect();
+            for n in release_links {
+                out.extend(self.release_quenched_advs(n, Some(&entry.adv.filter)));
+            }
+        }
+        out
+    }
+
+    /// Retracts subscriptions from link `n` when no intersecting
+    /// advertisement (active or pending) remains in that direction.
+    fn prune_subs_on_link(&mut self, n: BrokerId) -> Vec<BrokerOutput> {
+        let mut out = Vec::new();
+        let candidates: Vec<SubId> = self
+            .prt
+            .iter()
+            .filter(|(_, e)| e.sent_to.contains(&n))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in candidates {
+            out.extend(self.prune_sub_link(id, n));
+        }
+        out
+    }
+
+    /// Retracts subscription `id` from link `n` if no intersecting
+    /// advertisement (active or pending) lies that way. Used by the
+    /// prune rule and by movement-transaction rollback.
+    pub fn prune_sub_link(&mut self, id: SubId, n: BrokerId) -> Vec<BrokerOutput> {
+        let Some(entry) = self.prt.get(id) else {
+            return Vec::new();
+        };
+        if !entry.sent_to.contains(&n) {
+            return Vec::new();
+        }
+        let filter = entry.sub.filter.clone();
+        let still_needed = self.srt.iter().any(|(_, a)| {
+            a.adv.filter.overlaps(&filter)
+                && (a.lasthop == Hop::Broker(n)
+                    || a.pending.as_ref().is_some_and(|p| p.lasthop == Hop::Broker(n)))
+        });
+        if still_needed {
+            return Vec::new();
+        }
+        // unwrap: presence checked above
+        self.prt.get_mut(id).unwrap().sent_to.remove(&n);
+        vec![BrokerOutput::ToBroker(n, PubSubMsg::Unsubscribe(id))]
+    }
+
+    fn release_quenched_advs(&mut self, n: BrokerId, removed: Option<&Filter>) -> Vec<BrokerOutput> {
+        let mut out = Vec::new();
+        let conservative = self.config.conservative_release && removed.is_some();
+        let candidates: Vec<AdvId> = self
+            .srt
+            .iter()
+            .filter(|(_, e)| {
+                e.lasthop != Hop::Broker(n)
+                    && !e.sent_to.contains(&n)
+                    && removed.map_or(true, |r| r.covers(&e.adv.filter))
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in candidates {
+            if conservative {
+                out.extend(self.forward_adv_unchecked(id, n));
+            } else {
+                out.extend(self.forward_adv_to(id, n));
+            }
+        }
+        out
+    }
+
+    /// Floods advertisement `id` to `n` bypassing the quench check
+    /// (conservative covering release).
+    fn forward_adv_unchecked(&mut self, id: AdvId, n: BrokerId) -> Vec<BrokerOutput> {
+        let Some(entry) = self.srt.get_mut(id) else {
+            return Vec::new();
+        };
+        if entry.lasthop == Hop::Broker(n) || !entry.sent_to.insert(n) {
+            return Vec::new();
+        }
+        let adv = entry.adv.clone();
+        vec![BrokerOutput::ToBroker(n, PubSubMsg::Advertise(adv))]
+    }
+
+    /// Pull rule: forwards every intersecting subscription toward
+    /// neighbour `nf`, where advertisement `id` arrived from. Also used
+    /// by the reconfiguration protocol (paper Sec. 4.4, PRT cases 1
+    /// and 3) against a pending advertisement configuration.
+    pub fn pull_subs_toward(&mut self, id: AdvId, nf: BrokerId) -> Vec<BrokerOutput> {
+        let Some(entry) = self.srt.get(id) else {
+            return Vec::new();
+        };
+        let filter = entry.adv.filter.clone();
+        let mut out = Vec::new();
+        let candidates: Vec<SubId> = self
+            .prt
+            .iter()
+            .filter(|(_, e)| {
+                e.lasthop != Hop::Broker(nf)
+                    && !e.sent_to.contains(&nf)
+                    && e.sub.filter.overlaps(&filter)
+            })
+            .map(|(sid, _)| *sid)
+            .collect();
+        for sid in candidates {
+            out.extend(self.forward_sub_to(sid, nf));
+        }
+        out
+    }
+
+    // ----- publications ----------------------------------------------
+
+    fn handle_publish(&mut self, from: Hop, p: PublicationMsg) -> Vec<BrokerOutput> {
+        let mut broker_dests: BTreeSet<BrokerId> = BTreeSet::new();
+        let mut client_dests: BTreeSet<ClientId> = BTreeSet::new();
+        for (_, e) in self.prt.iter() {
+            if !e.sub.filter.matches(&p.content) {
+                continue;
+            }
+            for hop in [Some(e.lasthop), e.pending.as_ref().map(|pd| pd.lasthop)]
+                .into_iter()
+                .flatten()
+            {
+                if hop == from {
+                    continue;
+                }
+                match hop {
+                    Hop::Broker(n) => {
+                        broker_dests.insert(n);
+                    }
+                    Hop::Client(c) => {
+                        client_dests.insert(c);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for n in broker_dests {
+            out.push(BrokerOutput::ToBroker(n, PubSubMsg::Publish(p.clone())));
+        }
+        for c in client_dests {
+            out.push(BrokerOutput::Deliver(c, p.clone()));
+        }
+        out
+    }
+
+    // ----- movement-transaction support ------------------------------
+
+    /// Installs the pending (shadow) configuration for a moving
+    /// subscription at this broker: the paper's `rc(adv′)` copy,
+    /// applied to a subscription. `new_lasthop` is the post-commit
+    /// direction of the subscriber (`RouteS2T.suc(B)`, or the client at
+    /// the target broker); `commit_sent_add` is the post-commit
+    /// addition to the forwarding set (`RouteS2T.pre(B)` — the old
+    /// subscriber direction, over which retractions must later travel).
+    ///
+    /// If the broker has no entry for the subscription (it was never
+    /// propagated through here), a fresh entry is created and flagged
+    /// so that [`BrokerCore::abort_move`] removes it entirely.
+    pub fn install_pending_sub(
+        &mut self,
+        sub: &Subscription,
+        move_id: MoveId,
+        new_lasthop: Hop,
+        commit_sent_add: Option<BrokerId>,
+    ) {
+        let created = self.prt.get(sub.id).is_none();
+        if created {
+            self.prt.insert(sub.clone(), new_lasthop);
+        }
+        // unwrap: entry exists (pre-existing or just inserted)
+        let entry = self.prt.get_mut(sub.id).unwrap();
+        entry.pending = Some(PendingRoute {
+            move_id,
+            lasthop: new_lasthop,
+        });
+        self.pending_meta.insert(
+            PendingKey::Sub(sub.id, move_id),
+            PendingMeta {
+                commit_sent_add,
+                created,
+            },
+        );
+    }
+
+    /// Installs the pending configuration for a moving advertisement;
+    /// see [`BrokerCore::install_pending_sub`] for the parameters.
+    pub fn install_pending_adv(
+        &mut self,
+        adv: &Advertisement,
+        move_id: MoveId,
+        new_lasthop: Hop,
+        commit_sent_add: Option<BrokerId>,
+    ) {
+        let created = self.srt.get(adv.id).is_none();
+        if created {
+            self.srt.insert(adv.clone(), new_lasthop);
+        }
+        // unwrap: entry exists (pre-existing or just inserted)
+        let entry = self.srt.get_mut(adv.id).unwrap();
+        entry.pending = Some(PendingRoute {
+            move_id,
+            lasthop: new_lasthop,
+        });
+        self.pending_meta.insert(
+            PendingKey::Adv(adv.id, move_id),
+            PendingMeta {
+                commit_sent_add,
+                created,
+            },
+        );
+    }
+
+    /// Commits every pending configuration installed under `move_id`:
+    /// the old routing configuration is replaced by the shadow one, the
+    /// forwarding sets are re-oriented, and (for advertisement moves)
+    /// subscriptions whose justification disappeared are pruned (the
+    /// paper's PRT case 2).
+    pub fn commit_move(&mut self, move_id: MoveId) -> Vec<BrokerOutput> {
+        let mut out = Vec::new();
+        let mut prune_links: BTreeSet<BrokerId> = BTreeSet::new();
+        for id in self.srt.pending_for(move_id) {
+            // unwrap: id came from pending_for on the same table
+            let entry = self.srt.get_mut(id).unwrap();
+            // unwrap: pending_for guarantees a pending config
+            let pending = entry.pending.take().unwrap();
+            let old_lasthop = entry.lasthop;
+            entry.lasthop = pending.lasthop;
+            if let Hop::Broker(nb) = pending.lasthop {
+                entry.sent_to.remove(&nb);
+            }
+            let meta = self
+                .pending_meta
+                .remove(&PendingKey::Adv(id, move_id))
+                .unwrap_or(PendingMeta {
+                    commit_sent_add: None,
+                    created: false,
+                });
+            if let Some(add) = meta.commit_sent_add {
+                entry.sent_to.insert(add);
+            }
+            if !meta.created {
+                if let Hop::Broker(old_n) = old_lasthop {
+                    prune_links.insert(old_n);
+                }
+            }
+        }
+        for id in self.prt.pending_for(move_id) {
+            // unwrap: id came from pending_for on the same table
+            let entry = self.prt.get_mut(id).unwrap();
+            // unwrap: pending_for guarantees a pending config
+            let pending = entry.pending.take().unwrap();
+            entry.lasthop = pending.lasthop;
+            if let Hop::Broker(nb) = pending.lasthop {
+                entry.sent_to.remove(&nb);
+            }
+            let meta = self
+                .pending_meta
+                .remove(&PendingKey::Sub(id, move_id))
+                .unwrap_or(PendingMeta {
+                    commit_sent_add: None,
+                    created: false,
+                });
+            if let Some(add) = meta.commit_sent_add {
+                entry.sent_to.insert(add);
+            }
+        }
+        // Prune subscriptions that pointed at the old advertisement
+        // location (paper PRT case 2, realized as the generic prune).
+        for n in prune_links {
+            out.extend(self.prune_subs_on_link(n));
+        }
+        out
+    }
+
+    /// Rolls back every pending configuration installed under
+    /// `move_id`: shadow configurations are dropped and entries created
+    /// by the transaction are removed.
+    pub fn abort_move(&mut self, move_id: MoveId) -> Vec<BrokerOutput> {
+        for id in self.srt.pending_for(move_id) {
+            let meta = self.pending_meta.remove(&PendingKey::Adv(id, move_id));
+            if meta.is_some_and(|m| m.created) {
+                self.srt.remove(id);
+            } else if let Some(entry) = self.srt.get_mut(id) {
+                entry.pending = None;
+            }
+        }
+        for id in self.prt.pending_for(move_id) {
+            let meta = self.pending_meta.remove(&PendingKey::Sub(id, move_id));
+            if meta.is_some_and(|m| m.created) {
+                self.prt.remove(id);
+            } else if let Some(entry) = self.prt.get_mut(id) {
+                entry.pending = None;
+            }
+        }
+        Vec::new()
+    }
+}

@@ -1,0 +1,350 @@
+//! The per-broker routing tables of the paper's Sec. 2: the
+//! *Subscription Routing Table* (SRT, `{adv, lasthop}` pairs that route
+//! subscriptions toward advertisers) and the *Publication Routing
+//! Table* (PRT, `{sub, lasthop}` pairs that route publications toward
+//! subscribers).
+//!
+//! To support the transactional reconfiguration protocol (Sec. 4.4 of
+//! the paper), every entry can carry a *pending* routing configuration
+//! tagged with the movement transaction id: the shadow copy `rc(adv′)`
+//! that coexists with `rc(adv)` between prepare and commit. Publication
+//! forwarding honours both the active and pending configurations during
+//! that window (duplicates are suppressed per destination and, at the
+//! client stub, by publication id).
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use transmob_pubsub::{
+    AdvId, Advertisement, Filter, MoveId, Publication, SubId, Subscription,
+};
+
+use crate::messages::Hop;
+
+/// Serializes struct-keyed maps as `(key, value)` pair sequences so
+/// the routing state survives formats with string-only map keys
+/// (JSON), per the Sec. 3.5 persistence sketch.
+pub(crate) mod serde_pairs {
+    use std::collections::BTreeMap;
+
+    use serde::de::Deserializer;
+    use serde::ser::Serializer;
+    use serde::{Deserialize, Serialize};
+
+    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, ser: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize + Ord,
+        V: Serialize,
+        S: Serializer,
+    {
+        ser.collect_seq(map.iter())
+    }
+
+    pub fn deserialize<'de, K, V, D>(de: D) -> Result<BTreeMap<K, V>, D::Error>
+    where
+        K: Deserialize<'de> + Ord,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, V)> = Vec::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+/// A pending (shadow) routing configuration installed by an in-flight
+/// movement transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingRoute {
+    /// The movement transaction that installed this configuration.
+    pub move_id: MoveId,
+    /// The new lasthop the entry will have if the transaction commits.
+    pub lasthop: Hop,
+}
+
+/// One SRT row: an advertisement, where it came from, and where it has
+/// been forwarded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdvEntry {
+    /// The advertisement.
+    pub adv: Advertisement,
+    /// Neighbour (or local client) the advertisement arrived from.
+    pub lasthop: Hop,
+    /// Neighbours this broker forwarded the advertisement to.
+    pub sent_to: BTreeSet<transmob_pubsub::BrokerId>,
+    /// Shadow configuration installed by an in-flight movement.
+    pub pending: Option<PendingRoute>,
+}
+
+/// One PRT row: a subscription, where it came from, and where it has
+/// been forwarded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubEntry {
+    /// The subscription.
+    pub sub: Subscription,
+    /// Neighbour (or local client) the subscription arrived from; this
+    /// is the direction publications are forwarded in.
+    pub lasthop: Hop,
+    /// Neighbours this broker forwarded the subscription to.
+    pub sent_to: BTreeSet<transmob_pubsub::BrokerId>,
+    /// Shadow configuration installed by an in-flight movement.
+    pub pending: Option<PendingRoute>,
+}
+
+/// The Subscription Routing Table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Srt {
+    #[serde(with = "serde_pairs")]
+    entries: BTreeMap<AdvId, AdvEntry>,
+}
+
+impl Srt {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Srt::default()
+    }
+
+    /// Inserts an advertisement arriving from `lasthop`. Returns `false`
+    /// (leaving the row untouched) if the id is already present.
+    pub fn insert(&mut self, adv: Advertisement, lasthop: Hop) -> bool {
+        match self.entries.entry(adv.id) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(AdvEntry {
+                    adv,
+                    lasthop,
+                    sent_to: BTreeSet::new(),
+                    pending: None,
+                });
+                true
+            }
+        }
+    }
+
+    /// Removes an advertisement, returning its row.
+    pub fn remove(&mut self, id: AdvId) -> Option<AdvEntry> {
+        self.entries.remove(&id)
+    }
+
+    /// Looks up a row.
+    pub fn get(&self, id: AdvId) -> Option<&AdvEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Looks up a row mutably.
+    pub fn get_mut(&mut self, id: AdvId) -> Option<&mut AdvEntry> {
+        self.entries.get_mut(&id)
+    }
+
+    /// Iterates all rows.
+    pub fn iter(&self) -> impl Iterator<Item = (&AdvId, &AdvEntry)> {
+        self.entries.iter()
+    }
+
+    /// Iterates all rows mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&AdvId, &mut AdvEntry)> {
+        self.entries.iter_mut()
+    }
+
+    /// Ids of advertisements whose filter overlaps `filter`
+    /// (the subscription-routing test).
+    pub fn overlapping(&self, filter: &Filter) -> Vec<AdvId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.adv.filter.overlaps(filter))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ids of rows with a pending configuration for `move_id`.
+    pub fn pending_for(&self, move_id: MoveId) -> Vec<AdvId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.pending.as_ref().is_some_and(|p| p.move_id == move_id))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+/// The Publication Routing Table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Prt {
+    #[serde(with = "serde_pairs")]
+    entries: BTreeMap<SubId, SubEntry>,
+}
+
+impl Prt {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Prt::default()
+    }
+
+    /// Inserts a subscription arriving from `lasthop`. Returns `false`
+    /// (leaving the row untouched) if the id is already present.
+    pub fn insert(&mut self, sub: Subscription, lasthop: Hop) -> bool {
+        match self.entries.entry(sub.id) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(SubEntry {
+                    sub,
+                    lasthop,
+                    sent_to: BTreeSet::new(),
+                    pending: None,
+                });
+                true
+            }
+        }
+    }
+
+    /// Removes a subscription, returning its row.
+    pub fn remove(&mut self, id: SubId) -> Option<SubEntry> {
+        self.entries.remove(&id)
+    }
+
+    /// Looks up a row.
+    pub fn get(&self, id: SubId) -> Option<&SubEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Looks up a row mutably.
+    pub fn get_mut(&mut self, id: SubId) -> Option<&mut SubEntry> {
+        self.entries.get_mut(&id)
+    }
+
+    /// Iterates all rows.
+    pub fn iter(&self) -> impl Iterator<Item = (&SubId, &SubEntry)> {
+        self.entries.iter()
+    }
+
+    /// Iterates all rows mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&SubId, &mut SubEntry)> {
+        self.entries.iter_mut()
+    }
+
+    /// Ids of subscriptions whose filter matches `publication`
+    /// (the publication-forwarding test).
+    pub fn matching(&self, publication: &Publication) -> Vec<SubId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.sub.filter.matches(publication))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Ids of subscriptions whose filter overlaps `filter`.
+    pub fn overlapping(&self, filter: &Filter) -> Vec<SubId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.sub.filter.overlaps(filter))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ids of rows with a pending configuration for `move_id`.
+    pub fn pending_for(&self, move_id: MoveId) -> Vec<SubId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.pending.as_ref().is_some_and(|p| p.move_id == move_id))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmob_pubsub::{BrokerId, ClientId, Filter};
+
+    fn sub(c: u64, seq: u32, lo: i64, hi: i64) -> Subscription {
+        Subscription::new(
+            SubId::new(ClientId(c), seq),
+            Filter::builder().ge("x", lo).le("x", hi).build(),
+        )
+    }
+
+    fn adv(c: u64, seq: u32, lo: i64, hi: i64) -> Advertisement {
+        Advertisement::new(
+            AdvId::new(ClientId(c), seq),
+            Filter::builder().ge("x", lo).le("x", hi).build(),
+        )
+    }
+
+    #[test]
+    fn srt_insert_and_duplicate() {
+        let mut srt = Srt::new();
+        let a = adv(1, 0, 0, 10);
+        assert!(srt.insert(a.clone(), Hop::Client(ClientId(1))));
+        assert!(!srt.insert(a.clone(), Hop::Broker(BrokerId(2))));
+        // first insert wins
+        assert_eq!(srt.get(a.id).unwrap().lasthop, Hop::Client(ClientId(1)));
+        assert_eq!(srt.len(), 1);
+    }
+
+    #[test]
+    fn srt_overlapping_query() {
+        let mut srt = Srt::new();
+        srt.insert(adv(1, 0, 0, 10), Hop::Broker(BrokerId(2)));
+        srt.insert(adv(1, 1, 50, 60), Hop::Broker(BrokerId(3)));
+        let f = Filter::builder().ge("x", 5).le("x", 8).build();
+        let hits = srt.overlapping(&f);
+        assert_eq!(hits, vec![AdvId::new(ClientId(1), 0)]);
+    }
+
+    #[test]
+    fn prt_matching_query() {
+        let mut prt = Prt::new();
+        prt.insert(sub(1, 0, 0, 10), Hop::Client(ClientId(1)));
+        prt.insert(sub(2, 0, 5, 20), Hop::Broker(BrokerId(4)));
+        let p = Publication::new().with("x", 7);
+        let hits = prt.matching(&p);
+        assert_eq!(hits.len(), 2);
+        let p2 = Publication::new().with("x", 15);
+        assert_eq!(prt.matching(&p2), vec![SubId::new(ClientId(2), 0)]);
+    }
+
+    #[test]
+    fn remove_returns_row() {
+        let mut prt = Prt::new();
+        let s = sub(1, 0, 0, 10);
+        prt.insert(s.clone(), Hop::Client(ClientId(1)));
+        let row = prt.remove(s.id).unwrap();
+        assert_eq!(row.lasthop, Hop::Client(ClientId(1)));
+        assert!(prt.remove(s.id).is_none());
+        assert!(prt.is_empty());
+    }
+
+    #[test]
+    fn pending_for_finds_tagged_rows() {
+        let mut prt = Prt::new();
+        let s1 = sub(1, 0, 0, 10);
+        let s2 = sub(2, 0, 0, 10);
+        prt.insert(s1.clone(), Hop::Client(ClientId(1)));
+        prt.insert(s2.clone(), Hop::Client(ClientId(2)));
+        prt.get_mut(s1.id).unwrap().pending = Some(PendingRoute {
+            move_id: MoveId(9),
+            lasthop: Hop::Broker(BrokerId(3)),
+        });
+        assert_eq!(prt.pending_for(MoveId(9)), vec![s1.id]);
+        assert!(prt.pending_for(MoveId(8)).is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! Acyclic broker overlay topology.
+//!
+//! The paper (Sec. 4.1) assumes an acyclic overlay of brokers, which
+//! makes the route between any two brokers unique. [`Topology`]
+//! validates acyclicity and connectivity at construction and provides
+//! the unique-route computation (`RouteS2T` in the paper's notation)
+//! that the hop-by-hop reconfiguration protocol walks.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use transmob_pubsub::BrokerId;
+
+/// Error building a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge references a broker id that is not in the node set.
+    UnknownBroker(BrokerId),
+    /// The same undirected edge appears twice, or a self-loop.
+    BadEdge(BrokerId, BrokerId),
+    /// The overlay contains a cycle.
+    Cyclic,
+    /// The overlay is not connected.
+    Disconnected,
+    /// No brokers.
+    Empty,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownBroker(b) => write!(f, "edge references unknown broker {b}"),
+            TopologyError::BadEdge(a, b) => write!(f, "bad edge ({a}, {b})"),
+            TopologyError::Cyclic => f.write_str("overlay contains a cycle"),
+            TopologyError::Disconnected => f.write_str("overlay is not connected"),
+            TopologyError::Empty => f.write_str("overlay has no brokers"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An acyclic, connected broker overlay (a tree).
+///
+/// # Examples
+///
+/// ```
+/// use transmob_broker::Topology;
+/// use transmob_pubsub::BrokerId;
+///
+/// // A chain B1 - B2 - B3.
+/// let t = Topology::new(
+///     vec![BrokerId(1), BrokerId(2), BrokerId(3)],
+///     vec![(BrokerId(1), BrokerId(2)), (BrokerId(2), BrokerId(3))],
+/// )?;
+/// let route = t.route(BrokerId(1), BrokerId(3)).unwrap();
+/// assert_eq!(route.brokers(), &[BrokerId(1), BrokerId(2), BrokerId(3)]);
+/// # Ok::<(), transmob_broker::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    brokers: BTreeSet<BrokerId>,
+    adjacency: BTreeMap<BrokerId, BTreeSet<BrokerId>>,
+}
+
+impl Topology {
+    /// Builds and validates a topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the edge list references unknown brokers,
+    /// contains self-loops or duplicates, or if the graph is not a
+    /// connected tree.
+    pub fn new(
+        brokers: impl IntoIterator<Item = BrokerId>,
+        edges: impl IntoIterator<Item = (BrokerId, BrokerId)>,
+    ) -> Result<Self, TopologyError> {
+        let brokers: BTreeSet<BrokerId> = brokers.into_iter().collect();
+        if brokers.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        let mut adjacency: BTreeMap<BrokerId, BTreeSet<BrokerId>> =
+            brokers.iter().map(|b| (*b, BTreeSet::new())).collect();
+        let mut edge_count = 0usize;
+        for (a, b) in edges {
+            if a == b {
+                return Err(TopologyError::BadEdge(a, b));
+            }
+            if !brokers.contains(&a) {
+                return Err(TopologyError::UnknownBroker(a));
+            }
+            if !brokers.contains(&b) {
+                return Err(TopologyError::UnknownBroker(b));
+            }
+            // unwrap: both ids were just checked to be in the map
+            if !adjacency.get_mut(&a).unwrap().insert(b) {
+                return Err(TopologyError::BadEdge(a, b));
+            }
+            adjacency.get_mut(&b).unwrap().insert(a);
+            edge_count += 1;
+        }
+        // A connected graph with |V| - 1 edges and no duplicate edges is
+        // a tree; verify connectivity by BFS.
+        if edge_count + 1 != brokers.len() {
+            return Err(if edge_count + 1 > brokers.len() {
+                TopologyError::Cyclic
+            } else {
+                TopologyError::Disconnected
+            });
+        }
+        let start = *brokers.iter().next().expect("non-empty");
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([start]);
+        seen.insert(start);
+        while let Some(b) = queue.pop_front() {
+            for n in &adjacency[&b] {
+                if seen.insert(*n) {
+                    queue.push_back(*n);
+                }
+            }
+        }
+        if seen.len() != brokers.len() {
+            return Err(TopologyError::Disconnected);
+        }
+        Ok(Topology { brokers, adjacency })
+    }
+
+    /// A linear chain `B1 - B2 - ... - Bn` (ids 1..=n).
+    pub fn chain(n: u32) -> Self {
+        let brokers: Vec<BrokerId> = (1..=n).map(BrokerId).collect();
+        let edges: Vec<_> = (1..n).map(|i| (BrokerId(i), BrokerId(i + 1))).collect();
+        Topology::new(brokers, edges).expect("chain is a valid tree")
+    }
+
+    /// A star with `B1` at the centre and `B2..=Bn` as leaves.
+    pub fn star(n: u32) -> Self {
+        let brokers: Vec<BrokerId> = (1..=n).map(BrokerId).collect();
+        let edges: Vec<_> = (2..=n).map(|i| (BrokerId(1), BrokerId(i))).collect();
+        Topology::new(brokers, edges).expect("star is a valid tree")
+    }
+
+    /// The broker ids, in order.
+    pub fn brokers(&self) -> impl Iterator<Item = BrokerId> + '_ {
+        self.brokers.iter().copied()
+    }
+
+    /// Number of brokers.
+    pub fn len(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Whether the overlay is empty (never true for a validated
+    /// topology).
+    pub fn is_empty(&self) -> bool {
+        self.brokers.is_empty()
+    }
+
+    /// Whether `b` is in the overlay.
+    pub fn contains(&self, b: BrokerId) -> bool {
+        self.brokers.contains(&b)
+    }
+
+    /// The neighbours of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not in the overlay.
+    pub fn neighbors(&self, b: BrokerId) -> &BTreeSet<BrokerId> {
+        &self.adjacency[&b]
+    }
+
+    /// The edges, each reported once with the smaller id first.
+    pub fn edges(&self) -> Vec<(BrokerId, BrokerId)> {
+        let mut out = Vec::new();
+        for (a, ns) in &self.adjacency {
+            for n in ns {
+                if a < n {
+                    out.push((*a, *n));
+                }
+            }
+        }
+        out
+    }
+
+    /// The unique route from `src` to `dst` (`RouteS2T` in the paper).
+    ///
+    /// Returns `None` if either endpoint is not in the overlay. The
+    /// route includes both endpoints; `route(b, b)` is the single-node
+    /// route.
+    pub fn route(&self, src: BrokerId, dst: BrokerId) -> Option<Route> {
+        if !self.contains(src) || !self.contains(dst) {
+            return None;
+        }
+        if src == dst {
+            return Some(Route {
+                brokers: vec![src],
+            });
+        }
+        // BFS from src recording parents; in a tree this finds the
+        // unique path.
+        let mut parent: BTreeMap<BrokerId, BrokerId> = BTreeMap::new();
+        let mut queue = VecDeque::from([src]);
+        let mut seen = BTreeSet::from([src]);
+        'bfs: while let Some(b) = queue.pop_front() {
+            for n in &self.adjacency[&b] {
+                if seen.insert(*n) {
+                    parent.insert(*n, b);
+                    if *n == dst {
+                        break 'bfs;
+                    }
+                    queue.push_back(*n);
+                }
+            }
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = *parent.get(&cur)?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(Route { brokers: path })
+    }
+
+    /// Renders the overlay as Graphviz DOT (used by the `figures`
+    /// harness to export the Fig. 6 drawing).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph overlay {\n  node [shape=circle];\n");
+        for (a, b) in self.edges() {
+            out.push_str(&format!("  \"{a}\" -- \"{b}\";\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The next hop from `from` on the unique path toward `to`.
+    ///
+    /// Returns `None` when `from == to` or either is unknown.
+    pub fn next_hop(&self, from: BrokerId, to: BrokerId) -> Option<BrokerId> {
+        let route = self.route(from, to)?;
+        route.brokers.get(1).copied()
+    }
+}
+
+/// The unique route between two brokers: the paper's
+/// `RouteS2T = <B_i, ..., B_j>` with `pre`/`suc` accessors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    brokers: Vec<BrokerId>,
+}
+
+impl Route {
+    /// The brokers on the route, source first.
+    pub fn brokers(&self) -> &[BrokerId] {
+        &self.brokers
+    }
+
+    /// The source broker.
+    pub fn source(&self) -> BrokerId {
+        self.brokers[0]
+    }
+
+    /// The target broker.
+    pub fn target(&self) -> BrokerId {
+        *self.brokers.last().expect("routes are non-empty")
+    }
+
+    /// Number of brokers on the route.
+    pub fn len(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Whether the route is a single broker (source == target).
+    pub fn is_empty(&self) -> bool {
+        false // a Route always has at least one broker
+    }
+
+    /// Number of hops (edges) on the route.
+    pub fn hops(&self) -> usize {
+        self.brokers.len() - 1
+    }
+
+    /// `RouteS2T.pre(b)`: the predecessor of `b` (toward the source).
+    pub fn pre(&self, b: BrokerId) -> Option<BrokerId> {
+        let i = self.brokers.iter().position(|x| *x == b)?;
+        if i == 0 {
+            None
+        } else {
+            Some(self.brokers[i - 1])
+        }
+    }
+
+    /// `RouteS2T.suc(b)`: the successor of `b` (toward the target).
+    pub fn suc(&self, b: BrokerId) -> Option<BrokerId> {
+        let i = self.brokers.iter().position(|x| *x == b)?;
+        self.brokers.get(i + 1).copied()
+    }
+
+    /// Whether `b` lies on the route.
+    pub fn contains(&self, b: BrokerId) -> bool {
+        self.brokers.contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId(i)
+    }
+
+    #[test]
+    fn chain_routes() {
+        let t = Topology::chain(5);
+        let r = t.route(b(1), b(5)).unwrap();
+        assert_eq!(r.brokers(), &[b(1), b(2), b(3), b(4), b(5)]);
+        assert_eq!(r.hops(), 4);
+        assert_eq!(r.pre(b(3)), Some(b(2)));
+        assert_eq!(r.suc(b(3)), Some(b(4)));
+        assert_eq!(r.pre(b(1)), None);
+        assert_eq!(r.suc(b(5)), None);
+    }
+
+    #[test]
+    fn route_to_self_is_single_node() {
+        let t = Topology::chain(3);
+        let r = t.route(b(2), b(2)).unwrap();
+        assert_eq!(r.brokers(), &[b(2)]);
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.source(), r.target());
+    }
+
+    #[test]
+    fn star_routes_pass_centre() {
+        let t = Topology::star(6);
+        let r = t.route(b(4), b(5)).unwrap();
+        assert_eq!(r.brokers(), &[b(4), b(1), b(5)]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = Topology::new(
+            vec![b(1), b(2), b(3)],
+            vec![(b(1), b(2)), (b(2), b(3)), (b(3), b(1))],
+        )
+        .unwrap_err();
+        assert_eq!(err, TopologyError::Cyclic);
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let err = Topology::new(vec![b(1), b(2), b(3)], vec![(b(1), b(2))]).unwrap_err();
+        assert_eq!(err, TopologyError::Disconnected);
+    }
+
+    #[test]
+    fn self_loop_and_duplicate_edges_rejected() {
+        assert_eq!(
+            Topology::new(vec![b(1), b(2)], vec![(b(1), b(1))]).unwrap_err(),
+            TopologyError::BadEdge(b(1), b(1))
+        );
+        assert_eq!(
+            Topology::new(vec![b(1), b(2)], vec![(b(1), b(2)), (b(2), b(1))]).unwrap_err(),
+            TopologyError::BadEdge(b(2), b(1))
+        );
+    }
+
+    #[test]
+    fn unknown_broker_rejected() {
+        assert_eq!(
+            Topology::new(vec![b(1)], vec![(b(1), b(9))]).unwrap_err(),
+            TopologyError::UnknownBroker(b(9))
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            Topology::new(Vec::<BrokerId>::new(), vec![]).unwrap_err(),
+            TopologyError::Empty
+        );
+    }
+
+    #[test]
+    fn next_hop_follows_route() {
+        let t = Topology::star(4);
+        assert_eq!(t.next_hop(b(2), b(3)), Some(b(1)));
+        assert_eq!(t.next_hop(b(1), b(3)), Some(b(3)));
+        assert_eq!(t.next_hop(b(3), b(3)), None);
+    }
+
+    #[test]
+    fn route_symmetric_reverse() {
+        let t = Topology::chain(7);
+        let fwd = t.route(b(2), b(6)).unwrap();
+        let back = t.route(b(6), b(2)).unwrap();
+        let mut rev = fwd.brokers().to_vec();
+        rev.reverse();
+        assert_eq!(back.brokers(), rev.as_slice());
+    }
+
+    #[test]
+    fn dot_export_lists_every_edge() {
+        let t = Topology::star(4);
+        let dot = t.to_dot();
+        assert!(dot.starts_with("graph overlay"));
+        for (a, b) in t.edges() {
+            assert!(dot.contains(&format!("\"{a}\" -- \"{b}\"")));
+        }
+    }
+
+    #[test]
+    fn neighbors_reflect_edges() {
+        let t = Topology::star(4);
+        assert_eq!(t.neighbors(b(1)).len(), 3);
+        assert_eq!(t.neighbors(b(2)).len(), 1);
+        assert_eq!(t.edges().len(), 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Behavioural contrasts of the three covering modes (off / lazy /
+//! active): quenching, retraction, and release behaviour — the
+//! DESIGN.md covering-mode ablation at the unit level.
+
+use transmob_broker::{BrokerConfig, CoveringMode, MsgKind, PubSubMsg, SyncNet, Topology};
+use transmob_pubsub::{
+    AdvId, Advertisement, BrokerId, ClientId, Filter, PubId, Publication, PublicationMsg, SubId,
+    Subscription,
+};
+
+fn b(i: u32) -> BrokerId {
+    BrokerId(i)
+}
+fn c(i: u64) -> ClientId {
+    ClientId(i)
+}
+fn range(lo: i64, hi: i64) -> Filter {
+    Filter::builder().ge("x", lo).le("x", hi).build()
+}
+
+fn net_with(mode: CoveringMode) -> SyncNet {
+    let mut net = SyncNet::new(
+        Topology::chain(4),
+        BrokerConfig {
+            sub_covering: mode,
+            adv_covering: CoveringMode::Off,
+            conservative_release: true,
+        },
+    );
+    net.client_send(
+        b(1),
+        c(1),
+        PubSubMsg::Advertise(Advertisement::new(AdvId::new(c(1), 0), range(0, 1000))),
+    );
+    net
+}
+
+fn sub(client: u64, lo: i64, hi: i64) -> Subscription {
+    Subscription::new(SubId::new(c(client), 0), range(lo, hi))
+}
+
+#[test]
+fn lazy_quenches_but_never_retracts() {
+    let mut net = net_with(CoveringMode::Lazy);
+    // Narrow first: propagates all the way.
+    net.client_send(b(4), c(2), PubSubMsg::Subscribe(sub(2, 10, 20)));
+    assert!(net.broker(b(1)).prt().get(SubId::new(c(2), 0)).is_some());
+    net.reset_traffic();
+    // Covering sub second: lazy mode forwards it but does NOT retract
+    // the narrow one.
+    net.client_send(b(4), c(3), PubSubMsg::Subscribe(sub(3, 0, 1000)));
+    assert_eq!(net.traffic().get(&MsgKind::Unsubscribe), None);
+    assert!(net.broker(b(1)).prt().get(SubId::new(c(2), 0)).is_some());
+    assert!(net.broker(b(1)).prt().get(SubId::new(c(3), 0)).is_some());
+    // A third, covered sub arriving after is quenched.
+    net.reset_traffic();
+    net.client_send(b(4), c(4), PubSubMsg::Subscribe(sub(4, 30, 40)));
+    assert_eq!(net.traffic()[&MsgKind::Subscribe], 1); // injection only
+    assert!(net.broker(b(3)).prt().get(SubId::new(c(4), 0)).is_none());
+}
+
+#[test]
+fn active_retracts_where_lazy_does_not() {
+    let mut net = net_with(CoveringMode::Active);
+    net.client_send(b(4), c(2), PubSubMsg::Subscribe(sub(2, 10, 20)));
+    net.reset_traffic();
+    net.client_send(b(4), c(3), PubSubMsg::Subscribe(sub(3, 0, 1000)));
+    assert!(net.traffic()[&MsgKind::Unsubscribe] >= 3, "no retraction");
+    assert!(net.broker(b(1)).prt().get(SubId::new(c(2), 0)).is_none());
+}
+
+#[test]
+fn all_modes_deliver_identically() {
+    for mode in [CoveringMode::Off, CoveringMode::Lazy, CoveringMode::Active] {
+        let mut net = net_with(mode);
+        net.client_send(b(4), c(2), PubSubMsg::Subscribe(sub(2, 10, 20)));
+        net.client_send(b(4), c(3), PubSubMsg::Subscribe(sub(3, 0, 1000)));
+        net.client_send(b(4), c(4), PubSubMsg::Subscribe(sub(4, 30, 40)));
+        net.client_send(
+            b(1),
+            c(1),
+            PubSubMsg::Publish(PublicationMsg::new(
+                PubId(1),
+                c(1),
+                Publication::new().with("x", 15),
+            )),
+        );
+        let mut clients: Vec<u64> =
+            net.take_deliveries().iter().map(|d| d.client.0).collect();
+        clients.sort_unstable();
+        assert_eq!(clients, vec![2, 3], "mode {mode:?} diverged");
+    }
+}
+
+#[test]
+fn lazy_release_still_recovers_quenched_subs() {
+    // Even without retraction, unsubscribing the quencher must release
+    // what it quenched (correctness, not optimization).
+    let mut net = net_with(CoveringMode::Lazy);
+    let root = sub(3, 0, 1000);
+    net.client_send(b(4), c(3), PubSubMsg::Subscribe(root.clone()));
+    net.client_send(b(4), c(2), PubSubMsg::Subscribe(sub(2, 10, 20))); // quenched
+    assert!(net.broker(b(3)).prt().get(SubId::new(c(2), 0)).is_none());
+    net.client_send(b(4), c(3), PubSubMsg::Unsubscribe(root.id));
+    // Released: the narrow sub now propagates.
+    assert!(net.broker(b(1)).prt().get(SubId::new(c(2), 0)).is_some());
+    net.client_send(
+        b(1),
+        c(1),
+        PubSubMsg::Publish(PublicationMsg::new(
+            PubId(2),
+            c(1),
+            Publication::new().with("x", 15),
+        )),
+    );
+    let d = net.take_deliveries();
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].client, c(2));
+}
+
+#[test]
+fn adv_covering_independent_of_sub_covering() {
+    // Advertisement covering runs on its own mode switch.
+    let mut net = SyncNet::new(
+        Topology::chain(3),
+        BrokerConfig {
+            sub_covering: CoveringMode::Off,
+            adv_covering: CoveringMode::Lazy,
+            conservative_release: true,
+        },
+    );
+    net.client_send(
+        b(1),
+        c(1),
+        PubSubMsg::Advertise(Advertisement::new(AdvId::new(c(1), 0), range(0, 1000))),
+    );
+    net.reset_traffic();
+    // Covered adv is quenched (lazy), but nothing is retracted.
+    net.client_send(
+        b(1),
+        c(2),
+        PubSubMsg::Advertise(Advertisement::new(AdvId::new(c(2), 0), range(10, 20))),
+    );
+    assert_eq!(net.traffic()[&MsgKind::Advertise], 1); // injection only
+    assert_eq!(net.traffic().get(&MsgKind::Unadvertise), None);
+    assert_eq!(net.broker(b(3)).srt().len(), 1);
+}

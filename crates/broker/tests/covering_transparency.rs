@@ -1,0 +1,215 @@
+//! Property-based *covering transparency*: the covering optimization
+//! (quench + active retraction + conservative release) must never
+//! change **who receives what** — only how many control messages flow.
+//!
+//! For random interleavings of subscribe/unsubscribe operations from
+//! clients scattered over the overlay, a covering-enabled network and
+//! a covering-free network must deliver every probe publication to
+//! exactly the same set of clients. This is the end-to-end correctness
+//! oracle for the whole covering machinery, including the paper's
+//! pathological release cascades.
+//!
+//! Also here: the Sec. 3.5 fault-tolerance sketch — broker algorithmic
+//! state is serializable, and a deserialized broker behaves
+//! identically (crash-recovery from persisted state).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use transmob_broker::{BrokerConfig, BrokerCore, Hop, PubSubMsg, SyncNet, Topology};
+use transmob_pubsub::{
+    AdvId, Advertisement, BrokerId, ClientId, Filter, PubId, Publication, PublicationMsg, SubId,
+    Subscription,
+};
+
+/// A randomized subscribe-or-unsubscribe step: `client` toggles its
+/// subscription to the given covered-workload-style range.
+#[derive(Debug, Clone)]
+struct Step {
+    client: u8,
+    group: u8,
+    shift: u8,
+}
+
+fn group_filter(group: u8, shift: u8) -> Filter {
+    // A covered-workload-like structure: group 0 is the root covering
+    // the nine leaf groups; shifts make instances incomparable.
+    let s = i64::from(shift);
+    if group == 0 {
+        Filter::builder().ge("x", s).le("x", 10_000 + s).build()
+    } else {
+        let lo = i64::from(group) * 1000;
+        Filter::builder().ge("x", lo + s).le("x", lo + 500 + s).build()
+    }
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (0u8..12, 0u8..10, 0u8..100).prop_map(|(client, group, shift)| Step {
+            client,
+            group,
+            shift,
+        }),
+        1..25,
+    )
+}
+
+/// Applies the toggle sequence to a network, returning it quiescent.
+fn build_net(config: BrokerConfig, steps: &[Step]) -> SyncNet {
+    let mut net = SyncNet::new(Topology::chain(5), config);
+    // Full-space advertiser at B1.
+    net.client_send(
+        BrokerId(1),
+        ClientId(1),
+        PubSubMsg::Advertise(Advertisement::new(
+            AdvId::new(ClientId(1), 0),
+            Filter::builder().ge("x", 0).le("x", 20_000).build(),
+        )),
+    );
+    // Track each client's active subscription (clients toggle).
+    let mut active: Vec<Option<Subscription>> = vec![None; 12];
+    for (i, step) in steps.iter().enumerate() {
+        let cid = ClientId(100 + u64::from(step.client));
+        let broker = BrokerId(1 + u32::from(step.client) % 5);
+        match active[step.client as usize].take() {
+            Some(sub) => {
+                net.client_send(broker, cid, PubSubMsg::Unsubscribe(sub.id));
+            }
+            None => {
+                let sub = Subscription::new(
+                    SubId::new(cid, i as u32),
+                    group_filter(step.group, step.shift),
+                );
+                net.client_send(broker, cid, PubSubMsg::Subscribe(sub.clone()));
+                active[step.client as usize] = Some(sub);
+            }
+        }
+    }
+    net
+}
+
+/// Who receives a probe publication with value `x`, published at B1.
+fn delivery_set(net: &mut SyncNet, x: i64, probe_id: u64) -> BTreeSet<ClientId> {
+    net.take_deliveries();
+    net.client_send(
+        BrokerId(1),
+        ClientId(1),
+        PubSubMsg::Publish(PublicationMsg::new(
+            PubId(probe_id),
+            ClientId(1),
+            Publication::new().with("x", x),
+        )),
+    );
+    net.take_deliveries().iter().map(|d| d.client).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Covering (active + conservative release) is delivery-transparent.
+    #[test]
+    fn covering_never_changes_delivery_sets(steps in arb_steps()) {
+        let mut plain = build_net(BrokerConfig::plain(), &steps);
+        let mut covering = build_net(BrokerConfig::covering(), &steps);
+        let mut precise = build_net(BrokerConfig::covering_precise_release(), &steps);
+        for (k, x) in [55i64, 555, 1555, 5555, 9999, 10_500].iter().enumerate() {
+            let a = delivery_set(&mut plain, *x, 1000 + k as u64);
+            let b = delivery_set(&mut covering, *x, 1000 + k as u64);
+            let c = delivery_set(&mut precise, *x, 1000 + k as u64);
+            prop_assert_eq!(&a, &b, "conservative covering diverged for x={}", x);
+            prop_assert_eq!(&a, &c, "precise covering diverged for x={}", x);
+        }
+    }
+
+    /// Covering saves (or at least never increases by much) the
+    /// steady-state routing entries relative to plain routing.
+    #[test]
+    fn covering_reduces_forwarded_state(steps in arb_steps()) {
+        let plain = build_net(BrokerConfig::plain(), &steps);
+        let covering = build_net(BrokerConfig::covering(), &steps);
+        let forwarded = |net: &SyncNet| -> usize {
+            net.brokers()
+                .map(|(_, b)| {
+                    b.prt().iter().map(|(_, e)| e.sent_to.len()).sum::<usize>()
+                })
+                .sum()
+        };
+        prop_assert!(
+            forwarded(&covering) <= forwarded(&plain),
+            "covering forwarded more subscription state than plain routing"
+        );
+    }
+
+    /// Persisted-state recovery (Sec. 3.5): serializing a broker's
+    /// algorithmic state and restoring it yields identical routing
+    /// behaviour.
+    #[test]
+    fn broker_state_survives_persistence(steps in arb_steps()) {
+        let net = build_net(BrokerConfig::covering(), &steps);
+        for (id, broker) in net.brokers() {
+            let json = serde_json::to_string(broker).expect("serialize broker");
+            let restored: BrokerCore = serde_json::from_str(&json).expect("restore broker");
+            prop_assert_eq!(broker.srt(), restored.srt(), "SRT diverged at {}", id);
+            prop_assert_eq!(broker.prt(), restored.prt(), "PRT diverged at {}", id);
+            // The restored broker routes a probe identically.
+            let probe = PublicationMsg::new(
+                PubId(999),
+                ClientId(1),
+                Publication::new().with("x", 555),
+            );
+            let mut a = broker.clone();
+            let mut b = restored;
+            let out_a = a.handle(Hop::Broker(BrokerId(99)), PubSubMsg::Publish(probe.clone()));
+            let out_b = b.handle(Hop::Broker(BrokerId(99)), PubSubMsg::Publish(probe));
+            prop_assert_eq!(out_a, out_b);
+        }
+    }
+}
+
+#[test]
+fn quench_release_round_trip_preserves_delivery() {
+    // Deterministic witness of the cascade correctness: root quenches
+    // leaves, root leaves, leaves released, root returns, leaves
+    // retracted — deliveries identical at every stage.
+    let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::covering());
+    net.client_send(
+        BrokerId(1),
+        ClientId(1),
+        PubSubMsg::Advertise(Advertisement::new(
+            AdvId::new(ClientId(1), 0),
+            Filter::builder().ge("x", 0).le("x", 20_000).build(),
+        )),
+    );
+    let leafs: Vec<Subscription> = (1..=3u64)
+        .map(|i| {
+            Subscription::new(
+                SubId::new(ClientId(10 + i), 0),
+                group_filter(i as u8, i as u8),
+            )
+        })
+        .collect();
+    for (i, s) in leafs.iter().enumerate() {
+        net.client_send(BrokerId(4), ClientId(11 + i as u64), PubSubMsg::Subscribe(s.clone()));
+    }
+    let root = Subscription::new(SubId::new(ClientId(50), 0), group_filter(0, 7));
+    let probe = |net: &mut SyncNet, id: u64| -> usize {
+        net.take_deliveries();
+        net.client_send(
+            BrokerId(1),
+            ClientId(1),
+            PubSubMsg::Publish(PublicationMsg::new(
+                PubId(id),
+                ClientId(1),
+                Publication::new().with("x", 1100),
+            )),
+        );
+        net.take_deliveries().len()
+    };
+    let baseline = probe(&mut net, 1);
+    // Root arrives (retracts leaf forwards), leaves still served.
+    net.client_send(BrokerId(4), ClientId(50), PubSubMsg::Subscribe(root.clone()));
+    assert_eq!(probe(&mut net, 2), baseline + 1); // root also matches
+    // Root departs (conservative release re-forwards the leaves).
+    net.client_send(BrokerId(4), ClientId(50), PubSubMsg::Unsubscribe(root.id));
+    assert_eq!(probe(&mut net, 3), baseline);
+}

@@ -1,0 +1,369 @@
+//! A zero-latency deterministic network of [`MobileBroker`]s.
+//!
+//! Like `transmob_broker::SyncNet` but for the full mobile stack:
+//! messages (routing *and* movement control) are processed from one
+//! global FIFO queue, every message transitively caused by a movement
+//! transaction is attributed to it (the paper's per-movement message
+//! metric), and protocol timers are collected but never fire — tests
+//! fire them explicitly to inject timeouts.
+//!
+//! The timing-faithful driver with queueing delays — the one the
+//! figures are produced with — is `transmob-sim`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use transmob_broker::{Hop, MsgKind, Topology};
+use transmob_pubsub::{BrokerId, ClientId, MoveId, PublicationMsg};
+
+use crate::messages::{ClientOp, Message, Output, TimerToken};
+use crate::mobile_broker::{MobileBroker, MobileBrokerConfig};
+
+/// An observable event produced while draining the network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetEvent {
+    /// A notification surfaced to a client's application layer.
+    Delivered {
+        /// Broker hosting the client.
+        broker: BrokerId,
+        /// The client.
+        client: ClientId,
+        /// The notification.
+        publication: PublicationMsg,
+    },
+    /// A movement finished (source-side view).
+    MoveFinished {
+        /// Movement id.
+        m: MoveId,
+        /// The client.
+        client: ClientId,
+        /// Whether it committed.
+        committed: bool,
+    },
+    /// The moving client started at its target broker.
+    ClientArrived {
+        /// Movement id.
+        m: MoveId,
+        /// The client.
+        client: ClientId,
+        /// The target broker.
+        broker: BrokerId,
+    },
+}
+
+/// A protocol timer armed by some broker (never fired automatically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmedTimer {
+    /// Broker that armed it.
+    pub broker: BrokerId,
+    /// The token.
+    pub token: TimerToken,
+    /// Requested delay (informational in this driver).
+    pub delay_ns: u64,
+}
+
+/// Zero-latency deterministic driver for a network of mobile brokers.
+///
+/// `Clone` produces an independent copy of the whole network state
+/// (used by benchmarks to re-run an operation from a fixed snapshot).
+#[derive(Debug, Clone)]
+pub struct InstantNet {
+    topology: Arc<Topology>,
+    brokers: BTreeMap<BrokerId, MobileBroker>,
+    queue: VecDeque<(BrokerId, Hop, Message, Option<MoveId>)>,
+    events: Vec<NetEvent>,
+    timers: Vec<ArmedTimer>,
+    traffic: BTreeMap<MsgKind, u64>,
+    per_move: BTreeMap<MoveId, u64>,
+}
+
+impl InstantNet {
+    /// Builds a network over `topology`, all brokers sharing `config`.
+    pub fn new(topology: Topology, config: MobileBrokerConfig) -> Self {
+        let topology = Arc::new(topology);
+        let brokers = topology
+            .brokers()
+            .map(|b| (b, MobileBroker::new(b, Arc::clone(&topology), config.clone())))
+            .collect();
+        InstantNet {
+            topology,
+            brokers,
+            queue: VecDeque::new(),
+            events: Vec::new(),
+            timers: Vec::new(),
+            traffic: BTreeMap::new(),
+            per_move: BTreeMap::new(),
+        }
+    }
+
+    /// The overlay topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Immutable access to a broker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn broker(&self, id: BrokerId) -> &MobileBroker {
+        &self.brokers[&id]
+    }
+
+    /// Mutable access to a broker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn broker_mut(&mut self, id: BrokerId) -> &mut MobileBroker {
+        self.brokers.get_mut(&id).expect("unknown broker")
+    }
+
+    /// The broker currently hosting `client`, if any.
+    pub fn find_client(&self, client: ClientId) -> Option<BrokerId> {
+        self.brokers
+            .iter()
+            .find(|(_, b)| b.client(client).is_some())
+            .map(|(id, _)| *id)
+    }
+
+    /// Creates a fresh running client at `broker`.
+    pub fn create_client(&mut self, broker: BrokerId, client: ClientId) {
+        self.broker_mut(broker).create_client(client);
+    }
+
+    /// Replaces a broker wholesale (crash-recovery testing: swap in a
+    /// broker restored from a persisted snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement's id differs from `id` or is unknown.
+    pub fn replace_broker(&mut self, id: BrokerId, broker: MobileBroker) {
+        assert_eq!(broker.id(), id, "replacement broker id mismatch");
+        assert!(self.brokers.contains_key(&id), "unknown broker {id}");
+        self.brokers.insert(id, broker);
+    }
+
+    /// A clone of the shared topology handle (for restoring snapshots
+    /// against the same overlay).
+    pub fn topology_handle(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology)
+    }
+
+    /// Issues an application command at the client's current broker and
+    /// runs the network to quiescence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client is not hosted anywhere.
+    pub fn client_op(&mut self, client: ClientId, op: ClientOp) {
+        let broker = self.find_client(client).expect("client not hosted");
+        let outs = self.broker_mut(broker).client_op(client, op);
+        self.dispatch(broker, None, outs);
+        self.run();
+    }
+
+    /// Issues an application command *without* draining the network:
+    /// the produced messages stay queued. Combined with
+    /// [`InstantNet::step_n`] and [`InstantNet::fire_timer`], this lets
+    /// tests inject failures mid-protocol (e.g. fire the negotiate
+    /// timeout while the negotiate message is still in flight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client is not hosted anywhere.
+    pub fn client_op_deferred(&mut self, client: ClientId, op: ClientOp) {
+        let broker = self.find_client(client).expect("client not hosted");
+        let outs = self.broker_mut(broker).client_op(client, op);
+        self.dispatch(broker, None, outs);
+    }
+
+    /// Processes at most `n` queued messages (partial execution for
+    /// mid-protocol failure injection). Returns how many were
+    /// processed.
+    pub fn step_n(&mut self, n: usize) -> usize {
+        let mut done = 0;
+        while done < n {
+            let Some((dst, from, msg, cause)) = self.queue.pop_front() else {
+                break;
+            };
+            self.process_one(dst, from, msg, cause);
+            done += 1;
+        }
+        done
+    }
+
+    /// Number of messages currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drops every queued message (crash-style failure injection);
+    /// returns how many were discarded.
+    pub fn drain_queue(&mut self) -> usize {
+        let n = self.queue.len();
+        self.queue.clear();
+        n
+    }
+
+    /// Fires an armed timer (failure injection), then runs to
+    /// quiescence. Returns `true` if such a timer was pending.
+    pub fn fire_timer(&mut self, broker: BrokerId, token: TimerToken) -> bool {
+        let Some(pos) = self
+            .timers
+            .iter()
+            .position(|t| t.broker == broker && t.token == token)
+        else {
+            return false;
+        };
+        self.timers.remove(pos);
+        let outs = self.broker_mut(broker).handle_timer(token);
+        self.dispatch(broker, Some(token.m), outs);
+        self.run();
+        true
+    }
+
+    /// The timers currently armed.
+    pub fn armed_timers(&self) -> &[ArmedTimer] {
+        &self.timers
+    }
+
+    /// Drains the queue until quiescent.
+    pub fn run(&mut self) {
+        while let Some((dst, from, msg, cause)) = self.queue.pop_front() {
+            self.process_one(dst, from, msg, cause);
+        }
+    }
+
+    fn process_one(&mut self, dst: BrokerId, from: Hop, msg: Message, cause: Option<MoveId>) {
+        *self.traffic.entry(msg.kind()).or_insert(0) += 1;
+        // Movement messages attribute to their own transaction;
+        // everything else inherits the cause of the message that
+        // produced it.
+        let cause = match &msg {
+            Message::Move(mv) => Some(mv.move_id()),
+            Message::PubSub(_) => cause,
+        };
+        if let Some(m) = cause {
+            *self.per_move.entry(m).or_insert(0) += 1;
+        }
+        let outs = self
+            .brokers
+            .get_mut(&dst)
+            .expect("unknown broker")
+            .handle(from, msg);
+        self.dispatch(dst, cause, outs);
+    }
+
+    fn dispatch(&mut self, src: BrokerId, cause: Option<MoveId>, outs: Vec<Output>) {
+        for o in outs {
+            match o {
+                Output::Send { to, msg } => {
+                    self.queue.push_back((to, Hop::Broker(src), msg, cause));
+                }
+                Output::DeliverToApp {
+                    client,
+                    publication,
+                } => self.events.push(NetEvent::Delivered {
+                    broker: src,
+                    client,
+                    publication,
+                }),
+                Output::SetTimer { token, delay_ns } => self.timers.push(ArmedTimer {
+                    broker: src,
+                    token,
+                    delay_ns,
+                }),
+                Output::CancelTimer { token } => {
+                    self.timers.retain(|t| !(t.broker == src && t.token == token));
+                }
+                Output::MoveFinished {
+                    m,
+                    client,
+                    committed,
+                } => self.events.push(NetEvent::MoveFinished {
+                    m,
+                    client,
+                    committed,
+                }),
+                Output::ClientArrived { m, client } => self.events.push(NetEvent::ClientArrived {
+                    m,
+                    client,
+                    broker: src,
+                }),
+            }
+        }
+    }
+
+    /// Removes and returns the recorded events.
+    pub fn take_events(&mut self) -> Vec<NetEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The recorded events (without clearing).
+    pub fn events(&self) -> &[NetEvent] {
+        &self.events
+    }
+
+    /// Notifications surfaced to `client`, in order, across all
+    /// recorded events.
+    pub fn deliveries_to(&self, client: ClientId) -> Vec<PublicationMsg> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                NetEvent::Delivered {
+                    client: c,
+                    publication,
+                    ..
+                } if *c == client => Some(publication.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The set of clients that received at least one notification in
+    /// the currently recorded events.
+    pub fn deliveries_to_all(&self) -> std::collections::BTreeSet<ClientId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                NetEvent::Delivered { client, .. } => Some(*client),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total messages transmitted, by kind.
+    pub fn traffic(&self) -> &BTreeMap<MsgKind, u64> {
+        &self.traffic
+    }
+
+    /// Messages attributed (transitively) to movement `m`.
+    pub fn traffic_for_move(&self, m: MoveId) -> u64 {
+        self.per_move.get(&m).copied().unwrap_or(0)
+    }
+
+    /// Per-movement message counts.
+    pub fn per_move_traffic(&self) -> &BTreeMap<MoveId, u64> {
+        &self.per_move
+    }
+
+    /// Resets traffic counters (after setup, before measurement).
+    pub fn reset_traffic(&mut self) {
+        self.traffic.clear();
+        self.per_move.clear();
+    }
+
+    /// Sum of anomaly counters across brokers (healthy runs: 0).
+    pub fn total_anomalies(&self) -> u64 {
+        self.brokers
+            .values()
+            .map(|b| b.anomalies() + b.core().stats().anomalies)
+            .sum()
+    }
+
+    /// Iterates the brokers.
+    pub fn brokers(&self) -> impl Iterator<Item = (&BrokerId, &MobileBroker)> {
+        self.brokers.iter()
+    }
+}

@@ -1,0 +1,1407 @@
+//! The mobile container: a broker plus movement coordinator.
+//!
+//! [`MobileBroker`] wraps a [`BrokerCore`] with the paper's *mobile
+//! container* (Sec. 4.1): it hosts client stubs, runs the movement
+//! coordinator state machines of Fig. 4, and implements both movement
+//! protocols:
+//!
+//! - **Reconfiguration protocol** (the paper's contribution, Sec. 4.2
+//!   and 4.4). The conversation of Fig. 3: `negotiate` →
+//!   `approve`/`reject` → `state` → `ack`, where the approval doubles
+//!   as the hop-by-hop *reconfiguration message* that installs shadow
+//!   routing configurations along `RouteS2T`, and the state transfer
+//!   doubles as the hop-by-hop *commit pass* that deletes the old
+//!   configuration. An `AbortMove` pass rolls everything back.
+//!
+//! - **Covering protocol** (the traditional end-to-end baseline,
+//!   Sec. 2). The source unadvertises/unsubscribes the client's whole
+//!   profile (letting the covering optimization quench or cascade as it
+//!   may), transfers the profile and execution state to the target,
+//!   which reissues everything.
+//!
+//! Like [`BrokerCore`], a `MobileBroker` is a pure state machine: one
+//! input (message, timer, or client command) maps to a list of
+//! [`Output`] effects; the simulator and the threaded runtime interpret
+//! them.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use transmob_broker::{
+    BrokerConfig, BrokerCore, BrokerOutput, Hop, PubSubMsg, Topology,
+};
+use transmob_pubsub::{BrokerId, ClientId, MoveId, PublicationMsg, SubId};
+
+use crate::client_stub::{DeliverOutcome, HostedClient};
+use crate::messages::{
+    ClientOp, ClientProfile, ClientSnapshot, Message, MoveMsg, Output, ProtocolKind, TimerKind,
+    TimerToken,
+};
+use crate::states::{ClientState, SourceCoordState, TargetCoordState};
+
+/// Configuration of a [`MobileBroker`].
+#[derive(Debug, Clone)]
+pub struct MobileBrokerConfig {
+    /// Routing-layer configuration (covering modes).
+    pub broker: BrokerConfig,
+    /// Whether this broker accepts incoming clients (the paper allows
+    /// a target to reject a moving client, e.g. when overloaded).
+    pub accept_moves: bool,
+    /// Source-side timeout waiting for `approve`/`reject`
+    /// (non-blocking 3PC under bounded delay). `None` = blocking
+    /// variant.
+    pub negotiate_timeout_ns: Option<u64>,
+    /// Target-side timeout waiting for `state`. `None` = blocking
+    /// variant. Must exceed the network's delay bound; see DESIGN.md.
+    pub state_timeout_ns: Option<u64>,
+    /// Covering-protocol ablation: reissue at the target *before*
+    /// retracting at the source (make-before-break), trading duplicate
+    /// suppression work for no message loss.
+    pub make_before_break: bool,
+}
+
+impl Default for MobileBrokerConfig {
+    fn default() -> Self {
+        MobileBrokerConfig {
+            broker: BrokerConfig::plain(),
+            accept_moves: true,
+            negotiate_timeout_ns: None,
+            state_timeout_ns: None,
+            make_before_break: false,
+        }
+    }
+}
+
+impl MobileBrokerConfig {
+    /// Plain routing, reconfiguration-protocol deployment.
+    pub fn reconfig() -> Self {
+        MobileBrokerConfig::default()
+    }
+
+    /// Active covering, covering-protocol deployment.
+    pub fn covering() -> Self {
+        MobileBrokerConfig {
+            broker: BrokerConfig::covering(),
+            ..MobileBrokerConfig::default()
+        }
+    }
+}
+
+/// Source-side bookkeeping for one movement transaction
+/// (serializable for [`crate::persistence`]; opaque otherwise).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceMoveRecord {
+    client: ClientId,
+    target: BrokerId,
+    state: SourceCoordState,
+    #[allow(dead_code)] // kept for diagnostics in Debug output
+    protocol: ProtocolKind,
+    /// Reconfiguration fix-ups performed here (for rollback).
+    fixups: Vec<(SubId, BrokerId)>,
+}
+
+/// Target-side bookkeeping for one movement transaction
+/// (serializable for [`crate::persistence`]; opaque otherwise).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetMoveRecord {
+    client: ClientId,
+    source: BrokerId,
+    state: TargetCoordState,
+    #[allow(dead_code)]
+    protocol: ProtocolKind,
+}
+
+/// Bookkeeping at an intermediate broker on the reconfiguration path
+/// (serializable for [`crate::persistence`]; opaque otherwise).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathMoveRecord {
+    fixups: Vec<(SubId, BrokerId)>,
+}
+
+// Internal aliases (the protocol code predates the public names).
+type SourceMove = SourceMoveRecord;
+type TargetMove = TargetMoveRecord;
+type PathMove = PathMoveRecord;
+
+/// A broker with its mobile container (coordinator + hosted clients).
+///
+/// See the module docs for the protocol walk-throughs.
+#[derive(Debug, Clone)]
+pub struct MobileBroker {
+    core: BrokerCore,
+    topology: Arc<Topology>,
+    config: MobileBrokerConfig,
+    clients: BTreeMap<ClientId, HostedClient>,
+    src_moves: BTreeMap<MoveId, SourceMove>,
+    tgt_moves: BTreeMap<MoveId, TargetMove>,
+    path_moves: BTreeMap<MoveId, PathMove>,
+    next_move_seq: u32,
+    anomalies: u64,
+}
+
+impl MobileBroker {
+    /// Creates a mobile broker for overlay node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in `topology`.
+    pub fn new(id: BrokerId, topology: Arc<Topology>, config: MobileBrokerConfig) -> Self {
+        assert!(topology.contains(id), "broker {id} not in topology");
+        let neighbors = topology.neighbors(id).iter().copied();
+        MobileBroker {
+            core: BrokerCore::new(id, neighbors, config.broker),
+            topology,
+            config,
+            clients: BTreeMap::new(),
+            src_moves: BTreeMap::new(),
+            tgt_moves: BTreeMap::new(),
+            path_moves: BTreeMap::new(),
+            next_move_seq: 0,
+            anomalies: 0,
+        }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.core.id()
+    }
+
+    /// The wrapped routing core (tests and property checkers).
+    pub fn core(&self) -> &BrokerCore {
+        &self.core
+    }
+
+    /// A hosted client stub, if present.
+    pub fn client(&self, id: ClientId) -> Option<&HostedClient> {
+        self.clients.get(&id)
+    }
+
+    /// Mutable access to a hosted client stub (driver use: draining the
+    /// application inbox).
+    pub fn client_mut(&mut self, id: ClientId) -> Option<&mut HostedClient> {
+        self.clients.get_mut(&id)
+    }
+
+    /// Iterates the hosted clients.
+    pub fn clients(&self) -> impl Iterator<Item = (&ClientId, &HostedClient)> {
+        self.clients.iter()
+    }
+
+    /// Count of tolerated protocol anomalies (tests assert zero on
+    /// healthy runs).
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
+
+    /// Creates (attaches and starts) a fresh client at this broker.
+    pub fn create_client(&mut self, id: ClientId) {
+        self.clients.insert(id, HostedClient::started(id));
+        self.core.attach_client(id);
+    }
+
+    /// Sets whether this broker accepts incoming clients (the paper's
+    /// target-side admission decision — e.g. an overloaded broker
+    /// rejects movers). Used by tests and experiments to exercise the
+    /// reject path.
+    pub fn set_accept_moves(&mut self, accept: bool) {
+        self.config.accept_moves = accept;
+    }
+
+    /// Movement bookkeeping snapshot (persistence support).
+    pub(crate) fn moves_snapshot(&self) -> crate::persistence::MovesSnapshot {
+        crate::persistence::MovesSnapshot {
+            src: self.src_moves.iter().map(|(m, r)| (*m, r.clone())).collect(),
+            tgt: self.tgt_moves.iter().map(|(m, r)| (*m, r.clone())).collect(),
+            path: self
+                .path_moves
+                .iter()
+                .map(|(m, r)| (*m, r.clone()))
+                .collect(),
+        }
+    }
+
+    /// Movement-id counter (persistence support).
+    pub(crate) fn next_move_seq_value(&self) -> u32 {
+        self.next_move_seq
+    }
+
+    /// Reconstructs a broker from persisted parts (persistence
+    /// support; see [`crate::persistence::BrokerSnapshot`]).
+    pub(crate) fn from_parts(
+        core: BrokerCore,
+        topology: Arc<Topology>,
+        config: MobileBrokerConfig,
+        clients: BTreeMap<ClientId, HostedClient>,
+        moves: crate::persistence::MovesSnapshot,
+        next_move_seq: u32,
+    ) -> Self {
+        MobileBroker {
+            core,
+            topology,
+            config,
+            clients,
+            src_moves: moves.src.into_iter().collect(),
+            tgt_moves: moves.tgt.into_iter().collect(),
+            path_moves: moves.path.into_iter().collect(),
+            next_move_seq,
+            anomalies: 0,
+        }
+    }
+
+    fn route_next(&self, to: BrokerId) -> BrokerId {
+        self.topology
+            .next_hop(self.id(), to)
+            .expect("destination must be another broker in the topology")
+    }
+
+    /// Converts routing-core effects into driver effects, routing
+    /// client deliveries through the hosted stubs (with buffering and
+    /// exactly-once dedup).
+    fn absorb(&mut self, outputs: Vec<BrokerOutput>) -> Vec<Output> {
+        let mut out = Vec::new();
+        for o in outputs {
+            match o {
+                BrokerOutput::ToBroker(n, msg) => out.push(Output::Send {
+                    to: n,
+                    msg: Message::PubSub(msg),
+                }),
+                BrokerOutput::Deliver(cid, publication) => {
+                    if let Some(stub) = self.clients.get_mut(&cid) {
+                        if stub.deliver(publication.clone()) == DeliverOutcome::Surfaced {
+                            out.push(Output::DeliverToApp {
+                                client: cid,
+                                publication,
+                            });
+                        }
+                    }
+                    // A delivery for a client we no longer host can
+                    // only be a leftover of a committed movement whose
+                    // duplicate the target-side dedup will suppress.
+                }
+            }
+        }
+        out
+    }
+
+    // ================= client commands ================================
+
+    /// Executes (or queues) an application command on a hosted client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client is not hosted here (drivers address
+    /// commands to the client's current broker).
+    pub fn client_op(&mut self, client: ClientId, op: ClientOp) -> Vec<Output> {
+        let stub = self
+            .clients
+            .get_mut(&client)
+            .expect("client not hosted at this broker");
+        if stub.state().queues_commands()
+            || (stub.state() == ClientState::PauseOper
+                && !matches!(op, ClientOp::Resume | ClientOp::MoveTo(..) | ClientOp::Pause))
+        {
+            stub.queue_op(op);
+            return Vec::new();
+        }
+        match op {
+            ClientOp::Subscribe(filter) => {
+                let s = stub.new_subscription(filter);
+                let outs = self.core.handle(Hop::Client(client), PubSubMsg::Subscribe(s));
+                self.absorb(outs)
+            }
+            ClientOp::Unsubscribe(seq) => match stub.remove_subscription(seq) {
+                Some(s) => {
+                    let outs = self
+                        .core
+                        .handle(Hop::Client(client), PubSubMsg::Unsubscribe(s.id));
+                    self.absorb(outs)
+                }
+                None => {
+                    self.anomalies += 1;
+                    Vec::new()
+                }
+            },
+            ClientOp::Advertise(filter) => {
+                let a = stub.new_advertisement(filter);
+                let outs = self.core.handle(Hop::Client(client), PubSubMsg::Advertise(a));
+                self.absorb(outs)
+            }
+            ClientOp::Unadvertise(seq) => match stub.remove_advertisement(seq) {
+                Some(a) => {
+                    let outs = self
+                        .core
+                        .handle(Hop::Client(client), PubSubMsg::Unadvertise(a.id));
+                    self.absorb(outs)
+                }
+                None => {
+                    self.anomalies += 1;
+                    Vec::new()
+                }
+            },
+            ClientOp::Publish(content) => {
+                let p = PublicationMsg::new(stub.next_pub_id(), client, content);
+                let outs = self.core.handle(Hop::Client(client), PubSubMsg::Publish(p));
+                self.absorb(outs)
+            }
+            ClientOp::Pause => {
+                // started | pause_oper → pause_oper (idempotent).
+                stub.set_state(ClientState::PauseOper);
+                Vec::new()
+            }
+            ClientOp::Resume => {
+                if stub.state() == ClientState::PauseOper {
+                    self.resume_client(client)
+                } else {
+                    Vec::new()
+                }
+            }
+            ClientOp::MoveTo(to, protocol) => self.start_move(client, to, protocol),
+        }
+    }
+
+    fn fresh_move_id(&mut self) -> MoveId {
+        let m = MoveId((u64::from(self.id().0) << 32) | u64::from(self.next_move_seq));
+        self.next_move_seq += 1;
+        m
+    }
+
+    fn start_move(&mut self, client: ClientId, to: BrokerId, protocol: ProtocolKind) -> Vec<Output> {
+        if to == self.id() || !self.topology.contains(to) {
+            // Degenerate movement: nothing to do (or unknown target).
+            let m = self.fresh_move_id();
+            return vec![Output::MoveFinished {
+                m,
+                client,
+                committed: to == self.id(),
+            }];
+        }
+        let m = self.fresh_move_id();
+        // unwrap: caller contract of client_op — the stub exists
+        let stub = self.clients.get_mut(&client).unwrap();
+        stub.set_state(ClientState::PauseMove);
+        let profile = stub.profile();
+        self.src_moves.insert(
+            m,
+            SourceMove {
+                client,
+                target: to,
+                state: SourceCoordState::Wait,
+                protocol,
+                fixups: Vec::new(),
+            },
+        );
+        let mut out = Vec::new();
+        let msg = match protocol {
+            ProtocolKind::Reconfig => MoveMsg::Negotiate {
+                m,
+                client,
+                source: self.id(),
+                target: to,
+                profile,
+                protocol,
+            },
+            ProtocolKind::Covering => MoveMsg::CovRequest {
+                m,
+                client,
+                source: self.id(),
+                target: to,
+            },
+        };
+        out.push(Output::Send {
+            to: self.route_next(to),
+            msg: Message::Move(msg),
+        });
+        if let Some(delay_ns) = self.config.negotiate_timeout_ns {
+            out.push(Output::SetTimer {
+                token: TimerToken {
+                    m,
+                    kind: TimerKind::Negotiate,
+                },
+                delay_ns,
+            });
+        }
+        out
+    }
+
+    // ================= message handling ===============================
+
+    /// Handles one incoming message from a neighbouring broker.
+    pub fn handle(&mut self, from: Hop, msg: Message) -> Vec<Output> {
+        match msg {
+            Message::PubSub(p) => {
+                let outs = self.core.handle(from, p);
+                self.absorb(outs)
+            }
+            Message::Move(mv) => self.handle_move(from, mv),
+        }
+    }
+
+    fn forward_move(&self, msg: MoveMsg) -> Vec<Output> {
+        let dest = msg.destination();
+        vec![Output::Send {
+            to: self.route_next(dest),
+            msg: Message::Move(msg),
+        }]
+    }
+
+    fn handle_move(&mut self, from: Hop, msg: MoveMsg) -> Vec<Output> {
+        // Routed messages are only acted on at their destination.
+        if !msg.is_hop_by_hop() && msg.destination() != self.id() {
+            return self.forward_move(msg);
+        }
+        match msg {
+            MoveMsg::Negotiate {
+                m,
+                client,
+                source,
+                target,
+                profile,
+                protocol,
+            } => self.on_negotiate(m, client, source, target, profile, protocol),
+            MoveMsg::Reject { m, .. } => self.on_reject(m),
+            MoveMsg::Reconfigure {
+                m,
+                client,
+                source,
+                target,
+                profile,
+            } => self.on_reconfigure(from, m, client, source, target, profile),
+            MoveMsg::StateTransfer {
+                m,
+                client,
+                source,
+                target,
+                snapshot,
+            } => self.on_state_transfer(m, client, source, target, snapshot),
+            MoveMsg::Ack { m, .. } => self.on_ack(m),
+            MoveMsg::AbortMove {
+                m,
+                client,
+                source,
+                target,
+                toward,
+            } => self.on_abort_move(m, client, source, target, toward),
+            MoveMsg::CovRequest {
+                m,
+                client,
+                source,
+                target,
+            } => self.on_cov_request(m, client, source, target),
+            MoveMsg::CovAccept { m, .. } => self.on_cov_accept(m),
+            MoveMsg::CovTransfer {
+                m,
+                client,
+                source,
+                target,
+                profile,
+                snapshot,
+            } => self.on_cov_transfer(m, client, source, target, profile, snapshot),
+            MoveMsg::CovDone { m, .. } => self.on_cov_done(m),
+        }
+    }
+
+    // ----- reconfiguration protocol, target side ----------------------
+
+    fn on_negotiate(
+        &mut self,
+        m: MoveId,
+        client: ClientId,
+        source: BrokerId,
+        target: BrokerId,
+        profile: ClientProfile,
+        protocol: ProtocolKind,
+    ) -> Vec<Output> {
+        debug_assert_eq!(target, self.id());
+        if !self.config.accept_moves {
+            return self.forward_or_emit_toward(
+                source,
+                MoveMsg::Reject { m, source, target },
+            );
+        }
+        self.tgt_moves.insert(
+            m,
+            TargetMove {
+                client,
+                source,
+                state: TargetCoordState::Prepare,
+                protocol,
+            },
+        );
+        // Create the client copy (state `Created`).
+        let copy = HostedClient::created_from_profile(client, &profile);
+        self.clients.insert(client, copy);
+        self.core.attach_client(client);
+        // Install the shadow routing configuration at the target
+        // itself: the client's entries will point at the local client.
+        let back = self.route_next(source);
+        for s in &profile.subs {
+            self.core
+                .install_pending_sub(s, m, Hop::Client(client), Some(back));
+        }
+        for a in &profile.advs {
+            self.core
+                .install_pending_adv(a, m, Hop::Client(client), Some(back));
+        }
+        let mut out = vec![Output::Send {
+            to: back,
+            msg: Message::Move(MoveMsg::Reconfigure {
+                m,
+                client,
+                source,
+                target,
+                profile,
+            }),
+        }];
+        if let Some(delay_ns) = self.config.state_timeout_ns {
+            out.push(Output::SetTimer {
+                token: TimerToken {
+                    m,
+                    kind: TimerKind::State,
+                },
+                delay_ns,
+            });
+        }
+        out
+    }
+
+    fn forward_or_emit_toward(&self, dest: BrokerId, msg: MoveMsg) -> Vec<Output> {
+        vec![Output::Send {
+            to: self.route_next(dest),
+            msg: Message::Move(msg),
+        }]
+    }
+
+    // ----- reconfiguration message, walked target → source ------------
+
+    fn on_reconfigure(
+        &mut self,
+        from: Hop,
+        m: MoveId,
+        client: ClientId,
+        source: BrokerId,
+        target: BrokerId,
+        profile: ClientProfile,
+    ) -> Vec<Output> {
+        let Hop::Broker(frm) = from else {
+            self.anomalies += 1;
+            return Vec::new();
+        };
+        if self.id() == source {
+            return self.on_reconfigure_at_source(frm, m, client, target, profile);
+        }
+        // Intermediate broker: install shadow configuration pointing at
+        // the target direction, perform the Sec. 4.4 PRT fix-ups, and
+        // walk on toward the source.
+        let back = self.route_next(source);
+        let mut fixups = Vec::new();
+        let mut outs: Vec<BrokerOutput> = Vec::new();
+        for s in &profile.subs {
+            self.core
+                .install_pending_sub(s, m, Hop::Broker(frm), Some(back));
+        }
+        for a in &profile.advs {
+            self.core
+                .install_pending_adv(a, m, Hop::Broker(frm), Some(back));
+            let pulled = self.pull_with_record(a.id, frm, &mut outs);
+            fixups.extend(pulled);
+        }
+        self.path_moves.insert(m, PathMove { fixups });
+        let mut out = self.absorb(outs);
+        out.push(Output::Send {
+            to: back,
+            msg: Message::Move(MoveMsg::Reconfigure {
+                m,
+                client,
+                source,
+                target,
+                profile,
+            }),
+        });
+        out
+    }
+
+    /// Runs the pull rule for advertisement `id` toward `n`, recording
+    /// which subscriptions were newly forwarded (for rollback).
+    fn pull_with_record(
+        &mut self,
+        id: transmob_pubsub::AdvId,
+        n: BrokerId,
+        outs: &mut Vec<BrokerOutput>,
+    ) -> Vec<(SubId, BrokerId)> {
+        let before: Vec<SubId> = self
+            .core
+            .prt()
+            .iter()
+            .filter(|(_, e)| !e.sent_to.contains(&n))
+            .map(|(sid, _)| *sid)
+            .collect();
+        outs.extend(self.core.pull_subs_toward(id, n));
+        before
+            .into_iter()
+            .filter(|sid| {
+                self.core
+                    .prt()
+                    .get(*sid)
+                    .is_some_and(|e| e.sent_to.contains(&n))
+            })
+            .map(|sid| (sid, n))
+            .collect()
+    }
+
+    fn on_reconfigure_at_source(
+        &mut self,
+        frm: BrokerId,
+        m: MoveId,
+        client: ClientId,
+        target: BrokerId,
+        profile: ClientProfile,
+    ) -> Vec<Output> {
+        let source = self.id();
+        match self.src_moves.get(&m).map(|r| r.state) {
+            Some(SourceCoordState::Wait) => {}
+            Some(SourceCoordState::Abort) | None => {
+                // We already gave up on this movement (timeout): undo
+                // the reconfiguration along the path.
+                return self.forward_or_emit_toward(
+                    target,
+                    MoveMsg::AbortMove {
+                        m,
+                        client,
+                        source,
+                        target,
+                        toward: target,
+                    },
+                );
+            }
+            _ => {
+                self.anomalies += 1;
+                return Vec::new();
+            }
+        }
+        // Install the shadow configuration at the source: entries flip
+        // from the local client to the path toward the target.
+        let mut outs: Vec<BrokerOutput> = Vec::new();
+        let mut fixups = Vec::new();
+        for s in &profile.subs {
+            self.core
+                .install_pending_sub(s, m, Hop::Broker(frm), None);
+        }
+        for a in &profile.advs {
+            self.core
+                .install_pending_adv(a, m, Hop::Broker(frm), None);
+            fixups.extend(self.pull_with_record(a.id, frm, &mut outs));
+        }
+        // Coordinator: wait → prepare. Client: pause_move →
+        // prepare_stop, then capture its state.
+        // unwrap: state checked above
+        let rec = self.src_moves.get_mut(&m).unwrap();
+        rec.state = SourceCoordState::Prepare;
+        rec.fixups = fixups;
+        // unwrap: the moving client is hosted here until cleanup
+        let stub = self.clients.get_mut(&client).unwrap();
+        stub.set_state(ClientState::PrepareStop);
+        let snapshot = stub.take_snapshot();
+        // Local hop of the commit pass, then send `state` (message (4))
+        // which commits hop-by-hop on its way to the target.
+        outs.extend(self.core.commit_move(m));
+        let mut out = self.absorb(outs);
+        out.push(Output::CancelTimer {
+            token: TimerToken {
+                m,
+                kind: TimerKind::Negotiate,
+            },
+        });
+        out.push(Output::Send {
+            to: frm,
+            msg: Message::Move(MoveMsg::StateTransfer {
+                m,
+                client,
+                source,
+                target,
+                snapshot,
+            }),
+        });
+        out
+    }
+
+    // ----- commit pass, walked source → target -------------------------
+
+    fn on_state_transfer(
+        &mut self,
+        m: MoveId,
+        client: ClientId,
+        source: BrokerId,
+        target: BrokerId,
+        snapshot: ClientSnapshot,
+    ) -> Vec<Output> {
+        if self.id() != target {
+            // Intermediate broker: commit the shadow configuration and
+            // walk on.
+            let outs = self.core.commit_move(m);
+            self.path_moves.remove(&m);
+            let mut out = self.absorb(outs);
+            out.push(Output::Send {
+                to: self.route_next(target),
+                msg: Message::Move(MoveMsg::StateTransfer {
+                    m,
+                    client,
+                    source,
+                    target,
+                    snapshot,
+                }),
+            });
+            return out;
+        }
+        // Target: commit, start the client, ack.
+        match self.tgt_moves.get(&m).map(|r| r.state) {
+            Some(TargetCoordState::Prepare) => {}
+            _ => {
+                // Late state after a local abort: the client copy is
+                // gone. Undo the commit pass we cannot apply.
+                self.anomalies += 1;
+                return self.forward_or_emit_toward(
+                    source,
+                    MoveMsg::AbortMove {
+                        m,
+                        client,
+                        source,
+                        target,
+                        toward: source,
+                    },
+                );
+            }
+        }
+        let outs = self.core.commit_move(m);
+        let mut out = self.absorb(outs);
+        // unwrap: target-move record in Prepare implies the copy exists
+        let stub = self.clients.get_mut(&client).unwrap();
+        stub.merge_snapshot(snapshot);
+        stub.set_state(ClientState::Started);
+        for p in stub.flush_buffered() {
+            out.push(Output::DeliverToApp {
+                client,
+                publication: p,
+            });
+        }
+        let ops = stub.drain_ops();
+        for op in ops {
+            out.extend(self.client_op(client, op));
+        }
+        // unwrap: record presence checked above
+        self.tgt_moves.get_mut(&m).unwrap().state = TargetCoordState::Commit;
+        out.push(Output::CancelTimer {
+            token: TimerToken {
+                m,
+                kind: TimerKind::State,
+            },
+        });
+        out.push(Output::ClientArrived { m, client });
+        out.extend(self.forward_or_emit_toward(source, MoveMsg::Ack { m, source, target }));
+        out
+    }
+
+    fn on_ack(&mut self, m: MoveId) -> Vec<Output> {
+        let Some(rec) = self.src_moves.remove(&m) else {
+            self.anomalies += 1;
+            return Vec::new();
+        };
+        debug_assert_eq!(rec.state, SourceCoordState::Prepare);
+        let mut out = Vec::new();
+        // Client: prepare_stop → clean; container cleanup. Anything
+        // that reached the source copy *after* the snapshot was taken
+        // (commands issued by a slow application, notifications still
+        // in flight) is flushed to the target in a late transfer; the
+        // target's dedup suppresses what it already has.
+        if let Some(mut stub) = self.clients.remove(&rec.client) {
+            let late = stub.take_snapshot();
+            if !late.buffered.is_empty() || !late.queued_ops.is_empty() {
+                out.extend(self.forward_or_emit_toward(
+                    rec.target,
+                    MoveMsg::CovTransfer {
+                        m,
+                        client: rec.client,
+                        source: self.id(),
+                        target: rec.target,
+                        profile: ClientProfile::default(),
+                        snapshot: late,
+                    },
+                ));
+            }
+            stub.set_state(ClientState::Clean);
+        }
+        self.core.detach_client(rec.client);
+        out.push(Output::MoveFinished {
+            m,
+            client: rec.client,
+            committed: true,
+        });
+        out
+    }
+
+    fn on_reject(&mut self, m: MoveId) -> Vec<Output> {
+        let Some(rec) = self.src_moves.remove(&m) else {
+            self.anomalies += 1;
+            return Vec::new();
+        };
+        let mut out = vec![Output::CancelTimer {
+            token: TimerToken {
+                m,
+                kind: TimerKind::Negotiate,
+            },
+        }];
+        out.extend(self.resume_client(rec.client));
+        out.push(Output::MoveFinished {
+            m,
+            client: rec.client,
+            committed: false,
+        });
+        out
+    }
+
+    /// Resumes a client at the source after an aborted/rejected
+    /// movement: buffered notifications surface, queued commands run.
+    fn resume_client(&mut self, client: ClientId) -> Vec<Output> {
+        let mut out = Vec::new();
+        let Some(stub) = self.clients.get_mut(&client) else {
+            self.anomalies += 1;
+            return out;
+        };
+        stub.set_state(ClientState::Started);
+        for p in stub.flush_buffered() {
+            out.push(Output::DeliverToApp {
+                client,
+                publication: p,
+            });
+        }
+        let ops = stub.drain_ops();
+        for op in ops {
+            out.extend(self.client_op(client, op));
+        }
+        out
+    }
+
+    // ----- abort pass ---------------------------------------------------
+
+    fn on_abort_move(
+        &mut self,
+        m: MoveId,
+        client: ClientId,
+        source: BrokerId,
+        target: BrokerId,
+        toward: BrokerId,
+    ) -> Vec<Output> {
+        // Roll back shadow configurations and any recorded fix-ups.
+        let mut outs: Vec<BrokerOutput> = self.core.abort_move(m);
+        let fixups: Vec<(SubId, BrokerId)> = if let Some(pm) = self.path_moves.remove(&m) {
+            pm.fixups
+        } else if let Some(sm) = self.src_moves.get(&m) {
+            sm.fixups.clone()
+        } else {
+            Vec::new()
+        };
+        for (sid, n) in fixups {
+            outs.extend(self.core.prune_sub_link(sid, n));
+        }
+        let mut out = self.absorb(outs);
+        if self.id() == toward {
+            if toward == source {
+                if let Some(rec) = self.src_moves.remove(&m) {
+                    out.extend(self.resume_client(rec.client));
+                    out.push(Output::CancelTimer {
+                        token: TimerToken {
+                            m,
+                            kind: TimerKind::Negotiate,
+                        },
+                    });
+                    out.push(Output::MoveFinished {
+                        m,
+                        client: rec.client,
+                        committed: false,
+                    });
+                }
+            } else if let Some(rec) = self.tgt_moves.get_mut(&m) {
+                rec.state = TargetCoordState::Abort;
+                // Destroy the client copy.
+                self.clients.remove(&client);
+                self.core.detach_client(client);
+                out.push(Output::CancelTimer {
+                    token: TimerToken {
+                        m,
+                        kind: TimerKind::State,
+                    },
+                });
+            }
+        } else {
+            out.push(Output::Send {
+                to: self.route_next(toward),
+                msg: Message::Move(MoveMsg::AbortMove {
+                    m,
+                    client,
+                    source,
+                    target,
+                    toward,
+                }),
+            });
+        }
+        out
+    }
+
+    // ----- timers --------------------------------------------------------
+
+    /// Handles a fired protocol timer (driver callback).
+    pub fn handle_timer(&mut self, token: TimerToken) -> Vec<Output> {
+        match token.kind {
+            TimerKind::Negotiate => {
+                let m = token.m;
+                let Some(rec) = self.src_moves.get_mut(&m) else {
+                    return Vec::new(); // finished meanwhile
+                };
+                if rec.state != SourceCoordState::Wait {
+                    return Vec::new();
+                }
+                rec.state = SourceCoordState::Abort;
+                let client = rec.client;
+                let target = rec.target;
+                let source = self.id();
+                self.src_moves.remove(&m);
+                let mut out = self.resume_client(client);
+                out.push(Output::MoveFinished {
+                    m,
+                    client,
+                    committed: false,
+                });
+                // Sweep any partially installed reconfiguration.
+                out.extend(self.forward_or_emit_toward(
+                    target,
+                    MoveMsg::AbortMove {
+                        m,
+                        client,
+                        source,
+                        target,
+                        toward: target,
+                    },
+                ));
+                out
+            }
+            TimerKind::State => {
+                let m = token.m;
+                let Some(rec) = self.tgt_moves.get_mut(&m) else {
+                    return Vec::new();
+                };
+                if rec.state != TargetCoordState::Prepare {
+                    return Vec::new();
+                }
+                rec.state = TargetCoordState::Abort;
+                let client = rec.client;
+                let source = rec.source;
+                let target = self.id();
+                // Destroy the copy and sweep the path back to the
+                // source.
+                self.clients.remove(&client);
+                self.core.detach_client(client);
+                let mut outs = self.core.abort_move(m);
+                let mut out = Vec::new();
+                out.append(&mut self.absorb(std::mem::take(&mut outs)));
+                out.extend(self.forward_or_emit_toward(
+                    source,
+                    MoveMsg::AbortMove {
+                        m,
+                        client,
+                        source,
+                        target,
+                        toward: source,
+                    },
+                ));
+                out
+            }
+        }
+    }
+
+    // ----- covering (traditional) protocol -------------------------------
+
+    fn on_cov_request(
+        &mut self,
+        m: MoveId,
+        client: ClientId,
+        source: BrokerId,
+        target: BrokerId,
+    ) -> Vec<Output> {
+        debug_assert_eq!(target, self.id());
+        if !self.config.accept_moves {
+            return self.forward_or_emit_toward(source, MoveMsg::Reject { m, source, target });
+        }
+        self.tgt_moves.insert(
+            m,
+            TargetMove {
+                client,
+                source,
+                state: TargetCoordState::Prepare,
+                protocol: ProtocolKind::Covering,
+            },
+        );
+        let mut out =
+            self.forward_or_emit_toward(source, MoveMsg::CovAccept { m, source, target });
+        if let Some(delay_ns) = self.config.state_timeout_ns {
+            out.push(Output::SetTimer {
+                token: TimerToken {
+                    m,
+                    kind: TimerKind::State,
+                },
+                delay_ns,
+            });
+        }
+        out
+    }
+
+    fn on_cov_accept(&mut self, m: MoveId) -> Vec<Output> {
+        let (client, target) = match self.src_moves.get_mut(&m) {
+            Some(rec) if rec.state == SourceCoordState::Wait => {
+                rec.state = SourceCoordState::Prepare;
+                (rec.client, rec.target)
+            }
+            _ => {
+                self.anomalies += 1;
+                return Vec::new();
+            }
+        };
+        let source = self.id();
+        let mut out = vec![Output::CancelTimer {
+            token: TimerToken {
+                m,
+                kind: TimerKind::Negotiate,
+            },
+        }];
+        // unwrap: the moving client is hosted here until cleanup
+        let stub = self.clients.get_mut(&client).unwrap();
+        stub.set_state(ClientState::PrepareStop);
+        let profile = stub.profile();
+        let snapshot = stub.take_snapshot();
+        if !self.config.make_before_break {
+            // Traditional order: retract everything at the source
+            // first. The covering optimization now quenches or
+            // cascades as the workload dictates.
+            let mut outs: Vec<BrokerOutput> = Vec::new();
+            for s in &profile.subs {
+                outs.extend(self.core.handle(Hop::Client(client), PubSubMsg::Unsubscribe(s.id)));
+            }
+            for a in &profile.advs {
+                outs.extend(self.core.handle(Hop::Client(client), PubSubMsg::Unadvertise(a.id)));
+            }
+            out.extend(self.absorb(outs));
+        }
+        out.extend(self.forward_or_emit_toward(
+            target,
+            MoveMsg::CovTransfer {
+                m,
+                client,
+                source,
+                target,
+                profile,
+                snapshot,
+            },
+        ));
+        out
+    }
+
+    fn on_cov_transfer(
+        &mut self,
+        m: MoveId,
+        client: ClientId,
+        source: BrokerId,
+        target: BrokerId,
+        profile: ClientProfile,
+        snapshot: ClientSnapshot,
+    ) -> Vec<Output> {
+        match self.tgt_moves.get(&m).map(|r| r.state) {
+            Some(TargetCoordState::Prepare) => {}
+            Some(TargetCoordState::Commit) => {
+                // Late flush: the client already runs here; surface the
+                // remaining buffered notifications (dedup applies) and
+                // execute commands that straggled in at the source.
+                let mut out = Vec::new();
+                if self.clients.contains_key(&client) {
+                    for p in snapshot.buffered {
+                        // unwrap: presence checked just above and
+                        // client_op below never removes the stub
+                        let stub = self.clients.get_mut(&client).unwrap();
+                        if stub.deliver(p.clone()) == DeliverOutcome::Surfaced {
+                            out.push(Output::DeliverToApp {
+                                client,
+                                publication: p,
+                            });
+                        }
+                    }
+                    for op in snapshot.queued_ops {
+                        out.extend(self.client_op(client, op));
+                    }
+                }
+                return out;
+            }
+            _ => {
+                self.anomalies += 1;
+                return Vec::new();
+            }
+        }
+        let mut copy = HostedClient::created_from_profile(client, &profile);
+        copy.merge_snapshot(snapshot);
+        self.clients.insert(client, copy);
+        self.core.attach_client(client);
+        // Reissue the profile at the target: normal propagation, with
+        // whatever covering behaviour the broker network is configured
+        // for.
+        let mut outs: Vec<BrokerOutput> = Vec::new();
+        for s in &profile.subs {
+            outs.extend(
+                self.core
+                    .handle(Hop::Client(client), PubSubMsg::Subscribe(s.clone())),
+            );
+        }
+        for a in &profile.advs {
+            outs.extend(
+                self.core
+                    .handle(Hop::Client(client), PubSubMsg::Advertise(a.clone())),
+            );
+        }
+        let mut out = self.absorb(outs);
+        // unwrap: the copy was inserted above
+        let stub = self.clients.get_mut(&client).unwrap();
+        stub.set_state(ClientState::Started);
+        for p in stub.flush_buffered() {
+            out.push(Output::DeliverToApp {
+                client,
+                publication: p,
+            });
+        }
+        let ops = stub.drain_ops();
+        for op in ops {
+            out.extend(self.client_op(client, op));
+        }
+        // unwrap: record presence checked above
+        self.tgt_moves.get_mut(&m).unwrap().state = TargetCoordState::Commit;
+        out.push(Output::CancelTimer {
+            token: TimerToken {
+                m,
+                kind: TimerKind::State,
+            },
+        });
+        out.push(Output::ClientArrived { m, client });
+        out.extend(self.forward_or_emit_toward(source, MoveMsg::CovDone { m, source, target }));
+        out
+    }
+
+    fn on_cov_done(&mut self, m: MoveId) -> Vec<Output> {
+        let Some(rec) = self.src_moves.remove(&m) else {
+            self.anomalies += 1;
+            return Vec::new();
+        };
+        let client = rec.client;
+        let mut out = Vec::new();
+        if self.config.make_before_break {
+            // Retract the profile only now that the target runs, and
+            // ship any notifications buffered here in the meantime.
+            let profile = self
+                .clients
+                .get(&client)
+                .map(HostedClient::profile)
+                .unwrap_or_default();
+            let mut outs: Vec<BrokerOutput> = Vec::new();
+            for s in &profile.subs {
+                outs.extend(self.core.handle(Hop::Client(client), PubSubMsg::Unsubscribe(s.id)));
+            }
+            for a in &profile.advs {
+                outs.extend(self.core.handle(Hop::Client(client), PubSubMsg::Unadvertise(a.id)));
+            }
+            out.extend(self.absorb(outs));
+        }
+        // Flush anything that straggled in after the snapshot
+        // (commands from a slow application; buffered notifications in
+        // the make-before-break variant).
+        if let Some(stub) = self.clients.get_mut(&client) {
+            let late = stub.take_snapshot();
+            if !late.buffered.is_empty() || !late.queued_ops.is_empty() {
+                out.extend(self.forward_or_emit_toward(
+                    rec.target,
+                    MoveMsg::CovTransfer {
+                        m,
+                        client,
+                        source: self.id(),
+                        target: rec.target,
+                        profile: ClientProfile::default(),
+                        snapshot: late,
+                    },
+                ));
+            }
+        }
+        self.clients.remove(&client);
+        self.core.detach_client(client);
+        out.push(Output::MoveFinished {
+            m,
+            client,
+            committed: true,
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmob_pubsub::Filter;
+
+    fn broker_at(id: u32) -> MobileBroker {
+        let topo = Arc::new(Topology::chain(3));
+        MobileBroker::new(BrokerId(id), topo, MobileBrokerConfig::reconfig())
+    }
+
+    #[test]
+    #[should_panic(expected = "not in topology")]
+    fn new_rejects_foreign_id() {
+        let topo = Arc::new(Topology::chain(3));
+        let _ = MobileBroker::new(BrokerId(9), topo, MobileBrokerConfig::reconfig());
+    }
+
+    #[test]
+    fn unknown_unsubscribe_counts_anomaly() {
+        let mut b = broker_at(1);
+        b.create_client(ClientId(1));
+        let outs = b.client_op(ClientId(1), ClientOp::Unsubscribe(7));
+        assert!(outs.is_empty());
+        assert_eq!(b.anomalies(), 1);
+        let outs = b.client_op(ClientId(1), ClientOp::Unadvertise(7));
+        assert!(outs.is_empty());
+        assert_eq!(b.anomalies(), 2);
+    }
+
+    #[test]
+    fn move_to_self_finishes_committed_without_traffic() {
+        let mut b = broker_at(2);
+        b.create_client(ClientId(1));
+        let outs = b.client_op(
+            ClientId(1),
+            ClientOp::MoveTo(BrokerId(2), ProtocolKind::Reconfig),
+        );
+        assert_eq!(outs.len(), 1);
+        assert!(matches!(
+            outs[0],
+            Output::MoveFinished {
+                committed: true,
+                ..
+            }
+        ));
+        assert_eq!(b.client(ClientId(1)).unwrap().state(), ClientState::Started);
+    }
+
+    #[test]
+    fn move_to_unknown_broker_aborts_locally() {
+        let mut b = broker_at(2);
+        b.create_client(ClientId(1));
+        let outs = b.client_op(
+            ClientId(1),
+            ClientOp::MoveTo(BrokerId(42), ProtocolKind::Covering),
+        );
+        assert!(matches!(
+            outs[0],
+            Output::MoveFinished {
+                committed: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn commands_queue_while_moving() {
+        let mut b = broker_at(1);
+        b.create_client(ClientId(1));
+        // Start a (real) move: the stub pauses, later ops must queue.
+        let outs = b.client_op(
+            ClientId(1),
+            ClientOp::MoveTo(BrokerId(3), ProtocolKind::Reconfig),
+        );
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Send { .. })));
+        let outs = b.client_op(
+            ClientId(1),
+            ClientOp::Subscribe(Filter::builder().any("x").build()),
+        );
+        assert!(outs.is_empty(), "ops while moving must be queued");
+        assert_eq!(b.client(ClientId(1)).unwrap().queued_len(), 1);
+        assert_eq!(
+            b.client(ClientId(1)).unwrap().state(),
+            ClientState::PauseMove
+        );
+    }
+
+    #[test]
+    fn rejecting_broker_sends_reject() {
+        let topo = Arc::new(Topology::chain(3));
+        let mut target = MobileBroker::new(
+            BrokerId(3),
+            Arc::clone(&topo),
+            MobileBrokerConfig {
+                accept_moves: false,
+                ..MobileBrokerConfig::reconfig()
+            },
+        );
+        let nego = MoveMsg::Negotiate {
+            m: MoveId(5),
+            client: ClientId(1),
+            source: BrokerId(1),
+            target: BrokerId(3),
+            profile: crate::messages::ClientProfile::default(),
+            protocol: ProtocolKind::Reconfig,
+        };
+        let outs = target.handle(Hop::Broker(BrokerId(2)), Message::Move(nego));
+        assert_eq!(outs.len(), 1);
+        match &outs[0] {
+            Output::Send { to, msg } => {
+                assert_eq!(*to, BrokerId(2));
+                assert!(matches!(msg, Message::Move(MoveMsg::Reject { .. })));
+            }
+            other => panic!("expected a reject send, got {other:?}"),
+        }
+        assert!(target.client(ClientId(1)).is_none(), "no copy on reject");
+    }
+
+    #[test]
+    fn routed_move_messages_forward_through_intermediates() {
+        let mut mid = broker_at(2);
+        let ack = MoveMsg::Ack {
+            m: MoveId(5),
+            source: BrokerId(1),
+            target: BrokerId(3),
+        };
+        let outs = mid.handle(Hop::Broker(BrokerId(3)), Message::Move(ack));
+        assert_eq!(outs.len(), 1);
+        match &outs[0] {
+            Output::Send { to, .. } => assert_eq!(*to, BrokerId(1)),
+            other => panic!("expected forward, got {other:?}"),
+        }
+        assert_eq!(mid.anomalies(), 0);
+    }
+
+    #[test]
+    fn set_accept_moves_toggles() {
+        let mut b = broker_at(1);
+        b.set_accept_moves(false);
+        let nego = MoveMsg::Negotiate {
+            m: MoveId(5),
+            client: ClientId(9),
+            source: BrokerId(3),
+            target: BrokerId(1),
+            profile: crate::messages::ClientProfile::default(),
+            protocol: ProtocolKind::Reconfig,
+        };
+        let outs = b.handle(Hop::Broker(BrokerId(2)), Message::Move(nego.clone()));
+        assert!(matches!(
+            &outs[0],
+            Output::Send { msg: Message::Move(MoveMsg::Reject { .. }), .. }
+        ));
+        b.set_accept_moves(true);
+        let outs = b.handle(Hop::Broker(BrokerId(2)), Message::Move(nego));
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Send { msg: Message::Move(MoveMsg::Reconfigure { .. }), .. })));
+    }
+}

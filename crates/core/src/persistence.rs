@@ -1,0 +1,132 @@
+//! Durability: persisting and restoring broker state (the paper's
+//! Sec. 3.5 fault-tolerance sketch).
+//!
+//! The paper argues its routing-layer properties can be made
+//! fault-tolerant by persisting each broker's **algorithmic state**
+//! (routing tables, protocol bookkeeping) and **queue state**
+//! (undelivered messages), recovering both after a crash. This module
+//! provides the algorithmic half: a [`BrokerSnapshot`] captures
+//! everything a [`MobileBroker`] knows — the routing core, the hosted
+//! client stubs (including buffered notifications and queued
+//! commands), and the in-flight movement bookkeeping — as plain
+//! serializable data. [`MobileBroker::snapshot`] and
+//! [`MobileBroker::restore`] round-trip it; the drivers persist queue
+//! state themselves (the simulator's crash model holds queues, the
+//! write-ahead log in `transmob-sim::wal` persists them to disk).
+//!
+//! A snapshot is only as fresh as the moment it was taken: restoring a
+//! stale snapshot silently forgets routing state acquired afterwards,
+//! exactly like restarting a real broker from an old checkpoint — the
+//! `durability` integration tests demonstrate both the healthy
+//! round-trip and the stale-checkpoint hazard.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use transmob_broker::{BrokerCore, Topology};
+use transmob_pubsub::{ClientId, MoveId};
+
+use crate::client_stub::HostedClient;
+use crate::mobile_broker::{MobileBroker, MobileBrokerConfig};
+
+/// The serializable algorithmic state of a [`MobileBroker`].
+///
+/// Everything except the topology handle and the (static)
+/// configuration, which the restoring site supplies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrokerSnapshot {
+    /// The routing core: SRT, PRT, covering state, pending
+    /// configurations.
+    pub core: BrokerCore,
+    /// Hosted client stubs with their buffers and dedup state.
+    pub clients: BTreeMap<ClientId, HostedClient>,
+    /// Movement bookkeeping (opaque, versioned with the crate).
+    pub moves: MovesSnapshot,
+    /// Movement-id allocation counter.
+    pub next_move_seq: u32,
+}
+
+/// Serialized movement bookkeeping (source/target/path records).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MovesSnapshot {
+    /// Source-side records.
+    pub src: Vec<(MoveId, crate::mobile_broker::SourceMoveRecord)>,
+    /// Target-side records.
+    pub tgt: Vec<(MoveId, crate::mobile_broker::TargetMoveRecord)>,
+    /// Path-broker records.
+    pub path: Vec<(MoveId, crate::mobile_broker::PathMoveRecord)>,
+}
+
+impl MobileBroker {
+    /// Captures the broker's full algorithmic state.
+    pub fn snapshot(&self) -> BrokerSnapshot {
+        BrokerSnapshot {
+            core: self.core().clone(),
+            clients: self
+                .clients()
+                .map(|(id, stub)| (*id, stub.clone()))
+                .collect(),
+            moves: self.moves_snapshot(),
+            next_move_seq: self.next_move_seq_value(),
+        }
+    }
+
+    /// Reconstructs a broker from a snapshot, re-binding it to the
+    /// overlay topology and configuration of the restoring site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's broker id is not in `topology`.
+    pub fn restore(
+        topology: Arc<Topology>,
+        config: MobileBrokerConfig,
+        snapshot: BrokerSnapshot,
+    ) -> MobileBroker {
+        let id = snapshot.core.id();
+        assert!(topology.contains(id), "snapshot broker {id} not in topology");
+        MobileBroker::from_parts(
+            snapshot.core,
+            topology,
+            config,
+            snapshot.clients,
+            snapshot.moves,
+            snapshot.next_move_seq,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::ClientOp;
+    use transmob_pubsub::{BrokerId, Filter};
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let topo = Arc::new(Topology::chain(3));
+        let mut b = MobileBroker::new(BrokerId(1), Arc::clone(&topo), MobileBrokerConfig::reconfig());
+        b.create_client(ClientId(7));
+        let _ = b.client_op(ClientId(7), ClientOp::Subscribe(Filter::builder().ge("x", 0).build()));
+        let _ = b.client_op(ClientId(7), ClientOp::Advertise(Filter::builder().le("x", 9).build()));
+        let snap = b.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize snapshot");
+        let back: BrokerSnapshot = serde_json::from_str(&json).expect("restore snapshot");
+        let restored = MobileBroker::restore(topo, MobileBrokerConfig::reconfig(), back);
+        assert_eq!(restored.id(), BrokerId(1));
+        assert_eq!(restored.core().prt().len(), b.core().prt().len());
+        assert_eq!(restored.core().srt().len(), b.core().srt().len());
+        let stub = restored.client(ClientId(7)).expect("client restored");
+        assert_eq!(stub.profile(), b.client(ClientId(7)).unwrap().profile());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in topology")]
+    fn restore_rejects_foreign_topology() {
+        let topo = Arc::new(Topology::chain(3));
+        let b = MobileBroker::new(BrokerId(3), Arc::clone(&topo), MobileBrokerConfig::reconfig());
+        let snap = b.snapshot();
+        let other = Arc::new(Topology::chain(2));
+        let _ = MobileBroker::restore(other, MobileBrokerConfig::reconfig(), snap);
+    }
+}

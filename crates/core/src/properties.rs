@@ -1,0 +1,251 @@
+//! Executable versions of the paper's Sec. 3 transaction properties,
+//! used as oracles by the integration tests and the experiment
+//! harness.
+//!
+//! - **Routing-layer consistency (Sec. 3.5)**: from any publisher
+//!   location, the distributed PRT state must route a conforming
+//!   publication to every client with an intersecting subscription.
+//!   [`static_delivery_set`] computes, *without sending messages*, the
+//!   set of clients the current tables would deliver a probe
+//!   publication to; [`check_routing_consistency`] compares it against
+//!   the expected set.
+//! - **Notification atomicity (Sec. 3.4)**: [`assert_exactly_once`] —
+//!   no duplicate publication ids in a client's application stream.
+//! - **Client-layer consistency (Sec. 3.3)**: [`started_copies`] — at
+//!   most one `Started` copy of any client across the network.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use transmob_broker::{Hop, Prt};
+use transmob_pubsub::{BrokerId, ClientId, PubId, Publication, PublicationMsg};
+
+
+use crate::instant_net::InstantNet;
+use crate::states::ClientState;
+
+
+/// A violation reported by one of the property checkers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyViolation(pub String);
+
+impl fmt::Display for PropertyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for PropertyViolation {}
+
+/// Computes the set of clients the current distributed PRT state would
+/// deliver `probe` to, starting from a publisher attached to `start`.
+///
+/// This is a static fixpoint over the tables (active *and* pending
+/// configurations, like the forwarding rule itself) — no messages are
+/// sent and no broker state changes.
+pub fn static_delivery_set<'a, F>(
+    prt_of: F,
+    start: BrokerId,
+    probe: &Publication,
+) -> BTreeSet<ClientId>
+where
+    F: Fn(BrokerId) -> &'a Prt,
+{
+    let mut delivered = BTreeSet::new();
+    let mut visited = BTreeSet::new();
+    let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> = VecDeque::from([(start, None)]);
+    while let Some((b, from)) = queue.pop_front() {
+        if !visited.insert(b) {
+            continue;
+        }
+        let prt = prt_of(b);
+        for (_, e) in prt.iter() {
+            if !e.sub.filter.matches(probe) {
+                continue;
+            }
+            for hop in [Some(e.lasthop), e.pending.as_ref().map(|p| p.lasthop)]
+                .into_iter()
+                .flatten()
+            {
+                match hop {
+                    Hop::Client(c) => {
+                        delivered.insert(c);
+                    }
+                    Hop::Broker(n) => {
+                        if Some(n) != from {
+                            queue.push_back((n, Some(b)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    delivered
+}
+
+/// One routing-consistency test case: a publisher location, a probe
+/// publication, and the clients that must receive it.
+#[derive(Debug, Clone)]
+pub struct ConsistencyCase {
+    /// Broker the probe is published at.
+    pub publisher_broker: BrokerId,
+    /// The probe publication.
+    pub probe: Publication,
+    /// Clients that must be reached.
+    pub expected: BTreeSet<ClientId>,
+}
+
+/// Checks routing consistency (Sec. 3.5) over an [`InstantNet`]: every
+/// expected client is reachable by the static forwarding fixpoint.
+///
+/// Stale extra recipients are allowed, exactly as the paper's
+/// consistency definition allows stale routing entries (client stubs
+/// de-duplicate).
+///
+/// # Errors
+///
+/// Returns the first case whose expected set is not covered.
+pub fn check_routing_consistency(
+    net: &InstantNet,
+    cases: &[ConsistencyCase],
+) -> Result<(), PropertyViolation> {
+    for case in cases {
+        let got = static_delivery_set(
+            |b| net.broker(b).core().prt(),
+            case.publisher_broker,
+            &case.probe,
+        );
+        if !case.expected.is_subset(&got) {
+            let missing: Vec<String> = case
+                .expected
+                .difference(&got)
+                .map(|c| c.to_string())
+                .collect();
+            return Err(PropertyViolation(format!(
+                "publication {} from {} misses clients [{}] (reached: {:?})",
+                case.probe,
+                case.publisher_broker,
+                missing.join(","),
+                got
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Checks notification atomicity (Sec. 3.4): the stream surfaced to a
+/// client's application contains no duplicate publication ids.
+///
+/// # Errors
+///
+/// Returns the first duplicated id.
+pub fn assert_exactly_once(stream: &[PublicationMsg]) -> Result<(), PropertyViolation> {
+    let mut seen: BTreeSet<PubId> = BTreeSet::new();
+    for p in stream {
+        if !seen.insert(p.id) {
+            return Err(PropertyViolation(format!(
+                "publication {} delivered more than once",
+                p.id
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Checks eventual completeness: every id in `expected` appears in the
+/// client's surfaced stream.
+///
+/// # Errors
+///
+/// Returns the set of missing ids.
+pub fn assert_all_delivered(
+    stream: &[PublicationMsg],
+    expected: &BTreeSet<PubId>,
+) -> Result<(), PropertyViolation> {
+    let got: BTreeSet<PubId> = stream.iter().map(|p| p.id).collect();
+    let missing: Vec<String> = expected.difference(&got).map(|p| p.to_string()).collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(PropertyViolation(format!(
+            "missing notifications: [{}]",
+            missing.join(",")
+        )))
+    }
+}
+
+/// The paper's routing-consistency clause (ii), checked structurally:
+/// at every broker `B`, every SRT entry's lasthop must be `B`'s
+/// neighbour on the unique path from `B` toward the advertisement's
+/// publisher (or the publisher itself when co-located). Movement
+/// transactions must leave this invariant intact for every
+/// advertisement of every (possibly relocated) publisher.
+///
+/// # Errors
+///
+/// Returns the first broker/advertisement pair whose lasthop points
+/// the wrong way.
+pub fn check_srt_paths(net: &InstantNet) -> Result<(), PropertyViolation> {
+    let topology = net.topology();
+    for (b, broker) in net.brokers() {
+        for (adv_id, entry) in broker.core().srt().iter() {
+            let Some(home) = net.find_client(adv_id.client) else {
+                continue; // publisher currently mid-move; skip
+            };
+            let expected: Hop = if home == *b {
+                Hop::Client(adv_id.client)
+            } else {
+                match topology.next_hop(*b, home) {
+                    Some(n) => Hop::Broker(n),
+                    None => continue,
+                }
+            };
+            // During a movement window the pending configuration may
+            // already point the new way while the active one still
+            // points the old way; accept either.
+            let pending_ok = entry
+                .pending
+                .as_ref()
+                .is_some_and(|p| p.lasthop == expected);
+            if entry.lasthop != expected && !pending_ok {
+                return Err(PropertyViolation(format!(
+                    "at {b}, advertisement {adv_id} lasthop {} is off the path to                      its publisher at {home} (expected {expected:?})",
+                    entry.lasthop
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Counts, per client, how many `Started` copies exist across the
+/// network (the client-layer consistency property of Sec. 3.3 requires
+/// at most one).
+pub fn started_copies(net: &InstantNet) -> BTreeMap<ClientId, usize> {
+    let mut counts: BTreeMap<ClientId, usize> = BTreeMap::new();
+    for (_, broker) in net.brokers() {
+        for (cid, stub) in broker.clients() {
+            if stub.state() == ClientState::Started {
+                *counts.entry(*cid).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Asserts the client-layer consistency property: at most one
+/// `Started` copy per client.
+///
+/// # Errors
+///
+/// Returns the first client with more than one running copy.
+pub fn assert_single_instance(net: &InstantNet) -> Result<(), PropertyViolation> {
+    for (c, n) in started_copies(net) {
+        if n > 1 {
+            return Err(PropertyViolation(format!(
+                "client {c} has {n} running copies"
+            )));
+        }
+    }
+    Ok(())
+}

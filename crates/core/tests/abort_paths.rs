@@ -1,0 +1,195 @@
+//! Failure injection on the movement transaction: negotiate timeouts
+//! fired mid-flight, abort passes crossing in-flight reconfiguration
+//! messages, target-side state timeouts, and rollback of shadow
+//! routing configurations — the non-blocking 3PC behaviour of
+//! Sec. 4.1/4.2.
+
+use transmob_broker::Topology;
+use transmob_core::{
+    properties, ClientOp, InstantNet, MobileBrokerConfig, NetEvent, ProtocolKind, TimerKind,
+};
+use transmob_pubsub::{BrokerId, ClientId, Filter, Publication};
+
+fn b(i: u32) -> BrokerId {
+    BrokerId(i)
+}
+fn c(i: u64) -> ClientId {
+    ClientId(i)
+}
+fn range(lo: i64, hi: i64) -> Filter {
+    Filter::builder().ge("x", lo).le("x", hi).build()
+}
+
+fn timed_config() -> MobileBrokerConfig {
+    MobileBrokerConfig {
+        negotiate_timeout_ns: Some(1_000_000_000),
+        state_timeout_ns: Some(2_000_000_000),
+        ..MobileBrokerConfig::reconfig()
+    }
+}
+
+fn setup(n: u32, config: MobileBrokerConfig) -> InstantNet {
+    let mut net = InstantNet::new(Topology::chain(n), config);
+    net.create_client(b(1), c(1));
+    net.create_client(b(n), c(2));
+    net.client_op(c(1), ClientOp::Advertise(range(0, 100)));
+    net.client_op(c(2), ClientOp::Subscribe(range(0, 100)));
+    net
+}
+
+fn publish(net: &mut InstantNet, x: i64) {
+    net.client_op(c(1), ClientOp::Publish(Publication::new().with("x", x)));
+}
+
+#[test]
+fn negotiate_timeout_before_any_delivery_aborts_cleanly() {
+    let mut net = setup(5, timed_config());
+    // Start the move but do not let the negotiate travel at all.
+    net.client_op_deferred(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+    let timer = net
+        .armed_timers()
+        .iter()
+        .find(|t| t.token.kind == TimerKind::Negotiate)
+        .copied()
+        .expect("negotiate timer armed");
+    assert!(net.fire_timer(timer.broker, timer.token));
+    // The movement aborted; the client resumed at the source.
+    let events = net.take_events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, NetEvent::MoveFinished { committed: false, .. })));
+    assert_eq!(net.find_client(c(2)), Some(b(5)));
+    // The network is fully clean: a publication arrives exactly once,
+    // and the late negotiate (still queued when the timer fired) plus
+    // the abort sweep left no pendings behind.
+    publish(&mut net, 10);
+    let stream = net.deliveries_to(c(2));
+    assert_eq!(stream.len(), 1);
+    properties::assert_exactly_once(&stream).unwrap();
+    properties::assert_single_instance(&net).unwrap();
+    for i in 1..=5 {
+        let core = net.broker(b(i)).core();
+        assert!(
+            core.prt().iter().all(|(_, e)| e.pending.is_none()),
+            "stale pending at B{i}"
+        );
+    }
+}
+
+#[test]
+fn negotiate_timeout_crossing_reconfigure_in_flight() {
+    // Let the protocol progress partway: the negotiate reaches the
+    // target and the reconfiguration message starts walking back, THEN
+    // the source times out. The abort pass and the reconfigure cross;
+    // the source re-issues the abort when the late reconfigure
+    // arrives, and everything converges clean.
+    for steps in 1..12usize {
+        let mut net = setup(5, timed_config());
+        net.client_op_deferred(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+        net.step_n(steps);
+        let Some(timer) = net
+            .armed_timers()
+            .iter()
+            .find(|t| t.token.kind == TimerKind::Negotiate)
+            .copied()
+        else {
+            // The protocol already passed the wait state: nothing to
+            // inject at this depth.
+            net.run();
+            continue;
+        };
+        net.fire_timer(timer.broker, timer.token);
+        net.run();
+        // Whatever the interleaving, the invariants hold:
+        properties::assert_single_instance(&net).unwrap();
+        publish(&mut net, 10 + steps as i64);
+        let stream = net.deliveries_to(c(2));
+        assert_eq!(stream.len(), 1, "delivery broken at injection depth {steps}");
+        for i in 1..=5 {
+            let core = net.broker(b(i)).core();
+            assert!(
+                core.prt().iter().all(|(_, e)| e.pending.is_none()),
+                "stale pending at B{i} (depth {steps})"
+            );
+        }
+    }
+}
+
+#[test]
+fn state_timeout_after_source_crash_equivalent() {
+    // Drive the protocol until the target prepared (client copy
+    // created, state timer armed), then pretend the source died by
+    // firing the target's state timeout. The target destroys its copy
+    // and sweeps the path back.
+    let mut net = setup(5, timed_config());
+    net.client_op_deferred(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+    // Walk the negotiate to the target (3 hops) and let it prepare,
+    // but stop before the reconfigure reaches the source.
+    net.step_n(4);
+    let state_timer = net
+        .armed_timers()
+        .iter()
+        .find(|t| t.token.kind == TimerKind::State)
+        .copied()
+        .expect("target prepared and armed the state timer");
+    // Drop everything still in flight (simulates a source crash whose
+    // messages never materialize).
+    let dropped = net.drain_queue();
+    assert!(dropped > 0);
+    net.fire_timer(state_timer.broker, state_timer.token);
+    net.run();
+    // Target copy destroyed; only the (crashed, here: silent) source
+    // copy remains.
+    assert_eq!(net.find_client(c(2)), Some(b(5)));
+    properties::assert_single_instance(&net).unwrap();
+    let target_core = net.broker(b(2)).core();
+    assert!(
+        target_core.prt().iter().all(|(_, e)| e.pending.is_none()),
+        "target kept a pending after state timeout"
+    );
+}
+
+#[test]
+fn blocking_variant_never_times_out() {
+    // With no timeouts configured (the blocking variant), no timers
+    // are ever armed and the transaction simply completes.
+    let mut net = setup(4, MobileBrokerConfig::reconfig());
+    net.client_op(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+    assert!(net.armed_timers().is_empty());
+    assert_eq!(net.find_client(c(2)), Some(b(2)));
+}
+
+#[test]
+fn covering_timeout_on_request_aborts() {
+    let mut net = setup(5, timed_config());
+    net.client_op_deferred(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Covering));
+    let timer = net
+        .armed_timers()
+        .iter()
+        .find(|t| t.token.kind == TimerKind::Negotiate)
+        .copied()
+        .expect("request timer armed");
+    net.fire_timer(timer.broker, timer.token);
+    net.run();
+    assert_eq!(net.find_client(c(2)), Some(b(5)));
+    publish(&mut net, 42);
+    assert_eq!(net.deliveries_to(c(2)).len(), 1);
+}
+
+#[test]
+fn aborted_then_retried_move_succeeds() {
+    let mut net = setup(5, timed_config());
+    // Abort the first attempt immediately.
+    net.client_op_deferred(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+    let timer = net.armed_timers()[0];
+    net.fire_timer(timer.broker, timer.token);
+    net.run();
+    assert_eq!(net.find_client(c(2)), Some(b(5)));
+    // Retry: must commit normally.
+    net.client_op(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+    assert_eq!(net.find_client(c(2)), Some(b(2)));
+    publish(&mut net, 10);
+    let stream = net.deliveries_to(c(2));
+    assert_eq!(stream.len(), 1);
+    properties::assert_exactly_once(&stream).unwrap();
+}

@@ -1,0 +1,228 @@
+//! Identifiers and named pub/sub entities shared by every layer of the
+//! system: brokers, clients, subscriptions, advertisements, movement
+//! transactions, and publications.
+//!
+//! All ids are plain newtypes (cheap to copy, totally ordered,
+//! hashable) so they can key routing tables and appear in wire
+//! messages.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::Filter;
+use crate::publication::Publication;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw id value.
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of a broker in the overlay.
+    BrokerId, u32, "B"
+);
+id_newtype!(
+    /// Identifier of a pub/sub client (stationary or mobile).
+    ClientId, u64, "C"
+);
+id_newtype!(
+    /// Identifier of a movement transaction.
+    MoveId, u64, "M"
+);
+id_newtype!(
+    /// Identifier of a publication instance (for exactly-once
+    /// accounting in the notification-property checkers).
+    PubId, u64, "P"
+);
+
+/// Identifier of a subscription: the issuing client plus a
+/// client-local sequence number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SubId {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Client-local sequence number.
+    pub seq: u32,
+}
+
+impl SubId {
+    /// Creates a subscription id.
+    pub fn new(client: ClientId, seq: u32) -> Self {
+        SubId { client, seq }
+    }
+}
+
+impl fmt::Display for SubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}.{}", self.client.0, self.seq)
+    }
+}
+
+/// Identifier of an advertisement: the issuing client plus a
+/// client-local sequence number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AdvId {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Client-local sequence number.
+    pub seq: u32,
+}
+
+impl AdvId {
+    /// Creates an advertisement id.
+    pub fn new(client: ClientId, seq: u32) -> Self {
+        AdvId { client, seq }
+    }
+}
+
+impl fmt::Display for AdvId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}.{}", self.client.0, self.seq)
+    }
+}
+
+/// A named subscription: id plus filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subscription {
+    /// Unique id.
+    pub id: SubId,
+    /// The content filter.
+    pub filter: Filter,
+}
+
+impl Subscription {
+    /// Creates a subscription.
+    pub fn new(id: SubId, filter: Filter) -> Self {
+        Subscription { id, filter }
+    }
+}
+
+impl fmt::Display for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.id, self.filter)
+    }
+}
+
+/// A named advertisement: id plus filter describing the publications
+/// the advertiser will produce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Advertisement {
+    /// Unique id.
+    pub id: AdvId,
+    /// The content filter.
+    pub filter: Filter,
+}
+
+impl Advertisement {
+    /// Creates an advertisement.
+    pub fn new(id: AdvId, filter: Filter) -> Self {
+        Advertisement { id, filter }
+    }
+}
+
+impl fmt::Display for Advertisement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.id, self.filter)
+    }
+}
+
+/// A publication stamped with its id and publisher, as it travels the
+/// broker network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublicationMsg {
+    /// Unique id of this publication instance.
+    pub id: PubId,
+    /// Publishing client.
+    pub publisher: ClientId,
+    /// The content.
+    pub content: Publication,
+}
+
+impl PublicationMsg {
+    /// Creates a stamped publication.
+    pub fn new(id: PubId, publisher: ClientId, content: Publication) -> Self {
+        PublicationMsg {
+            id,
+            publisher,
+            content,
+        }
+    }
+}
+
+impl fmt::Display for PublicationMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}{}", self.id, self.publisher, self.content)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Filter;
+
+    #[test]
+    fn id_display_prefixes() {
+        assert_eq!(BrokerId(3).to_string(), "B3");
+        assert_eq!(ClientId(7).to_string(), "C7");
+        assert_eq!(MoveId(1).to_string(), "M1");
+        assert_eq!(SubId::new(ClientId(2), 4).to_string(), "S2.4");
+        assert_eq!(AdvId::new(ClientId(2), 0).to_string(), "A2.0");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::{BTreeSet, HashSet};
+        let mut b = BTreeSet::new();
+        b.insert(BrokerId(2));
+        b.insert(BrokerId(1));
+        assert_eq!(b.iter().next(), Some(&BrokerId(1)));
+        let mut h = HashSet::new();
+        h.insert(SubId::new(ClientId(1), 1));
+        assert!(h.contains(&SubId::new(ClientId(1), 1)));
+    }
+
+    #[test]
+    fn raw_and_from_round_trip() {
+        let b: BrokerId = 5u32.into();
+        assert_eq!(b.raw(), 5);
+    }
+
+    #[test]
+    fn named_entities_display() {
+        let s = Subscription::new(
+            SubId::new(ClientId(1), 0),
+            Filter::builder().eq("x", 1).build(),
+        );
+        assert_eq!(s.to_string(), "S1.0{[x = 1]}");
+    }
+}

@@ -1,0 +1,461 @@
+//! A PADRES-style textual syntax for filters and publications.
+//!
+//! The PADRES prototype the paper builds on uses a bracketed triple
+//! syntax; this module implements a compatible reader/writer:
+//!
+//! ```text
+//! subscription / advertisement:
+//!     [class,eq,'STOCK'],[price,<,100],[volume,>=,1000],[open,any]
+//! publication:
+//!     [class,'STOCK'],[price,95],[symbol,'IBM'],[halted,false]
+//! ```
+//!
+//! Values are integers (`42`), floats (`3.14`), single-quoted strings
+//! (`'IBM'`, with `''` escaping a quote) or booleans (`true`/`false`).
+//! Operators: `eq` (or `=`), `neq` (or `!=`), `<`, `<=`, `>`, `>=`,
+//! `any` (or `*`), `prefix`, `suffix`, `contains`.
+
+use std::fmt;
+
+use crate::filter::Filter;
+use crate::predicate::{Op, Predicate};
+use crate::publication::Publication;
+use crate::value::Value;
+
+/// Error parsing the textual syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub at: usize,
+    /// Human-readable description.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            reason: reason.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    fn try_eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.rest().is_empty()
+    }
+
+    /// Reads up to (not including) the next `,` or `]`.
+    fn token(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .find([',', ']'])
+            .ok_or_else(|| self.err("unterminated bracket"))?;
+        let tok = rest[..end].trim_end();
+        if tok.is_empty() {
+            return Err(self.err("empty token"));
+        }
+        self.pos += end - (rest.len() - rest.trim_start().len()).min(0).max(0);
+        self.pos = self.src.len() - rest.len() + end;
+        Ok(tok)
+    }
+
+    /// Parses a value: quoted string, boolean, integer or float.
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        if self.rest().starts_with('\'') {
+            // Quoted string with '' escaping.
+            let mut out = String::new();
+            let mut chars = self.rest().char_indices().skip(1).peekable();
+            while let Some((i, ch)) = chars.next() {
+                if ch == '\'' {
+                    if matches!(chars.peek(), Some((_, '\''))) {
+                        out.push('\'');
+                        chars.next();
+                        continue;
+                    }
+                    self.pos += i + 1;
+                    return Ok(Value::Str(out));
+                }
+                out.push(ch);
+            }
+            return Err(self.err("unterminated string"));
+        }
+        let tok = self.token()?;
+        match tok {
+            "true" => return Ok(Value::Bool(true)),
+            "false" => return Ok(Value::Bool(false)),
+            _ => {}
+        }
+        if let Ok(i) = tok.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        if let Ok(f) = tok.parse::<f64>() {
+            return Value::float(f).ok_or_else(|| self.err("NaN is not a valid value"));
+        }
+        Err(self.err(format!("invalid value `{tok}`")))
+    }
+}
+
+fn parse_op(tok: &str) -> Option<Op> {
+    Some(match tok {
+        "eq" | "=" | "==" => Op::Eq,
+        "neq" | "!=" | "<>" => Op::Neq,
+        "<" | "lt" => Op::Lt,
+        "<=" | "le" => Op::Le,
+        ">" | "gt" => Op::Gt,
+        ">=" | "ge" => Op::Ge,
+        "any" | "*" => Op::Any,
+        "prefix" => Op::StrPrefix,
+        "suffix" => Op::StrSuffix,
+        "contains" => Op::StrContains,
+        _ => return None,
+    })
+}
+
+fn op_name(op: Op) -> &'static str {
+    match op {
+        Op::Eq => "eq",
+        Op::Neq => "neq",
+        Op::Lt => "<",
+        Op::Le => "<=",
+        Op::Gt => ">",
+        Op::Ge => ">=",
+        Op::Any => "any",
+        Op::StrPrefix => "prefix",
+        Op::StrSuffix => "suffix",
+        Op::StrContains => "contains",
+    }
+}
+
+fn quote_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        // Keep integral floats distinguishable from integers so the
+        // round trip preserves the value kind.
+        Value::Float(f) if f.fract() == 0.0 && f.is_finite() => format!("{f:.1}"),
+        other => other.to_string(),
+    }
+}
+
+/// Parses a filter from the PADRES-style triple syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the offending byte.
+///
+/// # Examples
+///
+/// ```
+/// use transmob_pubsub::parser::parse_filter;
+/// use transmob_pubsub::Publication;
+///
+/// let f = parse_filter("[class,eq,'STOCK'],[price,<,100]")?;
+/// assert!(f.matches(&Publication::new().with("class", "STOCK").with("price", 42)));
+/// # Ok::<(), transmob_pubsub::parser::ParseError>(())
+/// ```
+pub fn parse_filter(src: &str) -> Result<Filter, ParseError> {
+    let mut cur = Cursor::new(src);
+    let mut preds = Vec::new();
+    loop {
+        cur.eat('[')?;
+        let attr = cur.token()?.to_owned();
+        cur.eat(',')?;
+        let op_tok = cur.token()?;
+        let op = parse_op(op_tok)
+            .ok_or_else(|| cur.err(format!("unknown operator `{op_tok}`")))?;
+        let pred = if op == Op::Any {
+            // Value is optional for `any`.
+            if cur.try_eat(',') {
+                let _ = cur.value()?;
+            }
+            Predicate::any(attr)
+        } else {
+            cur.eat(',')?;
+            let value = cur.value()?;
+            Predicate::new(attr, op, value)
+        };
+        cur.eat(']')?;
+        preds.push(pred);
+        if !cur.try_eat(',') {
+            break;
+        }
+    }
+    if !cur.at_end() {
+        return Err(cur.err("trailing input"));
+    }
+    Ok(Filter::new(preds))
+}
+
+/// Parses a publication from the PADRES-style pair syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the offending byte.
+///
+/// # Examples
+///
+/// ```
+/// use transmob_pubsub::parser::parse_publication;
+///
+/// let p = parse_publication("[class,'STOCK'],[price,95]")?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), transmob_pubsub::parser::ParseError>(())
+/// ```
+pub fn parse_publication(src: &str) -> Result<Publication, ParseError> {
+    let mut cur = Cursor::new(src);
+    let mut p = Publication::new();
+    loop {
+        cur.eat('[')?;
+        let attr = cur.token()?.to_owned();
+        cur.eat(',')?;
+        let value = cur.value()?;
+        cur.eat(']')?;
+        p.set(attr, value);
+        if !cur.try_eat(',') {
+            break;
+        }
+    }
+    if !cur.at_end() {
+        return Err(cur.err("trailing input"));
+    }
+    Ok(p)
+}
+
+/// Writes a filter in the parseable triple syntax (inverse of
+/// [`parse_filter`]).
+pub fn format_filter(f: &Filter) -> String {
+    f.predicates()
+        .iter()
+        .map(|p| {
+            if p.op() == Op::Any {
+                format!("[{},any]", p.attr())
+            } else {
+                format!("[{},{},{}]", p.attr(), op_name(p.op()), quote_value(p.value()))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Writes a publication in the parseable pair syntax (inverse of
+/// [`parse_publication`]).
+pub fn format_publication(p: &Publication) -> String {
+    p.iter()
+        .map(|(a, v)| format!("[{a},{}]", quote_value(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_filter() {
+        let f = parse_filter("[class,eq,'STOCK'],[price,<,100]").unwrap();
+        assert_eq!(f.arity(), 2);
+        assert!(f.matches(
+            &Publication::new().with("class", "STOCK").with("price", 50)
+        ));
+        assert!(!f.matches(
+            &Publication::new().with("class", "STOCK").with("price", 150)
+        ));
+    }
+
+    #[test]
+    fn parse_all_operators() {
+        let f = parse_filter(
+            "[a,eq,1],[b,neq,2],[c,<,3],[d,<=,4],[e,>,5],[f,>=,6],[g,any],[h,prefix,'x'],[i,suffix,'y'],[j,contains,'z']",
+        )
+        .unwrap();
+        assert_eq!(f.predicates().len(), 10);
+    }
+
+    #[test]
+    fn parse_value_kinds() {
+        let p = parse_publication("[i,42],[f,3.5],[s,'hi'],[b,true],[n,-7]").unwrap();
+        assert_eq!(p.get("i"), Some(&Value::Int(42)));
+        assert_eq!(p.get("f"), Some(&Value::Float(3.5)));
+        assert_eq!(p.get("s"), Some(&Value::from("hi")));
+        assert_eq!(p.get("b"), Some(&Value::Bool(true)));
+        assert_eq!(p.get("n"), Some(&Value::Int(-7)));
+    }
+
+    #[test]
+    fn quoted_string_escaping() {
+        let p = parse_publication("[s,'it''s']").unwrap();
+        assert_eq!(p.get("s"), Some(&Value::from("it's")));
+        let round = format_publication(&p);
+        assert_eq!(parse_publication(&round).unwrap(), p);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let f = parse_filter("  [ price , >= , 10 ] , [ sym , eq , 'A' ]  ").unwrap();
+        assert!(f.matches(&Publication::new().with("price", 10).with("sym", "A")));
+    }
+
+    #[test]
+    fn any_with_and_without_value() {
+        let a = parse_filter("[x,any]").unwrap();
+        let b = parse_filter("[x,any,0]").unwrap();
+        assert_eq!(a, b);
+        let c = parse_filter("[x,*]").unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse_filter("[x,zz,1]").unwrap_err();
+        assert!(e.reason.contains("unknown operator"));
+        assert!(parse_filter("[x,eq,1").is_err());
+        assert!(parse_filter("[x,eq,1] junk").unwrap_err().reason.contains("trailing"));
+        assert!(parse_publication("[x,'open").is_err());
+        assert!(parse_filter("").is_err());
+        assert!(parse_publication("[x,nan]").is_err());
+    }
+
+    #[test]
+    fn filter_round_trip() {
+        let cases = [
+            "[class,eq,'STOCK'],[price,<,100]",
+            "[a,any],[b,>=,2.5]",
+            "[t,prefix,'game/'],[t,contains,'zone']",
+            "[ok,eq,true]",
+        ];
+        for src in cases {
+            let f = parse_filter(src).unwrap();
+            let printed = format_filter(&f);
+            let re = parse_filter(&printed).unwrap();
+            assert_eq!(f, re, "round trip failed for {src} (printed: {printed})");
+        }
+    }
+
+    #[test]
+    fn publication_round_trip() {
+        let p = Publication::new()
+            .with("class", "STOCK")
+            .with("price", 95)
+            .with("weight", 1.25)
+            .with("halted", false);
+        let printed = format_publication(&p);
+        assert_eq!(parse_publication(&printed).unwrap(), p);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::predicate::{Op, Predicate};
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            (-1000i64..1000).prop_map(Value::Int),
+            (-100.0f64..100.0).prop_map(|f| Value::Float((f * 4.0).round() / 4.0)),
+            "[a-z '_/]{0,12}".prop_map(Value::Str),
+            any::<bool>().prop_map(Value::Bool),
+        ]
+    }
+
+    fn arb_predicate() -> impl Strategy<Value = Predicate> {
+        ("[a-z][a-z0-9_]{0,8}", 0..10usize, arb_value()).prop_map(|(attr, op_idx, v)| {
+            let op = Op::ALL[op_idx];
+            if op == Op::Any {
+                Predicate::any(attr)
+            } else if op.is_string_op() {
+                // String operators need a string operand.
+                let s = match &v {
+                    Value::Str(s) => s.clone(),
+                    other => other.to_string(),
+                };
+                Predicate::new(attr, op, s)
+            } else {
+                Predicate::new(attr, op, v)
+            }
+        })
+    }
+
+    proptest! {
+        /// format → parse round-trips every well-formed filter.
+        #[test]
+        fn filter_format_parse_round_trip(
+            preds in proptest::collection::vec(arb_predicate(), 1..6)
+        ) {
+            let f = Filter::new(preds);
+            let printed = format_filter(&f);
+            let parsed = parse_filter(&printed)
+                .unwrap_or_else(|e| panic!("failed to re-parse `{printed}`: {e}"));
+            prop_assert_eq!(f, parsed);
+        }
+
+        /// format → parse round-trips every publication.
+        #[test]
+        fn publication_format_parse_round_trip(
+            pairs in proptest::collection::vec(("[a-z][a-z0-9]{0,6}", arb_value()), 1..6)
+        ) {
+            let p: Publication = pairs
+                .into_iter()
+                .map(|(a, v)| (a, v))
+                .fold(Publication::new(), |acc, (a, v)| acc.with(a, v));
+            let printed = format_publication(&p);
+            let parsed = parse_publication(&printed)
+                .unwrap_or_else(|e| panic!("failed to re-parse `{printed}`: {e}"));
+            prop_assert_eq!(p, parsed);
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_total_on_garbage(s in ".{0,60}") {
+            let _ = parse_filter(&s);
+            let _ = parse_publication(&s);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Publications: the messages content-based routing delivers.
+//!
+//! A publication is a set of `(attribute, value)` pairs. Attributes are
+//! unique within a publication; setting an attribute twice keeps the
+//! last value.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A set of `(attribute, value)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use transmob_pubsub::{Publication, Value};
+///
+/// let p = Publication::new()
+///     .with("symbol", "IBM")
+///     .with("price", 120);
+/// assert_eq!(p.get("price"), Some(&Value::Int(120)));
+/// assert_eq!(p.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Publication {
+    attrs: BTreeMap<String, Value>,
+}
+
+impl Publication {
+    /// Creates an empty publication.
+    pub fn new() -> Self {
+        Publication::default()
+    }
+
+    /// Returns the publication with `attr` set to `value` (builder
+    /// style; last write wins).
+    pub fn with(mut self, attr: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.attrs.insert(attr.into(), value.into());
+        self
+    }
+
+    /// Sets `attr` to `value` in place, returning the previous value if
+    /// any.
+    pub fn set(&mut self, attr: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        self.attrs.insert(attr.into(), value.into())
+    }
+
+    /// The value of `attr`, if present.
+    pub fn get(&self, attr: &str) -> Option<&Value> {
+        self.attrs.get(attr)
+    }
+
+    /// Whether the publication carries `attr`.
+    pub fn has(&self, attr: &str) -> bool {
+        self.attrs.contains_key(attr)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the publication has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterates over `(attribute, value)` pairs in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attrs.iter().map(|(a, v)| (a.as_str(), v))
+    }
+}
+
+impl fmt::Display for Publication {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, (a, v)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{a}={v}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl FromIterator<(String, Value)> for Publication {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Publication {
+            attrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, Value)> for Publication {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        self.attrs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_set_agree() {
+        let a = Publication::new().with("x", 1).with("y", "v");
+        let mut b = Publication::new();
+        b.set("x", 1);
+        b.set("y", "v");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let p = Publication::new().with("x", 1).with("x", 2);
+        assert_eq!(p.get("x"), Some(&Value::Int(2)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn set_returns_previous() {
+        let mut p = Publication::new().with("x", 1);
+        assert_eq!(p.set("x", 5), Some(Value::Int(1)));
+        assert_eq!(p.set("y", 7), None);
+    }
+
+    #[test]
+    fn iteration_is_attribute_ordered() {
+        let p = Publication::new().with("b", 2).with("a", 1).with("c", 3);
+        let attrs: Vec<&str> = p.iter().map(|(a, _)| a).collect();
+        assert_eq!(attrs, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_compact() {
+        let p = Publication::new().with("a", 1).with("b", "x");
+        assert_eq!(p.to_string(), "[a=1,b='x']");
+        assert_eq!(Publication::new().to_string(), "[]");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let p: Publication = vec![
+            ("k".to_owned(), Value::Int(9)),
+            ("s".to_owned(), Value::from("t")),
+        ]
+        .into_iter()
+        .collect();
+        assert!(p.has("k") && p.has("s"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Attribute values of the content-based data model.
+//!
+//! PADRES publications are sets of `(attribute, value)` pairs and
+//! subscriptions/advertisements are conjunctions of
+//! `(attribute, operator, value)` predicates. [`Value`] is the value in
+//! both, supporting 64-bit integers, floats, strings and booleans.
+//!
+//! `Value` implements a *total* order (needed for use in `BTreeMap`s and
+//! for deterministic test output): values of different kinds are ordered
+//! by kind tag, numeric values of the same kind by numeric order, and
+//! floats by IEEE-754 `total_cmp`. The *semantic* comparison used by
+//! predicate evaluation is [`Value::compare`], which promotes integers to
+//! floats when comparing mixed numerics and returns `None` for
+//! incomparable kinds (e.g. a string against an integer).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single attribute value in a publication or predicate.
+///
+/// # Examples
+///
+/// ```
+/// use transmob_pubsub::Value;
+///
+/// let a = Value::from(10);
+/// let b = Value::from(10.0);
+/// // Mixed-kind numeric comparison is semantic:
+/// assert_eq!(a.compare(&b), Some(std::cmp::Ordering::Equal));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE-754 float. `NaN` is rejected at construction via
+    /// [`Value::float`]; a `NaN` smuggled in through `From<f64>` compares
+    /// with `total_cmp` semantics.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Creates a float value, rejecting `NaN`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `f` is `NaN`; `NaN` has no place in a content
+    /// space with interval semantics.
+    pub fn float(f: f64) -> Option<Self> {
+        if f.is_nan() {
+            None
+        } else {
+            Some(Value::Float(f))
+        }
+    }
+
+    /// Returns the kind tag of this value (used for ordering across
+    /// kinds and for diagnostics).
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
+            Value::Bool(_) => ValueKind::Bool,
+        }
+    }
+
+    /// Returns `true` if the value is numeric (int or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Numeric view of the value, promoting integers to `f64`.
+    ///
+    /// Returns `None` for non-numeric values. Promotion of `i64` to
+    /// `f64` can lose precision above 2^53; the workloads in this
+    /// repository stay far below that, and the loss is at worst a
+    /// conservative wobble at interval endpoints.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view of the value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of the value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Semantic comparison used by predicate evaluation.
+    ///
+    /// Numeric values compare to each other (with int→float promotion),
+    /// strings compare lexicographically, booleans compare as
+    /// `false < true`. Values of incomparable kinds return `None`, which
+    /// predicate evaluation treats as "predicate not satisfied".
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                // unwrap: both sides are numeric by the guard
+                Some(a.as_f64().unwrap().total_cmp(&b.as_f64().unwrap()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Semantic equality: `Int(3)` equals `Float(3.0)`.
+    pub fn sem_eq(&self, other: &Value) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+}
+
+/// Kind tag of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// Integer kind.
+    Int,
+    /// Float kind.
+    Float,
+    /// String kind.
+    Str,
+    /// Boolean kind.
+    Bool,
+}
+
+impl ValueKind {
+    /// Whether this kind participates in numeric comparisons.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ValueKind::Int | ValueKind::Float)
+    }
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Str => "string",
+            ValueKind::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total *structural* order: by kind tag first, then within kind.
+    /// Use [`Value::compare`] for the semantic order used by predicates.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            _ => self.kind().cmp(&other.kind()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.kind().hash(state);
+        match self {
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Bool(b) => b.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_numeric_comparison_promotes() {
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(7.5).compare(&Value::Int(7)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn incomparable_kinds_return_none() {
+        assert_eq!(Value::from("x").compare(&Value::Int(1)), None);
+        assert_eq!(Value::from(true).compare(&Value::Float(1.0)), None);
+        assert_eq!(Value::from("a").compare(&Value::Bool(false)), None);
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(
+            Value::from("abc").compare(&Value::from("abd")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::from("b").compare(&Value::from("ab")),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn structural_order_is_total() {
+        let mut values = vec![
+            Value::from("z"),
+            Value::from(1),
+            Value::from(2.5),
+            Value::from(false),
+            Value::from(-7),
+        ];
+        values.sort();
+        // ints first, then floats, then strings, then bools
+        assert_eq!(
+            values,
+            vec![
+                Value::from(-7),
+                Value::from(1),
+                Value::from(2.5),
+                Value::from("z"),
+                Value::from(false),
+            ]
+        );
+    }
+
+    #[test]
+    fn nan_rejected_by_checked_constructor() {
+        assert!(Value::float(f64::NAN).is_none());
+        assert!(Value::float(1.25).is_some());
+    }
+
+    #[test]
+    fn sem_eq_crosses_numeric_kinds() {
+        assert!(Value::Int(4).sem_eq(&Value::Float(4.0)));
+        assert!(!Value::Int(4).sem_eq(&Value::Float(4.1)));
+        assert!(!Value::from("4").sem_eq(&Value::Int(4)));
+    }
+
+    #[test]
+    fn hash_consistent_with_structural_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(&Value::Int(5)), h(&Value::Int(5)));
+        assert_eq!(h(&Value::from("abc")), h(&Value::from("abc")));
+        // Structurally distinct even though semantically equal:
+        assert_ne!(Value::Int(4), Value::Float(4.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::from("hi").to_string(), "'hi'");
+        assert_eq!(Value::from(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,520 @@
+//! # transmob-runtime
+//!
+//! A *threaded deployment* of the transmob stack: every broker of the
+//! overlay runs as an OS thread hosting the same
+//! [`MobileBroker`] state machine the
+//! simulator drives, exchanging messages over crossbeam channels. This
+//! is the "real system" face of the reproduction: the examples and the
+//! integration tests run the movement protocols over genuinely
+//! concurrent brokers with wall-clock protocol timers.
+//!
+//! The entry point is [`Network`]; clients are driven through
+//! [`Client`] handles:
+//!
+//! ```
+//! use transmob_runtime::Network;
+//! use transmob_broker::Topology;
+//! use transmob_core::{MobileBrokerConfig, ProtocolKind};
+//! use transmob_pubsub::{BrokerId, ClientId, Filter, Publication};
+//! use std::time::Duration;
+//!
+//! let net = Network::start(Topology::chain(3), MobileBrokerConfig::reconfig());
+//! let publisher = net.create_client(BrokerId(1), ClientId(1));
+//! let subscriber = net.create_client(BrokerId(3), ClientId(2));
+//! publisher.advertise(Filter::builder().ge("x", 0).build());
+//! subscriber.subscribe(Filter::builder().ge("x", 0).build());
+//! std::thread::sleep(Duration::from_millis(50));
+//! publisher.publish(Publication::new().with("x", 7));
+//! let n = subscriber.recv_timeout(Duration::from_secs(2)).expect("delivery");
+//! assert_eq!(n.publisher, ClientId(1));
+//! // Move the subscriber; deliveries continue at the new broker.
+//! assert!(subscriber.move_to(BrokerId(1), ProtocolKind::Reconfig, Duration::from_secs(5)));
+//! publisher.publish(Publication::new().with("x", 8));
+//! assert!(subscriber.recv_timeout(Duration::from_secs(2)).is_some());
+//! net.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod tcp;
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use transmob_broker::{Hop, Topology};
+use transmob_core::{
+    ClientOp, Message, MobileBroker, MobileBrokerConfig, Output, ProtocolKind, TimerToken,
+};
+use transmob_pubsub::{BrokerId, ClientId, Filter, MoveId, Publication, PublicationMsg};
+
+/// The outcome of a movement, delivered to the issuing client's handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveOutcome {
+    /// The movement transaction id.
+    pub m: MoveId,
+    /// Whether the client now runs at the target.
+    pub committed: bool,
+}
+
+enum Envelope {
+    FromBroker(BrokerId, Message),
+    FromClient(ClientId, ClientOp),
+    CreateClient(ClientId),
+    Shutdown,
+}
+
+impl fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Envelope::FromBroker(b, m) => write!(f, "FromBroker({b}, {m})"),
+            Envelope::FromClient(c, _) => write!(f, "FromClient({c}, ..)"),
+            Envelope::CreateClient(c) => write!(f, "CreateClient({c})"),
+            Envelope::Shutdown => f.write_str("Shutdown"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    homes: BTreeMap<ClientId, BrokerId>,
+    deliveries: BTreeMap<ClientId, Sender<PublicationMsg>>,
+    move_events: BTreeMap<ClientId, Sender<MoveOutcome>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    topology: Arc<Topology>,
+    senders: BTreeMap<BrokerId, Sender<Envelope>>,
+    registry: RwLock<Registry>,
+}
+
+/// A running broker network: one thread per broker.
+///
+/// Shut it down explicitly with [`Network::shutdown`]; dropping the
+/// handle also stops the threads (without blocking indefinitely on a
+/// healthy network).
+#[derive(Debug)]
+pub struct Network {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Network {
+    /// Starts one broker thread per topology node, all configured with
+    /// `config`.
+    pub fn start(topology: Topology, config: MobileBrokerConfig) -> Self {
+        let topology = Arc::new(topology);
+        let mut senders = BTreeMap::new();
+        let mut receivers = BTreeMap::new();
+        for b in topology.brokers() {
+            let (tx, rx) = unbounded();
+            senders.insert(b, tx);
+            receivers.insert(b, rx);
+        }
+        let shared = Arc::new(Shared {
+            topology: Arc::clone(&topology),
+            senders,
+            registry: RwLock::new(Registry::default()),
+        });
+        let handles = receivers
+            .into_iter()
+            .map(|(b, rx)| {
+                let shared = Arc::clone(&shared);
+                let config = config.clone();
+                let topology = Arc::clone(&topology);
+                std::thread::Builder::new()
+                    .name(format!("broker-{b}"))
+                    .spawn(move || broker_main(b, topology, config, rx, shared))
+                    .expect("spawn broker thread")
+            })
+            .collect();
+        Network { shared, handles }
+    }
+
+    /// The overlay topology.
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topology
+    }
+
+    /// Creates (attaches and starts) a client at `broker` and returns
+    /// its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `broker` is not in the topology or the client id is
+    /// already in use.
+    pub fn create_client(&self, broker: BrokerId, id: ClientId) -> Client {
+        let (dtx, drx) = unbounded();
+        let (mtx, mrx) = unbounded();
+        {
+            let mut reg = self.shared.registry.write();
+            assert!(
+                !reg.homes.contains_key(&id),
+                "client id {id} already in use"
+            );
+            reg.homes.insert(id, broker);
+            reg.deliveries.insert(id, dtx);
+            reg.move_events.insert(id, mtx);
+        }
+        self.shared.senders[&broker]
+            .send(Envelope::CreateClient(id))
+            .expect("broker thread alive");
+        Client {
+            id,
+            shared: Arc::clone(&self.shared),
+            deliveries: drx,
+            moves: mrx,
+        }
+    }
+
+    /// The broker currently hosting `client` (its command target).
+    pub fn home_of(&self, client: ClientId) -> Option<BrokerId> {
+        self.shared.registry.read().homes.get(&client).copied()
+    }
+
+    /// Stops all broker threads and waits for them to finish.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        for tx in self.shared.senders.values() {
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// A handle to a client hosted somewhere in the network. Commands are
+/// routed to whatever broker currently hosts the client; notifications
+/// arrive on the handle's delivery channel.
+#[derive(Debug)]
+pub struct Client {
+    id: ClientId,
+    shared: Arc<Shared>,
+    deliveries: Receiver<PublicationMsg>,
+    moves: Receiver<MoveOutcome>,
+}
+
+impl Client {
+    /// The client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn send_op(&self, op: ClientOp) {
+        let home = self
+            .shared
+            .registry
+            .read()
+            .homes
+            .get(&self.id)
+            .copied()
+            .expect("client registered");
+        let _ = self.shared.senders[&home].send(Envelope::FromClient(self.id, op));
+    }
+
+    /// Issues a subscription.
+    pub fn subscribe(&self, filter: Filter) {
+        self.send_op(ClientOp::Subscribe(filter));
+    }
+
+    /// Withdraws the subscription with client-local sequence `seq`
+    /// (subscriptions are numbered 0, 1, ... in issue order).
+    pub fn unsubscribe(&self, seq: u32) {
+        self.send_op(ClientOp::Unsubscribe(seq));
+    }
+
+    /// Issues an advertisement.
+    pub fn advertise(&self, filter: Filter) {
+        self.send_op(ClientOp::Advertise(filter));
+    }
+
+    /// Withdraws the advertisement with client-local sequence `seq`.
+    pub fn unadvertise(&self, seq: u32) {
+        self.send_op(ClientOp::Unadvertise(seq));
+    }
+
+    /// Publishes a publication.
+    pub fn publish(&self, content: Publication) {
+        self.send_op(ClientOp::Publish(content));
+    }
+
+    /// Application-level pause: notifications buffer at the broker and
+    /// commands queue until [`Client::resume`].
+    pub fn pause(&self) {
+        self.send_op(ClientOp::Pause);
+    }
+
+    /// Resumes from an application-level pause.
+    pub fn resume(&self) {
+        self.send_op(ClientOp::Resume);
+    }
+
+    /// Requests a movement and waits up to `timeout` for it to finish.
+    /// Returns `true` if the movement committed (the client now runs
+    /// at `target`).
+    pub fn move_to(&self, target: BrokerId, protocol: ProtocolKind, timeout: Duration) -> bool {
+        self.send_op(ClientOp::MoveTo(target, protocol));
+        match self.moves.recv_timeout(timeout) {
+            Ok(outcome) => outcome.committed,
+            Err(_) => false,
+        }
+    }
+
+    /// Requests a movement without waiting (the outcome arrives via
+    /// [`Client::next_move_outcome`]).
+    pub fn move_to_async(&self, target: BrokerId, protocol: ProtocolKind) {
+        self.send_op(ClientOp::MoveTo(target, protocol));
+    }
+
+    /// Waits for the next movement outcome.
+    pub fn next_move_outcome(&self, timeout: Duration) -> Option<MoveOutcome> {
+        self.moves.recv_timeout(timeout).ok()
+    }
+
+    /// Receives the next notification, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<PublicationMsg> {
+        self.deliveries.recv_timeout(timeout).ok()
+    }
+
+    /// Receives a notification if one is already queued.
+    pub fn try_recv(&self) -> Option<PublicationMsg> {
+        self.deliveries.try_recv().ok()
+    }
+
+    /// Drains all currently queued notifications.
+    pub fn drain(&self) -> Vec<PublicationMsg> {
+        let mut out = Vec::new();
+        while let Ok(p) = self.deliveries.try_recv() {
+            out.push(p);
+        }
+        out
+    }
+}
+
+/// The per-broker thread: drives a [`MobileBroker`] from its channel,
+/// maintaining a local timer heap for protocol timeouts.
+fn broker_main(
+    id: BrokerId,
+    topology: Arc<Topology>,
+    config: MobileBrokerConfig,
+    rx: Receiver<Envelope>,
+    shared: Arc<Shared>,
+) {
+    let mut broker = MobileBroker::new(id, topology, config);
+    let mut timers: BinaryHeap<Reverse<(Instant, TimerToken)>> = BinaryHeap::new();
+    let mut cancelled: BTreeSet<TimerToken> = BTreeSet::new();
+    loop {
+        // Fire due timers first.
+        let now = Instant::now();
+        while let Some(Reverse((deadline, token))) = timers.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            timers.pop();
+            if cancelled.remove(&token) {
+                continue;
+            }
+            let outs = broker.handle_timer(token);
+            dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+        }
+        // Wait for the next message or the next timer deadline.
+        let envelope = match timers.peek() {
+            Some(Reverse((deadline, _))) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(e) => e,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match rx.recv() {
+                Ok(e) => e,
+                Err(_) => return,
+            },
+        };
+        match envelope {
+            Envelope::Shutdown => return,
+            Envelope::CreateClient(c) => broker.create_client(c),
+            Envelope::FromClient(c, op) => {
+                if broker.client(c).is_none() {
+                    // The client moved away while the command was in
+                    // flight; forward it to the current home (the
+                    // registry is updated before the source cleans up,
+                    // so re-resolution always progresses).
+                    let home = shared.registry.read().homes.get(&c).copied();
+                    match home {
+                        Some(h) if h != id => {
+                            let _ = shared.senders[&h].send(Envelope::FromClient(c, op));
+                        }
+                        _ => {} // client gone entirely: drop
+                    }
+                    continue;
+                }
+                let outs = broker.client_op(c, op);
+                dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+            }
+            Envelope::FromBroker(from, msg) => {
+                let outs = broker.handle(Hop::Broker(from), msg);
+                dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+            }
+        }
+    }
+}
+
+fn dispatch(
+    id: BrokerId,
+    shared: &Shared,
+    timers: &mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
+    cancelled: &mut BTreeSet<TimerToken>,
+    outs: Vec<Output>,
+) {
+    for o in outs {
+        match o {
+            Output::Send { to, msg } => {
+                let _ = shared.senders[&to].send(Envelope::FromBroker(id, msg));
+            }
+            Output::DeliverToApp {
+                client,
+                publication,
+            } => {
+                let reg = shared.registry.read();
+                if let Some(tx) = reg.deliveries.get(&client) {
+                    let _ = tx.send(publication);
+                }
+            }
+            Output::SetTimer { token, delay_ns } => {
+                cancelled.remove(&token);
+                timers.push(Reverse((
+                    Instant::now() + Duration::from_nanos(delay_ns),
+                    token,
+                )));
+            }
+            Output::CancelTimer { token } => {
+                cancelled.insert(token);
+            }
+            Output::MoveFinished {
+                m,
+                client,
+                committed,
+            } => {
+                // The home registry was already flipped by the target's
+                // `ClientArrived` for committed moves; here we only
+                // signal the outcome to the client handle.
+                let reg = shared.registry.read();
+                if let Some(tx) = reg.move_events.get(&client) {
+                    let _ = tx.send(MoveOutcome { m, committed });
+                }
+            }
+            Output::ClientArrived { m: _, client } => {
+                // Commands issued from now on route to the new home.
+                let mut reg = shared.registry.write();
+                reg.homes.insert(client, id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId(i)
+    }
+    fn c(i: u64) -> ClientId {
+        ClientId(i)
+    }
+    fn range(lo: i64, hi: i64) -> Filter {
+        Filter::builder().ge("x", lo).le("x", hi).build()
+    }
+
+    #[test]
+    fn end_to_end_delivery() {
+        let net = Network::start(Topology::chain(4), MobileBrokerConfig::reconfig());
+        let p = net.create_client(b(1), c(1));
+        let s = net.create_client(b(4), c(2));
+        p.advertise(range(0, 100));
+        s.subscribe(range(0, 100));
+        std::thread::sleep(Duration::from_millis(50));
+        p.publish(Publication::new().with("x", 5));
+        let got = s.recv_timeout(Duration::from_secs(2)).expect("delivery");
+        assert_eq!(got.publisher, c(1));
+        net.shutdown();
+    }
+
+    #[test]
+    fn reconfig_move_over_threads() {
+        let net = Network::start(Topology::chain(5), MobileBrokerConfig::reconfig());
+        let p = net.create_client(b(1), c(1));
+        let s = net.create_client(b(5), c(2));
+        p.advertise(range(0, 100));
+        s.subscribe(range(0, 100));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(s.move_to(b(2), ProtocolKind::Reconfig, Duration::from_secs(5)));
+        assert_eq!(net.home_of(c(2)), Some(b(2)));
+        p.publish(Publication::new().with("x", 5));
+        assert!(s.recv_timeout(Duration::from_secs(2)).is_some());
+        net.shutdown();
+    }
+
+    #[test]
+    fn covering_move_over_threads() {
+        let net = Network::start(Topology::chain(5), MobileBrokerConfig::covering());
+        let p = net.create_client(b(1), c(1));
+        let s = net.create_client(b(5), c(2));
+        p.advertise(range(0, 100));
+        s.subscribe(range(0, 100));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(s.move_to(b(3), ProtocolKind::Covering, Duration::from_secs(5)));
+        p.publish(Publication::new().with("x", 5));
+        assert!(s.recv_timeout(Duration::from_secs(2)).is_some());
+        net.shutdown();
+    }
+
+    #[test]
+    fn no_duplicates_across_repeated_moves() {
+        let net = Network::start(Topology::chain(4), MobileBrokerConfig::reconfig());
+        let p = net.create_client(b(1), c(1));
+        let s = net.create_client(b(4), c(2));
+        p.advertise(range(0, 100));
+        s.subscribe(range(0, 100));
+        std::thread::sleep(Duration::from_millis(50));
+        let mut total = 0;
+        for round in 0..3 {
+            let dest = if round % 2 == 0 { b(1) } else { b(4) };
+            assert!(s.move_to(dest, ProtocolKind::Reconfig, Duration::from_secs(5)));
+            p.publish(Publication::new().with("x", round));
+            total += 1;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        let got = s.drain();
+        assert_eq!(got.len(), total);
+        let ids: std::collections::BTreeSet<_> = got.iter().map(|x| x.id).collect();
+        assert_eq!(ids.len(), total, "duplicate deliveries");
+        net.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down_threads() {
+        let net = Network::start(Topology::chain(2), MobileBrokerConfig::reconfig());
+        let _cl = net.create_client(b(1), c(1));
+        drop(net); // must not hang
+    }
+}

@@ -1,0 +1,478 @@
+//! A TCP transport for the broker overlay: every overlay link is a
+//! real socket carrying newline-delimited JSON frames of the protocol
+//! [`Message`]s — the same bytes a multi-host deployment would put on
+//! the wire. Brokers still run as threads of this process (the paper's
+//! cluster ran one broker per machine; the transport, serialization
+//! and framing are what this module makes real), and clients attach
+//! through in-process handles exactly as with [`crate::Network`].
+//!
+//! ```no_run
+//! use transmob_runtime::tcp::TcpNetwork;
+//! use transmob_broker::Topology;
+//! use transmob_core::MobileBrokerConfig;
+//!
+//! let net = TcpNetwork::start(Topology::chain(3), MobileBrokerConfig::reconfig())
+//!     .expect("bind overlay sockets");
+//! // ... create clients, publish, move — same API as Network ...
+//! net.shutdown();
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use transmob_broker::{Hop, Topology};
+use transmob_core::{ClientOp, Message, MobileBroker, MobileBrokerConfig, Output};
+use transmob_pubsub::{BrokerId, ClientId, Filter, Publication, PublicationMsg};
+
+use crate::MoveOutcome;
+
+/// One wire frame: the sending broker plus the protocol message.
+#[derive(Debug, Serialize, Deserialize)]
+struct Frame {
+    from: u32,
+    msg: Message,
+}
+
+enum Input {
+    FromBroker(BrokerId, Message),
+    FromClient(ClientId, ClientOp),
+    CreateClient(ClientId),
+    Shutdown,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    homes: BTreeMap<ClientId, BrokerId>,
+    deliveries: BTreeMap<ClientId, Sender<PublicationMsg>>,
+    move_events: BTreeMap<ClientId, Sender<MoveOutcome>>,
+}
+
+struct Shared {
+    inputs: BTreeMap<BrokerId, Sender<Input>>,
+    registry: RwLock<Registry>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({} brokers)", self.inputs.len())
+    }
+}
+
+type LinkWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// A broker overlay whose links are real TCP sockets.
+pub struct TcpNetwork {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// One handle per socket endpoint, shut down explicitly so reader
+    /// threads observe EOF and can be joined.
+    sockets: Vec<TcpStream>,
+}
+
+impl std::fmt::Debug for TcpNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TcpNetwork({} broker threads)", self.handles.len())
+    }
+}
+
+impl TcpNetwork {
+    /// Binds one loopback listener per broker, connects every overlay
+    /// edge, and starts the broker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/connect errors.
+    pub fn start(topology: Topology, config: MobileBrokerConfig) -> io::Result<TcpNetwork> {
+        let topology = Arc::new(topology);
+        // Phase 1: bind all listeners on ephemeral loopback ports.
+        let mut listeners: BTreeMap<BrokerId, TcpListener> = BTreeMap::new();
+        let mut addrs: BTreeMap<BrokerId, std::net::SocketAddr> = BTreeMap::new();
+        for b in topology.brokers() {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            addrs.insert(b, l.local_addr()?);
+            listeners.insert(b, l);
+        }
+        // Phase 2: connect each edge, lower id dialing the higher.
+        // Handshake: the dialer sends its broker id as the first line.
+        let mut inputs: BTreeMap<BrokerId, Sender<Input>> = BTreeMap::new();
+        let mut input_rx: BTreeMap<BrokerId, Receiver<Input>> = BTreeMap::new();
+        for b in topology.brokers() {
+            let (tx, rx) = unbounded();
+            inputs.insert(b, tx);
+            input_rx.insert(b, rx);
+        }
+        let shared = Arc::new(Shared {
+            inputs,
+            registry: RwLock::new(Registry::default()),
+        });
+        let mut links: BTreeMap<BrokerId, BTreeMap<BrokerId, LinkWriter>> = BTreeMap::new();
+        let mut reader_handles = Vec::new();
+        let mut sockets: Vec<TcpStream> = Vec::new();
+        for (a, b) in topology.edges() {
+            // a < b by construction of `edges()`.
+            let dial = TcpStream::connect(addrs[&b])?;
+            {
+                let mut w = BufWriter::new(dial.try_clone()?);
+                writeln!(w, "{}", a.0)?;
+                w.flush()?;
+            }
+            let (accepted, _) = listeners[&b].accept()?;
+            {
+                // Consume the handshake line.
+                let mut r = BufReader::new(accepted.try_clone()?);
+                let mut line = String::new();
+                r.read_line(&mut line)?;
+                let peer: u32 = line
+                    .trim()
+                    .parse()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+                if peer != a.0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "handshake id mismatch",
+                    ));
+                }
+            }
+            // a's side: writes on `dial`, reads frames from b.
+            links
+                .entry(a)
+                .or_default()
+                .insert(b, Arc::new(Mutex::new(BufWriter::new(dial.try_clone()?))));
+            sockets.push(dial.try_clone()?);
+            reader_handles.push(spawn_reader(a, dial, Arc::clone(&shared)));
+            // b's side: writes on `accepted`, reads frames from a.
+            links.entry(b).or_default().insert(
+                a,
+                Arc::new(Mutex::new(BufWriter::new(accepted.try_clone()?))),
+            );
+            sockets.push(accepted.try_clone()?);
+            reader_handles.push(spawn_reader(b, accepted, Arc::clone(&shared)));
+        }
+        drop(listeners);
+        // Phase 3: broker threads.
+        let mut handles = reader_handles;
+        for b in topology.brokers() {
+            let rx = input_rx.remove(&b).expect("input channel");
+            let writers = links.remove(&b).unwrap_or_default();
+            let shared2 = Arc::clone(&shared);
+            let topology2 = Arc::clone(&topology);
+            let config2 = config.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-broker-{b}"))
+                    .spawn(move || tcp_broker_main(b, topology2, config2, rx, writers, shared2))
+                    .expect("spawn broker thread"),
+            );
+        }
+        Ok(TcpNetwork {
+            shared,
+            handles,
+            sockets,
+        })
+    }
+
+    /// Creates (attaches and starts) a client at `broker`, returning
+    /// its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client id is already in use.
+    pub fn create_client(&self, broker: BrokerId, id: ClientId) -> TcpClient {
+        let (dtx, drx) = unbounded();
+        let (mtx, mrx) = unbounded();
+        {
+            let mut reg = self.shared.registry.write();
+            assert!(!reg.homes.contains_key(&id), "client id {id} already in use");
+            reg.homes.insert(id, broker);
+            reg.deliveries.insert(id, dtx);
+            reg.move_events.insert(id, mtx);
+        }
+        let _ = self.shared.inputs[&broker].send(Input::CreateClient(id));
+        TcpClient {
+            id,
+            shared: Arc::clone(&self.shared),
+            deliveries: drx,
+            moves: mrx,
+        }
+    }
+
+    /// The broker currently hosting `client`.
+    pub fn home_of(&self, client: ClientId) -> Option<BrokerId> {
+        self.shared.registry.read().homes.get(&client).copied()
+    }
+
+    /// Stops all broker threads, closes every socket so reader threads
+    /// observe EOF, and waits for them all.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        for tx in self.shared.inputs.values() {
+            let _ = tx.send(Input::Shutdown);
+        }
+        for s in self.sockets.drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpNetwork {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A client handle on a [`TcpNetwork`] (same surface as
+/// [`crate::Client`]).
+#[derive(Debug)]
+pub struct TcpClient {
+    id: ClientId,
+    shared: Arc<Shared>,
+    deliveries: Receiver<PublicationMsg>,
+    moves: Receiver<MoveOutcome>,
+}
+
+impl TcpClient {
+    /// The client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn send_op(&self, op: ClientOp) {
+        let home = self
+            .shared
+            .registry
+            .read()
+            .homes
+            .get(&self.id)
+            .copied()
+            .expect("client registered");
+        let _ = self.shared.inputs[&home].send(Input::FromClient(self.id, op));
+    }
+
+    /// Issues a subscription.
+    pub fn subscribe(&self, filter: Filter) {
+        self.send_op(ClientOp::Subscribe(filter));
+    }
+
+    /// Issues an advertisement.
+    pub fn advertise(&self, filter: Filter) {
+        self.send_op(ClientOp::Advertise(filter));
+    }
+
+    /// Publishes a publication.
+    pub fn publish(&self, content: Publication) {
+        self.send_op(ClientOp::Publish(content));
+    }
+
+    /// Requests a movement and waits up to `timeout` for it to finish.
+    pub fn move_to(
+        &self,
+        target: BrokerId,
+        protocol: transmob_core::ProtocolKind,
+        timeout: Duration,
+    ) -> bool {
+        self.send_op(ClientOp::MoveTo(target, protocol));
+        matches!(
+            self.moves.recv_timeout(timeout),
+            Ok(MoveOutcome { committed: true, .. })
+        )
+    }
+
+    /// Receives the next notification, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<PublicationMsg> {
+        self.deliveries.recv_timeout(timeout).ok()
+    }
+
+    /// Drains all currently queued notifications.
+    pub fn drain(&self) -> Vec<PublicationMsg> {
+        let mut out = Vec::new();
+        while let Ok(p) = self.deliveries.try_recv() {
+            out.push(p);
+        }
+        out
+    }
+}
+
+/// Reads JSON frames from one socket and feeds them to the owning
+/// broker's input channel. Exits on EOF or socket error.
+fn spawn_reader(owner: BrokerId, stream: TcpStream, shared: Arc<Shared>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("tcp-reader-{owner}"))
+        .spawn(move || {
+            let reader = BufReader::new(stream);
+            for line in reader.lines() {
+                let Ok(line) = line else { return };
+                let Ok(frame) = serde_json::from_str::<Frame>(&line) else {
+                    return; // corrupt peer: drop the link
+                };
+                if shared.inputs[&owner]
+                    .send(Input::FromBroker(BrokerId(frame.from), frame.msg))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        })
+        .expect("spawn reader thread")
+}
+
+fn tcp_broker_main(
+    id: BrokerId,
+    topology: Arc<Topology>,
+    config: MobileBrokerConfig,
+    rx: Receiver<Input>,
+    writers: BTreeMap<BrokerId, LinkWriter>,
+    shared: Arc<Shared>,
+) {
+    let mut broker = MobileBroker::new(id, topology, config);
+    // Timers are unnecessary for the blocking-variant tests this
+    // transport targets; armed timers are ignored (documented).
+    loop {
+        let input = match rx.recv() {
+            Ok(i) => i,
+            Err(_) => return,
+        };
+        let outs = match input {
+            Input::Shutdown => return,
+            Input::CreateClient(c) => {
+                broker.create_client(c);
+                continue;
+            }
+            Input::FromClient(c, op) => {
+                if broker.client(c).is_none() {
+                    let home = shared.registry.read().homes.get(&c).copied();
+                    if let Some(h) = home {
+                        if h != id {
+                            let _ = shared.inputs[&h].send(Input::FromClient(c, op));
+                        }
+                    }
+                    continue;
+                }
+                broker.client_op(c, op)
+            }
+            Input::FromBroker(from, msg) => broker.handle(Hop::Broker(from), msg),
+        };
+        for o in outs {
+            match o {
+                Output::Send { to, msg } => {
+                    if let Some(w) = writers.get(&to) {
+                        let mut w = w.lock();
+                        let frame = Frame { from: id.0, msg };
+                        if let Ok(line) = serde_json::to_string(&frame) {
+                            let _ = writeln!(w, "{line}");
+                            let _ = w.flush();
+                        }
+                    }
+                }
+                Output::DeliverToApp {
+                    client,
+                    publication,
+                } => {
+                    let reg = shared.registry.read();
+                    if let Some(tx) = reg.deliveries.get(&client) {
+                        let _ = tx.send(publication);
+                    }
+                }
+                Output::MoveFinished {
+                    m,
+                    client,
+                    committed,
+                } => {
+                    let reg = shared.registry.read();
+                    if let Some(tx) = reg.move_events.get(&client) {
+                        let _ = tx.send(MoveOutcome { m, committed });
+                    }
+                }
+                Output::ClientArrived { client, .. } => {
+                    shared.registry.write().homes.insert(client, id);
+                }
+                Output::SetTimer { .. } | Output::CancelTimer { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmob_core::ProtocolKind;
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId(i)
+    }
+    fn c(i: u64) -> ClientId {
+        ClientId(i)
+    }
+    fn range(lo: i64, hi: i64) -> Filter {
+        Filter::builder().ge("x", lo).le("x", hi).build()
+    }
+
+    #[test]
+    fn delivery_over_real_sockets() {
+        let net = TcpNetwork::start(Topology::chain(4), MobileBrokerConfig::reconfig())
+            .expect("sockets");
+        let p = net.create_client(b(1), c(1));
+        let s = net.create_client(b(4), c(2));
+        p.advertise(range(0, 100));
+        s.subscribe(range(0, 100));
+        std::thread::sleep(Duration::from_millis(100));
+        p.publish(Publication::new().with("x", 7));
+        let got = s.recv_timeout(Duration::from_secs(3)).expect("delivery");
+        assert_eq!(got.publisher, c(1));
+        net.shutdown();
+    }
+
+    #[test]
+    fn transactional_move_over_real_sockets() {
+        let net = TcpNetwork::start(Topology::chain(5), MobileBrokerConfig::reconfig())
+            .expect("sockets");
+        let p = net.create_client(b(1), c(1));
+        let s = net.create_client(b(5), c(2));
+        p.advertise(range(0, 100));
+        s.subscribe(range(0, 100));
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(s.move_to(b(2), ProtocolKind::Reconfig, Duration::from_secs(10)));
+        assert_eq!(net.home_of(c(2)), Some(b(2)));
+        p.publish(Publication::new().with("x", 9));
+        assert!(s.recv_timeout(Duration::from_secs(3)).is_some());
+        // Exactly once even over the wire.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(s.drain().is_empty());
+        net.shutdown();
+    }
+
+    #[test]
+    fn covering_protocol_over_real_sockets() {
+        let net = TcpNetwork::start(Topology::chain(4), MobileBrokerConfig::covering())
+            .expect("sockets");
+        let p = net.create_client(b(1), c(1));
+        let s = net.create_client(b(4), c(2));
+        p.advertise(range(0, 100));
+        s.subscribe(range(0, 100));
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(s.move_to(b(2), ProtocolKind::Covering, Duration::from_secs(10)));
+        p.publish(Publication::new().with("x", 3));
+        assert!(s.recv_timeout(Duration::from_secs(3)).is_some());
+        net.shutdown();
+    }
+
+    #[test]
+    fn drop_is_clean() {
+        let net = TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig())
+            .expect("sockets");
+        let _c = net.create_client(b(1), c(1));
+        drop(net); // must join without hanging
+    }
+}

@@ -1,0 +1,825 @@
+//! The discrete-event simulation driver.
+//!
+//! [`Sim`] hosts one [`MobileBroker`] per overlay node and advances a
+//! virtual clock over a priority queue of events. Brokers and links
+//! are FIFO servers (see [`crate::network`]); protocol timers fire as
+//! events; client commands (including `MOVE`) are injected on a
+//! schedule; and repeated movement patterns — the paper's "move, pause
+//! ten seconds, move again" clients — run as [`MovementPlan`]s.
+//!
+//! Failure injection: brokers can crash and restart. Per the paper's
+//! fault model (Sec. 3.5), a crashed broker's algorithmic and queue
+//! state is persisted: messages addressed to it are *delayed*, not
+//! lost, and processing resumes at restart.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transmob_broker::{Hop, Topology};
+use transmob_core::{
+    ClientOp, Message, MobileBroker, MobileBrokerConfig, Output, ProtocolKind,
+    TimerToken,
+};
+use transmob_pubsub::{BrokerId, ClientId, MoveId};
+
+use crate::metrics::Metrics;
+use crate::network::NetworkModel;
+use crate::time::{SimDuration, SimTime};
+
+/// A repeating movement pattern for one client: cycle through
+/// `destinations`, pausing between movements (the paper's default
+/// pause is ten seconds).
+#[derive(Debug, Clone)]
+pub struct MovementPlan {
+    /// Destinations visited round-robin.
+    pub destinations: Vec<BrokerId>,
+    /// Pause at each broker between movements.
+    pub pause: SimDuration,
+    /// Which protocol each movement uses.
+    pub protocol: ProtocolKind,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// A message arrives at a broker's input queue.
+    Arrive {
+        dst: BrokerId,
+        from: Hop,
+        msg: Message,
+        cause: Option<MoveId>,
+    },
+    /// A broker finishes processing a message.
+    Exec {
+        dst: BrokerId,
+        from: Hop,
+        msg: Message,
+        cause: Option<MoveId>,
+    },
+    /// A client command reaches the client's current broker.
+    Cmd { client: ClientId, op: ClientOp },
+    /// A client command is processed by its broker.
+    CmdExec {
+        broker: BrokerId,
+        client: ClientId,
+        op: ClientOp,
+    },
+    /// A protocol timer fires.
+    Timer { broker: BrokerId, token: TimerToken },
+    /// A crashed broker restarts.
+    Restart { broker: BrokerId },
+}
+
+#[derive(Debug)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reversed: the heap pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The discrete-event simulator.
+#[derive(Debug)]
+pub struct Sim {
+    topology: Arc<Topology>,
+    model: NetworkModel,
+    brokers: BTreeMap<BrokerId, MobileBroker>,
+    clock: SimTime,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    broker_free: BTreeMap<BrokerId, SimTime>,
+    link_free: BTreeMap<(BrokerId, BrokerId), SimTime>,
+    link_last_arrival: BTreeMap<(BrokerId, BrokerId), SimTime>,
+    rng: StdRng,
+    /// Collected measurements.
+    pub metrics: Metrics,
+    cancelled: BTreeSet<(BrokerId, TimerToken)>,
+    home: BTreeMap<ClientId, BrokerId>,
+    plans: BTreeMap<ClientId, (MovementPlan, usize)>,
+    plan_deadline: Option<SimTime>,
+    crashed: BTreeSet<BrokerId>,
+    /// Events addressed to a crashed broker, held in arrival order
+    /// (the paper's persisted-queue fault model) and replayed at
+    /// restart.
+    held: BTreeMap<BrokerId, Vec<Event>>,
+    events_processed: u64,
+}
+
+impl Sim {
+    /// Builds a simulator over `topology` with every broker using
+    /// `config`, driven by `model`, seeded by `seed`.
+    pub fn new(
+        topology: Topology,
+        config: MobileBrokerConfig,
+        model: NetworkModel,
+        seed: u64,
+    ) -> Self {
+        let topology = Arc::new(topology);
+        let brokers = topology
+            .brokers()
+            .map(|b| (b, MobileBroker::new(b, Arc::clone(&topology), config.clone())))
+            .collect();
+        Sim {
+            topology,
+            model,
+            brokers,
+            clock: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            broker_free: BTreeMap::new(),
+            link_free: BTreeMap::new(),
+            link_last_arrival: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(false),
+            cancelled: BTreeSet::new(),
+            home: BTreeMap::new(),
+            plans: BTreeMap::new(),
+            plan_deadline: None,
+            crashed: BTreeSet::new(),
+            held: BTreeMap::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Enables the full delivery log (property-checking runs).
+    pub fn enable_delivery_log(&mut self) {
+        self.metrics = Metrics::new(true);
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The overlay topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Immutable access to a broker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn broker(&self, id: BrokerId) -> &MobileBroker {
+        &self.brokers[&id]
+    }
+
+    /// The broker a client currently calls home (its command target).
+    pub fn home_of(&self, client: ClientId) -> Option<BrokerId> {
+        self.home.get(&client).copied()
+    }
+
+    /// Total protocol/routing anomalies across brokers (healthy runs:
+    /// zero).
+    pub fn total_anomalies(&self) -> u64 {
+        self.brokers
+            .values()
+            .map(|b| b.anomalies() + b.core().stats().anomalies)
+            .sum()
+    }
+
+    /// Events processed so far (progress/debug metric).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Creates (attaches and starts) a client at `broker`, effective
+    /// immediately.
+    pub fn create_client(&mut self, broker: BrokerId, client: ClientId) {
+        self.brokers
+            .get_mut(&broker)
+            .expect("unknown broker")
+            .create_client(client);
+        self.home.insert(client, broker);
+    }
+
+    /// Schedules a client command at virtual time `at`. The command is
+    /// routed to whatever broker hosts the client *at that time*.
+    pub fn schedule_cmd(&mut self, at: SimTime, client: ClientId, op: ClientOp) {
+        self.push(at, EventKind::Cmd { client, op });
+    }
+
+    /// Installs a repeating movement plan; the first movement fires at
+    /// `first_at`.
+    pub fn install_plan(&mut self, client: ClientId, plan: MovementPlan, first_at: SimTime) {
+        assert!(
+            !plan.destinations.is_empty(),
+            "movement plan needs at least one destination"
+        );
+        let dest = plan.destinations[0];
+        let protocol = plan.protocol;
+        self.plans.insert(client, (plan, 1));
+        self.schedule_cmd(first_at, client, ClientOp::MoveTo(dest, protocol));
+    }
+
+    /// Stops scheduling plan movements after `t` (already-scheduled
+    /// ones still run).
+    pub fn set_plan_deadline(&mut self, t: SimTime) {
+        self.plan_deadline = Some(t);
+    }
+
+    /// Crashes a broker until `restart_at`: messages addressed to it
+    /// are delayed (queue state persists, per the paper's fault
+    /// model), and its timers are deferred.
+    pub fn crash_broker(&mut self, broker: BrokerId, restart_at: SimTime) {
+        self.crashed.insert(broker);
+        self.push(restart_at, EventKind::Restart { broker });
+    }
+
+    /// Runs until the event queue is empty or the clock passes
+    /// `until` (events after `until` remain queued).
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(ev) = self.heap.peek() {
+            if ev.time > until {
+                break;
+            }
+            // unwrap: peeked above
+            let ev = self.heap.pop().unwrap();
+            self.clock = self.clock.max(ev.time);
+            self.events_processed += 1;
+            self.step(ev);
+        }
+        self.clock = self.clock.max(until);
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_quiescence(&mut self) {
+        while let Some(ev) = self.heap.pop() {
+            self.clock = self.clock.max(ev.time);
+            self.events_processed += 1;
+            self.step(ev);
+        }
+    }
+
+    fn step(&mut self, ev: Event) {
+        let ev_seq = ev.seq;
+        match ev.kind {
+            EventKind::Arrive {
+                dst,
+                from,
+                msg,
+                cause,
+            } => {
+                if self.crashed.contains(&dst) {
+                    // Persisted queue: hold in arrival order and replay
+                    // at restart — per-link FIFO must survive the
+                    // outage or the reconfiguration message could
+                    // overtake in-flight publications, violating the
+                    // ordering the paper's consistency proof relies on.
+                    self.held.entry(dst).or_default().push(Event {
+                        time: self.clock,
+                        seq: ev_seq,
+                        kind: EventKind::Arrive {
+                            dst,
+                            from,
+                            msg,
+                            cause,
+                        },
+                    });
+                    return;
+                }
+                let start = self
+                    .broker_free
+                    .get(&dst)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO)
+                    .max(self.clock);
+                let entries = {
+                    let core = self.brokers[&dst].core();
+                    core.prt().len() + core.srt().len()
+                };
+                let done = start + self.model.sample_process(dst, entries, &mut self.rng);
+                self.broker_free.insert(dst, done);
+                self.push(
+                    done,
+                    EventKind::Exec {
+                        dst,
+                        from,
+                        msg,
+                        cause,
+                    },
+                );
+            }
+            EventKind::Exec {
+                dst,
+                from,
+                msg,
+                cause,
+            } => {
+                let cause = match &msg {
+                    Message::Move(mv) => Some(mv.move_id()),
+                    Message::PubSub(_) => cause,
+                };
+                let outs = self
+                    .brokers
+                    .get_mut(&dst)
+                    .expect("unknown broker")
+                    .handle(from, msg);
+                self.dispatch(dst, cause, outs);
+            }
+            EventKind::Cmd { client, op } => {
+                let Some(broker) = self.home.get(&client).copied() else {
+                    return; // client gone (never created or destroyed)
+                };
+                if self.crashed.contains(&broker) {
+                    self.held
+                        .entry(broker)
+                        .or_default()
+                        .push(Event {
+                            time: self.clock,
+                            seq: ev_seq,
+                            kind: EventKind::Cmd { client, op },
+                        });
+                    return;
+                }
+                let start = self
+                    .broker_free
+                    .get(&broker)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO)
+                    .max(self.clock);
+                let entries = {
+                    let core = self.brokers[&broker].core();
+                    core.prt().len() + core.srt().len()
+                };
+                let done = start + self.model.sample_process(broker, entries, &mut self.rng);
+                self.broker_free.insert(broker, done);
+                self.push(done, EventKind::CmdExec { broker, client, op });
+            }
+            EventKind::CmdExec { broker, client, op } => {
+                if self.brokers[&broker].client(client).is_none() {
+                    // The client moved away between command arrival and
+                    // execution (its stub was cleaned up when the
+                    // transaction acked). Re-resolve its home and
+                    // retry; the home map was updated in the same step
+                    // as the cleanup, so the retry lands correctly.
+                    self.push(self.clock, EventKind::Cmd { client, op });
+                    return;
+                }
+                let is_move = matches!(op, ClientOp::MoveTo(..));
+                let target = match op {
+                    ClientOp::MoveTo(t, _) => Some(t),
+                    _ => None,
+                };
+                let outs = self
+                    .brokers
+                    .get_mut(&broker)
+                    .expect("unknown broker")
+                    .client_op(client, op);
+                if is_move {
+                    // Register the movement start: find the move id in
+                    // the outputs (negotiate/request send, or an
+                    // immediate MoveFinished for degenerate moves).
+                    for o in &outs {
+                        let m = match o {
+                            Output::Send {
+                                msg: Message::Move(mv),
+                                ..
+                            } => Some(mv.move_id()),
+                            Output::MoveFinished { m, .. } => Some(*m),
+                            _ => None,
+                        };
+                        if let Some(m) = m {
+                            self.metrics.move_started(
+                                m,
+                                client,
+                                broker,
+                                target.unwrap_or(broker),
+                                self.clock,
+                            );
+                            break;
+                        }
+                    }
+                }
+                self.dispatch(broker, None, outs);
+            }
+            EventKind::Timer { broker, token } => {
+                if self.cancelled.remove(&(broker, token)) {
+                    return;
+                }
+                if self.crashed.contains(&broker) {
+                    self.held.entry(broker).or_default().push(Event {
+                        time: self.clock,
+                        seq: ev_seq,
+                        kind: EventKind::Timer { broker, token },
+                    });
+                    return;
+                }
+                let outs = self
+                    .brokers
+                    .get_mut(&broker)
+                    .expect("unknown broker")
+                    .handle_timer(token);
+                self.dispatch(broker, Some(token.m), outs);
+            }
+            EventKind::Restart { broker } => {
+                self.crashed.remove(&broker);
+                // Replay the persisted queue in original order; the
+                // original sequence numbers keep held events ahead of
+                // anything that arrives after the restart instant.
+                for mut held in self.held.remove(&broker).unwrap_or_default() {
+                    held.time = self.clock;
+                    self.heap.push(held);
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, src: BrokerId, cause: Option<MoveId>, outs: Vec<Output>) {
+        for o in outs {
+            match o {
+                Output::Send { to, msg } => {
+                    let eff_cause = match &msg {
+                        Message::Move(mv) => Some(mv.move_id()),
+                        Message::PubSub(_) => cause,
+                    };
+                    self.metrics.count_message(msg.kind(), eff_cause);
+                    // Link: FIFO serialization server + latency.
+                    let key = (src, to);
+                    let depart = self
+                        .link_free
+                        .get(&key)
+                        .copied()
+                        .unwrap_or(SimTime::ZERO)
+                        .max(self.clock)
+                        + self.model.serialize_cost(src, to);
+                    self.link_free.insert(key, depart);
+                    let mut arrive = depart + self.model.sample_latency(src, to, &mut self.rng);
+                    // Clamp to preserve per-link FIFO despite jitter.
+                    if let Some(last) = self.link_last_arrival.get(&key) {
+                        if arrive <= *last {
+                            arrive = *last + SimDuration::from_nanos(1);
+                        }
+                    }
+                    self.link_last_arrival.insert(key, arrive);
+                    self.push(
+                        arrive,
+                        EventKind::Arrive {
+                            dst: to,
+                            from: Hop::Broker(src),
+                            msg,
+                            cause: eff_cause,
+                        },
+                    );
+                }
+                Output::DeliverToApp {
+                    client,
+                    publication,
+                } => {
+                    self.metrics.count_delivery(self.clock, client, publication.id);
+                }
+                Output::SetTimer { token, delay_ns } => {
+                    self.cancelled.remove(&(src, token));
+                    let t = self.clock + SimDuration::from_nanos(delay_ns);
+                    self.push(t, EventKind::Timer { broker: src, token });
+                }
+                Output::CancelTimer { token } => {
+                    self.cancelled.insert((src, token));
+                }
+                Output::MoveFinished {
+                    m,
+                    client,
+                    committed,
+                } => {
+                    self.metrics.move_finished(m, committed, self.clock);
+                    if committed {
+                        if let Some(rec) = self.metrics.moves.get(&m) {
+                            let target = rec.target;
+                            self.home.insert(client, target);
+                        }
+                    }
+                    self.schedule_next_plan_move(client);
+                }
+                Output::ClientArrived { .. } => {}
+            }
+        }
+    }
+
+    fn schedule_next_plan_move(&mut self, client: ClientId) {
+        let Some((plan, idx)) = self.plans.get_mut(&client) else {
+            return;
+        };
+        let dest = plan.destinations[*idx % plan.destinations.len()];
+        *idx += 1;
+        let protocol = plan.protocol;
+        // Jitter the pause ±5% so the fleet does not move in lockstep.
+        let jitter = 0.95 + 0.1 * self.rng.gen::<f64>();
+        let at = self.clock + plan.pause.mul_f64(jitter);
+        if let Some(deadline) = self.plan_deadline {
+            if at > deadline {
+                return;
+            }
+        }
+        self.schedule_cmd(at, client, ClientOp::MoveTo(dest, protocol));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmob_pubsub::{Filter, Publication};
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId(i)
+    }
+    fn c(i: u64) -> ClientId {
+        ClientId(i)
+    }
+    fn range(lo: i64, hi: i64) -> Filter {
+        Filter::builder().ge("x", lo).le("x", hi).build()
+    }
+
+    fn base_sim() -> Sim {
+        let mut sim = Sim::new(
+            Topology::chain(5),
+            MobileBrokerConfig::reconfig(),
+            NetworkModel::cluster(),
+            7,
+        );
+        sim.create_client(b(1), c(1));
+        sim.create_client(b(5), c(2));
+        sim.schedule_cmd(SimTime(0), c(1), ClientOp::Advertise(range(0, 100)));
+        sim.schedule_cmd(
+            SimTime(1_000_000),
+            c(2),
+            ClientOp::Subscribe(range(0, 100)),
+        );
+        sim
+    }
+
+    #[test]
+    fn publication_delivery_takes_network_time() {
+        let mut sim = base_sim();
+        sim.schedule_cmd(
+            SimTime(10_000_000),
+            c(1),
+            ClientOp::Publish(Publication::new().with("x", 5)),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics.delivery_count, 1);
+        // 4 links × (latency ≈ 200µs + processing ≈ 300µs) ⇒ ≈ 2ms+.
+        assert!(sim.now() > SimTime(11_000_000));
+    }
+
+    #[test]
+    fn movement_latency_is_measured() {
+        let mut sim = base_sim();
+        sim.schedule_cmd(
+            SimTime(20_000_000),
+            c(2),
+            ClientOp::MoveTo(b(2), ProtocolKind::Reconfig),
+        );
+        sim.run_to_quiescence();
+        let recs: Vec<_> = sim.metrics.finished_moves().collect();
+        assert_eq!(recs.len(), 1);
+        let rec = recs[0].1;
+        assert_eq!(rec.committed, Some(true));
+        let lat = rec.latency().unwrap();
+        // 4 round trips over 4 hops at ~0.5ms/hop ⇒ a few ms.
+        assert!(
+            lat > SimDuration::from_millis(2) && lat < SimDuration::from_millis(60),
+            "implausible latency {lat}"
+        );
+        assert!(rec.messages >= 12); // 4 protocol legs x 3 hops (B5->B2)
+        assert_eq!(sim.home_of(c(2)), Some(b(2)));
+        assert_eq!(sim.total_anomalies(), 0);
+    }
+
+    #[test]
+    fn movement_plan_ping_pongs() {
+        let mut sim = base_sim();
+        sim.run_to_quiescence(); // finish setup
+        sim.install_plan(
+            c(2),
+            MovementPlan {
+                destinations: vec![b(1), b(5)],
+                pause: SimDuration::from_millis(100),
+                protocol: ProtocolKind::Reconfig,
+            },
+            sim.now() + SimDuration::from_millis(1),
+        );
+        let deadline = sim.now() + SimDuration::from_secs(1);
+        sim.set_plan_deadline(deadline);
+        sim.run_to_quiescence();
+        let committed = sim
+            .metrics
+            .finished_moves()
+            .filter(|(_, r)| r.committed == Some(true))
+            .count();
+        // ~1s / (100ms pause + ~few ms move) ⇒ ≈ 8-10 movements.
+        assert!(committed >= 5, "only {committed} movements completed");
+        assert_eq!(sim.total_anomalies(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut sim = Sim::new(
+                Topology::chain(5),
+                MobileBrokerConfig::reconfig(),
+                NetworkModel::cluster(),
+                seed,
+            );
+            sim.create_client(b(1), c(1));
+            sim.create_client(b(5), c(2));
+            sim.schedule_cmd(SimTime(0), c(1), ClientOp::Advertise(range(0, 100)));
+            sim.schedule_cmd(SimTime(0), c(2), ClientOp::Subscribe(range(0, 100)));
+            sim.schedule_cmd(
+                SimTime(5_000_000),
+                c(2),
+                ClientOp::MoveTo(b(3), ProtocolKind::Reconfig),
+            );
+            sim.run_to_quiescence();
+            (
+                sim.now(),
+                sim.metrics.total_traffic(),
+                sim.metrics.mean_latency_ms().to_bits(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn crash_delays_but_does_not_lose_messages() {
+        let mut sim = base_sim();
+        sim.run_to_quiescence();
+        // Crash a mid-path broker, publish through it, then restart.
+        let t0 = sim.now();
+        sim.crash_broker(b(3), t0 + SimDuration::from_secs(2));
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(1),
+            c(1),
+            ClientOp::Publish(Publication::new().with("x", 9)),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics.delivery_count, 1, "publication lost in crash");
+        // Delivery had to wait out the crash.
+        assert!(sim.now() >= t0 + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn run_until_stops_the_clock() {
+        let mut sim = base_sim();
+        sim.schedule_cmd(
+            SimTime(5_000_000_000),
+            c(1),
+            ClientOp::Publish(Publication::new().with("x", 5)),
+        );
+        sim.run_until(SimTime(1_000_000_000));
+        assert_eq!(sim.metrics.delivery_count, 0);
+        assert_eq!(sim.now(), SimTime(1_000_000_000));
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics.delivery_count, 1);
+    }
+}
+
+#[cfg(test)]
+mod fifo_tests {
+    use super::*;
+    use transmob_pubsub::{Filter, Publication};
+
+    /// Per-link FIFO must survive latency jitter: a rapid sequence of
+    /// publications over a jittery wide-area link is delivered in
+    /// publication order.
+    #[test]
+    fn per_link_fifo_survives_jitter() {
+        let topology = Topology::chain(3);
+        let model = NetworkModel::planetlab(&topology.edges(), 5);
+        let mut sim = Sim::new(topology, MobileBrokerConfig::reconfig(), model, 5);
+        sim.enable_delivery_log();
+        sim.create_client(BrokerId(1), ClientId(1));
+        sim.create_client(BrokerId(3), ClientId(2));
+        sim.schedule_cmd(
+            SimTime(0),
+            ClientId(1),
+            ClientOp::Advertise(Filter::builder().ge("x", 0).build()),
+        );
+        sim.schedule_cmd(
+            SimTime(0),
+            ClientId(2),
+            ClientOp::Subscribe(Filter::builder().ge("x", 0).build()),
+        );
+        sim.run_to_quiescence();
+        let t0 = sim.now();
+        // 100 publications 50µs apart — far below the ±35% jitter on a
+        // ~100ms link, so naive jitter would reorder massively.
+        for k in 0..100u64 {
+            sim.schedule_cmd(
+                t0 + SimDuration::from_micros(50 * k),
+                ClientId(1),
+                ClientOp::Publish(Publication::new().with("x", k as i64)),
+            );
+        }
+        sim.run_to_quiescence();
+        let log = sim.metrics.delivery_log.as_ref().unwrap();
+        let seqs: Vec<u64> = log
+            .iter()
+            .filter(|d| d.client == ClientId(2))
+            .map(|d| d.publication.0 & 0xffff_ffff)
+            .collect();
+        assert_eq!(seqs.len(), 100, "publications lost");
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "per-link FIFO violated: {seqs:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod timer_tests {
+    use super::*;
+    use transmob_pubsub::{Filter, Publication};
+
+    /// The non-blocking variant in real (virtual) time: the target
+    /// broker is down for longer than the negotiate timeout, so the
+    /// source aborts via its timer and the client resumes at the
+    /// source; after the target recovers, a retry commits.
+    #[test]
+    fn negotiate_timeout_fires_in_sim_and_retry_succeeds() {
+        let config = MobileBrokerConfig {
+            negotiate_timeout_ns: Some(500_000_000), // 0.5 s
+            ..MobileBrokerConfig::reconfig()
+        };
+        let mut sim = Sim::new(
+            Topology::chain(4),
+            config,
+            NetworkModel::cluster(),
+            3,
+        );
+        sim.enable_delivery_log();
+        sim.create_client(BrokerId(1), ClientId(1));
+        sim.create_client(BrokerId(4), ClientId(2));
+        sim.schedule_cmd(
+            SimTime(0),
+            ClientId(1),
+            ClientOp::Advertise(Filter::builder().ge("x", 0).build()),
+        );
+        sim.schedule_cmd(
+            SimTime(0),
+            ClientId(2),
+            ClientOp::Subscribe(Filter::builder().ge("x", 0).build()),
+        );
+        sim.run_to_quiescence();
+        let t0 = sim.now();
+        // Target down for 2 s >> timeout.
+        sim.crash_broker(BrokerId(2), t0 + SimDuration::from_secs(2));
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(1),
+            ClientId(2),
+            ClientOp::MoveTo(BrokerId(2), ProtocolKind::Reconfig),
+        );
+        // A publication during the aborted window must still arrive.
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(700),
+            ClientId(1),
+            ClientOp::Publish(Publication::new().with("x", 1)),
+        );
+        // Retry after recovery.
+        sim.schedule_cmd(
+            t0 + SimDuration::from_secs(3),
+            ClientId(2),
+            ClientOp::MoveTo(BrokerId(2), ProtocolKind::Reconfig),
+        );
+        sim.run_to_quiescence();
+        let outcomes: Vec<Option<bool>> = sim
+            .metrics
+            .finished_moves()
+            .map(|(_, r)| r.committed)
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![Some(false), Some(true)],
+            "expected timeout-abort then committed retry"
+        );
+        assert_eq!(sim.home_of(ClientId(2)), Some(BrokerId(2)));
+        assert_eq!(sim.metrics.delivery_count, 1, "publication lost");
+        assert_eq!(sim.total_anomalies(), 0);
+    }
+}

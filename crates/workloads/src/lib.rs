@@ -1,0 +1,22 @@
+//! # transmob-workloads
+//!
+//! The experiment *inputs* of the transmob reproduction of
+//! *"Transactional Mobility in Distributed Content-Based
+//! Publish/Subscribe Systems"* (ICDCS 2009): the paper's Fig. 6
+//! overlay topology (and the Fig. 13 grown variants), the Fig. 7
+//! subscription workloads with their exact covering structure, and the
+//! client populations / movement patterns of the Sec. 5 experiments.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod population;
+pub mod subscriptions;
+pub mod topology;
+
+pub use population::{
+    incremental_movers, mixed_population, paper_default, paper_default_between, with_movers,
+    ClientSpec,
+};
+pub use subscriptions::{full_space_adv, SubWorkload, ATTR};
+pub use topology::{balanced_binary, default_14, grown, random_tree};

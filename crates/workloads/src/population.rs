@@ -1,0 +1,241 @@
+//! Client populations and movement patterns for the paper's
+//! experiments.
+//!
+//! The default experiment (Sec. 5, "Subscription Workload") places
+//! clients at Brokers 1 and 2 — odd-numbered Fig. 7 subscriptions at
+//! Broker 1, even-numbered at Broker 2 — and ping-pongs them between
+//! Brokers 1↔13 and 2↔14 with a ten-second pause. [`ClientSpec`]
+//! captures that setup declaratively so the simulator harness and the
+//! threaded runtime can both instantiate it.
+
+use transmob_pubsub::{BrokerId, ClientId, Filter};
+
+use crate::subscriptions::SubWorkload;
+
+/// One client of an experiment population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSpec {
+    /// The client id.
+    pub id: ClientId,
+    /// The broker the client starts at.
+    pub start: BrokerId,
+    /// The client's subscription (a client-unique instance of a
+    /// workload group).
+    pub subscription: Filter,
+    /// The workload the subscription was drawn from.
+    pub workload: SubWorkload,
+    /// Index of the Fig. 7 subscription group assigned (0-based), for
+    /// root-selection.
+    pub sub_index: usize,
+    /// The ping-pong destinations (empty = stationary).
+    pub route: Vec<BrokerId>,
+}
+
+impl ClientSpec {
+    /// Whether this client moves.
+    pub fn is_mobile(&self) -> bool {
+        !self.route.is_empty()
+    }
+}
+
+/// The default paper population: `n` subscriber clients split between
+/// Brokers 1 and 2 (odd Fig. 7 subscriptions at B1, even at B2),
+/// ping-ponging 1↔13 and 2↔14 respectively.
+///
+/// Client ids start at 1000 to keep them distinct from publisher ids.
+pub fn paper_default(n: usize, workload: SubWorkload) -> Vec<ClientSpec> {
+    paper_default_between(
+        n,
+        workload,
+        (BrokerId(1), BrokerId(13)),
+        (BrokerId(2), BrokerId(14)),
+    )
+}
+
+/// Like [`paper_default`] but with explicit broker pairs (the Fig. 13
+/// topology-size experiment moves between 1↔12 and 2↔14).
+pub fn paper_default_between(
+    n: usize,
+    workload: SubWorkload,
+    odd_pair: (BrokerId, BrokerId),
+    even_pair: (BrokerId, BrokerId),
+) -> Vec<ClientSpec> {
+    (0..n)
+        .map(|i| {
+            let sub_index = i % 10;
+            // Paper: odd-numbered subscriptions (1,3,..; 0-based even
+            // indices) start at Broker 1, even-numbered at Broker 2.
+            let (start, far) = if sub_index % 2 == 0 { odd_pair } else { even_pair };
+            ClientSpec {
+                id: ClientId(1000 + i as u64),
+                start,
+                subscription: workload.assign(i),
+                workload,
+                sub_index,
+                route: vec![far, start],
+            }
+        })
+        .collect()
+}
+
+/// A population where only some clients move: the first `movers`
+/// clients keep the default ping-pong route, the rest are stationary
+/// (the Fig. 12 incremental-movement experiment chooses *which* ones
+/// move via [`incremental_movers`]).
+pub fn with_movers(mut specs: Vec<ClientSpec>, movers: &[ClientId]) -> Vec<ClientSpec> {
+    for s in &mut specs {
+        if !movers.contains(&s.id) {
+            s.route.clear();
+        }
+    }
+    specs
+}
+
+/// The Fig. 12 incremental-movement staging: each increment of ten
+/// moving clients is chosen as (in order) ten covered-workload roots,
+/// ten tree roots, ten chained roots, ten covered (leaf) subscriptions
+/// picked from the previous three workloads, and ten distinct-workload
+/// subscriptions.
+///
+/// `specs` must be a mixed population built with
+/// [`mixed_population`]; returns the ids of the first `k` movers
+/// (k ≤ 60) in staging order.
+pub fn incremental_movers(specs: &[ClientSpec], k: usize) -> Vec<ClientId> {
+    let by_kind = |kind: SubWorkload, want_root: bool| {
+        specs
+            .iter()
+            .filter(move |s| s.workload == kind && ((s.sub_index == 0) == want_root))
+            .map(|s| s.id)
+    };
+    let mut order: Vec<ClientId> = Vec::new();
+    fn take(order: &mut Vec<ClientId>, iter: &mut dyn Iterator<Item = ClientId>, n: usize) {
+        let mut added = 0;
+        for id in iter {
+            if added == n {
+                break;
+            }
+            if !order.contains(&id) {
+                order.push(id);
+                added += 1;
+            }
+        }
+    }
+    take(&mut order, &mut by_kind(SubWorkload::Covered, true), 10);
+    take(&mut order, &mut by_kind(SubWorkload::Tree, true), 10);
+    take(&mut order, &mut by_kind(SubWorkload::Chained, true), 10);
+    // Ten covered (non-root) picks from the previous three workloads.
+    let mut leaves = specs
+        .iter()
+        .filter(|s| {
+            s.sub_index > 0
+                && matches!(
+                    s.workload,
+                    SubWorkload::Covered | SubWorkload::Tree | SubWorkload::Chained
+                )
+        })
+        .map(|s| s.id);
+    take(&mut order, &mut leaves, 10);
+    // Two helpings of distinct for the 40..60 stages.
+    let mut distinct = by_kind(SubWorkload::Distinct, false);
+    take(&mut order, &mut distinct, 20);
+    order.truncate(k);
+    order
+}
+
+/// A mixed population drawing subscriptions uniformly from all four
+/// pure workloads (the paper's Fig. 12 base population).
+pub fn mixed_population(n: usize) -> Vec<ClientSpec> {
+    (0..n)
+        .map(|i| {
+            let kind = SubWorkload::SWEEP[i % 4];
+            let sub_index = (i / 4) % 10;
+            let shift = (i / 40) as i64 % (crate::subscriptions::MAX_SHIFT + 1);
+            let (start, far) = if sub_index % 2 == 0 {
+                (BrokerId(1), BrokerId(13))
+            } else {
+                (BrokerId(2), BrokerId(14))
+            };
+            ClientSpec {
+                id: ClientId(1000 + i as u64),
+                start,
+                subscription: kind.instance(sub_index, shift),
+                workload: kind,
+                sub_index,
+                route: vec![far, start],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_split_and_routes() {
+        let specs = paper_default(40, SubWorkload::Covered);
+        assert_eq!(specs.len(), 40);
+        let at_b1 = specs.iter().filter(|s| s.start == BrokerId(1)).count();
+        let at_b2 = specs.iter().filter(|s| s.start == BrokerId(2)).count();
+        assert_eq!(at_b1, 20);
+        assert_eq!(at_b2, 20);
+        for s in &specs {
+            assert!(s.is_mobile());
+            if s.start == BrokerId(1) {
+                assert_eq!(s.route, vec![BrokerId(13), BrokerId(1)]);
+            } else {
+                assert_eq!(s.route, vec![BrokerId(14), BrokerId(2)]);
+            }
+        }
+        // Ids unique.
+        let ids: std::collections::BTreeSet<_> = specs.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), 40);
+    }
+
+    #[test]
+    fn with_movers_freezes_the_rest() {
+        let specs = paper_default(20, SubWorkload::Tree);
+        let movers = vec![specs[0].id, specs[5].id];
+        let specs = with_movers(specs, &movers);
+        assert_eq!(specs.iter().filter(|s| s.is_mobile()).count(), 2);
+    }
+
+    #[test]
+    fn incremental_staging_orders_by_covering() {
+        let specs = mixed_population(400);
+        let order = incremental_movers(&specs, 60);
+        assert_eq!(order.len(), 60);
+        // First ten are covered-workload roots.
+        for id in &order[..10] {
+            let s = specs.iter().find(|s| s.id == *id).unwrap();
+            assert_eq!(s.workload, SubWorkload::Covered);
+            assert_eq!(s.sub_index, 0);
+        }
+        // Next ten are tree roots.
+        for id in &order[10..20] {
+            let s = specs.iter().find(|s| s.id == *id).unwrap();
+            assert_eq!(s.workload, SubWorkload::Tree);
+            assert_eq!(s.sub_index, 0);
+        }
+        // Stages five and six are distinct-workload subscriptions.
+        for id in &order[40..60] {
+            let s = specs.iter().find(|s| s.id == *id).unwrap();
+            assert_eq!(s.workload, SubWorkload::Distinct);
+        }
+        // No duplicates.
+        let set: std::collections::BTreeSet<_> = order.iter().collect();
+        assert_eq!(set.len(), 60);
+    }
+
+    #[test]
+    fn mixed_population_draws_all_workloads() {
+        let specs = mixed_population(40);
+        for w in SubWorkload::SWEEP {
+            assert!(specs.iter().any(|s| s.workload == w), "missing {w}");
+        }
+        // Instances are unique across the population.
+        let set: std::collections::BTreeSet<String> =
+            specs.iter().map(|s| format!("{}", s.subscription)).collect();
+        assert_eq!(set.len(), 40);
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's overlay topologies.
+//!
+//! [`default_14`] is the 14-broker overlay of the paper's Fig. 6, used
+//! by every experiment unless stated otherwise. [`grown`] produces the
+//! Fig. 13 series: larger overlays that keep the source–target path
+//! length constant by growing away from the movement path.
+
+use transmob_broker::Topology;
+use transmob_pubsub::BrokerId;
+
+fn b(i: u32) -> BrokerId {
+    BrokerId(i)
+}
+
+/// The default 14-broker topology of the paper's Fig. 6.
+///
+/// The figure draws a tree: a backbone `1–3–4–5/9` fanning out to the
+/// leaf groups `{2}`, `{6,7}`, `{10,11}`, `{8,12}`, `{13,14}`. The
+/// exact drawing is reproduced as:
+///
+/// ```text
+///        6   7      10  11
+///         \ /        \ /
+///    5 ----+          9
+///    |                |
+/// 1--3----4-----------8-----12
+/// |                    \      \
+/// 2                     13     14
+/// ```
+///
+/// with client-hosting experiments using brokers 1, 2, 13 and 14 as
+/// the movement endpoints (so the 1↔13 and 2↔14 paths share the
+/// backbone).
+pub fn default_14() -> Topology {
+    let brokers: Vec<BrokerId> = (1..=14).map(b).collect();
+    let edges = vec![
+        (b(1), b(2)),
+        (b(1), b(3)),
+        (b(3), b(4)),
+        (b(3), b(5)),
+        (b(5), b(6)),
+        (b(5), b(7)),
+        (b(4), b(8)),
+        (b(8), b(9)),
+        (b(9), b(10)),
+        (b(9), b(11)),
+        (b(8), b(12)),
+        (b(8), b(13)),
+        (b(12), b(14)),
+    ];
+    Topology::new(brokers, edges).expect("default topology is a valid tree")
+}
+
+/// The Fig. 13 growing topologies: `n` brokers (n ≥ 14), built from
+/// [`default_14`] by attaching extra brokers to the periphery (broker
+/// 5's subtree), so the 1↔13 and 2↔14 movement paths keep their
+/// length.
+///
+/// # Panics
+///
+/// Panics if `n < 14`.
+pub fn grown(n: u32) -> Topology {
+    assert!(n >= 14, "grown topologies start at 14 brokers");
+    let base = default_14();
+    let mut brokers: Vec<BrokerId> = base.brokers().collect();
+    let mut edges = base.edges();
+    for i in 15..=n {
+        // Chain the extra brokers off broker 6, away from both
+        // movement paths.
+        let parent = if i == 15 { b(6) } else { b(i - 1) };
+        brokers.push(b(i));
+        edges.push((parent, b(i)));
+    }
+    Topology::new(brokers, edges).expect("grown topology is a valid tree")
+}
+
+/// A balanced binary tree with `depth` levels (2^depth − 1 brokers),
+/// ids assigned in breadth-first order starting at 1.
+pub fn balanced_binary(depth: u32) -> Topology {
+    assert!(depth >= 1);
+    let n = (1u32 << depth) - 1;
+    let brokers: Vec<BrokerId> = (1..=n).map(b).collect();
+    let edges: Vec<_> = (2..=n).map(|i| (b(i / 2), b(i))).collect();
+    Topology::new(brokers, edges).expect("balanced tree is valid")
+}
+
+/// A deterministic pseudo-random tree over `n` brokers: broker `i`
+/// attaches to a parent drawn from `1..i` by a simple LCG on `seed`.
+pub fn random_tree(n: u32, seed: u64) -> Topology {
+    assert!(n >= 1);
+    let brokers: Vec<BrokerId> = (1..=n).map(b).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut edges = Vec::new();
+    for i in 2..=n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let parent = 1 + (state >> 33) as u32 % (i - 1);
+        edges.push((b(parent), b(i)));
+    }
+    Topology::new(brokers, edges).expect("random tree is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_topology_shape() {
+        let t = default_14();
+        assert_eq!(t.len(), 14);
+        assert_eq!(t.edges().len(), 13);
+        // The experiment paths exist and share the backbone.
+        let p1 = t.route(b(1), b(13)).unwrap();
+        let p2 = t.route(b(2), b(14)).unwrap();
+        assert!(p1.hops() >= 3);
+        assert!(p2.hops() >= 4);
+        assert!(p1.contains(b(8)) && p2.contains(b(8)), "paths share B8");
+    }
+
+    #[test]
+    fn grown_preserves_movement_paths() {
+        let base = default_14();
+        for n in [14, 18, 22, 26] {
+            let t = grown(n);
+            assert_eq!(t.len(), n as usize);
+            assert_eq!(
+                t.route(b(1), b(13)).unwrap().hops(),
+                base.route(b(1), b(13)).unwrap().hops(),
+                "path 1-13 length changed at n={n}"
+            );
+            assert_eq!(
+                t.route(b(2), b(14)).unwrap().hops(),
+                base.route(b(2), b(14)).unwrap().hops(),
+                "path 2-14 length changed at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_binary_shape() {
+        let t = balanced_binary(4);
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.neighbors(b(1)).len(), 2);
+        assert_eq!(t.neighbors(b(15)).len(), 1);
+    }
+
+    #[test]
+    fn random_tree_valid_and_deterministic() {
+        let a = random_tree(20, 5);
+        let c = random_tree(20, 5);
+        let d = random_tree(20, 6);
+        assert_eq!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a.len(), 20);
+    }
+}

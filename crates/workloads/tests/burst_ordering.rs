@@ -1,0 +1,150 @@
+//! Links the Fig. 7 workload structure to the covering-release burst
+//! behaviour behind Figs. 9 and 11: when the *last* covering
+//! (root-group) instance leaves a broker, the conservative release
+//! re-forwards everything it quenched. The burst size must order by
+//! the workloads' covering density: covered > tree > chained >
+//! distinct (which has no bursts at all).
+
+use transmob_broker::{BrokerConfig, Hop, MsgKind, PubSubMsg, SyncNet, Topology};
+use transmob_pubsub::{
+    AdvId, Advertisement, BrokerId, ClientId, SubId, Subscription,
+};
+use transmob_workloads::{full_space_adv, SubWorkload};
+
+fn b(i: u32) -> BrokerId {
+    BrokerId(i)
+}
+fn c(i: u64) -> ClientId {
+    ClientId(i)
+}
+
+/// Subscribes one instance of every group (instances of group 0 last),
+/// then unsubscribes the group-0 instance and counts the released
+/// subscription traffic.
+fn root_departure_burst(workload: SubWorkload) -> u64 {
+    let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::covering());
+    net.client_send(
+        b(1),
+        c(1),
+        PubSubMsg::Advertise(Advertisement::new(AdvId::new(c(1), 0), full_space_adv())),
+    );
+    // Root instance first so it quenches the rest.
+    let root = Subscription::new(SubId::new(c(100), 0), workload.instance(0, 0));
+    net.client_send(b(4), c(100), PubSubMsg::Subscribe(root.clone()));
+    // Three instances of every other group, all quenched (directly or
+    // transitively) where covering applies.
+    for g in 1..10usize {
+        for k in 0..3u64 {
+            let cid = c(1000 + g as u64 * 10 + k);
+            let sub = Subscription::new(
+                SubId::new(cid, 0),
+                workload.instance(g, 1 + k as i64),
+            );
+            net.client_send(b(4), cid, PubSubMsg::Subscribe(sub));
+        }
+    }
+    net.reset_traffic();
+    net.client_send(b(4), c(100), PubSubMsg::Unsubscribe(root.id));
+    *net.traffic().get(&MsgKind::Subscribe).unwrap_or(&0)
+}
+
+#[test]
+fn release_burst_orders_by_covering_degree() {
+    let covered = root_departure_burst(SubWorkload::Covered);
+    let tree = root_departure_burst(SubWorkload::Tree);
+    let chained = root_departure_burst(SubWorkload::Chained);
+    let distinct = root_departure_burst(SubWorkload::Distinct);
+    // Covered: the root quenched all 27 leaf instances — its departure
+    // releases every one of them. Tree: only the three child groups
+    // (9 instances) are directly quenched by the root; the leaves stay
+    // quenched under the children. Chained: only group 1's instances
+    // are directly released. Distinct: nothing was ever quenched.
+    assert_eq!(distinct, 0, "distinct must have no covering bursts");
+    assert!(
+        covered > tree && tree > chained && chained > 0,
+        "burst ordering violated: covered={covered} tree={tree} chained={chained} distinct={distinct}"
+    );
+}
+
+#[test]
+fn covered_burst_scales_with_population() {
+    // The Fig. 10/11 mechanism: more quenched instances ⇒ bigger burst
+    // when the quencher departs.
+    let burst_at = |per_group: u64| {
+        let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::covering());
+        net.client_send(
+            b(1),
+            c(1),
+            PubSubMsg::Advertise(Advertisement::new(AdvId::new(c(1), 0), full_space_adv())),
+        );
+        let root = Subscription::new(SubId::new(c(100), 0), SubWorkload::Covered.instance(0, 0));
+        net.client_send(b(4), c(100), PubSubMsg::Subscribe(root.clone()));
+        for g in 1..10usize {
+            for k in 0..per_group {
+                let cid = c(1000 + g as u64 * 100 + k);
+                let sub = Subscription::new(
+                    SubId::new(cid, 0),
+                    SubWorkload::Covered.instance(g, 1 + k as i64),
+                );
+                net.client_send(b(4), cid, PubSubMsg::Subscribe(sub));
+            }
+        }
+        net.reset_traffic();
+        net.client_send(b(4), c(100), PubSubMsg::Unsubscribe(root.id));
+        *net.traffic().get(&MsgKind::Subscribe).unwrap_or(&0)
+    };
+    let small = burst_at(2);
+    let large = burst_at(8);
+    assert!(
+        large >= small * 3,
+        "burst did not scale with quenched population: {small} -> {large}"
+    );
+}
+
+#[test]
+fn second_root_suppresses_the_burst() {
+    // With another root instance still forwarded... the conservative
+    // release re-forwards regardless (that is the paper's behaviour),
+    // but the released subscriptions are re-quenched one hop
+    // downstream, so the burst stays local instead of cascading.
+    let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::covering());
+    net.client_send(
+        b(1),
+        c(1),
+        PubSubMsg::Advertise(Advertisement::new(AdvId::new(c(1), 0), full_space_adv())),
+    );
+    let root_a = Subscription::new(SubId::new(c(100), 0), SubWorkload::Covered.instance(0, 0));
+    let root_b = Subscription::new(SubId::new(c(101), 0), SubWorkload::Covered.instance(0, 5));
+    net.client_send(b(4), c(100), PubSubMsg::Subscribe(root_a.clone()));
+    net.client_send(b(4), c(101), PubSubMsg::Subscribe(root_b));
+    for g in 1..10usize {
+        let cid = c(1000 + g as u64);
+        let sub = Subscription::new(SubId::new(cid, 0), SubWorkload::Covered.instance(g, 1));
+        net.client_send(b(4), cid, PubSubMsg::Subscribe(sub));
+    }
+    net.reset_traffic();
+    net.client_send(b(4), c(100), PubSubMsg::Unsubscribe(root_a.id));
+    let released = *net.traffic().get(&MsgKind::Subscribe).unwrap_or(&0);
+    // Released subs travel B4→B3 but are quenched at B3 by root_b's
+    // forwarded instance: at most one hop each plus the root_b
+    // re-forward, far less than a full-path cascade (3 hops each).
+    assert!(
+        released <= 12,
+        "burst cascaded past the surviving root: {released} messages"
+    );
+    // Deliveries still correct afterwards.
+    use transmob_pubsub::{PubId, Publication, PublicationMsg};
+    net.client_send(
+        b(1),
+        c(1),
+        PubSubMsg::Publish(PublicationMsg::new(
+            PubId(1),
+            c(1),
+            Publication::new().with(transmob_workloads::ATTR, 1501),
+        )),
+    );
+    let d = net.take_deliveries();
+    // Group-1 instance [1000+1, 1500+1] covers x=1501; root_b [5,10005]
+    // matches too.
+    assert_eq!(d.len(), 2, "deliveries wrong after suppressed burst");
+}
