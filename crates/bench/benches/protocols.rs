@@ -28,15 +28,26 @@ fn setup(chain: u32, bystanders: usize, config: MobileBrokerConfig) -> InstantNe
     }
     let mover = ClientId(500);
     net.create_client(b(chain), mover);
-    net.client_op(mover, ClientOp::Subscribe(SubWorkload::Covered.instance(0, 99)));
+    net.client_op(
+        mover,
+        ClientOp::Subscribe(SubWorkload::Covered.instance(0, 99)),
+    );
     net
 }
 
 fn bench_move_by_protocol(c: &mut Criterion) {
     let mut g = c.benchmark_group("one_movement");
     for (name, protocol, config) in [
-        ("reconfig", ProtocolKind::Reconfig, MobileBrokerConfig::reconfig()),
-        ("covering", ProtocolKind::Covering, MobileBrokerConfig::covering()),
+        (
+            "reconfig",
+            ProtocolKind::Reconfig,
+            MobileBrokerConfig::reconfig(),
+        ),
+        (
+            "covering",
+            ProtocolKind::Covering,
+            MobileBrokerConfig::covering(),
+        ),
         (
             "covering_make_before_break",
             ProtocolKind::Covering,
@@ -68,7 +79,10 @@ fn bench_move_by_path_length(c: &mut Criterion) {
             bch.iter_batched(
                 || net.clone(),
                 |mut net| {
-                    net.client_op(ClientId(500), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+                    net.client_op(
+                        ClientId(500),
+                        ClientOp::MoveTo(b(2), ProtocolKind::Reconfig),
+                    );
                 },
                 criterion::BatchSize::SmallInput,
             )
@@ -81,18 +95,23 @@ fn bench_move_by_population(c: &mut Criterion) {
     let mut g = c.benchmark_group("move_vs_bystanders");
     for n in [10usize, 100, 300] {
         for (name, protocol, config) in [
-            ("reconfig", ProtocolKind::Reconfig, MobileBrokerConfig::reconfig()),
-            ("covering", ProtocolKind::Covering, MobileBrokerConfig::covering()),
+            (
+                "reconfig",
+                ProtocolKind::Reconfig,
+                MobileBrokerConfig::reconfig(),
+            ),
+            (
+                "covering",
+                ProtocolKind::Covering,
+                MobileBrokerConfig::covering(),
+            ),
         ] {
             let net = setup(8, n, config);
             g.bench_with_input(BenchmarkId::new(name, n), &n, |bch, _| {
                 bch.iter_batched(
                     || net.clone(),
                     |mut net| {
-                        net.client_op(
-                            ClientId(500),
-                            ClientOp::MoveTo(b(2), black_box(protocol)),
-                        );
+                        net.client_op(ClientId(500), ClientOp::MoveTo(b(2), black_box(protocol)));
                     },
                     criterion::BatchSize::SmallInput,
                 )

@@ -7,7 +7,7 @@
 //!   release vs. the precise variant — on the root-departure burst.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use transmob_broker::{BrokerConfig, BrokerCore, CoveringMode, Hop, PubSubMsg};
+use transmob_broker::{BrokerConfig, BrokerCore, CoveringMode, Hop, Prt, PubSubMsg, Srt};
 use transmob_pubsub::{
     AdvId, Advertisement, BrokerId, ClientId, PubId, Publication, PublicationMsg, SubId,
     Subscription,
@@ -41,11 +41,7 @@ fn bench_publish_vs_table_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("publish_forwarding");
     for n in [10usize, 100, 400] {
         let core = loaded_broker(n, BrokerConfig::plain());
-        let p = PublicationMsg::new(
-            PubId(1),
-            ClientId(1),
-            Publication::new().with(ATTR, 1500),
-        );
+        let p = PublicationMsg::new(PubId(1), ClientId(1), Publication::new().with(ATTR, 1500));
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
             bch.iter_batched(
                 || core.clone(),
@@ -112,7 +108,10 @@ fn bench_release_strategies(c: &mut Criterion) {
             SubId::new(ClientId(500), 0),
             SubWorkload::Covered.instance(0, 0),
         );
-        core.handle(Hop::Client(ClientId(500)), PubSubMsg::Subscribe(root.clone()));
+        core.handle(
+            Hop::Client(ClientId(500)),
+            PubSubMsg::Subscribe(root.clone()),
+        );
         for i in 0..99 {
             let cid = ClientId(1000 + i as u64);
             let group = 1 + (i % 9);
@@ -126,10 +125,9 @@ fn bench_release_strategies(c: &mut Criterion) {
             bch.iter_batched(
                 || core.clone(),
                 |mut core| {
-                    black_box(core.handle(
-                        Hop::Client(ClientId(500)),
-                        PubSubMsg::Unsubscribe(root.id),
-                    ))
+                    black_box(
+                        core.handle(Hop::Client(ClientId(500)), PubSubMsg::Unsubscribe(root.id)),
+                    )
                 },
                 criterion::BatchSize::SmallInput,
             )
@@ -145,15 +143,77 @@ fn bench_advertise_flood(c: &mut Criterion) {
     g.bench_function("flood_with_pull_200_subs", |bch| {
         bch.iter_batched(
             || core.clone(),
-            |mut core| core.handle(Hop::Broker(b(3)), PubSubMsg::Advertise(black_box(adv.clone()))),
+            |mut core| {
+                core.handle(
+                    Hop::Broker(b(3)),
+                    PubSubMsg::Advertise(black_box(adv.clone())),
+                )
+            },
             criterion::BatchSize::SmallInput,
         )
     });
     g.finish();
 }
 
+/// A PRT with `n` workload subscriptions (the 40-group random pool,
+/// so range structure and shifts vary across the table).
+fn loaded_prt(n: usize) -> Prt {
+    let mut prt = Prt::new();
+    for i in 0..n {
+        let sub = Subscription::new(
+            SubId::new(ClientId(i as u64), i as u32),
+            SubWorkload::Random.assign(i),
+        );
+        prt.insert(sub, Hop::Client(ClientId(i as u64)));
+    }
+    prt
+}
+
+/// The tentpole ablation: publication matching through the counting
+/// match index vs. the linear reference scan, as the PRT grows.
+fn bench_prt_matching_index_vs_linear(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prt_matching");
+    for n in [1_000usize, 10_000, 100_000] {
+        let prt = loaded_prt(n);
+        let p = Publication::new().with(ATTR, 1500);
+        g.bench_with_input(BenchmarkId::new("indexed", n), &n, |bch, _| {
+            bch.iter(|| black_box(prt.matching(black_box(&p))))
+        });
+        g.bench_with_input(BenchmarkId::new("linear", n), &n, |bch, _| {
+            bch.iter(|| black_box(prt.matching_linear(black_box(&p))))
+        });
+    }
+    g.finish();
+}
+
+/// Overlap (subscription-routing intersection) through the index vs.
+/// the linear scan, as the SRT grows.
+fn bench_srt_overlap_index_vs_linear(c: &mut Criterion) {
+    let mut g = c.benchmark_group("srt_overlap");
+    for n in [1_000usize, 10_000] {
+        let mut srt = Srt::new();
+        for i in 0..n {
+            let adv = Advertisement::new(
+                AdvId::new(ClientId(i as u64), i as u32),
+                SubWorkload::Random.assign(i),
+            );
+            srt.insert(adv, Hop::Broker(b(2)));
+        }
+        let q = SubWorkload::Covered.instance(3, 7);
+        g.bench_with_input(BenchmarkId::new("indexed", n), &n, |bch, _| {
+            bch.iter(|| black_box(srt.overlapping(black_box(&q))))
+        });
+        g.bench_with_input(BenchmarkId::new("linear", n), &n, |bch, _| {
+            bch.iter(|| black_box(srt.overlapping_linear(black_box(&q))))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
+    bench_prt_matching_index_vs_linear,
+    bench_srt_overlap_index_vs_linear,
     bench_publish_vs_table_size,
     bench_subscribe_by_covering_mode,
     bench_release_strategies,

@@ -49,8 +49,10 @@ fn parse_args() -> Opts {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a dir")));
             }
             "all" => figures.extend(
-                ["fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"]
-                    .map(String::from),
+                [
+                    "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+                ]
+                .map(String::from),
             ),
             "ablations" | "publishers" | "throughput" | "soak" => figures.push(a),
             f if f.starts_with("fig") => figures.push(f.to_owned()),
@@ -97,8 +99,11 @@ fn base_cfg(o: &Opts, protocol: ProtocolKind, workload: SubWorkload, n: usize) -
 fn save_json<T: serde::Serialize>(o: &Opts, name: &str, value: &T) {
     fs::create_dir_all(&o.out).expect("create results dir");
     let path = o.out.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write results file");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write results file");
     println!("  [saved {}]", path.display());
 }
 
@@ -127,7 +132,10 @@ fn fig5(o: &Opts) {
     );
     ex.check_final_states().expect("paper property (1)");
     ex.check_at_most_one_started().expect("paper property (2)");
-    println!("  properties (1) and (2) verified over {} states", ex.states.len());
+    println!(
+        "  properties (1) and (2) verified over {} states",
+        ex.states.len()
+    );
     let dot = ex.to_dot();
     fs::create_dir_all(&o.out).expect("create results dir");
     let path = o.out.join("fig5.dot");
@@ -137,7 +145,9 @@ fn fig5(o: &Opts) {
         allow_reject: true,
         with_failures: true,
     });
-    failures.check_final_states().expect("property (1) w/ crashes");
+    failures
+        .check_final_states()
+        .expect("property (1) w/ crashes");
     failures
         .check_at_most_one_started()
         .expect("property (2) w/ crashes");
@@ -154,7 +164,10 @@ fn fig7(o: &Opts) {
     fs::create_dir_all(&o.out).expect("create results dir");
     let fig6 = o.out.join("fig6.dot");
     fs::write(&fig6, wl::default_14().to_dot()).expect("write fig6 dot");
-    println!("== Fig. 6: default overlay ==\n  [saved {}]", fig6.display());
+    println!(
+        "== Fig. 6: default overlay ==\n  [saved {}]",
+        fig6.display()
+    );
     println!("== Fig. 7: subscription workload covering structures ==");
     let mut dot = String::from("digraph fig7 {\n  rankdir=TB;\n");
     for w in SubWorkload::SWEEP {
@@ -345,13 +358,15 @@ fn fig14(o: &Opts) {
         summary_row(&format!("{p} planetlab"), &r);
         series.insert(p.to_string(), r);
     }
-    println!(
-        "  paper shape check: latencies well above the cluster's (s-scale, not ms-scale)"
-    );
+    println!("  paper shape check: latencies well above the cluster's (s-scale, not ms-scale)");
     save_json(o, "fig14ab", &series);
     // (c,d): workload sweep.
     let mut sweep: Vec<(String, u32, ExperimentResult)> = Vec::new();
-    for w in [SubWorkload::Chained, SubWorkload::Tree, SubWorkload::Covered] {
+    for w in [
+        SubWorkload::Chained,
+        SubWorkload::Tree,
+        SubWorkload::Covered,
+    ] {
         let x = w.covering_degree().unwrap_or(0);
         for p in PROTOCOLS {
             let mut cfg = base_cfg(o, p, w, n);
@@ -637,9 +652,7 @@ fn soak(o: &Opts) {
         .finished_moves()
         .filter(|(_, r)| r.committed == Some(true))
         .count();
-    println!(
-        "  movements: {finished} finished ({committed} committed), {unfinished} stuck"
-    );
+    println!("  movements: {finished} finished ({committed} committed), {unfinished} stuck");
     println!(
         "  deliveries: {}  traffic: {}  anomalies: {}",
         sim.metrics.delivery_count,

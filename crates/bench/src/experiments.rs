@@ -154,11 +154,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
                 // Cycle publication values across the whole space so
                 // every workload subscription sees traffic.
                 let x = (k * 37) % 10_000;
-                sim.schedule_cmd(
-                    t,
-                    id,
-                    ClientOp::Publish(Publication::new().with(ATTR, x)),
-                );
+                sim.schedule_cmd(t, id, ClientOp::Publish(Publication::new().with(ATTR, x)));
                 t += per_pub_interval;
                 k += 1;
             }
@@ -220,7 +216,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use transmob_workloads::{paper_default, default_14, SubWorkload};
+    use transmob_workloads::{default_14, paper_default, SubWorkload};
 
     fn small_cfg(protocol: ProtocolKind) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::new(

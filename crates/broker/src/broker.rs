@@ -266,6 +266,16 @@ impl BrokerCore {
     fn handle_subscribe(&mut self, from: Hop, sub: Subscription) -> Vec<BrokerOutput> {
         let id = sub.id;
         if let Some(entry) = self.prt.get_mut(id) {
+            if entry.sub.filter != sub.filter {
+                debug_assert!(
+                    false,
+                    "subscription {id} re-issued with a different filter (kept {}, ignored {})",
+                    entry.sub.filter, sub.filter
+                );
+                eprintln!(
+                    "transmob-broker: ignoring re-subscription of {id} with a different filter; the original row is kept"
+                );
+            }
             if entry.lasthop != from {
                 // A re-route while the old and new subscription trees
                 // overlap (make-before-break): adopt the newest
@@ -289,16 +299,11 @@ impl BrokerCore {
         let own_hop = entry.lasthop;
         let filter = entry.sub.filter.clone();
         // Collect the neighbours hosting (the direction of) intersecting
-        // advertisements.
+        // advertisements, in both the active and any pending
+        // configuration.
         let mut targets: BTreeSet<BrokerId> = BTreeSet::new();
-        for (_, a) in self.srt.iter() {
-            if !a.adv.filter.overlaps(&filter) {
-                continue;
-            }
-            for hop in [Some(a.lasthop), a.pending.as_ref().map(|p| p.lasthop)]
-                .into_iter()
-                .flatten()
-            {
+        for (_, active, pending) in self.srt.overlapping_routes(&filter) {
+            for hop in [Some(active), pending].into_iter().flatten() {
                 if let Hop::Broker(n) = hop {
                     if Hop::Broker(n) != own_hop {
                         targets.insert(n);
@@ -407,7 +412,11 @@ impl BrokerCore {
     /// re-quenching is left to the downstream broker. The precise
     /// variant suppresses candidates still covered locally (the quench
     /// check inside `forward_sub_to`).
-    fn release_quenched_subs(&mut self, n: BrokerId, removed: Option<&Filter>) -> Vec<BrokerOutput> {
+    fn release_quenched_subs(
+        &mut self,
+        n: BrokerId,
+        removed: Option<&Filter>,
+    ) -> Vec<BrokerOutput> {
         let mut out = Vec::new();
         let conservative = self.config.conservative_release && removed.is_some();
         let candidates: Vec<SubId> = self
@@ -416,7 +425,7 @@ impl BrokerCore {
             .filter(|(_, e)| {
                 e.lasthop != Hop::Broker(n)
                     && !e.sent_to.contains(&n)
-                    && removed.map_or(true, |r| r.covers(&e.sub.filter))
+                    && removed.is_none_or(|r| r.covers(&e.sub.filter))
             })
             .map(|(id, _)| *id)
             .collect();
@@ -424,11 +433,13 @@ impl BrokerCore {
             // unwrap: candidate ids drawn from the table and the only
             // mutation below is forwarding on the same id
             let filter = self.prt.get(id).unwrap().sub.filter.clone();
-            let needed = self.srt.iter().any(|(_, a)| {
-                a.adv.filter.overlaps(&filter)
-                    && (a.lasthop == Hop::Broker(n)
-                        || a.pending.as_ref().is_some_and(|p| p.lasthop == Hop::Broker(n)))
-            });
+            let needed = self
+                .srt
+                .overlapping_routes(&filter)
+                .iter()
+                .any(|(_, active, pending)| {
+                    *active == Hop::Broker(n) || *pending == Some(Hop::Broker(n))
+                });
             if !needed {
                 continue;
             }
@@ -459,6 +470,16 @@ impl BrokerCore {
     fn handle_advertise(&mut self, from: Hop, adv: Advertisement) -> Vec<BrokerOutput> {
         let id = adv.id;
         if let Some(entry) = self.srt.get_mut(id) {
+            if entry.adv.filter != adv.filter {
+                debug_assert!(
+                    false,
+                    "advertisement {id} re-issued with a different filter (kept {}, ignored {})",
+                    entry.adv.filter, adv.filter
+                );
+                eprintln!(
+                    "transmob-broker: ignoring re-advertisement of {id} with a different filter; the original row is kept"
+                );
+            }
             if entry.lasthop != from {
                 entry.lasthop = from;
                 self.stats.reroutes += 1;
@@ -600,11 +621,13 @@ impl BrokerCore {
             return Vec::new();
         }
         let filter = entry.sub.filter.clone();
-        let still_needed = self.srt.iter().any(|(_, a)| {
-            a.adv.filter.overlaps(&filter)
-                && (a.lasthop == Hop::Broker(n)
-                    || a.pending.as_ref().is_some_and(|p| p.lasthop == Hop::Broker(n)))
-        });
+        let still_needed =
+            self.srt
+                .overlapping_routes(&filter)
+                .iter()
+                .any(|(_, active, pending)| {
+                    *active == Hop::Broker(n) || *pending == Some(Hop::Broker(n))
+                });
         if still_needed {
             return Vec::new();
         }
@@ -613,7 +636,11 @@ impl BrokerCore {
         vec![BrokerOutput::ToBroker(n, PubSubMsg::Unsubscribe(id))]
     }
 
-    fn release_quenched_advs(&mut self, n: BrokerId, removed: Option<&Filter>) -> Vec<BrokerOutput> {
+    fn release_quenched_advs(
+        &mut self,
+        n: BrokerId,
+        removed: Option<&Filter>,
+    ) -> Vec<BrokerOutput> {
         let mut out = Vec::new();
         let conservative = self.config.conservative_release && removed.is_some();
         let candidates: Vec<AdvId> = self
@@ -622,7 +649,7 @@ impl BrokerCore {
             .filter(|(_, e)| {
                 e.lasthop != Hop::Broker(n)
                     && !e.sent_to.contains(&n)
-                    && removed.map_or(true, |r| r.covers(&e.adv.filter))
+                    && removed.is_none_or(|r| r.covers(&e.adv.filter))
             })
             .map(|(id, _)| *id)
             .collect();
@@ -661,13 +688,13 @@ impl BrokerCore {
         let mut out = Vec::new();
         let candidates: Vec<SubId> = self
             .prt
-            .iter()
-            .filter(|(_, e)| {
-                e.lasthop != Hop::Broker(nf)
-                    && !e.sent_to.contains(&nf)
-                    && e.sub.filter.overlaps(&filter)
+            .overlapping(&filter)
+            .into_iter()
+            .filter(|sid| {
+                // unwrap: ids come straight out of the table's index
+                let e = self.prt.get(*sid).unwrap();
+                e.lasthop != Hop::Broker(nf) && !e.sent_to.contains(&nf)
             })
-            .map(|(sid, _)| *sid)
             .collect();
         for sid in candidates {
             out.extend(self.forward_sub_to(sid, nf));
@@ -680,14 +707,8 @@ impl BrokerCore {
     fn handle_publish(&mut self, from: Hop, p: PublicationMsg) -> Vec<BrokerOutput> {
         let mut broker_dests: BTreeSet<BrokerId> = BTreeSet::new();
         let mut client_dests: BTreeSet<ClientId> = BTreeSet::new();
-        for (_, e) in self.prt.iter() {
-            if !e.sub.filter.matches(&p.content) {
-                continue;
-            }
-            for hop in [Some(e.lasthop), e.pending.as_ref().map(|pd| pd.lasthop)]
-                .into_iter()
-                .flatten()
-            {
+        for (_, active, pending) in self.prt.matching_routes(&p.content) {
+            for hop in [Some(active), pending].into_iter().flatten() {
                 if hop == from {
                     continue;
                 }

@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use transmob_pubsub::{
-    AdvId, Advertisement, Filter, MoveId, Publication, SubId, Subscription,
+    AdvId, Advertisement, Filter, MatchIndex, MoveId, Publication, SubId, Subscription,
 };
 
 use crate::messages::Hop;
@@ -92,10 +92,41 @@ pub struct SubEntry {
 }
 
 /// The Subscription Routing Table.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Filter queries ([`Srt::overlapping`]) are served by an
+/// attribute-indexed counting [`MatchIndex`] kept in sync with the
+/// rows; the index is rebuilt from the rows on deserialization and
+/// asserted against the linear-scan oracle in debug builds.
+///
+/// The mutable accessors ([`Srt::get_mut`], [`Srt::iter_mut`]) exist
+/// for the `lasthop`/`sent_to`/`pending` bookkeeping of the broker
+/// core; callers must not mutate an entry's *filter* through them, or
+/// the index would go stale. Replacing a filter requires
+/// remove-then-insert.
+#[derive(Debug, Clone, Default)]
 pub struct Srt {
-    #[serde(with = "serde_pairs")]
     entries: BTreeMap<AdvId, AdvEntry>,
+    index: MatchIndex<AdvId>,
+}
+
+impl PartialEq for Srt {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is derived state; two tables are equal iff their
+        // rows are.
+        self.entries == other.entries
+    }
+}
+
+impl Serialize for Srt {
+    fn serialize<S: serde::ser::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        serde_pairs::serialize(&self.entries, ser)
+    }
+}
+
+impl<'de> Deserialize<'de> for Srt {
+    fn deserialize<D: serde::de::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        Ok(Srt::from_entries(serde_pairs::deserialize(de)?))
+    }
 }
 
 impl Srt {
@@ -104,12 +135,45 @@ impl Srt {
         Srt::default()
     }
 
+    /// Rebuilds a table (and its match index) from persisted rows.
+    fn from_entries(entries: BTreeMap<AdvId, AdvEntry>) -> Self {
+        let mut index = MatchIndex::new();
+        for (id, e) in &entries {
+            index.insert(*id, &e.adv.filter);
+        }
+        Srt { entries, index }
+    }
+
     /// Inserts an advertisement arriving from `lasthop`. Returns `false`
     /// (leaving the row untouched) if the id is already present.
+    ///
+    /// A re-insert with the *same* filter is the normal idempotent
+    /// duplicate-suppression path. A re-insert with a *different*
+    /// filter under the same id is a protocol violation (ids are bound
+    /// to immutable filters); it is reported — loudly in debug builds —
+    /// and the original row is kept.
     pub fn insert(&mut self, adv: Advertisement, lasthop: Hop) -> bool {
         match self.entries.entry(adv.id) {
-            Entry::Occupied(_) => false,
+            Entry::Occupied(existing) => {
+                if existing.get().adv.filter != adv.filter {
+                    debug_assert!(
+                        false,
+                        "advertisement {} re-inserted with a different filter \
+                         (kept {}, ignored {})",
+                        adv.id,
+                        existing.get().adv.filter,
+                        adv.filter
+                    );
+                    eprintln!(
+                        "transmob-broker: ignoring re-advertisement of {} with a \
+                         different filter; the original row is kept",
+                        adv.id
+                    );
+                }
+                false
+            }
             Entry::Vacant(v) => {
+                self.index.insert(adv.id, &adv.filter);
                 v.insert(AdvEntry {
                     adv,
                     lasthop,
@@ -123,7 +187,11 @@ impl Srt {
 
     /// Removes an advertisement, returning its row.
     pub fn remove(&mut self, id: AdvId) -> Option<AdvEntry> {
-        self.entries.remove(&id)
+        let row = self.entries.remove(&id);
+        if row.is_some() {
+            self.index.remove(&id);
+        }
+        row
     }
 
     /// Looks up a row.
@@ -131,7 +199,8 @@ impl Srt {
         self.entries.get(&id)
     }
 
-    /// Looks up a row mutably.
+    /// Looks up a row mutably (for hop bookkeeping — never mutate the
+    /// filter; see the type docs).
     pub fn get_mut(&mut self, id: AdvId) -> Option<&mut AdvEntry> {
         self.entries.get_mut(&id)
     }
@@ -141,18 +210,48 @@ impl Srt {
         self.entries.iter()
     }
 
-    /// Iterates all rows mutably.
+    /// Iterates all rows mutably (for hop bookkeeping — never mutate
+    /// the filter; see the type docs).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (&AdvId, &mut AdvEntry)> {
         self.entries.iter_mut()
     }
 
     /// Ids of advertisements whose filter overlaps `filter`
-    /// (the subscription-routing test).
+    /// (the subscription-routing test). Served by the counting index.
     pub fn overlapping(&self, filter: &Filter) -> Vec<AdvId> {
+        let out = self.index.overlapping(filter);
+        debug_assert_eq!(
+            out,
+            self.overlapping_linear(filter),
+            "match index diverged from the linear overlap scan"
+        );
+        out
+    }
+
+    /// Reference implementation of [`Srt::overlapping`]: the full
+    /// linear scan. Kept as the differential oracle for the index (and
+    /// as the benchmark baseline).
+    pub fn overlapping_linear(&self, filter: &Filter) -> Vec<AdvId> {
         self.entries
             .iter()
             .filter(|(_, e)| e.adv.filter.overlaps(filter))
             .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Overlap query joined with the routing hops the broker needs:
+    /// for every overlapping row, its id, active lasthop, and pending
+    /// (shadow) lasthop if a movement transaction is in flight. This
+    /// is the one API the broker core routes subscriptions through, so
+    /// active and pending configurations are considered in one place.
+    pub fn overlapping_routes(&self, filter: &Filter) -> Vec<(AdvId, Hop, Option<Hop>)> {
+        self.overlapping(filter)
+            .into_iter()
+            .map(|id| {
+                // unwrap: the index never returns ids without a row
+                let e = &self.entries[&id];
+                (id, e.lasthop, e.pending.as_ref().map(|p| p.lasthop))
+            })
             .collect()
     }
 
@@ -177,10 +276,37 @@ impl Srt {
 }
 
 /// The Publication Routing Table.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Publication matching ([`Prt::matching`]) and filter overlap
+/// ([`Prt::overlapping`]) are served by an attribute-indexed counting
+/// [`MatchIndex`] kept in sync with the rows; the index is rebuilt
+/// from the rows on deserialization and asserted against the
+/// linear-scan oracle in debug builds.
+///
+/// As with [`Srt`], the mutable accessors are for hop bookkeeping
+/// only — never mutate an entry's filter through them.
+#[derive(Debug, Clone, Default)]
 pub struct Prt {
-    #[serde(with = "serde_pairs")]
     entries: BTreeMap<SubId, SubEntry>,
+    index: MatchIndex<SubId>,
+}
+
+impl PartialEq for Prt {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Serialize for Prt {
+    fn serialize<S: serde::ser::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        serde_pairs::serialize(&self.entries, ser)
+    }
+}
+
+impl<'de> Deserialize<'de> for Prt {
+    fn deserialize<D: serde::de::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        Ok(Prt::from_entries(serde_pairs::deserialize(de)?))
+    }
 }
 
 impl Prt {
@@ -189,12 +315,43 @@ impl Prt {
         Prt::default()
     }
 
+    /// Rebuilds a table (and its match index) from persisted rows.
+    fn from_entries(entries: BTreeMap<SubId, SubEntry>) -> Self {
+        let mut index = MatchIndex::new();
+        for (id, e) in &entries {
+            index.insert(*id, &e.sub.filter);
+        }
+        Prt { entries, index }
+    }
+
     /// Inserts a subscription arriving from `lasthop`. Returns `false`
     /// (leaving the row untouched) if the id is already present.
+    ///
+    /// Same contract as [`Srt::insert`]: equal-filter re-inserts are
+    /// silent duplicate suppression, differing-filter re-inserts are a
+    /// reported protocol violation and the original row is kept.
     pub fn insert(&mut self, sub: Subscription, lasthop: Hop) -> bool {
         match self.entries.entry(sub.id) {
-            Entry::Occupied(_) => false,
+            Entry::Occupied(existing) => {
+                if existing.get().sub.filter != sub.filter {
+                    debug_assert!(
+                        false,
+                        "subscription {} re-inserted with a different filter \
+                         (kept {}, ignored {})",
+                        sub.id,
+                        existing.get().sub.filter,
+                        sub.filter
+                    );
+                    eprintln!(
+                        "transmob-broker: ignoring re-subscription of {} with a \
+                         different filter; the original row is kept",
+                        sub.id
+                    );
+                }
+                false
+            }
             Entry::Vacant(v) => {
+                self.index.insert(sub.id, &sub.filter);
                 v.insert(SubEntry {
                     sub,
                     lasthop,
@@ -208,7 +365,11 @@ impl Prt {
 
     /// Removes a subscription, returning its row.
     pub fn remove(&mut self, id: SubId) -> Option<SubEntry> {
-        self.entries.remove(&id)
+        let row = self.entries.remove(&id);
+        if row.is_some() {
+            self.index.remove(&id);
+        }
+        row
     }
 
     /// Looks up a row.
@@ -216,7 +377,8 @@ impl Prt {
         self.entries.get(&id)
     }
 
-    /// Looks up a row mutably.
+    /// Looks up a row mutably (for hop bookkeeping — never mutate the
+    /// filter; see the type docs).
     pub fn get_mut(&mut self, id: SubId) -> Option<&mut SubEntry> {
         self.entries.get_mut(&id)
     }
@@ -226,14 +388,28 @@ impl Prt {
         self.entries.iter()
     }
 
-    /// Iterates all rows mutably.
+    /// Iterates all rows mutably (for hop bookkeeping — never mutate
+    /// the filter; see the type docs).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (&SubId, &mut SubEntry)> {
         self.entries.iter_mut()
     }
 
     /// Ids of subscriptions whose filter matches `publication`
-    /// (the publication-forwarding test).
+    /// (the publication-forwarding test). Served by the counting index.
     pub fn matching(&self, publication: &Publication) -> Vec<SubId> {
+        let out = self.index.matching(publication);
+        debug_assert_eq!(
+            out,
+            self.matching_linear(publication),
+            "match index diverged from the linear matching scan"
+        );
+        out
+    }
+
+    /// Reference implementation of [`Prt::matching`]: the full linear
+    /// scan. Kept as the differential oracle for the index (and as the
+    /// benchmark baseline).
+    pub fn matching_linear(&self, publication: &Publication) -> Vec<SubId> {
         self.entries
             .iter()
             .filter(|(_, e)| e.sub.filter.matches(publication))
@@ -241,8 +417,38 @@ impl Prt {
             .collect()
     }
 
-    /// Ids of subscriptions whose filter overlaps `filter`.
+    /// Matching query joined with the routing hops the broker needs:
+    /// for every matching row, its id, active lasthop, and pending
+    /// (shadow) lasthop if a movement transaction is in flight. This
+    /// is the one API publication forwarding goes through, so the
+    /// prepare–commit window (where both configurations must receive
+    /// traffic) is honoured in one place.
+    pub fn matching_routes(&self, publication: &Publication) -> Vec<(SubId, Hop, Option<Hop>)> {
+        self.matching(publication)
+            .into_iter()
+            .map(|id| {
+                // unwrap: the index never returns ids without a row
+                let e = &self.entries[&id];
+                (id, e.lasthop, e.pending.as_ref().map(|p| p.lasthop))
+            })
+            .collect()
+    }
+
+    /// Ids of subscriptions whose filter overlaps `filter`. Served by
+    /// the counting index.
     pub fn overlapping(&self, filter: &Filter) -> Vec<SubId> {
+        let out = self.index.overlapping(filter);
+        debug_assert_eq!(
+            out,
+            self.overlapping_linear(filter),
+            "match index diverged from the linear overlap scan"
+        );
+        out
+    }
+
+    /// Reference implementation of [`Prt::overlapping`]: the full
+    /// linear scan.
+    pub fn overlapping_linear(&self, filter: &Filter) -> Vec<SubId> {
         self.entries
             .iter()
             .filter(|(_, e)| e.sub.filter.overlaps(filter))
@@ -331,6 +537,91 @@ mod tests {
         assert_eq!(row.lasthop, Hop::Client(ClientId(1)));
         assert!(prt.remove(s.id).is_none());
         assert!(prt.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different filter")]
+    fn srt_reinsert_with_different_filter_is_detected() {
+        let mut srt = Srt::new();
+        srt.insert(adv(1, 0, 0, 10), Hop::Client(ClientId(1)));
+        srt.insert(adv(1, 0, 5, 25), Hop::Client(ClientId(1)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different filter")]
+    fn prt_reinsert_with_different_filter_is_detected() {
+        let mut prt = Prt::new();
+        prt.insert(sub(1, 0, 0, 10), Hop::Client(ClientId(1)));
+        prt.insert(sub(1, 0, 5, 25), Hop::Client(ClientId(1)));
+    }
+
+    #[test]
+    fn matching_routes_exposes_active_and_pending_hops() {
+        let mut prt = Prt::new();
+        let s1 = sub(1, 0, 0, 10);
+        let s2 = sub(2, 0, 5, 20);
+        prt.insert(s1.clone(), Hop::Client(ClientId(1)));
+        prt.insert(s2.clone(), Hop::Broker(BrokerId(4)));
+        prt.get_mut(s1.id).unwrap().pending = Some(PendingRoute {
+            move_id: MoveId(3),
+            lasthop: Hop::Broker(BrokerId(7)),
+        });
+        let routes = prt.matching_routes(&Publication::new().with("x", 7));
+        assert_eq!(
+            routes,
+            vec![
+                (
+                    s1.id,
+                    Hop::Client(ClientId(1)),
+                    Some(Hop::Broker(BrokerId(7)))
+                ),
+                (s2.id, Hop::Broker(BrokerId(4)), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn tables_survive_serde_round_trip_with_live_index() {
+        let mut prt = Prt::new();
+        prt.insert(sub(1, 0, 0, 10), Hop::Client(ClientId(1)));
+        prt.insert(sub(2, 0, 5, 20), Hop::Broker(BrokerId(4)));
+        let mut srt = Srt::new();
+        srt.insert(adv(1, 0, 0, 10), Hop::Broker(BrokerId(2)));
+        let prt2: Prt = serde_json::from_str(&serde_json::to_string(&prt).unwrap()).unwrap();
+        let srt2: Srt = serde_json::from_str(&serde_json::to_string(&srt).unwrap()).unwrap();
+        assert_eq!(prt, prt2);
+        assert_eq!(srt, srt2);
+        // The rebuilt indexes answer queries (the debug oracle inside
+        // matching/overlapping cross-checks them against the scan).
+        let p = Publication::new().with("x", 7);
+        assert_eq!(prt2.matching(&p), prt.matching(&p));
+        let f = Filter::builder().ge("x", 5).le("x", 8).build();
+        assert_eq!(srt2.overlapping(&f), srt.overlapping(&f));
+    }
+
+    #[test]
+    fn index_tracks_churn() {
+        let mut prt = Prt::new();
+        let s = sub(1, 0, 0, 10);
+        let p = Publication::new().with("x", 5);
+        prt.insert(s.clone(), Hop::Client(ClientId(1)));
+        assert_eq!(prt.matching(&p), vec![s.id]);
+        prt.remove(s.id);
+        assert!(prt.matching(&p).is_empty());
+        // Re-insert after removal with a *different* filter is legal
+        // (the id is free again).
+        let s2 = Subscription::new(
+            SubId::new(ClientId(1), 0),
+            Filter::builder().ge("x", 100).build(),
+        );
+        prt.insert(s2.clone(), Hop::Client(ClientId(1)));
+        assert!(prt.matching(&p).is_empty());
+        assert_eq!(
+            prt.matching(&Publication::new().with("x", 150)),
+            vec![s2.id]
+        );
     }
 
     #[test]

@@ -193,9 +193,7 @@ impl Topology {
             return None;
         }
         if src == dst {
-            return Some(Route {
-                brokers: vec![src],
-            });
+            return Some(Route { brokers: vec![src] });
         }
         // BFS from src recording parents; in a tree this finds the
         // unique path.

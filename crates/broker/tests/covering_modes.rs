@@ -85,8 +85,7 @@ fn all_modes_deliver_identically() {
                 Publication::new().with("x", 15),
             )),
         );
-        let mut clients: Vec<u64> =
-            net.take_deliveries().iter().map(|d| d.client.0).collect();
+        let mut clients: Vec<u64> = net.take_deliveries().iter().map(|d| d.client.0).collect();
         clients.sort_unstable();
         assert_eq!(clients, vec![2, 3], "mode {mode:?} diverged");
     }

@@ -39,7 +39,10 @@ fn group_filter(group: u8, shift: u8) -> Filter {
         Filter::builder().ge("x", s).le("x", 10_000 + s).build()
     } else {
         let lo = i64::from(group) * 1000;
-        Filter::builder().ge("x", lo + s).le("x", lo + 500 + s).build()
+        Filter::builder()
+            .ge("x", lo + s)
+            .le("x", lo + 500 + s)
+            .build()
     }
 }
 
@@ -166,6 +169,57 @@ proptest! {
     }
 }
 
+/// Deterministic replay of the checked-in proptest regression
+/// (`cc 460e824d…`, shrinks to `steps = [Step { client: 0, group: 0,
+/// shift: 0 }]`): a single client at B1 subscribing to the root group
+/// `[x ≥ 0, x ≤ 10000]` under a full-space advertisement. Runs all
+/// three properties of this file on that input.
+#[test]
+fn regression_single_root_subscription() {
+    let steps = vec![Step {
+        client: 0,
+        group: 0,
+        shift: 0,
+    }];
+
+    // Property 1: covering is delivery-transparent.
+    let mut plain = build_net(BrokerConfig::plain(), &steps);
+    let mut covering = build_net(BrokerConfig::covering(), &steps);
+    let mut precise = build_net(BrokerConfig::covering_precise_release(), &steps);
+    for (k, x) in [55i64, 555, 1555, 5555, 9999, 10_500].iter().enumerate() {
+        let a = delivery_set(&mut plain, *x, 1000 + k as u64);
+        let b = delivery_set(&mut covering, *x, 1000 + k as u64);
+        let c = delivery_set(&mut precise, *x, 1000 + k as u64);
+        assert_eq!(a, b, "conservative covering diverged for x={x}");
+        assert_eq!(a, c, "precise covering diverged for x={x}");
+    }
+
+    // Property 2: covering never forwards more state than plain.
+    let plain = build_net(BrokerConfig::plain(), &steps);
+    let covering = build_net(BrokerConfig::covering(), &steps);
+    let forwarded = |net: &SyncNet| -> usize {
+        net.brokers()
+            .map(|(_, b)| b.prt().iter().map(|(_, e)| e.sent_to.len()).sum::<usize>())
+            .sum()
+    };
+    assert!(forwarded(&covering) <= forwarded(&plain));
+
+    // Property 3: broker state survives persistence.
+    let net = build_net(BrokerConfig::covering(), &steps);
+    for (id, broker) in net.brokers() {
+        let json = serde_json::to_string(broker).expect("serialize broker");
+        let restored: BrokerCore = serde_json::from_str(&json).expect("restore broker");
+        assert_eq!(broker.srt(), restored.srt(), "SRT diverged at {id}");
+        assert_eq!(broker.prt(), restored.prt(), "PRT diverged at {id}");
+        let probe = PublicationMsg::new(PubId(999), ClientId(1), Publication::new().with("x", 555));
+        let mut a = broker.clone();
+        let mut b = restored;
+        let out_a = a.handle(Hop::Broker(BrokerId(99)), PubSubMsg::Publish(probe.clone()));
+        let out_b = b.handle(Hop::Broker(BrokerId(99)), PubSubMsg::Publish(probe));
+        assert_eq!(out_a, out_b);
+    }
+}
+
 #[test]
 fn quench_release_round_trip_preserves_delivery() {
     // Deterministic witness of the cascade correctness: root quenches
@@ -189,7 +243,11 @@ fn quench_release_round_trip_preserves_delivery() {
         })
         .collect();
     for (i, s) in leafs.iter().enumerate() {
-        net.client_send(BrokerId(4), ClientId(11 + i as u64), PubSubMsg::Subscribe(s.clone()));
+        net.client_send(
+            BrokerId(4),
+            ClientId(11 + i as u64),
+            PubSubMsg::Subscribe(s.clone()),
+        );
     }
     let root = Subscription::new(SubId::new(ClientId(50), 0), group_filter(0, 7));
     let probe = |net: &mut SyncNet, id: u64| -> usize {
@@ -207,9 +265,13 @@ fn quench_release_round_trip_preserves_delivery() {
     };
     let baseline = probe(&mut net, 1);
     // Root arrives (retracts leaf forwards), leaves still served.
-    net.client_send(BrokerId(4), ClientId(50), PubSubMsg::Subscribe(root.clone()));
+    net.client_send(
+        BrokerId(4),
+        ClientId(50),
+        PubSubMsg::Subscribe(root.clone()),
+    );
     assert_eq!(probe(&mut net, 2), baseline + 1); // root also matches
-    // Root departs (conservative release re-forwards the leaves).
+                                                  // Root departs (conservative release re-forwards the leaves).
     net.client_send(BrokerId(4), ClientId(50), PubSubMsg::Unsubscribe(root.id));
     assert_eq!(probe(&mut net, 3), baseline);
 }

@@ -52,11 +52,19 @@ fn advertisement_floods_entire_overlay() {
     }
     // lasthops point back toward the advertiser
     assert_eq!(
-        net.broker(b(3)).srt().get(AdvId::new(c(1), 0)).unwrap().lasthop,
+        net.broker(b(3))
+            .srt()
+            .get(AdvId::new(c(1), 0))
+            .unwrap()
+            .lasthop,
         Hop::Broker(b(2))
     );
     assert_eq!(
-        net.broker(b(1)).srt().get(AdvId::new(c(1), 0)).unwrap().lasthop,
+        net.broker(b(1))
+            .srt()
+            .get(AdvId::new(c(1), 0))
+            .unwrap()
+            .lasthop,
         Hop::Client(c(1))
     );
     // 4 overlay hops + 1 client injection
@@ -110,7 +118,10 @@ fn publication_not_routed_into_empty_branches() {
     publish(&mut net, b(2), 1, 1, 10);
     // publish messages: client->B2, B2->B1, B1->B3 = 3; never to B4.
     assert_eq!(net.traffic()[&MsgKind::Publish], 3);
-    assert_eq!(net.broker(b(4)).stats().handled.get(&MsgKind::Publish), None);
+    assert_eq!(
+        net.broker(b(4)).stats().handled.get(&MsgKind::Publish),
+        None
+    );
 }
 
 #[test]
@@ -243,13 +254,9 @@ fn active_covering_retracts_previously_forwarded_subs() {
     // Covering sub second: propagates AND retracts the narrow one.
     net.client_send(b(3), c(2), PubSubMsg::Subscribe(sub(2, 0, range(0, 100))));
     assert!(net.traffic()[&MsgKind::Unsubscribe] >= 2); // retractions en route
-    // Narrow sub now lives only at its access broker.
+                                                        // Narrow sub now lives only at its access broker.
     assert_eq!(net.broker(b(1)).prt().len(), 1);
-    assert!(net
-        .broker(b(1))
-        .prt()
-        .get(SubId::new(c(2), 0))
-        .is_some());
+    assert!(net.broker(b(1)).prt().get(SubId::new(c(2), 0)).is_some());
     assert!(net.broker(b(1)).prt().get(SubId::new(c(1), 0)).is_none());
     // Deliveries still correct for both.
     publish(&mut net, b(1), 9, 1, 15);
@@ -313,11 +320,7 @@ fn adv_covering_quenches_flood_and_release_on_unadvertise() {
     // Unadvertise the root: covered adv must now flood (the burst).
     net.client_send(b(1), c(1), PubSubMsg::Unadvertise(AdvId::new(c(1), 0)));
     assert_eq!(net.broker(b(4)).srt().len(), 1);
-    assert!(net
-        .broker(b(4))
-        .srt()
-        .get(AdvId::new(c(2), 0))
-        .is_some());
+    assert!(net.broker(b(4)).srt().get(AdvId::new(c(2), 0)).is_some());
     assert!(net.traffic()[&MsgKind::Advertise] >= 3);
 }
 
@@ -451,16 +454,15 @@ fn pending_adv_move_with_commit_prunes_stale_sub_paths() {
     net.broker_mut(b(4))
         .install_pending_adv(&a, m, Hop::Client(c(1)), Some(b(3)));
     // Case 1/3 fixups: pull intersecting subs toward the target.
-    let pulls = net.with_broker(b(1), |br| ((), br.pull_subs_toward(a.id, b(2))));
-    let _ = pulls;
-    let _ = net.with_broker(b(2), |br| ((), br.pull_subs_toward(a.id, b(3))));
-    let _ = net.with_broker(b(3), |br| ((), br.pull_subs_toward(a.id, b(4))));
+    net.with_broker(b(1), |br| ((), br.pull_subs_toward(a.id, b(2))));
+    net.with_broker(b(2), |br| ((), br.pull_subs_toward(a.id, b(3))));
+    net.with_broker(b(3), |br| ((), br.pull_subs_toward(a.id, b(4))));
     // The subscription must now extend to B4 so post-move publications
     // route.
     assert!(net.broker(b(4)).prt().get(s.id).is_some());
     // Commit hop-by-hop.
     for i in [4u32, 3, 2, 1] {
-        let _ = net.with_broker(b(i), |br| ((), br.commit_move(m)));
+        net.with_broker(b(i), |br| ((), br.commit_move(m)));
     }
     // Publications from the new location reach the subscriber.
     publish(&mut net, b(4), 1, 1, 10);
@@ -480,10 +482,7 @@ fn broker_stats_count_and_anomalies() {
     assert_eq!(net.broker(b(1)).stats().reroutes, 1);
     assert_eq!(net.broker(b(1)).stats().anomalies, 0);
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 1))));
-    assert_eq!(
-        net.broker(b(1)).stats().handled[&MsgKind::Advertise],
-        1
-    );
+    assert_eq!(net.broker(b(1)).stats().handled[&MsgKind::Advertise], 1);
 }
 
 #[test]

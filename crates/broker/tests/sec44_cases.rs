@@ -52,11 +52,11 @@ fn reconfigure_adv_move(net: &mut SyncNet, a: &Advertisement) {
     // Fix-ups: pull intersecting subscriptions toward the new
     // direction at every path broker.
     for (broker, toward) in [(1u32, 2u32), (2, 3), (3, 4), (4, 5)] {
-        let _ = net.with_broker(b(broker), |br| ((), br.pull_subs_toward(a.id, b(toward))));
+        net.with_broker(b(broker), |br| ((), br.pull_subs_toward(a.id, b(toward))));
     }
     // Commit pass (source → target, as the state transfer walks).
     for i in 1..=5u32 {
-        let _ = net.with_broker(b(i), |br| ((), br.commit_move(m)));
+        net.with_broker(b(i), |br| ((), br.commit_move(m)));
     }
 }
 
@@ -66,7 +66,13 @@ fn case1_offpath_subscriber_is_pulled_toward_new_location() {
     // subscription's lasthop at B3 is B6 ∉ RouteS2T.
     let topo = Topology::new(
         (1..=6).map(b).collect::<Vec<_>>(),
-        vec![(b(1), b(2)), (b(2), b(3)), (b(3), b(4)), (b(4), b(5)), (b(3), b(6))],
+        vec![
+            (b(1), b(2)),
+            (b(2), b(3)),
+            (b(3), b(4)),
+            (b(4), b(5)),
+            (b(3), b(6)),
+        ],
     )
     .unwrap();
     let mut net = SyncNet::new(topo, BrokerConfig::plain());

@@ -250,11 +250,7 @@ mod tests {
     use transmob_pubsub::Publication;
 
     fn pubmsg(id: u64, x: i64) -> PublicationMsg {
-        PublicationMsg::new(
-            PubId(id),
-            ClientId(99),
-            Publication::new().with("x", x),
-        )
+        PublicationMsg::new(PubId(id), ClientId(99), Publication::new().with("x", x))
     }
 
     #[test]
@@ -327,7 +323,9 @@ mod tests {
         tgt.merge_snapshot(snap);
         let ops = tgt.drain_ops();
         assert_eq!(ops.len(), 2);
-        assert!(matches!(&ops[0], ClientOp::Publish(p) if p.get("o") == Some(&transmob_pubsub::Value::Int(1))));
+        assert!(
+            matches!(&ops[0], ClientOp::Publish(p) if p.get("o") == Some(&transmob_pubsub::Value::Int(1)))
+        );
     }
 
     #[test]

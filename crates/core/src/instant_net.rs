@@ -83,7 +83,12 @@ impl InstantNet {
         let topology = Arc::new(topology);
         let brokers = topology
             .brokers()
-            .map(|b| (b, MobileBroker::new(b, Arc::clone(&topology), config.clone())))
+            .map(|b| {
+                (
+                    b,
+                    MobileBroker::new(b, Arc::clone(&topology), config.clone()),
+                )
+            })
             .collect();
         InstantNet {
             topology,
@@ -275,7 +280,8 @@ impl InstantNet {
                     delay_ns,
                 }),
                 Output::CancelTimer { token } => {
-                    self.timers.retain(|t| !(t.broker == src && t.token == token));
+                    self.timers
+                        .retain(|t| !(t.broker == src && t.token == token));
                 }
                 Output::MoveFinished {
                     m,

@@ -280,9 +280,7 @@ impl MoveMsg {
     pub fn is_hop_by_hop(&self) -> bool {
         matches!(
             self,
-            MoveMsg::Reconfigure { .. }
-                | MoveMsg::StateTransfer { .. }
-                | MoveMsg::AbortMove { .. }
+            MoveMsg::Reconfigure { .. } | MoveMsg::StateTransfer { .. } | MoveMsg::AbortMove { .. }
         )
     }
 }

@@ -28,9 +28,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use transmob_broker::{
-    BrokerConfig, BrokerCore, BrokerOutput, Hop, PubSubMsg, Topology,
-};
+use transmob_broker::{BrokerConfig, BrokerCore, BrokerOutput, Hop, PubSubMsg, Topology};
 use transmob_pubsub::{BrokerId, ClientId, MoveId, PublicationMsg, SubId};
 
 use crate::client_stub::{DeliverOutcome, HostedClient};
@@ -211,8 +209,16 @@ impl MobileBroker {
     /// Movement bookkeeping snapshot (persistence support).
     pub(crate) fn moves_snapshot(&self) -> crate::persistence::MovesSnapshot {
         crate::persistence::MovesSnapshot {
-            src: self.src_moves.iter().map(|(m, r)| (*m, r.clone())).collect(),
-            tgt: self.tgt_moves.iter().map(|(m, r)| (*m, r.clone())).collect(),
+            src: self
+                .src_moves
+                .iter()
+                .map(|(m, r)| (*m, r.clone()))
+                .collect(),
+            tgt: self
+                .tgt_moves
+                .iter()
+                .map(|(m, r)| (*m, r.clone()))
+                .collect(),
             path: self
                 .path_moves
                 .iter()
@@ -299,7 +305,10 @@ impl MobileBroker {
             .expect("client not hosted at this broker");
         if stub.state().queues_commands()
             || (stub.state() == ClientState::PauseOper
-                && !matches!(op, ClientOp::Resume | ClientOp::MoveTo(..) | ClientOp::Pause))
+                && !matches!(
+                    op,
+                    ClientOp::Resume | ClientOp::MoveTo(..) | ClientOp::Pause
+                ))
         {
             stub.queue_op(op);
             return Vec::new();
@@ -307,7 +316,9 @@ impl MobileBroker {
         match op {
             ClientOp::Subscribe(filter) => {
                 let s = stub.new_subscription(filter);
-                let outs = self.core.handle(Hop::Client(client), PubSubMsg::Subscribe(s));
+                let outs = self
+                    .core
+                    .handle(Hop::Client(client), PubSubMsg::Subscribe(s));
                 self.absorb(outs)
             }
             ClientOp::Unsubscribe(seq) => match stub.remove_subscription(seq) {
@@ -324,7 +335,9 @@ impl MobileBroker {
             },
             ClientOp::Advertise(filter) => {
                 let a = stub.new_advertisement(filter);
-                let outs = self.core.handle(Hop::Client(client), PubSubMsg::Advertise(a));
+                let outs = self
+                    .core
+                    .handle(Hop::Client(client), PubSubMsg::Advertise(a));
                 self.absorb(outs)
             }
             ClientOp::Unadvertise(seq) => match stub.remove_advertisement(seq) {
@@ -366,7 +379,12 @@ impl MobileBroker {
         m
     }
 
-    fn start_move(&mut self, client: ClientId, to: BrokerId, protocol: ProtocolKind) -> Vec<Output> {
+    fn start_move(
+        &mut self,
+        client: ClientId,
+        to: BrokerId,
+        protocol: ProtocolKind,
+    ) -> Vec<Output> {
         if to == self.id() || !self.topology.contains(to) {
             // Degenerate movement: nothing to do (or unknown target).
             let m = self.fresh_move_id();
@@ -514,10 +532,7 @@ impl MobileBroker {
     ) -> Vec<Output> {
         debug_assert_eq!(target, self.id());
         if !self.config.accept_moves {
-            return self.forward_or_emit_toward(
-                source,
-                MoveMsg::Reject { m, source, target },
-            );
+            return self.forward_or_emit_toward(source, MoveMsg::Reject { m, source, target });
         }
         self.tgt_moves.insert(
             m,
@@ -684,12 +699,10 @@ impl MobileBroker {
         let mut outs: Vec<BrokerOutput> = Vec::new();
         let mut fixups = Vec::new();
         for s in &profile.subs {
-            self.core
-                .install_pending_sub(s, m, Hop::Broker(frm), None);
+            self.core.install_pending_sub(s, m, Hop::Broker(frm), None);
         }
         for a in &profile.advs {
-            self.core
-                .install_pending_adv(a, m, Hop::Broker(frm), None);
+            self.core.install_pending_adv(a, m, Hop::Broker(frm), None);
             fixups.extend(self.pull_with_record(a.id, frm, &mut outs));
         }
         // Coordinator: wait → prepare. Client: pause_move →
@@ -1040,8 +1053,7 @@ impl MobileBroker {
                 protocol: ProtocolKind::Covering,
             },
         );
-        let mut out =
-            self.forward_or_emit_toward(source, MoveMsg::CovAccept { m, source, target });
+        let mut out = self.forward_or_emit_toward(source, MoveMsg::CovAccept { m, source, target });
         if let Some(delay_ns) = self.config.state_timeout_ns {
             out.push(Output::SetTimer {
                 token: TimerToken {
@@ -1083,10 +1095,16 @@ impl MobileBroker {
             // cascades as the workload dictates.
             let mut outs: Vec<BrokerOutput> = Vec::new();
             for s in &profile.subs {
-                outs.extend(self.core.handle(Hop::Client(client), PubSubMsg::Unsubscribe(s.id)));
+                outs.extend(
+                    self.core
+                        .handle(Hop::Client(client), PubSubMsg::Unsubscribe(s.id)),
+                );
             }
             for a in &profile.advs {
-                outs.extend(self.core.handle(Hop::Client(client), PubSubMsg::Unadvertise(a.id)));
+                outs.extend(
+                    self.core
+                        .handle(Hop::Client(client), PubSubMsg::Unadvertise(a.id)),
+                );
             }
             out.extend(self.absorb(outs));
         }
@@ -1207,10 +1225,16 @@ impl MobileBroker {
                 .unwrap_or_default();
             let mut outs: Vec<BrokerOutput> = Vec::new();
             for s in &profile.subs {
-                outs.extend(self.core.handle(Hop::Client(client), PubSubMsg::Unsubscribe(s.id)));
+                outs.extend(
+                    self.core
+                        .handle(Hop::Client(client), PubSubMsg::Unsubscribe(s.id)),
+                );
             }
             for a in &profile.advs {
-                outs.extend(self.core.handle(Hop::Client(client), PubSubMsg::Unadvertise(a.id)));
+                outs.extend(
+                    self.core
+                        .handle(Hop::Client(client), PubSubMsg::Unadvertise(a.id)),
+                );
             }
             out.extend(self.absorb(outs));
         }
@@ -1318,9 +1342,7 @@ mod tests {
             ClientId(1),
             ClientOp::MoveTo(BrokerId(3), ProtocolKind::Reconfig),
         );
-        assert!(outs
-            .iter()
-            .any(|o| matches!(o, Output::Send { .. })));
+        assert!(outs.iter().any(|o| matches!(o, Output::Send { .. })));
         let outs = b.client_op(
             ClientId(1),
             ClientOp::Subscribe(Filter::builder().any("x").build()),
@@ -1396,12 +1418,19 @@ mod tests {
         let outs = b.handle(Hop::Broker(BrokerId(2)), Message::Move(nego.clone()));
         assert!(matches!(
             &outs[0],
-            Output::Send { msg: Message::Move(MoveMsg::Reject { .. }), .. }
+            Output::Send {
+                msg: Message::Move(MoveMsg::Reject { .. }),
+                ..
+            }
         ));
         b.set_accept_moves(true);
         let outs = b.handle(Hop::Broker(BrokerId(2)), Message::Move(nego));
-        assert!(outs
-            .iter()
-            .any(|o| matches!(o, Output::Send { msg: Message::Move(MoveMsg::Reconfigure { .. }), .. })));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: Message::Move(MoveMsg::Reconfigure { .. }),
+                ..
+            }
+        )));
     }
 }

@@ -381,7 +381,10 @@ fn successors(g: &Global, config: ExploreConfig) -> Vec<(String, Global)> {
             let mut next = base;
             next.src = SourceCoordState::Prepare;
             next.src_client = ClientState::PrepareStop;
-            out.push(("<approve>/<state>".to_owned(), next.with_msg(CoordMsg::State)));
+            out.push((
+                "<approve>/<state>".to_owned(),
+                next.with_msg(CoordMsg::State),
+            ));
         }
         if let Some(base) = g.take_msg(CoordMsg::Reject) {
             let mut next = base;
@@ -440,7 +443,7 @@ fn successors(g: &Global, config: ExploreConfig) -> Vec<(String, Global)> {
         if !g.tgt_crashed
             && g.tgt == TargetCoordState::Prepare
             && g.src_crashed
-            && g.msgs.get(&CoordMsg::State).is_none()
+            && !g.msgs.contains_key(&CoordMsg::State)
         {
             let mut next = g.clone();
             next.tgt = TargetCoordState::Abort;
@@ -590,7 +593,11 @@ mod tests {
             allow_reject: true,
             with_failures: true,
         });
-        assert!(ex.states.len() < 100, "unexpected blow-up: {}", ex.states.len());
+        assert!(
+            ex.states.len() < 100,
+            "unexpected blow-up: {}",
+            ex.states.len()
+        );
     }
 }
 

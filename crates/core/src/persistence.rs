@@ -84,7 +84,10 @@ impl MobileBroker {
         snapshot: BrokerSnapshot,
     ) -> MobileBroker {
         let id = snapshot.core.id();
-        assert!(topology.contains(id), "snapshot broker {id} not in topology");
+        assert!(
+            topology.contains(id),
+            "snapshot broker {id} not in topology"
+        );
         MobileBroker::from_parts(
             snapshot.core,
             topology,
@@ -105,10 +108,20 @@ mod tests {
     #[test]
     fn snapshot_round_trips_through_json() {
         let topo = Arc::new(Topology::chain(3));
-        let mut b = MobileBroker::new(BrokerId(1), Arc::clone(&topo), MobileBrokerConfig::reconfig());
+        let mut b = MobileBroker::new(
+            BrokerId(1),
+            Arc::clone(&topo),
+            MobileBrokerConfig::reconfig(),
+        );
         b.create_client(ClientId(7));
-        let _ = b.client_op(ClientId(7), ClientOp::Subscribe(Filter::builder().ge("x", 0).build()));
-        let _ = b.client_op(ClientId(7), ClientOp::Advertise(Filter::builder().le("x", 9).build()));
+        let _ = b.client_op(
+            ClientId(7),
+            ClientOp::Subscribe(Filter::builder().ge("x", 0).build()),
+        );
+        let _ = b.client_op(
+            ClientId(7),
+            ClientOp::Advertise(Filter::builder().le("x", 9).build()),
+        );
         let snap = b.snapshot();
         let json = serde_json::to_string(&snap).expect("serialize snapshot");
         let back: BrokerSnapshot = serde_json::from_str(&json).expect("restore snapshot");
@@ -124,7 +137,11 @@ mod tests {
     #[should_panic(expected = "not in topology")]
     fn restore_rejects_foreign_topology() {
         let topo = Arc::new(Topology::chain(3));
-        let b = MobileBroker::new(BrokerId(3), Arc::clone(&topo), MobileBrokerConfig::reconfig());
+        let b = MobileBroker::new(
+            BrokerId(3),
+            Arc::clone(&topo),
+            MobileBrokerConfig::reconfig(),
+        );
         let snap = b.snapshot();
         let other = Arc::new(Topology::chain(2));
         let _ = MobileBroker::restore(other, MobileBrokerConfig::reconfig(), snap);

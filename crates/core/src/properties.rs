@@ -20,10 +20,8 @@ use std::fmt;
 use transmob_broker::{Hop, Prt};
 use transmob_pubsub::{BrokerId, ClientId, PubId, Publication, PublicationMsg};
 
-
 use crate::instant_net::InstantNet;
 use crate::states::ClientState;
-
 
 /// A violation reported by one of the property checkers.
 #[derive(Debug, Clone, PartialEq, Eq)]

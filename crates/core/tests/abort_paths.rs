@@ -55,9 +55,13 @@ fn negotiate_timeout_before_any_delivery_aborts_cleanly() {
     assert!(net.fire_timer(timer.broker, timer.token));
     // The movement aborted; the client resumed at the source.
     let events = net.take_events();
-    assert!(events
-        .iter()
-        .any(|e| matches!(e, NetEvent::MoveFinished { committed: false, .. })));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        NetEvent::MoveFinished {
+            committed: false,
+            ..
+        }
+    )));
     assert_eq!(net.find_client(c(2)), Some(b(5)));
     // The network is fully clean: a publication arrives exactly once,
     // and the late negotiate (still queued when the timer fired) plus
@@ -104,7 +108,11 @@ fn negotiate_timeout_crossing_reconfigure_in_flight() {
         properties::assert_single_instance(&net).unwrap();
         publish(&mut net, 10 + steps as i64);
         let stream = net.deliveries_to(c(2));
-        assert_eq!(stream.len(), 1, "delivery broken at injection depth {steps}");
+        assert_eq!(
+            stream.len(),
+            1,
+            "delivery broken at injection depth {steps}"
+        );
         for i in 1..=5 {
             let core = net.broker(b(i)).core();
             assert!(

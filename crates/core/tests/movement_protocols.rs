@@ -7,9 +7,7 @@
 use std::collections::BTreeSet;
 
 use transmob_broker::Topology;
-use transmob_core::{
-    properties, ClientOp, InstantNet, MobileBrokerConfig, NetEvent, ProtocolKind,
-};
+use transmob_core::{properties, ClientOp, InstantNet, MobileBrokerConfig, NetEvent, ProtocolKind};
 use transmob_pubsub::{BrokerId, ClientId, Filter, PubId, Publication};
 
 fn b(i: u32) -> BrokerId {
@@ -142,8 +140,8 @@ fn reconfig_rejected_move_leaves_client_at_source() {
     // (InstantNet clones one config for all brokers; flip acceptance on
     // the target directly.)
     net.broker_mut(b(2)); // ensure exists
-    // There is no public setter; emulate rejection by moving to a
-    // broker outside the topology instead.
+                          // There is no public setter; emulate rejection by moving to a
+                          // broker outside the topology instead.
     net.client_op(c(2), ClientOp::MoveTo(BrokerId(99), ProtocolKind::Reconfig));
     let events = net.take_events();
     assert!(events.iter().any(|e| matches!(
@@ -306,8 +304,14 @@ fn make_before_break_variant_also_moves_cleanly() {
 fn operations_issued_while_moving_execute_at_target() {
     let mut net = chain_setup(5, MobileBrokerConfig::reconfig());
     // Subscribe from the publisher to the mover's future publications.
-    net.client_op(c(1), ClientOp::Subscribe(Filter::builder().ge("y", 0).build()));
-    net.client_op(c(2), ClientOp::Advertise(Filter::builder().ge("y", 0).build()));
+    net.client_op(
+        c(1),
+        ClientOp::Subscribe(Filter::builder().ge("y", 0).build()),
+    );
+    net.client_op(
+        c(2),
+        ClientOp::Advertise(Filter::builder().ge("y", 0).build()),
+    );
     // The mover is paused during the move; a publish queued mid-move
     // must be issued exactly once after arrival.
     net.client_op(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
@@ -379,10 +383,7 @@ fn application_pause_buffers_and_resume_replays() {
     assert!(net.deliveries_to(c(2)).is_empty());
     // A command issued while paused queues...
     net.client_op(c(2), ClientOp::Subscribe(range(200, 300)));
-    assert_eq!(
-        net.broker(b(4)).client(c(2)).unwrap().queued_len(),
-        1
-    );
+    assert_eq!(net.broker(b(4)).client(c(2)).unwrap().queued_len(), 1);
     // ...and everything flushes on resume.
     net.client_op(c(2), ClientOp::Resume);
     let stream = net.deliveries_to(c(2));

@@ -49,11 +49,17 @@ fn run(
     net.client_op(observer, ClientOp::Subscribe(range(200, 800)));
     // t0: the movement starts; publications continue either way.
     for x in [100, 300] {
-        net.client_op(publisher, ClientOp::Publish(Publication::new().with("x", x)));
+        net.client_op(
+            publisher,
+            ClientOp::Publish(Publication::new().with("x", x)),
+        );
     }
     net.client_op(mover, ClientOp::MoveTo(b(2), protocol));
     for x in [150, 350, 450] {
-        net.client_op(publisher, ClientOp::Publish(Publication::new().with("x", x)));
+        net.client_op(
+            publisher,
+            ClientOp::Publish(Publication::new().with("x", x)),
+        );
     }
     let mover_set: BTreeSet<PubId> = net.deliveries_to(mover).iter().map(|p| p.id).collect();
     let observer_stream: Vec<PubId> = net.deliveries_to(observer).iter().map(|p| p.id).collect();
@@ -70,8 +76,11 @@ fn consistency_moved_equals_stayed_reconfig() {
     // notifications whether the movement succeeded or failed.
     assert_eq!(moved, stayed, "consistency property violated");
     assert_eq!(moved.len(), 5); // all of x ∈ {100, 300, 150, 350, 450} match [0,500]
-    // Isolation: the observer's stream is unaffected by the outcome.
-    assert_eq!(observer_moved, observer_stayed, "isolation property violated");
+                                // Isolation: the observer's stream is unaffected by the outcome.
+    assert_eq!(
+        observer_moved, observer_stayed,
+        "isolation property violated"
+    );
     assert_eq!(observer_moved.len(), 3); // x ∈ {300, 350, 450} match [200,800]
 }
 

@@ -85,8 +85,7 @@ fn run_and_probe(moves: &[Move], protocol: ProtocolKind) -> Result<(), TestCaseE
         );
     }
     prop_assert_eq!(net.total_anomalies(), 0, "anomalies after {:?}", moves);
-    properties::assert_single_instance(&net)
-        .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    properties::assert_single_instance(&net).map_err(|e| TestCaseError::fail(format!("{e}")))?;
     Ok(())
 }
 

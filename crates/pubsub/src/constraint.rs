@@ -287,9 +287,10 @@ impl NumConstraint {
         // self's interval must admit all of other's interval, and every
         // point self excludes must be unreachable under other.
         other.interval.is_subset(&self.interval)
-            && self.excluded.iter().all(|p| {
-                !other.interval.contains(&p.0) || other.excluded.contains(p)
-            })
+            && self
+                .excluded
+                .iter()
+                .all(|p| !other.interval.contains(&p.0) || other.excluded.contains(p))
     }
 
     fn overlaps(&self, other: &NumConstraint) -> bool {
@@ -360,8 +361,8 @@ impl StrConstraint {
         }
         // General conservative rules: each of self's conjuncts must be
         // implied by one of other's.
-        let interval_ok = other.interval.is_subset(&self.interval)
-            || self.interval == Interval::full();
+        let interval_ok =
+            other.interval.is_subset(&self.interval) || self.interval == Interval::full();
         if !interval_ok {
             return false;
         }
@@ -379,10 +380,7 @@ impl StrConstraint {
                 || other.suffixes.iter().any(|s| s.contains(c1.as_str()))
         });
         // Every string self excludes must be unreachable under other.
-        let excluded_ok = self
-            .excluded
-            .iter()
-            .all(|e| !other.satisfied_by(e));
+        let excluded_ok = self.excluded.iter().all(|e| !other.satisfied_by(e));
         interval_ok && prefixes_ok && suffixes_ok && contains_ok && excluded_ok
     }
 
@@ -825,7 +823,9 @@ mod tests {
         ]);
         assert!(!wide.covers(&narrow));
         // But it covers a narrow range that also excludes 15.
-        let narrow2 = narrow.clone().and_predicate(&Predicate::new("x", Op::Neq, 15));
+        let narrow2 = narrow
+            .clone()
+            .and_predicate(&Predicate::new("x", Op::Neq, 15));
         assert!(wide.covers(&narrow2));
         // And covers one that avoids 15 entirely.
         let away = num(&[
@@ -902,7 +902,9 @@ mod tests {
         assert!(!t.overlaps(&f));
         assert!(any.covers(&t) && any.covers(&f));
         assert!(!t.covers(&any));
-        let none = t.and_predicate(&Predicate::new("b", Op::Eq, false)).normalized();
+        let none = t
+            .and_predicate(&Predicate::new("b", Op::Eq, false))
+            .normalized();
         assert!(none.is_empty());
     }
 

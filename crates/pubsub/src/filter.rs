@@ -59,7 +59,7 @@ impl Filter {
         }
         let constraints = by_attr
             .into_iter()
-            .map(|(attr, preds)| (attr, Constraint::from_predicates(preds.into_iter())))
+            .map(|(attr, preds)| (attr, Constraint::from_predicates(preds)))
             .collect();
         Filter {
             predicates,
@@ -103,11 +103,9 @@ impl Filter {
     /// The publication must carry *every* constrained attribute (content
     /// based matching treats a missing attribute as unsatisfied).
     pub fn matches(&self, publication: &Publication) -> bool {
-        self.constraints.iter().all(|(attr, c)| {
-            publication
-                .get(attr)
-                .is_some_and(|v| c.satisfied_by(v))
-        })
+        self.constraints
+            .iter()
+            .all(|(attr, c)| publication.get(attr).is_some_and(|v| c.satisfied_by(v)))
     }
 
     /// Subsumption: `self` covers `other` when every publication
@@ -120,12 +118,9 @@ impl Filter {
         if !other.is_satisfiable() {
             return true; // the empty set is covered by anything
         }
-        self.constraints.iter().all(|(attr, c1)| {
-            other
-                .constraints
-                .get(attr)
-                .is_some_and(|c2| c1.covers(c2))
-        })
+        self.constraints
+            .iter()
+            .all(|(attr, c1)| other.constraints.get(attr).is_some_and(|c2| c1.covers(c2)))
     }
 
     /// Intersection test: could some publication match both filters?
@@ -394,11 +389,7 @@ mod prop_tests {
     const ATTRS: [&str; 3] = ["x", "y", "z"];
 
     fn arb_filter() -> impl Strategy<Value = Filter> {
-        proptest::collection::vec(
-            (0..3usize, 0..6u8, -20i64..20),
-            1..4,
-        )
-        .prop_map(|specs| {
+        proptest::collection::vec((0..3usize, 0..6u8, -20i64..20), 1..4).prop_map(|specs| {
             let preds = specs
                 .into_iter()
                 .map(|(ai, op, v)| {

@@ -1,0 +1,677 @@
+//! Attribute-indexed *counting* match index for filter tables.
+//!
+//! Brokers answer two hot-path queries against large filter tables:
+//!
+//! - **matching**: which stored filters match a publication? (the PRT
+//!   publication-forwarding test)
+//! - **overlapping**: which stored filters overlap a query filter?
+//!   (the SRT/PRT subscription-routing intersection test)
+//!
+//! The naive implementation scans every stored filter and evaluates
+//! [`Filter::matches`] / [`Filter::overlaps`] — `O(table × arity)` per
+//! publication. [`MatchIndex`] implements the classic counting
+//! algorithm of Siena/PADRES-style brokers instead: each filter is
+//! decomposed into its per-attribute normalized [`Constraint`]s, the
+//! constraints are organized in per-attribute structures, and a
+//! publication is matched by **counting** how many of a filter's
+//! constraints are satisfied. A filter matches iff its count equals
+//! its arity. Only filters constraining attributes the publication
+//! actually carries are ever touched.
+//!
+//! # Data layout
+//!
+//! Per constrained attribute ([`AttrIndex`]):
+//!
+//! - numeric **point** constraints (`x = c`, no exclusions) live in a
+//!   hash map keyed by the *bit pattern* of the point. Under
+//!   `f64::total_cmp` — the order all numeric constraints use — two
+//!   floats are equal iff their bit patterns are equal, so a single
+//!   hash probe with `value.to_bits()` is exact.
+//! - general numeric **interval** constraints live in a `BTreeMap`
+//!   keyed by their *effective lower bound* in the total order
+//!   (unbounded-below maps to the total-order minimum, the negative
+//!   NaN with maximal payload). A value `x` can only satisfy intervals
+//!   whose lower bound is `≤ x`, so a prefix range scan enumerates a
+//!   superset of the satisfied intervals; each candidate is then
+//!   verified against its upper bound (and, rarely, its `!=`
+//!   exclusions).
+//! - string constraints pinned to a **single value** (`s = "v"`) live
+//!   in a hash map keyed by that value; constraints with **prefix**
+//!   conjuncts are bucketed under their first prefix, probed by
+//!   enumerating every prefix of the published string. Both bucket
+//!   kinds re-verify hits with [`Constraint::satisfied_by`] (the
+//!   bucket key is necessary, not sufficient).
+//! - `[attr] *` **presence** constraints are satisfied by any value.
+//! - everything else (booleans, exotic string shapes) falls back to a
+//!   per-attribute scan with exact verification — still restricted to
+//!   attributes the publication carries.
+//!
+//! # Soundness
+//!
+//! Every fast path is *prune + verify*: the bucket structures only
+//! narrow the candidate set, and any candidate that is not exact by
+//! construction is re-checked against the authoritative constraint.
+//! The index therefore returns byte-for-byte the same id sets as the
+//! linear scans, including for unsatisfiable filters (never returned),
+//! zero-arity filters (always returned by `matching`), and the
+//! conservative [`Constraint::overlaps`] over-approximation contract
+//! documented in [`crate::constraint`]. The routing layer keeps the
+//! linear scans alive as a differential oracle.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::constraint::{Bound, Constraint, TotalF64};
+use crate::filter::Filter;
+use crate::publication::Publication;
+use crate::value::Value;
+
+/// Smallest `f64` in the `total_cmp` order (negative NaN, maximal
+/// payload): the effective lower bound of intervals unbounded below.
+const TOTAL_MIN: f64 = f64::from_bits(u64::MAX);
+/// Largest `f64` in the `total_cmp` order: the effective upper bound
+/// of intervals unbounded above.
+const TOTAL_MAX: f64 = f64::from_bits(i64::MAX as u64);
+
+/// Key types a [`MatchIndex`] can index filters under (`AdvId`,
+/// `SubId`, …).
+pub trait IndexKey: Copy + Ord + Eq + Hash + Debug {}
+impl<T: Copy + Ord + Eq + Hash + Debug> IndexKey for T {}
+
+/// One general numeric interval constraint, denormalized for cheap
+/// verification during the prefix scan. The lower bound is the bucket
+/// key it is stored under.
+#[derive(Debug, Clone)]
+struct NumRow<K> {
+    key: K,
+    /// Lower bound is exclusive (`x > lo` rather than `x ≥ lo`).
+    lo_excl: bool,
+    /// Effective upper bound in the total order.
+    hi: f64,
+    /// Upper bound is exclusive.
+    hi_excl: bool,
+    /// The constraint carries `!=` exclusions; hits must be re-checked
+    /// against the authoritative constraint.
+    has_exclusions: bool,
+}
+
+/// Where a constraint lives inside an [`AttrIndex`]. Classification is
+/// a pure function of the constraint, so insert and remove agree.
+enum Slot {
+    Present,
+    NumEq(u64),
+    NumRange {
+        lo: TotalF64,
+        lo_excl: bool,
+        hi: f64,
+        hi_excl: bool,
+        has_exclusions: bool,
+    },
+    StrEq(String),
+    StrPre(String),
+    Other,
+}
+
+fn classify(c: &Constraint) -> Slot {
+    match c {
+        Constraint::Present => Slot::Present,
+        Constraint::Num(n) => {
+            if n.excluded.is_empty() {
+                if let Some(p) = n.interval.as_point() {
+                    return Slot::NumEq(p.to_bits());
+                }
+            }
+            let (lo, lo_excl) = match n.interval.lo() {
+                Bound::Unbounded => (TOTAL_MIN, false),
+                Bound::Incl(v) => (*v, false),
+                Bound::Excl(v) => (*v, true),
+            };
+            let (hi, hi_excl) = match n.interval.hi() {
+                Bound::Unbounded => (TOTAL_MAX, false),
+                Bound::Incl(v) => (*v, false),
+                Bound::Excl(v) => (*v, true),
+            };
+            Slot::NumRange {
+                lo: TotalF64(lo),
+                lo_excl,
+                hi,
+                hi_excl,
+                has_exclusions: !n.excluded.is_empty(),
+            }
+        }
+        Constraint::Str(s) => {
+            if let Some(p) = s.interval.as_point() {
+                Slot::StrEq(p.clone())
+            } else if let Some(p) = s.prefixes.first() {
+                Slot::StrPre(p.clone())
+            } else {
+                Slot::Other
+            }
+        }
+        Constraint::Bool(_) => Slot::Other,
+        // Unsatisfiable filters are kept out of the attribute indexes
+        // entirely (MatchIndex::insert).
+        Constraint::Empty => unreachable!("empty constraints are not indexed"),
+    }
+}
+
+fn drop_from_bucket<Q: Eq + Hash, K: PartialEq>(map: &mut HashMap<Q, Vec<K>>, slot: &Q, key: &K) {
+    if let Some(keys) = map.get_mut(slot) {
+        keys.retain(|k| k != key);
+        if keys.is_empty() {
+            map.remove(slot);
+        }
+    }
+}
+
+/// The per-attribute constraint structures; see the module docs for
+/// the layout.
+#[derive(Debug, Clone)]
+struct AttrIndex<K> {
+    /// Authoritative constraint per key, also used for the overlap
+    /// disqualification scan (sorted so results come out ordered).
+    cons: BTreeMap<K, Constraint>,
+    num_eq: HashMap<u64, Vec<K>>,
+    num_lo: BTreeMap<TotalF64, Vec<NumRow<K>>>,
+    str_eq: HashMap<String, Vec<K>>,
+    str_pre: HashMap<String, Vec<K>>,
+    present: Vec<K>,
+    other: Vec<K>,
+}
+
+impl<K: IndexKey> AttrIndex<K> {
+    fn new() -> Self {
+        AttrIndex {
+            cons: BTreeMap::new(),
+            num_eq: HashMap::new(),
+            num_lo: BTreeMap::new(),
+            str_eq: HashMap::new(),
+            str_pre: HashMap::new(),
+            present: Vec::new(),
+            other: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, key: K, c: &Constraint) {
+        self.cons.insert(key, c.clone());
+        match classify(c) {
+            Slot::Present => self.present.push(key),
+            Slot::NumEq(bits) => self.num_eq.entry(bits).or_default().push(key),
+            Slot::NumRange {
+                lo,
+                lo_excl,
+                hi,
+                hi_excl,
+                has_exclusions,
+            } => self.num_lo.entry(lo).or_default().push(NumRow {
+                key,
+                lo_excl,
+                hi,
+                hi_excl,
+                has_exclusions,
+            }),
+            Slot::StrEq(s) => self.str_eq.entry(s).or_default().push(key),
+            Slot::StrPre(p) => self.str_pre.entry(p).or_default().push(key),
+            Slot::Other => self.other.push(key),
+        }
+    }
+
+    fn remove(&mut self, key: K) {
+        let Some(c) = self.cons.remove(&key) else {
+            return;
+        };
+        match classify(&c) {
+            Slot::Present => self.present.retain(|k| *k != key),
+            Slot::NumEq(bits) => drop_from_bucket(&mut self.num_eq, &bits, &key),
+            Slot::NumRange { lo, .. } => {
+                if let Some(rows) = self.num_lo.get_mut(&lo) {
+                    rows.retain(|r| r.key != key);
+                    if rows.is_empty() {
+                        self.num_lo.remove(&lo);
+                    }
+                }
+            }
+            Slot::StrEq(s) => drop_from_bucket(&mut self.str_eq, &s, &key),
+            Slot::StrPre(p) => drop_from_bucket(&mut self.str_pre, &p, &key),
+            Slot::Other => self.other.retain(|k| *k != key),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.cons.is_empty()
+    }
+
+    /// Calls `bump(key)` once for every key whose constraint on this
+    /// attribute is satisfied by `value`. Exact: no false positives,
+    /// no false negatives, at most one bump per key.
+    fn count_satisfied(&self, value: &Value, bump: &mut impl FnMut(K)) {
+        if let Some(x) = value.as_f64() {
+            if let Some(keys) = self.num_eq.get(&x.to_bits()) {
+                for &k in keys {
+                    bump(k);
+                }
+            }
+            for (lo, rows) in self.num_lo.range(..=TotalF64(x)) {
+                for row in rows {
+                    if row.lo_excl && lo.0.total_cmp(&x) == Ordering::Equal {
+                        continue;
+                    }
+                    match x.total_cmp(&row.hi) {
+                        Ordering::Greater => continue,
+                        Ordering::Equal if row.hi_excl => continue,
+                        _ => {}
+                    }
+                    if row.has_exclusions && !self.cons[&row.key].satisfied_by(value) {
+                        continue;
+                    }
+                    bump(row.key);
+                }
+            }
+        } else if let Some(s) = value.as_str() {
+            if let Some(keys) = self.str_eq.get(s) {
+                for &k in keys {
+                    if self.cons[&k].satisfied_by(value) {
+                        bump(k);
+                    }
+                }
+            }
+            if !self.str_pre.is_empty() {
+                for end in 0..=s.len() {
+                    if !s.is_char_boundary(end) {
+                        continue;
+                    }
+                    if let Some(keys) = self.str_pre.get(&s[..end]) {
+                        for &k in keys {
+                            if self.cons[&k].satisfied_by(value) {
+                                bump(k);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for &k in &self.present {
+            bump(k);
+        }
+        for &k in &self.other {
+            if self.cons[&k].satisfied_by(value) {
+                bump(k);
+            }
+        }
+    }
+}
+
+/// A counting match index over `(key, Filter)` pairs.
+///
+/// Results are always sorted by key and identical to what the
+/// corresponding linear scans produce (see the module docs for the
+/// argument; the broker's routing layer additionally asserts this in
+/// debug builds).
+///
+/// # Examples
+///
+/// ```
+/// use transmob_pubsub::{Filter, MatchIndex, Publication};
+///
+/// let mut ix: MatchIndex<u32> = MatchIndex::new();
+/// ix.insert(1, &Filter::builder().ge("x", 0).le("x", 10).build());
+/// ix.insert(2, &Filter::builder().ge("x", 20).build());
+/// let p = Publication::new().with("x", 5);
+/// assert_eq!(ix.matching(&p), vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatchIndex<K> {
+    /// Every indexed filter, satisfiable or not.
+    filters: HashMap<K, Filter>,
+    /// Constraint count per satisfiable key.
+    arity: HashMap<K, usize>,
+    /// Satisfiable keys, sorted (overlap candidates).
+    sat: BTreeSet<K>,
+    /// Satisfiable keys with no constraints: they match everything.
+    zero: BTreeSet<K>,
+    /// Unsatisfiable keys: they match and overlap nothing.
+    unsat: BTreeSet<K>,
+    attrs: HashMap<String, AttrIndex<K>>,
+}
+
+impl<K> Default for MatchIndex<K> {
+    fn default() -> Self {
+        MatchIndex {
+            filters: HashMap::new(),
+            arity: HashMap::new(),
+            sat: BTreeSet::new(),
+            zero: BTreeSet::new(),
+            unsat: BTreeSet::new(),
+            attrs: HashMap::new(),
+        }
+    }
+}
+
+impl<K: IndexKey> MatchIndex<K> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        MatchIndex::default()
+    }
+
+    /// Number of indexed filters.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// The filter indexed under `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&Filter> {
+        self.filters.get(key)
+    }
+
+    /// Indexes `filter` under `key`. Replaces any previous filter for
+    /// the key (upsert semantics).
+    pub fn insert(&mut self, key: K, filter: &Filter) {
+        self.remove(&key);
+        self.filters.insert(key, filter.clone());
+        if !filter.is_satisfiable() {
+            self.unsat.insert(key);
+            return;
+        }
+        self.sat.insert(key);
+        self.arity.insert(key, filter.arity());
+        if filter.arity() == 0 {
+            self.zero.insert(key);
+            return;
+        }
+        for (attr, c) in filter.constraints() {
+            self.attrs
+                .entry(attr.to_owned())
+                .or_insert_with(AttrIndex::new)
+                .insert(key, c);
+        }
+    }
+
+    /// Removes the filter indexed under `key`, reporting whether one
+    /// was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let Some(filter) = self.filters.remove(key) else {
+            return false;
+        };
+        if self.unsat.remove(key) {
+            return true;
+        }
+        self.sat.remove(key);
+        self.zero.remove(key);
+        self.arity.remove(key);
+        for (attr, _) in filter.constraints() {
+            if let Some(ai) = self.attrs.get_mut(attr) {
+                ai.remove(*key);
+                if ai.is_empty() {
+                    self.attrs.remove(attr);
+                }
+            }
+        }
+        true
+    }
+
+    /// Keys of filters matching `publication`, sorted.
+    ///
+    /// Touches only the attribute indexes of attributes the
+    /// publication carries, counting satisfied constraints per key; a
+    /// key matches iff its count reaches its filter's arity.
+    pub fn matching(&self, publication: &Publication) -> Vec<K> {
+        let mut out: Vec<K> = self.zero.iter().copied().collect();
+        if !self.attrs.is_empty() {
+            let mut counts: HashMap<K, usize> = HashMap::new();
+            for (attr, value) in publication.iter() {
+                if let Some(ai) = self.attrs.get(attr) {
+                    ai.count_satisfied(value, &mut |k| *counts.entry(k).or_insert(0) += 1);
+                }
+            }
+            for (k, n) in counts {
+                if self.arity.get(&k) == Some(&n) {
+                    out.push(k);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Keys of filters overlapping `filter`, sorted.
+    ///
+    /// Works by *disqualification*: every satisfiable stored filter is
+    /// a candidate, and for each attribute the query constrains, the
+    /// stored filters whose constraint on that attribute fails
+    /// [`Constraint::overlaps`] are struck out. Attributes only one
+    /// side constrains never disqualify — exactly the
+    /// [`Filter::overlaps`] semantics.
+    pub fn overlapping(&self, filter: &Filter) -> Vec<K> {
+        if !filter.is_satisfiable() {
+            return Vec::new();
+        }
+        let mut disqualified: HashSet<K> = HashSet::new();
+        for (attr, qc) in filter.constraints() {
+            if let Some(ai) = self.attrs.get(attr) {
+                for (k, c) in &ai.cons {
+                    if !c.overlaps(qc) {
+                        disqualified.insert(*k);
+                    }
+                }
+            }
+        }
+        self.sat
+            .iter()
+            .copied()
+            .filter(|k| !disqualified.contains(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Op, Predicate};
+
+    /// The reference implementations the index must agree with.
+    fn linear_matching(table: &BTreeMap<u32, Filter>, p: &Publication) -> Vec<u32> {
+        table
+            .iter()
+            .filter(|(_, f)| f.matches(p))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    fn linear_overlapping(table: &BTreeMap<u32, Filter>, q: &Filter) -> Vec<u32> {
+        table
+            .iter()
+            .filter(|(_, f)| f.overlaps(q))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    fn build(filters: Vec<Filter>) -> (BTreeMap<u32, Filter>, MatchIndex<u32>) {
+        let mut table = BTreeMap::new();
+        let mut ix = MatchIndex::new();
+        for (i, f) in filters.into_iter().enumerate() {
+            ix.insert(i as u32, &f);
+            table.insert(i as u32, f);
+        }
+        (table, ix)
+    }
+
+    fn assorted_filters() -> Vec<Filter> {
+        vec![
+            Filter::builder().ge("x", 0).le("x", 10).build(),
+            Filter::builder().ge("x", 5).le("x", 20).ne("x", 7).build(),
+            Filter::builder().eq("x", 7).build(),
+            Filter::builder().gt("x", 10).build(),
+            Filter::builder().lt("x", 0).build(),
+            Filter::builder().eq("x", 7).ne("x", 7).build(), // unsatisfiable
+            Filter::new(vec![]),                             // matches everything
+            Filter::builder().any("x").build(),
+            Filter::builder().eq("s", "alpha").build(),
+            Filter::builder().prefix("s", "al").build(),
+            Filter::builder()
+                .prefix("s", "be")
+                .suffix("s", "ta")
+                .build(),
+            Filter::builder().contains("s", "ph").build(),
+            Filter::builder().ge("s", "a").lt("s", "c").build(),
+            Filter::builder().eq("b", true).build(),
+            Filter::builder().eq("b", false).build(),
+            Filter::builder().ge("x", 0).eq("s", "alpha").build(),
+            Filter::builder().ge("x", 0).le("y", 5).build(),
+            Filter::builder().eq("x", 3.5).build(),
+            Filter::builder().gt("x", 3).lt("x", 4).build(),
+        ]
+    }
+
+    fn probes() -> Vec<Publication> {
+        let mut ps = vec![Publication::new()];
+        for x in [-5i64, 0, 3, 7, 10, 11, 15, 25] {
+            ps.push(Publication::new().with("x", x));
+            ps.push(Publication::new().with("x", x).with("y", 3));
+        }
+        ps.push(Publication::new().with("x", 3.5));
+        ps.push(Publication::new().with("x", 3.25));
+        for s in ["alpha", "al", "beta", "bta", "graph", "c", ""] {
+            ps.push(Publication::new().with("s", s));
+            ps.push(Publication::new().with("s", s).with("x", 7));
+        }
+        ps.push(Publication::new().with("b", true));
+        ps.push(Publication::new().with("b", false));
+        ps.push(Publication::new().with("z", 1));
+        ps
+    }
+
+    #[test]
+    fn matching_agrees_with_linear_scan() {
+        let (table, ix) = build(assorted_filters());
+        for p in probes() {
+            assert_eq!(ix.matching(&p), linear_matching(&table, &p), "probe {p}");
+        }
+    }
+
+    #[test]
+    fn overlapping_agrees_with_linear_scan() {
+        let (table, ix) = build(assorted_filters());
+        for q in assorted_filters() {
+            assert_eq!(
+                ix.overlapping(&q),
+                linear_overlapping(&table, &q),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_keeps_index_consistent() {
+        let filters = assorted_filters();
+        let (mut table, mut ix) = build(filters.clone());
+        // Remove every other key, re-check, re-insert shifted filters,
+        // re-check: exercises bucket vacation and re-population.
+        for k in (0..filters.len() as u32).step_by(2) {
+            assert!(ix.remove(&k));
+            assert!(!ix.remove(&k));
+            table.remove(&k);
+        }
+        for p in probes() {
+            assert_eq!(ix.matching(&p), linear_matching(&table, &p));
+        }
+        for (i, f) in filters.iter().enumerate().take(8) {
+            let k = 100 + i as u32;
+            ix.insert(k, f);
+            table.insert(k, f.clone());
+        }
+        for p in probes() {
+            assert_eq!(ix.matching(&p), linear_matching(&table, &p));
+        }
+        for q in filters.iter() {
+            assert_eq!(ix.overlapping(q), linear_overlapping(&table, q));
+        }
+    }
+
+    #[test]
+    fn upsert_replaces_previous_filter() {
+        let mut ix = MatchIndex::new();
+        ix.insert(1u32, &Filter::builder().ge("x", 0).le("x", 10).build());
+        ix.insert(1u32, &Filter::builder().ge("x", 50).build());
+        let p = Publication::new().with("x", 5);
+        assert!(ix.matching(&p).is_empty());
+        assert_eq!(ix.matching(&Publication::new().with("x", 60)), vec![1]);
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn open_bounds_are_respected() {
+        let mut ix = MatchIndex::new();
+        ix.insert(1u32, &Filter::builder().gt("x", 10).le("x", 20).build());
+        assert!(ix.matching(&Publication::new().with("x", 10)).is_empty());
+        assert_eq!(ix.matching(&Publication::new().with("x", 11)), vec![1]);
+        assert_eq!(ix.matching(&Publication::new().with("x", 20)), vec![1]);
+        assert!(ix.matching(&Publication::new().with("x", 21)).is_empty());
+    }
+
+    #[test]
+    fn mismatched_kinds_do_not_match() {
+        let mut ix = MatchIndex::new();
+        ix.insert(1u32, &Filter::builder().ge("x", 0).build());
+        ix.insert(2u32, &Filter::builder().eq("x", "zero").build());
+        assert_eq!(ix.matching(&Publication::new().with("x", 1)), vec![1]);
+        assert_eq!(ix.matching(&Publication::new().with("x", "zero")), vec![2]);
+    }
+
+    #[test]
+    fn presence_constraint_matches_any_kind() {
+        let mut ix = MatchIndex::new();
+        ix.insert(1u32, &Filter::new(vec![Predicate::any("x")]));
+        for v in [Value::Int(1), Value::from("s"), Value::Bool(true)] {
+            let mut p = Publication::new();
+            p.set("x", v);
+            assert_eq!(ix.matching(&p), vec![1]);
+        }
+        assert!(ix.matching(&Publication::new().with("y", 1)).is_empty());
+    }
+
+    #[test]
+    fn int_float_promotion_hits_point_buckets() {
+        // `x = 7` built from an integer predicate must match the float
+        // publication 7.0 and vice versa (both normalize to f64 bits).
+        let mut ix = MatchIndex::new();
+        ix.insert(1u32, &Filter::builder().eq("x", 7).build());
+        assert_eq!(ix.matching(&Publication::new().with("x", 7.0)), vec![1]);
+        ix.insert(2u32, &Filter::builder().eq("y", 2.0).build());
+        assert_eq!(ix.matching(&Publication::new().with("y", 2)), vec![2]);
+    }
+
+    #[test]
+    fn overlap_ignores_attrs_only_one_side_constrains() {
+        let mut ix = MatchIndex::new();
+        ix.insert(
+            1u32,
+            &Filter::builder().ge("price", 0).le("price", 50).build(),
+        );
+        let q = Filter::builder().ge("price", 40).eq("sym", "A").build();
+        assert_eq!(ix.overlapping(&q), vec![1]);
+        let disjoint = Filter::builder().gt("price", 60).build();
+        assert!(ix.overlapping(&disjoint).is_empty());
+    }
+
+    #[test]
+    fn predicate_ops_needing_fallback_paths() {
+        // Suffix-only and contains-only string constraints take the
+        // `other` fallback; make sure they are exact there.
+        let (table, ix) = build(vec![
+            Filter::new(vec![Predicate::new("s", Op::StrSuffix, "ta")]),
+            Filter::new(vec![Predicate::new("s", Op::StrContains, "et")]),
+            Filter::new(vec![Predicate::new("s", Op::Neq, "beta")]),
+        ]);
+        for s in ["beta", "theta", "et", "", "ta"] {
+            let p = Publication::new().with("s", s);
+            assert_eq!(ix.matching(&p), linear_matching(&table, &p), "s={s}");
+        }
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod constraint;
 pub mod filter;
+pub mod index;
 pub mod message;
 pub mod parser;
 pub mod predicate;
@@ -55,6 +56,7 @@ pub mod value;
 
 pub use constraint::Constraint;
 pub use filter::{Filter, FilterBuilder};
+pub use index::MatchIndex;
 pub use message::{
     AdvId, Advertisement, BrokerId, ClientId, MoveId, PubId, PublicationMsg, SubId, Subscription,
 };

@@ -63,9 +63,7 @@ id_newtype!(
 
 /// Identifier of a subscription: the issuing client plus a
 /// client-local sequence number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SubId {
     /// Issuing client.
     pub client: ClientId,
@@ -88,9 +86,7 @@ impl fmt::Display for SubId {
 
 /// Identifier of an advertisement: the issuing client plus a
 /// client-local sequence number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AdvId {
     /// Issuing client.
     pub client: ClientId,

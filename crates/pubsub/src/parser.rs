@@ -101,7 +101,6 @@ impl<'a> Cursor<'a> {
         if tok.is_empty() {
             return Err(self.err("empty token"));
         }
-        self.pos += end - (rest.len() - rest.trim_start().len()).min(0).max(0);
         self.pos = self.src.len() - rest.len() + end;
         Ok(tok)
     }
@@ -208,8 +207,7 @@ pub fn parse_filter(src: &str) -> Result<Filter, ParseError> {
         let attr = cur.token()?.to_owned();
         cur.eat(',')?;
         let op_tok = cur.token()?;
-        let op = parse_op(op_tok)
-            .ok_or_else(|| cur.err(format!("unknown operator `{op_tok}`")))?;
+        let op = parse_op(op_tok).ok_or_else(|| cur.err(format!("unknown operator `{op_tok}`")))?;
         let pred = if op == Op::Any {
             // Value is optional for `any`.
             if cur.try_eat(',') {
@@ -277,7 +275,12 @@ pub fn format_filter(f: &Filter) -> String {
             if p.op() == Op::Any {
                 format!("[{},any]", p.attr())
             } else {
-                format!("[{},{},{}]", p.attr(), op_name(p.op()), quote_value(p.value()))
+                format!(
+                    "[{},{},{}]",
+                    p.attr(),
+                    op_name(p.op()),
+                    quote_value(p.value())
+                )
             }
         })
         .collect::<Vec<_>>()
@@ -301,12 +304,8 @@ mod tests {
     fn parse_basic_filter() {
         let f = parse_filter("[class,eq,'STOCK'],[price,<,100]").unwrap();
         assert_eq!(f.arity(), 2);
-        assert!(f.matches(
-            &Publication::new().with("class", "STOCK").with("price", 50)
-        ));
-        assert!(!f.matches(
-            &Publication::new().with("class", "STOCK").with("price", 150)
-        ));
+        assert!(f.matches(&Publication::new().with("class", "STOCK").with("price", 50)));
+        assert!(!f.matches(&Publication::new().with("class", "STOCK").with("price", 150)));
     }
 
     #[test]
@@ -356,7 +355,10 @@ mod tests {
         let e = parse_filter("[x,zz,1]").unwrap_err();
         assert!(e.reason.contains("unknown operator"));
         assert!(parse_filter("[x,eq,1").is_err());
-        assert!(parse_filter("[x,eq,1] junk").unwrap_err().reason.contains("trailing"));
+        assert!(parse_filter("[x,eq,1] junk")
+            .unwrap_err()
+            .reason
+            .contains("trailing"));
         assert!(parse_publication("[x,'open").is_err());
         assert!(parse_filter("").is_err());
         assert!(parse_publication("[x,nan]").is_err());
@@ -443,7 +445,6 @@ mod prop_tests {
         ) {
             let p: Publication = pairs
                 .into_iter()
-                .map(|(a, v)| (a, v))
                 .fold(Publication::new(), |acc, (a, v)| acc.with(a, v));
             let printed = format_publication(&p);
             let parsed = parse_publication(&printed)

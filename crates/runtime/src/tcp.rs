@@ -189,7 +189,10 @@ impl TcpNetwork {
         let (mtx, mrx) = unbounded();
         {
             let mut reg = self.shared.registry.write();
-            assert!(!reg.homes.contains_key(&id), "client id {id} already in use");
+            assert!(
+                !reg.homes.contains_key(&id),
+                "client id {id} already in use"
+            );
             reg.homes.insert(id, broker);
             reg.deliveries.insert(id, dtx);
             reg.move_events.insert(id, mtx);
@@ -286,7 +289,10 @@ impl TcpClient {
         self.send_op(ClientOp::MoveTo(target, protocol));
         matches!(
             self.moves.recv_timeout(timeout),
-            Ok(MoveOutcome { committed: true, .. })
+            Ok(MoveOutcome {
+                committed: true,
+                ..
+            })
         )
     }
 
@@ -421,8 +427,8 @@ mod tests {
 
     #[test]
     fn delivery_over_real_sockets() {
-        let net = TcpNetwork::start(Topology::chain(4), MobileBrokerConfig::reconfig())
-            .expect("sockets");
+        let net =
+            TcpNetwork::start(Topology::chain(4), MobileBrokerConfig::reconfig()).expect("sockets");
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(4), c(2));
         p.advertise(range(0, 100));
@@ -436,8 +442,8 @@ mod tests {
 
     #[test]
     fn transactional_move_over_real_sockets() {
-        let net = TcpNetwork::start(Topology::chain(5), MobileBrokerConfig::reconfig())
-            .expect("sockets");
+        let net =
+            TcpNetwork::start(Topology::chain(5), MobileBrokerConfig::reconfig()).expect("sockets");
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(5), c(2));
         p.advertise(range(0, 100));
@@ -455,8 +461,8 @@ mod tests {
 
     #[test]
     fn covering_protocol_over_real_sockets() {
-        let net = TcpNetwork::start(Topology::chain(4), MobileBrokerConfig::covering())
-            .expect("sockets");
+        let net =
+            TcpNetwork::start(Topology::chain(4), MobileBrokerConfig::covering()).expect("sockets");
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(4), c(2));
         p.advertise(range(0, 100));
@@ -470,8 +476,8 @@ mod tests {
 
     #[test]
     fn drop_is_clean() {
-        let net = TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig())
-            .expect("sockets");
+        let net =
+            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
         let _c = net.create_client(b(1), c(1));
         drop(net); // must join without hanging
     }

@@ -267,7 +267,10 @@ mod tests {
             jitter: 0.0,
         };
         let m = NetworkModel::cluster().with_node_override(BrokerId(3), slow);
-        assert_eq!(m.node_model(BrokerId(3)).process, SimDuration::from_millis(50));
+        assert_eq!(
+            m.node_model(BrokerId(3)).process,
+            SimDuration::from_millis(50)
+        );
         assert_eq!(m.node_model(BrokerId(1)), m.node);
         // Planetlab nodes differ from each other, deterministically.
         let links = vec![(BrokerId(1), BrokerId(2)), (BrokerId(2), BrokerId(3))];

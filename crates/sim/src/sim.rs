@@ -20,8 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use transmob_broker::{Hop, Topology};
 use transmob_core::{
-    ClientOp, Message, MobileBroker, MobileBrokerConfig, Output, ProtocolKind,
-    TimerToken,
+    ClientOp, Message, MobileBroker, MobileBrokerConfig, Output, ProtocolKind, TimerToken,
 };
 use transmob_pubsub::{BrokerId, ClientId, MoveId};
 
@@ -136,7 +135,12 @@ impl Sim {
         let topology = Arc::new(topology);
         let brokers = topology
             .brokers()
-            .map(|b| (b, MobileBroker::new(b, Arc::clone(&topology), config.clone())))
+            .map(|b| {
+                (
+                    b,
+                    MobileBroker::new(b, Arc::clone(&topology), config.clone()),
+                )
+            })
             .collect();
         Sim {
             topology,
@@ -348,14 +352,11 @@ impl Sim {
                     return; // client gone (never created or destroyed)
                 };
                 if self.crashed.contains(&broker) {
-                    self.held
-                        .entry(broker)
-                        .or_default()
-                        .push(Event {
-                            time: self.clock,
-                            seq: ev_seq,
-                            kind: EventKind::Cmd { client, op },
-                        });
+                    self.held.entry(broker).or_default().push(Event {
+                        time: self.clock,
+                        seq: ev_seq,
+                        kind: EventKind::Cmd { client, op },
+                    });
                     return;
                 }
                 let start = self
@@ -492,7 +493,8 @@ impl Sim {
                     client,
                     publication,
                 } => {
-                    self.metrics.count_delivery(self.clock, client, publication.id);
+                    self.metrics
+                        .count_delivery(self.clock, client, publication.id);
                 }
                 Output::SetTimer { token, delay_ns } => {
                     self.cancelled.remove(&(src, token));
@@ -565,11 +567,7 @@ mod tests {
         sim.create_client(b(1), c(1));
         sim.create_client(b(5), c(2));
         sim.schedule_cmd(SimTime(0), c(1), ClientOp::Advertise(range(0, 100)));
-        sim.schedule_cmd(
-            SimTime(1_000_000),
-            c(2),
-            ClientOp::Subscribe(range(0, 100)),
-        );
+        sim.schedule_cmd(SimTime(1_000_000), c(2), ClientOp::Subscribe(range(0, 100)));
         sim
     }
 
@@ -767,12 +765,7 @@ mod timer_tests {
             negotiate_timeout_ns: Some(500_000_000), // 0.5 s
             ..MobileBrokerConfig::reconfig()
         };
-        let mut sim = Sim::new(
-            Topology::chain(4),
-            config,
-            NetworkModel::cluster(),
-            3,
-        );
+        let mut sim = Sim::new(Topology::chain(4), config, NetworkModel::cluster(), 3);
         sim.enable_delivery_log();
         sim.create_client(BrokerId(1), ClientId(1));
         sim.create_client(BrokerId(4), ClientId(2));

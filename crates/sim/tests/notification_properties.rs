@@ -171,7 +171,11 @@ fn reconfig_survives_a_burst_of_background_churn() {
     // Churners toggle mid-stream; the mover crosses at the same time.
     for i in 0..30u64 {
         let id = c(100 + i);
-        sim.schedule_cmd(t0 + gap.mul_f64(10.0 + i as f64), id, ClientOp::Unsubscribe(0));
+        sim.schedule_cmd(
+            t0 + gap.mul_f64(10.0 + i as f64),
+            id,
+            ClientOp::Unsubscribe(0),
+        );
         sim.schedule_cmd(
             t0 + gap.mul_f64(25.0 + i as f64),
             id,

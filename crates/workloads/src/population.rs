@@ -65,7 +65,11 @@ pub fn paper_default_between(
             let sub_index = i % 10;
             // Paper: odd-numbered subscriptions (1,3,..; 0-based even
             // indices) start at Broker 1, even-numbered at Broker 2.
-            let (start, far) = if sub_index % 2 == 0 { odd_pair } else { even_pair };
+            let (start, far) = if sub_index % 2 == 0 {
+                odd_pair
+            } else {
+                even_pair
+            };
             ClientSpec {
                 id: ClientId(1000 + i as u64),
                 start,
@@ -234,8 +238,10 @@ mod tests {
             assert!(specs.iter().any(|s| s.workload == w), "missing {w}");
         }
         // Instances are unique across the population.
-        let set: std::collections::BTreeSet<String> =
-            specs.iter().map(|s| format!("{}", s.subscription)).collect();
+        let set: std::collections::BTreeSet<String> = specs
+            .iter()
+            .map(|s| format!("{}", s.subscription))
+            .collect();
         assert_eq!(set.len(), 40);
     }
 }

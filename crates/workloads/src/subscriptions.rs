@@ -108,16 +108,16 @@ impl SubWorkload {
                 .map(|i| (30_000 + i * 200, 40_000 - i * 200))
                 .collect(),
             SubWorkload::Tree => vec![
-                (20_000, 29_000),                   // 1: root
-                (20_200, 22_700),                   // 2
-                (23_200, 25_700),                   // 3
-                (26_200, 28_700),                   // 4
-                (20_400, 21_400),                   // 5 (under 2)
-                (21_700, 22_500),                   // 6 (under 2)
-                (23_400, 24_400),                   // 7 (under 3)
-                (24_700, 25_500),                   // 8 (under 3)
-                (26_400, 27_400),                   // 9 (under 4)
-                (27_700, 28_500),                   // 10 (under 4)
+                (20_000, 29_000), // 1: root
+                (20_200, 22_700), // 2
+                (23_200, 25_700), // 3
+                (26_200, 28_700), // 4
+                (20_400, 21_400), // 5 (under 2)
+                (21_700, 22_500), // 6 (under 2)
+                (23_400, 24_400), // 7 (under 3)
+                (24_700, 25_500), // 8 (under 3)
+                (26_400, 27_400), // 9 (under 4)
+                (27_700, 28_500), // 10 (under 4)
             ],
             SubWorkload::Distinct => (0..10)
                 .map(|i| (50_000 + i * 2000, 50_000 + i * 2000 + 800))
@@ -307,7 +307,11 @@ mod tests {
     fn cross_group_covering_is_shift_independent() {
         // Every group-level covering edge must hold between arbitrary
         // instances, and every non-edge must stay a non-edge.
-        for w in [SubWorkload::Covered, SubWorkload::Chained, SubWorkload::Tree] {
+        for w in [
+            SubWorkload::Covered,
+            SubWorkload::Chained,
+            SubWorkload::Tree,
+        ] {
             let base = w.filters();
             for i in 0..10 {
                 for j in 0..10 {

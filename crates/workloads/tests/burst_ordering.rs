@@ -5,10 +5,8 @@
 //! the workloads' covering density: covered > tree > chained >
 //! distinct (which has no bursts at all).
 
-use transmob_broker::{BrokerConfig, Hop, MsgKind, PubSubMsg, SyncNet, Topology};
-use transmob_pubsub::{
-    AdvId, Advertisement, BrokerId, ClientId, SubId, Subscription,
-};
+use transmob_broker::{BrokerConfig, MsgKind, PubSubMsg, SyncNet, Topology};
+use transmob_pubsub::{AdvId, Advertisement, BrokerId, ClientId, SubId, Subscription};
 use transmob_workloads::{full_space_adv, SubWorkload};
 
 fn b(i: u32) -> BrokerId {
@@ -36,10 +34,7 @@ fn root_departure_burst(workload: SubWorkload) -> u64 {
     for g in 1..10usize {
         for k in 0..3u64 {
             let cid = c(1000 + g as u64 * 10 + k);
-            let sub = Subscription::new(
-                SubId::new(cid, 0),
-                workload.instance(g, 1 + k as i64),
-            );
+            let sub = Subscription::new(SubId::new(cid, 0), workload.instance(g, 1 + k as i64));
             net.client_send(b(4), cid, PubSubMsg::Subscribe(sub));
         }
     }

@@ -24,13 +24,17 @@ fn main() {
     // --- 1. Model check (Fig. 5) -------------------------------------
     let ex = explore(ExploreConfig::fig5());
     println!("Fig. 5 reachable coordinator states: {:?}", ex.labels());
-    ex.check_final_states().expect("exactly one started+clean in finals");
-    ex.check_at_most_one_started().expect("at most one started everywhere");
+    ex.check_final_states()
+        .expect("exactly one started+clean in finals");
+    ex.check_at_most_one_started()
+        .expect("at most one started everywhere");
     let with_failures = explore(ExploreConfig {
         allow_reject: true,
         with_failures: true,
     });
-    with_failures.check_final_states().expect("safe with crashes");
+    with_failures
+        .check_final_states()
+        .expect("safe with crashes");
     with_failures
         .check_at_most_one_started()
         .expect("isolated with crashes");
@@ -44,17 +48,32 @@ fn main() {
     let mut net = InstantNet::new(Topology::chain(4), MobileBrokerConfig::reconfig());
     net.create_client(BrokerId(1), ClientId(1));
     net.create_client(BrokerId(4), ClientId(2));
-    net.client_op(ClientId(1), ClientOp::Advertise(Filter::builder().ge("x", 0).build()));
-    net.client_op(ClientId(2), ClientOp::Subscribe(Filter::builder().ge("x", 0).build()));
+    net.client_op(
+        ClientId(1),
+        ClientOp::Advertise(Filter::builder().ge("x", 0).build()),
+    );
+    net.client_op(
+        ClientId(2),
+        ClientOp::Subscribe(Filter::builder().ge("x", 0).build()),
+    );
     // Moving to a broker outside the overlay is refused outright.
     net.client_op(
         ClientId(2),
         ClientOp::MoveTo(BrokerId(99), ProtocolKind::Reconfig),
     );
     let aborted = net.take_events().iter().any(|e| {
-        matches!(e, NetEvent::MoveFinished { committed: false, .. })
+        matches!(
+            e,
+            NetEvent::MoveFinished {
+                committed: false,
+                ..
+            }
+        )
     });
-    net.client_op(ClientId(1), ClientOp::Publish(Publication::new().with("x", 1)));
+    net.client_op(
+        ClientId(1),
+        ClientOp::Publish(Publication::new().with("x", 1)),
+    );
     println!(
         "rejected movement: aborted={aborted}, client still served at {:?}, {} delivery",
         net.find_client(ClientId(2)).expect("client hosted"),

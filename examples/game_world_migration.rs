@@ -103,7 +103,11 @@ fn main() {
     for (name, p) in [("near", &near), ("far", &far)] {
         let ticks = p.drain();
         let unique: std::collections::BTreeSet<_> = ticks.iter().map(|t| t.id).collect();
-        println!("player {name}: {} ticks, {} unique", ticks.len(), unique.len());
+        println!(
+            "player {name}: {} ticks, {} unique",
+            ticks.len(),
+            unique.len()
+        );
         assert_eq!(ticks.len(), 2, "player {name} missed a tick");
         assert_eq!(unique.len(), 2, "player {name} saw duplicates");
     }

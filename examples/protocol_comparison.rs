@@ -26,11 +26,8 @@ fn main() {
         let x = workload.covering_degree().unwrap_or(0);
         let mut row = format!("{:<10} {x:>4}", workload.to_string());
         for protocol in [ProtocolKind::Reconfig, ProtocolKind::Covering] {
-            let mut cfg = ExperimentConfig::new(
-                protocol,
-                default_14(),
-                paper_default(100, workload),
-            );
+            let mut cfg =
+                ExperimentConfig::new(protocol, default_14(), paper_default(100, workload));
             cfg.pause = SimDuration::from_secs(5);
             cfg.duration = SimDuration::from_secs(60);
             let r = run_experiment(&cfg);

@@ -20,12 +20,7 @@ fn main() {
     let publisher = net.create_client(BrokerId(1), ClientId(1));
     let subscriber = net.create_client(BrokerId(3), ClientId(2));
 
-    publisher.advertise(
-        Filter::builder()
-            .eq("symbol", "IBM")
-            .ge("price", 0)
-            .build(),
-    );
+    publisher.advertise(Filter::builder().eq("symbol", "IBM").ge("price", 0).build());
     subscriber.subscribe(
         Filter::builder()
             .eq("symbol", "IBM")

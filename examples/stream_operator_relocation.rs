@@ -28,13 +28,37 @@ fn main() {
     let operator = net.create_client(BrokerId(5), ClientId(2)); // starts at the sink side
     let sink = net.create_client(BrokerId(5), ClientId(3));
 
-    source.advertise(Filter::builder().eq("stream", "temps").any("celsius").build());
-    operator.subscribe(Filter::builder().eq("stream", "temps").ge("celsius", -50).build());
-    operator.advertise(Filter::builder().eq("stream", "avg-temps").any("avg").build());
-    sink.subscribe(Filter::builder().eq("stream", "avg-temps").any("avg").build());
+    source.advertise(
+        Filter::builder()
+            .eq("stream", "temps")
+            .any("celsius")
+            .build(),
+    );
+    operator.subscribe(
+        Filter::builder()
+            .eq("stream", "temps")
+            .ge("celsius", -50)
+            .build(),
+    );
+    operator.advertise(
+        Filter::builder()
+            .eq("stream", "avg-temps")
+            .any("avg")
+            .build(),
+    );
+    sink.subscribe(
+        Filter::builder()
+            .eq("stream", "avg-temps")
+            .any("avg")
+            .build(),
+    );
     std::thread::sleep(Duration::from_millis(100));
 
-    let reading = |c: i64| Publication::new().with("stream", "temps").with("celsius", c);
+    let reading = |c: i64| {
+        Publication::new()
+            .with("stream", "temps")
+            .with("celsius", c)
+    };
 
     // Window 1 processed at the sink side.
     let mut window = Vec::new();

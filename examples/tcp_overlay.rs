@@ -34,7 +34,8 @@ fn main() -> std::io::Result<()> {
 
     // Transactional movement across the backbone — negotiate,
     // reconfigure, state and ack all serialized over the wire.
-    let committed = subscriber.move_to(BrokerId(2), ProtocolKind::Reconfig, Duration::from_secs(10));
+    let committed =
+        subscriber.move_to(BrokerId(2), ProtocolKind::Reconfig, Duration::from_secs(10));
     println!("movement over sockets committed: {committed}");
     assert!(committed);
     assert_eq!(net.home_of(ClientId(2)), Some(BrokerId(2)));

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI gate for the transmob workspace.
+#
+# Formatting and lints are hard failures; the vendored offline stubs
+# under vendor/ are workspace-excluded, so the gates only cover our
+# own crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

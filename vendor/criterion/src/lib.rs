@@ -1,0 +1,250 @@
+//! Vendored, offline, API-compatible subset of `criterion`.
+//!
+//! Implements the measurement surface the workspace's benches use:
+//! `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a simple calibrated loop (no statistics, plots or
+//! HTML reports): each benchmark is warmed up, then timed over enough
+//! iterations to fill a ~60 ms window, and the mean ns/iter is printed.
+//! If the environment variable `CRITERION_JSON` names a file, one JSON
+//! line per benchmark (`{"group":..,"bench":..,"ns_per_iter":..}`) is
+//! appended to it, which is how this repo records `BENCH_*.json`
+//! baselines.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench("", id, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; sampling is adaptive in this stub.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&self.name, &id.into_benchmark_id(), &mut f);
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input value.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&self.name, &id.into_benchmark_id(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into a benchmark id string.
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Batch sizing for `iter_batched`; only influences how many routine
+/// calls share one setup in this stub.
+pub enum BatchSize {
+    /// Many iterations per batch.
+    SmallInput,
+    /// Few iterations per batch.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills
+        // the measurement window.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASUREMENT_WINDOW || n >= 1 << 30 {
+                self.total = elapsed;
+                self.iters = n;
+                return;
+            }
+            let factor = (MEASUREMENT_WINDOW.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .clamp(1.5, 100.0);
+            n = ((n as f64) * factor).ceil() as u64;
+        }
+    }
+
+    /// Times `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASUREMENT_WINDOW || n >= 1 << 24 {
+                self.total = elapsed;
+                self.iters = n;
+                return;
+            }
+            let factor = (MEASUREMENT_WINDOW.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .clamp(1.5, 100.0);
+            n = ((n as f64) * factor).ceil() as u64;
+        }
+    }
+}
+
+const MEASUREMENT_WINDOW: Duration = Duration::from_millis(60);
+
+fn run_bench(group: &str, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.iters == 0 {
+        println!("bench: {label:<50} (no measurement)");
+        return;
+    }
+    let ns = b.total.as_nanos() as f64 / b.iters as f64;
+    println!("bench: {label:<50} {ns:>14.1} ns/iter ({} iters)", b.iters);
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}}}",
+                group, id, ns, b.iters
+            );
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,417 @@
+//! Strategy trait and the built-in strategies the workspace uses.
+
+use std::fmt::Debug;
+
+/// Deterministic RNG driving all generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG from a test name, deterministically.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` below `n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy, mirroring `proptest::strategy::BoxedStrategy`.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- numeric ranges ------------------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*}
+}
+impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// --- tuples --------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*}
+}
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// --- `any` ---------------------------------------------------------------
+
+/// Types with a canonical strategy, mirroring `proptest::arbitrary`.
+pub trait Arbitrary: Sized + Debug {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `T`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Canonical `bool` strategy (fair coin).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $s:ident),*) => {$(
+        /// Canonical full-range strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct $s;
+
+        impl Strategy for $s {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $s;
+
+            fn arbitrary() -> $s {
+                $s
+            }
+        }
+    )*}
+}
+impl_arbitrary_int!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64,
+    i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64, usize => AnyUsize);
+
+// --- regex-literal string strategy ---------------------------------------
+
+/// `&'static str` is interpreted as a (tiny subset of a) regex, the way
+/// real proptest treats string literals. Supported: literal characters,
+/// `.`, `[...]` classes with ranges, `\\x` escapes, and the repeaters
+/// `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let elements = parse_regex(self);
+        let mut out = String::new();
+        for (elem, lo, hi) in &elements {
+            let n = lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                out.push(elem.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+enum RegexElem {
+    Lit(char),
+    Any,
+    Class(Vec<(char, char)>),
+}
+
+impl RegexElem {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            RegexElem::Lit(c) => *c,
+            RegexElem::Any => {
+                // printable ASCII
+                char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).unwrap()
+            }
+            RegexElem::Class(ranges) => {
+                let total: usize = ranges
+                    .iter()
+                    .map(|(a, b)| (*b as usize) - (*a as usize) + 1)
+                    .sum();
+                let mut k = rng.below(total);
+                for (a, b) in ranges {
+                    let span = (*b as usize) - (*a as usize) + 1;
+                    if k < span {
+                        return char::from_u32(*a as u32 + k as u32).unwrap();
+                    }
+                    k -= span;
+                }
+                unreachable!()
+            }
+        }
+    }
+}
+
+fn parse_regex(pattern: &str) -> Vec<(RegexElem, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let elem = match chars[i] {
+            '.' => {
+                i += 1;
+                RegexElem::Any
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                i += 1;
+                RegexElem::Lit(c)
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let a = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        let b = chars[i + 1];
+                        i += 2;
+                        ranges.push((a, b));
+                    } else {
+                        ranges.push((a, a));
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in regex {pattern:?}"
+                );
+                i += 1; // ']'
+                RegexElem::Class(ranges)
+            }
+            c => {
+                i += 1;
+                RegexElem::Lit(c)
+            }
+        };
+        // Optional repetition suffix.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                i += 1;
+                let mut lo = 0usize;
+                while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                    lo = lo * 10 + d as usize;
+                    i += 1;
+                }
+                let hi = if chars.get(i) == Some(&',') {
+                    i += 1;
+                    let mut hi = 0usize;
+                    while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                        hi = hi * 10 + d as usize;
+                        i += 1;
+                    }
+                    hi
+                } else {
+                    lo
+                };
+                assert_eq!(
+                    chars.get(i),
+                    Some(&'}'),
+                    "malformed repetition in regex {pattern:?}"
+                );
+                i += 1;
+                (lo, hi)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        out.push((elem, lo, hi));
+    }
+    out
+}

@@ -1,0 +1,138 @@
+//! Vendored, offline, API-compatible subset of `rand` 0.8.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` extension methods the workspace uses (`gen`, `gen_range`,
+//! `gen_bool`). The generator is SplitMix64 — not cryptographic, but
+//! deterministic, fast and well distributed, which is all the
+//! simulator needs.
+
+/// A seedable RNG, mirroring `rand::SeedableRng` (the `seed_from_u64`
+/// part of it).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling of a full-range value; backs [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Raw 64-bit generator core.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing RNG methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a full-range value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `[low, high)`.
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types sampleable from a half-open range; backs [`Rng::gen_range`].
+pub trait SampleRange: Sized {
+    /// Samples uniformly from `[range.start, range.end)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        f64::sample(rng) as f32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl SampleRange for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                range: std::ops::Range<$t>,
+            ) -> $t {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*}
+}
+impl_standard_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleRange for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty gen_range");
+        range.start + f64::sample(rng) * (range.end - range.start)
+    }
+}
+
+pub mod rngs {
+    //! RNG implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic RNG (SplitMix64), mirroring `rand::rngs::StdRng`'s
+    /// API surface.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}

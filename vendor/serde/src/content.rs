@@ -1,0 +1,97 @@
+//! A self-describing data model that every serializer/deserializer in
+//! this vendored subset goes through. Mirrors `serde`'s private
+//! `Content` type, made public so the sibling `serde_json` stub can
+//! share it.
+
+use crate::de;
+use crate::ser;
+
+/// Generic self-describing value: the intermediate representation all
+/// (de)serialization in this stub flows through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / Rust `()` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when a value does not fit `i64`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, tuple structs).
+    Seq(Vec<Content>),
+    /// Map (objects, structs); insertion-ordered key/value pairs.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Human-readable kind tag for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serializes any value into a [`Content`] tree. Infallible for the
+/// types this stub supports (errors degrade to `Content::Null`).
+pub fn to_content<T: ser::Serialize + ?Sized>(value: &T) -> Content {
+    match value.serialize(ser::ContentSerializer) {
+        Ok(c) => c,
+        Err(_) => Content::Null,
+    }
+}
+
+/// Removes the entry with string key `key` from a map body, erroring if
+/// absent. Used by derived `Deserialize` impls for named structs.
+pub fn take_entry<E: de::Error>(
+    map: &mut Vec<(Content, Content)>,
+    key: &str,
+) -> Result<Content, E> {
+    let pos = map
+        .iter()
+        .position(|(k, _)| matches!(k, Content::Str(s) if s == key));
+    match pos {
+        Some(i) => Ok(map.swap_remove(i).1),
+        None => Err(E::custom(format!("missing field `{key}`"))),
+    }
+}
+
+/// Coerces content to a sequence body.
+pub fn as_seq<E: de::Error>(c: Content) -> Result<Vec<Content>, E> {
+    match c {
+        Content::Seq(v) => Ok(v),
+        other => Err(E::custom(format!(
+            "expected sequence, got {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+/// Coerces content to a map body.
+pub fn as_map<E: de::Error>(c: Content) -> Result<Vec<(Content, Content)>, E> {
+    match c {
+        Content::Map(m) => Ok(m),
+        other => Err(E::custom(format!(
+            "expected map, got {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+/// Pulls the next element out of a sequence iterator, erroring on
+/// premature end. Used by derived tuple-struct/tuple-variant impls.
+pub fn next_elem<E: de::Error>(it: &mut std::vec::IntoIter<Content>) -> Result<Content, E> {
+    it.next()
+        .ok_or_else(|| E::custom("sequence ended early".to_string()))
+}

@@ -1,0 +1,271 @@
+//! Deserialization half of the vendored `serde` subset.
+//!
+//! Everything deserializes from the shared
+//! [`Content`](crate::content::Content) tree via
+//! [`Deserializer::take_content`]. Primitive impls are lenient the way
+//! `serde_json` is: integers parse from strings (map keys), floats
+//! accept integers, and integral floats accept integer slots.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Display;
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+
+use crate::content::{as_seq, next_elem, Content};
+
+/// Error constructor trait, mirroring `serde::de::Error`.
+pub trait Error: Sized + Display {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can produce the [`Content`] data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes the deserializer, yielding its content tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value deserializable from the [`Content`] data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input (mirrors
+/// `serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// The identity deserializer: hands out a pre-built [`Content`] tree.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+fn de_content<'de, T: Deserialize<'de>, E: Error>(c: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(c))
+}
+
+// --- impls for std types -------------------------------------------------
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_content()? {
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| <D::Error as Error>::custom("integer out of range")),
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| <D::Error as Error>::custom("integer out of range")),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(v as $t),
+                    Content::Str(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| <D::Error as Error>::custom("invalid integer string")),
+                    other => Err(<D::Error as Error>::custom(format!(
+                        "expected integer, got {}",
+                        other.kind_name()
+                    ))),
+                }
+            }
+        }
+    )*}
+}
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_content()? {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::Str(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| <D::Error as Error>::custom("invalid float string")),
+                    other => Err(<D::Error as Error>::custom(format!(
+                        "expected float, got {}",
+                        other.kind_name()
+                    ))),
+                }
+            }
+        }
+    )*}
+}
+impl_de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Bool(b) => Ok(b),
+            Content::Str(s) if s == "true" => Ok(true),
+            Content::Str(s) if s == "false" => Ok(false),
+            other => Err(<D::Error as Error>::custom(format!(
+                "expected bool, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(<D::Error as Error>::custom(format!(
+                "expected string, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(s) => {
+                let mut it = s.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(<D::Error as Error>::custom("expected single character")),
+                }
+            }
+            other => Err(<D::Error as Error>::custom(format!(
+                "expected char, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(()),
+            other => Err(<D::Error as Error>::custom(format!(
+                "expected null, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(None),
+            c => Ok(Some(de_content::<T, D::Error>(c)?)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let seq = as_seq::<D::Error>(d.take_content()?)?;
+        seq.into_iter().map(de_content::<T, D::Error>).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let seq = as_seq::<D::Error>(d.take_content()?)?;
+        seq.into_iter().map(de_content::<T, D::Error>).collect()
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<Dz: Deserializer<'de>>(d: Dz) -> Result<Self, Dz::Error> {
+                let seq = as_seq::<Dz::Error>(d.take_content()?)?;
+                let mut it = seq.into_iter();
+                let out = ($(de_content::<$t, Dz::Error>(next_elem::<Dz::Error>(&mut it)?)?,)+);
+                if it.next().is_some() {
+                    return Err(<Dz::Error as Error>::custom("tuple has extra elements"));
+                }
+                Ok(out)
+            }
+        }
+    )*}
+}
+impl_de_tuple! {
+    (T1)
+    (T1, T2)
+    (T1, T2, T3)
+    (T1, T2, T3, T4)
+    (T1, T2, T3, T4, T5)
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let pairs = crate::content::as_map::<D::Error>(d.take_content()?)?;
+        pairs
+            .into_iter()
+            .map(|(k, v)| Ok((de_content::<K, D::Error>(k)?, de_content::<V, D::Error>(v)?)))
+            .collect()
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let pairs = crate::content::as_map::<D::Error>(d.take_content()?)?;
+        pairs
+            .into_iter()
+            .map(|(k, v)| Ok((de_content::<K, D::Error>(k)?, de_content::<V, D::Error>(v)?)))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let seq = as_seq::<D::Error>(d.take_content()?)?;
+        seq.into_iter().map(de_content::<T, D::Error>).collect()
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let seq = as_seq::<D::Error>(d.take_content()?)?;
+        seq.into_iter().map(de_content::<T, D::Error>).collect()
+    }
+}

@@ -1,0 +1,28 @@
+//! Vendored, offline, API-compatible subset of `serde`.
+//!
+//! This workspace builds in environments with no crates.io access, so
+//! the handful of external crates it uses are vendored as small
+//! API-compatible subsets under `vendor/`. This crate mirrors the
+//! parts of `serde` the workspace exercises:
+//!
+//! * `Serialize` / `Deserialize` traits with the real generic
+//!   signatures (`fn serialize<S: Serializer>`, `Deserialize<'de>`),
+//! * `#[derive(Serialize, Deserialize)]` via the sibling
+//!   `serde_derive` stub (named/tuple/unit structs; unit/newtype/
+//!   tuple/struct enum variants; generics; `#[serde(with = "...")]`),
+//! * `ser::Serializer` with `collect_seq`/`collect_map`/`collect_str`,
+//! * `de::Deserializer`, `de::DeserializeOwned`, `de::Error::custom`.
+//!
+//! Unlike real serde's visitor-driven design, every format bottoms out
+//! in one self-describing [`content::Content`] tree — dramatically
+//! simpler, and faithful for the externally-tagged JSON data model the
+//! workspace relies on. Swapping the real crates back in is a
+//! one-line `Cargo.toml` change per dependency.
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,647 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` subset.
+//!
+//! Hand-rolled on top of `proc_macro` alone (no `syn`/`quote`, which
+//! are unavailable offline). Supports exactly the shapes this
+//! workspace uses:
+//!
+//! * unit / newtype / tuple / named-field structs,
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, matching `serde_json`'s default),
+//! * type generics (bounds `T: Serialize` / `T: Deserialize<'de>` are
+//!   added per parameter),
+//! * the field attribute `#[serde(with = "path")]`.
+//!
+//! Anything else (lifetimes, const generics, other serde attributes)
+//! fails loudly at compile time rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum Body {
+    UnitStruct,
+    TupleStruct(Vec<Field>),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    params: Vec<String>,
+    body: Body,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn parse_input(ts: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility until `struct`/`enum`.
+    let mut is_enum = false;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // attribute body group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct/enum found in input"),
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    // Generic parameters.
+    let mut params = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expecting = true;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expecting = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' && depth == 1 => {
+                    panic!("serde_derive: lifetime parameters are not supported")
+                }
+                Some(TokenTree::Ident(id)) if depth == 1 && expecting => {
+                    let s = id.to_string();
+                    if s == "const" {
+                        panic!("serde_derive: const generics are not supported");
+                    }
+                    params.push(s);
+                    expecting = false;
+                }
+                Some(_) => {}
+                None => panic!("serde_derive: unterminated generics"),
+            }
+            i += 1;
+        }
+    }
+
+    // Skip a `where` clause if present (none expected in this workspace).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "where" => {
+                panic!("serde_derive: where clauses are not supported")
+            }
+            TokenTree::Group(_) | TokenTree::Punct(_) => break,
+            _ => i += 1,
+        }
+    }
+
+    let body = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            None => Body::UnitStruct,
+            other => panic!("serde_derive: expected struct body, got {other:?}"),
+        }
+    };
+
+    Input { name, params, body }
+}
+
+/// Consumes leading attributes at `*i`, returning the `with` path of a
+/// `#[serde(with = "...")]` attribute if one is present.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut with = None;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if let Some(w) = serde_with_from_attr(g.stream()) {
+                with = Some(w);
+            }
+            *i += 1;
+        }
+    }
+    with
+}
+
+fn serde_with_from_attr(attr: TokenStream) -> Option<String> {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match (inner.first(), inner.get(1), inner.get(2)) {
+                (
+                    Some(TokenTree::Ident(kw)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) if kw.to_string() == "with" && eq.as_char() == '=' => {
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                _ => panic!(
+                    "serde_derive: only #[serde(with = \"path\")] is supported, got #[serde({})]",
+                    args.stream()
+                ),
+            }
+        }
+        _ => None, // non-serde attribute (doc comment etc.)
+    }
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Consumes a type (or any expression) up to a depth-0 comma.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let with = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        skip_until_comma(&tokens, &mut i);
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let with = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+        fields.push(Field {
+            name: fields.len().to_string(),
+            with,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        let _ = skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(parse_tuple_fields(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        // Optional discriminant `= expr`.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_until_comma(&tokens, &mut i);
+        }
+        // Separator.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// --- code generation -----------------------------------------------------
+
+const CONTENT: &str = "::serde::content::Content";
+
+fn ser_field_content(place: &str, with: &Option<String>) -> String {
+    match with {
+        None => format!("::serde::content::to_content({place})"),
+        Some(path) => format!(
+            "match {path}::serialize({place}, ::serde::ser::ContentSerializer) {{ \
+                ::std::result::Result::Ok(__c) => __c, \
+                ::std::result::Result::Err(__e) => return ::std::result::Result::Err(\
+                    <__S::Error as ::serde::ser::Error>::custom(__e)), }}"
+        ),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_generics, ty_generics) = if input.params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounds: Vec<String> = input
+            .params
+            .iter()
+            .map(|p| format!("{p}: ::serde::Serialize"))
+            .collect();
+        (
+            format!("<{}>", bounds.join(", ")),
+            format!("<{}>", input.params.join(", ")),
+        )
+    };
+
+    let body = match &input.body {
+        Body::UnitStruct => format!("__serializer.serialize_content({CONTENT}::Null)"),
+        Body::TupleStruct(fields) if fields.len() == 1 => match &fields[0].with {
+            None => "::serde::Serialize::serialize(&self.0, __serializer)".to_string(),
+            Some(_) => {
+                let c = ser_field_content("&self.0", &fields[0].with);
+                format!("__serializer.serialize_content({c})")
+            }
+        },
+        Body::TupleStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| ser_field_content(&format!("&self.{}", f.name), &f.with))
+                .collect();
+            format!(
+                "__serializer.serialize_content({CONTENT}::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let c = ser_field_content(&format!("&self.{}", f.name), &f.with);
+                    format!(
+                        "({CONTENT}::Str(::std::string::String::from(\"{}\")), {c})",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "__serializer.serialize_content({CONTENT}::Map(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{name}::{vn} => __serializer.serialize_content(\
+                                {CONTENT}::Str(::std::string::String::from(\"{vn}\"))),"
+                        ),
+                        VariantBody::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => __serializer.serialize_content(\
+                                {CONTENT}::Map(::std::vec![({CONTENT}::Str(\
+                                ::std::string::String::from(\"{vn}\")), \
+                                ::serde::content::to_content(__f0))])),"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::content::to_content(__f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => __serializer.serialize_content(\
+                                    {CONTENT}::Map(::std::vec![({CONTENT}::Str(\
+                                    ::std::string::String::from(\"{vn}\")), \
+                                    {CONTENT}::Seq(::std::vec![{}]))])),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({CONTENT}::Str(::std::string::String::from(\"{0}\")), \
+                                         ::serde::content::to_content({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => __serializer.serialize_content(\
+                                    {CONTENT}::Map(::std::vec![({CONTENT}::Str(\
+                                    ::std::string::String::from(\"{vn}\")), \
+                                    {CONTENT}::Map(::std::vec![{}]))])),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+
+    format!(
+        "#[automatically_derived] \
+         #[allow(warnings, clippy::all, clippy::pedantic)] \
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{ \
+            fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                -> ::std::result::Result<__S::Ok, __S::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn de_err(msg_expr: &str) -> String {
+    format!("<__D::Error as ::serde::de::Error>::custom({msg_expr})")
+}
+
+fn de_field_from(content_expr: &str, with: &Option<String>) -> String {
+    let de_call = match with {
+        None => "::serde::Deserialize::deserialize".to_string(),
+        Some(path) => format!("{path}::deserialize"),
+    };
+    format!("{de_call}(::serde::de::ContentDeserializer::<__D::Error>::new({content_expr}))?")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_generics, ty_generics) = if input.params.is_empty() {
+        ("<'de>".to_string(), String::new())
+    } else {
+        let bounds: Vec<String> = input
+            .params
+            .iter()
+            .map(|p| format!("{p}: ::serde::Deserialize<'de>"))
+            .collect();
+        (
+            format!("<'de, {}>", bounds.join(", ")),
+            format!("<{}>", input.params.join(", ")),
+        )
+    };
+
+    let body = match &input.body {
+        Body::UnitStruct => format!(
+            "let _ = ::serde::Deserializer::take_content(__deserializer)?; \
+             ::std::result::Result::Ok({name})"
+        ),
+        Body::TupleStruct(fields) if fields.len() == 1 => match &fields[0].with {
+            None => format!(
+                "::std::result::Result::Ok({name}(\
+                    ::serde::Deserialize::deserialize(__deserializer)?))"
+            ),
+            Some(_) => {
+                let e = de_field_from(
+                    "::serde::Deserializer::take_content(__deserializer)?",
+                    &fields[0].with,
+                );
+                format!("::std::result::Result::Ok({name}({e}))")
+            }
+        },
+        Body::TupleStruct(fields) => {
+            let elems: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    de_field_from(
+                        "::serde::content::next_elem::<__D::Error>(&mut __it)?",
+                        &f.with,
+                    )
+                })
+                .collect();
+            format!(
+                "let __c = ::serde::Deserializer::take_content(__deserializer)?; \
+                 let __seq = ::serde::content::as_seq::<__D::Error>(__c)?; \
+                 let mut __it = __seq.into_iter(); \
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) if fields.is_empty() => format!(
+            "let _ = ::serde::Deserializer::take_content(__deserializer)?; \
+             ::std::result::Result::Ok({name} {{}})"
+        ),
+        Body::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let take = format!(
+                        "::serde::content::take_entry::<__D::Error>(&mut __m, \"{}\")?",
+                        f.name
+                    );
+                    format!("{}: {}", f.name, de_field_from(&take, &f.with))
+                })
+                .collect();
+            format!(
+                "let __c = ::serde::Deserializer::take_content(__deserializer)?; \
+                 let mut __m = ::serde::content::as_map::<__D::Error>(__c)?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.body, VariantBody::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Tuple(1) => {
+                            let e = de_field_from("__v", &None);
+                            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({e})),")
+                        }
+                        VariantBody::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|_| {
+                                    de_field_from(
+                                        "::serde::content::next_elem::<__D::Error>(&mut __eit)?",
+                                        &None,
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ \
+                                    let __seq = ::serde::content::as_seq::<__D::Error>(__v)?; \
+                                    let mut __eit = __seq.into_iter(); \
+                                    ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                elems.join(", ")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let take = format!(
+                                        "::serde::content::take_entry::<__D::Error>(\
+                                         &mut __vm, \"{}\")?",
+                                        f.name
+                                    );
+                                    format!("{}: {}", f.name, de_field_from(&take, &f.with))
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ \
+                                    let mut __vm = ::serde::content::as_map::<__D::Error>(__v)?; \
+                                    ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantBody::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            let unknown = de_err(&format!(
+                "::std::format!(\"unknown variant `{{}}` of {name}\", __other)"
+            ));
+            let bad_tag = de_err(&format!("\"enum {name}: tag must be a string\""));
+            let empty_map = de_err(&format!("\"enum {name}: empty map\""));
+            let bad_repr = de_err(&format!(
+                "::std::format!(\"invalid representation of enum {name}: {{}}\", \
+                 __other.kind_name())"
+            ));
+            format!(
+                "let __c = ::serde::Deserializer::take_content(__deserializer)?; \
+                 match __c {{ \
+                    {CONTENT}::Str(__s) => match __s.as_str() {{ \
+                        {unit} \
+                        __other => ::std::result::Result::Err({unknown}), \
+                    }}, \
+                    {CONTENT}::Map(__m) => {{ \
+                        let mut __mit = __m.into_iter(); \
+                        let (__k, __v) = match __mit.next() {{ \
+                            ::std::option::Option::Some(__kv) => __kv, \
+                            ::std::option::Option::None => \
+                                return ::std::result::Result::Err({empty_map}), \
+                        }}; \
+                        let _ = &__v; \
+                        let __k = match __k {{ \
+                            {CONTENT}::Str(__s) => __s, \
+                            _ => return ::std::result::Result::Err({bad_tag}), \
+                        }}; \
+                        match __k.as_str() {{ \
+                            {payload} \
+                            __other => ::std::result::Result::Err({unknown}), \
+                        }} \
+                    }}, \
+                    __other => ::std::result::Result::Err({bad_repr}), \
+                 }}",
+                unit = unit_arms.join(" "),
+                payload = payload_arms.join(" "),
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived] \
+         #[allow(warnings, clippy::all, clippy::pedantic)] \
+         impl{impl_generics} ::serde::Deserialize<'de> for {name}{ty_generics} {{ \
+            fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                -> ::std::result::Result<Self, __D::Error> {{ {body} }} \
+         }}"
+    )
+}

@@ -1,0 +1,411 @@
+//! Vendored, offline, API-compatible subset of `serde_json`.
+//!
+//! Provides [`to_string`], [`to_string_pretty`] and [`from_str`] over
+//! the shared [`serde::content::Content`] data model, encoding the
+//! same externally-tagged JSON the real crate produces for the types
+//! this workspace serializes (structs as objects, newtypes as their
+//! payload, enums externally tagged, integer map keys stringified).
+
+use std::fmt;
+
+use serde::content::Content;
+use serde::de::ContentDeserializer;
+use serde::ser::ContentSerializer;
+use serde::{Deserialize, Serialize};
+
+/// JSON (de)serialization error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = value
+        .serialize(ContentSerializer)
+        .map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write_content(&mut out, &content, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = value
+        .serialize(ContentSerializer)
+        .map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write_content(&mut out, &content, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<'a, T: Deserialize<'a>>(s: &'a str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let content = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    T::deserialize(ContentDeserializer::<Error>::new(content))
+}
+
+// --- encoder -------------------------------------------------------------
+
+fn write_content(out: &mut String, c: &Content, indent: Option<usize>, depth: usize) -> Result<()> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if v.is_finite() {
+                // `{:?}` keeps a trailing `.0` on integral floats, so the
+                // value parses back as a float rather than an integer.
+                out.push_str(&format!("{v:?}"));
+            } else {
+                // Matches serde_json: non-finite floats become null.
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(out, item, indent, depth + 1)?;
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_key(out, k)?;
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, v, indent, depth + 1)?;
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// Map keys must be strings in JSON; primitive keys are stringified the
+/// way real serde_json does.
+fn write_key(out: &mut String, k: &Content) -> Result<()> {
+    match k {
+        Content::Str(s) => {
+            write_escaped(out, s);
+            Ok(())
+        }
+        Content::I64(v) => {
+            write_escaped(out, &v.to_string());
+            Ok(())
+        }
+        Content::U64(v) => {
+            write_escaped(out, &v.to_string());
+            Ok(())
+        }
+        Content::Bool(b) => {
+            write_escaped(out, if *b { "true" } else { "false" });
+            Ok(())
+        }
+        other => Err(Error(format!(
+            "map key must be a string, got {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- parser --------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(self.bad("null"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(self.bad("true"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(self.bad("false"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return Err(self.bad("`,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((Content::Str(key), value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return Err(self.bad("`,` or `}`")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.bad("a JSON value")),
+        }
+    }
+
+    fn bad(&self, what: &str) -> Error {
+        Error(format!("expected {} at offset {}", what, self.pos))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.bad("closing `\"`")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.bad("low surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(c).ok_or_else(|| self.bad("valid code point"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.bad("valid code point"))?
+                            };
+                            out.push(ch);
+                            continue;
+                        }
+                        _ => return Err(self.bad("escape character")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8".to_string()))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.bad("4 hex digits"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error("invalid UTF-8 in \\u escape".to_string()))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.bad("4 hex digits"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid UTF-8 in number".to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if let Ok(v) = text.parse::<i64>() {
+            Ok(Content::I64(v))
+        } else if let Ok(v) = text.parse::<u64>() {
+            Ok(Content::U64(v))
+        } else {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+}
