@@ -210,10 +210,40 @@ fn bench_srt_overlap_index_vs_linear(c: &mut Criterion) {
     g.finish();
 }
 
+/// The containment ablation behind the release cascade: enumerating
+/// the candidates a withdrawn root had quenched (`covered_by`, the
+/// `release_quenched_subs` hot path) and the quench check for a fresh
+/// subscription (`covering`), through the dual-endpoint containment
+/// index vs. the linear `Filter::covers` scan.
+fn bench_covering_release_index_vs_linear(c: &mut Criterion) {
+    let mut g = c.benchmark_group("covering_release");
+    for n in [1_000usize, 10_000] {
+        let prt = loaded_prt(n);
+        // A withdrawn band-0 root releases everything it covered…
+        let root = SubWorkload::Covered.instance(0, 0);
+        // …and a fresh leaf asks whether anything quenches it.
+        let leaf = SubWorkload::Covered.instance(3, 7);
+        g.bench_with_input(BenchmarkId::new("covered_by_indexed", n), &n, |bch, _| {
+            bch.iter(|| black_box(prt.covered_by(black_box(&root))))
+        });
+        g.bench_with_input(BenchmarkId::new("covered_by_linear", n), &n, |bch, _| {
+            bch.iter(|| black_box(prt.covered_by_linear(black_box(&root))))
+        });
+        g.bench_with_input(BenchmarkId::new("covering_indexed", n), &n, |bch, _| {
+            bch.iter(|| black_box(prt.covering(black_box(&leaf))))
+        });
+        g.bench_with_input(BenchmarkId::new("covering_linear", n), &n, |bch, _| {
+            bch.iter(|| black_box(prt.covering_linear(black_box(&leaf))))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_prt_matching_index_vs_linear,
     bench_srt_overlap_index_vs_linear,
+    bench_covering_release_index_vs_linear,
     bench_publish_vs_table_size,
     bench_subscribe_by_covering_mode,
     bench_release_strategies,

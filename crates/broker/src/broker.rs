@@ -338,17 +338,17 @@ impl BrokerCore {
         out.push(BrokerOutput::ToBroker(n, PubSubMsg::Subscribe(sub)));
         if self.config.sub_covering == CoveringMode::Active {
             // Retract previously-forwarded subscriptions now covered on
-            // this link.
+            // this link. The containment index enumerates the covered
+            // candidates; the hop conditions are checked per survivor.
             let retract: Vec<SubId> = self
                 .prt
-                .iter()
-                .filter(|(oid, e)| {
-                    **oid != id
-                        && e.sent_to.contains(&n)
-                        && filter.covers(&e.sub.filter)
-                        && !e.sub.filter.covers(&filter)
+                .covered_by(&filter)
+                .into_iter()
+                .filter(|oid| {
+                    // unwrap: ids come straight out of the table's index
+                    let e = self.prt.get(*oid).unwrap();
+                    *oid != id && e.sent_to.contains(&n) && !e.sub.filter.covers(&filter)
                 })
-                .map(|(oid, _)| *oid)
                 .collect();
             for oid in retract {
                 // unwrap: ids were just drawn from the table
@@ -362,11 +362,10 @@ impl BrokerCore {
     /// Whether subscription `id` with `filter` is quenched on link `n`
     /// by some covering subscription already forwarded there.
     fn sub_quenched_on(&self, n: BrokerId, id: SubId, filter: &Filter) -> bool {
-        self.prt.iter().any(|(oid, e)| {
-            *oid != id
-                && e.sent_to.contains(&n)
-                && e.lasthop != Hop::Broker(n)
-                && e.sub.filter.covers(filter)
+        self.prt.covering(filter).into_iter().any(|oid| {
+            // unwrap: ids come straight out of the table's index
+            let e = self.prt.get(oid).unwrap();
+            oid != id && e.sent_to.contains(&n) && e.lasthop != Hop::Broker(n)
         })
     }
 
@@ -419,15 +418,19 @@ impl BrokerCore {
     ) -> Vec<BrokerOutput> {
         let mut out = Vec::new();
         let conservative = self.config.conservative_release && removed.is_some();
-        let candidates: Vec<SubId> = self
-            .prt
-            .iter()
-            .filter(|(_, e)| {
-                e.lasthop != Hop::Broker(n)
-                    && !e.sent_to.contains(&n)
-                    && removed.is_none_or(|r| r.covers(&e.sub.filter))
+        // The containment index enumerates what the withdrawn filter
+        // covered; without one, every row is a candidate.
+        let covered: Vec<SubId> = match removed {
+            Some(r) => self.prt.covered_by(r),
+            None => self.prt.iter().map(|(id, _)| *id).collect(),
+        };
+        let candidates: Vec<SubId> = covered
+            .into_iter()
+            .filter(|id| {
+                // unwrap: ids come straight out of the table's index
+                let e = self.prt.get(*id).unwrap();
+                e.lasthop != Hop::Broker(n) && !e.sent_to.contains(&n)
             })
-            .map(|(id, _)| *id)
             .collect();
         for id in candidates {
             // unwrap: candidate ids drawn from the table and the only
@@ -535,14 +538,13 @@ impl BrokerCore {
         if self.config.adv_covering == CoveringMode::Active {
             let retract: Vec<AdvId> = self
                 .srt
-                .iter()
-                .filter(|(oid, e)| {
-                    **oid != id
-                        && e.sent_to.contains(&n)
-                        && filter.covers(&e.adv.filter)
-                        && !e.adv.filter.covers(&filter)
+                .covered_by(&filter)
+                .into_iter()
+                .filter(|oid| {
+                    // unwrap: ids come straight out of the table's index
+                    let e = self.srt.get(*oid).unwrap();
+                    *oid != id && e.sent_to.contains(&n) && !e.adv.filter.covers(&filter)
                 })
-                .map(|(oid, _)| *oid)
                 .collect();
             for oid in retract {
                 // unwrap: ids were just drawn from the table
@@ -554,11 +556,10 @@ impl BrokerCore {
     }
 
     fn adv_quenched_on(&self, n: BrokerId, id: AdvId, filter: &Filter) -> bool {
-        self.srt.iter().any(|(oid, e)| {
-            *oid != id
-                && e.sent_to.contains(&n)
-                && e.lasthop != Hop::Broker(n)
-                && e.adv.filter.covers(filter)
+        self.srt.covering(filter).into_iter().any(|oid| {
+            // unwrap: ids come straight out of the table's index
+            let e = self.srt.get(oid).unwrap();
+            oid != id && e.sent_to.contains(&n) && e.lasthop != Hop::Broker(n)
         })
     }
 
@@ -643,15 +644,17 @@ impl BrokerCore {
     ) -> Vec<BrokerOutput> {
         let mut out = Vec::new();
         let conservative = self.config.conservative_release && removed.is_some();
-        let candidates: Vec<AdvId> = self
-            .srt
-            .iter()
-            .filter(|(_, e)| {
-                e.lasthop != Hop::Broker(n)
-                    && !e.sent_to.contains(&n)
-                    && removed.is_none_or(|r| r.covers(&e.adv.filter))
+        let covered: Vec<AdvId> = match removed {
+            Some(r) => self.srt.covered_by(r),
+            None => self.srt.iter().map(|(id, _)| *id).collect(),
+        };
+        let candidates: Vec<AdvId> = covered
+            .into_iter()
+            .filter(|id| {
+                // unwrap: ids come straight out of the table's index
+                let e = self.srt.get(*id).unwrap();
+                e.lasthop != Hop::Broker(n) && !e.sent_to.contains(&n)
             })
-            .map(|(id, _)| *id)
             .collect();
         for id in candidates {
             if conservative {

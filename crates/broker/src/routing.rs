@@ -125,7 +125,7 @@ impl Serialize for Srt {
 
 impl<'de> Deserialize<'de> for Srt {
     fn deserialize<D: serde::de::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
-        Ok(Srt::from_entries(serde_pairs::deserialize(de)?))
+        Srt::from_pairs(Vec::deserialize(de)?).map_err(serde::de::Error::custom)
     }
 }
 
@@ -136,12 +136,35 @@ impl Srt {
     }
 
     /// Rebuilds a table (and its match index) from persisted rows.
-    fn from_entries(entries: BTreeMap<AdvId, AdvEntry>) -> Self {
+    ///
+    /// Ids are bound to immutable filters (the same invariant the live
+    /// insert path enforces), so a persisted snapshot carrying one id
+    /// twice with *conflicting* filters is corrupt and is rejected
+    /// rather than silently resolved last-writer-wins. Byte-identical
+    /// duplicate rows are tolerated (first wins), mirroring the
+    /// idempotent duplicate suppression of [`Srt::insert`].
+    fn from_pairs(pairs: Vec<(AdvId, AdvEntry)>) -> Result<Self, String> {
+        let mut entries: BTreeMap<AdvId, AdvEntry> = BTreeMap::new();
+        for (id, e) in pairs {
+            match entries.entry(id) {
+                Entry::Occupied(existing) => {
+                    if *existing.get() != e {
+                        return Err(format!(
+                            "SRT snapshot carries advertisement {id} twice with \
+                             conflicting rows"
+                        ));
+                    }
+                }
+                Entry::Vacant(v) => {
+                    v.insert(e);
+                }
+            }
+        }
         let mut index = MatchIndex::new();
         for (id, e) in &entries {
             index.insert(*id, &e.adv.filter);
         }
-        Srt { entries, index }
+        Ok(Srt { entries, index })
     }
 
     /// Inserts an advertisement arriving from `lasthop`. Returns `false`
@@ -255,6 +278,53 @@ impl Srt {
             .collect()
     }
 
+    /// Ids of advertisements whose filter *covers* `filter` (the
+    /// advertisement-quench test). Served by the dual-endpoint
+    /// containment structure of the counting index.
+    pub fn covering(&self, filter: &Filter) -> Vec<AdvId> {
+        let out = self.index.covering(filter);
+        debug_assert_eq!(
+            out,
+            self.covering_linear(filter),
+            "match index diverged from the linear covering scan"
+        );
+        out
+    }
+
+    /// Reference implementation of [`Srt::covering`]: the full linear
+    /// scan. Kept as the differential oracle for the index (and as the
+    /// benchmark baseline).
+    pub fn covering_linear(&self, filter: &Filter) -> Vec<AdvId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.adv.filter.covers(filter))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Ids of advertisements `filter` covers (the active-retraction /
+    /// covering-release candidate set). Served by the dual-endpoint
+    /// containment structure of the counting index.
+    pub fn covered_by(&self, filter: &Filter) -> Vec<AdvId> {
+        let out = self.index.covered_by(filter);
+        debug_assert_eq!(
+            out,
+            self.covered_by_linear(filter),
+            "match index diverged from the linear covered-by scan"
+        );
+        out
+    }
+
+    /// Reference implementation of [`Srt::covered_by`]: the full
+    /// linear scan.
+    pub fn covered_by_linear(&self, filter: &Filter) -> Vec<AdvId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| filter.covers(&e.adv.filter))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -305,7 +375,7 @@ impl Serialize for Prt {
 
 impl<'de> Deserialize<'de> for Prt {
     fn deserialize<D: serde::de::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
-        Ok(Prt::from_entries(serde_pairs::deserialize(de)?))
+        Prt::from_pairs(Vec::deserialize(de)?).map_err(serde::de::Error::custom)
     }
 }
 
@@ -316,12 +386,32 @@ impl Prt {
     }
 
     /// Rebuilds a table (and its match index) from persisted rows.
-    fn from_entries(entries: BTreeMap<SubId, SubEntry>) -> Self {
+    ///
+    /// Same contract as [`Srt::from_pairs`]: one id appearing twice
+    /// with conflicting rows marks the snapshot corrupt and is
+    /// rejected; byte-identical duplicates are tolerated (first wins).
+    fn from_pairs(pairs: Vec<(SubId, SubEntry)>) -> Result<Self, String> {
+        let mut entries: BTreeMap<SubId, SubEntry> = BTreeMap::new();
+        for (id, e) in pairs {
+            match entries.entry(id) {
+                Entry::Occupied(existing) => {
+                    if *existing.get() != e {
+                        return Err(format!(
+                            "PRT snapshot carries subscription {id} twice with \
+                             conflicting rows"
+                        ));
+                    }
+                }
+                Entry::Vacant(v) => {
+                    v.insert(e);
+                }
+            }
+        }
         let mut index = MatchIndex::new();
         for (id, e) in &entries {
             index.insert(*id, &e.sub.filter);
         }
-        Prt { entries, index }
+        Ok(Prt { entries, index })
     }
 
     /// Inserts a subscription arriving from `lasthop`. Returns `false`
@@ -452,6 +542,54 @@ impl Prt {
         self.entries
             .iter()
             .filter(|(_, e)| e.sub.filter.overlaps(filter))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Ids of subscriptions whose filter *covers* `filter` (the
+    /// subscription-quench test). Served by the dual-endpoint
+    /// containment structure of the counting index.
+    pub fn covering(&self, filter: &Filter) -> Vec<SubId> {
+        let out = self.index.covering(filter);
+        debug_assert_eq!(
+            out,
+            self.covering_linear(filter),
+            "match index diverged from the linear covering scan"
+        );
+        out
+    }
+
+    /// Reference implementation of [`Prt::covering`]: the full linear
+    /// scan. Kept as the differential oracle for the index (and as the
+    /// benchmark baseline).
+    pub fn covering_linear(&self, filter: &Filter) -> Vec<SubId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.sub.filter.covers(filter))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Ids of subscriptions `filter` covers (the active-retraction /
+    /// covering-release candidate set that dominates the paper's
+    /// mobility unsubscribe bursts). Served by the dual-endpoint
+    /// containment structure of the counting index.
+    pub fn covered_by(&self, filter: &Filter) -> Vec<SubId> {
+        let out = self.index.covered_by(filter);
+        debug_assert_eq!(
+            out,
+            self.covered_by_linear(filter),
+            "match index diverged from the linear covered-by scan"
+        );
+        out
+    }
+
+    /// Reference implementation of [`Prt::covered_by`]: the full
+    /// linear scan.
+    pub fn covered_by_linear(&self, filter: &Filter) -> Vec<SubId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| filter.covers(&e.sub.filter))
             .map(|(id, _)| *id)
             .collect()
     }
@@ -622,6 +760,73 @@ mod tests {
             prt.matching(&Publication::new().with("x", 150)),
             vec![s2.id]
         );
+    }
+
+    #[test]
+    fn covering_and_covered_by_queries() {
+        let mut prt = Prt::new();
+        let root = sub(1, 0, 0, 100);
+        let leaf = sub(2, 0, 10, 20);
+        let outside = sub(3, 0, 500, 600);
+        prt.insert(root.clone(), Hop::Client(ClientId(1)));
+        prt.insert(leaf.clone(), Hop::Client(ClientId(2)));
+        prt.insert(outside.clone(), Hop::Client(ClientId(3)));
+        // Who covers the leaf? The root and the leaf itself.
+        assert_eq!(prt.covering(&leaf.filter), vec![root.id, leaf.id]);
+        // Whom does the root cover? Itself and the leaf.
+        assert_eq!(prt.covered_by(&root.filter), vec![root.id, leaf.id]);
+        let mut srt = Srt::new();
+        srt.insert(adv(1, 0, 0, 100), Hop::Broker(BrokerId(2)));
+        srt.insert(adv(2, 0, 10, 20), Hop::Broker(BrokerId(3)));
+        assert_eq!(
+            srt.covering(&Filter::builder().ge("x", 10).le("x", 20).build()),
+            vec![AdvId::new(ClientId(1), 0), AdvId::new(ClientId(2), 0)]
+        );
+        assert_eq!(
+            srt.covered_by(&Filter::builder().ge("x", 5).le("x", 25).build()),
+            vec![AdvId::new(ClientId(2), 0)]
+        );
+    }
+
+    #[test]
+    fn deserialize_rejects_conflicting_duplicate_ids() {
+        // A snapshot carrying one id twice with different filters must
+        // not load last-writer-wins: the rebuild path rejects it.
+        let mk = |lo: i64, hi: i64| SubEntry {
+            sub: sub(1, 0, lo, hi),
+            lasthop: Hop::Client(ClientId(1)),
+            sent_to: BTreeSet::new(),
+            pending: None,
+        };
+        let conflicting = vec![
+            (SubId::new(ClientId(1), 0), mk(0, 10)),
+            (SubId::new(ClientId(1), 0), mk(5, 25)),
+        ];
+        let json = serde_json::to_string(&conflicting).unwrap();
+        let err = serde_json::from_str::<Prt>(&json).unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "err: {err}");
+        // Byte-identical duplicates are the idempotent case: tolerated.
+        let duplicated = vec![
+            (SubId::new(ClientId(1), 0), mk(0, 10)),
+            (SubId::new(ClientId(1), 0), mk(0, 10)),
+        ];
+        let json = serde_json::to_string(&duplicated).unwrap();
+        let prt: Prt = serde_json::from_str(&json).unwrap();
+        assert_eq!(prt.len(), 1);
+
+        let mk_adv = |lo: i64, hi: i64| AdvEntry {
+            adv: adv(1, 0, lo, hi),
+            lasthop: Hop::Broker(BrokerId(2)),
+            sent_to: BTreeSet::new(),
+            pending: None,
+        };
+        let conflicting = vec![
+            (AdvId::new(ClientId(1), 0), mk_adv(0, 10)),
+            (AdvId::new(ClientId(1), 0), mk_adv(5, 25)),
+        ];
+        let json = serde_json::to_string(&conflicting).unwrap();
+        let err = serde_json::from_str::<Srt>(&json).unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "err: {err}");
     }
 
     #[test]

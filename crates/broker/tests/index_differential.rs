@@ -164,17 +164,56 @@ proptest! {
         }
     }
 
+    /// Indexed containment (`covering` / `covered_by`) ≡ the linear
+    /// `Filter::covers` scans on both tables, after churn — including
+    /// rows that carry pending (shadow) routes.
+    #[test]
+    fn containment_equals_linear(steps in arb_steps(), q in arb_filter()) {
+        let (prt, srt) = replay(&steps);
+        let query = build_filter(&q);
+        prop_assert_eq!(prt.covering(&query), prt.covering_linear(&query));
+        prop_assert_eq!(prt.covered_by(&query), prt.covered_by_linear(&query));
+        prop_assert_eq!(srt.covering(&query), srt.covering_linear(&query));
+        prop_assert_eq!(srt.covered_by(&query), srt.covered_by_linear(&query));
+    }
+
+    /// The containment answers are semantically right, not merely
+    /// scan-consistent: every reported id really stands in the claimed
+    /// `Filter::covers` relation with the query.
+    #[test]
+    fn containment_is_sound(steps in arb_steps(), q in arb_filter()) {
+        let (prt, srt) = replay(&steps);
+        let query = build_filter(&q);
+        for id in prt.covering(&query) {
+            prop_assert!(prt.get(id).unwrap().sub.filter.covers(&query));
+        }
+        for id in prt.covered_by(&query) {
+            prop_assert!(query.covers(&prt.get(id).unwrap().sub.filter));
+        }
+        for id in srt.covering(&query) {
+            prop_assert!(srt.get(id).unwrap().adv.filter.covers(&query));
+        }
+        for id in srt.covered_by(&query) {
+            prop_assert!(query.covers(&srt.get(id).unwrap().adv.filter));
+        }
+    }
+
     /// Serde round-trip rebuilds an index that still agrees with the
     /// scans (crash-recovery path of the Sec. 3.5 persistence sketch).
     #[test]
-    fn rebuilt_index_agrees_after_round_trip(steps in arb_steps()) {
+    fn rebuilt_index_agrees_after_round_trip(steps in arb_steps(), q in arb_filter()) {
         let (prt, srt) = replay(&steps);
         let prt2: Prt = serde_json::from_str(&serde_json::to_string(&prt).unwrap()).unwrap();
         let srt2: Srt = serde_json::from_str(&serde_json::to_string(&srt).unwrap()).unwrap();
         prop_assert_eq!(&prt, &prt2);
         prop_assert_eq!(&srt, &srt2);
+        let query = build_filter(&q);
         for p in probe_pubs() {
             prop_assert_eq!(prt2.matching(&p), prt.matching_linear(&p));
         }
+        prop_assert_eq!(prt2.covering(&query), prt.covering_linear(&query));
+        prop_assert_eq!(prt2.covered_by(&query), prt.covered_by_linear(&query));
+        prop_assert_eq!(srt2.covering(&query), srt.covering_linear(&query));
+        prop_assert_eq!(srt2.covered_by(&query), srt.covered_by_linear(&query));
     }
 }

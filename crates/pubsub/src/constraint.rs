@@ -247,9 +247,43 @@ impl<T: Domain> Interval<T> {
     }
 }
 
-/// `f64` with a total order, for use in ordered sets of excluded points.
+impl Interval<f64> {
+    /// The interval's effective endpoints in the `total_cmp` order:
+    /// unbounded sides map to [`TotalF64::MIN`] / [`TotalF64::MAX`].
+    ///
+    /// Bound exclusivity is deliberately dropped: for any relation the
+    /// index cares about (containment either way, overlap), comparing
+    /// effective endpoints with the *inclusive* variant of the relevant
+    /// inequality yields a superset of the qualifying intervals, so a
+    /// range scan over endpoint-ordered maps can prune and the exact
+    /// [`NumConstraint`] relations re-verify the survivors.
+    pub fn total_endpoints(&self) -> (TotalF64, TotalF64) {
+        let lo = match &self.lo {
+            Bound::Unbounded => TotalF64::MIN,
+            Bound::Incl(v) | Bound::Excl(v) => TotalF64(*v),
+        };
+        let hi = match &self.hi {
+            Bound::Unbounded => TotalF64::MAX,
+            Bound::Incl(v) | Bound::Excl(v) => TotalF64(*v),
+        };
+        (lo, hi)
+    }
+}
+
+/// `f64` with a total order, for use in ordered sets of excluded points
+/// and as the endpoint key of the index's ordered interval maps.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TotalF64(pub f64);
+
+impl TotalF64 {
+    /// Smallest value in the `total_cmp` order (the negative NaN with
+    /// maximal payload): the effective endpoint of intervals unbounded
+    /// below.
+    pub const MIN: TotalF64 = TotalF64(f64::from_bits(u64::MAX));
+    /// Largest value in the `total_cmp` order: the effective endpoint
+    /// of intervals unbounded above.
+    pub const MAX: TotalF64 = TotalF64(f64::from_bits(i64::MAX as u64));
+}
 
 impl PartialEq for TotalF64 {
     fn eq(&self, other: &Self) -> bool {

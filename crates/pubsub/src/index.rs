@@ -1,11 +1,16 @@
 //! Attribute-indexed *counting* match index for filter tables.
 //!
-//! Brokers answer two hot-path queries against large filter tables:
+//! Brokers answer four hot-path queries against large filter tables:
 //!
 //! - **matching**: which stored filters match a publication? (the PRT
 //!   publication-forwarding test)
 //! - **overlapping**: which stored filters overlap a query filter?
 //!   (the SRT/PRT subscription-routing intersection test)
+//! - **covering**: which stored filters cover a query filter? (the
+//!   covering-quench test of the subscription/advertisement paths)
+//! - **covered_by**: which stored filters does a query filter cover?
+//!   (active-retraction candidates and the covering-release cascade
+//!   that dominates the paper's mobility unsubscribe bursts)
 //!
 //! The naive implementation scans every stored filter and evaluates
 //! [`Filter::matches`] / [`Filter::overlaps`] — `O(table × arity)` per
@@ -46,6 +51,29 @@
 //!   per-attribute scan with exact verification — still restricted to
 //!   attributes the publication carries.
 //!
+//! # Dual-endpoint containment structure
+//!
+//! Containment and overlap between a query interval `[lq, hq]` and the
+//! stored intervals are two-sided endpoint conditions:
+//!
+//! - stored **covers** query: `lo ≤ lq` and `hi ≥ hq`
+//! - stored **covered by** query: `lo ≥ lq` and `hi ≤ hq`
+//! - stored **overlaps** query: `lo ≤ hq` and `hi ≥ lq`
+//!
+//! (inclusive comparisons on effective endpoints in the `total_cmp`
+//! order; exclusivity flags and `!=` exclusions only ever *shrink* the
+//! true relation, so these are prune conditions). Each [`AttrIndex`]
+//! therefore keeps every numeric constraint — point or interval — in
+//! two additional ordered maps: `by_lo`, keyed by the effective lower
+//! endpoint, and `by_hi`, keyed by the effective upper endpoint. Each
+//! query becomes a *pair of range scans*, one per endpoint map, run in
+//! lock-step; whichever side exhausts first already enumerates every
+//! row satisfying its half of the conjunction, so the candidate set is
+//! the smaller enumeration and total work is bounded by twice the
+//! smaller side (instead of a per-constraint sweep of the attribute).
+//! Candidates are then verified against the authoritative
+//! [`Constraint`] relation.
+//!
 //! # Soundness
 //!
 //! Every fast path is *prune + verify*: the bucket structures only
@@ -59,21 +87,14 @@
 //! linear scans alive as a differential oracle.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt::Debug;
 use std::hash::Hash;
 
-use crate::constraint::{Bound, Constraint, TotalF64};
+use crate::constraint::{Bound, Constraint, Interval, TotalF64};
 use crate::filter::Filter;
 use crate::publication::Publication;
 use crate::value::Value;
-
-/// Smallest `f64` in the `total_cmp` order (negative NaN, maximal
-/// payload): the effective lower bound of intervals unbounded below.
-const TOTAL_MIN: f64 = f64::from_bits(u64::MAX);
-/// Largest `f64` in the `total_cmp` order: the effective upper bound
-/// of intervals unbounded above.
-const TOTAL_MAX: f64 = f64::from_bits(i64::MAX as u64);
 
 /// Key types a [`MatchIndex`] can index filters under (`AdvId`,
 /// `SubId`, …).
@@ -124,12 +145,12 @@ fn classify(c: &Constraint) -> Slot {
                 }
             }
             let (lo, lo_excl) = match n.interval.lo() {
-                Bound::Unbounded => (TOTAL_MIN, false),
+                Bound::Unbounded => (TotalF64::MIN.0, false),
                 Bound::Incl(v) => (*v, false),
                 Bound::Excl(v) => (*v, true),
             };
             let (hi, hi_excl) = match n.interval.hi() {
-                Bound::Unbounded => (TOTAL_MAX, false),
+                Bound::Unbounded => (TotalF64::MAX.0, false),
                 Bound::Incl(v) => (*v, false),
                 Bound::Excl(v) => (*v, true),
             };
@@ -157,11 +178,72 @@ fn classify(c: &Constraint) -> Slot {
     }
 }
 
+/// Effective total-order endpoints of a numeric slot (point constraints
+/// are the degenerate interval `[p, p]`); `None` for non-numeric slots.
+fn num_endpoints(slot: &Slot) -> Option<(TotalF64, TotalF64)> {
+    match slot {
+        Slot::NumEq(bits) => {
+            let p = TotalF64(f64::from_bits(*bits));
+            Some((p, p))
+        }
+        Slot::NumRange { lo, hi, .. } => Some((*lo, TotalF64(*hi))),
+        _ => None,
+    }
+}
+
+/// One row of the dual-endpoint containment structure. The stored
+/// interval travels with the key so that containment/overlap
+/// verification is data-local (no tree lookup per candidate); rows
+/// whose constraint carries `!=` exclusions defer to the authoritative
+/// constraint instead, because exclusions can flip the exact relation
+/// at interval boundaries.
+#[derive(Debug, Clone)]
+struct EndRow<K> {
+    key: K,
+    interval: Interval<f64>,
+    has_exclusions: bool,
+}
+
 fn drop_from_bucket<Q: Eq + Hash, K: PartialEq>(map: &mut HashMap<Q, Vec<K>>, slot: &Q, key: &K) {
     if let Some(keys) = map.get_mut(slot) {
         keys.retain(|k| k != key);
         if keys.is_empty() {
             map.remove(slot);
+        }
+    }
+}
+
+fn drop_from_tree<K: PartialEq>(
+    map: &mut BTreeMap<TotalF64, Vec<EndRow<K>>>,
+    at: TotalF64,
+    key: &K,
+) {
+    if let Some(rows) = map.get_mut(&at) {
+        rows.retain(|r| r.key != *key);
+        if rows.is_empty() {
+            map.remove(&at);
+        }
+    }
+}
+
+/// Runs two candidate enumerations in lock-step and returns whichever
+/// exhausts first.
+///
+/// Both iterators enumerate (from opposite endpoint maps) a superset of
+/// the same target set, so either one alone is a valid candidate set;
+/// racing them bounds the work by twice the *smaller* enumeration
+/// without knowing in advance which side is more selective.
+fn min_side<K>(mut a: impl Iterator<Item = K>, mut b: impl Iterator<Item = K>) -> Vec<K> {
+    let mut av = Vec::new();
+    let mut bv = Vec::new();
+    loop {
+        match a.next() {
+            Some(k) => av.push(k),
+            None => return av,
+        }
+        match b.next() {
+            Some(k) => bv.push(k),
+            None => return bv,
         }
     }
 }
@@ -175,6 +257,12 @@ struct AttrIndex<K> {
     cons: BTreeMap<K, Constraint>,
     num_eq: HashMap<u64, Vec<K>>,
     num_lo: BTreeMap<TotalF64, Vec<NumRow<K>>>,
+    /// Every numeric constraint (points included), keyed by its
+    /// effective lower endpoint: one half of the dual-endpoint
+    /// containment structure (module docs).
+    by_lo: BTreeMap<TotalF64, Vec<EndRow<K>>>,
+    /// The same rows keyed by their effective upper endpoint.
+    by_hi: BTreeMap<TotalF64, Vec<EndRow<K>>>,
     str_eq: HashMap<String, Vec<K>>,
     str_pre: HashMap<String, Vec<K>>,
     present: Vec<K>,
@@ -187,6 +275,8 @@ impl<K: IndexKey> AttrIndex<K> {
             cons: BTreeMap::new(),
             num_eq: HashMap::new(),
             num_lo: BTreeMap::new(),
+            by_lo: BTreeMap::new(),
+            by_hi: BTreeMap::new(),
             str_eq: HashMap::new(),
             str_pre: HashMap::new(),
             present: Vec::new(),
@@ -196,7 +286,17 @@ impl<K: IndexKey> AttrIndex<K> {
 
     fn insert(&mut self, key: K, c: &Constraint) {
         self.cons.insert(key, c.clone());
-        match classify(c) {
+        let slot = classify(c);
+        if let (Some((lo, hi)), Constraint::Num(n)) = (num_endpoints(&slot), c) {
+            let row = EndRow {
+                key,
+                interval: n.interval.clone(),
+                has_exclusions: !n.excluded.is_empty(),
+            };
+            self.by_lo.entry(lo).or_default().push(row.clone());
+            self.by_hi.entry(hi).or_default().push(row);
+        }
+        match slot {
             Slot::Present => self.present.push(key),
             Slot::NumEq(bits) => self.num_eq.entry(bits).or_default().push(key),
             Slot::NumRange {
@@ -222,7 +322,12 @@ impl<K: IndexKey> AttrIndex<K> {
         let Some(c) = self.cons.remove(&key) else {
             return;
         };
-        match classify(&c) {
+        let slot = classify(&c);
+        if let Some((lo, hi)) = num_endpoints(&slot) {
+            drop_from_tree(&mut self.by_lo, lo, &key);
+            drop_from_tree(&mut self.by_hi, hi, &key);
+        }
+        match slot {
             Slot::Present => self.present.retain(|k| *k != key),
             Slot::NumEq(bits) => drop_from_bucket(&mut self.num_eq, &bits, &key),
             Slot::NumRange { lo, .. } => {
@@ -300,6 +405,166 @@ impl<K: IndexKey> AttrIndex<K> {
                 bump(k);
             }
         }
+    }
+
+    /// Numeric candidates from the dual-endpoint maps: rows whose
+    /// effective endpoints pass the inclusive prune conditions
+    /// `lo ≤ lo_max` and `hi ≥ hi_min` (module docs), enumerated from
+    /// whichever endpoint map is more selective.
+    fn num_candidates(&self, lo_max: TotalF64, hi_min: TotalF64) -> Vec<&EndRow<K>> {
+        min_side(
+            self.by_lo
+                .range(..=lo_max)
+                .flat_map(|(_, rows)| rows.iter()),
+            self.by_hi.range(hi_min..).flat_map(|(_, rows)| rows.iter()),
+        )
+    }
+
+    /// The flipped prune (`lo ≥ lo_min`, `hi ≤ hi_max`): candidate
+    /// rows *contained in* the queried endpoint window.
+    fn num_contained_candidates(&self, lo_min: TotalF64, hi_max: TotalF64) -> Vec<&EndRow<K>> {
+        min_side(
+            self.by_lo.range(lo_min..).flat_map(|(_, rows)| rows.iter()),
+            self.by_hi
+                .range(..=hi_max)
+                .flat_map(|(_, rows)| rows.iter()),
+        )
+    }
+
+    /// String/bool/exotic rows, verified against `check`. Booleans and
+    /// exotic string shapes share the `other` bucket, so both the
+    /// string and the bool query kinds sweep it; `check` is the
+    /// authoritative relation and rejects cross-kind rows.
+    fn non_num_verified(
+        &self,
+        strings: bool,
+        check: &mut impl FnMut(K) -> bool,
+        bump: &mut impl FnMut(K),
+    ) {
+        if strings {
+            for keys in self.str_eq.values().chain(self.str_pre.values()) {
+                for &k in keys {
+                    if check(k) {
+                        bump(k);
+                    }
+                }
+            }
+        }
+        for &k in &self.other {
+            if check(k) {
+                bump(k);
+            }
+        }
+    }
+
+    /// Calls `bump(key)` once per key whose constraint on this
+    /// attribute covers `qc`. Exact per [`Constraint::covers`].
+    fn count_covering(&self, qc: &Constraint, bump: &mut impl FnMut(K)) {
+        // A presence constraint covers every satisfiable constraint.
+        for &k in &self.present {
+            bump(k);
+        }
+        let mut check = |k: K| self.cons[&k].covers(qc);
+        match qc {
+            // Only `Present` covers `Present` (already bumped above).
+            Constraint::Present => {}
+            Constraint::Num(n) => {
+                let (ql, qh) = n.interval.total_endpoints();
+                for r in self.num_candidates(ql, qh) {
+                    // Exclusion-free stored rows verify from the row
+                    // itself: covering is pure interval containment
+                    // (stored exclusions are what make `covers` more
+                    // than that, and the query's own exclusions never
+                    // weaken it).
+                    let hit = if r.has_exclusions {
+                        check(r.key)
+                    } else {
+                        n.interval.is_subset(&r.interval)
+                    };
+                    if hit {
+                        bump(r.key);
+                    }
+                }
+            }
+            Constraint::Str(_) => self.non_num_verified(true, &mut check, bump),
+            Constraint::Bool(_) => self.non_num_verified(false, &mut check, bump),
+            // Satisfiable query filters never carry empty constraints.
+            Constraint::Empty => unreachable!("empty constraints are not queried"),
+        }
+    }
+
+    /// Calls `bump(key)` once per key whose constraint on this
+    /// attribute is covered by `qc`. Exact per [`Constraint::covers`].
+    fn count_covered_by(&self, qc: &Constraint, bump: &mut impl FnMut(K)) {
+        let mut check = |k: K| qc.covers(&self.cons[&k]);
+        match qc {
+            // `Present` covers every stored constraint on the attribute.
+            Constraint::Present => {
+                for &k in self.cons.keys() {
+                    bump(k);
+                }
+            }
+            Constraint::Num(n) => {
+                let (ql, qh) = n.interval.total_endpoints();
+                // An exclusion-free *query* covers exactly the rows
+                // whose interval it contains (stored exclusions only
+                // shrink the row); with query exclusions the boundary
+                // cases need the authoritative constraint.
+                let q_clean = n.excluded.is_empty();
+                for r in self.num_contained_candidates(ql, qh) {
+                    let hit = if q_clean {
+                        r.interval.is_subset(&n.interval)
+                    } else {
+                        check(r.key)
+                    };
+                    if hit {
+                        bump(r.key);
+                    }
+                }
+            }
+            Constraint::Str(_) => self.non_num_verified(true, &mut check, bump),
+            Constraint::Bool(_) => self.non_num_verified(false, &mut check, bump),
+            Constraint::Empty => unreachable!("empty constraints are not queried"),
+        }
+    }
+
+    /// Keys whose constraint on this attribute overlaps `qc`, sorted.
+    /// Exact per [`Constraint::overlaps`] (including its conservative
+    /// over-approximation for exotic string shapes).
+    fn overlap_qualified(&self, qc: &Constraint) -> Vec<K> {
+        // Presence overlaps everything, in both directions.
+        if matches!(qc, Constraint::Present) {
+            return self.cons.keys().copied().collect();
+        }
+        let mut out: Vec<K> = self.present.to_vec();
+        let mut check = |k: K| self.cons[&k].overlaps(qc);
+        let mut push = |k: K| out.push(k);
+        match qc {
+            Constraint::Num(n) => {
+                let (ql, qh) = n.interval.total_endpoints();
+                // Without exclusions on either side, constraint
+                // overlap is exactly interval overlap; a point-sized
+                // intersection that an exclusion deletes is the one
+                // case needing the authoritative relation.
+                let q_clean = n.excluded.is_empty();
+                for r in self.num_candidates(qh, ql) {
+                    let hit = if q_clean && !r.has_exclusions {
+                        r.interval.overlaps(&n.interval)
+                    } else {
+                        check(r.key)
+                    };
+                    if hit {
+                        push(r.key);
+                    }
+                }
+            }
+            Constraint::Str(_) => self.non_num_verified(true, &mut check, &mut push),
+            Constraint::Bool(_) => self.non_num_verified(false, &mut check, &mut push),
+            Constraint::Present => unreachable!("handled above"),
+            Constraint::Empty => unreachable!("empty constraints are not queried"),
+        }
+        out.sort_unstable();
+        out
     }
 }
 
@@ -442,31 +707,133 @@ impl<K: IndexKey> MatchIndex<K> {
 
     /// Keys of filters overlapping `filter`, sorted.
     ///
-    /// Works by *disqualification*: every satisfiable stored filter is
-    /// a candidate, and for each attribute the query constrains, the
-    /// stored filters whose constraint on that attribute fails
-    /// [`Constraint::overlaps`] are struck out. Attributes only one
-    /// side constrains never disqualify — exactly the
-    /// [`Filter::overlaps`] semantics.
+    /// A stored filter overlaps the query iff its constraint overlaps
+    /// the query's on *every attribute both sides constrain*;
+    /// attributes only one side constrains never disqualify — exactly
+    /// the [`Filter::overlaps`] semantics. Per shared attribute the
+    /// overlap-qualified keys come out of the dual-endpoint range scans
+    /// (module docs); the result is seeded from the attribute promising
+    /// the fewest survivors and filtered by the rest.
     pub fn overlapping(&self, filter: &Filter) -> Vec<K> {
         if !filter.is_satisfiable() {
             return Vec::new();
         }
-        let mut disqualified: HashSet<K> = HashSet::new();
+        // Per query attribute at least one stored filter constrains:
+        // the attribute index and its overlap-qualified keys.
+        let mut relevant: Vec<(&AttrIndex<K>, Vec<K>)> = filter
+            .constraints()
+            .filter_map(|(attr, qc)| {
+                self.attrs
+                    .get(attr)
+                    .map(|ai| (ai, ai.overlap_qualified(qc)))
+            })
+            .collect();
+        if relevant.is_empty() {
+            return self.sat.iter().copied().collect();
+        }
+        // The keys an attribute allows through are its qualified keys
+        // plus every key not constraining it at all, so the survivor
+        // count is bounded by |qualified| + (|sat| − |constraining|).
+        let seed = (0..relevant.len())
+            .min_by_key(|&i| relevant[i].1.len() + self.sat.len() - relevant[i].0.cons.len())
+            .expect("relevant is non-empty");
+        let (seed_ai, seed_q) = {
+            let (ai, q) = &mut relevant[seed];
+            (*ai, std::mem::take(q))
+        };
+        let mut out: Vec<K> = if seed_ai.cons.len() == self.sat.len() {
+            // Every satisfiable filter constrains the seed attribute.
+            seed_q
+        } else {
+            self.sat
+                .iter()
+                .copied()
+                .filter(|k| !seed_ai.cons.contains_key(k) || seed_q.binary_search(k).is_ok())
+                .collect()
+        };
+        for (i, (ai, q)) in relevant.iter().enumerate() {
+            if i == seed {
+                continue;
+            }
+            out.retain(|k| !ai.cons.contains_key(k) || q.binary_search(k).is_ok());
+        }
+        out
+    }
+
+    /// Keys of stored filters that *cover* `filter` (`stored.covers(filter)`),
+    /// sorted. Exact per [`Filter::covers`], including its sound-but-
+    /// incomplete string contract.
+    ///
+    /// Counting scheme: a stored filter covers the query iff every one
+    /// of its constraints covers the query's constraint on the same
+    /// attribute — so bumps only come from the query's attributes, and
+    /// a key qualifies when its bump count reaches its own arity.
+    /// Zero-arity filters cover everything; unsatisfiable queries are
+    /// covered by everything.
+    pub fn covering(&self, filter: &Filter) -> Vec<K> {
+        if !filter.is_satisfiable() {
+            let mut out: Vec<K> = self.filters.keys().copied().collect();
+            out.sort_unstable();
+            return out;
+        }
+        let mut out: Vec<K> = self.zero.iter().copied().collect();
+        let mut counts: HashMap<K, usize> = HashMap::new();
         for (attr, qc) in filter.constraints() {
             if let Some(ai) = self.attrs.get(attr) {
-                for (k, c) in &ai.cons {
-                    if !c.overlaps(qc) {
-                        disqualified.insert(*k);
-                    }
-                }
+                ai.count_covering(qc, &mut |k| *counts.entry(k).or_insert(0) += 1);
             }
         }
-        self.sat
-            .iter()
-            .copied()
-            .filter(|k| !disqualified.contains(k))
-            .collect()
+        for (k, n) in counts {
+            if self.arity.get(&k) == Some(&n) {
+                out.push(k);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Keys of stored filters `filter` covers (`filter.covers(stored)`),
+    /// sorted — the active-retraction / covering-release candidate set.
+    ///
+    /// Counting scheme: the query covers a satisfiable stored filter
+    /// iff the stored filter carries a covered constraint on *every*
+    /// query attribute, so a key qualifies when its bump count reaches
+    /// the query's arity. Unsatisfiable stored filters are covered by
+    /// anything; a zero-arity satisfiable query covers everything.
+    pub fn covered_by(&self, filter: &Filter) -> Vec<K> {
+        let mut out: Vec<K> = self.unsat.iter().copied().collect();
+        if !filter.is_satisfiable() {
+            return out; // BTreeSet iteration order: already sorted
+        }
+        if filter.arity() == 0 {
+            let mut out: Vec<K> = self.filters.keys().copied().collect();
+            out.sort_unstable();
+            return out;
+        }
+        if filter.arity() == 1 {
+            // Single-attribute query: every bump qualifies outright
+            // (each attribute bumps a key at most once), so the
+            // counting map is pure overhead on the release hot path.
+            let (attr, qc) = filter.constraints().next().expect("arity 1");
+            if let Some(ai) = self.attrs.get(attr) {
+                ai.count_covered_by(qc, &mut |k| out.push(k));
+            }
+            out.sort_unstable();
+            return out;
+        }
+        let mut counts: HashMap<K, usize> = HashMap::new();
+        for (attr, qc) in filter.constraints() {
+            if let Some(ai) = self.attrs.get(attr) {
+                ai.count_covered_by(qc, &mut |k| *counts.entry(k).or_insert(0) += 1);
+            }
+        }
+        for (k, n) in counts {
+            if n == filter.arity() {
+                out.push(k);
+            }
+        }
+        out.sort_unstable();
+        out
     }
 }
 
@@ -488,6 +855,22 @@ mod tests {
         table
             .iter()
             .filter(|(_, f)| f.overlaps(q))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    fn linear_covering(table: &BTreeMap<u32, Filter>, q: &Filter) -> Vec<u32> {
+        table
+            .iter()
+            .filter(|(_, f)| f.covers(q))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    fn linear_covered_by(table: &BTreeMap<u32, Filter>, q: &Filter) -> Vec<u32> {
+        table
+            .iter()
+            .filter(|(_, f)| q.covers(f))
             .map(|(k, _)| *k)
             .collect()
     }
@@ -568,6 +951,64 @@ mod tests {
     }
 
     #[test]
+    fn covering_agrees_with_linear_scan() {
+        let (table, ix) = build(assorted_filters());
+        for q in assorted_filters() {
+            assert_eq!(ix.covering(&q), linear_covering(&table, &q), "query {q}");
+            assert_eq!(
+                ix.covered_by(&q),
+                linear_covered_by(&table, &q),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn covering_endpoint_edge_cases() {
+        // Exercises the inclusive-prune / exact-verify boundary: open
+        // vs closed bounds meeting at the same endpoint, unbounded
+        // sides, exclusions sitting on interval edges, and point
+        // constraints as degenerate intervals.
+        let (table, ix) = build(vec![
+            Filter::builder().ge("x", 0).le("x", 10).build(),
+            Filter::builder().gt("x", 0).le("x", 10).build(),
+            Filter::builder().ge("x", 0).lt("x", 10).build(),
+            Filter::builder().ge("x", 0).le("x", 10).ne("x", 0).build(),
+            Filter::builder().ge("x", 0).le("x", 10).ne("x", 5).build(),
+            Filter::builder().ge("x", 0).build(),
+            Filter::builder().le("x", 10).build(),
+            Filter::builder().eq("x", 0).build(),
+            Filter::builder().eq("x", 10).build(),
+            Filter::builder().any("x").build(),
+            Filter::new(vec![]),
+        ]);
+        let queries = [
+            Filter::builder().ge("x", 0).le("x", 10).build(),
+            Filter::builder().gt("x", 0).lt("x", 10).build(),
+            Filter::builder().ge("x", 0).le("x", 10).ne("x", 10).build(),
+            Filter::builder().eq("x", 0).build(),
+            Filter::builder().eq("x", 10).build(),
+            Filter::builder().ge("x", 2).le("x", 8).build(),
+            Filter::builder().ge("x", 2).le("x", 8).ne("x", 5).build(),
+            Filter::builder().ge("x", 0).build(),
+            Filter::builder().any("x").build(),
+        ];
+        for q in queries {
+            assert_eq!(ix.covering(&q), linear_covering(&table, &q), "query {q}");
+            assert_eq!(
+                ix.covered_by(&q),
+                linear_covered_by(&table, &q),
+                "query {q}"
+            );
+            assert_eq!(
+                ix.overlapping(&q),
+                linear_overlapping(&table, &q),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
     fn churn_keeps_index_consistent() {
         let filters = assorted_filters();
         let (mut table, mut ix) = build(filters.clone());
@@ -591,6 +1032,8 @@ mod tests {
         }
         for q in filters.iter() {
             assert_eq!(ix.overlapping(q), linear_overlapping(&table, q));
+            assert_eq!(ix.covering(q), linear_covering(&table, q));
+            assert_eq!(ix.covered_by(q), linear_covered_by(&table, q));
         }
     }
 

@@ -83,19 +83,41 @@ impl std::fmt::Debug for TcpNetwork {
 }
 
 impl TcpNetwork {
-    /// Binds one loopback listener per broker, connects every overlay
-    /// edge, and starts the broker threads.
+    /// Binds one loopback listener per broker on an ephemeral port,
+    /// connects every overlay edge, and starts the broker threads.
     ///
     /// # Errors
     ///
-    /// Propagates socket bind/connect errors.
+    /// Propagates socket bind/connect and thread-spawn errors; any
+    /// threads already started are shut down and joined before the
+    /// error is returned.
     pub fn start(topology: Topology, config: MobileBrokerConfig) -> io::Result<TcpNetwork> {
+        Self::start_with(topology, config, |_| "127.0.0.1:0".to_string())
+    }
+
+    /// Like [`TcpNetwork::start`], but binds each broker's listener at
+    /// the address chosen by `bind_addr` (e.g. fixed ports for a
+    /// firewall-pinned deployment). Port `0` picks an ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/connect and thread-spawn errors — a
+    /// colliding or unbindable address reports `AddrInUse` (or the
+    /// underlying error) instead of aborting the process.
+    pub fn start_with(
+        topology: Topology,
+        config: MobileBrokerConfig,
+        mut bind_addr: impl FnMut(BrokerId) -> String,
+    ) -> io::Result<TcpNetwork> {
         let topology = Arc::new(topology);
-        // Phase 1: bind all listeners on ephemeral loopback ports.
+        // Phase 1: bind all listeners.
         let mut listeners: BTreeMap<BrokerId, TcpListener> = BTreeMap::new();
         let mut addrs: BTreeMap<BrokerId, std::net::SocketAddr> = BTreeMap::new();
         for b in topology.brokers() {
-            let l = TcpListener::bind("127.0.0.1:0")?;
+            let addr = bind_addr(b);
+            let l = TcpListener::bind(&addr).map_err(|e| {
+                io::Error::new(e.kind(), format!("bind broker {b} listener at {addr}: {e}"))
+            })?;
             addrs.insert(b, l.local_addr()?);
             listeners.insert(b, l);
         }
@@ -146,36 +168,42 @@ impl TcpNetwork {
                 .or_default()
                 .insert(b, Arc::new(Mutex::new(BufWriter::new(dial.try_clone()?))));
             sockets.push(dial.try_clone()?);
-            reader_handles.push(spawn_reader(a, dial, Arc::clone(&shared)));
+            reader_handles.push(spawn_reader(a, dial, Arc::clone(&shared))?);
             // b's side: writes on `accepted`, reads frames from a.
             links.entry(b).or_default().insert(
                 a,
                 Arc::new(Mutex::new(BufWriter::new(accepted.try_clone()?))),
             );
             sockets.push(accepted.try_clone()?);
-            reader_handles.push(spawn_reader(b, accepted, Arc::clone(&shared)));
+            reader_handles.push(spawn_reader(b, accepted, Arc::clone(&shared))?);
         }
         drop(listeners);
-        // Phase 3: broker threads.
-        let mut handles = reader_handles;
+        // Phase 3: broker threads. From here on `net`'s Drop handles
+        // cleanup (shutdown + join of everything started so far) if a
+        // later spawn fails.
+        let mut net = TcpNetwork {
+            shared,
+            handles: reader_handles,
+            sockets,
+        };
         for b in topology.brokers() {
-            let rx = input_rx.remove(&b).expect("input channel");
+            let Some(rx) = input_rx.remove(&b) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no input channel for broker {b}"),
+                ));
+            };
             let writers = links.remove(&b).unwrap_or_default();
-            let shared2 = Arc::clone(&shared);
+            let shared2 = Arc::clone(&net.shared);
             let topology2 = Arc::clone(&topology);
             let config2 = config.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("tcp-broker-{b}"))
-                    .spawn(move || tcp_broker_main(b, topology2, config2, rx, writers, shared2))
-                    .expect("spawn broker thread"),
-            );
+            let handle = std::thread::Builder::new()
+                .name(format!("tcp-broker-{b}"))
+                .spawn(move || tcp_broker_main(b, topology2, config2, rx, writers, shared2))
+                .map_err(|e| io::Error::new(e.kind(), format!("spawn broker thread {b}: {e}")))?;
+            net.handles.push(handle);
         }
-        Ok(TcpNetwork {
-            shared,
-            handles,
-            sockets,
-        })
+        Ok(net)
     }
 
     /// Creates (attaches and starts) a client at `broker`, returning
@@ -313,7 +341,11 @@ impl TcpClient {
 
 /// Reads JSON frames from one socket and feeds them to the owning
 /// broker's input channel. Exits on EOF or socket error.
-fn spawn_reader(owner: BrokerId, stream: TcpStream, shared: Arc<Shared>) -> JoinHandle<()> {
+fn spawn_reader(
+    owner: BrokerId,
+    stream: TcpStream,
+    shared: Arc<Shared>,
+) -> io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("tcp-reader-{owner}"))
         .spawn(move || {
@@ -331,7 +363,7 @@ fn spawn_reader(owner: BrokerId, stream: TcpStream, shared: Arc<Shared>) -> Join
                 }
             }
         })
-        .expect("spawn reader thread")
+        .map_err(|e| io::Error::new(e.kind(), format!("spawn reader thread for {owner}: {e}")))
 }
 
 fn tcp_broker_main(
@@ -471,6 +503,46 @@ mod tests {
         assert!(s.move_to(b(2), ProtocolKind::Covering, Duration::from_secs(10)));
         p.publish(Publication::new().with("x", 3));
         assert!(s.recv_timeout(Duration::from_secs(3)).is_some());
+        net.shutdown();
+    }
+
+    #[test]
+    fn colliding_port_reports_error_instead_of_aborting() {
+        // Occupy a loopback port, then ask the overlay to bind every
+        // broker on it: construction must surface the bind error (it
+        // used to abort the process via `expect`).
+        let occupied = TcpListener::bind("127.0.0.1:0").expect("bind blocker");
+        let addr = occupied.local_addr().expect("blocker addr").to_string();
+        let err =
+            TcpNetwork::start_with(Topology::chain(3), MobileBrokerConfig::reconfig(), |_| {
+                addr.clone()
+            })
+            .expect_err("colliding bind must fail");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse, "{err}");
+        assert!(
+            err.to_string().contains("bind broker"),
+            "error lacks broker context: {err}"
+        );
+    }
+
+    #[test]
+    fn late_collision_cleans_up_earlier_listeners() {
+        // First broker binds an ephemeral port, a later one collides:
+        // the partial construction must tear down without hanging and
+        // a subsequent start on fresh ports must succeed.
+        let occupied = TcpListener::bind("127.0.0.1:0").expect("bind blocker");
+        let addr = occupied.local_addr().expect("blocker addr").to_string();
+        let err = TcpNetwork::start_with(Topology::chain(3), MobileBrokerConfig::reconfig(), |b| {
+            if b == BrokerId(2) {
+                addr.clone()
+            } else {
+                "127.0.0.1:0".to_string()
+            }
+        })
+        .expect_err("colliding bind must fail");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse, "{err}");
+        let net = TcpNetwork::start(Topology::chain(3), MobileBrokerConfig::reconfig())
+            .expect("fresh ephemeral start succeeds after failed attempt");
         net.shutdown();
     }
 

@@ -10,3 +10,7 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+# Bench smoke: compile every criterion bench and run each benchmark
+# for a single iteration (CRITERION_QUICK, see vendor/criterion) so
+# bench code cannot silently rot between perf PRs.
+CRITERION_QUICK=1 cargo bench -p transmob-bench -q

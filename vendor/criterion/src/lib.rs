@@ -12,6 +12,11 @@
 //! line per benchmark (`{"group":..,"bench":..,"ns_per_iter":..}`) is
 //! appended to it, which is how this repo records `BENCH_*.json`
 //! baselines.
+//!
+//! Setting `CRITERION_QUICK` (any value) collapses the measurement
+//! window to a single iteration per benchmark: a CI smoke mode that
+//! proves every bench still compiles and runs without paying for
+//! calibrated timings (the numbers it prints are meaningless).
 
 use std::fmt::Display;
 use std::io::Write as _;
@@ -142,6 +147,7 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up and calibration: find an iteration count that fills
         // the measurement window.
+        let window = measurement_window();
         let mut n: u64 = 1;
         loop {
             let start = Instant::now();
@@ -149,13 +155,12 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = start.elapsed();
-            if elapsed >= MEASUREMENT_WINDOW || n >= 1 << 30 {
+            if elapsed >= window || n >= 1 << 30 {
                 self.total = elapsed;
                 self.iters = n;
                 return;
             }
-            let factor = (MEASUREMENT_WINDOW.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
-                .clamp(1.5, 100.0);
+            let factor = (window.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).clamp(1.5, 100.0);
             n = ((n as f64) * factor).ceil() as u64;
         }
     }
@@ -168,6 +173,7 @@ impl Bencher {
         mut routine: R,
         _size: BatchSize,
     ) {
+        let window = measurement_window();
         let mut n: u64 = 1;
         loop {
             let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
@@ -176,19 +182,26 @@ impl Bencher {
                 black_box(routine(input));
             }
             let elapsed = start.elapsed();
-            if elapsed >= MEASUREMENT_WINDOW || n >= 1 << 24 {
+            if elapsed >= window || n >= 1 << 24 {
                 self.total = elapsed;
                 self.iters = n;
                 return;
             }
-            let factor = (MEASUREMENT_WINDOW.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
-                .clamp(1.5, 100.0);
+            let factor = (window.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).clamp(1.5, 100.0);
             n = ((n as f64) * factor).ceil() as u64;
         }
     }
 }
 
-const MEASUREMENT_WINDOW: Duration = Duration::from_millis(60);
+/// Zero under `CRITERION_QUICK` (every calibration loop exits after
+/// its first single-iteration pass), ~60 ms otherwise.
+fn measurement_window() -> Duration {
+    if std::env::var_os("CRITERION_QUICK").is_some() {
+        Duration::ZERO
+    } else {
+        Duration::from_millis(60)
+    }
+}
 
 fn run_bench(group: &str, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
