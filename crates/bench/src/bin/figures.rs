@@ -141,10 +141,7 @@ fn fig5(o: &Opts) {
     let path = o.out.join("fig5.dot");
     fs::write(&path, &dot).expect("write dot");
     println!("  [saved {}]", path.display());
-    let failures = explore(ExploreConfig {
-        allow_reject: true,
-        with_failures: true,
-    });
+    let failures = explore(ExploreConfig::failures());
     failures
         .check_final_states()
         .expect("property (1) w/ crashes");

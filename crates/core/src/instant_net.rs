@@ -373,3 +373,21 @@ impl InstantNet {
         self.brokers.iter()
     }
 }
+
+impl crate::properties::NetworkView for InstantNet {
+    fn view_topology(&self) -> &Topology {
+        self.topology()
+    }
+
+    fn view_broker_ids(&self) -> Vec<BrokerId> {
+        self.brokers.keys().copied().collect()
+    }
+
+    fn view_broker(&self, id: BrokerId) -> &MobileBroker {
+        self.broker(id)
+    }
+
+    fn view_find_client(&self, client: ClientId) -> Option<BrokerId> {
+        self.find_client(client)
+    }
+}

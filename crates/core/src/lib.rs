@@ -53,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod client_stub;
+pub mod durability;
 pub mod instant_net;
 pub mod messages;
 pub mod mobile_broker;
@@ -62,6 +63,9 @@ pub mod properties;
 pub mod states;
 
 pub use client_stub::{DeliverOutcome, HostedClient};
+pub use durability::{
+    DurabilityLog, DurabilityRecord, LoggedInput, MemoryLog, DURABILITY_FORMAT_VERSION,
+};
 pub use instant_net::{ArmedTimer, InstantNet, NetEvent};
 pub use messages::{
     ClientOp, ClientProfile, ClientSnapshot, Message, MoveMsg, Output, ProtocolKind, TimerKind,
@@ -69,4 +73,5 @@ pub use messages::{
 };
 pub use mobile_broker::{MobileBroker, MobileBrokerConfig};
 pub use persistence::BrokerSnapshot;
+pub use properties::NetworkView;
 pub use states::{ClientState, SourceCoordState, TargetCoordState};

@@ -25,17 +25,19 @@
 //! them.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 use transmob_broker::{BrokerConfig, BrokerCore, BrokerOutput, Hop, PubSubMsg, Topology};
 use transmob_pubsub::{BrokerId, ClientId, MoveId, PublicationMsg, SubId};
 
 use crate::client_stub::{DeliverOutcome, HostedClient};
+use crate::durability::{DurabilityLog, DurabilityRecord, LoggedInput, DURABILITY_FORMAT_VERSION};
 use crate::messages::{
     ClientOp, ClientProfile, ClientSnapshot, Message, MoveMsg, Output, ProtocolKind, TimerKind,
     TimerToken,
 };
+use crate::persistence::BrokerSnapshot;
 use crate::states::{ClientState, SourceCoordState, TargetCoordState};
 
 /// Configuration of a [`MobileBroker`].
@@ -48,25 +50,37 @@ pub struct MobileBrokerConfig {
     pub accept_moves: bool,
     /// Source-side timeout waiting for `approve`/`reject`
     /// (non-blocking 3PC under bounded delay). `None` = blocking
-    /// variant.
+    /// variant: a partitioned or crashed target wedges the source
+    /// coordinator (and its paused client) indefinitely, so blocking
+    /// is an explicit opt-in via [`MobileBrokerConfig::blocking`].
     pub negotiate_timeout_ns: Option<u64>,
     /// Target-side timeout waiting for `state`. `None` = blocking
-    /// variant. Must exceed the network's delay bound; see DESIGN.md.
+    /// variant (opt-in, see [`MobileBrokerConfig::blocking`]). Must
+    /// exceed the network's delay bound; see DESIGN.md.
     pub state_timeout_ns: Option<u64>,
     /// Covering-protocol ablation: reissue at the target *before*
     /// retracting at the source (make-before-break), trading duplicate
     /// suppression work for no message loss.
     pub make_before_break: bool,
+    /// With a [`DurabilityLog`] attached, checkpoint (snapshot +
+    /// truncate) after this many logged inputs. `0` disables periodic
+    /// checkpoints (explicit [`MobileBroker::checkpoint_now`] only).
+    pub checkpoint_every: u32,
 }
+
+/// Default movement-protocol timeout: far above any simulated or
+/// loopback delay bound, far below "wedged forever".
+const DEFAULT_MOVE_TIMEOUT_NS: u64 = 30_000_000_000; // 30 s
 
 impl Default for MobileBrokerConfig {
     fn default() -> Self {
         MobileBrokerConfig {
             broker: BrokerConfig::plain(),
             accept_moves: true,
-            negotiate_timeout_ns: None,
-            state_timeout_ns: None,
+            negotiate_timeout_ns: Some(DEFAULT_MOVE_TIMEOUT_NS),
+            state_timeout_ns: Some(DEFAULT_MOVE_TIMEOUT_NS),
             make_before_break: false,
+            checkpoint_every: 64,
         }
     }
 }
@@ -83,6 +97,17 @@ impl MobileBrokerConfig {
             broker: BrokerConfig::covering(),
             ..MobileBrokerConfig::default()
         }
+    }
+
+    /// The blocking 3PC variant: no protocol timeouts at all. The
+    /// paper's base protocol — movements never spuriously abort, but a
+    /// crashed or partitioned peer wedges the coordinator until the
+    /// peer returns. Opt-in; the default is the non-blocking variant
+    /// with 30-second timeouts on both sides.
+    pub fn blocking(mut self) -> Self {
+        self.negotiate_timeout_ns = None;
+        self.state_timeout_ns = None;
+        self
     }
 }
 
@@ -125,6 +150,11 @@ type PathMove = PathMoveRecord;
 /// A broker with its mobile container (coordinator + hosted clients).
 ///
 /// See the module docs for the protocol walk-throughs.
+///
+/// Cloning a broker with a [`DurabilityLog`] attached shares the log
+/// handle (a clone is a replica of the state machine, not of its
+/// storage); detach-by-default drivers that clone for benchmarking
+/// never attach one.
 #[derive(Debug, Clone)]
 pub struct MobileBroker {
     core: BrokerCore,
@@ -136,6 +166,11 @@ pub struct MobileBroker {
     path_moves: BTreeMap<MoveId, PathMove>,
     next_move_seq: u32,
     anomalies: u64,
+    /// Write-ahead durability, if attached (never serialized).
+    log: Option<Arc<Mutex<dyn DurabilityLog>>>,
+    /// Input nesting depth: only depth-0 (external) inputs are logged.
+    input_depth: u32,
+    records_since_checkpoint: u32,
 }
 
 impl MobileBroker {
@@ -157,6 +192,9 @@ impl MobileBroker {
             path_moves: BTreeMap::new(),
             next_move_seq: 0,
             anomalies: 0,
+            log: None,
+            input_depth: 0,
+            records_since_checkpoint: 0,
         }
     }
 
@@ -194,8 +232,170 @@ impl MobileBroker {
 
     /// Creates (attaches and starts) a fresh client at this broker.
     pub fn create_client(&mut self, id: ClientId) {
+        let outer = self.begin_input(|| LoggedInput::CreateClient { client: id });
         self.clients.insert(id, HostedClient::started(id));
         self.core.attach_client(id);
+        self.end_input(outer);
+    }
+
+    // ================= durability =====================================
+
+    /// Attaches a write-ahead [`DurabilityLog`]: the broker immediately
+    /// checkpoints its current state into it (the recovery base), then
+    /// appends every external input before applying it and checkpoints
+    /// again every [`MobileBrokerConfig::checkpoint_every`] inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the initial checkpoint's storage error; on error the
+    /// log is not attached.
+    pub fn attach_durability(&mut self, log: Arc<Mutex<dyn DurabilityLog>>) -> std::io::Result<()> {
+        {
+            let snapshot = self.snapshot();
+            let mut guard = log.lock().expect("durability log poisoned");
+            guard.checkpoint(&snapshot)?;
+        }
+        self.records_since_checkpoint = 0;
+        self.log = Some(log);
+        Ok(())
+    }
+
+    /// Whether a [`DurabilityLog`] is attached.
+    pub fn has_durability(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Forces a checkpoint (snapshot + log truncation) now. No-op
+    /// without an attached log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors; the previous checkpoint stays valid.
+    pub fn checkpoint_now(&mut self) -> std::io::Result<()> {
+        let Some(log) = self.log.clone() else {
+            return Ok(());
+        };
+        let snapshot = self.snapshot();
+        log.lock()
+            .expect("durability log poisoned")
+            .checkpoint(&snapshot)?;
+        self.records_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Rebuilds a broker from its last checkpoint plus the inputs
+    /// logged since, then re-arms the timers any in-flight movement
+    /// needs: a source coordinator recovered in `Wait` gets its
+    /// negotiate timer back, a target coordinator recovered in
+    /// `Prepare` its state timer — without them a movement whose
+    /// messages died with the crash would wedge instead of aborting.
+    ///
+    /// Replay applies each input through the normal handlers and
+    /// discards the regenerated outputs (the pre-crash execution
+    /// already emitted them; at-least-once redelivery of the ones the
+    /// crash destroyed is the driver's concern). The recovered broker
+    /// has no log attached — call [`MobileBroker::attach_durability`]
+    /// again to resume logging (which re-checkpoints, establishing the
+    /// new base).
+    ///
+    /// Returns the broker and the `SetTimer` outputs to arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's broker id is not in `topology` or a
+    /// record's version tag is not [`DURABILITY_FORMAT_VERSION`].
+    pub fn recover(
+        topology: Arc<Topology>,
+        config: MobileBrokerConfig,
+        checkpoint: BrokerSnapshot,
+        records: &[DurabilityRecord],
+    ) -> (MobileBroker, Vec<Output>) {
+        let mut broker = MobileBroker::restore(topology, config, checkpoint);
+        for rec in records {
+            assert_eq!(
+                rec.v, DURABILITY_FORMAT_VERSION,
+                "unknown durability record version {}",
+                rec.v
+            );
+            match rec.input.clone() {
+                LoggedInput::Message { from, msg } => {
+                    let _ = broker.handle(from, msg);
+                }
+                LoggedInput::ClientOp { client, op } => {
+                    let _ = broker.client_op(client, op);
+                }
+                LoggedInput::Timer { token } => {
+                    let _ = broker.handle_timer(token);
+                }
+                LoggedInput::CreateClient { client } => broker.create_client(client),
+            }
+        }
+        let timers = broker.rearm_timers();
+        (broker, timers)
+    }
+
+    /// The `SetTimer` outputs an in-flight movement needs after
+    /// recovery (timers are volatile — they die with the process).
+    fn rearm_timers(&self) -> Vec<Output> {
+        let mut out = Vec::new();
+        if let Some(delay_ns) = self.config.negotiate_timeout_ns {
+            for (m, rec) in &self.src_moves {
+                if rec.state == SourceCoordState::Wait {
+                    out.push(Output::SetTimer {
+                        token: TimerToken {
+                            m: *m,
+                            kind: TimerKind::Negotiate,
+                        },
+                        delay_ns,
+                    });
+                }
+            }
+        }
+        if let Some(delay_ns) = self.config.state_timeout_ns {
+            for (m, rec) in &self.tgt_moves {
+                if rec.state == TargetCoordState::Prepare {
+                    out.push(Output::SetTimer {
+                        token: TimerToken {
+                            m: *m,
+                            kind: TimerKind::State,
+                        },
+                        delay_ns,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Enters one input frame. At depth 0 (an *external* input — not a
+    /// handler re-issuing a command internally) the input is appended
+    /// to the attached log before anything is applied (write-ahead).
+    fn begin_input(&mut self, make: impl FnOnce() -> LoggedInput) -> bool {
+        let outer = self.input_depth == 0;
+        self.input_depth += 1;
+        if outer {
+            if let Some(log) = &self.log {
+                let rec = DurabilityRecord::new(make());
+                log.lock()
+                    .expect("durability log poisoned")
+                    .append(&rec)
+                    .expect("durability append failed: refusing to run ahead of the log");
+                self.records_since_checkpoint += 1;
+            }
+        }
+        outer
+    }
+
+    /// Leaves an input frame; at depth 0 runs the periodic checkpoint.
+    fn end_input(&mut self, outer: bool) {
+        self.input_depth -= 1;
+        if outer
+            && self.config.checkpoint_every > 0
+            && self.records_since_checkpoint >= self.config.checkpoint_every
+        {
+            self.checkpoint_now()
+                .expect("durability checkpoint failed: refusing to run ahead of the log");
+        }
     }
 
     /// Sets whether this broker accepts incoming clients (the paper's
@@ -252,6 +452,9 @@ impl MobileBroker {
             path_moves: moves.path.into_iter().collect(),
             next_move_seq,
             anomalies: 0,
+            log: None,
+            input_depth: 0,
+            records_since_checkpoint: 0,
         }
     }
 
@@ -299,6 +502,16 @@ impl MobileBroker {
     /// Panics if the client is not hosted here (drivers address
     /// commands to the client's current broker).
     pub fn client_op(&mut self, client: ClientId, op: ClientOp) -> Vec<Output> {
+        let outer = self.begin_input(|| LoggedInput::ClientOp {
+            client,
+            op: op.clone(),
+        });
+        let out = self.client_op_apply(client, op);
+        self.end_input(outer);
+        out
+    }
+
+    fn client_op_apply(&mut self, client: ClientId, op: ClientOp) -> Vec<Output> {
         let stub = self
             .clients
             .get_mut(&client)
@@ -446,6 +659,16 @@ impl MobileBroker {
 
     /// Handles one incoming message from a neighbouring broker.
     pub fn handle(&mut self, from: Hop, msg: Message) -> Vec<Output> {
+        let outer = self.begin_input(|| LoggedInput::Message {
+            from,
+            msg: msg.clone(),
+        });
+        let out = self.handle_apply(from, msg);
+        self.end_input(outer);
+        out
+    }
+
+    fn handle_apply(&mut self, from: Hop, msg: Message) -> Vec<Output> {
         match msg {
             Message::PubSub(p) => {
                 let outs = self.core.handle(from, p);
@@ -533,6 +756,14 @@ impl MobileBroker {
         debug_assert_eq!(target, self.id());
         if !self.config.accept_moves {
             return self.forward_or_emit_toward(source, MoveMsg::Reject { m, source, target });
+        }
+        if self.tgt_moves.contains_key(&m) {
+            // Duplicate negotiate (wire duplication, or a retransmit
+            // replayed from a recovered peer's queue): the first one
+            // already created the copy — recreating it here would wipe
+            // whatever the copy has buffered during the prepare window.
+            self.anomalies += 1;
+            return Vec::new();
         }
         self.tgt_moves.insert(
             m,
@@ -769,6 +1000,14 @@ impl MobileBroker {
         // Target: commit, start the client, ack.
         match self.tgt_moves.get(&m).map(|r| r.state) {
             Some(TargetCoordState::Prepare) => {}
+            Some(TargetCoordState::Commit) => {
+                // Retransmitted/duplicated commit pass: the transfer
+                // already applied. Answering with an abort here would
+                // chase the ack down the path and tear a committed
+                // movement back open at the source.
+                self.anomalies += 1;
+                return Vec::new();
+            }
             _ => {
                 // Late state after a local abort: the client copy is
                 // gone. Undo the commit pass we cannot apply.
@@ -934,16 +1173,24 @@ impl MobileBroker {
                     });
                 }
             } else if let Some(rec) = self.tgt_moves.get_mut(&m) {
-                rec.state = TargetCoordState::Abort;
-                // Destroy the client copy.
-                self.clients.remove(&client);
-                self.core.detach_client(client);
-                out.push(Output::CancelTimer {
-                    token: TimerToken {
-                        m,
-                        kind: TimerKind::State,
-                    },
-                });
+                if rec.state == TargetCoordState::Commit {
+                    // A stale abort (e.g. triggered by a duplicated
+                    // negotiate replay at the source after cleanup)
+                    // must not destroy a copy that already committed
+                    // and runs here.
+                    self.anomalies += 1;
+                } else {
+                    rec.state = TargetCoordState::Abort;
+                    // Destroy the client copy.
+                    self.clients.remove(&client);
+                    self.core.detach_client(client);
+                    out.push(Output::CancelTimer {
+                        token: TimerToken {
+                            m,
+                            kind: TimerKind::State,
+                        },
+                    });
+                }
             }
         } else {
             out.push(Output::Send {
@@ -964,6 +1211,13 @@ impl MobileBroker {
 
     /// Handles a fired protocol timer (driver callback).
     pub fn handle_timer(&mut self, token: TimerToken) -> Vec<Output> {
+        let outer = self.begin_input(|| LoggedInput::Timer { token });
+        let out = self.handle_timer_apply(token);
+        self.end_input(outer);
+        out
+    }
+
+    fn handle_timer_apply(&mut self, token: TimerToken) -> Vec<Output> {
         match token.kind {
             TimerKind::Negotiate => {
                 let m = token.m;
@@ -1043,6 +1297,13 @@ impl MobileBroker {
         debug_assert_eq!(target, self.id());
         if !self.config.accept_moves {
             return self.forward_or_emit_toward(source, MoveMsg::Reject { m, source, target });
+        }
+        if self.tgt_moves.contains_key(&m) {
+            // Duplicate request: re-running the accept would re-arm the
+            // state timer and re-send the accept for a transaction that
+            // may have progressed past Prepare.
+            self.anomalies += 1;
+            return Vec::new();
         }
         self.tgt_moves.insert(
             m,

@@ -16,6 +16,16 @@
 //! With [`ExploreConfig::with_failures`], timeout-abort transitions are
 //! added (the non-blocking 3PC variant) and the same invariants are
 //! re-verified.
+//!
+//! With [`ExploreConfig::with_recovery`], crashes become *transient*:
+//! the durability log preserves the coordinator state and the input
+//! queue across the outage (messages addressed to a crashed container
+//! are held, not lost), and a recovery transition rebuilds the client
+//! copy from the logged coordinator state — the model of
+//! `MobileBroker::recover` over a `DurabilityLog`. Each side may crash
+//! at any point of the protocol, at most once per run (enough to cover
+//! every crash point while keeping the graph finite), and the same two
+//! safety claims plus progress are verified over the enlarged graph.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -74,6 +84,11 @@ pub struct Global {
     pub src_crashed: bool,
     /// The target container has crashed.
     pub tgt_crashed: bool,
+    /// The source already crashed and recovered once (recovery
+    /// variant; bounds the graph to one crash per side).
+    pub src_recovered: bool,
+    /// The target already crashed and recovered once.
+    pub tgt_recovered: bool,
 }
 
 impl Global {
@@ -88,6 +103,8 @@ impl Global {
             msgs: BTreeMap::new(),
             src_crashed: false,
             tgt_crashed: false,
+            src_recovered: false,
+            tgt_recovered: false,
         }
     }
 
@@ -146,6 +163,11 @@ pub struct ExploreConfig {
     /// Whether timeout-abort transitions are enabled (non-blocking
     /// variant).
     pub with_failures: bool,
+    /// Whether crashes are transient: a durability log holds the
+    /// coordinator state and the pending input queue across the
+    /// outage, and a recovery transition rebuilds the client copy
+    /// from the logged coordinator state. Implies `with_failures`.
+    pub with_recovery: bool,
 }
 
 impl ExploreConfig {
@@ -154,6 +176,27 @@ impl ExploreConfig {
         ExploreConfig {
             allow_reject: true,
             with_failures: false,
+            with_recovery: false,
+        }
+    }
+
+    /// Fail-stop crashes and timeouts, no recovery (a crashed
+    /// container stays down and its messages are lost).
+    pub fn failures() -> Self {
+        ExploreConfig {
+            allow_reject: true,
+            with_failures: true,
+            with_recovery: false,
+        }
+    }
+
+    /// Crash–recovery setting: each side may crash at any protocol
+    /// step and later restart from its durability log.
+    pub fn recovery() -> Self {
+        ExploreConfig {
+            allow_reject: true,
+            with_failures: true,
+            with_recovery: true,
         }
     }
 }
@@ -292,7 +335,9 @@ impl Exploration {
 }
 
 /// Explores the reachable global state graph by BFS.
-pub fn explore(config: ExploreConfig) -> Exploration {
+pub fn explore(mut config: ExploreConfig) -> Exploration {
+    // Recovery presupposes crashes.
+    config.with_failures |= config.with_recovery;
     let mut states = BTreeSet::new();
     let mut edges = Vec::new();
     let mut queue = VecDeque::from([Global::initial()]);
@@ -324,9 +369,11 @@ pub fn explore(config: ExploreConfig) -> Exploration {
 /// Enabled transitions of a global state under the Fig. 4 machines.
 fn successors(g: &Global, config: ExploreConfig) -> Vec<(String, Global)> {
     let mut out = Vec::new();
-    if g.src_crashed || g.tgt_crashed {
+    if (g.src_crashed || g.tgt_crashed) && !config.with_recovery {
         // Crashed containers absorb messages addressed to them (the
-        // messaging layer delivers into a dead queue).
+        // messaging layer delivers into a dead queue). Under the
+        // recovery variant the durable input queue holds them across
+        // the outage instead, so these transitions are disabled there.
         if g.src_crashed {
             for m in [
                 CoordMsg::Approve,
@@ -413,18 +460,61 @@ fn successors(g: &Global, config: ExploreConfig) -> Vec<(String, Global)> {
     }
     if config.with_failures {
         // Crash failures: a container (coordinator + its client copy —
-        // they fail together, Sec. 4.1) can crash mid-protocol.
-        if !g.src_crashed && matches!(g.src, SourceCoordState::Wait | SourceCoordState::Prepare) {
+        // they fail together, Sec. 4.1) can crash mid-protocol. In the
+        // fail-stop variant only the windows where a crash is
+        // interesting are modelled; in the recovery variant a side may
+        // crash at *any* coordinator state, at most once per run.
+        let src_crash_window = if config.with_recovery {
+            !g.src_recovered
+        } else {
+            matches!(g.src, SourceCoordState::Wait | SourceCoordState::Prepare)
+        };
+        if !g.src_crashed && src_crash_window {
             let mut next = g.clone();
             next.src_crashed = true;
             next.src_client = ClientState::Clean;
             out.push(("src crash".to_owned(), next));
         }
-        if !g.tgt_crashed && g.tgt == TargetCoordState::Prepare {
+        let tgt_crash_window = if config.with_recovery {
+            !g.tgt_recovered
+        } else {
+            g.tgt == TargetCoordState::Prepare
+        };
+        if !g.tgt_crashed && tgt_crash_window {
             let mut next = g.clone();
             next.tgt_crashed = true;
             next.tgt_client = ClientState::Clean;
             out.push(("tgt crash".to_owned(), next));
+        }
+        if config.with_recovery {
+            // Restart from the durability log: the coordinator state
+            // survives (every input was logged before it was applied),
+            // and the client copy is rebuilt to the state the
+            // coordinator's phase implies — `MobileBroker::recover`.
+            if g.src_crashed {
+                let mut next = g.clone();
+                next.src_crashed = false;
+                next.src_recovered = true;
+                next.src_client = match g.src {
+                    SourceCoordState::Init | SourceCoordState::Abort => ClientState::Started,
+                    SourceCoordState::Wait => ClientState::PauseMove,
+                    SourceCoordState::Prepare => ClientState::PrepareStop,
+                    SourceCoordState::Commit => ClientState::Clean,
+                };
+                out.push(("src recover".to_owned(), next));
+            }
+            if g.tgt_crashed {
+                let mut next = g.clone();
+                next.tgt_crashed = false;
+                next.tgt_recovered = true;
+                next.tgt_client = match g.tgt {
+                    TargetCoordState::Init => ClientState::Init,
+                    TargetCoordState::Prepare => ClientState::Created,
+                    TargetCoordState::Abort => ClientState::Clean,
+                    TargetCoordState::Commit => ClientState::Started,
+                };
+                out.push(("tgt recover".to_owned(), next));
+            }
         }
         // The source-side negotiate timeout is safe even when spurious
         // (nothing has been committed yet), so the model lets it fire
@@ -440,9 +530,22 @@ fn successors(g: &Global, config: ExploreConfig) -> Vec<(String, Global)> {
                 next.with_msg(CoordMsg::AbortToTarget),
             ));
         }
+        // The target's state timer is always armed in the
+        // implementation; the fail-stop model only lets it fire when
+        // the source is down (which keeps the Fig. 5-plus-crashes
+        // graph tight), but under recovery the source may be back up
+        // by the time the timer expires, so it may fire whenever no
+        // state transfer is on the wire — e.g. after the source
+        // aborted from Wait while the target's accept was in flight,
+        // which would otherwise wedge the prepared copy forever.
+        let tgt_timer_may_fire = if config.with_recovery {
+            true
+        } else {
+            g.src_crashed
+        };
         if !g.tgt_crashed
             && g.tgt == TargetCoordState::Prepare
-            && g.src_crashed
+            && tgt_timer_may_fire
             && !g.msgs.contains_key(&CoordMsg::State)
         {
             let mut next = g.clone();
@@ -468,7 +571,16 @@ fn successors(g: &Global, config: ExploreConfig) -> Vec<(String, Global)> {
         }
         if !g.src_crashed {
             if let Some(base) = g.take_msg(CoordMsg::AbortToSource) {
-                if g.src == SourceCoordState::Wait {
+                if g.src == SourceCoordState::Wait
+                    || (config.with_recovery && g.src == SourceCoordState::Prepare)
+                {
+                    // The implementation's abort handler also resumes a
+                    // *prepared* source (the target timed out and will
+                    // never commit, so resuming is safe). That pairing
+                    // is only reachable once crashes are transient: the
+                    // target times out while the source is down, then
+                    // the source recovers into Prepare via the held
+                    // approve.
                     let mut next = base;
                     next.src = SourceCoordState::Abort;
                     next.src_client = ClientState::Started;
@@ -538,10 +650,7 @@ mod tests {
 
     #[test]
     fn invariants_hold_under_timeout_failures() {
-        let ex = explore(ExploreConfig {
-            allow_reject: true,
-            with_failures: true,
-        });
+        let ex = explore(ExploreConfig::failures());
         ex.check_at_most_one_started().unwrap();
         ex.check_final_states().unwrap();
         // The failure variant reaches strictly more states.
@@ -553,7 +662,7 @@ mod tests {
     fn happy_path_without_reject_reaches_only_commit() {
         let ex = explore(ExploreConfig {
             allow_reject: false,
-            with_failures: false,
+            ..ExploreConfig::fig5()
         });
         let finals: BTreeSet<String> = ex.finals.iter().map(Global::label).collect();
         assert_eq!(finals.len(), 1);
@@ -565,16 +674,11 @@ mod tests {
         explore(ExploreConfig::fig5()).check_progress().unwrap();
         explore(ExploreConfig {
             allow_reject: false,
-            with_failures: false,
+            ..ExploreConfig::fig5()
         })
         .check_progress()
         .unwrap();
-        explore(ExploreConfig {
-            allow_reject: true,
-            with_failures: true,
-        })
-        .check_progress()
-        .unwrap();
+        explore(ExploreConfig::failures()).check_progress().unwrap();
     }
 
     #[test]
@@ -589,15 +693,86 @@ mod tests {
 
     #[test]
     fn state_space_is_small_and_finite() {
-        let ex = explore(ExploreConfig {
-            allow_reject: true,
-            with_failures: true,
-        });
+        let ex = explore(ExploreConfig::failures());
         assert!(
             ex.states.len() < 100,
             "unexpected blow-up: {}",
             ex.states.len()
         );
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+
+    #[test]
+    fn crash_recover_at_every_step_preserves_both_safety_properties() {
+        let ex = explore(ExploreConfig::recovery());
+        ex.check_at_most_one_started().unwrap();
+        ex.check_final_states().unwrap();
+        // Transient crashes reach strictly more states than fail-stop
+        // (each side can now crash at any coordinator state and come
+        // back while its messages are held).
+        let fail_stop = explore(ExploreConfig::failures());
+        assert!(ex.states.len() > fail_stop.states.len());
+    }
+
+    #[test]
+    fn every_crashed_run_recovers_to_a_live_commit_or_abort() {
+        // The crash-recovery headline: no final state is crashed, and
+        // the only outcomes are the same clean commit/abort pair as in
+        // the failure-free graph — an outage never wedges the
+        // transaction or invents a third outcome.
+        let ex = explore(ExploreConfig::recovery());
+        assert!(ex.finals.iter().all(|g| !g.crashed()));
+        let final_labels: BTreeSet<String> = ex.finals.iter().map(Global::label).collect();
+        let expected: BTreeSet<String> =
+            ["cS,cT", "aS,aT"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(final_labels, expected);
+    }
+
+    #[test]
+    fn recovered_runs_can_still_commit() {
+        // Recovery is not merely abort-safe: there are committed finals
+        // in which each side crashed mid-protocol and restarted.
+        let ex = explore(ExploreConfig::recovery());
+        let committed_after = |src_side: bool| {
+            ex.finals.iter().any(|g| {
+                g.label() == "cS,cT"
+                    && if src_side {
+                        g.src_recovered
+                    } else {
+                        g.tgt_recovered
+                    }
+            })
+        };
+        assert!(committed_after(true), "no commit after a source restart");
+        assert!(committed_after(false), "no commit after a target restart");
+    }
+
+    #[test]
+    fn recovery_graph_makes_progress_and_stays_finite() {
+        let ex = explore(ExploreConfig::recovery());
+        ex.check_progress().unwrap();
+        assert!(
+            ex.states.len() < 2000,
+            "unexpected blow-up: {}",
+            ex.states.len()
+        );
+    }
+
+    #[test]
+    fn with_recovery_implies_with_failures() {
+        // A recovery exploration with the failure flag left unset must
+        // behave identically to the canonical recovery config.
+        let implicit = explore(ExploreConfig {
+            allow_reject: true,
+            with_failures: false,
+            with_recovery: true,
+        });
+        let explicit = explore(ExploreConfig::recovery());
+        assert_eq!(implicit.states, explicit.states);
     }
 }
 
@@ -611,10 +786,7 @@ mod label_tests {
         // when the source aborts while the target is prepared. In this
         // model that requires the timeout transitions (the base
         // exploration aborts only via explicit rejection).
-        let ex = explore(ExploreConfig {
-            allow_reject: true,
-            with_failures: true,
-        });
+        let ex = explore(ExploreConfig::failures());
         assert!(
             ex.labels().contains("aS,pT"),
             "missing the paper's aS,pT state: {:?}",

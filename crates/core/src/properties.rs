@@ -17,11 +17,34 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
-use transmob_broker::{Hop, Prt};
+use transmob_broker::{Hop, Prt, Topology};
 use transmob_pubsub::{BrokerId, ClientId, PubId, Publication, PublicationMsg};
 
-use crate::instant_net::InstantNet;
+use crate::mobile_broker::MobileBroker;
 use crate::states::ClientState;
+
+/// Read-only access to a network of brokers, so the property checkers
+/// run over any driver — [`crate::InstantNet`], the discrete-event
+/// simulator, or anything else hosting [`MobileBroker`]s.
+pub trait NetworkView {
+    /// The overlay topology.
+    fn view_topology(&self) -> &Topology;
+    /// Every broker id in the network.
+    fn view_broker_ids(&self) -> Vec<BrokerId>;
+    /// A broker by id.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `id` is unknown.
+    fn view_broker(&self, id: BrokerId) -> &MobileBroker;
+    /// The broker currently holding any stub for `client` (whatever its
+    /// state), if one exists.
+    fn view_find_client(&self, client: ClientId) -> Option<BrokerId> {
+        self.view_broker_ids()
+            .into_iter()
+            .find(|b| self.view_broker(*b).client(client).is_some())
+    }
+}
 
 /// A violation reported by one of the property checkers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,8 +116,9 @@ pub struct ConsistencyCase {
     pub expected: BTreeSet<ClientId>,
 }
 
-/// Checks routing consistency (Sec. 3.5) over an [`InstantNet`]: every
-/// expected client is reachable by the static forwarding fixpoint.
+/// Checks routing consistency (Sec. 3.5) over any [`NetworkView`]:
+/// every expected client is reachable by the static forwarding
+/// fixpoint.
 ///
 /// Stale extra recipients are allowed, exactly as the paper's
 /// consistency definition allows stale routing entries (client stubs
@@ -103,13 +127,13 @@ pub struct ConsistencyCase {
 /// # Errors
 ///
 /// Returns the first case whose expected set is not covered.
-pub fn check_routing_consistency(
-    net: &InstantNet,
+pub fn check_routing_consistency<N: NetworkView + ?Sized>(
+    net: &N,
     cases: &[ConsistencyCase],
 ) -> Result<(), PropertyViolation> {
     for case in cases {
         let got = static_delivery_set(
-            |b| net.broker(b).core().prt(),
+            |b| net.view_broker(b).core().prt(),
             case.publisher_broker,
             &case.probe,
         );
@@ -183,17 +207,18 @@ pub fn assert_all_delivered(
 ///
 /// Returns the first broker/advertisement pair whose lasthop points
 /// the wrong way.
-pub fn check_srt_paths(net: &InstantNet) -> Result<(), PropertyViolation> {
-    let topology = net.topology();
-    for (b, broker) in net.brokers() {
+pub fn check_srt_paths<N: NetworkView + ?Sized>(net: &N) -> Result<(), PropertyViolation> {
+    let topology = net.view_topology();
+    for b in net.view_broker_ids() {
+        let broker = net.view_broker(b);
         for (adv_id, entry) in broker.core().srt().iter() {
-            let Some(home) = net.find_client(adv_id.client) else {
+            let Some(home) = net.view_find_client(adv_id.client) else {
                 continue; // publisher currently mid-move; skip
             };
-            let expected: Hop = if home == *b {
+            let expected: Hop = if home == b {
                 Hop::Client(adv_id.client)
             } else {
-                match topology.next_hop(*b, home) {
+                match topology.next_hop(b, home) {
                     Some(n) => Hop::Broker(n),
                     None => continue,
                 }
@@ -219,10 +244,10 @@ pub fn check_srt_paths(net: &InstantNet) -> Result<(), PropertyViolation> {
 /// Counts, per client, how many `Started` copies exist across the
 /// network (the client-layer consistency property of Sec. 3.3 requires
 /// at most one).
-pub fn started_copies(net: &InstantNet) -> BTreeMap<ClientId, usize> {
+pub fn started_copies<N: NetworkView + ?Sized>(net: &N) -> BTreeMap<ClientId, usize> {
     let mut counts: BTreeMap<ClientId, usize> = BTreeMap::new();
-    for (_, broker) in net.brokers() {
-        for (cid, stub) in broker.clients() {
+    for b in net.view_broker_ids() {
+        for (cid, stub) in net.view_broker(b).clients() {
             if stub.state() == ClientState::Started {
                 *counts.entry(*cid).or_insert(0) += 1;
             }
@@ -237,7 +262,7 @@ pub fn started_copies(net: &InstantNet) -> BTreeMap<ClientId, usize> {
 /// # Errors
 ///
 /// Returns the first client with more than one running copy.
-pub fn assert_single_instance(net: &InstantNet) -> Result<(), PropertyViolation> {
+pub fn assert_single_instance<N: NetworkView + ?Sized>(net: &N) -> Result<(), PropertyViolation> {
     for (c, n) in started_copies(net) {
         if n > 1 {
             return Err(PropertyViolation(format!(

@@ -159,10 +159,32 @@ fn state_timeout_after_source_crash_equivalent() {
 
 #[test]
 fn blocking_variant_never_times_out() {
-    // With no timeouts configured (the blocking variant), no timers
-    // are ever armed and the transaction simply completes.
+    // The blocking variant is an explicit opt-in now that finite
+    // timeouts are the default: no timers are ever armed and the
+    // transaction simply completes.
+    let mut net = setup(4, MobileBrokerConfig::reconfig().blocking());
+    net.client_op_deferred(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+    assert!(net.armed_timers().is_empty(), "blocking mode armed a timer");
+    net.run();
+    assert!(net.armed_timers().is_empty());
+    assert_eq!(net.find_client(c(2)), Some(b(2)));
+}
+
+#[test]
+fn default_config_arms_finite_timeouts() {
+    // The non-blocking variant is the default: starting a movement
+    // arms the source's negotiate timer without any explicit timeout
+    // configuration (a partitioned target must not wedge the source).
     let mut net = setup(4, MobileBrokerConfig::reconfig());
-    net.client_op(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+    net.client_op_deferred(c(2), ClientOp::MoveTo(b(2), ProtocolKind::Reconfig));
+    assert!(
+        net.armed_timers()
+            .iter()
+            .any(|t| t.token.kind == TimerKind::Negotiate),
+        "default config must arm the negotiate timer"
+    );
+    net.run();
+    // A completed move leaves no timer behind.
     assert!(net.armed_timers().is_empty());
     assert_eq!(net.find_client(c(2)), Some(b(2)));
 }

@@ -6,6 +6,25 @@
 //! and framing are what this module makes real), and clients attach
 //! through in-process handles exactly as with [`crate::Network`].
 //!
+//! # Failure detection and crash recovery
+//!
+//! Each broker drives a [`DurabilityLog`] (write-ahead command log +
+//! periodic checkpoint) and sends heartbeat frames over every link, so
+//! the overlay survives a broker process dying:
+//!
+//! - a peer disconnect (socket EOF, write error, or a failed
+//!   heartbeat) marks the link **down**; protocol messages queue at
+//!   the surviving endpoint instead of being dropped;
+//! - the link's dialer side redials with capped exponential backoff
+//!   ([`REDIAL_BASE`] doubling up to [`REDIAL_CAP`]) until the peer
+//!   accepts again, then flushes the queued frames in order;
+//! - [`TcpNetwork::kill_broker`] crashes one broker (thread torn down,
+//!   sockets severed, undelivered inputs lost) and
+//!   [`TcpNetwork::restart_broker`] resumes it from its durability
+//!   log, re-arming the timers of any in-flight movement — so a
+//!   movement that was mid-flight when the broker died still commits
+//!   (or aborts cleanly via its protocol timeout) after the restart.
+//!
 //! ```no_run
 //! use transmob_runtime::tcp::TcpNetwork;
 //! use transmob_broker::Topology;
@@ -17,27 +36,51 @@
 //! net.shutdown();
 //! ```
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use transmob_broker::{Hop, Topology};
-use transmob_core::{ClientOp, Message, MobileBroker, MobileBrokerConfig, Output};
+use transmob_core::{
+    ClientOp, DurabilityLog, MemoryLog, Message, MobileBroker, MobileBrokerConfig, Output,
+    TimerToken,
+};
 use transmob_pubsub::{BrokerId, ClientId, Filter, Publication, PublicationMsg};
 
 use crate::MoveOutcome;
 
-/// One wire frame: the sending broker plus the protocol message.
+/// Heartbeat period: each broker pings every live link this often.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(50);
+/// First redial delay after a link drops.
+pub const REDIAL_BASE: Duration = Duration::from_millis(25);
+/// Redial backoff ceiling.
+pub const REDIAL_CAP: Duration = Duration::from_millis(400);
+/// Handshake read deadline (a half-open peer must not wedge a dialer).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One wire frame.
 #[derive(Debug, Serialize, Deserialize)]
-struct Frame {
-    from: u32,
-    msg: Message,
+enum Frame {
+    /// A protocol message from a neighbouring broker.
+    Msg {
+        /// Sending broker.
+        from: u32,
+        /// The message.
+        msg: Message,
+    },
+    /// A heartbeat (failure-detector probe).
+    Ping {
+        /// Sending broker.
+        from: u32,
+    },
 }
 
 enum Input {
@@ -54,31 +97,86 @@ struct Registry {
     move_events: BTreeMap<ClientId, Sender<MoveOutcome>>,
 }
 
+/// One endpoint of an overlay link (this broker's writer toward one
+/// neighbour). While down, outbound protocol frames queue here and are
+/// flushed in order on reconnect.
+enum LinkState {
+    Up {
+        w: BufWriter<TcpStream>,
+        /// A clone kept for `shutdown()` so the blocked reader thread
+        /// observes EOF when the link is torn down.
+        sock: TcpStream,
+    },
+    Down {
+        queued: VecDeque<String>,
+        /// A redial thread for this link is already running.
+        redialing: bool,
+    },
+}
+
+struct Link {
+    state: Mutex<LinkState>,
+    /// When a frame (of any kind) last arrived from the peer.
+    last_heard: Mutex<Instant>,
+}
+
+impl Link {
+    fn new_down() -> Self {
+        Link {
+            state: Mutex::new(LinkState::Down {
+                queued: VecDeque::new(),
+                redialing: false,
+            }),
+            last_heard: Mutex::new(Instant::now()),
+        }
+    }
+}
+
 struct Shared {
-    inputs: BTreeMap<BrokerId, Sender<Input>>,
+    topology: Arc<Topology>,
+    config: MobileBrokerConfig,
+    /// Input channel per broker; swapped on kill/restart, hence the
+    /// lock (readers clone the sender at spawn time).
+    inputs: RwLock<BTreeMap<BrokerId, Sender<Input>>>,
     registry: RwLock<Registry>,
+    /// `links[owner][peer]`: owner's endpoint of the owner–peer edge.
+    links: BTreeMap<BrokerId, BTreeMap<BrokerId, Arc<Link>>>,
+    /// Every broker's listener address (stable across kill/restart —
+    /// the "machine" keeps its port, only the process dies).
+    addrs: BTreeMap<BrokerId, SocketAddr>,
+    /// Brokers currently killed: their acceptor refuses connections
+    /// and their links neither flush nor redial.
+    down: RwLock<BTreeSet<BrokerId>>,
+    shutting_down: AtomicBool,
+    /// Heartbeats received, per broker (failure-detector liveness).
+    pings: BTreeMap<BrokerId, AtomicU64>,
+    /// Reader/dialer/acceptor threads, joined at shutdown.
+    aux_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Shared({} brokers)", self.inputs.len())
+        write!(f, "Shared({} brokers)", self.addrs.len())
     }
 }
 
-type LinkWriter = Arc<Mutex<BufWriter<TcpStream>>>;
-
-/// A broker overlay whose links are real TCP sockets.
+/// A broker overlay whose links are real TCP sockets, with a
+/// heartbeat failure detector and crash–restart recovery from a
+/// per-broker [`DurabilityLog`].
 pub struct TcpNetwork {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
-    /// One handle per socket endpoint, shut down explicitly so reader
-    /// threads observe EOF and can be joined.
-    sockets: Vec<TcpStream>,
+    broker_handles: Mutex<BTreeMap<BrokerId, JoinHandle<()>>>,
+    /// Receiver for a killed broker's fresh input channel, consumed by
+    /// `restart_broker`.
+    pending_rx: Mutex<BTreeMap<BrokerId, Receiver<Input>>>,
+    /// Each broker's stable storage: the durability log its
+    /// `MobileBroker` drives, surviving `kill_broker`.
+    wals: BTreeMap<BrokerId, Arc<std::sync::Mutex<MemoryLog>>>,
 }
 
 impl std::fmt::Debug for TcpNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "TcpNetwork({} broker threads)", self.handles.len())
+        write!(f, "TcpNetwork({} brokers)", self.wals.len())
     }
 }
 
@@ -112,7 +210,7 @@ impl TcpNetwork {
         let topology = Arc::new(topology);
         // Phase 1: bind all listeners.
         let mut listeners: BTreeMap<BrokerId, TcpListener> = BTreeMap::new();
-        let mut addrs: BTreeMap<BrokerId, std::net::SocketAddr> = BTreeMap::new();
+        let mut addrs: BTreeMap<BrokerId, SocketAddr> = BTreeMap::new();
         for b in topology.brokers() {
             let addr = bind_addr(b);
             let l = TcpListener::bind(&addr).map_err(|e| {
@@ -121,71 +219,55 @@ impl TcpNetwork {
             addrs.insert(b, l.local_addr()?);
             listeners.insert(b, l);
         }
-        // Phase 2: connect each edge, lower id dialing the higher.
-        // Handshake: the dialer sends its broker id as the first line.
+        // Phase 2: shared state, acceptors, and the initial dials.
         let mut inputs: BTreeMap<BrokerId, Sender<Input>> = BTreeMap::new();
         let mut input_rx: BTreeMap<BrokerId, Receiver<Input>> = BTreeMap::new();
+        let mut links: BTreeMap<BrokerId, BTreeMap<BrokerId, Arc<Link>>> = BTreeMap::new();
+        let mut pings: BTreeMap<BrokerId, AtomicU64> = BTreeMap::new();
         for b in topology.brokers() {
             let (tx, rx) = unbounded();
             inputs.insert(b, tx);
             input_rx.insert(b, rx);
+            pings.insert(b, AtomicU64::new(0));
+            let peers = topology
+                .neighbors(b)
+                .iter()
+                .map(|&n| (n, Arc::new(Link::new_down())))
+                .collect();
+            links.insert(b, peers);
         }
         let shared = Arc::new(Shared {
-            inputs,
+            topology: Arc::clone(&topology),
+            config: config.clone(),
+            inputs: RwLock::new(inputs),
             registry: RwLock::new(Registry::default()),
+            links,
+            addrs,
+            down: RwLock::new(BTreeSet::new()),
+            shutting_down: AtomicBool::new(false),
+            pings,
+            aux_threads: Mutex::new(Vec::new()),
         });
-        let mut links: BTreeMap<BrokerId, BTreeMap<BrokerId, LinkWriter>> = BTreeMap::new();
-        let mut reader_handles = Vec::new();
-        let mut sockets: Vec<TcpStream> = Vec::new();
-        for (a, b) in topology.edges() {
-            // a < b by construction of `edges()`.
-            let dial = TcpStream::connect(addrs[&b])?;
-            {
-                let mut w = BufWriter::new(dial.try_clone()?);
-                writeln!(w, "{}", a.0)?;
-                w.flush()?;
-            }
-            let (accepted, _) = listeners[&b].accept()?;
-            {
-                // Consume the handshake line.
-                let mut r = BufReader::new(accepted.try_clone()?);
-                let mut line = String::new();
-                r.read_line(&mut line)?;
-                let peer: u32 = line
-                    .trim()
-                    .parse()
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
-                if peer != a.0 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "handshake id mismatch",
-                    ));
-                }
-            }
-            // a's side: writes on `dial`, reads frames from b.
-            links
-                .entry(a)
-                .or_default()
-                .insert(b, Arc::new(Mutex::new(BufWriter::new(dial.try_clone()?))));
-            sockets.push(dial.try_clone()?);
-            reader_handles.push(spawn_reader(a, dial, Arc::clone(&shared))?);
-            // b's side: writes on `accepted`, reads frames from a.
-            links.entry(b).or_default().insert(
-                a,
-                Arc::new(Mutex::new(BufWriter::new(accepted.try_clone()?))),
-            );
-            sockets.push(accepted.try_clone()?);
-            reader_handles.push(spawn_reader(b, accepted, Arc::clone(&shared))?);
-        }
-        drop(listeners);
-        // Phase 3: broker threads. From here on `net`'s Drop handles
-        // cleanup (shutdown + join of everything started so far) if a
-        // later spawn fails.
-        let mut net = TcpNetwork {
-            shared,
-            handles: reader_handles,
-            sockets,
+        let net = TcpNetwork {
+            shared: Arc::clone(&shared),
+            broker_handles: Mutex::new(BTreeMap::new()),
+            pending_rx: Mutex::new(BTreeMap::new()),
+            wals: topology
+                .brokers()
+                .map(|b| (b, MemoryLog::shared()))
+                .collect(),
         };
+        for (b, listener) in listeners {
+            spawn_acceptor(&shared, b, listener)?;
+        }
+        // Dial each edge once, lower id dialing the higher (the same
+        // side redials after failures). The acceptors are already up,
+        // so one synchronous attempt per edge suffices here.
+        for (a, b) in topology.edges() {
+            dial_link(&shared, a, b)?;
+        }
+        // Phase 3: broker threads (from here on `net`'s Drop handles
+        // cleanup if a later spawn fails).
         for b in topology.brokers() {
             let Some(rx) = input_rx.remove(&b) else {
                 return Err(io::Error::new(
@@ -193,17 +275,31 @@ impl TcpNetwork {
                     format!("no input channel for broker {b}"),
                 ));
             };
-            let writers = links.remove(&b).unwrap_or_default();
-            let shared2 = Arc::clone(&net.shared);
-            let topology2 = Arc::clone(&topology);
-            let config2 = config.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("tcp-broker-{b}"))
-                .spawn(move || tcp_broker_main(b, topology2, config2, rx, writers, shared2))
-                .map_err(|e| io::Error::new(e.kind(), format!("spawn broker thread {b}: {e}")))?;
-            net.handles.push(handle);
+            let mut broker = MobileBroker::new(b, Arc::clone(&topology), config.clone());
+            let wal = Arc::clone(&net.wals[&b]);
+            let wal: Arc<std::sync::Mutex<dyn DurabilityLog>> = wal;
+            broker
+                .attach_durability(wal)
+                .map_err(|e| io::Error::new(e.kind(), format!("attach WAL for {b}: {e}")))?;
+            net.spawn_broker(b, broker, Vec::new(), rx)?;
         }
         Ok(net)
+    }
+
+    fn spawn_broker(
+        &self,
+        b: BrokerId,
+        broker: MobileBroker,
+        initial_outs: Vec<Output>,
+        rx: Receiver<Input>,
+    ) -> io::Result<()> {
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("tcp-broker-{b}"))
+            .spawn(move || tcp_broker_main(b, broker, initial_outs, rx, shared))
+            .map_err(|e| io::Error::new(e.kind(), format!("spawn broker thread {b}: {e}")))?;
+        self.broker_handles.lock().insert(b, handle);
+        Ok(())
     }
 
     /// Creates (attaches and starts) a client at `broker`, returning
@@ -225,7 +321,7 @@ impl TcpNetwork {
             reg.deliveries.insert(id, dtx);
             reg.move_events.insert(id, mtx);
         }
-        let _ = self.shared.inputs[&broker].send(Input::CreateClient(id));
+        let _ = self.shared.inputs.read()[&broker].send(Input::CreateClient(id));
         TcpClient {
             id,
             shared: Arc::clone(&self.shared),
@@ -239,21 +335,154 @@ impl TcpNetwork {
         self.shared.registry.read().homes.get(&client).copied()
     }
 
+    /// Whether `owner`'s endpoint of the link to `peer` is currently
+    /// connected (failure-detector view).
+    pub fn link_up(&self, owner: BrokerId, peer: BrokerId) -> bool {
+        self.shared
+            .links
+            .get(&owner)
+            .and_then(|m| m.get(&peer))
+            .is_some_and(|l| matches!(*l.state.lock(), LinkState::Up { .. }))
+    }
+
+    /// How long ago `owner` last heard anything (heartbeat or protocol
+    /// frame) from `peer`.
+    pub fn peer_silence(&self, owner: BrokerId, peer: BrokerId) -> Option<Duration> {
+        let link = self.shared.links.get(&owner)?.get(&peer)?;
+        Some(link.last_heard.lock().elapsed())
+    }
+
+    /// Total heartbeats `broker` has received from its neighbours.
+    pub fn heartbeats_seen(&self, broker: BrokerId) -> u64 {
+        self.shared
+            .pings
+            .get(&broker)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Crashes `broker`: its thread is torn down, its sockets severed
+    /// (neighbours observe the disconnect and start queueing +
+    /// redialing), and any inputs it had not yet applied are lost.
+    /// Its durability log — everything appended before the crash —
+    /// survives for [`TcpNetwork::restart_broker`].
+    pub fn kill_broker(&self, broker: BrokerId) {
+        // Mark down first so reader-side disconnect handling neither
+        // redials on this broker's behalf nor lets its acceptor admit
+        // new connections while it is dead.
+        self.shared.down.write().insert(broker);
+        // Fresh input channel: frames and commands sent from now on
+        // wait for the restarted process; the old channel (with any
+        // undelivered inputs) dies with the thread.
+        let (tx, rx) = unbounded();
+        let old = self.shared.inputs.write().insert(broker, tx);
+        self.pending_rx.lock().insert(broker, rx);
+        if let Some(old_tx) = old {
+            let _ = old_tx.send(Input::Shutdown);
+        }
+        // Sever every link endpoint; drop anything it had queued.
+        if let Some(peers) = self.shared.links.get(&broker) {
+            for link in peers.values() {
+                let mut st = link.state.lock();
+                if let LinkState::Up { sock, .. } = &*st {
+                    let _ = sock.shutdown(std::net::Shutdown::Both);
+                }
+                *st = LinkState::Down {
+                    queued: VecDeque::new(),
+                    redialing: false,
+                };
+            }
+        }
+        if let Some(h) = self.broker_handles.lock().remove(&broker) {
+            let _ = h.join();
+        }
+    }
+
+    /// Restarts a broker previously crashed with
+    /// [`TcpNetwork::kill_broker`]: rebuilds its state from the
+    /// durability log (checkpoint + record replay), re-arms the timers
+    /// of any in-flight movement, rejoins the overlay (dialing out and
+    /// accepting again), and flushes whatever its neighbours queued
+    /// during the outage.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the broker is not currently killed, or on thread-spawn
+    /// / log errors.
+    pub fn restart_broker(&self, broker: BrokerId) -> io::Result<()> {
+        let rx = self.pending_rx.lock().remove(&broker).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("broker {broker} is not killed"),
+            )
+        })?;
+        let log = Arc::clone(&self.wals[&broker]);
+        let (snapshot, records) = log.lock().expect("wal poisoned").contents();
+        let snapshot = snapshot.expect("attach_durability wrote a checkpoint");
+        let (mut recovered, timer_outs) = MobileBroker::recover(
+            Arc::clone(&self.shared.topology),
+            self.shared.config.clone(),
+            snapshot,
+            &records,
+        );
+        // Re-attach the log; this checkpoints the recovered state and
+        // truncates the replayed records.
+        let wal: Arc<std::sync::Mutex<dyn DurabilityLog>> = log;
+        recovered
+            .attach_durability(wal)
+            .map_err(|e| io::Error::new(e.kind(), format!("re-attach WAL for {broker}: {e}")))?;
+        self.shared.down.write().remove(&broker);
+        self.spawn_broker(broker, recovered, timer_outs, rx)?;
+        // Rejoin the overlay: redial the edges this broker dials;
+        // for the rest, the surviving dialer's backoff loop is already
+        // knocking and will get through now that the acceptor answers.
+        for &n in self.shared.topology.neighbors(broker) {
+            if broker < n {
+                maybe_redial(&self.shared, broker, n);
+            }
+        }
+        Ok(())
+    }
+
     /// Stops all broker threads, closes every socket so reader threads
     /// observe EOF, and waits for them all.
-    pub fn shutdown(mut self) {
-        self.stop();
+    pub fn shutdown(self) {
+        drop(self); // Drop runs the actual teardown.
     }
 
     fn stop(&mut self) {
-        for tx in self.shared.inputs.values() {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        for tx in self.shared.inputs.read().values() {
             let _ = tx.send(Input::Shutdown);
         }
-        for s in self.sockets.drain(..) {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        for peers in self.shared.links.values() {
+            for link in peers.values() {
+                let mut st = link.state.lock();
+                if let LinkState::Up { sock, .. } = &*st {
+                    let _ = sock.shutdown(std::net::Shutdown::Both);
+                }
+                *st = LinkState::Down {
+                    queued: VecDeque::new(),
+                    redialing: false,
+                };
+            }
         }
-        for h in self.handles.drain(..) {
+        // Wake each acceptor so it can observe the flag and exit.
+        for addr in self.shared.addrs.values() {
+            let _ = TcpStream::connect_timeout(addr, Duration::from_millis(200));
+        }
+        for (_, h) in std::mem::take(&mut *self.broker_handles.lock()) {
             let _ = h.join();
+        }
+        // Aux threads exit on EOF / the flag; redial threads wake from
+        // their (capped) backoff sleep and observe the flag.
+        loop {
+            let batch = std::mem::take(&mut *self.shared.aux_threads.lock());
+            if batch.is_empty() {
+                break;
+            }
+            for h in batch {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -289,7 +518,7 @@ impl TcpClient {
             .get(&self.id)
             .copied()
             .expect("client registered");
-        let _ = self.shared.inputs[&home].send(Input::FromClient(self.id, op));
+        let _ = self.shared.inputs.read()[&home].send(Input::FromClient(self.id, op));
     }
 
     /// Issues a subscription.
@@ -339,48 +568,393 @@ impl TcpClient {
     }
 }
 
-/// Reads JSON frames from one socket and feeds them to the owning
-/// broker's input channel. Exits on EOF or socket error.
-fn spawn_reader(
+// ---------------------------------------------------------------------
+// Link management
+// ---------------------------------------------------------------------
+
+fn link_of(shared: &Shared, owner: BrokerId, peer: BrokerId) -> Option<&Arc<Link>> {
+    shared.links.get(&owner).and_then(|m| m.get(&peer))
+}
+
+/// Sends one frame on `owner`'s link to `peer`. Protocol frames queue
+/// while the link is down (`queue_if_down`); heartbeats are simply
+/// skipped — a stale ping carries no information.
+fn send_frame(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId, frame: &Frame) {
+    let Some(link) = link_of(shared, owner, peer) else {
+        return;
+    };
+    let Ok(line) = serde_json::to_string(frame) else {
+        return;
+    };
+    let queue_if_down = matches!(frame, Frame::Msg { .. });
+    let went_down = {
+        let mut st = link.state.lock();
+        match &mut *st {
+            LinkState::Up { w, sock } => {
+                if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+                    // Peer disconnect detected on the write path (the
+                    // heartbeat guarantees this fires within one
+                    // interval of a silent peer death).
+                    let _ = sock.shutdown(std::net::Shutdown::Both);
+                    let mut queued = VecDeque::new();
+                    if queue_if_down {
+                        queued.push_back(line);
+                    }
+                    *st = LinkState::Down {
+                        queued,
+                        redialing: false,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            LinkState::Down { queued, .. } => {
+                if queue_if_down {
+                    queued.push_back(line);
+                }
+                false
+            }
+        }
+    };
+    if went_down {
+        maybe_redial(shared, owner, peer);
+    }
+}
+
+/// Marks `owner`'s link to `peer` down (reader-side disconnect) and
+/// kicks the redial loop if this endpoint is the dialer.
+fn mark_link_down(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
+    let Some(link) = link_of(shared, owner, peer) else {
+        return;
+    };
+    {
+        let mut st = link.state.lock();
+        if let LinkState::Up { sock, .. } = &*st {
+            let _ = sock.shutdown(std::net::Shutdown::Both);
+            *st = LinkState::Down {
+                queued: VecDeque::new(),
+                redialing: false,
+            };
+        }
+    }
+    maybe_redial(shared, owner, peer);
+}
+
+/// Starts a redial thread for the (owner → peer) link if owner is the
+/// edge's dialer, the link is down, and no redialer is running yet.
+fn maybe_redial(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
+    if owner > peer {
+        return; // the peer dials this edge
+    }
+    if shared.shutting_down.load(Ordering::SeqCst) || shared.down.read().contains(&owner) {
+        return;
+    }
+    let Some(link) = link_of(shared, owner, peer) else {
+        return;
+    };
+    {
+        let mut st = link.state.lock();
+        match &mut *st {
+            LinkState::Down { redialing, .. } => {
+                if *redialing {
+                    return;
+                }
+                *redialing = true;
+            }
+            LinkState::Up { .. } => return,
+        }
+    }
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("tcp-redial-{owner}-{peer}"))
+        .spawn(move || {
+            let mut delay = REDIAL_BASE;
+            loop {
+                std::thread::sleep(delay);
+                if shared2.shutting_down.load(Ordering::SeqCst)
+                    || shared2.down.read().contains(&owner)
+                {
+                    // Give up; clear the flag so a later restart can
+                    // start a fresh redialer.
+                    if let Some(link) = link_of(&shared2, owner, peer) {
+                        if let LinkState::Down { redialing, .. } = &mut *link.state.lock() {
+                            *redialing = false;
+                        }
+                    }
+                    return;
+                }
+                if dial_link(&shared2, owner, peer).is_ok() {
+                    return; // install_link cleared the flag
+                }
+                delay = (delay * 2).min(REDIAL_CAP);
+            }
+        });
+    match handle {
+        Ok(h) => shared.aux_threads.lock().push(h),
+        Err(_) => {
+            if let LinkState::Down { redialing, .. } = &mut *link.state.lock() {
+                *redialing = false;
+            }
+        }
+    }
+}
+
+/// Dials `peer` on behalf of `owner` and installs the connection.
+/// Handshake: dialer sends its broker id, acceptor answers `ok` only
+/// if its broker process is actually up — so queued frames are never
+/// flushed into a dead peer.
+fn dial_link(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) -> io::Result<()> {
+    let stream = TcpStream::connect(shared.addrs[&peer])?;
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    {
+        let mut w = BufWriter::new(stream.try_clone()?);
+        writeln!(w, "{}", owner.0)?;
+        w.flush()?;
+    }
+    // Read the reply byte-by-byte: the peer flushes queued protocol
+    // frames immediately after "ok\n", and a buffered reader here
+    // would swallow those bytes before the reader thread exists.
+    let mut line = String::new();
+    {
+        use std::io::Read;
+        let mut one = [0u8; 1];
+        let mut raw = stream.try_clone()?;
+        loop {
+            if raw.read(&mut one)? == 0 || one[0] == b'\n' {
+                break;
+            }
+            line.push(one[0] as char);
+            if line.len() > 16 {
+                break;
+            }
+        }
+    }
+    if line.trim() != "ok" {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("peer {peer} refused handshake"),
+        ));
+    }
+    stream.set_read_timeout(None)?;
+    install_link(shared, owner, peer, stream)
+}
+
+/// Installs a fresh socket as `owner`'s endpoint toward `peer`,
+/// flushing any frames queued while the link was down, and spawns the
+/// reader for the inbound direction. Latest connection wins: a
+/// previously installed socket is severed.
+fn install_link(
+    shared: &Arc<Shared>,
     owner: BrokerId,
+    peer: BrokerId,
     stream: TcpStream,
-    shared: Arc<Shared>,
-) -> io::Result<JoinHandle<()>> {
-    std::thread::Builder::new()
-        .name(format!("tcp-reader-{owner}"))
+) -> io::Result<()> {
+    let Some(link) = link_of(shared, owner, peer) else {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no link {owner}–{peer}"),
+        ));
+    };
+    let reader_stream = stream.try_clone()?;
+    let sock = stream.try_clone()?;
+    {
+        let mut st = link.state.lock();
+        // Checked under the link lock: `stop` sets the flag before its
+        // sever pass takes these locks, so no connection can slip in
+        // after the pass and leave a reader blocked on a live socket.
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            let _ = sock.shutdown(std::net::Shutdown::Both);
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "shutting down"));
+        }
+        let queued = match std::mem::replace(
+            &mut *st,
+            LinkState::Down {
+                queued: VecDeque::new(),
+                redialing: false,
+            },
+        ) {
+            LinkState::Up { sock: old, .. } => {
+                let _ = old.shutdown(std::net::Shutdown::Both);
+                VecDeque::new()
+            }
+            LinkState::Down { queued, .. } => queued,
+        };
+        let mut w = BufWriter::new(stream);
+        let mut failed = false;
+        for line in &queued {
+            if writeln!(w, "{line}").is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if !failed && w.flush().is_err() {
+            failed = true;
+        }
+        if failed {
+            // The fresh socket died mid-flush. Requeue everything —
+            // some frames may arrive twice, which the movement
+            // protocol's duplicate-tolerant handlers absorb.
+            *st = LinkState::Down {
+                queued,
+                redialing: false,
+            };
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "reconnect flush failed",
+            ));
+        }
+        *st = LinkState::Up { w, sock };
+        *link.last_heard.lock() = Instant::now();
+    }
+    spawn_reader(shared, owner, peer, reader_stream)
+}
+
+/// Reads JSON frames from one socket and feeds them to the owning
+/// broker's input channel. Exits on EOF or socket error, marking the
+/// link down.
+fn spawn_reader(
+    shared: &Arc<Shared>,
+    owner: BrokerId,
+    peer: BrokerId,
+    stream: TcpStream,
+) -> io::Result<()> {
+    // Snapshot the current input sender: a reader that outlives a
+    // kill/restart must not feed the reborn broker from a stale
+    // socket's thread (its sends just fail and the thread exits).
+    let tx = shared.inputs.read()[&owner].clone();
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("tcp-reader-{owner}-{peer}"))
         .spawn(move || {
             let reader = BufReader::new(stream);
             for line in reader.lines() {
-                let Ok(line) = line else { return };
+                let Ok(line) = line else { break };
                 let Ok(frame) = serde_json::from_str::<Frame>(&line) else {
-                    return; // corrupt peer: drop the link
+                    break; // corrupt peer: drop the link
                 };
-                if shared.inputs[&owner]
-                    .send(Input::FromBroker(BrokerId(frame.from), frame.msg))
-                    .is_err()
-                {
-                    return;
+                if let Some(link) = link_of(&shared2, owner, peer) {
+                    *link.last_heard.lock() = Instant::now();
+                }
+                match frame {
+                    Frame::Ping { .. } => {
+                        if let Some(c) = shared2.pings.get(&owner) {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Frame::Msg { from, msg } => {
+                        if tx.send(Input::FromBroker(BrokerId(from), msg)).is_err() {
+                            break;
+                        }
+                    }
                 }
             }
+            if !shared2.shutting_down.load(Ordering::SeqCst) {
+                mark_link_down(&shared2, owner, peer);
+            }
         })
-        .map_err(|e| io::Error::new(e.kind(), format!("spawn reader thread for {owner}: {e}")))
+        .map_err(|e| io::Error::new(e.kind(), format!("spawn reader for {owner}: {e}")))?;
+    shared.aux_threads.lock().push(handle);
+    Ok(())
 }
+
+/// Accepts connections for one broker forever. A connection is only
+/// admitted (handshake answered with `ok`) while the broker process is
+/// up; during a kill window dialers keep backing off and retrying.
+fn spawn_acceptor(shared: &Arc<Shared>, owner: BrokerId, listener: TcpListener) -> io::Result<()> {
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("tcp-accept-{owner}"))
+        .spawn(move || loop {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            if shared2.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            if stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).is_err() {
+                continue;
+            }
+            let mut r = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => continue,
+            });
+            let mut line = String::new();
+            if r.read_line(&mut line).is_err() {
+                continue;
+            }
+            let Ok(peer) = line.trim().parse::<u32>().map(BrokerId) else {
+                continue;
+            };
+            if !shared2.topology.neighbors(owner).contains(&peer) {
+                continue; // not an overlay edge (or a shutdown wake-up)
+            }
+            if shared2.down.read().contains(&owner) {
+                continue; // process down: refuse, dialer keeps retrying
+            }
+            let ok = (|| -> io::Result<()> {
+                let mut w = BufWriter::new(stream.try_clone()?);
+                writeln!(w, "ok")?;
+                w.flush()?;
+                stream.set_read_timeout(None)?;
+                Ok(())
+            })();
+            if ok.is_ok() {
+                let _ = install_link(&shared2, owner, peer, stream);
+            }
+        })
+        .map_err(|e| io::Error::new(e.kind(), format!("spawn acceptor for {owner}: {e}")))?;
+    shared.aux_threads.lock().push(handle);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Broker main loop
+// ---------------------------------------------------------------------
 
 fn tcp_broker_main(
     id: BrokerId,
-    topology: Arc<Topology>,
-    config: MobileBrokerConfig,
+    mut broker: MobileBroker,
+    initial_outs: Vec<Output>,
     rx: Receiver<Input>,
-    writers: BTreeMap<BrokerId, LinkWriter>,
     shared: Arc<Shared>,
 ) {
-    let mut broker = MobileBroker::new(id, topology, config);
-    // Timers are unnecessary for the blocking-variant tests this
-    // transport targets; armed timers are ignored (documented).
+    let mut timers: BinaryHeap<Reverse<(Instant, TimerToken)>> = BinaryHeap::new();
+    let mut cancelled: BTreeSet<TimerToken> = BTreeSet::new();
+    let mut next_ping = Instant::now() + HEARTBEAT_INTERVAL;
+    // Timers re-armed by recovery (or empty on a fresh start).
+    dispatch(id, &shared, &mut timers, &mut cancelled, initial_outs);
     loop {
-        let input = match rx.recv() {
+        // Fire due timers first.
+        let now = Instant::now();
+        while let Some(Reverse((deadline, token))) = timers.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            timers.pop();
+            if cancelled.remove(&token) {
+                continue;
+            }
+            let outs = broker.handle_timer(token);
+            dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+        }
+        // Heartbeat every live link (the probe doubles as write-path
+        // failure detection).
+        if Instant::now() >= next_ping {
+            next_ping = Instant::now() + HEARTBEAT_INTERVAL;
+            for &n in shared.topology.neighbors(id) {
+                send_frame(&shared, id, n, &Frame::Ping { from: id.0 });
+            }
+        }
+        // Wait for the next input, timer deadline, or heartbeat tick.
+        let deadline = timers
+            .peek()
+            .map_or(next_ping, |Reverse((d, _))| (*d).min(next_ping));
+        let wait = deadline.saturating_duration_since(Instant::now());
+        let input = match rx.recv_timeout(wait) {
             Ok(i) => i,
-            Err(_) => return,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
         };
         let outs = match input {
             Input::Shutdown => return,
@@ -390,10 +964,12 @@ fn tcp_broker_main(
             }
             Input::FromClient(c, op) => {
                 if broker.client(c).is_none() {
+                    // The client moved away while the command was in
+                    // flight; forward to the current home.
                     let home = shared.registry.read().homes.get(&c).copied();
                     if let Some(h) = home {
                         if h != id {
-                            let _ = shared.inputs[&h].send(Input::FromClient(c, op));
+                            let _ = shared.inputs.read()[&h].send(Input::FromClient(c, op));
                         }
                     }
                     continue;
@@ -402,41 +978,53 @@ fn tcp_broker_main(
             }
             Input::FromBroker(from, msg) => broker.handle(Hop::Broker(from), msg),
         };
-        for o in outs {
-            match o {
-                Output::Send { to, msg } => {
-                    if let Some(w) = writers.get(&to) {
-                        let mut w = w.lock();
-                        let frame = Frame { from: id.0, msg };
-                        if let Ok(line) = serde_json::to_string(&frame) {
-                            let _ = writeln!(w, "{line}");
-                            let _ = w.flush();
-                        }
-                    }
+        dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+    }
+}
+
+fn dispatch(
+    id: BrokerId,
+    shared: &Arc<Shared>,
+    timers: &mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
+    cancelled: &mut BTreeSet<TimerToken>,
+    outs: Vec<Output>,
+) {
+    for o in outs {
+        match o {
+            Output::Send { to, msg } => {
+                send_frame(shared, id, to, &Frame::Msg { from: id.0, msg });
+            }
+            Output::DeliverToApp {
+                client,
+                publication,
+            } => {
+                let reg = shared.registry.read();
+                if let Some(tx) = reg.deliveries.get(&client) {
+                    let _ = tx.send(publication);
                 }
-                Output::DeliverToApp {
-                    client,
-                    publication,
-                } => {
-                    let reg = shared.registry.read();
-                    if let Some(tx) = reg.deliveries.get(&client) {
-                        let _ = tx.send(publication);
-                    }
+            }
+            Output::SetTimer { token, delay_ns } => {
+                cancelled.remove(&token);
+                timers.push(Reverse((
+                    Instant::now() + Duration::from_nanos(delay_ns),
+                    token,
+                )));
+            }
+            Output::CancelTimer { token } => {
+                cancelled.insert(token);
+            }
+            Output::MoveFinished {
+                m,
+                client,
+                committed,
+            } => {
+                let reg = shared.registry.read();
+                if let Some(tx) = reg.move_events.get(&client) {
+                    let _ = tx.send(MoveOutcome { m, committed });
                 }
-                Output::MoveFinished {
-                    m,
-                    client,
-                    committed,
-                } => {
-                    let reg = shared.registry.read();
-                    if let Some(tx) = reg.move_events.get(&client) {
-                        let _ = tx.send(MoveOutcome { m, committed });
-                    }
-                }
-                Output::ClientArrived { client, .. } => {
-                    shared.registry.write().homes.insert(client, id);
-                }
-                Output::SetTimer { .. } | Output::CancelTimer { .. } => {}
+            }
+            Output::ClientArrived { client, .. } => {
+                shared.registry.write().homes.insert(client, id);
             }
         }
     }
@@ -503,6 +1091,18 @@ mod tests {
         assert!(s.move_to(b(2), ProtocolKind::Covering, Duration::from_secs(10)));
         p.publish(Publication::new().with("x", 3));
         assert!(s.recv_timeout(Duration::from_secs(3)).is_some());
+        net.shutdown();
+    }
+
+    #[test]
+    fn heartbeats_flow_between_neighbours() {
+        let net =
+            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        std::thread::sleep(HEARTBEAT_INTERVAL * 6);
+        assert!(net.heartbeats_seen(b(1)) > 0, "no pings reached broker 1");
+        assert!(net.heartbeats_seen(b(2)) > 0, "no pings reached broker 2");
+        assert!(net.link_up(b(1), b(2)) && net.link_up(b(2), b(1)));
+        assert!(net.peer_silence(b(1), b(2)).unwrap() < Duration::from_secs(1));
         net.shutdown();
     }
 

@@ -24,14 +24,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod durable;
+pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod sim;
 pub mod time;
 pub mod wal;
 
+pub use durable::WalDurability;
+pub use fault::{CrashKind, FaultPlan, LinkFaults, Partition, ScheduledCrash};
 pub use metrics::{DeliveryRecord, Metrics, MoveRecord};
 pub use network::{LinkModel, NetworkModel, NodeModel};
 pub use sim::{MovementPlan, Sim};
 pub use time::{SimDuration, SimTime};
-pub use wal::Wal;
+pub use wal::{SyncPolicy, Wal};

@@ -14,16 +14,18 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use transmob_broker::{Hop, Topology};
 use transmob_core::{
-    ClientOp, Message, MobileBroker, MobileBrokerConfig, Output, ProtocolKind, TimerToken,
+    ClientOp, DurabilityLog, MemoryLog, Message, MobileBroker, MobileBrokerConfig, Output,
+    ProtocolKind, TimerToken,
 };
 use transmob_pubsub::{BrokerId, ClientId, MoveId};
 
+use crate::fault::{CrashKind, FaultPlan, LinkFaults, Partition};
 use crate::metrics::Metrics;
 use crate::network::NetworkModel;
 use crate::time::{SimDuration, SimTime};
@@ -65,10 +67,23 @@ enum EventKind {
         client: ClientId,
         op: ClientOp,
     },
-    /// A protocol timer fires.
-    Timer { broker: BrokerId, token: TimerToken },
+    /// A protocol timer fires. `epoch` is the owner's timer epoch at
+    /// arm time: a state-loss restart bumps the epoch, so timers armed
+    /// before the crash are recognizably stale (they died with the
+    /// process) and are discarded at pop.
+    Timer {
+        broker: BrokerId,
+        token: TimerToken,
+        epoch: u64,
+    },
+    /// A scheduled broker crash (from a [`FaultPlan`]).
+    Crash {
+        broker: BrokerId,
+        restart_at: SimTime,
+        kind: CrashKind,
+    },
     /// A crashed broker restarts.
-    Restart { broker: BrokerId },
+    Restart { broker: BrokerId, kind: CrashKind },
 }
 
 #[derive(Debug)]
@@ -101,6 +116,7 @@ impl Ord for Event {
 pub struct Sim {
     topology: Arc<Topology>,
     model: NetworkModel,
+    config: MobileBrokerConfig,
     brokers: BTreeMap<BrokerId, MobileBroker>,
     clock: SimTime,
     heap: BinaryHeap<Event>,
@@ -121,6 +137,16 @@ pub struct Sim {
     /// restart.
     held: BTreeMap<BrokerId, Vec<Event>>,
     events_processed: u64,
+    /// Per-broker durability logs ([`Sim::enable_durability`]); the
+    /// source of truth for state-loss recovery.
+    logs: BTreeMap<BrokerId, Arc<Mutex<MemoryLog>>>,
+    /// Bumped on every state-loss restart; see [`EventKind::Timer`].
+    timer_epoch: BTreeMap<BrokerId, u64>,
+    partitions: Vec<Partition>,
+    link_faults: LinkFaults,
+    fault_rng: StdRng,
+    faults_dropped: u64,
+    faults_duplicated: u64,
 }
 
 impl Sim {
@@ -145,6 +171,7 @@ impl Sim {
         Sim {
             topology,
             model,
+            config,
             brokers,
             clock: SimTime::ZERO,
             heap: BinaryHeap::new(),
@@ -161,7 +188,80 @@ impl Sim {
             crashed: BTreeSet::new(),
             held: BTreeMap::new(),
             events_processed: 0,
+            logs: BTreeMap::new(),
+            timer_epoch: BTreeMap::new(),
+            partitions: Vec::new(),
+            link_faults: LinkFaults::none(),
+            fault_rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            faults_dropped: 0,
+            faults_duplicated: 0,
         }
+    }
+
+    /// Attaches an in-memory durability log to every broker (the sim's
+    /// stand-in for [`crate::WalDurability`]): every external input is
+    /// logged before it is applied, and periodic checkpoints truncate
+    /// the tail. Required before any [`CrashKind::StateLoss`] crash.
+    pub fn enable_durability(&mut self) {
+        for (id, broker) in self.brokers.iter_mut() {
+            let log = MemoryLog::shared();
+            let dyn_log: Arc<Mutex<dyn DurabilityLog>> = log.clone();
+            broker
+                .attach_durability(dyn_log)
+                .expect("in-memory durability cannot fail");
+            self.logs.insert(*id, log);
+        }
+    }
+
+    /// Whether [`Sim::enable_durability`] has run.
+    pub fn durability_enabled(&self) -> bool {
+        !self.logs.is_empty()
+    }
+
+    /// Schedules every fault in `plan`: crashes become events, link
+    /// outage windows and drop/duplication probabilities take effect
+    /// immediately. The drop/dup decisions draw from a dedicated RNG
+    /// reseeded from `plan.seed`, so the simulation's own randomness is
+    /// untouched and runs are reproducible per (sim seed, plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan contains a state-loss crash and durability is
+    /// not enabled.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        assert!(
+            !plan.needs_durability() || self.durability_enabled(),
+            "state-loss crashes require Sim::enable_durability()"
+        );
+        self.fault_rng = StdRng::seed_from_u64(plan.seed ^ 0x9e37_79b9_7f4a_7c15);
+        self.partitions.extend_from_slice(&plan.partitions);
+        self.link_faults = plan.link;
+        for c in &plan.crashes {
+            self.push(
+                c.at,
+                EventKind::Crash {
+                    broker: c.broker,
+                    restart_at: c.restart_at,
+                    kind: c.kind,
+                },
+            );
+        }
+    }
+
+    /// Messages dropped by [`LinkFaults::drop_prob`] so far.
+    pub fn faults_dropped(&self) -> u64 {
+        self.faults_dropped
+    }
+
+    /// Messages duplicated by [`LinkFaults::dup_prob`] so far.
+    pub fn faults_duplicated(&self) -> u64 {
+        self.faults_duplicated
+    }
+
+    /// Outstanding cancelled-timer bookkeeping entries (leak check:
+    /// quiescent runs must end at zero).
+    pub fn cancelled_timers(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Enables the full delivery log (property-checking runs).
@@ -213,6 +313,17 @@ impl Sim {
         self.heap.push(Event { time, seq, kind });
     }
 
+    /// Pushes an event that *continues* an earlier one (an `Exec` for
+    /// its `Arrive`, a `CmdExec` for its `Cmd`), reusing the original
+    /// sequence number. The seq is the arrival-order witness: if the
+    /// broker crashes mid-processing, the re-held event must sort back
+    /// into the persisted input queue at its original arrival position,
+    /// or replay could reorder a link's FIFO (e.g. an abort overtaking
+    /// the ack it chased).
+    fn push_continuation(&mut self, time: SimTime, seq: u64, kind: EventKind) {
+        self.heap.push(Event { time, seq, kind });
+    }
+
     /// Creates (attaches and starts) a client at `broker`, effective
     /// immediately.
     pub fn create_client(&mut self, broker: BrokerId, client: ClientId) {
@@ -248,12 +359,44 @@ impl Sim {
         self.plan_deadline = Some(t);
     }
 
-    /// Crashes a broker until `restart_at`: messages addressed to it
-    /// are delayed (queue state persists, per the paper's fault
-    /// model), and its timers are deferred.
+    /// Crashes a broker warm until `restart_at`: messages addressed to
+    /// it are delayed (queue state persists, per the paper's fault
+    /// model), its timers are deferred, and its algorithmic state
+    /// survives untouched.
     pub fn crash_broker(&mut self, broker: BrokerId, restart_at: SimTime) {
         self.crashed.insert(broker);
-        self.push(restart_at, EventKind::Restart { broker });
+        self.push(
+            restart_at,
+            EventKind::Restart {
+                broker,
+                kind: CrashKind::Warm,
+            },
+        );
+    }
+
+    /// Crashes a broker *with state loss* until `restart_at`: the
+    /// in-memory broker and all of its timers are destroyed, and the
+    /// restart rebuilds it from its durability log (checkpoint + WAL
+    /// replay) via `MobileBroker::recover`, re-arming the timers of
+    /// in-flight movements. Queued messages still wait out the outage
+    /// (persistent queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Sim::enable_durability`] has run.
+    pub fn crash_broker_lossy(&mut self, broker: BrokerId, restart_at: SimTime) {
+        assert!(
+            self.logs.contains_key(&broker),
+            "state-loss crash requires Sim::enable_durability()"
+        );
+        self.crashed.insert(broker);
+        self.push(
+            restart_at,
+            EventKind::Restart {
+                broker,
+                kind: CrashKind::StateLoss,
+            },
+        );
     }
 
     /// Runs until the event queue is empty or the clock passes
@@ -320,8 +463,9 @@ impl Sim {
                 };
                 let done = start + self.model.sample_process(dst, entries, &mut self.rng);
                 self.broker_free.insert(dst, done);
-                self.push(
+                self.push_continuation(
                     done,
+                    ev_seq,
                     EventKind::Exec {
                         dst,
                         from,
@@ -336,6 +480,23 @@ impl Sim {
                 msg,
                 cause,
             } => {
+                if self.crashed.contains(&dst) {
+                    // The broker died between queueing and processing:
+                    // the message goes back to the persisted input
+                    // queue (as an Arrive, so it pays processing again
+                    // after the restart).
+                    self.held.entry(dst).or_default().push(Event {
+                        time: self.clock,
+                        seq: ev_seq,
+                        kind: EventKind::Arrive {
+                            dst,
+                            from,
+                            msg,
+                            cause,
+                        },
+                    });
+                    return;
+                }
                 let cause = match &msg {
                     Message::Move(mv) => Some(mv.move_id()),
                     Message::PubSub(_) => cause,
@@ -371,9 +532,20 @@ impl Sim {
                 };
                 let done = start + self.model.sample_process(broker, entries, &mut self.rng);
                 self.broker_free.insert(broker, done);
-                self.push(done, EventKind::CmdExec { broker, client, op });
+                self.push_continuation(done, ev_seq, EventKind::CmdExec { broker, client, op });
             }
             EventKind::CmdExec { broker, client, op } => {
+                if self.crashed.contains(&broker) {
+                    // Crashed mid-processing: back to the persisted
+                    // queue (as a Cmd, which also re-resolves the
+                    // client's home after recovery).
+                    self.held.entry(broker).or_default().push(Event {
+                        time: self.clock,
+                        seq: ev_seq,
+                        kind: EventKind::Cmd { client, op },
+                    });
+                    return;
+                }
                 if self.brokers[&broker].client(client).is_none() {
                     // The client moved away between command arrival and
                     // execution (its stub was cleaned up when the
@@ -420,7 +592,17 @@ impl Sim {
                 }
                 self.dispatch(broker, None, outs);
             }
-            EventKind::Timer { broker, token } => {
+            EventKind::Timer {
+                broker,
+                token,
+                epoch,
+            } => {
+                if epoch < self.timer_epoch.get(&broker).copied().unwrap_or(0) {
+                    // Armed before a state-loss crash: the timer died
+                    // with the process. Do NOT consume a cancellation —
+                    // the restart swept those.
+                    return;
+                }
                 if self.cancelled.remove(&(broker, token)) {
                     return;
                 }
@@ -428,7 +610,11 @@ impl Sim {
                     self.held.entry(broker).or_default().push(Event {
                         time: self.clock,
                         seq: ev_seq,
-                        kind: EventKind::Timer { broker, token },
+                        kind: EventKind::Timer {
+                            broker,
+                            token,
+                            epoch,
+                        },
                     });
                     return;
                 }
@@ -439,17 +625,68 @@ impl Sim {
                     .handle_timer(token);
                 self.dispatch(broker, Some(token.m), outs);
             }
-            EventKind::Restart { broker } => {
+            EventKind::Crash {
+                broker,
+                restart_at,
+                kind,
+            } => {
+                if self.crashed.contains(&broker) {
+                    return; // already down; the first crash wins
+                }
+                self.crashed.insert(broker);
+                self.push(
+                    restart_at.max(self.clock),
+                    EventKind::Restart { broker, kind },
+                );
+            }
+            EventKind::Restart { broker, kind } => {
                 self.crashed.remove(&broker);
+                if kind == CrashKind::StateLoss {
+                    self.recover_from_log(broker);
+                }
                 // Replay the persisted queue in original order; the
                 // original sequence numbers keep held events ahead of
                 // anything that arrives after the restart instant.
                 for mut held in self.held.remove(&broker).unwrap_or_default() {
+                    if kind == CrashKind::StateLoss && matches!(held.kind, EventKind::Timer { .. })
+                    {
+                        // Timers are volatile; recovery re-armed what
+                        // in-flight movements still need.
+                        continue;
+                    }
                     held.time = self.clock;
                     self.heap.push(held);
                 }
             }
         }
+    }
+
+    /// Rebuilds a broker after a state-loss crash: restore the last
+    /// checkpoint, replay the WAL tail, re-arm in-flight movement
+    /// timers, and re-attach the (now freshly checkpointed) log.
+    fn recover_from_log(&mut self, broker: BrokerId) {
+        // Every pre-crash timer died with the process: bump the epoch
+        // so stale heap events are discarded at pop, and sweep their
+        // cancellation entries, which would otherwise never be consumed
+        // (the leak this satellite fixes).
+        *self.timer_epoch.entry(broker).or_insert(0) += 1;
+        self.cancelled.retain(|(b, _)| *b != broker);
+        let log = Arc::clone(self.logs.get(&broker).expect("durability enabled"));
+        let (snapshot, records) = log.lock().expect("durability log poisoned").contents();
+        let snapshot = snapshot.expect("attach_durability wrote the base checkpoint");
+        let (mut rebuilt, timer_outs) = MobileBroker::recover(
+            Arc::clone(&self.topology),
+            self.config.clone(),
+            snapshot,
+            &records,
+        );
+        let dyn_log: Arc<Mutex<dyn DurabilityLog>> = log;
+        rebuilt
+            .attach_durability(dyn_log)
+            .expect("in-memory durability cannot fail");
+        self.brokers.insert(broker, rebuilt);
+        // Re-arm timers for movements that were in flight at the crash.
+        self.dispatch(broker, None, timer_outs);
     }
 
     fn dispatch(&mut self, src: BrokerId, cause: Option<MoveId>, outs: Vec<Output>) {
@@ -461,6 +698,29 @@ impl Sim {
                         Message::PubSub(_) => cause,
                     };
                     self.metrics.count_message(msg.kind(), eff_cause);
+                    if self.link_faults.drop_prob > 0.0
+                        && self.fault_rng.gen::<f64>() < self.link_faults.drop_prob
+                    {
+                        self.faults_dropped += 1;
+                        continue;
+                    }
+                    let duplicate = self.link_faults.dup_prob > 0.0
+                        && self.fault_rng.gen::<f64>() < self.link_faults.dup_prob;
+                    // A partitioned link buffers: the message cannot
+                    // start serializing before the heal (chained
+                    // windows compound).
+                    let mut base = self.clock;
+                    loop {
+                        let healed = base;
+                        for p in &self.partitions {
+                            if p.covers(src, to, base) {
+                                base = base.max(p.until);
+                            }
+                        }
+                        if base == healed {
+                            break;
+                        }
+                    }
                     // Link: FIFO serialization server + latency.
                     let key = (src, to);
                     let depart = self
@@ -468,7 +728,7 @@ impl Sim {
                         .get(&key)
                         .copied()
                         .unwrap_or(SimTime::ZERO)
-                        .max(self.clock)
+                        .max(base)
                         + self.model.serialize_cost(src, to);
                     self.link_free.insert(key, depart);
                     let mut arrive = depart + self.model.sample_latency(src, to, &mut self.rng);
@@ -479,6 +739,20 @@ impl Sim {
                         }
                     }
                     self.link_last_arrival.insert(key, arrive);
+                    if duplicate {
+                        self.faults_duplicated += 1;
+                        let echo = arrive + SimDuration::from_nanos(1);
+                        self.link_last_arrival.insert(key, echo);
+                        self.push(
+                            echo,
+                            EventKind::Arrive {
+                                dst: to,
+                                from: Hop::Broker(src),
+                                msg: msg.clone(),
+                                cause: eff_cause,
+                            },
+                        );
+                    }
                     self.push(
                         arrive,
                         EventKind::Arrive {
@@ -499,7 +773,15 @@ impl Sim {
                 Output::SetTimer { token, delay_ns } => {
                     self.cancelled.remove(&(src, token));
                     let t = self.clock + SimDuration::from_nanos(delay_ns);
-                    self.push(t, EventKind::Timer { broker: src, token });
+                    let epoch = self.timer_epoch.get(&src).copied().unwrap_or(0);
+                    self.push(
+                        t,
+                        EventKind::Timer {
+                            broker: src,
+                            token,
+                            epoch,
+                        },
+                    );
                 }
                 Output::CancelTimer { token } => {
                     self.cancelled.insert((src, token));
@@ -523,6 +805,14 @@ impl Sim {
         }
     }
 
+    /// The broker currently holding any stub for `client` (any state).
+    pub fn find_client(&self, client: ClientId) -> Option<BrokerId> {
+        self.brokers
+            .iter()
+            .find(|(_, b)| b.client(client).is_some())
+            .map(|(id, _)| *id)
+    }
+
     fn schedule_next_plan_move(&mut self, client: ClientId) {
         let Some((plan, idx)) = self.plans.get_mut(&client) else {
             return;
@@ -539,6 +829,24 @@ impl Sim {
             }
         }
         self.schedule_cmd(at, client, ClientOp::MoveTo(dest, protocol));
+    }
+}
+
+impl transmob_core::properties::NetworkView for Sim {
+    fn view_topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn view_broker_ids(&self) -> Vec<BrokerId> {
+        self.brokers.keys().copied().collect()
+    }
+
+    fn view_broker(&self, id: BrokerId) -> &MobileBroker {
+        &self.brokers[&id]
+    }
+
+    fn view_find_client(&self, client: ClientId) -> Option<BrokerId> {
+        self.find_client(client)
     }
 }
 
@@ -746,6 +1054,244 @@ mod fifo_tests {
         assert!(
             seqs.windows(2).all(|w| w[0] < w[1]),
             "per-link FIFO violated: {seqs:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{CrashKind, FaultPlan, LinkFaults, Partition, ScheduledCrash};
+    use transmob_pubsub::{Filter, Publication};
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId(i)
+    }
+    fn c(i: u64) -> ClientId {
+        ClientId(i)
+    }
+    fn range(lo: i64, hi: i64) -> Filter {
+        Filter::builder().ge("x", lo).le("x", hi).build()
+    }
+
+    fn durable_sim(n: u32, seed: u64) -> Sim {
+        let mut sim = Sim::new(
+            Topology::chain(n),
+            MobileBrokerConfig::reconfig(),
+            NetworkModel::cluster(),
+            seed,
+        );
+        sim.enable_durability();
+        sim.create_client(b(1), c(1));
+        sim.create_client(b(n), c(2));
+        sim.schedule_cmd(SimTime(0), c(1), ClientOp::Advertise(range(0, 100)));
+        sim.schedule_cmd(SimTime(0), c(2), ClientOp::Subscribe(range(0, 100)));
+        sim.run_to_quiescence();
+        sim
+    }
+
+    /// The acceptance scenario: the target broker dies with full state
+    /// loss mid-movement, is rebuilt from checkpoint + WAL, and the
+    /// movement still completes cleanly.
+    #[test]
+    fn state_loss_crash_mid_move_recovers_and_commits() {
+        let mut sim = durable_sim(5, 9);
+        let t0 = sim.now();
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(1),
+            c(2),
+            ClientOp::MoveTo(b(2), ProtocolKind::Reconfig),
+        );
+        // ~3 ms in, the negotiate has reached (or is reaching) the
+        // target: kill it with state loss.
+        sim.run_until(t0 + SimDuration::from_millis(3));
+        sim.crash_broker_lossy(b(2), sim.now() + SimDuration::from_millis(100));
+        sim.run_to_quiescence();
+        let outcomes: Vec<Option<bool>> = sim
+            .metrics
+            .finished_moves()
+            .map(|(_, r)| r.committed)
+            .collect();
+        assert_eq!(outcomes, vec![Some(true)], "movement did not commit");
+        assert_eq!(sim.home_of(c(2)), Some(b(2)));
+        assert_eq!(sim.total_anomalies(), 0);
+        // The recovered broker routes: a publication arrives once.
+        sim.schedule_cmd(
+            sim.now() + SimDuration::from_millis(1),
+            c(1),
+            ClientOp::Publish(Publication::new().with("x", 5)),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics.delivery_count, 1);
+    }
+
+    /// Source-side variant: the broker hosting the moving client dies
+    /// with state loss; its client (and the in-flight move state) come
+    /// back from the log.
+    #[test]
+    fn state_loss_crash_of_source_mid_move_recovers() {
+        let mut sim = durable_sim(5, 21);
+        let t0 = sim.now();
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(1),
+            c(2),
+            ClientOp::MoveTo(b(2), ProtocolKind::Reconfig),
+        );
+        sim.run_until(t0 + SimDuration::from_millis(2));
+        sim.crash_broker_lossy(b(5), sim.now() + SimDuration::from_millis(100));
+        sim.run_to_quiescence();
+        // Whatever the interleaving chose (commit or timeout-abort),
+        // the client lives at exactly one broker and routing is sane.
+        let homes: Vec<BrokerId> = sim
+            .topology()
+            .brokers()
+            .filter(|id| {
+                sim.broker(*id)
+                    .client(c(2))
+                    .is_some_and(|cl| cl.state() == transmob_core::ClientState::Started)
+            })
+            .collect();
+        assert_eq!(
+            homes.len(),
+            1,
+            "client must be Started at exactly one broker"
+        );
+        assert_eq!(sim.total_anomalies(), 0);
+        sim.schedule_cmd(
+            sim.now() + SimDuration::from_millis(1),
+            c(1),
+            ClientOp::Publish(Publication::new().with("x", 7)),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.metrics.delivery_count, 1,
+            "publication lost after recovery"
+        );
+    }
+
+    /// Regression for the cancelled-timer leak: a committed movement
+    /// leaves cancellation entries whose heap events are still pending
+    /// far in the future; a state-loss crash discards those events
+    /// (epoch bump), so without the restart sweep the entries would
+    /// never be consumed.
+    #[test]
+    fn lossy_restart_sweeps_cancelled_timer_entries() {
+        let mut sim = durable_sim(4, 13);
+        let t0 = sim.now();
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(1),
+            c(2),
+            ClientOp::MoveTo(b(2), ProtocolKind::Reconfig),
+        );
+        // Move commits in a few ms; the default 30 s timers it
+        // cancelled are still sitting in the heap.
+        sim.run_until(t0 + SimDuration::from_secs(1));
+        assert!(
+            sim.cancelled_timers() > 0,
+            "test premise: outstanding cancellations after a committed move"
+        );
+        sim.crash_broker_lossy(b(2), sim.now() + SimDuration::from_millis(50));
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.cancelled_timers(),
+            0,
+            "cancelled-timer bookkeeping leaked across a lossy restart"
+        );
+        assert_eq!(sim.total_anomalies(), 0);
+    }
+
+    /// Partitions buffer traffic until the heal — nothing is lost.
+    #[test]
+    fn partition_delays_but_delivers() {
+        let mut sim = durable_sim(3, 4);
+        let t0 = sim.now();
+        let mut plan = FaultPlan::new(4);
+        plan.partitions.push(Partition {
+            a: b(1),
+            b: b(2),
+            from: t0,
+            until: t0 + SimDuration::from_secs(1),
+        });
+        sim.apply_fault_plan(&plan);
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(1),
+            c(1),
+            ClientOp::Publish(Publication::new().with("x", 3)),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics.delivery_count, 1, "partition lost a message");
+        assert!(
+            sim.now() >= t0 + SimDuration::from_secs(1),
+            "delivery did not wait out the partition"
+        );
+    }
+
+    /// Plan-scheduled warm crashes behave like `crash_broker`.
+    #[test]
+    fn fault_plan_schedules_warm_outages() {
+        let mut sim = durable_sim(5, 6);
+        let t0 = sim.now();
+        let mut plan = FaultPlan::new(6);
+        plan.crashes.push(ScheduledCrash {
+            at: t0 + SimDuration::from_millis(1),
+            broker: b(3),
+            restart_at: t0 + SimDuration::from_secs(2),
+            kind: CrashKind::Warm,
+        });
+        sim.apply_fault_plan(&plan);
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(2),
+            c(1),
+            ClientOp::Publish(Publication::new().with("x", 9)),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics.delivery_count, 1);
+        assert!(sim.now() >= t0 + SimDuration::from_secs(2));
+    }
+
+    /// Explicit link drops are counted; with `drop_prob = 1` nothing
+    /// crosses any link.
+    #[test]
+    fn drop_prob_one_loses_messages_and_counts_them() {
+        let mut sim = durable_sim(3, 8);
+        let t0 = sim.now();
+        let mut plan = FaultPlan::new(8);
+        plan.link = LinkFaults {
+            drop_prob: 1.0,
+            dup_prob: 0.0,
+        };
+        sim.apply_fault_plan(&plan);
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(1),
+            c(1),
+            ClientOp::Publish(Publication::new().with("x", 2)),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics.delivery_count, 0, "dropped message arrived");
+        assert!(sim.faults_dropped() > 0);
+    }
+
+    /// Duplication delivers twice on the wire; the counter records it.
+    #[test]
+    fn dup_prob_one_duplicates_and_counts() {
+        let mut sim = durable_sim(3, 2);
+        let t0 = sim.now();
+        let mut plan = FaultPlan::new(2);
+        plan.link = LinkFaults {
+            drop_prob: 0.0,
+            dup_prob: 1.0,
+        };
+        sim.apply_fault_plan(&plan);
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(1),
+            c(1),
+            ClientOp::Publish(Publication::new().with("x", 4)),
+        );
+        sim.run_to_quiescence();
+        assert!(sim.faults_duplicated() > 0);
+        assert!(
+            sim.metrics.delivery_count >= 1,
+            "duplication lost the original"
         );
     }
 }

@@ -28,10 +28,7 @@ fn main() {
         .expect("exactly one started+clean in finals");
     ex.check_at_most_one_started()
         .expect("at most one started everywhere");
-    let with_failures = explore(ExploreConfig {
-        allow_reject: true,
-        with_failures: true,
-    });
+    let with_failures = explore(ExploreConfig::failures());
     with_failures
         .check_final_states()
         .expect("safe with crashes");

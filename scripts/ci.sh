@@ -10,6 +10,10 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+# Chaos smoke: a small fixed budget of seeded fault schedules per
+# protocol (the nightly-sized run scales via CHAOS_CASES, e.g.
+# CHAOS_CASES=5000 scripts/ci.sh).
+CHAOS_CASES="${CHAOS_CASES:-32}" cargo test -p transmob-sim --test chaos_recovery -q
 # Bench smoke: compile every criterion bench and run each benchmark
 # for a single iteration (CRITERION_QUICK, see vendor/criterion) so
 # bench code cannot silently rot between perf PRs.
