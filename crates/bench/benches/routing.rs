@@ -12,7 +12,7 @@ use transmob_pubsub::{
     AdvId, Advertisement, BrokerId, ClientId, PubId, Publication, PublicationMsg, SubId,
     Subscription,
 };
-use transmob_workloads::{full_space_adv, SubWorkload, ATTR};
+use transmob_workloads::{full_space_adv, SubWorkload, ATTR, ATTR_TAG, ATTR_Y};
 
 fn b(i: u32) -> BrokerId {
     BrokerId(i)
@@ -239,6 +239,68 @@ fn bench_covering_release_index_vs_linear(c: &mut Criterion) {
     g.finish();
 }
 
+/// A PRT mixing the 40-group random pool with the two-attribute and
+/// string-prefix pools, so batch matching exercises the numeric sweep,
+/// the second attribute group, and the string buckets together.
+fn loaded_prt_mixed(n: usize) -> Prt {
+    let mut prt = Prt::new();
+    for i in 0..n {
+        let w = match i % 3 {
+            0 => SubWorkload::Random,
+            1 => SubWorkload::MultiAttr,
+            _ => SubWorkload::StrPrefix,
+        };
+        let sub = Subscription::new(SubId::new(ClientId(i as u64), i as u32), w.assign(i / 3));
+        prt.insert(sub, Hop::Client(ClientId(i as u64)));
+    }
+    prt
+}
+
+/// A batch of `k` publications spread across the attribute space, each
+/// carrying all three workload attributes.
+fn pub_batch(k: usize) -> Vec<Publication> {
+    (0..k)
+        .map(|i| {
+            Publication::new()
+                .with(ATTR, ((i * 997) % 100_000) as i64)
+                .with(ATTR_Y, ((i * 131) % 6_000) as i64)
+                .with(ATTR_TAG, format!("g{}x", i % 10))
+        })
+        .collect()
+}
+
+/// The PR's tentpole ablation: amortized batch matching through
+/// `matching_routes_batch`. Every row processes the *same* 256
+/// publications per iteration, chunked at the row's batch size, so
+/// `ns_per_iter` is directly comparable across batch sizes and the
+/// amortization ratio is `ns(batch1) / ns(batchK)`.
+fn bench_publish_batch(c: &mut Criterion) {
+    const TOTAL: usize = 256;
+    let mut g = c.benchmark_group("publish_batch");
+    for n in [1_000usize, 10_000] {
+        let prt = loaded_prt_mixed(n);
+        let pubs = pub_batch(TOTAL);
+        for k in [1usize, 16, 64, 256] {
+            g.bench_with_input(BenchmarkId::new(format!("batch{k}"), n), &n, |bch, _| {
+                bch.iter(|| {
+                    for chunk in pubs.chunks(k) {
+                        black_box(prt.matching_routes_batch(black_box(chunk)));
+                    }
+                })
+            });
+        }
+        // The pre-batching API as the outside baseline.
+        g.bench_with_input(BenchmarkId::new("unbatched", n), &n, |bch, _| {
+            bch.iter(|| {
+                for p in &pubs {
+                    black_box(prt.matching_routes(black_box(p)));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_prt_matching_index_vs_linear,
@@ -247,6 +309,7 @@ criterion_group!(
     bench_publish_vs_table_size,
     bench_subscribe_by_covering_mode,
     bench_release_strategies,
-    bench_advertise_flood
+    bench_advertise_flood,
+    bench_publish_batch
 );
 criterion_main!(benches);

@@ -51,7 +51,7 @@ use transmob_pubsub::{
     AdvId, Advertisement, BrokerId, ClientId, Filter, MoveId, PublicationMsg, SubId, Subscription,
 };
 
-use crate::messages::{BrokerOutput, Hop, MsgKind, PubSubMsg};
+use crate::messages::{BrokerOutput, Hop, MsgKind, OutputBatch, PubSubMsg};
 use crate::routing::{PendingRoute, Prt, Srt};
 
 /// How aggressively a broker applies the covering optimization to
@@ -250,14 +250,70 @@ impl BrokerCore {
     }
 
     /// Handles one routing-layer message arriving from `from`.
+    ///
+    /// Thin wrapper over [`BrokerCore::handle_batch`] — the batch call
+    /// is the one ingestion path; this flattens its single-element
+    /// result.
     pub fn handle(&mut self, from: Hop, msg: PubSubMsg) -> Vec<BrokerOutput> {
-        *self.stats.handled.entry(msg.kind()).or_insert(0) += 1;
-        match msg {
-            PubSubMsg::Advertise(a) => self.handle_advertise(from, a),
-            PubSubMsg::Unadvertise(id) => self.handle_unadvertise(from, id),
-            PubSubMsg::Subscribe(s) => self.handle_subscribe(from, s),
-            PubSubMsg::Unsubscribe(id) => self.handle_unsubscribe(from, id),
-            PubSubMsg::Publish(p) => self.handle_publish(from, p),
+        self.handle_batch(from, vec![msg]).into_flat()
+    }
+
+    /// Handles a batch of routing-layer messages that arrived from
+    /// `from` in order, returning the combined effects grouped for
+    /// per-destination flushing.
+    ///
+    /// Semantically equivalent to folding [`BrokerCore::handle`] over
+    /// the batch and concatenating the outputs (publications do not
+    /// mutate routing state, so a run of them commutes with nothing in
+    /// between), but maximal runs of consecutive publications are
+    /// matched through one amortized index sweep
+    /// ([`Prt::matching_routes_batch`]) instead of one probe each.
+    pub fn handle_batch(&mut self, from: Hop, msgs: Vec<PubSubMsg>) -> OutputBatch {
+        let mut batch = OutputBatch::new();
+        let mut run: Vec<PublicationMsg> = Vec::new();
+        for msg in msgs {
+            *self.stats.handled.entry(msg.kind()).or_insert(0) += 1;
+            match msg {
+                PubSubMsg::Publish(p) => run.push(p),
+                other => {
+                    self.flush_publish_run(from, &mut run, &mut batch);
+                    batch.extend(match other {
+                        PubSubMsg::Advertise(a) => self.handle_advertise(from, a),
+                        PubSubMsg::Unadvertise(id) => self.handle_unadvertise(from, id),
+                        PubSubMsg::Subscribe(s) => self.handle_subscribe(from, s),
+                        PubSubMsg::Unsubscribe(id) => self.handle_unsubscribe(from, id),
+                        PubSubMsg::Publish(_) => unreachable!("publications batched above"),
+                    });
+                }
+            }
+        }
+        self.flush_publish_run(from, &mut run, &mut batch);
+        batch
+    }
+
+    /// Routes an accumulated run of publications through one batch
+    /// matching sweep, emitting the same effects, in the same order,
+    /// as routing them one by one.
+    fn flush_publish_run(
+        &mut self,
+        from: Hop,
+        run: &mut Vec<PublicationMsg>,
+        batch: &mut OutputBatch,
+    ) {
+        match run.len() {
+            0 => {}
+            1 => {
+                // unwrap: length checked
+                let p = run.pop().unwrap();
+                batch.extend(self.handle_publish(from, p));
+            }
+            _ => {
+                let contents: Vec<_> = run.iter().map(|p| p.content.clone()).collect();
+                let routes = self.prt.matching_routes_batch(&contents);
+                for (p, routes_p) in run.drain(..).zip(routes) {
+                    batch.extend(Self::emit_publish(from, p, routes_p));
+                }
+            }
         }
     }
 
@@ -708,9 +764,21 @@ impl BrokerCore {
     // ----- publications ----------------------------------------------
 
     fn handle_publish(&mut self, from: Hop, p: PublicationMsg) -> Vec<BrokerOutput> {
+        let routes = self.prt.matching_routes(&p.content);
+        Self::emit_publish(from, p, routes)
+    }
+
+    /// Turns one publication's matched routes into forwarding effects:
+    /// deduplicated broker and client destinations, honouring both the
+    /// active and pending hops and suppressing the arrival direction.
+    fn emit_publish(
+        from: Hop,
+        p: PublicationMsg,
+        routes: Vec<(SubId, Hop, Option<Hop>)>,
+    ) -> Vec<BrokerOutput> {
         let mut broker_dests: BTreeSet<BrokerId> = BTreeSet::new();
         let mut client_dests: BTreeSet<ClientId> = BTreeSet::new();
-        for (_, active, pending) in self.prt.matching_routes(&p.content) {
+        for (_, active, pending) in routes {
             for hop in [Some(active), pending].into_iter().flatten() {
                 if hop == from {
                     continue;

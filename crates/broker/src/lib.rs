@@ -28,7 +28,7 @@ pub mod sync_net;
 pub mod topology;
 
 pub use broker::{BrokerConfig, BrokerCore, BrokerStats, CoveringMode};
-pub use messages::{BrokerOutput, Hop, MsgKind, PubSubMsg};
+pub use messages::{BrokerOutput, Hop, MsgKind, OutputBatch, PubSubMsg};
 pub use routing::{AdvEntry, PendingRoute, Prt, Srt, SubEntry};
 pub use sync_net::{Delivery, SyncNet};
 pub use topology::{Route, Topology, TopologyError};

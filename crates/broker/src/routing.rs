@@ -16,6 +16,7 @@ use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
+use transmob_pubsub::fasthash::FastMap;
 use transmob_pubsub::{
     AdvId, Advertisement, Filter, MatchIndex, MoveId, Publication, SubId, Subscription,
 };
@@ -524,6 +525,54 @@ impl Prt {
             .collect()
     }
 
+    /// [`Prt::matching`] for every publication of a batch, in batch
+    /// order. Served by the counting index's amortized sweep
+    /// ([`MatchIndex::matching_batch`]); identical to mapping
+    /// [`Prt::matching`] over the slice (asserted in debug builds).
+    pub fn matching_batch(&self, publications: &[Publication]) -> Vec<Vec<SubId>> {
+        let out = self.index.matching_batch(publications);
+        #[cfg(debug_assertions)]
+        for (i, p) in publications.iter().enumerate() {
+            debug_assert_eq!(
+                out[i],
+                self.matching_linear(p),
+                "batch match index diverged from the linear matching scan"
+            );
+        }
+        out
+    }
+
+    /// [`Prt::matching_routes`] for every publication of a batch, in
+    /// batch order: the amortized matching sweep joined with the
+    /// active and pending lasthops publication forwarding needs.
+    ///
+    /// Matching ids repeat heavily across a batch (hot subscriptions
+    /// match most publications), so the row lookup is cached per
+    /// distinct id: one tree walk per distinct subscription, a hash
+    /// probe per repeat.
+    pub fn matching_routes_batch(
+        &self,
+        publications: &[Publication],
+    ) -> Vec<Vec<(SubId, Hop, Option<Hop>)>> {
+        let mut routes: FastMap<SubId, (Hop, Option<Hop>)> = FastMap::default();
+        self.matching_batch(publications)
+            .into_iter()
+            .map(|ids| {
+                ids.into_iter()
+                    .map(|id| {
+                        let (lasthop, pending) = *routes.entry(id).or_insert_with(|| {
+                            // unwrap: the index never returns ids
+                            // without a row
+                            let e = &self.entries[&id];
+                            (e.lasthop, e.pending.as_ref().map(|p| p.lasthop))
+                        });
+                        (id, lasthop, pending)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Ids of subscriptions whose filter overlaps `filter`. Served by
     /// the counting index.
     pub fn overlapping(&self, filter: &Filter) -> Vec<SubId> {
@@ -718,6 +767,28 @@ mod tests {
                 (s2.id, Hop::Broker(BrokerId(4)), None),
             ]
         );
+    }
+
+    #[test]
+    fn batch_matching_routes_agree_with_per_publication_routes() {
+        let mut prt = Prt::new();
+        let s1 = sub(1, 0, 0, 10);
+        let s2 = sub(2, 0, 5, 20);
+        prt.insert(s1.clone(), Hop::Client(ClientId(1)));
+        prt.insert(s2.clone(), Hop::Broker(BrokerId(4)));
+        prt.get_mut(s1.id).unwrap().pending = Some(PendingRoute {
+            move_id: MoveId(3),
+            lasthop: Hop::Broker(BrokerId(7)),
+        });
+        let batch: Vec<Publication> = [7i64, 15, 40, 0]
+            .into_iter()
+            .map(|x| Publication::new().with("x", x))
+            .collect();
+        let got = prt.matching_routes_batch(&batch);
+        assert_eq!(got.len(), batch.len());
+        for (i, p) in batch.iter().enumerate() {
+            assert_eq!(got[i], prt.matching_routes(p), "probe {i}");
+        }
     }
 
     #[test]

@@ -139,12 +139,29 @@ impl SyncNet {
 
     /// Drains the message queue, routing every output until the
     /// network is quiescent.
+    ///
+    /// Consecutive queue entries sharing a destination and arrival
+    /// direction are ingested through one [`BrokerCore::handle_batch`]
+    /// call. The batch call is defined as the sequential fold of the
+    /// per-message handling, and its effects are appended in the same
+    /// order the fold would emit them, so the global processing order
+    /// (and thus convergence and traffic) is unchanged.
     pub fn run(&mut self) {
         while let Some((dst, from, msg)) = self.queue.pop_front() {
             *self.traffic.entry(msg.kind()).or_insert(0) += 1;
+            let mut msgs = vec![msg];
+            while let Some((d2, f2, _)) = self.queue.front() {
+                if *d2 != dst || *f2 != from {
+                    break;
+                }
+                // unwrap: front() just matched
+                let (_, _, m) = self.queue.pop_front().unwrap();
+                *self.traffic.entry(m.kind()).or_insert(0) += 1;
+                msgs.push(m);
+            }
             let broker = self.brokers.get_mut(&dst).expect("unknown broker id");
-            let outputs = broker.handle(from, msg);
-            self.route_outputs(dst, outputs);
+            let outputs = broker.handle_batch(from, msgs);
+            self.route_outputs(dst, outputs.into_flat());
         }
     }
 

@@ -113,6 +113,25 @@ pub trait DurabilityLog: fmt::Debug + Send {
     /// than continue past a lost record.
     fn append(&mut self, record: &DurabilityRecord) -> io::Result<()>;
 
+    /// Durably appends a batch of records, atomically with respect to
+    /// crash recovery: after a crash, the log replays either a prefix
+    /// of the batch or all of it, never a subsequence with holes.
+    ///
+    /// The records stay *individual* — recovery replays them one by
+    /// one — so the default implementation is a plain append loop.
+    /// Implementations with per-append sync cost (a file WAL) override
+    /// this to pay one flush for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors, as [`DurabilityLog::append`].
+    fn append_batch(&mut self, records: &[DurabilityRecord]) -> io::Result<()> {
+        for r in records {
+            self.append(r)?;
+        }
+        Ok(())
+    }
+
     /// Atomically replaces the checkpoint with `snapshot` and
     /// truncates the records it supersedes.
     ///

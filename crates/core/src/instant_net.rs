@@ -18,6 +18,7 @@ use transmob_pubsub::{BrokerId, ClientId, MoveId, PublicationMsg};
 
 use crate::messages::{ClientOp, Message, Output, TimerToken};
 use crate::mobile_broker::{MobileBroker, MobileBrokerConfig};
+use crate::transport::{flush_outputs, Transport};
 
 /// An observable event produced while draining the network.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +71,9 @@ pub struct ArmedTimer {
 pub struct InstantNet {
     topology: Arc<Topology>,
     brokers: BTreeMap<BrokerId, MobileBroker>,
-    queue: VecDeque<(BrokerId, Hop, Message, Option<MoveId>)>,
+    /// Queued message batches: each entry is one coalesced frame (all
+    /// messages arrived together from one hop, processed in order).
+    queue: VecDeque<(BrokerId, Hop, Vec<Message>, Option<MoveId>)>,
     events: Vec<NetEvent>,
     timers: Vec<ArmedTimer>,
     traffic: BTreeMap<MsgKind, u64>,
@@ -183,22 +186,22 @@ impl InstantNet {
         self.dispatch(broker, None, outs);
     }
 
-    /// Processes at most `n` queued messages (partial execution for
-    /// mid-protocol failure injection). Returns how many were
+    /// Processes at most `n` queued message batches (partial execution
+    /// for mid-protocol failure injection). Returns how many were
     /// processed.
     pub fn step_n(&mut self, n: usize) -> usize {
         let mut done = 0;
         while done < n {
-            let Some((dst, from, msg, cause)) = self.queue.pop_front() else {
+            let Some((dst, from, msgs, cause)) = self.queue.pop_front() else {
                 break;
             };
-            self.process_one(dst, from, msg, cause);
+            self.process_batch(dst, from, msgs, cause);
             done += 1;
         }
         done
     }
 
-    /// Number of messages currently queued.
+    /// Number of message batches currently queued.
     pub fn queued(&self) -> usize {
         self.queue.len()
     }
@@ -235,70 +238,63 @@ impl InstantNet {
 
     /// Drains the queue until quiescent.
     pub fn run(&mut self) {
-        while let Some((dst, from, msg, cause)) = self.queue.pop_front() {
-            self.process_one(dst, from, msg, cause);
+        while let Some((dst, from, msgs, cause)) = self.queue.pop_front() {
+            self.process_batch(dst, from, msgs, cause);
         }
     }
 
-    fn process_one(&mut self, dst: BrokerId, from: Hop, msg: Message, cause: Option<MoveId>) {
-        *self.traffic.entry(msg.kind()).or_insert(0) += 1;
-        // Movement messages attribute to their own transaction;
-        // everything else inherits the cause of the message that
-        // produced it.
-        let cause = match &msg {
-            Message::Move(mv) => Some(mv.move_id()),
-            Message::PubSub(_) => cause,
-        };
+    /// Processes one queued batch. Movement messages attribute to their
+    /// own transaction while everything else inherits the cause of the
+    /// message that produced it, so the batch is split into maximal
+    /// runs sharing an effective cause; each run goes through
+    /// [`MobileBroker::handle_batch`] (defined as the per-message
+    /// fold), keeping metrics identical to unbatched processing.
+    fn process_batch(
+        &mut self,
+        dst: BrokerId,
+        from: Hop,
+        msgs: Vec<Message>,
+        cause: Option<MoveId>,
+    ) {
+        let mut run: Vec<Message> = Vec::new();
+        let mut run_cause: Option<MoveId> = None;
+        for msg in msgs {
+            *self.traffic.entry(msg.kind()).or_insert(0) += 1;
+            let eff = match &msg {
+                Message::Move(mv) => Some(mv.move_id()),
+                Message::PubSub(_) => cause,
+            };
+            if !run.is_empty() && eff != run_cause {
+                let batch = std::mem::take(&mut run);
+                self.exec_run(dst, from, run_cause, batch);
+            }
+            run_cause = eff;
+            run.push(msg);
+        }
+        if !run.is_empty() {
+            self.exec_run(dst, from, run_cause, run);
+        }
+    }
+
+    fn exec_run(&mut self, dst: BrokerId, from: Hop, cause: Option<MoveId>, msgs: Vec<Message>) {
         if let Some(m) = cause {
-            *self.per_move.entry(m).or_insert(0) += 1;
+            *self.per_move.entry(m).or_insert(0) += msgs.len() as u64;
         }
         let outs = self
             .brokers
             .get_mut(&dst)
             .expect("unknown broker")
-            .handle(from, msg);
+            .handle_batch(from, msgs);
         self.dispatch(dst, cause, outs);
     }
 
     fn dispatch(&mut self, src: BrokerId, cause: Option<MoveId>, outs: Vec<Output>) {
-        for o in outs {
-            match o {
-                Output::Send { to, msg } => {
-                    self.queue.push_back((to, Hop::Broker(src), msg, cause));
-                }
-                Output::DeliverToApp {
-                    client,
-                    publication,
-                } => self.events.push(NetEvent::Delivered {
-                    broker: src,
-                    client,
-                    publication,
-                }),
-                Output::SetTimer { token, delay_ns } => self.timers.push(ArmedTimer {
-                    broker: src,
-                    token,
-                    delay_ns,
-                }),
-                Output::CancelTimer { token } => {
-                    self.timers
-                        .retain(|t| !(t.broker == src && t.token == token));
-                }
-                Output::MoveFinished {
-                    m,
-                    client,
-                    committed,
-                } => self.events.push(NetEvent::MoveFinished {
-                    m,
-                    client,
-                    committed,
-                }),
-                Output::ClientArrived { m, client } => self.events.push(NetEvent::ClientArrived {
-                    m,
-                    client,
-                    broker: src,
-                }),
-            }
-        }
+        let mut flush = InstantFlush {
+            net: self,
+            src,
+            cause,
+        };
+        flush_outputs(&mut flush, outs);
     }
 
     /// Removes and returns the recorded events.
@@ -371,6 +367,65 @@ impl InstantNet {
     /// Iterates the brokers.
     pub fn brokers(&self) -> impl Iterator<Item = (&BrokerId, &MobileBroker)> {
         self.brokers.iter()
+    }
+}
+
+/// [`Transport`] adapter for one broker step: queues coalesced frames
+/// with their cause attribution and records events/timers.
+struct InstantFlush<'a> {
+    net: &'a mut InstantNet,
+    src: BrokerId,
+    cause: Option<MoveId>,
+}
+
+impl Transport for InstantFlush<'_> {
+    fn send_batch(&mut self, to: BrokerId, msgs: Vec<Message>) {
+        self.net
+            .queue
+            .push_back((to, Hop::Broker(self.src), msgs, self.cause));
+    }
+
+    fn deliver_batch(&mut self, client: ClientId, publications: Vec<PublicationMsg>) {
+        for publication in publications {
+            self.net.events.push(NetEvent::Delivered {
+                broker: self.src,
+                client,
+                publication,
+            });
+        }
+    }
+
+    fn control(&mut self, output: Output) {
+        match output {
+            Output::SetTimer { token, delay_ns } => self.net.timers.push(ArmedTimer {
+                broker: self.src,
+                token,
+                delay_ns,
+            }),
+            Output::CancelTimer { token } => {
+                let src = self.src;
+                self.net
+                    .timers
+                    .retain(|t| !(t.broker == src && t.token == token));
+            }
+            Output::MoveFinished {
+                m,
+                client,
+                committed,
+            } => self.net.events.push(NetEvent::MoveFinished {
+                m,
+                client,
+                committed,
+            }),
+            Output::ClientArrived { m, client } => self.net.events.push(NetEvent::ClientArrived {
+                m,
+                client,
+                broker: self.src,
+            }),
+            Output::Send { .. } | Output::DeliverToApp { .. } => {
+                unreachable!("flush_outputs routes batchable effects to the batch verbs")
+            }
+        }
     }
 }
 

@@ -61,6 +61,7 @@ pub mod modelcheck;
 pub mod persistence;
 pub mod properties;
 pub mod states;
+pub mod transport;
 
 pub use client_stub::{DeliverOutcome, HostedClient};
 pub use durability::{
@@ -75,3 +76,4 @@ pub use mobile_broker::{MobileBroker, MobileBrokerConfig};
 pub use persistence::BrokerSnapshot;
 pub use properties::NetworkView;
 pub use states::{ClientState, SourceCoordState, TargetCoordState};
+pub use transport::{flush_outputs, Transport};

@@ -386,6 +386,33 @@ impl MobileBroker {
         outer
     }
 
+    /// Enters one input frame covering a whole message batch: at depth
+    /// 0 every message is appended write-ahead through one
+    /// [`DurabilityLog::append_batch`] call before anything is applied.
+    fn begin_input_batch(&mut self, from: Hop, msgs: &[Message]) -> bool {
+        let outer = self.input_depth == 0;
+        self.input_depth += 1;
+        if outer {
+            if let Some(log) = &self.log {
+                let records: Vec<DurabilityRecord> = msgs
+                    .iter()
+                    .map(|msg| {
+                        DurabilityRecord::new(LoggedInput::Message {
+                            from,
+                            msg: msg.clone(),
+                        })
+                    })
+                    .collect();
+                log.lock()
+                    .expect("durability log poisoned")
+                    .append_batch(&records)
+                    .expect("durability append failed: refusing to run ahead of the log");
+                self.records_since_checkpoint += records.len() as u32;
+            }
+        }
+        outer
+    }
+
     /// Leaves an input frame; at depth 0 runs the periodic checkpoint.
     fn end_input(&mut self, outer: bool) {
         self.input_depth -= 1;
@@ -666,6 +693,51 @@ impl MobileBroker {
         let out = self.handle_apply(from, msg);
         self.end_input(outer);
         out
+    }
+
+    /// Handles a batch of incoming messages that arrived together from
+    /// one hop, in order.
+    ///
+    /// Defined as the sequential fold of [`MobileBroker::handle`]: the
+    /// outputs are the concatenation, in order, of what per-message
+    /// handling would emit. Batching buys two amortizations: the whole
+    /// batch is logged with one [`DurabilityLog::append_batch`] call
+    /// (one flush on file-backed logs; the records stay individual, so
+    /// crash recovery can still replay a prefix), and maximal runs of
+    /// consecutive pub/sub messages go through
+    /// [`BrokerCore::handle_batch`], which amortizes publication
+    /// matching across the run.
+    pub fn handle_batch(&mut self, from: Hop, mut msgs: Vec<Message>) -> Vec<Output> {
+        match msgs.len() {
+            0 => return Vec::new(),
+            1 => return self.handle(from, msgs.pop().expect("len checked")),
+            _ => {}
+        }
+        let outer = self.begin_input_batch(from, &msgs);
+        let mut out = Vec::new();
+        let mut run: Vec<PubSubMsg> = Vec::new();
+        for msg in msgs {
+            match msg {
+                Message::PubSub(p) => run.push(p),
+                Message::Move(mv) => {
+                    self.flush_pubsub_run(from, &mut run, &mut out);
+                    out.extend(self.handle_move(from, mv));
+                }
+            }
+        }
+        self.flush_pubsub_run(from, &mut run, &mut out);
+        self.end_input(outer);
+        out
+    }
+
+    /// Applies a buffered run of consecutive pub/sub messages through
+    /// the routing core's batch entry point.
+    fn flush_pubsub_run(&mut self, from: Hop, run: &mut Vec<PubSubMsg>, out: &mut Vec<Output>) {
+        if run.is_empty() {
+            return;
+        }
+        let batch = self.core.handle_batch(from, std::mem::take(run));
+        out.extend(self.absorb(batch.into_flat()));
     }
 
     fn handle_apply(&mut self, from: Hop, msg: Message) -> Vec<Output> {

@@ -87,9 +87,11 @@
 //! linear scans alive as a differential oracle.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 use std::hash::Hash;
+
+use crate::fasthash::FastMap;
 
 use crate::constraint::{Bound, Constraint, Interval, TotalF64};
 use crate::filter::Filter;
@@ -130,8 +132,8 @@ enum Slot {
         hi_excl: bool,
         has_exclusions: bool,
     },
-    StrEq(String),
-    StrPre(String),
+    StrEq(String, bool),
+    StrPre(String, bool),
     Other,
 }
 
@@ -163,10 +165,15 @@ fn classify(c: &Constraint) -> Slot {
             }
         }
         Constraint::Str(s) => {
+            // `exact`: reaching the bucket already proves satisfaction,
+            // so probes may bump without consulting the authoritative
+            // constraint (the data-local trick of `NumRow`).
+            let plain = s.excluded.is_empty() && s.suffixes.is_empty() && s.contains.is_empty();
             if let Some(p) = s.interval.as_point() {
-                Slot::StrEq(p.clone())
+                Slot::StrEq(p.clone(), plain && s.prefixes.is_empty())
             } else if let Some(p) = s.prefixes.first() {
-                Slot::StrPre(p.clone())
+                let exact = plain && s.prefixes.len() == 1 && s.interval == Interval::full();
+                Slot::StrPre(p.clone(), exact)
             } else {
                 Slot::Other
             }
@@ -191,6 +198,15 @@ fn num_endpoints(slot: &Slot) -> Option<(TotalF64, TotalF64)> {
     }
 }
 
+/// One string-bucket row. `exact` means a probe that reaches the
+/// bucket (equal string / matching prefix) is already known satisfied,
+/// so the hot matching paths skip the per-key constraint lookup.
+#[derive(Debug, Clone)]
+struct StrRow<K> {
+    key: K,
+    exact: bool,
+}
+
 /// One row of the dual-endpoint containment structure. The stored
 /// interval travels with the key so that containment/overlap
 /// verification is data-local (no tree lookup per candidate); rows
@@ -204,10 +220,19 @@ struct EndRow<K> {
     has_exclusions: bool,
 }
 
-fn drop_from_bucket<Q: Eq + Hash, K: PartialEq>(map: &mut HashMap<Q, Vec<K>>, slot: &Q, key: &K) {
+fn drop_from_bucket<Q: Eq + Hash, K: PartialEq>(map: &mut FastMap<Q, Vec<K>>, slot: &Q, key: &K) {
     if let Some(keys) = map.get_mut(slot) {
         keys.retain(|k| k != key);
         if keys.is_empty() {
+            map.remove(slot);
+        }
+    }
+}
+
+fn drop_str_row<K: PartialEq>(map: &mut FastMap<String, Vec<StrRow<K>>>, slot: &str, key: &K) {
+    if let Some(rows) = map.get_mut(slot) {
+        rows.retain(|r| r.key != *key);
+        if rows.is_empty() {
             map.remove(slot);
         }
     }
@@ -255,7 +280,7 @@ struct AttrIndex<K> {
     /// Authoritative constraint per key, also used for the overlap
     /// disqualification scan (sorted so results come out ordered).
     cons: BTreeMap<K, Constraint>,
-    num_eq: HashMap<u64, Vec<K>>,
+    num_eq: FastMap<u64, Vec<K>>,
     num_lo: BTreeMap<TotalF64, Vec<NumRow<K>>>,
     /// Every numeric constraint (points included), keyed by its
     /// effective lower endpoint: one half of the dual-endpoint
@@ -263,8 +288,8 @@ struct AttrIndex<K> {
     by_lo: BTreeMap<TotalF64, Vec<EndRow<K>>>,
     /// The same rows keyed by their effective upper endpoint.
     by_hi: BTreeMap<TotalF64, Vec<EndRow<K>>>,
-    str_eq: HashMap<String, Vec<K>>,
-    str_pre: HashMap<String, Vec<K>>,
+    str_eq: FastMap<String, Vec<StrRow<K>>>,
+    str_pre: FastMap<String, Vec<StrRow<K>>>,
     present: Vec<K>,
     other: Vec<K>,
 }
@@ -273,12 +298,12 @@ impl<K: IndexKey> AttrIndex<K> {
     fn new() -> Self {
         AttrIndex {
             cons: BTreeMap::new(),
-            num_eq: HashMap::new(),
+            num_eq: FastMap::default(),
             num_lo: BTreeMap::new(),
             by_lo: BTreeMap::new(),
             by_hi: BTreeMap::new(),
-            str_eq: HashMap::new(),
-            str_pre: HashMap::new(),
+            str_eq: FastMap::default(),
+            str_pre: FastMap::default(),
             present: Vec::new(),
             other: Vec::new(),
         }
@@ -312,8 +337,16 @@ impl<K: IndexKey> AttrIndex<K> {
                 hi_excl,
                 has_exclusions,
             }),
-            Slot::StrEq(s) => self.str_eq.entry(s).or_default().push(key),
-            Slot::StrPre(p) => self.str_pre.entry(p).or_default().push(key),
+            Slot::StrEq(s, exact) => self
+                .str_eq
+                .entry(s)
+                .or_default()
+                .push(StrRow { key, exact }),
+            Slot::StrPre(p, exact) => self
+                .str_pre
+                .entry(p)
+                .or_default()
+                .push(StrRow { key, exact }),
             Slot::Other => self.other.push(key),
         }
     }
@@ -338,8 +371,8 @@ impl<K: IndexKey> AttrIndex<K> {
                     }
                 }
             }
-            Slot::StrEq(s) => drop_from_bucket(&mut self.str_eq, &s, &key),
-            Slot::StrPre(p) => drop_from_bucket(&mut self.str_pre, &p, &key),
+            Slot::StrEq(s, _) => drop_str_row(&mut self.str_eq, &s, &key),
+            Slot::StrPre(p, _) => drop_str_row(&mut self.str_pre, &p, &key),
             Slot::Other => self.other.retain(|k| *k != key),
         }
     }
@@ -353,50 +386,126 @@ impl<K: IndexKey> AttrIndex<K> {
     /// no false negatives, at most one bump per key.
     fn count_satisfied(&self, value: &Value, bump: &mut impl FnMut(K)) {
         if let Some(x) = value.as_f64() {
-            if let Some(keys) = self.num_eq.get(&x.to_bits()) {
-                for &k in keys {
-                    bump(k);
-                }
+            self.num_satisfied(x, value, bump);
+        } else if let Some(s) = value.as_str() {
+            self.str_satisfied(s, value, bump);
+        }
+        self.common_satisfied(value, bump);
+    }
+
+    /// The numeric probe: the point bucket plus the prefix scan of the
+    /// interval map. `x` is `value` as an f64.
+    fn num_satisfied(&self, x: f64, value: &Value, bump: &mut impl FnMut(K)) {
+        if let Some(keys) = self.num_eq.get(&x.to_bits()) {
+            for &k in keys {
+                bump(k);
             }
-            for (lo, rows) in self.num_lo.range(..=TotalF64(x)) {
-                for row in rows {
-                    if row.lo_excl && lo.0.total_cmp(&x) == Ordering::Equal {
-                        continue;
-                    }
-                    match x.total_cmp(&row.hi) {
-                        Ordering::Greater => continue,
-                        Ordering::Equal if row.hi_excl => continue,
-                        _ => {}
-                    }
-                    if row.has_exclusions && !self.cons[&row.key].satisfied_by(value) {
-                        continue;
-                    }
+        }
+        for (lo, rows) in self.num_lo.range(..=TotalF64(x)) {
+            for row in rows {
+                if Self::num_row_hit(*lo, row, x, value, &self.cons) {
                     bump(row.key);
                 }
             }
-        } else if let Some(s) = value.as_str() {
-            if let Some(keys) = self.str_eq.get(s) {
+        }
+    }
+
+    /// Whether interval `row` (stored under lower bound `lo`) is
+    /// satisfied by `x`, given `lo ≤ x` already holds. Shared verify
+    /// step of the single-probe scan and the batch sweep.
+    fn num_row_hit(
+        lo: TotalF64,
+        row: &NumRow<K>,
+        x: f64,
+        value: &Value,
+        cons: &BTreeMap<K, Constraint>,
+    ) -> bool {
+        if row.lo_excl && lo.0.total_cmp(&x) == Ordering::Equal {
+            return false;
+        }
+        match x.total_cmp(&row.hi) {
+            Ordering::Greater => return false,
+            Ordering::Equal if row.hi_excl => return false,
+            _ => {}
+        }
+        !row.has_exclusions || cons[&row.key].satisfied_by(value)
+    }
+
+    /// The numeric probes of a *batch*, `probes` sorted ascending by
+    /// `f64::total_cmp`. Equivalent to calling [`AttrIndex::num_satisfied`]
+    /// once per probe, but the interval map is swept exactly once:
+    /// rows enter an active set when the ascending frontier passes
+    /// their lower bound and retire permanently once it passes their
+    /// upper bound, so each probe pays for its *stabbing set* instead
+    /// of the full `lo ≤ x` prefix.
+    fn num_satisfied_batch(
+        &self,
+        probes: &[(usize, f64, &Value)],
+        bump: &mut impl FnMut(usize, K),
+    ) {
+        let mut pending = self.num_lo.iter();
+        let mut next = pending.next();
+        let mut active: Vec<(TotalF64, &NumRow<K>)> = Vec::new();
+        for &(pi, x, value) in probes {
+            if let Some(keys) = self.num_eq.get(&x.to_bits()) {
                 for &k in keys {
-                    if self.cons[&k].satisfied_by(value) {
-                        bump(k);
-                    }
+                    bump(pi, k);
                 }
             }
-            if !self.str_pre.is_empty() {
-                for end in 0..=s.len() {
-                    if !s.is_char_boundary(end) {
-                        continue;
-                    }
-                    if let Some(keys) = self.str_pre.get(&s[..end]) {
-                        for &k in keys {
-                            if self.cons[&k].satisfied_by(value) {
-                                bump(k);
-                            }
+            while let Some((lo, rows)) = next {
+                if lo.0.total_cmp(&x) == Ordering::Greater {
+                    break;
+                }
+                active.extend(rows.iter().map(|r| (*lo, r)));
+                next = pending.next();
+            }
+            let mut i = 0;
+            while i < active.len() {
+                let (lo, row) = active[i];
+                if x.total_cmp(&row.hi) == Ordering::Greater {
+                    // Later probes are ≥ x in the total order, so the
+                    // row can never be satisfied again: retire it.
+                    active.swap_remove(i);
+                    continue;
+                }
+                if Self::num_row_hit(lo, row, x, value, &self.cons) {
+                    bump(pi, row.key);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// The string probe: the point bucket plus every prefix of the
+    /// published string. `exact` rows bump straight from the bucket;
+    /// the rest verify against the authoritative constraint.
+    fn str_satisfied(&self, s: &str, value: &Value, bump: &mut impl FnMut(K)) {
+        if let Some(rows) = self.str_eq.get(s) {
+            for row in rows {
+                if row.exact || self.cons[&row.key].satisfied_by(value) {
+                    bump(row.key);
+                }
+            }
+        }
+        if !self.str_pre.is_empty() {
+            for end in 0..=s.len() {
+                if !s.is_char_boundary(end) {
+                    continue;
+                }
+                if let Some(rows) = self.str_pre.get(&s[..end]) {
+                    for row in rows {
+                        if row.exact || self.cons[&row.key].satisfied_by(value) {
+                            bump(row.key);
                         }
                     }
                 }
             }
         }
+    }
+
+    /// The kind-independent buckets: presence constraints (satisfied
+    /// by any value) and the verified fallback scan.
+    fn common_satisfied(&self, value: &Value, bump: &mut impl FnMut(K)) {
         for &k in &self.present {
             bump(k);
         }
@@ -442,10 +551,10 @@ impl<K: IndexKey> AttrIndex<K> {
         bump: &mut impl FnMut(K),
     ) {
         if strings {
-            for keys in self.str_eq.values().chain(self.str_pre.values()) {
-                for &k in keys {
-                    if check(k) {
-                        bump(k);
+            for rows in self.str_eq.values().chain(self.str_pre.values()) {
+                for row in rows {
+                    if check(row.key) {
+                        bump(row.key);
                     }
                 }
             }
@@ -589,27 +698,27 @@ impl<K: IndexKey> AttrIndex<K> {
 #[derive(Debug, Clone)]
 pub struct MatchIndex<K> {
     /// Every indexed filter, satisfiable or not.
-    filters: HashMap<K, Filter>,
+    filters: FastMap<K, Filter>,
     /// Constraint count per satisfiable key.
-    arity: HashMap<K, usize>,
+    arity: FastMap<K, usize>,
     /// Satisfiable keys, sorted (overlap candidates).
     sat: BTreeSet<K>,
     /// Satisfiable keys with no constraints: they match everything.
     zero: BTreeSet<K>,
     /// Unsatisfiable keys: they match and overlap nothing.
     unsat: BTreeSet<K>,
-    attrs: HashMap<String, AttrIndex<K>>,
+    attrs: FastMap<String, AttrIndex<K>>,
 }
 
 impl<K> Default for MatchIndex<K> {
     fn default() -> Self {
         MatchIndex {
-            filters: HashMap::new(),
-            arity: HashMap::new(),
+            filters: FastMap::default(),
+            arity: FastMap::default(),
             sat: BTreeSet::new(),
             zero: BTreeSet::new(),
             unsat: BTreeSet::new(),
-            attrs: HashMap::new(),
+            attrs: FastMap::default(),
         }
     }
 }
@@ -689,19 +798,107 @@ impl<K: IndexKey> MatchIndex<K> {
     pub fn matching(&self, publication: &Publication) -> Vec<K> {
         let mut out: Vec<K> = self.zero.iter().copied().collect();
         if !self.attrs.is_empty() {
-            let mut counts: HashMap<K, usize> = HashMap::new();
+            // Count *down* from the filter's arity and emit on zero: a
+            // key can be bumped at most once per attribute, so hitting
+            // zero is exactly "every constraint satisfied", and no
+            // finalization sweep over the map is needed.
+            let mut remaining: FastMap<K, usize> = FastMap::default();
             for (attr, value) in publication.iter() {
                 if let Some(ai) = self.attrs.get(attr) {
-                    ai.count_satisfied(value, &mut |k| *counts.entry(k).or_insert(0) += 1);
-                }
-            }
-            for (k, n) in counts {
-                if self.arity.get(&k) == Some(&n) {
-                    out.push(k);
+                    ai.count_satisfied(value, &mut |k| {
+                        let r = remaining.entry(k).or_insert_with(|| self.arity[&k]);
+                        *r -= 1;
+                        if *r == 0 {
+                            out.push(k);
+                        }
+                    });
                 }
             }
         }
         out.sort_unstable();
+        out
+    }
+
+    /// [`MatchIndex::matching`] for every publication of a batch,
+    /// returning one sorted key vector per publication (same order as
+    /// `pubs`).
+    ///
+    /// The probes are regrouped *by attribute*: per attribute index,
+    /// the batch's numeric values are sorted and the interval map is
+    /// swept once for the whole batch (each row is admitted once when
+    /// the ascending frontier passes its lower bound and retired once
+    /// the frontier passes its upper bound), so per-probe cost drops
+    /// from the `lo ≤ x` prefix size to the stabbing-set size. Point,
+    /// string, presence, and fallback buckets are probed exactly as in
+    /// the single-publication path. Results are identical to mapping
+    /// [`MatchIndex::matching`] over the slice (asserted in debug
+    /// builds).
+    pub fn matching_batch(&self, pubs: &[Publication]) -> Vec<Vec<K>> {
+        if pubs.len() == 1 {
+            // Degenerate batch: the regrouping machinery has nothing
+            // to amortize, so take the single-probe path directly.
+            return vec![self.matching(&pubs[0])];
+        }
+        let mut out: Vec<Vec<K>> = pubs
+            .iter()
+            .map(|_| self.zero.iter().copied().collect())
+            .collect();
+        if !self.attrs.is_empty() {
+            // Probing appends raw hits to per-publication lists —
+            // sequential pushes, no hashing — so the regrouped sweep
+            // keeps a loop-sized working set. Counting happens after,
+            // one publication at a time through a single reused map
+            // (the countdown scheme of `matching`).
+            let mut hits: Vec<Vec<K>> = vec![Vec::new(); pubs.len()];
+            // Regroup the batch by attribute so each attribute index is
+            // visited once with all of its probes.
+            let mut by_attr: FastMap<&str, Vec<(usize, &Value)>> = FastMap::default();
+            for (pi, p) in pubs.iter().enumerate() {
+                for (attr, value) in p.iter() {
+                    if self.attrs.contains_key(attr) {
+                        by_attr.entry(attr).or_default().push((pi, value));
+                    }
+                }
+            }
+            for (attr, probes) in by_attr {
+                let ai = &self.attrs[attr];
+                let mut nums: Vec<(usize, f64, &Value)> = Vec::new();
+                for &(pi, value) in &probes {
+                    if let Some(x) = value.as_f64() {
+                        nums.push((pi, x, value));
+                    } else if let Some(s) = value.as_str() {
+                        let h = &mut hits[pi];
+                        ai.str_satisfied(s, value, &mut |k| h.push(k));
+                    }
+                    let h = &mut hits[pi];
+                    ai.common_satisfied(value, &mut |k| h.push(k));
+                }
+                nums.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+                ai.num_satisfied_batch(&nums, &mut |pi, k| hits[pi].push(k));
+            }
+            let mut remaining: FastMap<K, usize> = FastMap::default();
+            for (pi, keys) in hits.into_iter().enumerate() {
+                remaining.clear();
+                for k in keys {
+                    let r = remaining.entry(k).or_insert_with(|| self.arity[&k]);
+                    *r -= 1;
+                    if *r == 0 {
+                        out[pi].push(k);
+                    }
+                }
+            }
+        }
+        for keys in &mut out {
+            keys.sort_unstable();
+        }
+        #[cfg(debug_assertions)]
+        for (pi, p) in pubs.iter().enumerate() {
+            debug_assert_eq!(
+                out[pi],
+                self.matching(p),
+                "batch matching diverged from the per-publication path on probe {pi}"
+            );
+        }
         out
     }
 
@@ -777,7 +974,7 @@ impl<K: IndexKey> MatchIndex<K> {
             return out;
         }
         let mut out: Vec<K> = self.zero.iter().copied().collect();
-        let mut counts: HashMap<K, usize> = HashMap::new();
+        let mut counts: FastMap<K, usize> = FastMap::default();
         for (attr, qc) in filter.constraints() {
             if let Some(ai) = self.attrs.get(attr) {
                 ai.count_covering(qc, &mut |k| *counts.entry(k).or_insert(0) += 1);
@@ -821,7 +1018,7 @@ impl<K: IndexKey> MatchIndex<K> {
             out.sort_unstable();
             return out;
         }
-        let mut counts: HashMap<K, usize> = HashMap::new();
+        let mut counts: FastMap<K, usize> = FastMap::default();
         for (attr, qc) in filter.constraints() {
             if let Some(ai) = self.attrs.get(attr) {
                 ai.count_covered_by(qc, &mut |k| *counts.entry(k).or_insert(0) += 1);
@@ -1101,6 +1298,76 @@ mod tests {
         assert_eq!(ix.overlapping(&q), vec![1]);
         let disjoint = Filter::builder().gt("price", 60).build();
         assert!(ix.overlapping(&disjoint).is_empty());
+    }
+
+    #[test]
+    fn batch_matching_agrees_with_per_publication_matching() {
+        let (table, ix) = build(assorted_filters());
+        let batch = probes();
+        let got = ix.matching_batch(&batch);
+        assert_eq!(got.len(), batch.len());
+        for (i, p) in batch.iter().enumerate() {
+            assert_eq!(got[i], linear_matching(&table, p), "probe {i} ({p})");
+        }
+        // Duplicated, unsorted, and empty batches behave identically.
+        let mut shuffled: Vec<Publication> = batch.iter().rev().cloned().collect();
+        shuffled.extend(batch.iter().cloned());
+        for (i, p) in shuffled.iter().enumerate() {
+            assert_eq!(
+                ix.matching_batch(&shuffled)[i],
+                ix.matching(p),
+                "shuffled probe {i}"
+            );
+        }
+        assert!(ix.matching_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_sweep_handles_boundary_and_retirement_cases() {
+        // Rows whose bounds collide with probe values in every
+        // open/closed combination, probed in an order that forces
+        // admission and retirement mid-sweep — including equal probes
+        // (no retirement between them) and a probe past every hi.
+        let (table, ix) = build(vec![
+            Filter::builder().ge("x", 0).le("x", 10).build(),
+            Filter::builder().gt("x", 0).le("x", 10).build(),
+            Filter::builder().ge("x", 0).lt("x", 10).build(),
+            Filter::builder().gt("x", 0).lt("x", 10).build(),
+            Filter::builder().ge("x", 0).le("x", 10).ne("x", 5).build(),
+            Filter::builder()
+                .ge("x", 10)
+                .le("x", 10)
+                .ne("x", 10)
+                .build(),
+            Filter::builder().eq("x", 0).build(),
+            Filter::builder().eq("x", 10).build(),
+            Filter::builder().ge("x", 5).build(),
+            Filter::builder().le("x", 5).build(),
+        ]);
+        let batch: Vec<Publication> = [-1i64, 0, 0, 5, 5, 10, 10, 11, 100]
+            .into_iter()
+            .map(|x| Publication::new().with("x", x))
+            .collect();
+        let got = ix.matching_batch(&batch);
+        for (i, p) in batch.iter().enumerate() {
+            assert_eq!(got[i], linear_matching(&table, p), "probe {i} ({p})");
+        }
+    }
+
+    #[test]
+    fn batch_matching_mixes_value_kinds() {
+        let (table, ix) = build(assorted_filters());
+        let batch = vec![
+            Publication::new().with("x", 7).with("s", "alpha"),
+            Publication::new().with("s", "beta").with("b", true),
+            Publication::new(),
+            Publication::new().with("x", 3.5).with("y", 2),
+            Publication::new().with("b", false).with("x", 25),
+        ];
+        let got = ix.matching_batch(&batch);
+        for (i, p) in batch.iter().enumerate() {
+            assert_eq!(got[i], linear_matching(&table, p), "probe {i} ({p})");
+        }
     }
 
     #[test]

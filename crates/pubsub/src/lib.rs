@@ -46,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod constraint;
+pub mod fasthash;
 pub mod filter;
 pub mod index;
 pub mod message;

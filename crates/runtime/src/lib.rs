@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use transmob_broker::{Hop, Topology};
+use transmob_core::transport::{flush_outputs, Transport};
 use transmob_core::{
     ClientOp, Message, MobileBroker, MobileBrokerConfig, Output, ProtocolKind, TimerToken,
 };
@@ -64,7 +65,7 @@ pub struct MoveOutcome {
 }
 
 enum Envelope {
-    FromBroker(BrokerId, Message),
+    FromBroker(BrokerId, Vec<Message>),
     FromClient(ClientId, ClientOp),
     CreateClient(ClientId),
     Shutdown,
@@ -73,7 +74,7 @@ enum Envelope {
 impl fmt::Debug for Envelope {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Envelope::FromBroker(b, m) => write!(f, "FromBroker({b}, {m})"),
+            Envelope::FromBroker(b, m) => write!(f, "FromBroker({b}, {} msgs)", m.len()),
             Envelope::FromClient(c, _) => write!(f, "FromClient({c}, ..)"),
             Envelope::CreateClient(c) => write!(f, "CreateClient({c})"),
             Envelope::Shutdown => f.write_str("Shutdown"),
@@ -370,8 +371,8 @@ fn broker_main(
                 let outs = broker.client_op(c, op);
                 dispatch(id, &shared, &mut timers, &mut cancelled, outs);
             }
-            Envelope::FromBroker(from, msg) => {
-                let outs = broker.handle(Hop::Broker(from), msg);
+            Envelope::FromBroker(from, msgs) => {
+                let outs = broker.handle_batch(Hop::Broker(from), msgs);
                 dispatch(id, &shared, &mut timers, &mut cancelled, outs);
             }
         }
@@ -385,29 +386,49 @@ fn dispatch(
     cancelled: &mut BTreeSet<TimerToken>,
     outs: Vec<Output>,
 ) {
-    for o in outs {
-        match o {
-            Output::Send { to, msg } => {
-                let _ = shared.senders[&to].send(Envelope::FromBroker(id, msg));
+    let mut flush = ChannelFlush {
+        id,
+        shared,
+        timers,
+        cancelled,
+    };
+    flush_outputs(&mut flush, outs);
+}
+
+/// [`Transport`] over the in-process crossbeam channels: consecutive
+/// sends to the same neighbor ride one [`Envelope::FromBroker`].
+struct ChannelFlush<'a> {
+    id: BrokerId,
+    shared: &'a Shared,
+    timers: &'a mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
+    cancelled: &'a mut BTreeSet<TimerToken>,
+}
+
+impl Transport for ChannelFlush<'_> {
+    fn send_batch(&mut self, to: BrokerId, msgs: Vec<Message>) {
+        let _ = self.shared.senders[&to].send(Envelope::FromBroker(self.id, msgs));
+    }
+
+    fn deliver_batch(&mut self, client: ClientId, publications: Vec<PublicationMsg>) {
+        let reg = self.shared.registry.read();
+        if let Some(tx) = reg.deliveries.get(&client) {
+            for p in publications {
+                let _ = tx.send(p);
             }
-            Output::DeliverToApp {
-                client,
-                publication,
-            } => {
-                let reg = shared.registry.read();
-                if let Some(tx) = reg.deliveries.get(&client) {
-                    let _ = tx.send(publication);
-                }
-            }
+        }
+    }
+
+    fn control(&mut self, output: Output) {
+        match output {
             Output::SetTimer { token, delay_ns } => {
-                cancelled.remove(&token);
-                timers.push(Reverse((
+                self.cancelled.remove(&token);
+                self.timers.push(Reverse((
                     Instant::now() + Duration::from_nanos(delay_ns),
                     token,
                 )));
             }
             Output::CancelTimer { token } => {
-                cancelled.insert(token);
+                self.cancelled.insert(token);
             }
             Output::MoveFinished {
                 m,
@@ -417,15 +438,18 @@ fn dispatch(
                 // The home registry was already flipped by the target's
                 // `ClientArrived` for committed moves; here we only
                 // signal the outcome to the client handle.
-                let reg = shared.registry.read();
+                let reg = self.shared.registry.read();
                 if let Some(tx) = reg.move_events.get(&client) {
                     let _ = tx.send(MoveOutcome { m, committed });
                 }
             }
             Output::ClientArrived { m: _, client } => {
                 // Commands issued from now on route to the new home.
-                let mut reg = shared.registry.write();
-                reg.homes.insert(client, id);
+                let mut reg = self.shared.registry.write();
+                reg.homes.insert(client, self.id);
+            }
+            Output::Send { .. } | Output::DeliverToApp { .. } => {
+                unreachable!("flush_outputs routes batchable effects to the batch verbs")
             }
         }
     }

@@ -49,6 +49,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use transmob_broker::{Hop, Topology};
+use transmob_core::transport::{flush_outputs, Transport};
 use transmob_core::{
     ClientOp, DurabilityLog, MemoryLog, Message, MobileBroker, MobileBrokerConfig, Output,
     TimerToken,
@@ -69,12 +70,15 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
 /// One wire frame.
 #[derive(Debug, Serialize, Deserialize)]
 enum Frame {
-    /// A protocol message from a neighbouring broker.
+    /// A batch of protocol messages from a neighbouring broker — one
+    /// length-delimited line, one write syscall, contents applied in
+    /// order at the receiver (per-link FIFO is per frame and within
+    /// each frame).
     Msg {
         /// Sending broker.
         from: u32,
-        /// The message.
-        msg: Message,
+        /// The coalesced messages, in send order.
+        msgs: Vec<Message>,
     },
     /// A heartbeat (failure-detector probe).
     Ping {
@@ -84,7 +88,7 @@ enum Frame {
 }
 
 enum Input {
-    FromBroker(BrokerId, Message),
+    FromBroker(BrokerId, Vec<Message>),
     FromClient(ClientId, ClientOp),
     CreateClient(ClientId),
     Shutdown,
@@ -842,8 +846,8 @@ fn spawn_reader(
                             c.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                    Frame::Msg { from, msg } => {
-                        if tx.send(Input::FromBroker(BrokerId(from), msg)).is_err() {
+                    Frame::Msg { from, msgs } => {
+                        if tx.send(Input::FromBroker(BrokerId(from), msgs)).is_err() {
                             break;
                         }
                     }
@@ -976,9 +980,74 @@ fn tcp_broker_main(
                 }
                 broker.client_op(c, op)
             }
-            Input::FromBroker(from, msg) => broker.handle(Hop::Broker(from), msg),
+            Input::FromBroker(from, msgs) => broker.handle_batch(Hop::Broker(from), msgs),
         };
         dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+    }
+}
+
+/// [`Transport`] adapter for one broker step on the TCP overlay: a
+/// send batch becomes one wire frame (one serialized line, one write
+/// syscall, one flush), deliveries and movement events fan out over
+/// the client channels, timers stay thread-local.
+struct TcpFlush<'a> {
+    id: BrokerId,
+    shared: &'a Arc<Shared>,
+    timers: &'a mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
+    cancelled: &'a mut BTreeSet<TimerToken>,
+}
+
+impl Transport for TcpFlush<'_> {
+    fn send_batch(&mut self, to: BrokerId, msgs: Vec<Message>) {
+        send_frame(
+            self.shared,
+            self.id,
+            to,
+            &Frame::Msg {
+                from: self.id.0,
+                msgs,
+            },
+        );
+    }
+
+    fn deliver_batch(&mut self, client: ClientId, publications: Vec<PublicationMsg>) {
+        let reg = self.shared.registry.read();
+        if let Some(tx) = reg.deliveries.get(&client) {
+            for p in publications {
+                let _ = tx.send(p);
+            }
+        }
+    }
+
+    fn control(&mut self, output: Output) {
+        match output {
+            Output::SetTimer { token, delay_ns } => {
+                self.cancelled.remove(&token);
+                self.timers.push(Reverse((
+                    Instant::now() + Duration::from_nanos(delay_ns),
+                    token,
+                )));
+            }
+            Output::CancelTimer { token } => {
+                self.cancelled.insert(token);
+            }
+            Output::MoveFinished {
+                m,
+                client,
+                committed,
+            } => {
+                let reg = self.shared.registry.read();
+                if let Some(tx) = reg.move_events.get(&client) {
+                    let _ = tx.send(MoveOutcome { m, committed });
+                }
+            }
+            Output::ClientArrived { client, .. } => {
+                self.shared.registry.write().homes.insert(client, self.id);
+            }
+            Output::Send { .. } | Output::DeliverToApp { .. } => {
+                unreachable!("flush_outputs routes batchable effects to the batch verbs")
+            }
+        }
     }
 }
 
@@ -989,45 +1058,13 @@ fn dispatch(
     cancelled: &mut BTreeSet<TimerToken>,
     outs: Vec<Output>,
 ) {
-    for o in outs {
-        match o {
-            Output::Send { to, msg } => {
-                send_frame(shared, id, to, &Frame::Msg { from: id.0, msg });
-            }
-            Output::DeliverToApp {
-                client,
-                publication,
-            } => {
-                let reg = shared.registry.read();
-                if let Some(tx) = reg.deliveries.get(&client) {
-                    let _ = tx.send(publication);
-                }
-            }
-            Output::SetTimer { token, delay_ns } => {
-                cancelled.remove(&token);
-                timers.push(Reverse((
-                    Instant::now() + Duration::from_nanos(delay_ns),
-                    token,
-                )));
-            }
-            Output::CancelTimer { token } => {
-                cancelled.insert(token);
-            }
-            Output::MoveFinished {
-                m,
-                client,
-                committed,
-            } => {
-                let reg = shared.registry.read();
-                if let Some(tx) = reg.move_events.get(&client) {
-                    let _ = tx.send(MoveOutcome { m, committed });
-                }
-            }
-            Output::ClientArrived { client, .. } => {
-                shared.registry.write().homes.insert(client, id);
-            }
-        }
-    }
+    let mut flush = TcpFlush {
+        id,
+        shared,
+        timers,
+        cancelled,
+    };
+    flush_outputs(&mut flush, outs);
 }
 
 #[cfg(test)]

@@ -115,6 +115,13 @@ impl DurabilityLog for WalDurability {
         self.wal.append(record)
     }
 
+    fn append_batch(&mut self, records: &[DurabilityRecord]) -> io::Result<()> {
+        // One write + one fsync for the whole input batch (the trait's
+        // default would sync per record). Recovery still replays the
+        // records one by one; a crash mid-batch persists a prefix.
+        self.wal.append_batch(records)
+    }
+
     fn checkpoint(&mut self, snapshot: &BrokerSnapshot) -> io::Result<()> {
         let env = CheckpointEnvelope {
             v: DURABILITY_FORMAT_VERSION,

@@ -19,11 +19,12 @@ use std::sync::{Arc, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use transmob_broker::{Hop, Topology};
+use transmob_core::transport::{flush_outputs, Transport};
 use transmob_core::{
     ClientOp, DurabilityLog, MemoryLog, Message, MobileBroker, MobileBrokerConfig, Output,
     ProtocolKind, TimerToken,
 };
-use transmob_pubsub::{BrokerId, ClientId, MoveId};
+use transmob_pubsub::{BrokerId, ClientId, MoveId, PublicationMsg};
 
 use crate::fault::{CrashKind, FaultPlan, LinkFaults, Partition};
 use crate::metrics::Metrics;
@@ -45,18 +46,20 @@ pub struct MovementPlan {
 
 #[derive(Debug)]
 enum EventKind {
-    /// A message arrives at a broker's input queue.
+    /// A message batch (one wire frame — everything a neighbour
+    /// flushed to this broker in one go) arrives at a broker's input
+    /// queue.
     Arrive {
         dst: BrokerId,
         from: Hop,
-        msg: Message,
+        msgs: Vec<Message>,
         cause: Option<MoveId>,
     },
-    /// A broker finishes processing a message.
+    /// A broker finishes processing a message batch.
     Exec {
         dst: BrokerId,
         from: Hop,
-        msg: Message,
+        msgs: Vec<Message>,
         cause: Option<MoveId>,
     },
     /// A client command reaches the client's current broker.
@@ -430,7 +433,7 @@ impl Sim {
             EventKind::Arrive {
                 dst,
                 from,
-                msg,
+                msgs,
                 cause,
             } => {
                 if self.crashed.contains(&dst) {
@@ -445,7 +448,7 @@ impl Sim {
                         kind: EventKind::Arrive {
                             dst,
                             from,
-                            msg,
+                            msgs,
                             cause,
                         },
                     });
@@ -469,7 +472,7 @@ impl Sim {
                     EventKind::Exec {
                         dst,
                         from,
-                        msg,
+                        msgs,
                         cause,
                     },
                 );
@@ -477,36 +480,47 @@ impl Sim {
             EventKind::Exec {
                 dst,
                 from,
-                msg,
+                msgs,
                 cause,
             } => {
                 if self.crashed.contains(&dst) {
                     // The broker died between queueing and processing:
-                    // the message goes back to the persisted input
-                    // queue (as an Arrive, so it pays processing again
-                    // after the restart).
+                    // the batch goes back to the persisted input queue
+                    // (as an Arrive, so it pays processing again after
+                    // the restart).
                     self.held.entry(dst).or_default().push(Event {
                         time: self.clock,
                         seq: ev_seq,
                         kind: EventKind::Arrive {
                             dst,
                             from,
-                            msg,
+                            msgs,
                             cause,
                         },
                     });
                     return;
                 }
-                let cause = match &msg {
-                    Message::Move(mv) => Some(mv.move_id()),
-                    Message::PubSub(_) => cause,
-                };
-                let outs = self
-                    .brokers
-                    .get_mut(&dst)
-                    .expect("unknown broker")
-                    .handle(from, msg);
-                self.dispatch(dst, cause, outs);
+                // Movement messages attribute to their own transaction;
+                // everything else inherits the batch's cause. Split the
+                // batch into maximal runs sharing an effective cause so
+                // output attribution matches unbatched processing.
+                let mut run: Vec<Message> = Vec::new();
+                let mut run_cause: Option<MoveId> = None;
+                for msg in msgs {
+                    let eff = match &msg {
+                        Message::Move(mv) => Some(mv.move_id()),
+                        Message::PubSub(_) => cause,
+                    };
+                    if !run.is_empty() && eff != run_cause {
+                        let batch = std::mem::take(&mut run);
+                        self.exec_run(dst, from, run_cause, batch);
+                    }
+                    run_cause = eff;
+                    run.push(msg);
+                }
+                if !run.is_empty() {
+                    self.exec_run(dst, from, run_cause, run);
+                }
             }
             EventKind::Cmd { client, op } => {
                 let Some(broker) = self.home.get(&client).copied() else {
@@ -689,120 +703,106 @@ impl Sim {
         self.dispatch(broker, None, timer_outs);
     }
 
+    /// Applies one cause-uniform run through the broker's batch entry
+    /// point (defined as the per-message fold) and ships the effects.
+    fn exec_run(&mut self, dst: BrokerId, from: Hop, cause: Option<MoveId>, msgs: Vec<Message>) {
+        let outs = self
+            .brokers
+            .get_mut(&dst)
+            .expect("unknown broker")
+            .handle_batch(from, msgs);
+        self.dispatch(dst, cause, outs);
+    }
+
     fn dispatch(&mut self, src: BrokerId, cause: Option<MoveId>, outs: Vec<Output>) {
-        for o in outs {
-            match o {
-                Output::Send { to, msg } => {
-                    let eff_cause = match &msg {
-                        Message::Move(mv) => Some(mv.move_id()),
-                        Message::PubSub(_) => cause,
-                    };
-                    self.metrics.count_message(msg.kind(), eff_cause);
-                    if self.link_faults.drop_prob > 0.0
-                        && self.fault_rng.gen::<f64>() < self.link_faults.drop_prob
-                    {
-                        self.faults_dropped += 1;
-                        continue;
-                    }
-                    let duplicate = self.link_faults.dup_prob > 0.0
-                        && self.fault_rng.gen::<f64>() < self.link_faults.dup_prob;
-                    // A partitioned link buffers: the message cannot
-                    // start serializing before the heal (chained
-                    // windows compound).
-                    let mut base = self.clock;
-                    loop {
-                        let healed = base;
-                        for p in &self.partitions {
-                            if p.covers(src, to, base) {
-                                base = base.max(p.until);
-                            }
-                        }
-                        if base == healed {
-                            break;
-                        }
-                    }
-                    // Link: FIFO serialization server + latency.
-                    let key = (src, to);
-                    let depart = self
-                        .link_free
-                        .get(&key)
-                        .copied()
-                        .unwrap_or(SimTime::ZERO)
-                        .max(base)
-                        + self.model.serialize_cost(src, to);
-                    self.link_free.insert(key, depart);
-                    let mut arrive = depart + self.model.sample_latency(src, to, &mut self.rng);
-                    // Clamp to preserve per-link FIFO despite jitter.
-                    if let Some(last) = self.link_last_arrival.get(&key) {
-                        if arrive <= *last {
-                            arrive = *last + SimDuration::from_nanos(1);
-                        }
-                    }
-                    self.link_last_arrival.insert(key, arrive);
-                    if duplicate {
-                        self.faults_duplicated += 1;
-                        let echo = arrive + SimDuration::from_nanos(1);
-                        self.link_last_arrival.insert(key, echo);
-                        self.push(
-                            echo,
-                            EventKind::Arrive {
-                                dst: to,
-                                from: Hop::Broker(src),
-                                msg: msg.clone(),
-                                cause: eff_cause,
-                            },
-                        );
-                    }
-                    self.push(
-                        arrive,
-                        EventKind::Arrive {
-                            dst: to,
-                            from: Hop::Broker(src),
-                            msg,
-                            cause: eff_cause,
-                        },
-                    );
-                }
-                Output::DeliverToApp {
-                    client,
-                    publication,
-                } => {
-                    self.metrics
-                        .count_delivery(self.clock, client, publication.id);
-                }
-                Output::SetTimer { token, delay_ns } => {
-                    self.cancelled.remove(&(src, token));
-                    let t = self.clock + SimDuration::from_nanos(delay_ns);
-                    let epoch = self.timer_epoch.get(&src).copied().unwrap_or(0);
-                    self.push(
-                        t,
-                        EventKind::Timer {
-                            broker: src,
-                            token,
-                            epoch,
-                        },
-                    );
-                }
-                Output::CancelTimer { token } => {
-                    self.cancelled.insert((src, token));
-                }
-                Output::MoveFinished {
-                    m,
-                    client,
-                    committed,
-                } => {
-                    self.metrics.move_finished(m, committed, self.clock);
-                    if committed {
-                        if let Some(rec) = self.metrics.moves.get(&m) {
-                            let target = rec.target;
-                            self.home.insert(client, target);
-                        }
-                    }
-                    self.schedule_next_plan_move(client);
-                }
-                Output::ClientArrived { .. } => {}
+        let mut flush = SimFlush {
+            sim: self,
+            src,
+            cause,
+        };
+        flush_outputs(&mut flush, outs);
+    }
+
+    /// Ships one coalesced frame over the (src → to) link: per-message
+    /// metrics and drop/duplication draws (a duplicate rides the same
+    /// frame right after its original; an all-dropped frame never
+    /// departs), then one serialization slot, one latency sample and
+    /// one FIFO clamp for the whole frame — the wire-level amortization
+    /// batching buys.
+    fn ship_batch(
+        &mut self,
+        src: BrokerId,
+        cause: Option<MoveId>,
+        to: BrokerId,
+        msgs: Vec<Message>,
+    ) {
+        let mut wire: Vec<Message> = Vec::with_capacity(msgs.len());
+        for msg in msgs {
+            let eff_cause = match &msg {
+                Message::Move(mv) => Some(mv.move_id()),
+                Message::PubSub(_) => cause,
+            };
+            self.metrics.count_message(msg.kind(), eff_cause);
+            if self.link_faults.drop_prob > 0.0
+                && self.fault_rng.gen::<f64>() < self.link_faults.drop_prob
+            {
+                self.faults_dropped += 1;
+                continue;
+            }
+            let duplicate = self.link_faults.dup_prob > 0.0
+                && self.fault_rng.gen::<f64>() < self.link_faults.dup_prob;
+            let echo = duplicate.then(|| msg.clone());
+            wire.push(msg);
+            if let Some(echo) = echo {
+                self.faults_duplicated += 1;
+                wire.push(echo);
             }
         }
+        if wire.is_empty() {
+            return;
+        }
+        // A partitioned link buffers: the frame cannot start
+        // serializing before the heal (chained windows compound).
+        let mut base = self.clock;
+        loop {
+            let healed = base;
+            for p in &self.partitions {
+                if p.covers(src, to, base) {
+                    base = base.max(p.until);
+                }
+            }
+            if base == healed {
+                break;
+            }
+        }
+        // Link: FIFO serialization server + latency, paid once per
+        // frame.
+        let key = (src, to);
+        let depart = self
+            .link_free
+            .get(&key)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(base)
+            + self.model.serialize_cost(src, to);
+        self.link_free.insert(key, depart);
+        let mut arrive = depart + self.model.sample_latency(src, to, &mut self.rng);
+        // Clamp to preserve per-link FIFO despite jitter.
+        if let Some(last) = self.link_last_arrival.get(&key) {
+            if arrive <= *last {
+                arrive = *last + SimDuration::from_nanos(1);
+            }
+        }
+        self.link_last_arrival.insert(key, arrive);
+        self.push(
+            arrive,
+            EventKind::Arrive {
+                dst: to,
+                from: Hop::Broker(src),
+                msgs: wire,
+                cause,
+            },
+        );
     }
 
     /// The broker currently holding any stub for `client` (any state).
@@ -829,6 +829,69 @@ impl Sim {
             }
         }
         self.schedule_cmd(at, client, ClientOp::MoveTo(dest, protocol));
+    }
+}
+
+/// [`Transport`] adapter for one broker step in the simulator: sends
+/// become timed wire frames (with fault draws), deliveries become
+/// metrics, control effects drive the timer and movement bookkeeping.
+struct SimFlush<'a> {
+    sim: &'a mut Sim,
+    src: BrokerId,
+    cause: Option<MoveId>,
+}
+
+impl Transport for SimFlush<'_> {
+    fn send_batch(&mut self, to: BrokerId, msgs: Vec<Message>) {
+        self.sim.ship_batch(self.src, self.cause, to, msgs);
+    }
+
+    fn deliver_batch(&mut self, client: ClientId, publications: Vec<PublicationMsg>) {
+        for publication in publications {
+            self.sim
+                .metrics
+                .count_delivery(self.sim.clock, client, publication.id);
+        }
+    }
+
+    fn control(&mut self, output: Output) {
+        let src = self.src;
+        match output {
+            Output::SetTimer { token, delay_ns } => {
+                self.sim.cancelled.remove(&(src, token));
+                let t = self.sim.clock + SimDuration::from_nanos(delay_ns);
+                let epoch = self.sim.timer_epoch.get(&src).copied().unwrap_or(0);
+                self.sim.push(
+                    t,
+                    EventKind::Timer {
+                        broker: src,
+                        token,
+                        epoch,
+                    },
+                );
+            }
+            Output::CancelTimer { token } => {
+                self.sim.cancelled.insert((src, token));
+            }
+            Output::MoveFinished {
+                m,
+                client,
+                committed,
+            } => {
+                self.sim.metrics.move_finished(m, committed, self.sim.clock);
+                if committed {
+                    if let Some(rec) = self.sim.metrics.moves.get(&m) {
+                        let target = rec.target;
+                        self.sim.home.insert(client, target);
+                    }
+                }
+                self.sim.schedule_next_plan_move(client);
+            }
+            Output::ClientArrived { .. } => {}
+            Output::Send { .. } | Output::DeliverToApp { .. } => {
+                unreachable!("flush_outputs routes batchable effects to the batch verbs")
+            }
+        }
     }
 }
 

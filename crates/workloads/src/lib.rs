@@ -18,5 +18,5 @@ pub use population::{
     incremental_movers, mixed_population, paper_default, paper_default_between, with_movers,
     ClientSpec,
 };
-pub use subscriptions::{full_space_adv, SubWorkload, ATTR};
+pub use subscriptions::{full_space_adv, SubWorkload, ATTR, ATTR_TAG, ATTR_Y, Y_STRIDE, Y_WIDTH};
 pub use topology::{balanced_binary, default_14, grown, random_tree};

@@ -14,6 +14,16 @@
 //! - [`SubWorkload::Distinct`] (x = 0): ten mutually disjoint groups;
 //! - [`SubWorkload::Random`]: uniform selection over the four above.
 //!
+//! Two further pools step outside the paper's single-attribute ranges
+//! for workload realism (used by the `publish_batch` benchmarks):
+//!
+//! - [`SubWorkload::MultiAttr`]: disjoint `x` bands *conjoined with* a
+//!   shared numeric range on a second attribute [`ATTR_Y`], so every
+//!   match probes two attribute groups;
+//! - [`SubWorkload::StrPrefix`]: disjoint `x` bands conjoined with a
+//!   per-group string-prefix constraint on [`ATTR_TAG`], exercising
+//!   the match index's string buckets next to its numeric sweep.
+//!
 //! Every *client* receives its own **instance** of a group: the group
 //! range shifted by a client-specific offset ([`SubWorkload::assign`]).
 //! Instances of the same group are mutually *incomparable* (neither
@@ -37,6 +47,20 @@ use transmob_pubsub::Filter;
 /// The attribute all workload subscriptions range over.
 pub const ATTR: &str = "x";
 
+/// The second numeric attribute of [`SubWorkload::MultiAttr`].
+pub const ATTR_Y: &str = "y";
+
+/// The string attribute of [`SubWorkload::StrPrefix`].
+pub const ATTR_TAG: &str = "tag";
+
+/// [`ATTR_Y`] band stride of [`SubWorkload::MultiAttr`]: group `g`
+/// ranges over `[g * Y_STRIDE, g * Y_STRIDE + Y_WIDTH]`, so the ten
+/// bands are mutually disjoint with `Y_STRIDE - Y_WIDTH` gaps.
+pub const Y_STRIDE: i64 = 600;
+
+/// [`ATTR_Y`] band width of [`SubWorkload::MultiAttr`].
+pub const Y_WIDTH: i64 = 400;
+
 /// Maximum per-client shift; all structural margins exceed this, so
 /// cross-group covering is shift-independent. Populations of up to
 /// 10 × `MAX_SHIFT` clients get unique instances.
@@ -45,11 +69,6 @@ pub const MAX_SHIFT: i64 = 100;
 /// The full attribute space advertised by workload publishers.
 pub fn full_space_adv() -> Filter {
     Filter::builder().ge(ATTR, 0).le(ATTR, 100_000).build()
-}
-
-/// A numeric range subscription `[lo, hi]` on [`ATTR`].
-fn range(lo: i64, hi: i64) -> Filter {
-    Filter::builder().ge(ATTR, lo).le(ATTR, hi).build()
 }
 
 /// One of the paper's subscription workloads (Fig. 7).
@@ -65,6 +84,12 @@ pub enum SubWorkload {
     Distinct,
     /// Uniform mix of the four.
     Random,
+    /// Disjoint `x` bands conjoined with per-group disjoint [`ATTR_Y`]
+    /// bands: two-attribute subscriptions, no covering.
+    MultiAttr,
+    /// Disjoint `x` bands conjoined with a per-group string prefix on
+    /// [`ATTR_TAG`]: mixed numeric/string subscriptions, no covering.
+    StrPrefix,
 }
 
 impl SubWorkload {
@@ -85,7 +110,7 @@ impl SubWorkload {
             SubWorkload::Covered => Some(9),
             SubWorkload::Chained => Some(1),
             SubWorkload::Tree => Some(3),
-            SubWorkload::Distinct => Some(0),
+            SubWorkload::Distinct | SubWorkload::MultiAttr | SubWorkload::StrPrefix => Some(0),
             SubWorkload::Random => None,
         }
     }
@@ -122,6 +147,14 @@ impl SubWorkload {
             SubWorkload::Distinct => (0..10)
                 .map(|i| (50_000 + i * 2000, 50_000 + i * 2000 + 800))
                 .collect(),
+            // The two-attribute pools live in their own bands above
+            // every Fig. 7 workload, same 2000-stride disjoint layout.
+            SubWorkload::MultiAttr => (0..10)
+                .map(|i| (70_000 + i * 1500, 70_000 + i * 1500 + 800))
+                .collect(),
+            SubWorkload::StrPrefix => (0..10)
+                .map(|i| (86_000 + i * 1200, 86_000 + i * 1200 + 800))
+                .collect(),
             SubWorkload::Random => {
                 let mut pool = Vec::with_capacity(40);
                 for w in SubWorkload::SWEEP {
@@ -134,9 +167,8 @@ impl SubWorkload {
 
     /// The canonical (unshifted) filters of the ten groups.
     pub fn filters(self) -> Vec<Filter> {
-        self.group_ranges()
-            .into_iter()
-            .map(|(lo, hi)| range(lo, hi))
+        (0..self.group_ranges().len())
+            .map(|g| self.instance(g, 0))
             .collect()
     }
 
@@ -153,7 +185,15 @@ impl SubWorkload {
     pub fn instance(self, group: usize, shift: i64) -> Filter {
         assert!(shift <= MAX_SHIFT, "shift {shift} exceeds MAX_SHIFT");
         let (lo, hi) = self.group_ranges()[group];
-        range(lo + shift, hi + shift)
+        let b = Filter::builder().ge(ATTR, lo + shift).le(ATTR, hi + shift);
+        match self {
+            SubWorkload::MultiAttr => {
+                let y = group as i64 * Y_STRIDE;
+                b.ge(ATTR_Y, y).le(ATTR_Y, y + Y_WIDTH).build()
+            }
+            SubWorkload::StrPrefix => b.prefix(ATTR_TAG, &format!("g{group}")).build(),
+            _ => b.build(),
+        }
     }
 
     /// The subscription instance assigned to the `idx`-th client of a
@@ -180,7 +220,10 @@ impl SubWorkload {
     pub fn root_index(self) -> Option<usize> {
         match self {
             SubWorkload::Covered | SubWorkload::Chained | SubWorkload::Tree => Some(0),
-            SubWorkload::Distinct | SubWorkload::Random => None,
+            SubWorkload::Distinct
+            | SubWorkload::Random
+            | SubWorkload::MultiAttr
+            | SubWorkload::StrPrefix => None,
         }
     }
 }
@@ -193,6 +236,8 @@ impl fmt::Display for SubWorkload {
             SubWorkload::Tree => "tree",
             SubWorkload::Distinct => "distinct",
             SubWorkload::Random => "random",
+            SubWorkload::MultiAttr => "multiattr",
+            SubWorkload::StrPrefix => "strprefix",
         };
         f.write_str(s)
     }
@@ -355,6 +400,63 @@ mod tests {
                     "{w} group {g} outside advertised space"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn multiattr_pool_is_disjoint_two_attribute() {
+        use transmob_pubsub::Publication;
+        let w = SubWorkload::MultiAttr;
+        let f = w.filters();
+        assert!(hasse(&f).is_empty(), "multiattr groups must not cover");
+        for (g, filter) in f.iter().enumerate() {
+            let (lo, _) = w.group_ranges()[g];
+            let y = g as i64 * Y_STRIDE;
+            let inside = Publication::new().with(ATTR, lo).with(ATTR_Y, y + 100);
+            let wrong_y = Publication::new()
+                .with(ATTR, lo)
+                .with(ATTR_Y, y + Y_WIDTH + 1);
+            let no_y = Publication::new().with(ATTR, lo);
+            assert!(filter.matches(&inside), "group {g} misses its own band");
+            assert!(!filter.matches(&wrong_y), "group {g} ignores {ATTR_Y}");
+            assert!(!filter.matches(&no_y), "group {g} matches without {ATTR_Y}");
+        }
+    }
+
+    #[test]
+    fn strprefix_pool_keys_on_tag_prefix() {
+        use transmob_pubsub::Publication;
+        let w = SubWorkload::StrPrefix;
+        let f = w.filters();
+        assert!(hasse(&f).is_empty(), "strprefix groups must not cover");
+        for (g, filter) in f.iter().enumerate() {
+            let (lo, _) = w.group_ranges()[g];
+            let tagged = Publication::new()
+                .with(ATTR, lo)
+                .with(ATTR_TAG, format!("g{g}-extra"));
+            let wrong_tag = Publication::new()
+                .with(ATTR, lo)
+                .with(ATTR_TAG, format!("h{g}"));
+            assert!(filter.matches(&tagged), "group {g} misses its own tag");
+            assert!(!filter.matches(&wrong_tag), "group {g} ignores the tag");
+        }
+    }
+
+    #[test]
+    fn new_pools_keep_instance_semantics() {
+        for w in [SubWorkload::MultiAttr, SubWorkload::StrPrefix] {
+            // Same-group instances stay incomparable under shift…
+            let a = w.instance(3, 0);
+            let b = w.instance(3, 37);
+            assert!(
+                !a.covers(&b) && !b.covers(&a),
+                "{w}: shifted instances comparable"
+            );
+            assert!(a.overlaps(&b));
+            // …and assignment is deterministic and unique.
+            let set: std::collections::BTreeSet<String> =
+                (0..200).map(|i| format!("{}", w.assign(i))).collect();
+            assert_eq!(set.len(), 200, "{w}: assignment collides");
         }
     }
 

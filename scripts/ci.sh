@@ -18,3 +18,7 @@ CHAOS_CASES="${CHAOS_CASES:-32}" cargo test -p transmob-sim --test chaos_recover
 # for a single iteration (CRITERION_QUICK, see vendor/criterion) so
 # bench code cannot silently rot between perf PRs.
 CRITERION_QUICK=1 cargo bench -p transmob-bench -q
+# Batch-pipeline smoke: the publish_batch group specifically must keep
+# running, so the amortization numbers in BENCH_routing.json stay
+# reproducible (regenerate with CRITERION_JSON=BENCH_routing.json).
+CRITERION_QUICK=1 cargo bench -p transmob-bench -q --bench routing -- publish_batch
