@@ -9,10 +9,12 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use transmob_broker::{BrokerConfig, BrokerCore, CoveringMode, Hop, Prt, PubSubMsg, Srt};
 use transmob_pubsub::{
-    AdvId, Advertisement, BrokerId, ClientId, PubId, Publication, PublicationMsg, SubId,
-    Subscription,
+    AdvId, Advertisement, BrokerId, ClientId, Parallelism, PubId, Publication, PublicationMsg,
+    SubId, Subscription,
 };
-use transmob_workloads::{full_space_adv, SubWorkload, ATTR, ATTR_TAG, ATTR_Y};
+use transmob_workloads::{
+    full_space_adv, wide_publication, wide_sub_filter, SubWorkload, ATTR, ATTR_TAG, ATTR_Y,
+};
 
 fn b(i: u32) -> BrokerId {
     BrokerId(i)
@@ -64,6 +66,7 @@ fn bench_subscribe_by_covering_mode(c: &mut Criterion) {
             sub_covering: mode,
             adv_covering: CoveringMode::Off,
             conservative_release: true,
+            ..Default::default()
         };
         let core = loaded_broker(100, config);
         let sub = Subscription::new(
@@ -301,6 +304,42 @@ fn bench_publish_batch(c: &mut Criterion) {
     g.finish();
 }
 
+/// A PRT of `n` wide-attribute two-band subscriptions: work in every
+/// shard, hits ≫ matches (the shape the parallel merge targets).
+fn loaded_prt_wide(n: usize) -> Prt {
+    let mut prt = Prt::new();
+    for i in 0..n {
+        let sub = Subscription::new(SubId::new(ClientId(i as u64), i as u32), wide_sub_filter(i));
+        prt.insert(sub, Hop::Client(ClientId(i as u64)));
+    }
+    prt
+}
+
+/// The sharded parallel matching stage against the sequential
+/// amortized sweep, 10k wide PRT rows, one 256-publication batch per
+/// iteration. `sequential` is the workers = 0 fallback; `shardsN` rows
+/// run the parallel stage with N shards (worker pool capped at 4).
+fn bench_parallel_match(c: &mut Criterion) {
+    const N: usize = 10_000;
+    const BATCH: usize = 256;
+    let pubs: Vec<Publication> = (0..BATCH).map(wide_publication).collect();
+    let mut g = c.benchmark_group("parallel_match");
+    let prt = loaded_prt_wide(N);
+    g.bench_with_input(BenchmarkId::new("sequential", N), &N, |bch, _| {
+        bch.iter(|| black_box(prt.matching_batch(black_box(&pubs))))
+    });
+    for shards in [1usize, 4, 8] {
+        let mut prt = loaded_prt_wide(N);
+        prt.set_parallelism(Parallelism::sharded(shards, shards.min(4)));
+        g.bench_with_input(
+            BenchmarkId::new(format!("shards{shards}"), N),
+            &N,
+            |bch, _| bch.iter(|| black_box(prt.matching_batch(black_box(&pubs)))),
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_prt_matching_index_vs_linear,
@@ -310,6 +349,7 @@ criterion_group!(
     bench_subscribe_by_covering_mode,
     bench_release_strategies,
     bench_advertise_flood,
-    bench_publish_batch
+    bench_publish_batch,
+    bench_parallel_match
 );
 criterion_main!(benches);

@@ -412,6 +412,7 @@ fn ablations(o: &Opts) {
                     sub_covering: transmob_broker::CoveringMode::Lazy,
                     adv_covering: transmob_broker::CoveringMode::Lazy,
                     conservative_release: true,
+                    ..Default::default()
                 },
                 ..MobileBrokerConfig::covering()
             },

@@ -48,7 +48,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use transmob_pubsub::{
-    AdvId, Advertisement, BrokerId, ClientId, Filter, MoveId, PublicationMsg, SubId, Subscription,
+    AdvId, Advertisement, BrokerId, ClientId, Filter, MoveId, Parallelism, PublicationMsg, SubId,
+    Subscription,
 };
 
 use crate::messages::{BrokerOutput, Hop, MsgKind, OutputBatch, PubSubMsg};
@@ -98,6 +99,11 @@ pub struct BrokerConfig {
     /// candidate; it is cheaper but requires a full table scan per
     /// candidate and is evaluated as an ablation.
     pub conservative_release: bool,
+    /// Sharding / worker-pool configuration applied to both routing
+    /// tables' match indexes. The default (one shard, zero workers) is
+    /// the classic single-threaded index; any configuration produces
+    /// identical routing decisions.
+    pub parallelism: Parallelism,
 }
 
 impl BrokerConfig {
@@ -115,6 +121,7 @@ impl BrokerConfig {
             sub_covering: CoveringMode::Active,
             adv_covering: CoveringMode::Active,
             conservative_release: true,
+            ..BrokerConfig::default()
         }
     }
 
@@ -124,6 +131,12 @@ impl BrokerConfig {
             conservative_release: false,
             ..BrokerConfig::covering()
         }
+    }
+
+    /// The same configuration with the given match-index sharding.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
     }
 }
 
@@ -185,11 +198,15 @@ impl BrokerCore {
         neighbors: impl IntoIterator<Item = BrokerId>,
         config: BrokerConfig,
     ) -> Self {
+        let mut srt = Srt::new();
+        let mut prt = Prt::new();
+        srt.set_parallelism(config.parallelism);
+        prt.set_parallelism(config.parallelism);
         BrokerCore {
             id,
             neighbors: neighbors.into_iter().collect(),
-            srt: Srt::new(),
-            prt: Prt::new(),
+            srt,
+            prt,
             clients: BTreeSet::new(),
             config,
             stats: BrokerStats::default(),
@@ -269,6 +286,15 @@ impl BrokerCore {
     /// matched through one amortized index sweep
     /// ([`Prt::matching_routes_batch`]) instead of one probe each.
     pub fn handle_batch(&mut self, from: Hop, msgs: Vec<PubSubMsg>) -> OutputBatch {
+        // Deserialized cores rebuild their match indexes with the
+        // default layout; re-apply the configured sharding lazily so
+        // every ingestion path honours it.
+        if self.prt.parallelism() != self.config.parallelism
+            || self.srt.parallelism() != self.config.parallelism
+        {
+            self.srt.set_parallelism(self.config.parallelism);
+            self.prt.set_parallelism(self.config.parallelism);
+        }
         let mut batch = OutputBatch::new();
         let mut run: Vec<PublicationMsg> = Vec::new();
         for msg in msgs {

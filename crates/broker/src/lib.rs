@@ -32,3 +32,4 @@ pub use messages::{BrokerOutput, Hop, MsgKind, OutputBatch, PubSubMsg};
 pub use routing::{AdvEntry, PendingRoute, Prt, Srt, SubEntry};
 pub use sync_net::{Delivery, SyncNet};
 pub use topology::{Route, Topology, TopologyError};
+pub use transmob_pubsub::Parallelism;

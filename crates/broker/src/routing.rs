@@ -18,7 +18,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use serde::{Deserialize, Serialize};
 use transmob_pubsub::fasthash::FastMap;
 use transmob_pubsub::{
-    AdvId, Advertisement, Filter, MatchIndex, MoveId, Publication, SubId, Subscription,
+    AdvId, Advertisement, Filter, MatchIndex, MoveId, Parallelism, Publication, SubId, Subscription,
 };
 
 use crate::messages::Hop;
@@ -134,6 +134,17 @@ impl Srt {
     /// Creates an empty table.
     pub fn new() -> Self {
         Srt::default()
+    }
+
+    /// Reconfigures the match index's sharding / worker pool (answers
+    /// are identical under every configuration).
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.index.set_parallelism(par);
+    }
+
+    /// The match index's current sharding configuration.
+    pub fn parallelism(&self) -> Parallelism {
+        self.index.parallelism()
     }
 
     /// Rebuilds a table (and its match index) from persisted rows.
@@ -384,6 +395,17 @@ impl Prt {
     /// Creates an empty table.
     pub fn new() -> Self {
         Prt::default()
+    }
+
+    /// Reconfigures the match index's sharding / worker pool (answers
+    /// are identical under every configuration).
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.index.set_parallelism(par);
+    }
+
+    /// The match index's current sharding configuration.
+    pub fn parallelism(&self) -> Parallelism {
+        self.index.parallelism()
     }
 
     /// Rebuilds a table (and its match index) from persisted rows.

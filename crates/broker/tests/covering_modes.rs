@@ -25,6 +25,7 @@ fn net_with(mode: CoveringMode) -> SyncNet {
             sub_covering: mode,
             adv_covering: CoveringMode::Off,
             conservative_release: true,
+            ..Default::default()
         },
     );
     net.client_send(
@@ -126,6 +127,7 @@ fn adv_covering_independent_of_sub_covering() {
             sub_covering: CoveringMode::Off,
             adv_covering: CoveringMode::Lazy,
             conservative_release: true,
+            ..Default::default()
         },
     );
     net.client_send(

@@ -8,7 +8,7 @@
 //! explicitly so it keeps holding in release builds too.
 
 use proptest::prelude::*;
-use transmob_broker::{Hop, PendingRoute, Prt, Srt};
+use transmob_broker::{Hop, Parallelism, PendingRoute, Prt, Srt};
 use transmob_pubsub::{
     AdvId, Advertisement, BrokerId, ClientId, Filter, MoveId, Publication, SubId, Subscription,
 };
@@ -117,6 +117,15 @@ fn replay(steps: &[(u8, u64, Vec<PredSpec>)]) -> (Prt, Srt) {
     (prt, srt)
 }
 
+/// The same replay with the tables switched to a sharded layout and a
+/// live worker pool (the parallel matching stage).
+fn replay_parallel(steps: &[(u8, u64, Vec<PredSpec>)]) -> (Prt, Srt) {
+    let (mut prt, mut srt) = replay(steps);
+    prt.set_parallelism(Parallelism::sharded(4, 2));
+    srt.set_parallelism(Parallelism::sharded(4, 2));
+    (prt, srt)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -195,6 +204,44 @@ proptest! {
         }
         for id in srt.covered_by(&query) {
             prop_assert!(query.covers(&srt.get(id).unwrap().adv.filter));
+        }
+    }
+
+    /// Sharded tables answer every query family exactly like the
+    /// sequential tables and the linear scans, after churn: the
+    /// partitioned index is a pure layout change, never a semantic one.
+    #[test]
+    fn sharded_tables_agree_with_sequential_and_linear(
+        steps in arb_steps(),
+        q in arb_filter(),
+    ) {
+        let (prt, srt) = replay(&steps);
+        let (pprt, psrt) = replay_parallel(&steps);
+        for p in probe_pubs() {
+            prop_assert_eq!(pprt.matching(&p), prt.matching_linear(&p), "pub {}", p);
+        }
+        let query = build_filter(&q);
+        prop_assert_eq!(pprt.overlapping(&query), prt.overlapping_linear(&query));
+        prop_assert_eq!(psrt.overlapping(&query), srt.overlapping_linear(&query));
+        prop_assert_eq!(pprt.covering(&query), prt.covering_linear(&query));
+        prop_assert_eq!(pprt.covered_by(&query), prt.covered_by_linear(&query));
+        prop_assert_eq!(psrt.covering(&query), srt.covering_linear(&query));
+        prop_assert_eq!(psrt.covered_by(&query), srt.covered_by_linear(&query));
+    }
+
+    /// The parallel matching stage (`matching_batch` over sharded
+    /// tables) returns publication-for-publication exactly what the
+    /// sequential batch sweep and the linear scans return.
+    #[test]
+    fn parallel_batch_equals_sequential_batch(steps in arb_steps()) {
+        let (prt, _) = replay(&steps);
+        let (pprt, _) = replay_parallel(&steps);
+        let pubs = probe_pubs();
+        let par = pprt.matching_batch(&pubs);
+        let seq = prt.matching_batch(&pubs);
+        prop_assert_eq!(&par, &seq);
+        for (i, p) in pubs.iter().enumerate() {
+            prop_assert_eq!(&par[i], &prt.matching_linear(p), "pub {}", p);
         }
     }
 

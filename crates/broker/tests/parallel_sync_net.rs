@@ -1,0 +1,115 @@
+//! Driver-level differential for the synchronous network: a whole
+//! overlay running on sharded/parallel match tables must deliver the
+//! same notifications, generate the same traffic mix, and end in the
+//! same routing state as the sequential default.
+
+use transmob_broker::{BrokerConfig, Parallelism, PubSubMsg, SyncNet, Topology};
+use transmob_pubsub::{
+    AdvId, Advertisement, BrokerId, ClientId, Filter, PubId, Publication, PublicationMsg, SubId,
+    Subscription,
+};
+
+fn b(i: u32) -> BrokerId {
+    BrokerId(i)
+}
+fn c(i: u64) -> ClientId {
+    ClientId(i)
+}
+fn range(a: &str, lo: i64, hi: i64) -> Filter {
+    Filter::builder().ge(a, lo).le(a, hi).build()
+}
+
+/// Advertise from one end of a chain, subscribe along it on several
+/// attributes, stream publications from both ends, unsubscribe some
+/// rows mid-stream; returns (deliveries, traffic, per-broker state).
+fn run(config: BrokerConfig) -> (Vec<String>, Vec<(String, u64)>, Vec<String>) {
+    let mut net = SyncNet::new(Topology::chain(5), config);
+    net.client_send(
+        b(1),
+        c(1),
+        PubSubMsg::Advertise(Advertisement::new(
+            AdvId::new(c(1), 0),
+            Filter::builder().build(),
+        )),
+    );
+    for i in 0..12u64 {
+        let attr = ["x", "y", "z"][i as usize % 3];
+        let broker = b(2 + (i % 4) as u32);
+        net.client_send(
+            broker,
+            c(100 + i),
+            PubSubMsg::Subscribe(Subscription::new(
+                SubId::new(c(100 + i), 0),
+                range(attr, i as i64 * 5, i as i64 * 5 + 40),
+            )),
+        );
+    }
+    for k in 0..20u64 {
+        let attr = ["x", "y", "z"][k as usize % 3];
+        net.client_send(
+            b(1),
+            c(1),
+            PubSubMsg::Publish(PublicationMsg::new(
+                PubId(k),
+                c(1),
+                Publication::new().with(attr, (k as i64 * 11) % 70),
+            )),
+        );
+    }
+    for i in (0..12u64).step_by(3) {
+        net.client_send(b(2 + (i % 4) as u32), c(100 + i), {
+            PubSubMsg::Unsubscribe(SubId::new(c(100 + i), 0))
+        });
+    }
+    for k in 20..28u64 {
+        net.client_send(
+            b(1),
+            c(1),
+            PubSubMsg::Publish(PublicationMsg::new(
+                PubId(k),
+                c(1),
+                Publication::new()
+                    .with("x", (k as i64 * 13) % 70)
+                    .with("y", (k as i64 * 17) % 70),
+            )),
+        );
+    }
+    let deliveries = net.deliveries().iter().map(|d| format!("{d:?}")).collect();
+    let traffic = net
+        .traffic()
+        .iter()
+        .map(|(k, n)| (format!("{k:?}"), *n))
+        .collect();
+    // Serialized form covers the rows (the index is derived state and
+    // intentionally differs by layout).
+    let state = net
+        .brokers()
+        .map(|(id, core)| {
+            format!(
+                "{id:?}: {} {}",
+                serde_json::to_string(core.prt()).unwrap(),
+                serde_json::to_string(core.srt()).unwrap()
+            )
+        })
+        .collect();
+    (deliveries, traffic, state)
+}
+
+#[test]
+fn sync_net_is_identical_under_parallel_config() {
+    let seq = run(BrokerConfig::plain());
+    let par = run(BrokerConfig::plain().with_parallelism(Parallelism::sharded(4, 2)));
+    assert!(!seq.0.is_empty(), "scenario must deliver notifications");
+    assert_eq!(seq.0, par.0, "deliveries diverged");
+    assert_eq!(seq.1, par.1, "traffic mix diverged");
+    assert_eq!(seq.2, par.2, "routing state diverged");
+}
+
+#[test]
+fn sync_net_covering_is_identical_under_parallel_config() {
+    let seq = run(BrokerConfig::covering());
+    let par = run(BrokerConfig::covering().with_parallelism(Parallelism::sharded(3, 2)));
+    assert_eq!(seq.0, par.0, "deliveries diverged");
+    assert_eq!(seq.1, par.1, "traffic mix diverged");
+    assert_eq!(seq.2, par.2, "routing state diverged");
+}

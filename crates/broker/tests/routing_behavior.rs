@@ -219,6 +219,7 @@ fn covering_net(n: u32) -> SyncNet {
             sub_covering: CoveringMode::Active,
             adv_covering: CoveringMode::Off,
             conservative_release: false,
+            ..Default::default()
         },
     )
 }
@@ -307,6 +308,7 @@ fn adv_covering_quenches_flood_and_release_on_unadvertise() {
             sub_covering: CoveringMode::Off,
             adv_covering: CoveringMode::Active,
             conservative_release: false,
+            ..Default::default()
         },
     );
     // Covering adv first.

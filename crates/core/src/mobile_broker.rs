@@ -99,6 +99,16 @@ impl MobileBrokerConfig {
         }
     }
 
+    /// Applies a [`Parallelism`](transmob_broker::Parallelism) layout
+    /// to the embedded routing-core config: every driver that builds
+    /// brokers from this config (instant, simulated, sync-net, TCP)
+    /// gets sharded match tables and the parallel matching stage,
+    /// with routing decisions identical to the sequential default.
+    pub fn with_parallelism(mut self, par: transmob_broker::Parallelism) -> Self {
+        self.broker = self.broker.with_parallelism(par);
+        self
+    }
+
     /// The blocking 3PC variant: no protocol timeouts at all. The
     /// paper's base protocol — movements never spuriously abort, but a
     /// crashed or partitioned peer wedges the coordinator until the

@@ -10,6 +10,20 @@
 //!
 //! The mixing step is the widely used `FxHash` construction
 //! (rotate-xor-multiply by a golden-ratio-derived odd constant).
+//!
+//! # Determinism across shards (audit note)
+//!
+//! The sharded match index partitions attributes with a bare
+//! [`FastHasher`] (`shard_of_in`), and each shard owns its own
+//! [`FastMap`]s keyed by the same attribute strings. This is sound
+//! because the hasher carries **no per-instance state**:
+//! [`BuildHasherDefault`] zero-initializes every hasher, so equal key
+//! bytes hash identically in every map, every shard, every process and
+//! every run. The shard an attribute maps to is a pure function of its
+//! bytes and the shard count — re-partitioning on a layout change and
+//! the scatter step of the parallel matching stage can therefore never
+//! disagree about ownership, and a key is never "reused" across shards:
+//! it lives in exactly the one shard its hash names.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -92,6 +106,26 @@ mod tests {
             assert_eq!(m.get(&format!("key-{i}")), Some(&i));
         }
         assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn hashing_is_stateless_and_reproducible() {
+        // The sharding partition function relies on every
+        // freshly-built hasher (bare or via `BuildHasherDefault`)
+        // agreeing on equal bytes; a per-instance seed would silently
+        // split one attribute across shards.
+        use std::hash::BuildHasher;
+        let build = BuildHasherDefault::<FastHasher>::default();
+        for key in ["", "x", "attr-name", "k00", "a-rather-longer-attribute"] {
+            let mut a = FastHasher::default();
+            a.write(key.as_bytes());
+            let mut b = build.build_hasher();
+            b.write(key.as_bytes());
+            let mut c = FastHasher::default();
+            c.write(key.as_bytes());
+            assert_eq!(a.finish(), b.finish(), "builder disagreed on {key:?}");
+            assert_eq!(a.finish(), c.finish(), "fresh hasher disagreed on {key:?}");
+        }
     }
 
     #[test]

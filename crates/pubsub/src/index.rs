@@ -85,13 +85,35 @@
 //! conservative [`Constraint::overlaps`] over-approximation contract
 //! documented in [`crate::constraint`]. The routing layer keeps the
 //! linear scans alive as a differential oracle.
+//!
+//! # Sharding and the parallel matching stage
+//!
+//! The per-attribute structures are hash-partitioned into
+//! [`Parallelism::shards`] shards: attribute `a` lives in shard
+//! `FastHasher(a) % shards`, a pure function of the attribute name, so
+//! every insert/remove/query decomposes into independent per-shard
+//! operations and an attribute's entire bucket family (interval map,
+//! point/prefix hashes, dual-endpoint containment trees) is always
+//! co-located in exactly one shard. [`MatchIndex::matching_batch`] can
+//! then fan the batch's probe groups out across shards on a small
+//! fixed pool of scoped worker threads; each shard emits flat
+//! per-publication hit vectors of dense *slot* ids, and the hits are
+//! merged back on the caller in ascending shard order (deterministic
+//! regardless of thread completion order) through an array countdown —
+//! the countdown map of the sequential sweep, flattened onto the slot
+//! space so the merge does no hashing. The single-threaded sweep is
+//! retained as the sequential fallback ([`Parallelism::workers`] = 0)
+//! and as the debug differential oracle for the parallel stage.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher as _};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
-use crate::fasthash::FastMap;
+use serde::{Deserialize, Serialize};
+
+use crate::fasthash::{FastHasher, FastMap};
 
 use crate::constraint::{Bound, Constraint, Interval, TotalF64};
 use crate::filter::Filter;
@@ -109,6 +131,9 @@ impl<T: Copy + Ord + Eq + Hash + Debug> IndexKey for T {}
 #[derive(Debug, Clone)]
 struct NumRow<K> {
     key: K,
+    /// The key's dense slot id (see [`SlotTable`]), carried inline so
+    /// the batch paths can emit slots without a per-hit map lookup.
+    slot: u32,
     /// Lower bound is exclusive (`x > lo` rather than `x ≥ lo`).
     lo_excl: bool,
     /// Effective upper bound in the total order.
@@ -122,7 +147,7 @@ struct NumRow<K> {
 
 /// Where a constraint lives inside an [`AttrIndex`]. Classification is
 /// a pure function of the constraint, so insert and remove agree.
-enum Slot {
+enum Bucket {
     Present,
     NumEq(u64),
     NumRange {
@@ -137,13 +162,13 @@ enum Slot {
     Other,
 }
 
-fn classify(c: &Constraint) -> Slot {
+fn classify(c: &Constraint) -> Bucket {
     match c {
-        Constraint::Present => Slot::Present,
+        Constraint::Present => Bucket::Present,
         Constraint::Num(n) => {
             if n.excluded.is_empty() {
                 if let Some(p) = n.interval.as_point() {
-                    return Slot::NumEq(p.to_bits());
+                    return Bucket::NumEq(p.to_bits());
                 }
             }
             let (lo, lo_excl) = match n.interval.lo() {
@@ -156,7 +181,7 @@ fn classify(c: &Constraint) -> Slot {
                 Bound::Incl(v) => (*v, false),
                 Bound::Excl(v) => (*v, true),
             };
-            Slot::NumRange {
+            Bucket::NumRange {
                 lo: TotalF64(lo),
                 lo_excl,
                 hi,
@@ -170,30 +195,31 @@ fn classify(c: &Constraint) -> Slot {
             // constraint (the data-local trick of `NumRow`).
             let plain = s.excluded.is_empty() && s.suffixes.is_empty() && s.contains.is_empty();
             if let Some(p) = s.interval.as_point() {
-                Slot::StrEq(p.clone(), plain && s.prefixes.is_empty())
+                Bucket::StrEq(p.clone(), plain && s.prefixes.is_empty())
             } else if let Some(p) = s.prefixes.first() {
                 let exact = plain && s.prefixes.len() == 1 && s.interval == Interval::full();
-                Slot::StrPre(p.clone(), exact)
+                Bucket::StrPre(p.clone(), exact)
             } else {
-                Slot::Other
+                Bucket::Other
             }
         }
-        Constraint::Bool(_) => Slot::Other,
+        Constraint::Bool(_) => Bucket::Other,
         // Unsatisfiable filters are kept out of the attribute indexes
         // entirely (MatchIndex::insert).
         Constraint::Empty => unreachable!("empty constraints are not indexed"),
     }
 }
 
-/// Effective total-order endpoints of a numeric slot (point constraints
-/// are the degenerate interval `[p, p]`); `None` for non-numeric slots.
-fn num_endpoints(slot: &Slot) -> Option<(TotalF64, TotalF64)> {
-    match slot {
-        Slot::NumEq(bits) => {
+/// Effective total-order endpoints of a numeric bucket (point
+/// constraints are the degenerate interval `[p, p]`); `None` for
+/// non-numeric buckets.
+fn num_endpoints(bucket: &Bucket) -> Option<(TotalF64, TotalF64)> {
+    match bucket {
+        Bucket::NumEq(bits) => {
             let p = TotalF64(f64::from_bits(*bits));
             Some((p, p))
         }
-        Slot::NumRange { lo, hi, .. } => Some((*lo, TotalF64(*hi))),
+        Bucket::NumRange { lo, hi, .. } => Some((*lo, TotalF64(*hi))),
         _ => None,
     }
 }
@@ -204,6 +230,8 @@ fn num_endpoints(slot: &Slot) -> Option<(TotalF64, TotalF64)> {
 #[derive(Debug, Clone)]
 struct StrRow<K> {
     key: K,
+    /// The key's dense slot id (see [`SlotTable`]).
+    slot: u32,
     exact: bool,
 }
 
@@ -220,20 +248,24 @@ struct EndRow<K> {
     has_exclusions: bool,
 }
 
-fn drop_from_bucket<Q: Eq + Hash, K: PartialEq>(map: &mut FastMap<Q, Vec<K>>, slot: &Q, key: &K) {
-    if let Some(keys) = map.get_mut(slot) {
-        keys.retain(|k| k != key);
+fn drop_from_bucket<Q: Eq + Hash, K: PartialEq>(
+    map: &mut FastMap<Q, Vec<(K, u32)>>,
+    bucket: &Q,
+    key: &K,
+) {
+    if let Some(keys) = map.get_mut(bucket) {
+        keys.retain(|(k, _)| k != key);
         if keys.is_empty() {
-            map.remove(slot);
+            map.remove(bucket);
         }
     }
 }
 
-fn drop_str_row<K: PartialEq>(map: &mut FastMap<String, Vec<StrRow<K>>>, slot: &str, key: &K) {
-    if let Some(rows) = map.get_mut(slot) {
+fn drop_str_row<K: PartialEq>(map: &mut FastMap<String, Vec<StrRow<K>>>, bucket: &str, key: &K) {
+    if let Some(rows) = map.get_mut(bucket) {
         rows.retain(|r| r.key != *key);
         if rows.is_empty() {
-            map.remove(slot);
+            map.remove(bucket);
         }
     }
 }
@@ -280,7 +312,7 @@ struct AttrIndex<K> {
     /// Authoritative constraint per key, also used for the overlap
     /// disqualification scan (sorted so results come out ordered).
     cons: BTreeMap<K, Constraint>,
-    num_eq: FastMap<u64, Vec<K>>,
+    num_eq: FastMap<u64, Vec<(K, u32)>>,
     num_lo: BTreeMap<TotalF64, Vec<NumRow<K>>>,
     /// Every numeric constraint (points included), keyed by its
     /// effective lower endpoint: one half of the dual-endpoint
@@ -290,8 +322,8 @@ struct AttrIndex<K> {
     by_hi: BTreeMap<TotalF64, Vec<EndRow<K>>>,
     str_eq: FastMap<String, Vec<StrRow<K>>>,
     str_pre: FastMap<String, Vec<StrRow<K>>>,
-    present: Vec<K>,
-    other: Vec<K>,
+    present: Vec<(K, u32)>,
+    other: Vec<(K, u32)>,
 }
 
 impl<K: IndexKey> AttrIndex<K> {
@@ -309,10 +341,10 @@ impl<K: IndexKey> AttrIndex<K> {
         }
     }
 
-    fn insert(&mut self, key: K, c: &Constraint) {
+    fn insert(&mut self, key: K, slot: u32, c: &Constraint) {
         self.cons.insert(key, c.clone());
-        let slot = classify(c);
-        if let (Some((lo, hi)), Constraint::Num(n)) = (num_endpoints(&slot), c) {
+        let bucket = classify(c);
+        if let (Some((lo, hi)), Constraint::Num(n)) = (num_endpoints(&bucket), c) {
             let row = EndRow {
                 key,
                 interval: n.interval.clone(),
@@ -321,10 +353,10 @@ impl<K: IndexKey> AttrIndex<K> {
             self.by_lo.entry(lo).or_default().push(row.clone());
             self.by_hi.entry(hi).or_default().push(row);
         }
-        match slot {
-            Slot::Present => self.present.push(key),
-            Slot::NumEq(bits) => self.num_eq.entry(bits).or_default().push(key),
-            Slot::NumRange {
+        match bucket {
+            Bucket::Present => self.present.push((key, slot)),
+            Bucket::NumEq(bits) => self.num_eq.entry(bits).or_default().push((key, slot)),
+            Bucket::NumRange {
                 lo,
                 lo_excl,
                 hi,
@@ -332,22 +364,25 @@ impl<K: IndexKey> AttrIndex<K> {
                 has_exclusions,
             } => self.num_lo.entry(lo).or_default().push(NumRow {
                 key,
+                slot,
                 lo_excl,
                 hi,
                 hi_excl,
                 has_exclusions,
             }),
-            Slot::StrEq(s, exact) => self
-                .str_eq
-                .entry(s)
-                .or_default()
-                .push(StrRow { key, exact }),
-            Slot::StrPre(p, exact) => self
-                .str_pre
-                .entry(p)
-                .or_default()
-                .push(StrRow { key, exact }),
-            Slot::Other => self.other.push(key),
+            Bucket::StrEq(s, exact) => {
+                self.str_eq
+                    .entry(s)
+                    .or_default()
+                    .push(StrRow { key, slot, exact })
+            }
+            Bucket::StrPre(p, exact) => {
+                self.str_pre
+                    .entry(p)
+                    .or_default()
+                    .push(StrRow { key, slot, exact })
+            }
+            Bucket::Other => self.other.push((key, slot)),
         }
     }
 
@@ -355,15 +390,15 @@ impl<K: IndexKey> AttrIndex<K> {
         let Some(c) = self.cons.remove(&key) else {
             return;
         };
-        let slot = classify(&c);
-        if let Some((lo, hi)) = num_endpoints(&slot) {
+        let bucket = classify(&c);
+        if let Some((lo, hi)) = num_endpoints(&bucket) {
             drop_from_tree(&mut self.by_lo, lo, &key);
             drop_from_tree(&mut self.by_hi, hi, &key);
         }
-        match slot {
-            Slot::Present => self.present.retain(|k| *k != key),
-            Slot::NumEq(bits) => drop_from_bucket(&mut self.num_eq, &bits, &key),
-            Slot::NumRange { lo, .. } => {
+        match bucket {
+            Bucket::Present => self.present.retain(|(k, _)| *k != key),
+            Bucket::NumEq(bits) => drop_from_bucket(&mut self.num_eq, &bits, &key),
+            Bucket::NumRange { lo, .. } => {
                 if let Some(rows) = self.num_lo.get_mut(&lo) {
                     rows.retain(|r| r.key != key);
                     if rows.is_empty() {
@@ -371,9 +406,9 @@ impl<K: IndexKey> AttrIndex<K> {
                     }
                 }
             }
-            Slot::StrEq(s, _) => drop_str_row(&mut self.str_eq, &s, &key),
-            Slot::StrPre(p, _) => drop_str_row(&mut self.str_pre, &p, &key),
-            Slot::Other => self.other.retain(|k| *k != key),
+            Bucket::StrEq(s, _) => drop_str_row(&mut self.str_eq, &s, &key),
+            Bucket::StrPre(p, _) => drop_str_row(&mut self.str_pre, &p, &key),
+            Bucket::Other => self.other.retain(|(k, _)| *k != key),
         }
     }
 
@@ -381,10 +416,10 @@ impl<K: IndexKey> AttrIndex<K> {
         self.cons.is_empty()
     }
 
-    /// Calls `bump(key)` once for every key whose constraint on this
-    /// attribute is satisfied by `value`. Exact: no false positives,
-    /// no false negatives, at most one bump per key.
-    fn count_satisfied(&self, value: &Value, bump: &mut impl FnMut(K)) {
+    /// Calls `bump(key, slot)` once for every key whose constraint on
+    /// this attribute is satisfied by `value`. Exact: no false
+    /// positives, no false negatives, at most one bump per key.
+    fn count_satisfied(&self, value: &Value, bump: &mut impl FnMut(K, u32)) {
         if let Some(x) = value.as_f64() {
             self.num_satisfied(x, value, bump);
         } else if let Some(s) = value.as_str() {
@@ -395,16 +430,16 @@ impl<K: IndexKey> AttrIndex<K> {
 
     /// The numeric probe: the point bucket plus the prefix scan of the
     /// interval map. `x` is `value` as an f64.
-    fn num_satisfied(&self, x: f64, value: &Value, bump: &mut impl FnMut(K)) {
+    fn num_satisfied(&self, x: f64, value: &Value, bump: &mut impl FnMut(K, u32)) {
         if let Some(keys) = self.num_eq.get(&x.to_bits()) {
-            for &k in keys {
-                bump(k);
+            for &(k, s) in keys {
+                bump(k, s);
             }
         }
         for (lo, rows) in self.num_lo.range(..=TotalF64(x)) {
             for row in rows {
                 if Self::num_row_hit(*lo, row, x, value, &self.cons) {
-                    bump(row.key);
+                    bump(row.key, row.slot);
                 }
             }
         }
@@ -441,35 +476,63 @@ impl<K: IndexKey> AttrIndex<K> {
     fn num_satisfied_batch(
         &self,
         probes: &[(usize, f64, &Value)],
-        bump: &mut impl FnMut(usize, K),
+        bump: &mut impl FnMut(usize, K, u32),
     ) {
         let mut pending = self.num_lo.iter();
         let mut next = pending.next();
-        let mut active: Vec<(TotalF64, &NumRow<K>)> = Vec::new();
+        // Admitted rows are *copied* into a packed vector: the
+        // per-probe scan walks contiguous denormalized entries instead
+        // of chasing `&NumRow` pointers back into tree nodes, which is
+        // what the sweep spends most of its time on at large tables.
+        struct ActiveRow<K> {
+            lo: f64,
+            hi: f64,
+            key: K,
+            slot: u32,
+            lo_excl: bool,
+            hi_excl: bool,
+            has_exclusions: bool,
+        }
+        let mut active: Vec<ActiveRow<K>> = Vec::new();
         for &(pi, x, value) in probes {
             if let Some(keys) = self.num_eq.get(&x.to_bits()) {
-                for &k in keys {
-                    bump(pi, k);
+                for &(k, s) in keys {
+                    bump(pi, k, s);
                 }
             }
             while let Some((lo, rows)) = next {
                 if lo.0.total_cmp(&x) == Ordering::Greater {
                     break;
                 }
-                active.extend(rows.iter().map(|r| (*lo, r)));
+                active.extend(rows.iter().map(|r| ActiveRow {
+                    lo: lo.0,
+                    hi: r.hi,
+                    key: r.key,
+                    slot: r.slot,
+                    lo_excl: r.lo_excl,
+                    hi_excl: r.hi_excl,
+                    has_exclusions: r.has_exclusions,
+                }));
                 next = pending.next();
             }
             let mut i = 0;
             while i < active.len() {
-                let (lo, row) = active[i];
-                if x.total_cmp(&row.hi) == Ordering::Greater {
-                    // Later probes are ≥ x in the total order, so the
-                    // row can never be satisfied again: retire it.
-                    active.swap_remove(i);
-                    continue;
-                }
-                if Self::num_row_hit(lo, row, x, value, &self.cons) {
-                    bump(pi, row.key);
+                let row = &active[i];
+                match x.total_cmp(&row.hi) {
+                    Ordering::Greater => {
+                        // Later probes are ≥ x in the total order, so
+                        // the row can never be satisfied again: retire.
+                        active.swap_remove(i);
+                        continue;
+                    }
+                    Ordering::Equal if row.hi_excl => {}
+                    _ => {
+                        if !(row.lo_excl && row.lo.total_cmp(&x) == Ordering::Equal)
+                            && (!row.has_exclusions || self.cons[&row.key].satisfied_by(value))
+                        {
+                            bump(pi, row.key, row.slot);
+                        }
+                    }
                 }
                 i += 1;
             }
@@ -479,11 +542,11 @@ impl<K: IndexKey> AttrIndex<K> {
     /// The string probe: the point bucket plus every prefix of the
     /// published string. `exact` rows bump straight from the bucket;
     /// the rest verify against the authoritative constraint.
-    fn str_satisfied(&self, s: &str, value: &Value, bump: &mut impl FnMut(K)) {
+    fn str_satisfied(&self, s: &str, value: &Value, bump: &mut impl FnMut(K, u32)) {
         if let Some(rows) = self.str_eq.get(s) {
             for row in rows {
                 if row.exact || self.cons[&row.key].satisfied_by(value) {
-                    bump(row.key);
+                    bump(row.key, row.slot);
                 }
             }
         }
@@ -495,7 +558,7 @@ impl<K: IndexKey> AttrIndex<K> {
                 if let Some(rows) = self.str_pre.get(&s[..end]) {
                     for row in rows {
                         if row.exact || self.cons[&row.key].satisfied_by(value) {
-                            bump(row.key);
+                            bump(row.key, row.slot);
                         }
                     }
                 }
@@ -505,13 +568,13 @@ impl<K: IndexKey> AttrIndex<K> {
 
     /// The kind-independent buckets: presence constraints (satisfied
     /// by any value) and the verified fallback scan.
-    fn common_satisfied(&self, value: &Value, bump: &mut impl FnMut(K)) {
-        for &k in &self.present {
-            bump(k);
+    fn common_satisfied(&self, value: &Value, bump: &mut impl FnMut(K, u32)) {
+        for &(k, s) in &self.present {
+            bump(k, s);
         }
-        for &k in &self.other {
+        for &(k, s) in &self.other {
             if self.cons[&k].satisfied_by(value) {
-                bump(k);
+                bump(k, s);
             }
         }
     }
@@ -559,7 +622,7 @@ impl<K: IndexKey> AttrIndex<K> {
                 }
             }
         }
-        for &k in &self.other {
+        for &(k, _) in &self.other {
             if check(k) {
                 bump(k);
             }
@@ -570,7 +633,7 @@ impl<K: IndexKey> AttrIndex<K> {
     /// attribute covers `qc`. Exact per [`Constraint::covers`].
     fn count_covering(&self, qc: &Constraint, bump: &mut impl FnMut(K)) {
         // A presence constraint covers every satisfiable constraint.
-        for &k in &self.present {
+        for &(k, _) in &self.present {
             bump(k);
         }
         let mut check = |k: K| self.cons[&k].covers(qc);
@@ -645,7 +708,7 @@ impl<K: IndexKey> AttrIndex<K> {
         if matches!(qc, Constraint::Present) {
             return self.cons.keys().copied().collect();
         }
-        let mut out: Vec<K> = self.present.to_vec();
+        let mut out: Vec<K> = self.present.iter().map(|&(k, _)| k).collect();
         let mut check = |k: K| self.cons[&k].overlaps(qc);
         let mut push = |k: K| out.push(k);
         match qc {
@@ -674,6 +737,182 @@ impl<K: IndexKey> AttrIndex<K> {
         }
         out.sort_unstable();
         out
+    }
+}
+
+/// Sharding and worker-pool configuration for a [`MatchIndex`] (and,
+/// via the broker config, for every `Srt`/`Prt` in a deployment).
+///
+/// `shards` is the number of hash partitions of the attribute space
+/// (at least 1); `workers` is the size of the scoped worker pool the
+/// parallel matching stage may spawn per batch. `workers == 0` selects
+/// the sequential amortized sweep (the default and the differential
+/// oracle); `workers == 1` runs the sharded stage inline without
+/// spawning. Sharding alone (workers = 0) changes the physical layout
+/// but never the answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Hash-partition count for the per-attribute structures (≥ 1).
+    pub shards: usize,
+    /// Worker threads for [`MatchIndex::matching_batch`]; 0 means the
+    /// sequential sweep.
+    pub workers: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism {
+            shards: 1,
+            workers: 0,
+        }
+    }
+}
+
+impl Parallelism {
+    /// One shard, no workers: the classic single-threaded index.
+    pub fn sequential() -> Self {
+        Parallelism::default()
+    }
+
+    /// `shards` hash partitions matched by a pool of `workers` threads.
+    pub fn sharded(shards: usize, workers: usize) -> Self {
+        Parallelism {
+            shards: shards.max(1),
+            workers,
+        }
+    }
+
+    fn normalized(self) -> Self {
+        Parallelism {
+            shards: self.shards.max(1),
+            workers: self.workers,
+        }
+    }
+}
+
+/// The shard an attribute belongs to: a pure function of the attribute
+/// name (and the shard count), so insert, remove, and every query
+/// agree on the owning shard without coordination, and an attribute's
+/// entire bucket family is always co-located.
+fn shard_of_in(nshards: usize, attr: &str) -> usize {
+    if nshards <= 1 {
+        return 0;
+    }
+    let mut h = FastHasher::default();
+    h.write(attr.as_bytes());
+    (h.finish() % nshards as u64) as usize
+}
+
+/// One hash partition of the attribute space: the attribute structures
+/// whose names hash to this shard.
+#[derive(Debug, Clone)]
+struct Shard<K> {
+    attrs: FastMap<String, AttrIndex<K>>,
+}
+
+impl<K: IndexKey> Shard<K> {
+    fn new() -> Self {
+        Shard {
+            attrs: FastMap::default(),
+        }
+    }
+
+    /// Probes this shard's attribute structures with its share of the
+    /// batch (`probes` regrouped by attribute, numeric probes to be
+    /// sorted here) and returns one flat slot-id hit vector per
+    /// publication. Pure read — this is the unit of work the parallel
+    /// stage hands to a worker thread.
+    fn probe_batch(
+        &self,
+        probes: &FastMap<&str, Vec<(usize, &Value)>>,
+        npubs: usize,
+    ) -> Vec<Vec<u32>> {
+        let mut hits: Vec<Vec<u32>> = vec![Vec::new(); npubs];
+        let mut nums: Vec<(usize, f64, &Value)> = Vec::new();
+        for (attr, probes) in probes {
+            let ai = &self.attrs[*attr];
+            nums.clear();
+            for &(pi, value) in probes {
+                if let Some(x) = value.as_f64() {
+                    nums.push((pi, x, value));
+                } else if let Some(s) = value.as_str() {
+                    let h = &mut hits[pi];
+                    ai.str_satisfied(s, value, &mut |_, slot| h.push(slot));
+                }
+                let h = &mut hits[pi];
+                ai.common_satisfied(value, &mut |_, slot| h.push(slot));
+            }
+            nums.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+            ai.num_satisfied_batch(&nums, &mut |pi, _, slot| hits[pi].push(slot));
+        }
+        hits
+    }
+}
+
+/// Dense slot ids for the satisfiable, arity ≥ 1 keys.
+///
+/// Every such key gets a small stable `u32` id carried inline in the
+/// attribute rows; the parallel merge counts arities down in flat
+/// arrays indexed by slot (no hashing per hit) and maps a completed
+/// slot back to its key through `keys`. Freed slots are recycled;
+/// `keys`/`arity` entries of freed slots are stale but unreachable
+/// (no live row carries the slot).
+#[derive(Debug, Clone)]
+struct SlotTable<K> {
+    of: FastMap<K, u32>,
+    keys: Vec<K>,
+    arity: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl<K: IndexKey> SlotTable<K> {
+    fn new() -> Self {
+        SlotTable {
+            of: FastMap::default(),
+            keys: Vec::new(),
+            arity: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, key: K, arity: usize) -> u32 {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.keys[s as usize] = key;
+                self.arity[s as usize] = arity as u32;
+                s
+            }
+            None => {
+                self.keys.push(key);
+                self.arity.push(arity as u32);
+                (self.keys.len() - 1) as u32
+            }
+        };
+        self.of.insert(key, slot);
+        slot
+    }
+
+    fn release(&mut self, key: &K) {
+        if let Some(slot) = self.of.remove(key) {
+            self.free.push(slot);
+        }
+    }
+}
+
+/// Splitmix64-seeded Fisher–Yates shuffle; drives the seeded
+/// interleaving smoke's job-order permutations.
+fn shuffle_jobs(jobs: &mut [usize], seed: u64) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..jobs.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        jobs.swap(i, j);
     }
 }
 
@@ -707,10 +946,14 @@ pub struct MatchIndex<K> {
     zero: BTreeSet<K>,
     /// Unsatisfiable keys: they match and overlap nothing.
     unsat: BTreeSet<K>,
-    attrs: FastMap<String, AttrIndex<K>>,
+    /// The hash-partitioned attribute structures; always ≥ 1 shard.
+    shards: Vec<Shard<K>>,
+    /// Dense slot ids for the parallel merge (module docs).
+    slots: SlotTable<K>,
+    par: Parallelism,
 }
 
-impl<K> Default for MatchIndex<K> {
+impl<K: IndexKey> Default for MatchIndex<K> {
     fn default() -> Self {
         MatchIndex {
             filters: FastMap::default(),
@@ -718,15 +961,68 @@ impl<K> Default for MatchIndex<K> {
             sat: BTreeSet::new(),
             zero: BTreeSet::new(),
             unsat: BTreeSet::new(),
-            attrs: FastMap::default(),
+            shards: vec![Shard::new()],
+            slots: SlotTable::new(),
+            par: Parallelism::default(),
         }
     }
 }
 
 impl<K: IndexKey> MatchIndex<K> {
-    /// Creates an empty index.
+    /// Creates an empty index (one shard, sequential matching).
     pub fn new() -> Self {
         MatchIndex::default()
+    }
+
+    /// Creates an empty index with the given sharding configuration.
+    pub fn with_parallelism(par: Parallelism) -> Self {
+        let mut ix = MatchIndex::default();
+        ix.set_parallelism(par);
+        ix
+    }
+
+    /// The current sharding configuration.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Reconfigures sharding. Changing the shard count redistributes
+    /// every attribute structure to its new owning shard (a rebuild of
+    /// the per-attribute buckets from the authoritative filters; slot
+    /// assignments survive); answers are identical before and after.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        let par = par.normalized();
+        if par.shards != self.shards.len() {
+            let mut shards: Vec<Shard<K>> = (0..par.shards).map(|_| Shard::new()).collect();
+            for (key, filter) in &self.filters {
+                if self.unsat.contains(key) || self.zero.contains(key) {
+                    continue;
+                }
+                let slot = self.slots.of[key];
+                for (attr, c) in filter.constraints() {
+                    shards[shard_of_in(par.shards, attr)]
+                        .attrs
+                        .entry(attr.to_owned())
+                        .or_insert_with(AttrIndex::new)
+                        .insert(*key, slot, c);
+                }
+            }
+            self.shards = shards;
+        }
+        self.par = par;
+    }
+
+    /// The attribute structure owning `attr`, if any constraint on
+    /// `attr` is indexed.
+    fn attr_index(&self, attr: &str) -> Option<&AttrIndex<K>> {
+        self.shards[shard_of_in(self.shards.len(), attr)]
+            .attrs
+            .get(attr)
+    }
+
+    /// Whether any attribute structure exists at all.
+    fn has_attr_rows(&self) -> bool {
+        self.shards.iter().any(|s| !s.attrs.is_empty())
     }
 
     /// Number of indexed filters.
@@ -759,11 +1055,14 @@ impl<K: IndexKey> MatchIndex<K> {
             self.zero.insert(key);
             return;
         }
+        let slot = self.slots.alloc(key, filter.arity());
+        let nshards = self.shards.len();
         for (attr, c) in filter.constraints() {
-            self.attrs
+            self.shards[shard_of_in(nshards, attr)]
+                .attrs
                 .entry(attr.to_owned())
                 .or_insert_with(AttrIndex::new)
-                .insert(key, c);
+                .insert(key, slot, c);
         }
     }
 
@@ -779,14 +1078,17 @@ impl<K: IndexKey> MatchIndex<K> {
         self.sat.remove(key);
         self.zero.remove(key);
         self.arity.remove(key);
+        let nshards = self.shards.len();
         for (attr, _) in filter.constraints() {
-            if let Some(ai) = self.attrs.get_mut(attr) {
+            let shard = &mut self.shards[shard_of_in(nshards, attr)];
+            if let Some(ai) = shard.attrs.get_mut(attr) {
                 ai.remove(*key);
                 if ai.is_empty() {
-                    self.attrs.remove(attr);
+                    shard.attrs.remove(attr);
                 }
             }
         }
+        self.slots.release(key);
         true
     }
 
@@ -797,15 +1099,15 @@ impl<K: IndexKey> MatchIndex<K> {
     /// key matches iff its count reaches its filter's arity.
     pub fn matching(&self, publication: &Publication) -> Vec<K> {
         let mut out: Vec<K> = self.zero.iter().copied().collect();
-        if !self.attrs.is_empty() {
+        if self.has_attr_rows() {
             // Count *down* from the filter's arity and emit on zero: a
             // key can be bumped at most once per attribute, so hitting
             // zero is exactly "every constraint satisfied", and no
             // finalization sweep over the map is needed.
             let mut remaining: FastMap<K, usize> = FastMap::default();
             for (attr, value) in publication.iter() {
-                if let Some(ai) = self.attrs.get(attr) {
-                    ai.count_satisfied(value, &mut |k| {
+                if let Some(ai) = self.attr_index(attr) {
+                    ai.count_satisfied(value, &mut |k, _| {
                         let r = remaining.entry(k).or_insert_with(|| self.arity[&k]);
                         *r -= 1;
                         if *r == 0 {
@@ -823,6 +1125,38 @@ impl<K: IndexKey> MatchIndex<K> {
     /// returning one sorted key vector per publication (same order as
     /// `pubs`).
     ///
+    /// With [`Parallelism::workers`] == 0 (the default) this is the
+    /// sequential amortized sweep
+    /// ([`MatchIndex::matching_batch_sequential`]); otherwise the
+    /// sharded parallel stage runs and, in debug builds, is asserted
+    /// identical to the sequential sweep. Either way results are
+    /// identical to mapping [`MatchIndex::matching`] over the slice.
+    pub fn matching_batch(&self, pubs: &[Publication]) -> Vec<Vec<K>>
+    where
+        K: Send + Sync,
+    {
+        if pubs.len() == 1 {
+            // Degenerate batch: neither regrouping nor fan-out has
+            // anything to amortize; take the single-probe path.
+            return vec![self.matching(&pubs[0])];
+        }
+        if self.par.workers == 0 {
+            return self.matching_batch_sequential(pubs);
+        }
+        let out = self.matching_batch_parallel(pubs, None);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            out,
+            self.matching_batch_sequential(pubs),
+            "parallel matching diverged from the sequential sweep"
+        );
+        out
+    }
+
+    /// The single-threaded amortized batch sweep: the sequential
+    /// fallback of [`MatchIndex::matching_batch`] and the differential
+    /// oracle the parallel stage is checked against.
+    ///
     /// The probes are regrouped *by attribute*: per attribute index,
     /// the batch's numeric values are sorted and the interval map is
     /// swept once for the whole batch (each row is admitted once when
@@ -833,17 +1167,12 @@ impl<K: IndexKey> MatchIndex<K> {
     /// the single-publication path. Results are identical to mapping
     /// [`MatchIndex::matching`] over the slice (asserted in debug
     /// builds).
-    pub fn matching_batch(&self, pubs: &[Publication]) -> Vec<Vec<K>> {
-        if pubs.len() == 1 {
-            // Degenerate batch: the regrouping machinery has nothing
-            // to amortize, so take the single-probe path directly.
-            return vec![self.matching(&pubs[0])];
-        }
+    pub fn matching_batch_sequential(&self, pubs: &[Publication]) -> Vec<Vec<K>> {
         let mut out: Vec<Vec<K>> = pubs
             .iter()
             .map(|_| self.zero.iter().copied().collect())
             .collect();
-        if !self.attrs.is_empty() {
+        if self.has_attr_rows() {
             // Probing appends raw hits to per-publication lists —
             // sequential pushes, no hashing — so the regrouped sweep
             // keeps a loop-sized working set. Counting happens after,
@@ -852,29 +1181,33 @@ impl<K: IndexKey> MatchIndex<K> {
             let mut hits: Vec<Vec<K>> = vec![Vec::new(); pubs.len()];
             // Regroup the batch by attribute so each attribute index is
             // visited once with all of its probes.
-            let mut by_attr: FastMap<&str, Vec<(usize, &Value)>> = FastMap::default();
+            type ProbeGroups<'a, K> = FastMap<&'a str, (&'a AttrIndex<K>, Vec<(usize, &'a Value)>)>;
+            let mut by_attr: ProbeGroups<'_, K> = FastMap::default();
             for (pi, p) in pubs.iter().enumerate() {
                 for (attr, value) in p.iter() {
-                    if self.attrs.contains_key(attr) {
-                        by_attr.entry(attr).or_default().push((pi, value));
+                    if let Some(ai) = self.attr_index(attr) {
+                        by_attr
+                            .entry(attr)
+                            .or_insert_with(|| (ai, Vec::new()))
+                            .1
+                            .push((pi, value));
                     }
                 }
             }
-            for (attr, probes) in by_attr {
-                let ai = &self.attrs[attr];
+            for (_, (ai, probes)) in by_attr {
                 let mut nums: Vec<(usize, f64, &Value)> = Vec::new();
                 for &(pi, value) in &probes {
                     if let Some(x) = value.as_f64() {
                         nums.push((pi, x, value));
                     } else if let Some(s) = value.as_str() {
                         let h = &mut hits[pi];
-                        ai.str_satisfied(s, value, &mut |k| h.push(k));
+                        ai.str_satisfied(s, value, &mut |k, _| h.push(k));
                     }
                     let h = &mut hits[pi];
-                    ai.common_satisfied(value, &mut |k| h.push(k));
+                    ai.common_satisfied(value, &mut |k, _| h.push(k));
                 }
                 nums.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
-                ai.num_satisfied_batch(&nums, &mut |pi, k| hits[pi].push(k));
+                ai.num_satisfied_batch(&nums, &mut |pi, k, _| hits[pi].push(k));
             }
             let mut remaining: FastMap<K, usize> = FastMap::default();
             for (pi, keys) in hits.into_iter().enumerate() {
@@ -902,6 +1235,155 @@ impl<K: IndexKey> MatchIndex<K> {
         out
     }
 
+    /// The sharded parallel matching stage (module docs).
+    ///
+    /// 1. *Scatter*: the batch's probes are regrouped by owning shard
+    ///    (pure `shard_of` routing, no locks).
+    /// 2. *Probe*: non-empty shards become jobs on a scoped worker
+    ///    pool; workers pull jobs off a shared atomic cursor and each
+    ///    job produces flat per-publication hit vectors of slot ids.
+    ///    Results come back through `join` keyed by shard id, so
+    ///    thread completion order is irrelevant.
+    /// 3. *Merge*: per publication, shard hit vectors are consumed in
+    ///    ascending shard order and counted down in dense arrays
+    ///    indexed by slot (epoch-tagged so nothing is cleared between
+    ///    publications); completed slots map back to keys and each
+    ///    result is sorted — the same authoritative key order as the
+    ///    sequential sweep.
+    ///
+    /// `schedule_seed` permutes the job order (the interleaving smoke
+    /// uses it to force different work distributions); results must be
+    /// — and are asserted to be — independent of it.
+    fn matching_batch_parallel(
+        &self,
+        pubs: &[Publication],
+        schedule_seed: Option<u64>,
+    ) -> Vec<Vec<K>>
+    where
+        K: Send + Sync,
+    {
+        let nshards = self.shards.len();
+        let mut groups: Vec<FastMap<&str, Vec<(usize, &Value)>>> =
+            (0..nshards).map(|_| FastMap::default()).collect();
+        for (pi, p) in pubs.iter().enumerate() {
+            for (attr, value) in p.iter() {
+                let s = shard_of_in(nshards, attr);
+                if self.shards[s].attrs.contains_key(attr) {
+                    groups[s].entry(attr).or_default().push((pi, value));
+                }
+            }
+        }
+        let mut jobs: Vec<usize> = (0..nshards).filter(|&s| !groups[s].is_empty()).collect();
+        if let Some(seed) = schedule_seed {
+            shuffle_jobs(&mut jobs, seed);
+        }
+        let workers = self.par.workers.max(1).min(jobs.len());
+        let mut shard_hits: Vec<Option<Vec<Vec<u32>>>> = (0..nshards).map(|_| None).collect();
+        if workers <= 1 {
+            for &s in &jobs {
+                shard_hits[s] = Some(self.shards[s].probe_batch(&groups[s], pubs.len()));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let jobs = &jobs;
+            let groups = &groups;
+            let results: Vec<Vec<(usize, Vec<Vec<u32>>)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                                let Some(&s) = jobs.get(i) else { break };
+                                done.push((s, self.shards[s].probe_batch(&groups[s], pubs.len())));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard matching worker panicked"))
+                    .collect()
+            });
+            for (s, hits) in results.into_iter().flatten() {
+                shard_hits[s] = Some(hits);
+            }
+        }
+        // Merge, in ascending shard order, through the dense
+        // countdown: one `u32` per slot, re-seeded per publication by
+        // a bulk copy of the arity mirror so the hot per-hit loop
+        // touches exactly one array. (Freed slots keep stale arity
+        // values in the mirror, but freed slots can never be emitted
+        // as hits, so the copy is harmless.)
+        let mut countdown: Vec<u32> = vec![0; self.slots.keys.len()];
+        let mut out: Vec<Vec<K>> = pubs
+            .iter()
+            .map(|_| self.zero.iter().copied().collect())
+            .collect();
+        for (pi, row) in out.iter_mut().enumerate() {
+            countdown.copy_from_slice(&self.slots.arity);
+            for hits in shard_hits.iter().flatten() {
+                for &slot in &hits[pi] {
+                    let s = slot as usize;
+                    countdown[s] -= 1;
+                    if countdown[s] == 0 {
+                        row.push(self.slots.keys[s]);
+                    }
+                }
+            }
+            row.sort_unstable();
+        }
+        out
+    }
+
+    /// The parallel stage with a forced worker pool and a seeded job
+    /// schedule: the entry point of the seeded interleaving smoke.
+    /// Semantically identical to [`MatchIndex::matching_batch_sequential`]
+    /// for every seed.
+    #[doc(hidden)]
+    pub fn matching_batch_seeded(&self, pubs: &[Publication], seed: u64) -> Vec<Vec<K>>
+    where
+        K: Send + Sync,
+    {
+        self.matching_batch_parallel(pubs, Some(seed))
+    }
+
+    /// Asserts the internal sharding invariants: every attribute
+    /// structure lives in exactly the shard its hash names, and the
+    /// slot table covers exactly the satisfiable arity ≥ 1 keys with
+    /// consistent key/arity mirrors. Test support.
+    #[doc(hidden)]
+    pub fn check_shard_invariants(&self) {
+        let nshards = self.shards.len();
+        assert!(nshards >= 1, "shard vector must never be empty");
+        assert_eq!(nshards, self.par.shards, "shard count drifted from config");
+        let mut seen = BTreeSet::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for attr in shard.attrs.keys() {
+                assert_eq!(
+                    shard_of_in(nshards, attr),
+                    s,
+                    "attribute {attr:?} is in shard {s}, not its owning shard"
+                );
+                assert!(
+                    seen.insert(attr.clone()),
+                    "attribute {attr:?} in two shards"
+                );
+            }
+        }
+        let expected = self.sat.len() - self.zero.len();
+        assert_eq!(self.slots.of.len(), expected, "slot table size mismatch");
+        for (k, slot) in &self.slots.of {
+            let s = *slot as usize;
+            assert_eq!(self.slots.keys[s], *k, "slot {slot} key mirror mismatch");
+            assert_eq!(
+                self.slots.arity[s] as usize, self.arity[k],
+                "slot {slot} arity mirror mismatch"
+            );
+        }
+    }
+
     /// Keys of filters overlapping `filter`, sorted.
     ///
     /// A stored filter overlaps the query iff its constraint overlaps
@@ -920,8 +1402,7 @@ impl<K: IndexKey> MatchIndex<K> {
         let mut relevant: Vec<(&AttrIndex<K>, Vec<K>)> = filter
             .constraints()
             .filter_map(|(attr, qc)| {
-                self.attrs
-                    .get(attr)
+                self.attr_index(attr)
                     .map(|ai| (ai, ai.overlap_qualified(qc)))
             })
             .collect();
@@ -976,7 +1457,7 @@ impl<K: IndexKey> MatchIndex<K> {
         let mut out: Vec<K> = self.zero.iter().copied().collect();
         let mut counts: FastMap<K, usize> = FastMap::default();
         for (attr, qc) in filter.constraints() {
-            if let Some(ai) = self.attrs.get(attr) {
+            if let Some(ai) = self.attr_index(attr) {
                 ai.count_covering(qc, &mut |k| *counts.entry(k).or_insert(0) += 1);
             }
         }
@@ -1012,7 +1493,7 @@ impl<K: IndexKey> MatchIndex<K> {
             // (each attribute bumps a key at most once), so the
             // counting map is pure overhead on the release hot path.
             let (attr, qc) = filter.constraints().next().expect("arity 1");
-            if let Some(ai) = self.attrs.get(attr) {
+            if let Some(ai) = self.attr_index(attr) {
                 ai.count_covered_by(qc, &mut |k| out.push(k));
             }
             out.sort_unstable();
@@ -1020,7 +1501,7 @@ impl<K: IndexKey> MatchIndex<K> {
         }
         let mut counts: FastMap<K, usize> = FastMap::default();
         for (attr, qc) in filter.constraints() {
-            if let Some(ai) = self.attrs.get(attr) {
+            if let Some(ai) = self.attr_index(attr) {
                 ai.count_covered_by(qc, &mut |k| *counts.entry(k).or_insert(0) += 1);
             }
         }
@@ -1382,6 +1863,76 @@ mod tests {
         for s in ["beta", "theta", "et", "", "ta"] {
             let p = Publication::new().with("s", s);
             assert_eq!(ix.matching(&p), linear_matching(&table, &p), "s={s}");
+        }
+    }
+
+    #[test]
+    fn sharded_configs_agree_with_linear_scan() {
+        // Sharding is a physical-layout change only: every shard count
+        // and worker count must answer all four query families exactly
+        // like the linear scans.
+        for shards in [1usize, 3, 8] {
+            for workers in [0usize, 2] {
+                let (table, mut ix) = build(assorted_filters());
+                ix.set_parallelism(Parallelism::sharded(shards, workers));
+                ix.check_shard_invariants();
+                let batch = probes();
+                let got = ix.matching_batch(&batch);
+                for (i, p) in batch.iter().enumerate() {
+                    assert_eq!(
+                        got[i],
+                        linear_matching(&table, p),
+                        "shards={shards} workers={workers} probe {i} ({p})"
+                    );
+                    assert_eq!(ix.matching(p), linear_matching(&table, p));
+                }
+                for q in assorted_filters() {
+                    assert_eq!(ix.overlapping(&q), linear_overlapping(&table, &q));
+                    assert_eq!(ix.covering(&q), linear_covering(&table, &q));
+                    assert_eq!(ix.covered_by(&q), linear_covered_by(&table, &q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_parallel_schedules_match_sequential() {
+        let (_, mut ix) = build(assorted_filters());
+        ix.set_parallelism(Parallelism::sharded(5, 3));
+        let batch = probes();
+        let want = ix.matching_batch_sequential(&batch);
+        for seed in 0..16u64 {
+            assert_eq!(ix.matching_batch_seeded(&batch, seed), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sharded_churn_recycles_slots_consistently() {
+        let filters = assorted_filters();
+        let (mut table, mut ix) = build(filters.clone());
+        ix.set_parallelism(Parallelism::sharded(4, 2));
+        for k in (0..filters.len() as u32).step_by(2) {
+            assert!(ix.remove(&k));
+            table.remove(&k);
+        }
+        // Re-inserting reuses freed slot ids; answers must be unchanged.
+        for (i, f) in filters.iter().enumerate().take(8) {
+            let k = 100 + i as u32;
+            ix.insert(k, f);
+            table.insert(k, f.clone());
+        }
+        // Upsert in place while sharded.
+        ix.insert(101, &Filter::builder().ge("y", 1).le("y", 2).build());
+        table.insert(101, Filter::builder().ge("y", 1).le("y", 2).build());
+        ix.check_shard_invariants();
+        let batch = probes();
+        let got = ix.matching_batch(&batch);
+        for (i, p) in batch.iter().enumerate() {
+            assert_eq!(got[i], linear_matching(&table, p), "probe {i} ({p})");
+        }
+        for q in filters.iter() {
+            assert_eq!(ix.covering(q), linear_covering(&table, q));
+            assert_eq!(ix.covered_by(q), linear_covered_by(&table, q));
         }
     }
 }

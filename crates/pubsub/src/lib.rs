@@ -57,7 +57,7 @@ pub mod value;
 
 pub use constraint::Constraint;
 pub use filter::{Filter, FilterBuilder};
-pub use index::MatchIndex;
+pub use index::{MatchIndex, Parallelism};
 pub use message::{
     AdvId, Advertisement, BrokerId, ClientId, MoveId, PubId, PublicationMsg, SubId, Subscription,
 };

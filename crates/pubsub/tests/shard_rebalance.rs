@@ -1,0 +1,217 @@
+//! Shard rebalancing round-trips: `set_parallelism` re-partitions a
+//! live `MatchIndex` in place, and a 1 → N → 1 round-trip must land on
+//! exactly the table it started from — same answers on every query
+//! family, same internal invariants, with slot assignments preserved
+//! across the moves so batch-merge state never dangles.
+//!
+//! The filter population deliberately covers every row representation
+//! the shards own: interval rows, one-sided rows, numeric equality
+//! (inline-exact) rows, `ne` exclusion rows attached to intervals,
+//! string-equality inline-exact rows, prefix rows, presence (`any`)
+//! rows, arity-0 filters (slotless, zero-set), and unsatisfiable
+//! filters (indexed nowhere).
+
+use transmob_pubsub::{Filter, MatchIndex, Parallelism, Publication};
+
+/// A filter population touching every row family the shards store.
+fn population() -> Vec<(u64, Filter)> {
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    let mut push = |f: Filter, out: &mut Vec<(u64, Filter)>| {
+        out.push((id, f));
+        id += 1;
+    };
+    for i in 0..6i64 {
+        // Interval bands with and without `ne` exclusions inside.
+        push(
+            Filter::builder()
+                .ge("x", i * 10)
+                .le("x", i * 10 + 25)
+                .build(),
+            &mut out,
+        );
+        push(
+            Filter::builder()
+                .ge("x", i * 10)
+                .le("x", i * 10 + 25)
+                .ne("x", i * 10 + 5)
+                .build(),
+            &mut out,
+        );
+        // One-sided rows on a second attribute.
+        push(Filter::builder().ge("y", i * 7 - 3).build(), &mut out);
+        push(Filter::builder().le("y", i * 7 + 3).build(), &mut out);
+        // Inline-exact numeric and string rows, prefixes, presence.
+        push(Filter::builder().eq("z", i).build(), &mut out);
+        push(
+            Filter::builder()
+                .eq("tag", ["alpha", "beta", "gamma"][i as usize % 3])
+                .build(),
+            &mut out,
+        );
+        push(
+            Filter::builder()
+                .prefix("tag", ["al", "be", ""][i as usize % 3])
+                .build(),
+            &mut out,
+        );
+        push(Filter::builder().any("w").build(), &mut out);
+        // Conjunctions spanning attributes (hence spanning shards).
+        push(
+            Filter::builder()
+                .ge("x", i * 5)
+                .le("y", i * 5 + 40)
+                .eq("tag", "alpha")
+                .build(),
+            &mut out,
+        );
+    }
+    // Arity-0 (matches everything; slotless) and unsatisfiable rows.
+    push(Filter::builder().build(), &mut out);
+    push(Filter::builder().eq("x", 1).eq("x", 2).build(), &mut out);
+    out
+}
+
+fn probe_pubs() -> Vec<Publication> {
+    let mut pubs = vec![Publication::new()];
+    for v in [-5i64, 0, 5, 12, 15, 23, 31, 47, 60] {
+        pubs.push(
+            Publication::new()
+                .with("x", v)
+                .with("y", 40 - v)
+                .with("z", v % 6),
+        );
+    }
+    for tag in ["alpha", "beta", "al", ""] {
+        pubs.push(Publication::new().with("tag", tag).with("w", 1));
+    }
+    pubs
+}
+
+fn probe_filters() -> Vec<Filter> {
+    vec![
+        Filter::builder().ge("x", 5).le("x", 20).build(),
+        Filter::builder().ge("x", 0).le("x", 100).build(),
+        Filter::builder().eq("tag", "alpha").build(),
+        Filter::builder().prefix("tag", "al").build(),
+        Filter::builder().any("w").ge("y", 0).build(),
+        Filter::builder().build(),
+    ]
+}
+
+/// Every query family answered by `ix`, flattened into one comparable
+/// structure.
+fn snapshot(ix: &MatchIndex<u64>) -> Vec<Vec<u64>> {
+    let mut shot = Vec::new();
+    let pubs = probe_pubs();
+    for p in &pubs {
+        shot.push(ix.matching(p));
+    }
+    shot.extend(ix.matching_batch(&pubs));
+    for f in probe_filters() {
+        shot.push(ix.overlapping(&f));
+        shot.push(ix.covering(&f));
+        shot.push(ix.covered_by(&f));
+    }
+    shot
+}
+
+fn build(par: Parallelism) -> MatchIndex<u64> {
+    let mut ix = MatchIndex::with_parallelism(par);
+    for (id, f) in population() {
+        ix.insert(id, &f);
+    }
+    ix
+}
+
+/// 1 → N → 1: rebalancing out to `n` shards and back reproduces the
+/// original answers at every stage, for every row family.
+#[test]
+fn round_trip_preserves_every_query_family() {
+    let baseline = build(Parallelism::sequential());
+    let reference = snapshot(&baseline);
+    for n in [2usize, 3, 5, 8] {
+        let mut ix = build(Parallelism::sequential());
+        ix.set_parallelism(Parallelism::sharded(n, 2));
+        ix.check_shard_invariants();
+        assert_eq!(snapshot(&ix), reference, "sharded to {n}");
+        ix.set_parallelism(Parallelism::sequential());
+        ix.check_shard_invariants();
+        assert_eq!(snapshot(&ix), reference, "back from {n} shards");
+    }
+}
+
+/// Rebalancing between two multi-shard layouts (N → M, no stop at 1)
+/// is just as exact.
+#[test]
+fn cross_rebalance_preserves_answers() {
+    let reference = snapshot(&build(Parallelism::sequential()));
+    let mut ix = build(Parallelism::sharded(3, 2));
+    for n in [7usize, 2, 5, 3] {
+        ix.set_parallelism(Parallelism::sharded(n, 2));
+        ix.check_shard_invariants();
+        assert_eq!(snapshot(&ix), reference, "rebalanced to {n}");
+    }
+}
+
+/// Churn interleaved with rebalances: removes and re-inserts between
+/// layout changes must keep the table equal to a freshly-built
+/// sequential twin, exclusion and inline-exact rows included.
+#[test]
+fn churn_across_rebalances_matches_fresh_build() {
+    let pop = population();
+    let mut ix = build(Parallelism::sequential());
+    let mut layouts = [
+        Parallelism::sharded(4, 2),
+        Parallelism::sharded(1, 1),
+        Parallelism::sharded(6, 2),
+        Parallelism::sequential(),
+    ]
+    .into_iter();
+    // Remove every third row, rebalance, re-insert, rebalance, ...
+    let removed: Vec<u64> = pop
+        .iter()
+        .filter(|(id, _)| id % 3 == 0)
+        .map(|(id, _)| *id)
+        .collect();
+    for id in &removed {
+        assert!(ix.remove(id), "row {id} must exist before removal");
+    }
+    ix.set_parallelism(layouts.next().unwrap());
+    ix.check_shard_invariants();
+    let mut twin: MatchIndex<u64> = MatchIndex::new();
+    for (id, f) in pop.iter().filter(|(id, _)| id % 3 != 0) {
+        twin.insert(*id, f);
+    }
+    assert_eq!(snapshot(&ix), snapshot(&twin), "after removals");
+    for (id, f) in pop.iter().filter(|(id, _)| removed.contains(id)) {
+        ix.insert(*id, f);
+    }
+    for par in layouts {
+        ix.set_parallelism(par);
+        ix.check_shard_invariants();
+    }
+    let full: MatchIndex<u64> = {
+        let mut t = MatchIndex::new();
+        for (id, f) in &pop {
+            t.insert(*id, f);
+        }
+        t
+    };
+    assert_eq!(snapshot(&ix), snapshot(&full), "after re-insertion");
+}
+
+/// `set_parallelism` to the current layout is a no-op, and shard
+/// counts are clamped to at least one.
+#[test]
+fn degenerate_layouts_are_safe() {
+    let mut ix = build(Parallelism::sharded(4, 2));
+    let reference = snapshot(&ix);
+    ix.set_parallelism(Parallelism::sharded(4, 2));
+    ix.check_shard_invariants();
+    assert_eq!(snapshot(&ix), reference);
+    ix.set_parallelism(Parallelism::sharded(0, 0));
+    ix.check_shard_invariants();
+    assert_eq!(ix.parallelism().shards, 1, "shard count clamps to ≥ 1");
+    assert_eq!(snapshot(&ix), reference);
+}

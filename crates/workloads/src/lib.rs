@@ -13,6 +13,7 @@
 pub mod population;
 pub mod subscriptions;
 pub mod topology;
+pub mod wide;
 
 pub use population::{
     incremental_movers, mixed_population, paper_default, paper_default_between, with_movers,
@@ -20,3 +21,4 @@ pub use population::{
 };
 pub use subscriptions::{full_space_adv, SubWorkload, ATTR, ATTR_TAG, ATTR_Y, Y_STRIDE, Y_WIDTH};
 pub use topology::{balanced_binary, default_14, grown, random_tree};
+pub use wide::{wide_publication, wide_sub_filter, WIDE_ATTRS};

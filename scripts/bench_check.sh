@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Bench-regression gate: re-measures the routing benches and compares
+# per-benchmark medians against the committed baseline
+# BENCH_routing.json.
+#
+#   - Gated groups: publish_batch, srt_overlap, covering_release. A
+#     median more than 25% slower than the committed baseline fails
+#     the gate.
+#   - The baseline must record the parallel_match group (sequential
+#     plus shard counts 1/4/8 at 10k rows) with a >=2x speedup of
+#     shards4 over the sequential sweep — the acceptance bar of the
+#     parallel matching stage.
+#   - CI_FAST=1 skips re-measurement (single-iteration timings are
+#     meaningless) and only checks the baseline shape plus that every
+#     gated benchmark still runs; set BENCH_QUICK_JSON=<file> to reuse
+#     an existing CRITERION_QUICK capture instead of re-running.
+#   - BENCH_CHECK_RUNS (default 3) measurement repetitions feed each
+#     median, damping scheduler noise on small CI boxes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_routing.json
+GATED=(publish_batch srt_overlap covering_release)
+
+# Baseline shape checks (every mode): parallel_match recorded, >=2x.
+python3 - "$BASELINE" <<'PY'
+import json, sys
+
+rows = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+pm = {r["bench"]: r["ns_per_iter"] for r in rows if r["group"] == "parallel_match"}
+for need in ("sequential/10000", "shards1/10000", "shards4/10000", "shards8/10000"):
+    if need not in pm:
+        sys.exit(f"bench_check: baseline missing parallel_match/{need}")
+ratio = pm["sequential/10000"] / pm["shards4/10000"]
+if ratio < 2.0:
+    sys.exit(f"bench_check: baseline parallel_match shards4 speedup {ratio:.2f}x < 2x")
+print(f"bench_check: baseline ok (parallel_match shards4 speedup {ratio:.2f}x)")
+PY
+
+if [[ "${CI_FAST:-0}" == "1" ]]; then
+    out="${BENCH_QUICK_JSON:-}"
+    cleanup=""
+    if [[ -z "$out" ]]; then
+        out=$(mktemp)
+        cleanup="$out"
+        trap 'rm -f "$cleanup"' EXIT
+        CRITERION_QUICK=1 CRITERION_JSON="$out" \
+            cargo bench -p transmob-bench -q --bench routing -- \
+            "${GATED[@]}" parallel_match
+    fi
+    python3 - "$out" "$BASELINE" "${GATED[@]}" <<'PY'
+import json, sys
+
+seen = set()
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    seen.add((r["group"], r["bench"]))
+base = set()
+for line in open(sys.argv[2]):
+    r = json.loads(line)
+    base.add((r["group"], r["bench"]))
+gated = set(sys.argv[3:]) | {"parallel_match"}
+missing = sorted(k for k in base if k[0] in gated and k not in seen)
+if missing:
+    sys.exit(f"bench_check: benchmarks vanished from the quick run: {missing}")
+print(f"bench_check: CI_FAST=1 - all {len([k for k in seen if k[0] in gated])} "
+      "gated benchmarks still run; timing gate skipped")
+PY
+    exit 0
+fi
+
+runs="${BENCH_CHECK_RUNS:-3}"
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+for _ in $(seq "$runs"); do
+    CRITERION_JSON="$out" cargo bench -p transmob-bench -q --bench routing -- \
+        "${GATED[@]}" parallel_match
+done
+
+python3 - "$out" "$BASELINE" "${GATED[@]}" <<'PY'
+import json, statistics, sys
+
+meas = {}
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    meas.setdefault((r["group"], r["bench"]), []).append(r["ns_per_iter"])
+base = {}
+for line in open(sys.argv[2]):
+    r = json.loads(line)
+    base[(r["group"], r["bench"])] = r["ns_per_iter"]
+gated = set(sys.argv[3:])
+
+failures = []
+for key in sorted(k for k in meas if k[0] in gated):
+    med = statistics.median(meas[key])
+    if key not in base:
+        print(f"bench_check: note: {key[0]}/{key[1]} has no baseline (new bench)")
+        continue
+    ratio = med / base[key]
+    verdict = "FAIL" if ratio > 1.25 else "ok"
+    print(f"bench_check: {verdict} {key[0]}/{key[1]} "
+          f"median {med:,.0f} ns vs baseline {base[key]:,.0f} ns ({ratio:.2f}x)")
+    if ratio > 1.25:
+        failures.append(key)
+
+missing = sorted(k for k in base if k[0] in gated and k not in meas)
+if missing:
+    sys.exit(f"bench_check: gated benchmarks vanished: {missing}")
+if not any(k[0] == "parallel_match" for k in meas):
+    sys.exit("bench_check: parallel_match group was not measured")
+if failures:
+    sys.exit(f"bench_check: regression >25% in {failures}")
+print("bench_check: regression gate passed")
+PY

@@ -1,24 +1,72 @@
 #!/usr/bin/env bash
 # CI gate for the transmob workspace.
 #
-# Formatting and lints are hard failures; the vendored offline stubs
-# under vendor/ are workspace-excluded, so the gates only cover our
-# own crates.
+# Tiers, in order — every invocation runs each tier or prints an
+# explicit skip notice for it:
+#
+#   1. formatting + lints + full workspace tests (hard failures; the
+#      vendored offline stubs under vendor/ are workspace-excluded)
+#   2. chaos smoke — seeded fault schedules per protocol; scales via
+#      CHAOS_CASES (e.g. CHAOS_CASES=5000), skipped under CI_FAST=1
+#   3. bench smoke — every criterion bench, one iteration each
+#      (CRITERION_QUICK, see vendor/criterion), so bench code cannot
+#      silently rot between perf PRs; captured once and reused by the
+#      regression gate, never run twice
+#   4. bench-regression gate — scripts/bench_check.sh compares medians
+#      against the committed BENCH_routing.json (presence-only check
+#      under CI_FAST=1)
+#   5. seeded interleaving smoke for the parallel matching stage
+#      (INTERLEAVE_SEEDS scales the schedule sweep, default 64)
+#   6. TSAN tier — opt in with TSAN=1: rebuilds the parallel matching
+#      tests with -Zsanitizer=thread (nightly) and runs them under
+#      ThreadSanitizer; prints a skip notice when not requested or
+#      when the toolchain cannot build it
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# ---- tier 1: fmt + lints + tests --------------------------------------
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
-# Chaos smoke: a small fixed budget of seeded fault schedules per
-# protocol (the nightly-sized run scales via CHAOS_CASES, e.g.
-# CHAOS_CASES=5000 scripts/ci.sh).
-CHAOS_CASES="${CHAOS_CASES:-32}" cargo test -p transmob-sim --test chaos_recovery -q
-# Bench smoke: compile every criterion bench and run each benchmark
-# for a single iteration (CRITERION_QUICK, see vendor/criterion) so
-# bench code cannot silently rot between perf PRs.
-CRITERION_QUICK=1 cargo bench -p transmob-bench -q
-# Batch-pipeline smoke: the publish_batch group specifically must keep
-# running, so the amortization numbers in BENCH_routing.json stay
-# reproducible (regenerate with CRITERION_JSON=BENCH_routing.json).
-CRITERION_QUICK=1 cargo bench -p transmob-bench -q --bench routing -- publish_batch
+
+# ---- tier 2: chaos smoke ----------------------------------------------
+if [[ "${CI_FAST:-0}" == "1" ]]; then
+    echo "ci: CI_FAST=1 - skipping chaos smoke"
+else
+    CHAOS_CASES="${CHAOS_CASES:-32}" \
+        cargo test -p transmob-sim --test chaos_recovery -q
+fi
+
+# ---- tier 3: bench smoke (single pass, capture reused below) ----------
+QUICK_JSON=$(mktemp)
+trap 'rm -f "$QUICK_JSON"' EXIT
+CRITERION_QUICK=1 CRITERION_JSON="$QUICK_JSON" cargo bench -p transmob-bench -q
+
+# ---- tier 4: bench-regression gate ------------------------------------
+BENCH_QUICK_JSON="$QUICK_JSON" scripts/bench_check.sh
+
+# ---- tier 5: parallel interleaving smoke ------------------------------
+INTERLEAVE_SEEDS="${INTERLEAVE_SEEDS:-64}" \
+    cargo test -p transmob-pubsub --test parallel_interleavings -q
+
+# ---- tier 6: TSAN -----------------------------------------------------
+# The offline toolchain has no rust-src, so std is not instrumented:
+# the build needs -Cunsafe-allow-abi-mismatch=sanitizer, an explicit
+# --target (host proc-macros must stay unsanitized), and the libtest
+# false-positive suppressions in scripts/tsan.supp.
+if [[ "${TSAN:-0}" == "1" ]]; then
+    HOST=$(rustc +nightly -vV 2>/dev/null | awk '/^host:/ {print $2}')
+    TSAN_RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer"
+    if [[ -n "$HOST" ]] && RUSTFLAGS="$TSAN_RUSTFLAGS" CARGO_TARGET_DIR=target/tsan \
+        cargo +nightly build -q -p transmob-pubsub --target "$HOST" 2>/dev/null; then
+        echo "ci: TSAN tier - parallel matching tests under ThreadSanitizer"
+        RUSTFLAGS="$TSAN_RUSTFLAGS" CARGO_TARGET_DIR=target/tsan \
+            TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp" \
+            INTERLEAVE_SEEDS="${INTERLEAVE_SEEDS:-16}" \
+            cargo +nightly test -q -p transmob-pubsub --target "$HOST" -- --test-threads=1
+    else
+        echo "ci: TSAN=1 but this toolchain cannot build -Zsanitizer=thread - skipping TSAN tier"
+    fi
+else
+    echo "ci: TSAN tier skipped (opt in with TSAN=1)"
+fi

@@ -17,6 +17,12 @@
 //! window to a single iteration per benchmark: a CI smoke mode that
 //! proves every bench still compiles and runs without paying for
 //! calibrated timings (the numbers it prints are meaningless).
+//!
+//! Like real criterion, positional command-line arguments act as
+//! substring filters: `cargo bench --bench routing -- publish_batch`
+//! runs only benchmarks whose `group/id` label contains
+//! `publish_batch` (any one of several filters may match). Arguments
+//! starting with `-` are accepted and ignored for CLI parity.
 
 use std::fmt::Display;
 use std::io::Write as _;
@@ -203,17 +209,30 @@ fn measurement_window() -> Duration {
     }
 }
 
+/// Positional (non-`-`) CLI arguments, used as substring filters on
+/// benchmark labels; empty means "run everything".
+fn cli_filters() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect()
+}
+
 fn run_bench(group: &str, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher {
-        total: Duration::ZERO,
-        iters: 0,
-    };
-    f(&mut b);
     let label = if group.is_empty() {
         id.to_string()
     } else {
         format!("{group}/{id}")
     };
+    let filters = cli_filters();
+    if !filters.is_empty() && !filters.iter().any(|f| label.contains(f.as_str())) {
+        return;
+    }
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
     if b.iters == 0 {
         println!("bench: {label:<50} (no measurement)");
         return;
