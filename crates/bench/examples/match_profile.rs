@@ -1,0 +1,61 @@
+//! Stage-level profiler for the batch matching stages: repeated-batch
+//! timings of the exact `parallel_match` bench workload, without
+//! criterion's single-shot quick mode. Used to tune the pooled stage;
+//! kept because single-iteration captures on small CI boxes are too
+//! noisy to steer micro-optimization.
+//!
+//! ```text
+//! cargo run --release -p transmob-bench --example match_profile -- [rows] [batch] [reps]
+//! ```
+
+use std::time::Instant;
+
+use transmob_broker::routing::Prt;
+use transmob_broker::Hop;
+use transmob_pubsub::{ClientId, Parallelism, Publication, SubId, Subscription};
+use transmob_workloads::wide::{wide_publication, wide_sub_filter};
+
+fn loaded_prt_wide(n: usize) -> Prt {
+    let mut prt = Prt::new();
+    for i in 0..n {
+        let sub = Subscription::new(SubId::new(ClientId(i as u64), i as u32), wide_sub_filter(i));
+        prt.insert(sub, Hop::Client(ClientId(i as u64)));
+    }
+    prt
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().map_or(10_000, |a| a.parse().unwrap());
+    let batch: usize = args.next().map_or(256, |a| a.parse().unwrap());
+    let reps: usize = args.next().map_or(20, |a| a.parse().unwrap());
+    let pubs: Vec<Publication> = (0..batch).map(wide_publication).collect();
+
+    let configs: [(&str, Parallelism); 5] = [
+        ("sequential      ", Parallelism::sequential()),
+        ("shards1/workers1", Parallelism::sharded(1, 1)),
+        ("shards4/workers1", Parallelism::sharded(4, 1)),
+        ("shards1/workers4", Parallelism::sharded(1, 4)),
+        ("shards4/workers4", Parallelism::sharded(4, 4)),
+    ];
+    println!("rows={rows} batch={batch} reps={reps}");
+    for (name, par) in configs {
+        let mut prt = loaded_prt_wide(rows);
+        prt.set_parallelism(par);
+        // Warmup: spawn pool workers, grow scratch, fault pages.
+        for _ in 0..3 {
+            std::hint::black_box(prt.matching_batch(std::hint::black_box(&pubs)));
+        }
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(prt.matching_batch(std::hint::black_box(&pubs)));
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = times[times.len() / 2];
+        let min = times[0];
+        println!("{name}  median {med:8.3} ms/batch   min {min:8.3} ms/batch");
+    }
+}

@@ -48,8 +48,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use transmob_pubsub::{
-    AdvId, Advertisement, BrokerId, ClientId, Filter, MoveId, Parallelism, PublicationMsg, SubId,
-    Subscription,
+    AdvId, Advertisement, BrokerId, ClientId, Filter, MoveId, Parallelism, Publication,
+    PublicationMsg, SubId, Subscription,
 };
 
 use crate::messages::{BrokerOutput, Hop, MsgKind, OutputBatch, PubSubMsg};
@@ -154,6 +154,21 @@ pub struct BrokerStats {
     /// make-before-break covering variant overlaps the old and new
     /// subscription trees; zero otherwise.
     pub reroutes: u64,
+}
+
+/// Routes pre-computed by [`BrokerCore::prematch`] for the publish
+/// messages of one batch, in batch order, stamped with the routing
+/// version they were matched under. The *match* stage of a pipelined
+/// broker loop produces one of these under a read lock; the *apply*
+/// stage consumes it under the write lock, falling back to fresh
+/// matching if the stamp has gone stale.
+#[derive(Debug, Clone)]
+pub struct PrematchedRoutes {
+    version: u64,
+    /// Consumption cursor: publish runs of the batch take their rows
+    /// in order across multiple flushes.
+    pos: usize,
+    routes: Vec<Vec<(SubId, Hop, Option<Hop>)>>,
 }
 
 /// The broker routing state machine. See the module docs for the
@@ -286,6 +301,44 @@ impl BrokerCore {
     /// matched through one amortized index sweep
     /// ([`Prt::matching_routes_batch`]) instead of one probe each.
     pub fn handle_batch(&mut self, from: Hop, msgs: Vec<PubSubMsg>) -> OutputBatch {
+        self.handle_batch_prematched(from, msgs, None)
+    }
+
+    /// The routing-state version stamp guarding pre-computed routes
+    /// (see [`Prt::routing_version`]).
+    pub fn routing_version(&self) -> u64 {
+        self.prt.routing_version()
+    }
+
+    /// Matches a batch's publications against the *current* routing
+    /// state without mutating anything: the read-locked *match* stage
+    /// of a pipelined broker loop. The result is stamped with
+    /// [`BrokerCore::routing_version`]; the write-locked *apply* stage
+    /// ([`BrokerCore::handle_batch_prematched`]) consumes the routes
+    /// only while the stamp still matches, so a movement commit or
+    /// subscription churn sneaking in between simply invalidates the
+    /// pre-computation instead of corrupting routing.
+    pub fn prematch(&self, contents: &[Publication]) -> PrematchedRoutes {
+        PrematchedRoutes {
+            version: self.prt.routing_version(),
+            pos: 0,
+            routes: self.prt.matching_routes_batch(contents),
+        }
+    }
+
+    /// [`BrokerCore::handle_batch`], optionally consuming routes
+    /// pre-computed by [`BrokerCore::prematch`] on the same
+    /// publication sequence. Stale pre-computations (version stamp
+    /// mismatch — the routing state mutated since the match stage,
+    /// including *mid-batch* by a subscription in this very batch) are
+    /// discarded and the affected runs re-matched; results are
+    /// identical either way (asserted in debug builds).
+    pub fn handle_batch_prematched(
+        &mut self,
+        from: Hop,
+        msgs: Vec<PubSubMsg>,
+        mut pre: Option<&mut PrematchedRoutes>,
+    ) -> OutputBatch {
         // Deserialized cores rebuild their match indexes with the
         // default layout; re-apply the configured sharding lazily so
         // every ingestion path honours it.
@@ -302,7 +355,7 @@ impl BrokerCore {
             match msg {
                 PubSubMsg::Publish(p) => run.push(p),
                 other => {
-                    self.flush_publish_run(from, &mut run, &mut batch);
+                    self.flush_publish_run(from, &mut run, &mut pre, &mut batch);
                     batch.extend(match other {
                         PubSubMsg::Advertise(a) => self.handle_advertise(from, a),
                         PubSubMsg::Unadvertise(id) => self.handle_unadvertise(from, id),
@@ -313,33 +366,57 @@ impl BrokerCore {
                 }
             }
         }
-        self.flush_publish_run(from, &mut run, &mut batch);
+        self.flush_publish_run(from, &mut run, &mut pre, &mut batch);
         batch
     }
 
     /// Routes an accumulated run of publications through one batch
-    /// matching sweep, emitting the same effects, in the same order,
-    /// as routing them one by one.
+    /// matching sweep — or through still-fresh pre-computed routes —
+    /// emitting the same effects, in the same order, as routing them
+    /// one by one.
     fn flush_publish_run(
         &mut self,
         from: Hop,
         run: &mut Vec<PublicationMsg>,
+        pre: &mut Option<&mut PrematchedRoutes>,
         batch: &mut OutputBatch,
     ) {
-        match run.len() {
-            0 => {}
-            1 => {
-                // unwrap: length checked
-                let p = run.pop().unwrap();
-                batch.extend(self.handle_publish(from, p));
+        if run.is_empty() {
+            return;
+        }
+        // Take the run's pre-computed routes if the stamp is still
+        // current; drop the whole pre-computation the moment it goes
+        // stale (the version only moves forward, so it cannot become
+        // valid again).
+        let taken = match pre {
+            Some(p) if p.version == self.prt.routing_version() => {
+                let rows = p.routes[p.pos..p.pos + run.len()].to_vec();
+                p.pos += run.len();
+                Some(rows)
             }
             _ => {
-                let contents: Vec<_> = run.iter().map(|p| p.content.clone()).collect();
-                let routes = self.prt.matching_routes_batch(&contents);
-                for (p, routes_p) in run.drain(..).zip(routes) {
-                    batch.extend(Self::emit_publish(from, p, routes_p));
-                }
+                *pre = None;
+                None
             }
+        };
+        let routes = taken.unwrap_or_else(|| {
+            let contents: Vec<_> = run.iter().map(|p| p.content.clone()).collect();
+            match contents.len() {
+                1 => vec![self.prt.matching_routes(&contents[0])],
+                _ => self.prt.matching_routes_batch(&contents),
+            }
+        });
+        #[cfg(debug_assertions)]
+        {
+            let contents: Vec<_> = run.iter().map(|p| p.content.clone()).collect();
+            debug_assert_eq!(
+                routes,
+                self.prt.matching_routes_batch(&contents),
+                "pre-computed routes diverged from the current routing state"
+            );
+        }
+        for (p, routes_p) in run.drain(..).zip(routes) {
+            batch.extend(Self::emit_publish(from, p, routes_p));
         }
     }
 
@@ -788,11 +865,6 @@ impl BrokerCore {
     }
 
     // ----- publications ----------------------------------------------
-
-    fn handle_publish(&mut self, from: Hop, p: PublicationMsg) -> Vec<BrokerOutput> {
-        let routes = self.prt.matching_routes(&p.content);
-        Self::emit_publish(from, p, routes)
-    }
 
     /// Turns one publication's matched routes into forwarding effects:
     /// deduplicated broker and client destinations, honouring both the

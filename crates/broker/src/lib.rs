@@ -27,7 +27,7 @@ pub mod routing;
 pub mod sync_net;
 pub mod topology;
 
-pub use broker::{BrokerConfig, BrokerCore, BrokerStats, CoveringMode};
+pub use broker::{BrokerConfig, BrokerCore, BrokerStats, CoveringMode, PrematchedRoutes};
 pub use messages::{BrokerOutput, Hop, MsgKind, OutputBatch, PubSubMsg};
 pub use routing::{AdvEntry, PendingRoute, Prt, Srt, SubEntry};
 pub use sync_net::{Delivery, SyncNet};

@@ -371,6 +371,13 @@ impl Srt {
 pub struct Prt {
     entries: BTreeMap<SubId, SubEntry>,
     index: MatchIndex<SubId>,
+    /// Routing-state version: bumped by every mutable access that
+    /// could change what [`Prt::matching_routes_batch`] answers (row
+    /// churn *and* hop/pending bookkeeping through the mutable
+    /// accessors, counted conservatively). The pipelined broker loops
+    /// stamp pre-computed routes with this and discard them if the
+    /// table has moved on ([`Prt::routing_version`]).
+    version: u64,
 }
 
 impl PartialEq for Prt {
@@ -434,7 +441,11 @@ impl Prt {
         for (id, e) in &entries {
             index.insert(*id, &e.sub.filter);
         }
-        Ok(Prt { entries, index })
+        Ok(Prt {
+            entries,
+            index,
+            version: 0,
+        })
     }
 
     /// Inserts a subscription arriving from `lasthop`. Returns `false`
@@ -444,6 +455,7 @@ impl Prt {
     /// silent duplicate suppression, differing-filter re-inserts are a
     /// reported protocol violation and the original row is kept.
     pub fn insert(&mut self, sub: Subscription, lasthop: Hop) -> bool {
+        self.version = self.version.wrapping_add(1);
         match self.entries.entry(sub.id) {
             Entry::Occupied(existing) => {
                 if existing.get().sub.filter != sub.filter {
@@ -478,6 +490,7 @@ impl Prt {
 
     /// Removes a subscription, returning its row.
     pub fn remove(&mut self, id: SubId) -> Option<SubEntry> {
+        self.version = self.version.wrapping_add(1);
         let row = self.entries.remove(&id);
         if row.is_some() {
             self.index.remove(&id);
@@ -493,6 +506,7 @@ impl Prt {
     /// Looks up a row mutably (for hop bookkeeping — never mutate the
     /// filter; see the type docs).
     pub fn get_mut(&mut self, id: SubId) -> Option<&mut SubEntry> {
+        self.version = self.version.wrapping_add(1);
         self.entries.get_mut(&id)
     }
 
@@ -504,7 +518,15 @@ impl Prt {
     /// Iterates all rows mutably (for hop bookkeeping — never mutate
     /// the filter; see the type docs).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (&SubId, &mut SubEntry)> {
+        self.version = self.version.wrapping_add(1);
         self.entries.iter_mut()
+    }
+
+    /// The routing-state version stamp (see the `version` field): two
+    /// equal stamps from the same table guarantee
+    /// [`Prt::matching_routes_batch`] would answer identically.
+    pub fn routing_version(&self) -> u64 {
+        self.version
     }
 
     /// Ids of subscriptions whose filter matches `publication`

@@ -312,3 +312,138 @@ proptest! {
         prop_assert_eq!(pbatch.srt(), sfold.srt());
     }
 }
+
+/// The publications of a message run, in order — what the pipelined
+/// drivers feed to `prematch`.
+fn contents_of(run: &[PubSubMsg]) -> Vec<Publication> {
+    run.iter()
+        .filter_map(|m| match m {
+            PubSubMsg::Publish(p) => Some(p.content.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The pipelined ingestion path — `prematch` under a fresh stamp,
+    /// then `handle_batch_prematched` — is a pure transport
+    /// optimization exactly like `handle_batch`: same flat effects and
+    /// same final state as the one-message fold. Runs that mix
+    /// subscribes/advertises between publishes invalidate the stamp
+    /// *mid-batch*, so the internal staleness fallback is exercised by
+    /// the same scripts.
+    #[test]
+    fn prematched_batch_equals_fold(
+        sub_filters in proptest::collection::vec(arb_filter(), 1..8),
+        adv_move in any::<bool>(),
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        let from = Hop::Broker(BrokerId(2));
+        let mut folded = seeded(BrokerConfig::plain(), &sub_filters, adv_move);
+        let mut batched = folded.clone();
+        let mut fold_out = Vec::new();
+        let mut batch_out = Vec::new();
+        let mut run: Vec<PubSubMsg> = Vec::new();
+        let flush = |core: &mut BrokerCore, run: &mut Vec<PubSubMsg>, out: &mut Vec<_>| {
+            if !run.is_empty() {
+                let msgs = std::mem::take(run);
+                let mut pre = core.prematch(&contents_of(&msgs));
+                out.extend(
+                    core.handle_batch_prematched(from, msgs, Some(&mut pre))
+                        .into_flat(),
+                );
+            }
+        };
+        for (i, op) in ops.iter().enumerate() {
+            match resolve(op, i) {
+                Resolved::Msg(m) => {
+                    fold_out.extend(folded.handle(from, m.clone()));
+                    run.push(m);
+                }
+                Resolved::Commit(mid) => {
+                    flush(&mut batched, &mut run, &mut batch_out);
+                    fold_out.extend(folded.commit_move(mid));
+                    batch_out.extend(batched.commit_move(mid));
+                }
+                Resolved::Abort(mid) => {
+                    flush(&mut batched, &mut run, &mut batch_out);
+                    fold_out.extend(folded.abort_move(mid));
+                    batch_out.extend(batched.abort_move(mid));
+                }
+            }
+        }
+        flush(&mut batched, &mut run, &mut batch_out);
+        prop_assert_eq!(&fold_out, &batch_out);
+        prop_assert_eq!(state_json(&folded), state_json(&batched));
+    }
+
+    /// The pipeline race, deterministically: routes are pre-computed,
+    /// *then* a movement transaction commits or aborts (bumping the
+    /// routing version — the apply stage's write-lock window), and
+    /// only then is the batch applied with the now-stale routes. The
+    /// stamp mismatch must force a recomputation: results equal the
+    /// fold that never saw the stale routes.
+    #[test]
+    fn stale_prematch_recomputes_identically(
+        sub_filters in proptest::collection::vec(arb_filter(), 1..8),
+        adv_move in any::<bool>(),
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        let from = Hop::Broker(BrokerId(2));
+        let mut folded = seeded(BrokerConfig::plain(), &sub_filters, adv_move);
+        let mut batched = folded.clone();
+        let mut fold_out = Vec::new();
+        let mut batch_out = Vec::new();
+        let mut run: Vec<PubSubMsg> = Vec::new();
+        // Both cores apply the boundary mutation *before* the buffered
+        // run; the batched side pre-computes the run's routes *before*
+        // the mutation, so its stamp is stale whenever the commit or
+        // abort touched the routing tables.
+        let boundary = |folded: &mut BrokerCore,
+                            batched: &mut BrokerCore,
+                            run: &mut Vec<PubSubMsg>,
+                            fold_out: &mut Vec<BrokerOutput>,
+                            batch_out: &mut Vec<BrokerOutput>,
+                            mid: Option<(MoveId, bool)>| {
+            let msgs = std::mem::take(run);
+            let mut pre = batched.prematch(&contents_of(&msgs));
+            if let Some((m, commit)) = mid {
+                if commit {
+                    fold_out.extend(folded.commit_move(m));
+                    batch_out.extend(batched.commit_move(m));
+                } else {
+                    fold_out.extend(folded.abort_move(m));
+                    batch_out.extend(batched.abort_move(m));
+                }
+            }
+            for msg in msgs.iter() {
+                fold_out.extend(folded.handle(from, msg.clone()));
+            }
+            if !msgs.is_empty() {
+                batch_out.extend(
+                    batched
+                        .handle_batch_prematched(from, msgs, Some(&mut pre))
+                        .into_flat(),
+                );
+            }
+        };
+        for (i, op) in ops.iter().enumerate() {
+            match resolve(op, i) {
+                Resolved::Msg(m) => run.push(m),
+                Resolved::Commit(mid) => boundary(
+                    &mut folded, &mut batched, &mut run,
+                    &mut fold_out, &mut batch_out, Some((mid, true)),
+                ),
+                Resolved::Abort(mid) => boundary(
+                    &mut folded, &mut batched, &mut run,
+                    &mut fold_out, &mut batch_out, Some((mid, false)),
+                ),
+            }
+        }
+        boundary(&mut folded, &mut batched, &mut run, &mut fold_out, &mut batch_out, None);
+        prop_assert_eq!(&fold_out, &batch_out);
+        prop_assert_eq!(state_json(&folded), state_json(&batched));
+    }
+}

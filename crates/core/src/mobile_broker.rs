@@ -28,8 +28,10 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
-use transmob_broker::{BrokerConfig, BrokerCore, BrokerOutput, Hop, PubSubMsg, Topology};
-use transmob_pubsub::{BrokerId, ClientId, MoveId, PublicationMsg, SubId};
+use transmob_broker::{
+    BrokerConfig, BrokerCore, BrokerOutput, Hop, PrematchedRoutes, PubSubMsg, Topology,
+};
+use transmob_pubsub::{BrokerId, ClientId, MoveId, Publication, PublicationMsg, SubId};
 
 use crate::client_stub::{DeliverOutcome, HostedClient};
 use crate::durability::{DurabilityLog, DurabilityRecord, LoggedInput, DURABILITY_FORMAT_VERSION};
@@ -717,8 +719,52 @@ impl MobileBroker {
     /// consecutive pub/sub messages go through
     /// [`BrokerCore::handle_batch`], which amortizes publication
     /// matching across the run.
-    pub fn handle_batch(&mut self, from: Hop, mut msgs: Vec<Message>) -> Vec<Output> {
+    pub fn handle_batch(&mut self, from: Hop, msgs: Vec<Message>) -> Vec<Output> {
+        self.handle_batch_apply(from, msgs, None)
+    }
+
+    /// The read-locked *match* stage of a pipelined broker loop:
+    /// matches the batch's publications against the current routing
+    /// state without mutating anything, stamped with the routing
+    /// version (see [`BrokerCore::prematch`]). Hand the result to
+    /// [`MobileBroker::handle_batch_prematched`]; a concurrent
+    /// mutation (movement commit, subscription churn) between the two
+    /// calls merely invalidates the stamp and the apply stage
+    /// re-matches — results are identical either way.
+    pub fn prematch(&self, msgs: &[Message]) -> PrematchedRoutes {
+        let contents: Vec<Publication> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::PubSub(PubSubMsg::Publish(p)) => Some(p.content.clone()),
+                _ => None,
+            })
+            .collect();
+        self.core.prematch(&contents)
+    }
+
+    /// [`MobileBroker::handle_batch`] consuming the routes
+    /// pre-computed by [`MobileBroker::prematch`] over the same
+    /// message sequence (the write-locked *apply* stage of a pipelined
+    /// broker loop).
+    pub fn handle_batch_prematched(
+        &mut self,
+        from: Hop,
+        msgs: Vec<Message>,
+        mut pre: PrematchedRoutes,
+    ) -> Vec<Output> {
+        self.handle_batch_apply(from, msgs, Some(&mut pre))
+    }
+
+    fn handle_batch_apply(
+        &mut self,
+        from: Hop,
+        mut msgs: Vec<Message>,
+        mut pre: Option<&mut PrematchedRoutes>,
+    ) -> Vec<Output> {
         match msgs.len() {
+            // The single-message shortcut keeps the durability log's
+            // record shape; any pre-computed route for it is simply
+            // unused (it dies with `pre`).
             0 => return Vec::new(),
             1 => return self.handle(from, msgs.pop().expect("len checked")),
             _ => {}
@@ -730,23 +776,32 @@ impl MobileBroker {
             match msg {
                 Message::PubSub(p) => run.push(p),
                 Message::Move(mv) => {
-                    self.flush_pubsub_run(from, &mut run, &mut out);
+                    self.flush_pubsub_run(from, &mut run, &mut pre, &mut out);
                     out.extend(self.handle_move(from, mv));
                 }
             }
         }
-        self.flush_pubsub_run(from, &mut run, &mut out);
+        self.flush_pubsub_run(from, &mut run, &mut pre, &mut out);
         self.end_input(outer);
         out
     }
 
     /// Applies a buffered run of consecutive pub/sub messages through
     /// the routing core's batch entry point.
-    fn flush_pubsub_run(&mut self, from: Hop, run: &mut Vec<PubSubMsg>, out: &mut Vec<Output>) {
+    fn flush_pubsub_run(
+        &mut self,
+        from: Hop,
+        run: &mut Vec<PubSubMsg>,
+        pre: &mut Option<&mut PrematchedRoutes>,
+        out: &mut Vec<Output>,
+    ) {
         if run.is_empty() {
             return;
         }
-        let batch = self.core.handle_batch(from, std::mem::take(run));
+        let reborrow = pre.as_mut().map(|p| &mut **p);
+        let batch = self
+            .core
+            .handle_batch_prematched(from, std::mem::take(run), reborrow);
         out.extend(self.absorb(batch.into_flat()));
     }
 

@@ -86,7 +86,7 @@
 //! documented in [`crate::constraint`]. The routing layer keeps the
 //! linear scans alive as a differential oracle.
 //!
-//! # Sharding and the parallel matching stage
+//! # Sharding and the parallel matching stages
 //!
 //! The per-attribute structures are hash-partitioned into
 //! [`Parallelism::shards`] shards: attribute `a` lives in shard
@@ -94,26 +94,47 @@
 //! every insert/remove/query decomposes into independent per-shard
 //! operations and an attribute's entire bucket family (interval map,
 //! point/prefix hashes, dual-endpoint containment trees) is always
-//! co-located in exactly one shard. [`MatchIndex::matching_batch`] can
-//! then fan the batch's probe groups out across shards on a small
-//! fixed pool of scoped worker threads; each shard emits flat
-//! per-publication hit vectors of dense *slot* ids, and the hits are
-//! merged back on the caller in ascending shard order (deterministic
-//! regardless of thread completion order) through an array countdown —
-//! the countdown map of the sequential sweep, flattened onto the slot
-//! space so the merge does no hashing. The single-threaded sweep is
-//! retained as the sequential fallback ([`Parallelism::workers`] = 0)
-//! and as the debug differential oracle for the parallel stage.
+//! co-located in exactly one shard.
+//!
+//! [`MatchIndex::matching_batch`] selects among three equivalent
+//! stages by [`Parallelism::workers`]:
+//!
+//! - **0 — sequential sweep**: the single-threaded amortized sweep,
+//!   the default and the differential oracle every other stage is
+//!   asserted against in debug builds.
+//! - **1 — inline sharded stage**: probes are scattered by owning
+//!   shard, each shard emits flat per-publication hit vectors of dense
+//!   *slot* ids on the caller thread, and the hits are merged in
+//!   ascending shard order through a dense array countdown re-seeded
+//!   per publication. No threads are ever involved.
+//! - **≥ 2 — pooled stage**: the batch is split into contiguous
+//!   *publication chunks* claimed off an atomic cursor by the caller
+//!   and the index's persistent worker pool (lazily started, parked on
+//!   a channel between batches, shared by clones). Chunks are matched
+//!   *publication-major* against an immutable [`PackedAttr`] snapshot
+//!   of the numeric tables (rebuilt lazily when the index has mutated,
+//!   shared by all workers): per probe, both endpoint-sorted arrays
+//!   are binary-searched and only the **smaller** qualifying prefix is
+//!   scanned, each visited row costing one comparison and, on a hit,
+//!   one decrement of a per-publication count-grid block that stays
+//!   cache-hot because all of a publication's probes bump the same
+//!   block. Completed slots are staged as `u32` ranks and mapped back
+//!   to keys already in sorted order, so there is no per-batch probe
+//!   sort, no admission/retirement state, no serial scatter or merge
+//!   section — and no key-comparison sort of the result rows. Chunk
+//!   results are stitched back in batch order.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 use std::hash::{Hash, Hasher as _};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
 use crate::fasthash::{FastHasher, FastMap};
+use crate::pool::{MatchScratch, PoolStats, WorkerPool};
 
 use crate::constraint::{Bound, Constraint, Interval, TotalF64};
 use crate::filter::Filter;
@@ -744,12 +765,27 @@ impl<K: IndexKey> AttrIndex<K> {
 /// via the broker config, for every `Srt`/`Prt` in a deployment).
 ///
 /// `shards` is the number of hash partitions of the attribute space
-/// (at least 1); `workers` is the size of the scoped worker pool the
-/// parallel matching stage may spawn per batch. `workers == 0` selects
-/// the sequential amortized sweep (the default and the differential
-/// oracle); `workers == 1` runs the sharded stage inline without
-/// spawning. Sharding alone (workers = 0) changes the physical layout
-/// but never the answers.
+/// (at least 1); `workers` selects the batch-matching stage:
+///
+/// - `workers == 0` — the sequential amortized sweep (the default and
+///   the differential oracle);
+/// - `workers == 1` — the sharded stage inline on the caller thread:
+///   no threads are ever spawned and the index's worker pool stays
+///   untouched (pinned by regression tests against
+///   [`MatchIndex::pool_stats`]);
+/// - `workers ≥ 2` — the pooled stage: the batch is split into up to
+///   `workers` publication chunks matched on the index's persistent
+///   worker pool (lazily started on the first such batch, then reused
+///   for every batch after; clones of an index share one pool). The
+///   fan-out is bounded by the batch's publication count and by the
+///   machine's available parallelism — never silently clamped by the
+///   shard count, so `workers = 4` with one shard still engages
+///   four-way matching on a 4-core box. (The seeded test entry point
+///   bypasses the hardware clamp so schedule tests exercise real
+///   threads anywhere.)
+///
+/// Sharding alone (workers = 0) changes the physical layout but never
+/// the answers, and every stage returns byte-identical results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Parallelism {
     /// Hash-partition count for the per-attribute structures (≥ 1).
@@ -789,6 +825,13 @@ impl Parallelism {
         }
     }
 }
+
+/// Cell budget of the pooled stage's per-worker count grid
+/// (`cells × 2` bytes): sub-chunks are sized so the grid allocation
+/// stays bounded for very large tables. The probes are stateless, so
+/// this is a pure memory cap — only one publication's `nslots`-cell
+/// block is ever hot at a time regardless of the budget.
+const GRID_CELL_BUDGET: usize = 1 << 22;
 
 /// The shard an attribute belongs to: a pure function of the attribute
 /// name (and the shard count), so insert, remove, and every query
@@ -916,6 +959,216 @@ fn shuffle_jobs(jobs: &mut [usize], seed: u64) {
     }
 }
 
+/// Detected hardware thread count, cached for the life of the process.
+///
+/// The unseeded pooled stage never fans out wider than this: on a
+/// host with fewer cores than configured workers, extra pool threads
+/// add only handoff latency and cache thrash, never throughput. The
+/// seeded test entry bypasses the clamp so interleaving tests always
+/// exercise the configured fan-out with real threads.
+fn hw_threads() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Bit in [`ExclRow::flags`]: the lower bound is exclusive (`>`).
+const LO_EXCL: u32 = 1;
+/// Bit in [`ExclRow::flags`]: the upper bound is exclusive (`<`).
+const HI_EXCL: u32 = 1 << 1;
+
+/// One exclusion-free interval row of a [`PackedAttr`] scan array.
+///
+/// The array's sort key — the *admission* endpoint — lives in a
+/// parallel `f64` array probed by binary search, so a row carries only
+/// the opposite endpoint and the min-side scan verifies each visited
+/// row with a single total-order comparison.
+#[derive(Debug, Clone, Copy)]
+struct CleanRow {
+    /// The non-admission endpoint: the upper bound in the `lo`-sorted
+    /// array, the lower bound in the `hi`-sorted array.
+    bound: f64,
+    /// The row's dense slot id.
+    slot: u32,
+}
+
+/// One boundary-exclusive interval row (`>` / `<` bounds, no `!=`
+/// exclusions), carried in full because the exclusivity checks need
+/// exact endpoint equality on both sides.
+#[derive(Debug, Clone, Copy)]
+struct ExclRow {
+    lo: f64,
+    hi: f64,
+    slot: u32,
+    /// `LO_EXCL` / `HI_EXCL` bits.
+    flags: u32,
+}
+
+/// One `!=`-carrying row: hits defer entirely to the inlined
+/// authoritative constraint (which re-checks the interval as well), so
+/// no endpoint pruning is attempted. Such rows exist only for `ne`
+/// predicates and are scanned exhaustively per probe.
+#[derive(Debug, Clone)]
+struct VerifyRow {
+    slot: u32,
+    cons: Constraint,
+}
+
+/// Whether the boundary-exclusive interval `r` contains `x`.
+fn excl_hit(r: &ExclRow, x: f64) -> bool {
+    match r.lo.total_cmp(&x) {
+        Ordering::Greater => return false,
+        Ordering::Equal if r.flags & LO_EXCL != 0 => return false,
+        _ => {}
+    }
+    match x.total_cmp(&r.hi) {
+        Ordering::Greater => false,
+        Ordering::Equal if r.flags & HI_EXCL != 0 => false,
+        _ => true,
+    }
+}
+
+/// The packed numeric probe tables of one attribute: the pooled
+/// stage's replacement for the interval-map prefix scan.
+///
+/// A probe value `x` satisfies a clean interval row iff `lo ≤ x` *and*
+/// `x ≤ hi` (total order). Rather than sweeping value-sorted probes
+/// through admission/retirement state, the rows are stored twice —
+/// sorted ascending by `lo` and descending by `hi` — with the sort
+/// endpoints in parallel `f64` arrays. Per probe, two binary searches
+/// bound the qualifying prefix of each array and only the **smaller**
+/// prefix is scanned; every visited row needs just one comparison
+/// against its opposite endpoint. The scan is stateless, so probes
+/// need no batch-wide sorting and parallelize trivially.
+#[derive(Debug, Default)]
+struct PackedAttr {
+    /// Lower bounds of the clean rows, ascending in the total order;
+    /// parallel to `lo_rows`.
+    lo_bound: Vec<f64>,
+    /// Clean rows sorted ascending by lower bound; `bound` is the
+    /// upper bound.
+    lo_rows: Vec<CleanRow>,
+    /// Upper bounds of the same rows, descending; parallel to
+    /// `hi_rows`.
+    hi_bound: Vec<f64>,
+    /// Clean rows sorted descending by upper bound; `bound` is the
+    /// lower bound.
+    hi_rows: Vec<CleanRow>,
+    /// Boundary-exclusive rows, ascending by lower bound.
+    excl_lo: Vec<ExclRow>,
+    /// The same rows, descending by upper bound.
+    excl_hi: Vec<ExclRow>,
+    /// `!=`-carrying rows, scanned per probe without pruning.
+    verify: Vec<VerifyRow>,
+}
+
+impl PackedAttr {
+    fn is_empty(&self) -> bool {
+        self.lo_rows.is_empty() && self.excl_lo.is_empty() && self.verify.is_empty()
+    }
+
+    /// Derives the `hi`-sorted duals once every row has been pushed
+    /// into the `lo`-sorted halves (which arrive pre-sorted from the
+    /// interval map's ascending iteration).
+    fn finish(&mut self) {
+        let mut ix: Vec<u32> = (0..self.lo_rows.len() as u32).collect();
+        ix.sort_unstable_by(|&a, &b| {
+            self.lo_rows[b as usize]
+                .bound
+                .total_cmp(&self.lo_rows[a as usize].bound)
+        });
+        self.hi_bound = ix.iter().map(|&i| self.lo_rows[i as usize].bound).collect();
+        self.hi_rows = ix
+            .iter()
+            .map(|&i| CleanRow {
+                bound: self.lo_bound[i as usize],
+                slot: self.lo_rows[i as usize].slot,
+            })
+            .collect();
+        self.excl_hi = self.excl_lo.clone();
+        self.excl_hi.sort_unstable_by(|a, b| b.hi.total_cmp(&a.hi));
+    }
+
+    /// Calls `bump(slot)` once for every interval row satisfied by the
+    /// numeric probe `x` (of `value`). Exact — together with the point
+    /// bucket and the common buckets this reproduces
+    /// [`AttrIndex::num_satisfied`] bump-for-bump.
+    #[inline]
+    fn scan(&self, x: f64, value: &Value, bump: &mut impl FnMut(u32)) {
+        let lo_cnt = self
+            .lo_bound
+            .partition_point(|lo| lo.total_cmp(&x) != Ordering::Greater);
+        let hi_cnt = self
+            .hi_bound
+            .partition_point(|hi| hi.total_cmp(&x) != Ordering::Less);
+        if lo_cnt <= hi_cnt {
+            for r in &self.lo_rows[..lo_cnt] {
+                if x.total_cmp(&r.bound) != Ordering::Greater {
+                    bump(r.slot);
+                }
+            }
+        } else {
+            for r in &self.hi_rows[..hi_cnt] {
+                if r.bound.total_cmp(&x) != Ordering::Greater {
+                    bump(r.slot);
+                }
+            }
+        }
+        if !self.excl_lo.is_empty() {
+            let el = self
+                .excl_lo
+                .partition_point(|r| r.lo.total_cmp(&x) != Ordering::Greater);
+            let eh = self
+                .excl_hi
+                .partition_point(|r| r.hi.total_cmp(&x) != Ordering::Less);
+            let side = if el <= eh {
+                &self.excl_lo[..el]
+            } else {
+                &self.excl_hi[..eh]
+            };
+            for r in side {
+                if excl_hit(r, x) {
+                    bump(r.slot);
+                }
+            }
+        }
+        for v in &self.verify {
+            if v.cons.satisfied_by(value) {
+                bump(v.slot);
+            }
+        }
+    }
+}
+
+/// An immutable probe-side snapshot shared by every pool worker: the
+/// packed numeric tables of each attribute plus the key *rank* order.
+///
+/// Rebuilt lazily — [`MatchIndex::packed`] compares the snapshot's
+/// `version` stamp against the index's mutation counter and rebuilds
+/// on the first pooled batch after any insert/remove, so steady-state
+/// batches pay nothing. Clones of an index share the current snapshot
+/// (it is immutable), and each clone's own mutations simply fork a new
+/// one.
+///
+/// The rank order turns result-row sorting into `u32` sorting: the
+/// pooled stage stages each publication's completed slots as ranks,
+/// sorts those, and maps them back through `key_of_rank`, which yields
+/// keys already in ascending order.
+#[derive(Debug)]
+struct PackedTables<K> {
+    /// The index mutation count this snapshot was built at.
+    version: u64,
+    attrs: FastMap<String, PackedAttr>,
+    /// Dense slot id → rank of the slot's key in ascending key order
+    /// (`u32::MAX` for freed slots, which no live row references).
+    rank_of: Vec<u32>,
+    /// Rank → key: the live slot-bearing keys in ascending order.
+    key_of_rank: Vec<K>,
+}
+
 /// A counting match index over `(key, Filter)` pairs.
 ///
 /// Results are always sorted by key and identical to what the
@@ -934,7 +1187,7 @@ fn shuffle_jobs(jobs: &mut [usize], seed: u64) {
 /// let p = Publication::new().with("x", 5);
 /// assert_eq!(ix.matching(&p), vec![1]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MatchIndex<K> {
     /// Every indexed filter, satisfiable or not.
     filters: FastMap<K, Filter>,
@@ -951,6 +1204,47 @@ pub struct MatchIndex<K> {
     /// Dense slot ids for the parallel merge (module docs).
     slots: SlotTable<K>,
     par: Parallelism,
+    /// Monotone upper bound on any indexed filter's arity; the pooled
+    /// stage's `u16` count grid is only used while this fits `u16`
+    /// (beyond that — absurd 65k-conjunct filters — the stage falls
+    /// back to the inline path rather than risk count wraparound).
+    max_arity: usize,
+    /// Mutation counter: bumped by every insert/remove, compared
+    /// against [`PackedTables::version`] to invalidate the snapshot.
+    version: u64,
+    /// The lazily (re)built probe-side snapshot of the pooled stage.
+    /// Interior mutability keeps `matching_batch` `&self`; clones
+    /// carry the current snapshot over (it is immutable and `Arc`d).
+    packed: Mutex<Option<Arc<PackedTables<K>>>>,
+    /// The persistent worker pool of the `workers ≥ 2` matching stage;
+    /// no threads exist until the first pooled batch. Clones share the
+    /// pool (an index clone is a routing-table snapshot, not a new
+    /// deployment), so snapshots never multiply threads.
+    pool: Arc<WorkerPool>,
+}
+
+impl<K: IndexKey> Clone for MatchIndex<K> {
+    fn clone(&self) -> Self {
+        MatchIndex {
+            filters: self.filters.clone(),
+            arity: self.arity.clone(),
+            sat: self.sat.clone(),
+            zero: self.zero.clone(),
+            unsat: self.unsat.clone(),
+            shards: self.shards.clone(),
+            slots: self.slots.clone(),
+            par: self.par,
+            max_arity: self.max_arity,
+            version: self.version,
+            packed: Mutex::new(
+                self.packed
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .clone(),
+            ),
+            pool: Arc::clone(&self.pool),
+        }
+    }
 }
 
 impl<K: IndexKey> Default for MatchIndex<K> {
@@ -964,6 +1258,10 @@ impl<K: IndexKey> Default for MatchIndex<K> {
             shards: vec![Shard::new()],
             slots: SlotTable::new(),
             par: Parallelism::default(),
+            max_arity: 0,
+            version: 0,
+            packed: Mutex::new(None),
+            pool: Arc::new(WorkerPool::new()),
         }
     }
 }
@@ -1044,6 +1342,7 @@ impl<K: IndexKey> MatchIndex<K> {
     /// the key (upsert semantics).
     pub fn insert(&mut self, key: K, filter: &Filter) {
         self.remove(&key);
+        self.version = self.version.wrapping_add(1);
         self.filters.insert(key, filter.clone());
         if !filter.is_satisfiable() {
             self.unsat.insert(key);
@@ -1051,6 +1350,7 @@ impl<K: IndexKey> MatchIndex<K> {
         }
         self.sat.insert(key);
         self.arity.insert(key, filter.arity());
+        self.max_arity = self.max_arity.max(filter.arity());
         if filter.arity() == 0 {
             self.zero.insert(key);
             return;
@@ -1072,6 +1372,7 @@ impl<K: IndexKey> MatchIndex<K> {
         let Some(filter) = self.filters.remove(key) else {
             return false;
         };
+        self.version = self.version.wrapping_add(1);
         if self.unsat.remove(key) {
             return true;
         }
@@ -1235,25 +1536,13 @@ impl<K: IndexKey> MatchIndex<K> {
         out
     }
 
-    /// The sharded parallel matching stage (module docs).
+    /// The parallel matching stage dispatcher (module docs):
+    /// `workers == 1` runs the inline sharded stage on the caller
+    /// thread, `workers ≥ 2` the pooled publication-chunked stage.
     ///
-    /// 1. *Scatter*: the batch's probes are regrouped by owning shard
-    ///    (pure `shard_of` routing, no locks).
-    /// 2. *Probe*: non-empty shards become jobs on a scoped worker
-    ///    pool; workers pull jobs off a shared atomic cursor and each
-    ///    job produces flat per-publication hit vectors of slot ids.
-    ///    Results come back through `join` keyed by shard id, so
-    ///    thread completion order is irrelevant.
-    /// 3. *Merge*: per publication, shard hit vectors are consumed in
-    ///    ascending shard order and counted down in dense arrays
-    ///    indexed by slot (epoch-tagged so nothing is cleared between
-    ///    publications); completed slots map back to keys and each
-    ///    result is sorted — the same authoritative key order as the
-    ///    sequential sweep.
-    ///
-    /// `schedule_seed` permutes the job order (the interleaving smoke
-    /// uses it to force different work distributions); results must be
-    /// — and are asserted to be — independent of it.
+    /// `schedule_seed` permutes the work order (the interleaving smoke
+    /// uses it to force different distributions); results must be —
+    /// and are asserted to be — independent of it.
     fn matching_batch_parallel(
         &self,
         pubs: &[Publication],
@@ -1262,6 +1551,32 @@ impl<K: IndexKey> MatchIndex<K> {
     where
         K: Send + Sync,
     {
+        if self.par.workers >= 2 && self.max_arity <= u16::MAX as usize {
+            self.matching_batch_pooled(pubs, schedule_seed)
+        } else {
+            self.matching_batch_inline(pubs, schedule_seed)
+        }
+    }
+
+    /// The inline sharded stage (`workers == 1`): shard-by-shard on
+    /// the caller thread, no threads, no pool. Retained unchanged as
+    /// the mid-tier reference implementation between the sequential
+    /// oracle and the pooled stage — and as the baseline the
+    /// `parallel_match` scaling gate divides by.
+    ///
+    /// 1. *Scatter*: the batch's probes are regrouped by owning shard
+    ///    (pure `shard_of` routing, no locks).
+    /// 2. *Probe*: each non-empty shard produces flat per-publication
+    ///    hit vectors of slot ids.
+    /// 3. *Merge*: per publication, shard hit vectors are consumed in
+    ///    ascending shard order and counted down in a dense array
+    ///    re-seeded per publication from the arity mirror; completed
+    ///    slots map back to keys and each result is sorted.
+    fn matching_batch_inline(
+        &self,
+        pubs: &[Publication],
+        schedule_seed: Option<u64>,
+    ) -> Vec<Vec<K>> {
         let nshards = self.shards.len();
         let mut groups: Vec<FastMap<&str, Vec<(usize, &Value)>>> =
             (0..nshards).map(|_| FastMap::default()).collect();
@@ -1277,38 +1592,9 @@ impl<K: IndexKey> MatchIndex<K> {
         if let Some(seed) = schedule_seed {
             shuffle_jobs(&mut jobs, seed);
         }
-        let workers = self.par.workers.max(1).min(jobs.len());
         let mut shard_hits: Vec<Option<Vec<Vec<u32>>>> = (0..nshards).map(|_| None).collect();
-        if workers <= 1 {
-            for &s in &jobs {
-                shard_hits[s] = Some(self.shards[s].probe_batch(&groups[s], pubs.len()));
-            }
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let jobs = &jobs;
-            let groups = &groups;
-            let results: Vec<Vec<(usize, Vec<Vec<u32>>)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut done = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
-                                let Some(&s) = jobs.get(i) else { break };
-                                done.push((s, self.shards[s].probe_batch(&groups[s], pubs.len())));
-                            }
-                            done
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard matching worker panicked"))
-                    .collect()
-            });
-            for (s, hits) in results.into_iter().flatten() {
-                shard_hits[s] = Some(hits);
-            }
+        for &s in &jobs {
+            shard_hits[s] = Some(self.shards[s].probe_batch(&groups[s], pubs.len()));
         }
         // Merge, in ascending shard order, through the dense
         // countdown: one `u32` per slot, re-seeded per publication by
@@ -1335,6 +1621,242 @@ impl<K: IndexKey> MatchIndex<K> {
             row.sort_unstable();
         }
         out
+    }
+
+    /// Builds the probe-side snapshot of the pooled stage from the
+    /// current attribute structures (see [`PackedTables`]).
+    fn build_packed(&self) -> PackedTables<K> {
+        let mut attrs: FastMap<String, PackedAttr> = FastMap::default();
+        for shard in &self.shards {
+            for (attr, ai) in &shard.attrs {
+                let mut pa = PackedAttr::default();
+                for (lo, rows) in &ai.num_lo {
+                    for r in rows {
+                        if r.has_exclusions {
+                            pa.verify.push(VerifyRow {
+                                slot: r.slot,
+                                cons: ai.cons[&r.key].clone(),
+                            });
+                        } else if r.lo_excl || r.hi_excl {
+                            pa.excl_lo.push(ExclRow {
+                                lo: lo.0,
+                                hi: r.hi,
+                                slot: r.slot,
+                                flags: ((r.lo_excl as u32) * LO_EXCL)
+                                    | ((r.hi_excl as u32) * HI_EXCL),
+                            });
+                        } else {
+                            pa.lo_bound.push(lo.0);
+                            pa.lo_rows.push(CleanRow {
+                                bound: r.hi,
+                                slot: r.slot,
+                            });
+                        }
+                    }
+                }
+                if !pa.is_empty() {
+                    pa.finish();
+                    attrs.insert(attr.clone(), pa);
+                }
+            }
+        }
+        let mut live: Vec<(K, u32)> = self.slots.of.iter().map(|(&k, &s)| (k, s)).collect();
+        live.sort_unstable_by_key(|a| a.0);
+        let mut rank_of = vec![u32::MAX; self.slots.keys.len()];
+        let mut key_of_rank = Vec::with_capacity(live.len());
+        for (rank, &(k, s)) in live.iter().enumerate() {
+            rank_of[s as usize] = rank as u32;
+            key_of_rank.push(k);
+        }
+        PackedTables {
+            version: self.version,
+            attrs,
+            rank_of,
+            key_of_rank,
+        }
+    }
+
+    /// The current probe-side snapshot, rebuilding it first if the
+    /// index has mutated since the last pooled batch.
+    fn packed(&self) -> Arc<PackedTables<K>> {
+        let mut g = self.packed.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(p) = g.as_ref() {
+            if p.version == self.version {
+                return Arc::clone(p);
+            }
+        }
+        let p = Arc::new(self.build_packed());
+        *g = Some(Arc::clone(&p));
+        p
+    }
+
+    /// The pooled matching stage (`workers ≥ 2`).
+    ///
+    /// The batch is split into up to `workers` contiguous publication
+    /// chunks; chunks are claimed off an atomic cursor by the caller
+    /// (slot 0) and the persistent pool's workers, so a straggler
+    /// chunk never idles the rest of the pool. Each chunk is matched
+    /// publication-major against the shared [`PackedTables`] snapshot
+    /// with one pool slot's reusable [`MatchScratch`] buffers
+    /// ([`MatchIndex::match_chunk`]). Chunking by publication makes
+    /// probe *and* merge embarrassingly parallel — there is no serial
+    /// scatter or merge section at all — and chunk results are
+    /// stitched back in batch order, so thread completion order is
+    /// irrelevant.
+    ///
+    /// `schedule_seed` permutes only the order chunks are *claimed*
+    /// in; chunk boundaries, and therefore all per-chunk computations,
+    /// are schedule-independent by construction. Unseeded (production)
+    /// batches additionally clamp the fan-out to the detected hardware
+    /// thread count — a narrower schedule of the same chunks, which
+    /// cannot change results.
+    fn matching_batch_pooled(&self, pubs: &[Publication], schedule_seed: Option<u64>) -> Vec<Vec<K>>
+    where
+        K: Send + Sync,
+    {
+        let npubs = pubs.len();
+        if npubs == 0 {
+            return Vec::new();
+        }
+        let packed = self.packed();
+        let fanout = match schedule_seed {
+            Some(_) => self.par.workers.min(npubs),
+            None => self.par.workers.min(hw_threads()).min(npubs),
+        };
+        let chunk = npubs.div_ceil(fanout);
+        let nchunks = npubs.div_ceil(chunk);
+        let mut order: Vec<usize> = (0..nchunks).collect();
+        if let Some(seed) = schedule_seed {
+            shuffle_jobs(&mut order, seed);
+        }
+        let results: Vec<Mutex<Vec<Vec<K>>>> =
+            (0..nchunks).map(|_| Mutex::new(Vec::new())).collect();
+        let cursor = AtomicUsize::new(0);
+        let order = &order;
+        let results_ref = &results;
+        self.pool.run(nchunks, &|slot| {
+            let scratch = self.pool.scratch(slot);
+            let mut sc = scratch.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                let Some(&ci) = order.get(i) else { break };
+                let lo = ci * chunk;
+                let hi = ((ci + 1) * chunk).min(npubs);
+                let rows = self.match_chunk(&pubs[lo..hi], &mut sc, &packed);
+                *results_ref[ci].lock().unwrap_or_else(|p| p.into_inner()) = rows;
+            }
+        });
+        let mut out: Vec<Vec<K>> = Vec::with_capacity(npubs);
+        for cell in results {
+            out.append(&mut cell.into_inner().unwrap_or_else(|p| p.into_inner()));
+        }
+        out
+    }
+
+    /// Matches one publication chunk of the pooled stage with one pool
+    /// slot's reusable buffers, publication-major against the shared
+    /// [`PackedTables`] snapshot.
+    ///
+    /// The chunk is processed in sub-chunks sized so the
+    /// publication-major count grid stays within [`GRID_CELL_BUDGET`]
+    /// (a pure memory bound — the probes are stateless, so sub-chunk
+    /// boundaries cost nothing). Per publication, every probe bumps
+    /// the publication's own grid block — which therefore stays
+    /// cache-hot — and cells counted down to zero emit their slot on
+    /// the spot. Completed slots are staged as ranks, sorted as plain
+    /// `u32`s, mapped back to keys (ascending by construction) and
+    /// merged with the zero-arity keys, so no key-space sort is ever
+    /// needed. Returns the chunk's sorted result rows.
+    fn match_chunk(
+        &self,
+        pubs: &[Publication],
+        sc: &mut MatchScratch,
+        packed: &PackedTables<K>,
+    ) -> Vec<Vec<K>> {
+        let nslots = self.slots.keys.len();
+        let mut rows: Vec<Vec<K>> = Vec::with_capacity(pubs.len());
+        if nslots == 0 || !self.has_attr_rows() {
+            rows.extend(
+                pubs.iter()
+                    .map(|_| self.zero.iter().copied().collect::<Vec<K>>()),
+            );
+            return rows;
+        }
+        sc.set_template(&self.slots.arity);
+        let max_pubs = (GRID_CELL_BUDGET / nslots).max(1);
+        let mut base = 0;
+        while base < pubs.len() {
+            let sub = &pubs[base..pubs.len().min(base + max_pubs)];
+            sc.seed_grid(sub.len());
+            let MatchScratch {
+                grid,
+                matches,
+                ranks,
+                ..
+            } = sc;
+            for (pi, p) in sub.iter().enumerate() {
+                let block = &mut grid[pi * nslots..(pi + 1) * nslots];
+                matches.clear();
+                for (attr, value) in p.iter() {
+                    let Some(ai) = self.attr_index(attr) else {
+                        continue;
+                    };
+                    let mut bump = |slot: u32| {
+                        let c = &mut block[slot as usize];
+                        *c -= 1;
+                        if *c == 0 {
+                            matches.push(slot);
+                        }
+                    };
+                    if let Some(x) = value.as_f64() {
+                        if let Some(keys) = ai.num_eq.get(&x.to_bits()) {
+                            for &(_, slot) in keys {
+                                bump(slot);
+                            }
+                        }
+                        if let Some(pa) = packed.attrs.get(attr) {
+                            pa.scan(x, value, &mut bump);
+                        }
+                    } else if let Some(s) = value.as_str() {
+                        ai.str_satisfied(s, value, &mut |_, slot| bump(slot));
+                    }
+                    ai.common_satisfied(value, &mut |_, slot| bump(slot));
+                }
+                ranks.clear();
+                ranks.extend(matches.iter().map(|&s| packed.rank_of[s as usize]));
+                ranks.sort_unstable();
+                let mut row: Vec<K> = Vec::with_capacity(ranks.len() + self.zero.len());
+                if self.zero.is_empty() {
+                    row.extend(ranks.iter().map(|&r| packed.key_of_rank[r as usize]));
+                } else {
+                    let mut zi = self.zero.iter().copied().peekable();
+                    for &r in ranks.iter() {
+                        let k = packed.key_of_rank[r as usize];
+                        while let Some(&z) = zi.peek() {
+                            if z < k {
+                                row.push(z);
+                                zi.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        row.push(k);
+                    }
+                    row.extend(zi);
+                }
+                rows.push(row);
+            }
+            base += sub.len();
+        }
+        rows
+    }
+
+    /// Lifecycle counters of the index's persistent worker pool. Test
+    /// support: the pool-reuse, lazy-start, and `workers == 1`
+    /// no-spawn regression tests pin the pool contract against these.
+    #[doc(hidden)]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// The parallel stage with a forced worker pool and a seeded job

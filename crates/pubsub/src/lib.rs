@@ -51,6 +51,7 @@ pub mod filter;
 pub mod index;
 pub mod message;
 pub mod parser;
+pub(crate) mod pool;
 pub mod predicate;
 pub mod publication;
 pub mod value;
@@ -61,6 +62,7 @@ pub use index::{MatchIndex, Parallelism};
 pub use message::{
     AdvId, Advertisement, BrokerId, ClientId, MoveId, PubId, PublicationMsg, SubId, Subscription,
 };
+pub use pool::PoolStats;
 pub use predicate::{Op, Predicate};
 pub use publication::Publication;
 pub use value::{Value, ValueKind};

@@ -111,3 +111,37 @@ fn seeded_schedules_agree_after_churn() {
         assert_eq!(ix.matching_batch_seeded(&batch, seed), expected);
     }
 }
+
+/// Pool reuse under adversarial schedules: one index dispatches the
+/// whole seed sweep through a single persistent pool — the helpers
+/// spawn once, every forced schedule reuses them, and no schedule can
+/// corrupt the per-slot scratch another schedule left behind.
+#[test]
+fn seeded_schedules_reuse_one_pool() {
+    let batch = pubs(40);
+    let mut ix: MatchIndex<u64> = MatchIndex::new();
+    for i in 0..350 {
+        ix.insert(i as u64, &filter(i));
+    }
+    let expected = ix.matching_batch(&batch);
+    ix.set_parallelism(Parallelism::sharded(3, 4));
+    let mut spawned_after_first = None;
+    for seed in 0..seeds() {
+        assert_eq!(
+            ix.matching_batch_seeded(&batch, seed),
+            expected,
+            "schedule seed {seed} with a reused pool"
+        );
+        let spawned = ix.pool_stats().workers_spawned;
+        match spawned_after_first {
+            None => {
+                assert_eq!(spawned, 3, "fan-out 4 spawns exactly three helpers");
+                spawned_after_first = Some(spawned);
+            }
+            Some(first) => assert_eq!(
+                spawned, first,
+                "seed {seed} respawned workers instead of reusing the pool"
+            ),
+        }
+    }
+}

@@ -46,9 +46,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::RwLock;
-use transmob_broker::{Hop, Topology};
+use transmob_broker::{Hop, PrematchedRoutes, Topology};
 use transmob_core::transport::{flush_outputs, Transport};
 use transmob_core::{
     ClientOp, Message, MobileBroker, MobileBrokerConfig, Output, ProtocolKind, TimerToken,
@@ -309,8 +309,40 @@ impl Client {
     }
 }
 
-/// The per-broker thread: drives a [`MobileBroker`] from its channel,
-/// maintaining a local timer heap for protocol timeouts.
+/// Depth of the staged channel between a broker's ingest and apply
+/// stages. Small on purpose: it bounds how stale a pre-computed match
+/// can get (staleness is correctness-neutral — the apply stage
+/// re-matches — but wasted work) while still letting the ingest stage
+/// decode and match the next batch concurrently with the apply stage.
+const PIPELINE_DEPTH: usize = 2;
+
+/// A unit of work handed from the ingest stage to the apply stage.
+enum Staged {
+    /// An envelope forwarded verbatim.
+    Env(Envelope),
+    /// A broker batch whose publications were already matched against
+    /// the routing state under a read lock, stamped with the routing
+    /// version (see [`MobileBroker::prematch`]).
+    Prematched(BrokerId, Vec<Message>, PrematchedRoutes),
+}
+
+/// The per-broker *pipelined* driver: two threads per broker.
+///
+/// - The **ingest** stage (this function spawns it) pulls envelopes
+///   off the network channel and, for multi-message broker batches,
+///   pre-computes the publication routes under a *read* lock of the
+///   broker — concurrent with the apply stage committing the previous
+///   batch.
+/// - The **apply** stage (this function) owns the timer heap, takes
+///   the *write* lock for every state mutation, and consumes the
+///   pre-computed routes when their version stamp still matches;
+///   routing-state churn between the stages (a movement commit, a
+///   subscription) just invalidates the stamp and the routes are
+///   recomputed under the write lock.
+///
+/// All envelopes — prematched or not — flow through the same bounded
+/// channel, so per-broker FIFO ordering is preserved exactly as in the
+/// single-threaded loop.
 fn broker_main(
     id: BrokerId,
     topology: Arc<Topology>,
@@ -318,7 +350,55 @@ fn broker_main(
     rx: Receiver<Envelope>,
     shared: Arc<Shared>,
 ) {
-    let mut broker = MobileBroker::new(id, topology, config);
+    let broker = Arc::new(RwLock::new(MobileBroker::new(id, topology, config)));
+    let (stage_tx, stage_rx) = bounded::<Staged>(PIPELINE_DEPTH);
+    let ingest = {
+        let broker = Arc::clone(&broker);
+        std::thread::Builder::new()
+            .name(format!("broker-{id}-ingest"))
+            .spawn(move || ingest_main(broker, rx, stage_tx))
+            .expect("spawn ingest thread")
+    };
+    apply_main(id, &broker, stage_rx, &shared);
+    // `apply_main` only returns once the staged channel delivered
+    // Shutdown or disconnected, and the ingest stage stops right after
+    // forwarding Shutdown, so this join cannot hang on a healthy
+    // network.
+    let _ = ingest.join();
+}
+
+/// The ingest stage: read-locked pre-matching, no state mutation.
+fn ingest_main(
+    broker: Arc<RwLock<MobileBroker>>,
+    rx: Receiver<Envelope>,
+    stage_tx: Sender<Staged>,
+) {
+    for envelope in rx.iter() {
+        let staged = match envelope {
+            Envelope::FromBroker(from, msgs) if msgs.len() > 1 => {
+                let pre = broker.read().prematch(&msgs);
+                Staged::Prematched(from, msgs, pre)
+            }
+            Envelope::Shutdown => {
+                let _ = stage_tx.send(Staged::Env(Envelope::Shutdown));
+                return;
+            }
+            e => Staged::Env(e),
+        };
+        if stage_tx.send(staged).is_err() {
+            return; // apply stage gone
+        }
+    }
+}
+
+/// The apply stage: owns the timer heap; every broker mutation runs
+/// under the write lock.
+fn apply_main(
+    id: BrokerId,
+    broker: &RwLock<MobileBroker>,
+    stage_rx: Receiver<Staged>,
+    shared: &Shared,
+) {
     let mut timers: BinaryHeap<Reverse<(Instant, TimerToken)>> = BinaryHeap::new();
     let mut cancelled: BTreeSet<TimerToken> = BTreeSet::new();
     loop {
@@ -332,29 +412,35 @@ fn broker_main(
             if cancelled.remove(&token) {
                 continue;
             }
-            let outs = broker.handle_timer(token);
-            dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+            let outs = broker.write().handle_timer(token);
+            dispatch(id, shared, &mut timers, &mut cancelled, outs);
         }
-        // Wait for the next message or the next timer deadline.
-        let envelope = match timers.peek() {
+        // Wait for the next staged item or the next timer deadline.
+        let staged = match timers.peek() {
             Some(Reverse((deadline, _))) => {
                 let wait = deadline.saturating_duration_since(Instant::now());
-                match rx.recv_timeout(wait) {
+                match stage_rx.recv_timeout(wait) {
                     Ok(e) => e,
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                 }
             }
-            None => match rx.recv() {
+            None => match stage_rx.recv() {
                 Ok(e) => e,
                 Err(_) => return,
             },
         };
-        match envelope {
-            Envelope::Shutdown => return,
-            Envelope::CreateClient(c) => broker.create_client(c),
-            Envelope::FromClient(c, op) => {
-                if broker.client(c).is_none() {
+        match staged {
+            Staged::Prematched(from, msgs, pre) => {
+                let outs = broker
+                    .write()
+                    .handle_batch_prematched(Hop::Broker(from), msgs, pre);
+                dispatch(id, shared, &mut timers, &mut cancelled, outs);
+            }
+            Staged::Env(Envelope::Shutdown) => return,
+            Staged::Env(Envelope::CreateClient(c)) => broker.write().create_client(c),
+            Staged::Env(Envelope::FromClient(c, op)) => {
+                if broker.read().client(c).is_none() {
                     // The client moved away while the command was in
                     // flight; forward it to the current home (the
                     // registry is updated before the source cleans up,
@@ -368,12 +454,12 @@ fn broker_main(
                     }
                     continue;
                 }
-                let outs = broker.client_op(c, op);
-                dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+                let outs = broker.write().client_op(c, op);
+                dispatch(id, shared, &mut timers, &mut cancelled, outs);
             }
-            Envelope::FromBroker(from, msgs) => {
-                let outs = broker.handle_batch(Hop::Broker(from), msgs);
-                dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+            Staged::Env(Envelope::FromBroker(from, msgs)) => {
+                let outs = broker.write().handle_batch(Hop::Broker(from), msgs);
+                dispatch(id, shared, &mut timers, &mut cancelled, outs);
             }
         }
     }
@@ -532,6 +618,62 @@ mod tests {
         assert_eq!(got.len(), total);
         let ids: std::collections::BTreeSet<_> = got.iter().map(|x| x.id).collect();
         assert_eq!(ids.len(), total, "duplicate deliveries");
+        net.shutdown();
+    }
+
+    /// The pipeline's contended path: a publisher floods broker
+    /// batches (the ingest stage pre-matching under the read lock)
+    /// while the subscriber's movement transactions commit (the apply
+    /// stage holding the write lock and bumping the routing version).
+    /// Every move must commit, deliveries must stay duplicate-free,
+    /// and routing must keep following the subscriber afterwards.
+    #[test]
+    fn publish_flood_during_moves_stays_consistent() {
+        let net = Network::start(Topology::chain(4), MobileBrokerConfig::reconfig());
+        let p = net.create_client(b(1), c(1));
+        let s = net.create_client(b(4), c(2));
+        p.advertise(range(0, 100_000));
+        s.subscribe(range(0, 100_000));
+        std::thread::sleep(Duration::from_millis(50));
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flood = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut x = 0i64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    p.publish(Publication::new().with("x", x));
+                    x += 1;
+                    if x % 16 == 0 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                p // keep the publisher handle alive for the epilogue
+            })
+        };
+        for round in 0..4 {
+            let dest = if round % 2 == 0 { b(2) } else { b(4) };
+            assert!(
+                s.move_to(dest, ProtocolKind::Reconfig, Duration::from_secs(10)),
+                "move {round} must commit under the publish flood"
+            );
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let p = flood.join().expect("flood thread");
+        std::thread::sleep(Duration::from_millis(300));
+        let got = s.drain();
+        let ids: std::collections::BTreeSet<_> = got.iter().map(|x| x.id).collect();
+        assert_eq!(
+            ids.len(),
+            got.len(),
+            "duplicate deliveries under contention"
+        );
+        // Liveness epilogue: routing still follows the subscriber.
+        p.publish(Publication::new().with("x", 99_999));
+        assert!(
+            s.recv_timeout(Duration::from_secs(3)).is_some(),
+            "delivery after the contended move sequence"
+        );
         net.shutdown();
     }
 

@@ -45,10 +45,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use transmob_broker::{Hop, Topology};
+use transmob_broker::{Hop, PrematchedRoutes, Topology};
 use transmob_core::transport::{flush_outputs, Transport};
 use transmob_core::{
     ClientOp, DurabilityLog, MemoryLog, Message, MobileBroker, MobileBrokerConfig, Output,
@@ -413,15 +413,23 @@ impl TcpNetwork {
     /// Fails if the broker is not currently killed, or on thread-spawn
     /// / log errors.
     pub fn restart_broker(&self, broker: BrokerId) -> io::Result<()> {
-        let rx = self.pending_rx.lock().remove(&broker).ok_or_else(|| {
-            io::Error::new(
+        if !self.pending_rx.lock().contains_key(&broker) {
+            return Err(io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("broker {broker} is not killed"),
-            )
-        })?;
+            ));
+        }
         let log = Arc::clone(&self.wals[&broker]);
-        let (snapshot, records) = log.lock().expect("wal poisoned").contents();
-        let snapshot = snapshot.expect("attach_durability wrote a checkpoint");
+        let (snapshot, records) = log
+            .lock()
+            .map_err(|_| io::Error::other(format!("broker {broker} WAL mutex poisoned")))?
+            .contents();
+        let Some(snapshot) = snapshot else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("broker {broker} durability log holds no checkpoint"),
+            ));
+        };
         let (mut recovered, timer_outs) = MobileBroker::recover(
             Arc::clone(&self.shared.topology),
             self.shared.config.clone(),
@@ -434,6 +442,15 @@ impl TcpNetwork {
         recovered
             .attach_durability(wal)
             .map_err(|e| io::Error::new(e.kind(), format!("re-attach WAL for {broker}: {e}")))?;
+        // Recovery succeeded; only now consume the pending channel so a
+        // failed attempt leaves the broker cleanly killed and
+        // retryable.
+        let rx = self.pending_rx.lock().remove(&broker).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("broker {broker} was restarted concurrently"),
+            )
+        })?;
         self.shared.down.write().remove(&broker);
         self.spawn_broker(broker, recovered, timer_outs, rx)?;
         // Rejoin the overlay: redial the edges this broker dials;
@@ -916,18 +933,89 @@ fn spawn_acceptor(shared: &Arc<Shared>, owner: BrokerId, listener: TcpListener) 
 // Broker main loop
 // ---------------------------------------------------------------------
 
+/// Depth of the staged channel between a TCP broker's ingest and apply
+/// stages — see [`crate`]'s in-process pipeline for the rationale.
+const TCP_PIPELINE_DEPTH: usize = 2;
+
+/// A unit of work handed from the TCP ingest stage to the apply stage.
+enum TcpStaged {
+    /// An input forwarded verbatim.
+    In(Input),
+    /// A broker frame whose publications were matched against the
+    /// routing state under a read lock, stamped with the routing
+    /// version (see [`MobileBroker::prematch`]).
+    Prematched(BrokerId, Vec<Message>, PrematchedRoutes),
+}
+
+/// The per-broker TCP driver, pipelined like the in-process runtime:
+/// an **ingest** stage deserialized frames already (the reader
+/// threads) and pre-matches multi-message broker batches under a read
+/// lock, while the **apply** stage owns the timer heap and the
+/// heartbeat clock and commits every mutation under the write lock.
+/// All inputs flow through one bounded channel, preserving the
+/// single-threaded loop's FIFO order; a stale pre-match (routing churn
+/// between the stages) is detected by its version stamp and recomputed.
 fn tcp_broker_main(
     id: BrokerId,
-    mut broker: MobileBroker,
+    broker: MobileBroker,
     initial_outs: Vec<Output>,
     rx: Receiver<Input>,
     shared: Arc<Shared>,
+) {
+    let broker = Arc::new(RwLock::new(broker));
+    let (stage_tx, stage_rx) = bounded::<TcpStaged>(TCP_PIPELINE_DEPTH);
+    let ingest = {
+        let broker = Arc::clone(&broker);
+        std::thread::Builder::new()
+            .name(format!("tcp-broker-{id}-ingest"))
+            .spawn(move || tcp_ingest_main(broker, rx, stage_tx))
+    };
+    tcp_apply_main(id, &broker, initial_outs, stage_rx, &shared);
+    // The ingest stage exits right after forwarding Shutdown (or on
+    // channel disconnect), so this join cannot hang.
+    if let Ok(h) = ingest {
+        let _ = h.join();
+    }
+}
+
+/// The TCP ingest stage: read-locked pre-matching, no state mutation.
+fn tcp_ingest_main(
+    broker: Arc<RwLock<MobileBroker>>,
+    rx: Receiver<Input>,
+    stage_tx: Sender<TcpStaged>,
+) {
+    for input in rx.iter() {
+        let staged = match input {
+            Input::FromBroker(from, msgs) if msgs.len() > 1 => {
+                let pre = broker.read().prematch(&msgs);
+                TcpStaged::Prematched(from, msgs, pre)
+            }
+            Input::Shutdown => {
+                let _ = stage_tx.send(TcpStaged::In(Input::Shutdown));
+                return;
+            }
+            i => TcpStaged::In(i),
+        };
+        if stage_tx.send(staged).is_err() {
+            return; // apply stage gone
+        }
+    }
+}
+
+/// The TCP apply stage: timers, heartbeats, and every broker mutation
+/// under the write lock.
+fn tcp_apply_main(
+    id: BrokerId,
+    broker: &RwLock<MobileBroker>,
+    initial_outs: Vec<Output>,
+    stage_rx: Receiver<TcpStaged>,
+    shared: &Arc<Shared>,
 ) {
     let mut timers: BinaryHeap<Reverse<(Instant, TimerToken)>> = BinaryHeap::new();
     let mut cancelled: BTreeSet<TimerToken> = BTreeSet::new();
     let mut next_ping = Instant::now() + HEARTBEAT_INTERVAL;
     // Timers re-armed by recovery (or empty on a fresh start).
-    dispatch(id, &shared, &mut timers, &mut cancelled, initial_outs);
+    dispatch(id, shared, &mut timers, &mut cancelled, initial_outs);
     loop {
         // Fire due timers first.
         let now = Instant::now();
@@ -939,15 +1027,15 @@ fn tcp_broker_main(
             if cancelled.remove(&token) {
                 continue;
             }
-            let outs = broker.handle_timer(token);
-            dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+            let outs = broker.write().handle_timer(token);
+            dispatch(id, shared, &mut timers, &mut cancelled, outs);
         }
         // Heartbeat every live link (the probe doubles as write-path
         // failure detection).
         if Instant::now() >= next_ping {
             next_ping = Instant::now() + HEARTBEAT_INTERVAL;
             for &n in shared.topology.neighbors(id) {
-                send_frame(&shared, id, n, &Frame::Ping { from: id.0 });
+                send_frame(shared, id, n, &Frame::Ping { from: id.0 });
             }
         }
         // Wait for the next input, timer deadline, or heartbeat tick.
@@ -955,19 +1043,19 @@ fn tcp_broker_main(
             .peek()
             .map_or(next_ping, |Reverse((d, _))| (*d).min(next_ping));
         let wait = deadline.saturating_duration_since(Instant::now());
-        let input = match rx.recv_timeout(wait) {
+        let staged = match stage_rx.recv_timeout(wait) {
             Ok(i) => i,
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
         };
-        let outs = match input {
-            Input::Shutdown => return,
-            Input::CreateClient(c) => {
-                broker.create_client(c);
+        let outs = match staged {
+            TcpStaged::In(Input::Shutdown) => return,
+            TcpStaged::In(Input::CreateClient(c)) => {
+                broker.write().create_client(c);
                 continue;
             }
-            Input::FromClient(c, op) => {
-                if broker.client(c).is_none() {
+            TcpStaged::In(Input::FromClient(c, op)) => {
+                if broker.read().client(c).is_none() {
                     // The client moved away while the command was in
                     // flight; forward to the current home.
                     let home = shared.registry.read().homes.get(&c).copied();
@@ -978,11 +1066,18 @@ fn tcp_broker_main(
                     }
                     continue;
                 }
-                broker.client_op(c, op)
+                broker.write().client_op(c, op)
             }
-            Input::FromBroker(from, msgs) => broker.handle_batch(Hop::Broker(from), msgs),
+            TcpStaged::In(Input::FromBroker(from, msgs)) => {
+                broker.write().handle_batch(Hop::Broker(from), msgs)
+            }
+            TcpStaged::Prematched(from, msgs, pre) => {
+                broker
+                    .write()
+                    .handle_batch_prematched(Hop::Broker(from), msgs, pre)
+            }
         };
-        dispatch(id, &shared, &mut timers, &mut cancelled, outs);
+        dispatch(id, shared, &mut timers, &mut cancelled, outs);
     }
 }
 

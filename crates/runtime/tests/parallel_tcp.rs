@@ -43,3 +43,58 @@ fn tcp_delivers_and_moves_under_parallel_config() {
     );
     net.shutdown();
 }
+
+/// The same contention over real sockets with the pooled matching
+/// stage active: coalesced multi-message frames keep the TCP ingest
+/// stage pre-matching while movement commits take the write lock.
+/// Deliveries must stay duplicate-free and routing must follow the
+/// subscriber through every move.
+#[test]
+fn tcp_publish_flood_during_moves_stays_consistent() {
+    let config = MobileBrokerConfig::reconfig().with_parallelism(Parallelism::sharded(4, 4));
+    let net = TcpNetwork::start(Topology::chain(3), config).expect("sockets");
+    let p = net.create_client(BrokerId(1), ClientId(1));
+    let s = net.create_client(BrokerId(3), ClientId(2));
+    p.advertise(range(0, 100_000));
+    s.subscribe(range(0, 100_000));
+    std::thread::sleep(Duration::from_millis(150));
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flood = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut x = 0i64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                p.publish(Publication::new().with("x", x));
+                x += 1;
+                if x % 8 == 0 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            p
+        })
+    };
+    for round in 0..2 {
+        let dest = if round % 2 == 0 {
+            BrokerId(2)
+        } else {
+            BrokerId(3)
+        };
+        assert!(
+            s.move_to(dest, ProtocolKind::Reconfig, Duration::from_secs(15)),
+            "move {round} must commit under the publish flood over TCP"
+        );
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let p = flood.join().expect("flood thread");
+    std::thread::sleep(Duration::from_millis(400));
+    let got = s.drain();
+    let ids: std::collections::BTreeSet<_> = got.iter().map(|x| x.id).collect();
+    assert_eq!(ids.len(), got.len(), "duplicate deliveries over TCP");
+    p.publish(Publication::new().with("x", 99_999));
+    assert!(
+        s.recv_timeout(Duration::from_secs(5)).is_some(),
+        "delivery after the contended move sequence over TCP"
+    );
+    net.shutdown();
+}

@@ -8,8 +8,9 @@
 #     the gate.
 #   - The baseline must record the parallel_match group (sequential
 #     plus shard counts 1/4/8 at 10k rows) with a >=2x speedup of
-#     shards4 over the sequential sweep — the acceptance bar of the
-#     parallel matching stage.
+#     shards4 over the sequential sweep AND a >=2x speedup of shards4
+#     (4 workers) over shards1 (1 worker) — the acceptance bars of the
+#     parallel matching stage and of the pooled multi-worker kernel.
 #   - CI_FAST=1 skips re-measurement (single-iteration timings are
 #     meaningless) and only checks the baseline shape plus that every
 #     gated benchmark still runs; set BENCH_QUICK_JSON=<file> to reuse
@@ -34,7 +35,18 @@ for need in ("sequential/10000", "shards1/10000", "shards4/10000", "shards8/1000
 ratio = pm["sequential/10000"] / pm["shards4/10000"]
 if ratio < 2.0:
     sys.exit(f"bench_check: baseline parallel_match shards4 speedup {ratio:.2f}x < 2x")
-print(f"bench_check: baseline ok (parallel_match shards4 speedup {ratio:.2f}x)")
+# shardsN rows run workers = min(N, 4): shards1 is the single-worker
+# inline stage, shards4 the pooled 4-worker kernel.
+wratio = pm["shards1/10000"] / pm["shards4/10000"]
+if wratio < 2.0:
+    sys.exit(
+        f"bench_check: baseline parallel_match shards4/workers4 over "
+        f"shards1/workers1 speedup {wratio:.2f}x < 2x"
+    )
+print(
+    f"bench_check: baseline ok (parallel_match shards4 speedup {ratio:.2f}x "
+    f"vs sequential, {wratio:.2f}x vs shards1/workers1)"
+)
 PY
 
 if [[ "${CI_FAST:-0}" == "1" ]]; then
@@ -46,7 +58,7 @@ if [[ "${CI_FAST:-0}" == "1" ]]; then
         trap 'rm -f "$cleanup"' EXIT
         CRITERION_QUICK=1 CRITERION_JSON="$out" \
             cargo bench -p transmob-bench -q --bench routing -- \
-            "${GATED[@]}" parallel_match
+            "${GATED[@]}" parallel_match broker_pipeline
     fi
     python3 - "$out" "$BASELINE" "${GATED[@]}" <<'PY'
 import json, sys
@@ -59,7 +71,7 @@ base = set()
 for line in open(sys.argv[2]):
     r = json.loads(line)
     base.add((r["group"], r["bench"]))
-gated = set(sys.argv[3:]) | {"parallel_match"}
+gated = set(sys.argv[3:]) | {"parallel_match", "broker_pipeline"}
 missing = sorted(k for k in base if k[0] in gated and k not in seen)
 if missing:
     sys.exit(f"bench_check: benchmarks vanished from the quick run: {missing}")

@@ -18,9 +18,10 @@
 #   5. seeded interleaving smoke for the parallel matching stage
 #      (INTERLEAVE_SEEDS scales the schedule sweep, default 64)
 #   6. TSAN tier — opt in with TSAN=1: rebuilds the parallel matching
-#      tests with -Zsanitizer=thread (nightly) and runs them under
-#      ThreadSanitizer; prints a skip notice when not requested or
-#      when the toolchain cannot build it
+#      tests AND the pipelined runtime drivers (worker pool, ingest/
+#      apply broker loop) with -Zsanitizer=thread (nightly) and runs
+#      them under ThreadSanitizer; prints a skip notice when not
+#      requested or when the toolchain cannot build it
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,12 +59,12 @@ if [[ "${TSAN:-0}" == "1" ]]; then
     HOST=$(rustc +nightly -vV 2>/dev/null | awk '/^host:/ {print $2}')
     TSAN_RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer"
     if [[ -n "$HOST" ]] && RUSTFLAGS="$TSAN_RUSTFLAGS" CARGO_TARGET_DIR=target/tsan \
-        cargo +nightly build -q -p transmob-pubsub --target "$HOST" 2>/dev/null; then
-        echo "ci: TSAN tier - parallel matching tests under ThreadSanitizer"
+        cargo +nightly build -q -p transmob-pubsub -p transmob-runtime --target "$HOST" 2>/dev/null; then
+        echo "ci: TSAN tier - parallel matching + pipelined runtime under ThreadSanitizer"
         RUSTFLAGS="$TSAN_RUSTFLAGS" CARGO_TARGET_DIR=target/tsan \
             TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp" \
             INTERLEAVE_SEEDS="${INTERLEAVE_SEEDS:-16}" \
-            cargo +nightly test -q -p transmob-pubsub --target "$HOST" -- --test-threads=1
+            cargo +nightly test -q -p transmob-pubsub -p transmob-runtime --target "$HOST" -- --test-threads=1
     else
         echo "ci: TSAN=1 but this toolchain cannot build -Zsanitizer=thread - skipping TSAN tier"
     fi

@@ -17,16 +17,48 @@ pub mod channel {
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
         (
-            Sender { inner: tx },
+            Sender {
+                inner: Flavor::Unbounded(tx),
+            },
             Receiver {
                 inner: Arc::new(Mutex::new(rx)),
             },
         )
     }
 
+    /// Creates a bounded channel with capacity `cap`: sends block once
+    /// `cap` messages are queued, providing backpressure (the
+    /// pipelined broker loops bound their in-flight batches with
+    /// this). `cap = 0` gives a rendezvous channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: Flavor::Bounded(tx),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Flavor<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Flavor::Unbounded(tx) => Flavor::Unbounded(tx.clone()),
+                Flavor::Bounded(tx) => Flavor::Bounded(tx.clone()),
+            }
+        }
+    }
+
     /// Sending half.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: Flavor<T>,
     }
 
     impl<T> std::fmt::Debug for Sender<T> {
@@ -44,9 +76,13 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Sends a message; errors if all receivers are gone.
+        /// Sends a message (blocking while a bounded channel is full);
+        /// errors if all receivers are gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|e| SendError(e.0))
+            match &self.inner {
+                Flavor::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                Flavor::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
         }
     }
 
