@@ -26,6 +26,7 @@ pub mod messages;
 pub mod routing;
 pub mod sync_net;
 pub mod topology;
+pub mod wire;
 
 pub use broker::{BrokerConfig, BrokerCore, BrokerStats, CoveringMode, PrematchedRoutes};
 pub use messages::{BrokerOutput, Hop, MsgKind, OutputBatch, PubSubMsg};

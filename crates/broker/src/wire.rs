@@ -1,0 +1,88 @@
+//! Binary wire encoding ([`Wire`]) for the routing-layer messages.
+//!
+//! Tag bytes are part of the wire contract (DESIGN.md §13) and must
+//! never be renumbered: 0 Advertise, 1 Unadvertise, 2 Subscribe,
+//! 3 Unsubscribe, 4 Publish.
+
+use transmob_pubsub::wire::{Wire, WireError, WireReader, WireWriter};
+use transmob_pubsub::{AdvId, Advertisement, PublicationMsg, SubId, Subscription};
+
+use crate::messages::PubSubMsg;
+
+impl Wire for PubSubMsg {
+    fn enc(&self, w: &mut WireWriter<'_>) {
+        match self {
+            PubSubMsg::Advertise(a) => {
+                w.byte(0);
+                a.enc(w);
+            }
+            PubSubMsg::Unadvertise(id) => {
+                w.byte(1);
+                id.enc(w);
+            }
+            PubSubMsg::Subscribe(s) => {
+                w.byte(2);
+                s.enc(w);
+            }
+            PubSubMsg::Unsubscribe(id) => {
+                w.byte(3);
+                id.enc(w);
+            }
+            PubSubMsg::Publish(p) => {
+                w.byte(4);
+                p.enc(w);
+            }
+        }
+    }
+
+    fn dec(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.byte()? {
+            0 => Ok(PubSubMsg::Advertise(Advertisement::dec(r)?)),
+            1 => Ok(PubSubMsg::Unadvertise(AdvId::dec(r)?)),
+            2 => Ok(PubSubMsg::Subscribe(Subscription::dec(r)?)),
+            3 => Ok(PubSubMsg::Unsubscribe(SubId::dec(r)?)),
+            4 => Ok(PubSubMsg::Publish(PublicationMsg::dec(r)?)),
+            t => Err(WireError(format!("unknown pubsub tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmob_pubsub::wire::{decode_one, encode_one};
+    use transmob_pubsub::{ClientId, Filter, PubId, Publication};
+
+    #[test]
+    fn pubsub_msgs_round_trip() {
+        let msgs = vec![
+            PubSubMsg::Advertise(Advertisement::new(
+                AdvId::new(ClientId(1), 0),
+                Filter::builder().ge("price", 0).build(),
+            )),
+            PubSubMsg::Unadvertise(AdvId::new(ClientId(1), 0)),
+            PubSubMsg::Subscribe(Subscription::new(
+                SubId::new(ClientId(2), 5),
+                Filter::builder()
+                    .eq("symbol", "IBM")
+                    .lt("price", 100)
+                    .build(),
+            )),
+            PubSubMsg::Unsubscribe(SubId::new(ClientId(2), 5)),
+            PubSubMsg::Publish(PublicationMsg::new(
+                PubId(77),
+                ClientId(3),
+                Publication::new().with("symbol", "IBM").with("price", 88),
+            )),
+        ];
+        for m in &msgs {
+            let bytes = encode_one(m);
+            let back: PubSubMsg = decode_one(&bytes).expect("decode");
+            assert_eq!(&back, m);
+        }
+        // And as a vector sharing one string table.
+        let bytes = encode_one(&msgs);
+        let back: Vec<PubSubMsg> = decode_one(&bytes).expect("decode vec");
+        assert_eq!(back, msgs);
+    }
+}

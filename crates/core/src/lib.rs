@@ -62,6 +62,7 @@ pub mod persistence;
 pub mod properties;
 pub mod states;
 pub mod transport;
+pub mod wire;
 
 pub use client_stub::{DeliverOutcome, HostedClient};
 pub use durability::{

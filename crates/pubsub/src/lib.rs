@@ -55,6 +55,7 @@ pub(crate) mod pool;
 pub mod predicate;
 pub mod publication;
 pub mod value;
+pub mod wire;
 
 pub use constraint::Constraint;
 pub use filter::{Filter, FilterBuilder};
@@ -66,3 +67,4 @@ pub use pool::PoolStats;
 pub use predicate::{Op, Predicate};
 pub use publication::Publication;
 pub use value::{Value, ValueKind};
+pub use wire::{StrDecTable, StrEncTable, Wire, WireError, WireReader, WireWriter};

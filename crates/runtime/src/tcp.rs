@@ -1,10 +1,19 @@
 //! A TCP transport for the broker overlay: every overlay link is a
-//! real socket carrying newline-delimited JSON frames of the protocol
-//! [`Message`]s — the same bytes a multi-host deployment would put on
-//! the wire. Brokers still run as threads of this process (the paper's
-//! cluster ran one broker per machine; the transport, serialization
-//! and framing are what this module makes real), and clients attach
-//! through in-process handles exactly as with [`crate::Network`].
+//! real socket carrying length-prefixed binary frames of the protocol
+//! [`Message`]s (newline-delimited JSON in the debug/interop mode —
+//! see [`WireMode`] and DESIGN.md §13) — the same bytes a multi-host
+//! deployment would put on the wire. Brokers still run as threads of
+//! this process (the paper's cluster ran one broker per machine; the
+//! transport, serialization and framing are what this module makes
+//! real), and clients attach through in-process handles exactly as
+//! with [`crate::Network`].
+//!
+//! Frames written during one `OutputBatch` are buffered and flushed
+//! with a single syscall per touched link ([`TcpFlush`] tracks the
+//! touched set), so the coalescer's batching survives all the way to
+//! the socket. Per-link [`LinkStats`] count frames, flushes, decode
+//! failures, serialize failures and publication drops, and a link
+//! taken down records *why* ([`TcpNetwork::link_stats`]).
 //!
 //! # Failure detection and crash recovery
 //!
@@ -47,8 +56,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use serde::{Deserialize, Serialize};
-use transmob_broker::{Hop, PrematchedRoutes, Topology};
+use transmob_broker::{Hop, PrematchedRoutes, PubSubMsg, Topology};
 use transmob_core::transport::{flush_outputs, Transport};
 use transmob_core::{
     ClientOp, DurabilityLog, MemoryLog, Message, MobileBroker, MobileBrokerConfig, Output,
@@ -56,6 +64,7 @@ use transmob_core::{
 };
 use transmob_pubsub::{BrokerId, ClientId, Filter, Publication, PublicationMsg};
 
+use crate::codec::{Frame, FrameDecoder, FrameEncoder, ReadError, WireMode};
 use crate::MoveOutcome;
 
 /// Heartbeat period: each broker pings every live link this often.
@@ -67,24 +76,71 @@ pub const REDIAL_CAP: Duration = Duration::from_millis(400);
 /// Handshake read deadline (a half-open peer must not wedge a dialer).
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// One wire frame.
-#[derive(Debug, Serialize, Deserialize)]
-enum Frame {
-    /// A batch of protocol messages from a neighbouring broker — one
-    /// length-delimited line, one write syscall, contents applied in
-    /// order at the receiver (per-link FIFO is per frame and within
-    /// each frame).
-    Msg {
-        /// Sending broker.
-        from: u32,
-        /// The coalesced messages, in send order.
-        msgs: Vec<Message>,
-    },
-    /// A heartbeat (failure-detector probe).
-    Ping {
-        /// Sending broker.
-        from: u32,
-    },
+/// Default high-water mark for a down link's outbound queue, in
+/// messages. Generous enough that no protocol conversation ever nears
+/// it; small enough that a long partition under publication flood
+/// cannot grow memory without bound.
+pub const DEFAULT_DOWN_QUEUE_HWM: usize = 8192;
+
+/// Transport tuning for one [`TcpNetwork`].
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Frame codec for every link of this overlay (all endpoints share
+    /// it; the handshake refuses mode mismatches).
+    pub wire: WireMode,
+    /// High-water mark for each down link's outbound queue. On
+    /// overflow the oldest queued *publications* are dropped (and
+    /// counted in [`LinkStats::dropped_publications`]); subscription
+    /// control and movement-protocol frames are never dropped, even if
+    /// that means exceeding the mark.
+    pub down_queue_hwm: usize,
+}
+
+impl Default for TcpOptions {
+    /// Binary framing (JSON when `TRANSMOB_WIRE=json`, the debug/CI
+    /// differential mode) and [`DEFAULT_DOWN_QUEUE_HWM`].
+    fn default() -> Self {
+        TcpOptions {
+            wire: WireMode::from_env(),
+            down_queue_hwm: DEFAULT_DOWN_QUEUE_HWM,
+        }
+    }
+}
+
+/// Counters for one link endpoint, surviving reconnects (they belong
+/// to the edge, not the socket).
+#[derive(Debug, Default)]
+struct LinkStatCells {
+    frames_sent: AtomicU64,
+    flushes: AtomicU64,
+    serialize_failures: AtomicU64,
+    decode_failures: AtomicU64,
+    dropped_publications: AtomicU64,
+    down_reason: Mutex<Option<String>>,
+}
+
+/// A snapshot of one link endpoint's counters
+/// ([`TcpNetwork::link_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames successfully written (not necessarily flushed yet).
+    pub frames_sent: u64,
+    /// Successful flush syscalls that pushed buffered frames out. The
+    /// dispatch loop flushes once per `OutputBatch`, so under batched
+    /// load this stays well below `frames_sent`.
+    pub flushes: u64,
+    /// Frames that failed to serialize (JSON mode only — binary
+    /// encoding is total). Each one is counted, never dropped
+    /// silently.
+    pub serialize_failures: u64,
+    /// Inbound frames that failed to decode; each takes the link down
+    /// with a reason naming the corruption.
+    pub decode_failures: u64,
+    /// Publications dropped from the down-queue by the high-water
+    /// mark ([`TcpOptions::down_queue_hwm`]).
+    pub dropped_publications: u64,
+    /// Why the link last went down (`None` if it never did).
+    pub down_reason: Option<String>,
 }
 
 enum Input {
@@ -102,43 +158,109 @@ struct Registry {
 }
 
 /// One endpoint of an overlay link (this broker's writer toward one
-/// neighbour). While down, outbound protocol frames queue here and are
-/// flushed in order on reconnect.
+/// neighbour).
+///
+/// While down, outbound protocol **messages** (not serialized frames)
+/// queue here and are re-encoded on reconnect: the binary codec's
+/// string table belongs to a single connection, so bytes encoded
+/// against the old connection's table would desync a redialed peer.
 enum LinkState {
     Up {
         w: BufWriter<TcpStream>,
         /// A clone kept for `shutdown()` so the blocked reader thread
         /// observes EOF when the link is torn down.
         sock: TcpStream,
+        /// This connection's frame encoder (owns the outgoing string
+        /// table; dies with the socket).
+        enc: FrameEncoder,
+        /// Messages written into `w` since the last successful flush.
+        /// If the link dies before they reach the socket they move to
+        /// the down-queue and are resent on reconnect.
+        pending: Vec<Message>,
     },
     Down {
-        queued: VecDeque<String>,
+        queued: VecDeque<Message>,
+        /// How many of `queued` are publications (the droppable kind),
+        /// maintained incrementally for the high-water-mark check.
+        queued_pubs: usize,
         /// A redial thread for this link is already running.
         redialing: bool,
     },
+}
+
+impl LinkState {
+    fn fresh_down() -> LinkState {
+        LinkState::Down {
+            queued: VecDeque::new(),
+            queued_pubs: 0,
+            redialing: false,
+        }
+    }
 }
 
 struct Link {
     state: Mutex<LinkState>,
     /// When a frame (of any kind) last arrived from the peer.
     last_heard: Mutex<Instant>,
+    stats: LinkStatCells,
 }
 
 impl Link {
     fn new_down() -> Self {
         Link {
-            state: Mutex::new(LinkState::Down {
-                queued: VecDeque::new(),
-                redialing: false,
-            }),
+            state: Mutex::new(LinkState::fresh_down()),
             last_heard: Mutex::new(Instant::now()),
+            stats: LinkStatCells::default(),
         }
+    }
+
+    fn note_down(&self, reason: &str) {
+        *self.stats.down_reason.lock() = Some(reason.to_string());
+    }
+}
+
+/// Whether a message is a publication — the only kind the down-queue
+/// high-water mark may drop. Everything else (subscription control,
+/// movement protocol) is load-bearing for protocol correctness.
+fn is_droppable(m: &Message) -> bool {
+    matches!(m, Message::PubSub(PubSubMsg::Publish(_)))
+}
+
+fn count_droppable<'a>(msgs: impl IntoIterator<Item = &'a Message>) -> usize {
+    msgs.into_iter().filter(|m| is_droppable(m)).count()
+}
+
+/// Appends `msgs` to a down link's queue, then enforces the high-water
+/// mark by dropping the **oldest publications** (never protocol or
+/// movement frames). The scan is linear per drop — overflow is the
+/// pathological case, not the steady state.
+fn enqueue_down(
+    stats: &LinkStatCells,
+    queued: &mut VecDeque<Message>,
+    queued_pubs: &mut usize,
+    msgs: impl IntoIterator<Item = Message>,
+    hwm: usize,
+) {
+    for m in msgs {
+        if is_droppable(&m) {
+            *queued_pubs += 1;
+        }
+        queued.push_back(m);
+    }
+    while queued.len() > hwm && *queued_pubs > 0 {
+        let Some(idx) = queued.iter().position(is_droppable) else {
+            break;
+        };
+        queued.remove(idx);
+        *queued_pubs -= 1;
+        stats.dropped_publications.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 struct Shared {
     topology: Arc<Topology>,
     config: MobileBrokerConfig,
+    options: TcpOptions,
     /// Input channel per broker; swapped on kill/restart, hence the
     /// lock (readers clone the sender at spawn time).
     inputs: RwLock<BTreeMap<BrokerId, Sender<Input>>>,
@@ -197,6 +319,21 @@ impl TcpNetwork {
         Self::start_with(topology, config, |_| "127.0.0.1:0".to_string())
     }
 
+    /// Like [`TcpNetwork::start`], but with explicit transport options
+    /// (frame codec, down-queue bound) and bind addresses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TcpNetwork::start_with`].
+    pub fn start_with_options(
+        topology: Topology,
+        config: MobileBrokerConfig,
+        options: TcpOptions,
+        bind_addr: impl FnMut(BrokerId) -> String,
+    ) -> io::Result<TcpNetwork> {
+        Self::start_inner(topology, config, options, bind_addr)
+    }
+
     /// Like [`TcpNetwork::start`], but binds each broker's listener at
     /// the address chosen by `bind_addr` (e.g. fixed ports for a
     /// firewall-pinned deployment). Port `0` picks an ephemeral port.
@@ -209,6 +346,15 @@ impl TcpNetwork {
     pub fn start_with(
         topology: Topology,
         config: MobileBrokerConfig,
+        bind_addr: impl FnMut(BrokerId) -> String,
+    ) -> io::Result<TcpNetwork> {
+        Self::start_inner(topology, config, TcpOptions::default(), bind_addr)
+    }
+
+    fn start_inner(
+        topology: Topology,
+        config: MobileBrokerConfig,
+        options: TcpOptions,
         mut bind_addr: impl FnMut(BrokerId) -> String,
     ) -> io::Result<TcpNetwork> {
         let topology = Arc::new(topology);
@@ -243,6 +389,7 @@ impl TcpNetwork {
         let shared = Arc::new(Shared {
             topology: Arc::clone(&topology),
             config: config.clone(),
+            options,
             inputs: RwLock::new(inputs),
             registry: RwLock::new(Registry::default()),
             links,
@@ -364,6 +511,31 @@ impl TcpNetwork {
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
+    /// The frame codec this overlay runs.
+    pub fn wire_mode(&self) -> WireMode {
+        self.shared.options.wire
+    }
+
+    /// The listener address of `broker` (stable across kill/restart).
+    pub fn broker_addr(&self, broker: BrokerId) -> Option<SocketAddr> {
+        self.shared.addrs.get(&broker).copied()
+    }
+
+    /// Counters for `owner`'s endpoint of the link to `peer`. The
+    /// counters belong to the edge and survive reconnects.
+    pub fn link_stats(&self, owner: BrokerId, peer: BrokerId) -> Option<LinkStats> {
+        let link = self.shared.links.get(&owner)?.get(&peer)?;
+        let s = &link.stats;
+        Some(LinkStats {
+            frames_sent: s.frames_sent.load(Ordering::Relaxed),
+            flushes: s.flushes.load(Ordering::Relaxed),
+            serialize_failures: s.serialize_failures.load(Ordering::Relaxed),
+            decode_failures: s.decode_failures.load(Ordering::Relaxed),
+            dropped_publications: s.dropped_publications.load(Ordering::Relaxed),
+            down_reason: s.down_reason.lock().clone(),
+        })
+    }
+
     /// Crashes `broker`: its thread is torn down, its sockets severed
     /// (neighbours observe the disconnect and start queueing +
     /// redialing), and any inputs it had not yet applied are lost.
@@ -390,10 +562,8 @@ impl TcpNetwork {
                 if let LinkState::Up { sock, .. } = &*st {
                     let _ = sock.shutdown(std::net::Shutdown::Both);
                 }
-                *st = LinkState::Down {
-                    queued: VecDeque::new(),
-                    redialing: false,
-                };
+                link.note_down("broker killed");
+                *st = LinkState::fresh_down();
             }
         }
         if let Some(h) = self.broker_handles.lock().remove(&broker) {
@@ -481,10 +651,7 @@ impl TcpNetwork {
                 if let LinkState::Up { sock, .. } = &*st {
                     let _ = sock.shutdown(std::net::Shutdown::Both);
                 }
-                *st = LinkState::Down {
-                    queued: VecDeque::new(),
-                    redialing: false,
-                };
+                *st = LinkState::fresh_down();
             }
         }
         // Wake each acceptor so it can observe the flag and exit.
@@ -597,43 +764,89 @@ fn link_of(shared: &Shared, owner: BrokerId, peer: BrokerId) -> Option<&Arc<Link
     shared.links.get(&owner).and_then(|m| m.get(&peer))
 }
 
-/// Sends one frame on `owner`'s link to `peer`. Protocol frames queue
-/// while the link is down (`queue_if_down`); heartbeats are simply
-/// skipped — a stale ping carries no information.
-fn send_frame(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId, frame: &Frame) {
+/// Writes one protocol-message frame on `owner`'s link to `peer`
+/// **without flushing** — the dispatch loop flushes each touched link
+/// once per `OutputBatch` ([`flush_link`]). While the link is down the
+/// messages queue un-encoded (the binary string table belongs to a
+/// single connection), bounded by the down-queue high-water mark.
+fn send_msgs(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId, msgs: Vec<Message>) {
     let Some(link) = link_of(shared, owner, peer) else {
         return;
     };
-    let Ok(line) = serde_json::to_string(frame) else {
-        return;
-    };
-    let queue_if_down = matches!(frame, Frame::Msg { .. });
     let went_down = {
         let mut st = link.state.lock();
         match &mut *st {
-            LinkState::Up { w, sock } => {
-                if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+            LinkState::Up {
+                w,
+                sock,
+                enc,
+                pending,
+            } => {
+                let frame = Frame::Msg {
+                    from: owner.0,
+                    msgs,
+                };
+                let write_ok = match enc.encode(&frame) {
+                    Ok(bytes) => w.write_all(bytes).is_ok(),
+                    Err(e) => {
+                        // A frame that cannot be serialized (JSON mode
+                        // only; binary encoding is total) must never
+                        // vanish silently: count it, and in debug
+                        // builds treat any non-injected failure as a
+                        // bug.
+                        link.stats
+                            .serialize_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        debug_assert!(
+                            e.0.contains("injected"),
+                            "frame serialize failed on {owner}->{peer}: {e}"
+                        );
+                        return;
+                    }
+                };
+                let Frame::Msg { msgs, .. } = frame else {
+                    unreachable!()
+                };
+                if write_ok {
+                    link.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    pending.extend(msgs);
+                    false
+                } else {
                     // Peer disconnect detected on the write path (the
                     // heartbeat guarantees this fires within one
-                    // interval of a silent peer death).
+                    // interval of a silent peer death). Unflushed
+                    // frames join the failed one in the down-queue.
                     let _ = sock.shutdown(std::net::Shutdown::Both);
-                    let mut queued = VecDeque::new();
-                    if queue_if_down {
-                        queued.push_back(line);
-                    }
+                    let mut queued: VecDeque<Message> = std::mem::take(pending).into();
+                    let mut queued_pubs = count_droppable(&queued);
+                    enqueue_down(
+                        &link.stats,
+                        &mut queued,
+                        &mut queued_pubs,
+                        msgs,
+                        shared.options.down_queue_hwm,
+                    );
+                    link.note_down("write failed");
                     *st = LinkState::Down {
                         queued,
+                        queued_pubs,
                         redialing: false,
                     };
                     true
-                } else {
-                    false
                 }
             }
-            LinkState::Down { queued, .. } => {
-                if queue_if_down {
-                    queued.push_back(line);
-                }
+            LinkState::Down {
+                queued,
+                queued_pubs,
+                ..
+            } => {
+                enqueue_down(
+                    &link.stats,
+                    queued,
+                    queued_pubs,
+                    msgs,
+                    shared.options.down_queue_hwm,
+                );
                 false
             }
         }
@@ -643,18 +856,123 @@ fn send_frame(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId, frame: &Fra
     }
 }
 
-/// Marks `owner`'s link to `peer` down (reader-side disconnect) and
-/// kicks the redial loop if this endpoint is the dialer.
-fn mark_link_down(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
+/// Sends one heartbeat on `owner`'s link to `peer`, flushing
+/// immediately (the probe doubles as write-path failure detection, so
+/// it must actually hit the socket). Skipped while the link is down —
+/// a stale ping carries no information.
+fn send_ping(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
+    let Some(link) = link_of(shared, owner, peer) else {
+        return;
+    };
+    let went_down = {
+        let mut st = link.state.lock();
+        match &mut *st {
+            LinkState::Up {
+                w,
+                sock,
+                enc,
+                pending,
+            } => {
+                let frame = Frame::Ping { from: owner.0 };
+                let write_ok = match enc.encode(&frame) {
+                    Ok(bytes) => w.write_all(bytes).and_then(|()| w.flush()).is_ok(),
+                    Err(e) => {
+                        link.stats
+                            .serialize_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        debug_assert!(
+                            e.0.contains("injected"),
+                            "ping serialize failed on {owner}->{peer}: {e}"
+                        );
+                        return;
+                    }
+                };
+                if write_ok {
+                    link.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    link.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                    // The flush carried any batched frames with it.
+                    pending.clear();
+                    false
+                } else {
+                    let _ = sock.shutdown(std::net::Shutdown::Both);
+                    let queued: VecDeque<Message> = std::mem::take(pending).into();
+                    let queued_pubs = count_droppable(&queued);
+                    link.note_down("heartbeat write failed");
+                    *st = LinkState::Down {
+                        queued,
+                        queued_pubs,
+                        redialing: false,
+                    };
+                    true
+                }
+            }
+            LinkState::Down { .. } => false,
+        }
+    };
+    if went_down {
+        maybe_redial(shared, owner, peer);
+    }
+}
+
+/// Flushes `owner`'s link to `peer` — called once per `OutputBatch`
+/// for each link the batch wrote to, turning N frames into one flush
+/// syscall. A flush failure demotes the unflushed frames to the
+/// down-queue (they are resent on reconnect).
+fn flush_link(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
+    let Some(link) = link_of(shared, owner, peer) else {
+        return;
+    };
+    let went_down = {
+        let mut st = link.state.lock();
+        match &mut *st {
+            LinkState::Up {
+                w, sock, pending, ..
+            } => {
+                if pending.is_empty() {
+                    false // nothing written since the last flush
+                } else if w.flush().is_ok() {
+                    link.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                    pending.clear();
+                    false
+                } else {
+                    let _ = sock.shutdown(std::net::Shutdown::Both);
+                    let queued: VecDeque<Message> = std::mem::take(pending).into();
+                    let queued_pubs = count_droppable(&queued);
+                    link.note_down("flush failed");
+                    *st = LinkState::Down {
+                        queued,
+                        queued_pubs,
+                        redialing: false,
+                    };
+                    true
+                }
+            }
+            LinkState::Down { .. } => false,
+        }
+    };
+    if went_down {
+        maybe_redial(shared, owner, peer);
+    }
+}
+
+/// Marks `owner`'s link to `peer` down (reader-side disconnect),
+/// recording `reason` so chaos tests can assert *why* the link died,
+/// and kicks the redial loop if this endpoint is the dialer. Frames
+/// written but not yet flushed move to the down-queue for resend.
+fn mark_link_down(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId, reason: &str) {
     let Some(link) = link_of(shared, owner, peer) else {
         return;
     };
     {
         let mut st = link.state.lock();
-        if let LinkState::Up { sock, .. } = &*st {
+        if let LinkState::Up { sock, pending, .. } = &mut *st {
             let _ = sock.shutdown(std::net::Shutdown::Both);
+            let queued: VecDeque<Message> = std::mem::take(pending).into();
+            let queued_pubs = count_droppable(&queued);
+            link.note_down(reason);
             *st = LinkState::Down {
-                queued: VecDeque::new(),
+                queued,
+                queued_pubs,
                 redialing: false,
             };
         }
@@ -722,15 +1040,16 @@ fn maybe_redial(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
 }
 
 /// Dials `peer` on behalf of `owner` and installs the connection.
-/// Handshake: dialer sends its broker id, acceptor answers `ok` only
-/// if its broker process is actually up — so queued frames are never
-/// flushed into a dead peer.
+/// Handshake: dialer sends its broker id and wire-mode token, acceptor
+/// answers `ok` only if its broker process is actually up and the
+/// codec matches — so queued frames are never flushed into a dead (or
+/// differently-framed) peer.
 fn dial_link(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) -> io::Result<()> {
     let stream = TcpStream::connect(shared.addrs[&peer])?;
     stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
     {
         let mut w = BufWriter::new(stream.try_clone()?);
-        writeln!(w, "{}", owner.0)?;
+        writeln!(w, "{} {}", owner.0, shared.options.wire.token())?;
         w.flush()?;
     }
     // Read the reply byte-by-byte: the peer flushes queued protocol
@@ -761,10 +1080,20 @@ fn dial_link(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) -> io::Resul
     install_link(shared, owner, peer, stream)
 }
 
+/// How many queued messages a reconnect packs into one frame when it
+/// drains the down-queue.
+const RECONNECT_CHUNK: usize = 256;
+
 /// Installs a fresh socket as `owner`'s endpoint toward `peer`,
-/// flushing any frames queued while the link was down, and spawns the
-/// reader for the inbound direction. Latest connection wins: a
-/// previously installed socket is severed.
+/// re-encoding and flushing any messages queued while the link was
+/// down, and spawns the reader for the inbound direction. Latest
+/// connection wins: a previously installed socket is severed (its
+/// unflushed messages carry over to the new connection).
+///
+/// The fresh connection gets a fresh [`FrameEncoder`] — the binary
+/// string table is per-connection state, negotiated from empty on both
+/// sides, which is exactly why the down-queue holds [`Message`]s and
+/// not pre-serialized bytes.
 fn install_link(
     shared: &Arc<Shared>,
     owner: BrokerId,
@@ -788,25 +1117,43 @@ fn install_link(
             let _ = sock.shutdown(std::net::Shutdown::Both);
             return Err(io::Error::new(io::ErrorKind::Interrupted, "shutting down"));
         }
-        let queued = match std::mem::replace(
-            &mut *st,
-            LinkState::Down {
-                queued: VecDeque::new(),
-                redialing: false,
-            },
-        ) {
-            LinkState::Up { sock: old, .. } => {
+        let mut queued = match std::mem::replace(&mut *st, LinkState::fresh_down()) {
+            LinkState::Up {
+                sock: old, pending, ..
+            } => {
                 let _ = old.shutdown(std::net::Shutdown::Both);
-                VecDeque::new()
+                pending.into()
             }
             LinkState::Down { queued, .. } => queued,
         };
+        let mut enc = FrameEncoder::new(shared.options.wire);
         let mut w = BufWriter::new(stream);
         let mut failed = false;
-        for line in &queued {
-            if writeln!(w, "{line}").is_err() {
-                failed = true;
-                break;
+        let mut frames = 0u64;
+        for chunk in queued.make_contiguous().chunks(RECONNECT_CHUNK) {
+            let frame = Frame::Msg {
+                from: owner.0,
+                msgs: chunk.to_vec(),
+            };
+            match enc.encode(&frame) {
+                Ok(bytes) => {
+                    if w.write_all(bytes).is_err() {
+                        failed = true;
+                        break;
+                    }
+                    frames += 1;
+                }
+                Err(e) => {
+                    link.stats
+                        .serialize_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    debug_assert!(
+                        e.0.contains("injected"),
+                        "reconnect frame serialize failed on {owner}->{peer}: {e}"
+                    );
+                    failed = true;
+                    break;
+                }
             }
         }
         if !failed && w.flush().is_err() {
@@ -816,8 +1163,10 @@ fn install_link(
             // The fresh socket died mid-flush. Requeue everything —
             // some frames may arrive twice, which the movement
             // protocol's duplicate-tolerant handlers absorb.
+            let queued_pubs = count_droppable(&queued);
             *st = LinkState::Down {
                 queued,
+                queued_pubs,
                 redialing: false,
             };
             return Err(io::Error::new(
@@ -825,15 +1174,26 @@ fn install_link(
                 "reconnect flush failed",
             ));
         }
-        *st = LinkState::Up { w, sock };
+        link.stats.frames_sent.fetch_add(frames, Ordering::Relaxed);
+        if frames > 0 {
+            link.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        *st = LinkState::Up {
+            w,
+            sock,
+            enc,
+            pending: Vec::new(),
+        };
         *link.last_heard.lock() = Instant::now();
     }
     spawn_reader(shared, owner, peer, reader_stream)
 }
 
-/// Reads JSON frames from one socket and feeds them to the owning
-/// broker's input channel. Exits on EOF or socket error, marking the
-/// link down.
+/// Reads frames from one socket (in the overlay's wire mode) and
+/// feeds them to the owning broker's input channel. Exits on EOF,
+/// socket error, or a corrupt frame — marking the link down with a
+/// reason that distinguishes the three, and counting corruption in
+/// the link stats.
 fn spawn_reader(
     shared: &Arc<Shared>,
     owner: BrokerId,
@@ -848,30 +1208,42 @@ fn spawn_reader(
     let handle = std::thread::Builder::new()
         .name(format!("tcp-reader-{owner}-{peer}"))
         .spawn(move || {
-            let reader = BufReader::new(stream);
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
-                let Ok(frame) = serde_json::from_str::<Frame>(&line) else {
-                    break; // corrupt peer: drop the link
-                };
-                if let Some(link) = link_of(&shared2, owner, peer) {
-                    *link.last_heard.lock() = Instant::now();
-                }
-                match frame {
-                    Frame::Ping { .. } => {
-                        if let Some(c) = shared2.pings.get(&owner) {
-                            c.fetch_add(1, Ordering::Relaxed);
+            let mut reader = BufReader::new(stream);
+            let mut dec = FrameDecoder::new(shared2.options.wire);
+            let reason = loop {
+                match dec.read_frame(&mut reader) {
+                    Ok(Some(frame)) => {
+                        if let Some(link) = link_of(&shared2, owner, peer) {
+                            *link.last_heard.lock() = Instant::now();
+                        }
+                        match frame {
+                            Frame::Ping { .. } => {
+                                if let Some(c) = shared2.pings.get(&owner) {
+                                    c.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Frame::Msg { from, msgs } => {
+                                if tx.send(Input::FromBroker(BrokerId(from), msgs)).is_err() {
+                                    break "broker gone".to_string();
+                                }
+                            }
                         }
                     }
-                    Frame::Msg { from, msgs } => {
-                        if tx.send(Input::FromBroker(BrokerId(from), msgs)).is_err() {
-                            break;
+                    Ok(None) => break "peer closed".to_string(),
+                    Err(ReadError::Io(e)) => break format!("read error: {e}"),
+                    Err(ReadError::Corrupt(e)) => {
+                        // Corrupt peer: count it and drop the link —
+                        // the codec is desynced, so no later frame on
+                        // this connection can be trusted.
+                        if let Some(link) = link_of(&shared2, owner, peer) {
+                            link.stats.decode_failures.fetch_add(1, Ordering::Relaxed);
                         }
+                        break format!("corrupt frame: {e}");
                     }
                 }
-            }
+            };
             if !shared2.shutting_down.load(Ordering::SeqCst) {
-                mark_link_down(&shared2, owner, peer);
+                mark_link_down(&shared2, owner, peer, &reason);
             }
         })
         .map_err(|e| io::Error::new(e.kind(), format!("spawn reader for {owner}: {e}")))?;
@@ -904,9 +1276,18 @@ fn spawn_acceptor(shared: &Arc<Shared>, owner: BrokerId, listener: TcpListener) 
             if r.read_line(&mut line).is_err() {
                 continue;
             }
-            let Ok(peer) = line.trim().parse::<u32>().map(BrokerId) else {
+            let mut fields = line.split_whitespace();
+            let Some(Ok(peer)) = fields.next().map(|f| f.parse::<u32>().map(BrokerId)) else {
                 continue;
             };
+            // The mode token guards against a peer (or test harness)
+            // framing the stream differently: refuse rather than feed
+            // the decoder a foreign format.
+            if let Some(tok) = fields.next() {
+                if WireMode::from_token(tok) != Some(shared2.options.wire) {
+                    continue;
+                }
+            }
             if !shared2.topology.neighbors(owner).contains(&peer) {
                 continue; // not an overlay edge (or a shutdown wake-up)
             }
@@ -1035,7 +1416,7 @@ fn tcp_apply_main(
         if Instant::now() >= next_ping {
             next_ping = Instant::now() + HEARTBEAT_INTERVAL;
             for &n in shared.topology.neighbors(id) {
-                send_frame(shared, id, n, &Frame::Ping { from: id.0 });
+                send_ping(shared, id, n);
             }
         }
         // Wait for the next input, timer deadline, or heartbeat tick.
@@ -1082,27 +1463,23 @@ fn tcp_apply_main(
 }
 
 /// [`Transport`] adapter for one broker step on the TCP overlay: a
-/// send batch becomes one wire frame (one serialized line, one write
-/// syscall, one flush), deliveries and movement events fan out over
-/// the client channels, timers stay thread-local.
+/// send batch becomes one wire frame buffered on the link, deliveries
+/// and movement events fan out over the client channels, timers stay
+/// thread-local. Links written to are remembered in `touched` and
+/// flushed **once per `OutputBatch`** by [`dispatch`] — N frames, one
+/// flush syscall per destination.
 struct TcpFlush<'a> {
     id: BrokerId,
     shared: &'a Arc<Shared>,
     timers: &'a mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
     cancelled: &'a mut BTreeSet<TimerToken>,
+    touched: BTreeSet<BrokerId>,
 }
 
 impl Transport for TcpFlush<'_> {
     fn send_batch(&mut self, to: BrokerId, msgs: Vec<Message>) {
-        send_frame(
-            self.shared,
-            self.id,
-            to,
-            &Frame::Msg {
-                from: self.id.0,
-                msgs,
-            },
-        );
+        send_msgs(self.shared, self.id, to, msgs);
+        self.touched.insert(to);
     }
 
     fn deliver_batch(&mut self, client: ClientId, publications: Vec<PublicationMsg>) {
@@ -1158,8 +1535,14 @@ fn dispatch(
         shared,
         timers,
         cancelled,
+        touched: BTreeSet::new(),
     };
     flush_outputs(&mut flush, outs);
+    let touched = std::mem::take(&mut flush.touched);
+    drop(flush);
+    for peer in touched {
+        flush_link(shared, id, peer);
+    }
 }
 
 #[cfg(test)]
@@ -1284,5 +1667,131 @@ mod tests {
             TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
         let _c = net.create_client(b(1), c(1));
         drop(net); // must join without hanging
+    }
+
+    fn wait_link_up(net: &TcpNetwork, a: BrokerId, z: BrokerId) {
+        for _ in 0..200 {
+            if net.link_up(a, z) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("link {a}->{z} never came up");
+    }
+
+    fn pub_msg(i: u64) -> Message {
+        Message::PubSub(PubSubMsg::Publish(PublicationMsg::new(
+            transmob_pubsub::PubId(i),
+            c(9),
+            Publication::new().with("x", i as i64),
+        )))
+    }
+
+    /// Satellite bugfix 4: frames written during one batch share a
+    /// single flush instead of one syscall each.
+    #[test]
+    fn batched_frames_share_one_flush() {
+        let net =
+            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        wait_link_up(&net, b(1), b(2));
+        let before = net.link_stats(b(1), b(2)).expect("stats");
+        for i in 0..3 {
+            send_msgs(&net.shared, b(1), b(2), vec![pub_msg(i)]);
+        }
+        flush_link(&net.shared, b(1), b(2));
+        let after = net.link_stats(b(1), b(2)).expect("stats");
+        let frames = after.frames_sent - before.frames_sent;
+        let flushes = after.flushes - before.flushes;
+        assert!(frames >= 3, "three frames were written, saw {frames}");
+        // Concurrent heartbeats add one frame *and* one flush each, so
+        // the batched writes show up as a surplus of frames: 3 frames,
+        // at most 1 flush of our own.
+        assert!(
+            frames - flushes >= 2,
+            "3 frames must share one flush: frames={frames} flushes={flushes}"
+        );
+        net.shutdown();
+    }
+
+    /// Satellite bugfix 2: the down-queue high-water mark drops the
+    /// oldest *publications*, never subscription-control or movement
+    /// frames, and counts every drop.
+    #[test]
+    fn down_queue_drops_oldest_publications_never_protocol() {
+        let stats = LinkStatCells::default();
+        let mut queued = VecDeque::new();
+        let mut pubs = 0usize;
+        let ctl = Message::Move(transmob_core::MoveMsg::Ack {
+            m: transmob_pubsub::MoveId(1),
+            source: b(1),
+            target: b(2),
+        });
+        enqueue_down(&stats, &mut queued, &mut pubs, (0..4).map(pub_msg), 4);
+        assert_eq!(queued.len(), 4);
+        assert_eq!(stats.dropped_publications.load(Ordering::Relaxed), 0);
+        // A protocol frame pushes past the mark: the oldest publication
+        // is dropped, the protocol frame stays.
+        enqueue_down(&stats, &mut queued, &mut pubs, [ctl.clone()], 4);
+        assert_eq!(queued.len(), 4);
+        assert_eq!(pubs, 3);
+        assert_eq!(stats.dropped_publications.load(Ordering::Relaxed), 1);
+        assert!(queued.iter().any(|m| matches!(m, Message::Move(_))));
+        match &queued[0] {
+            Message::PubSub(PubSubMsg::Publish(p)) => {
+                assert_eq!(p.id, transmob_pubsub::PubId(1), "oldest pub must go first");
+            }
+            other => panic!("expected a publication at the front, got {other:?}"),
+        }
+        // A queue of nothing but protocol frames may exceed the mark:
+        // correctness-bearing messages are never sacrificed.
+        let stats2 = LinkStatCells::default();
+        let mut queued2 = VecDeque::new();
+        let mut pubs2 = 0usize;
+        enqueue_down(
+            &stats2,
+            &mut queued2,
+            &mut pubs2,
+            std::iter::repeat_with(|| ctl.clone()).take(6),
+            4,
+        );
+        assert_eq!(queued2.len(), 6);
+        assert_eq!(stats2.dropped_publications.load(Ordering::Relaxed), 0);
+    }
+
+    /// Satellite bugfix 1: a frame that fails to serialize is counted
+    /// in the link stats instead of vanishing, and the link survives.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn serialize_failure_is_counted_not_silent() {
+        let net =
+            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        wait_link_up(&net, b(1), b(2));
+        {
+            let link = link_of(&net.shared, b(1), b(2)).expect("link");
+            match &mut *link.state.lock() {
+                LinkState::Up { enc, .. } => enc.inject_encode_failure(),
+                LinkState::Down { .. } => panic!("link down"),
+            }
+        }
+        // Either this send or a concurrent heartbeat consumes the
+        // injected failure; both paths must count it.
+        send_msgs(&net.shared, b(1), b(2), vec![pub_msg(1)]);
+        let mut counted = 0;
+        for _ in 0..100 {
+            counted = net
+                .link_stats(b(1), b(2))
+                .expect("stats")
+                .serialize_failures;
+            if counted > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(counted, 1, "the injected serialize failure must be counted");
+        assert!(
+            net.link_up(b(1), b(2)),
+            "a serialize failure must not take the link down"
+        );
+        net.shutdown();
     }
 }

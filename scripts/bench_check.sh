@@ -11,6 +11,11 @@
 #     shards4 over the sequential sweep AND a >=2x speedup of shards4
 #     (4 workers) over shards1 (1 worker) — the acceptance bars of the
 #     parallel matching stage and of the pooled multi-worker kernel.
+#   - The TCP wire-protocol baseline BENCH_tcp.json must record the
+#     tcp_throughput group (bin/json x batch 64/256), tcp_latency p99
+#     rows and tcp_summary msgs/sec rows, with the binary codec >=2x
+#     the JSON message rate at batch 256 — the ISSUE 7 acceptance bar.
+#     Non-fast runs re-measure that ratio live.
 #   - CI_FAST=1 skips re-measurement (single-iteration timings are
 #     meaningless) and only checks the baseline shape plus that every
 #     gated benchmark still runs; set BENCH_QUICK_JSON=<file> to reuse
@@ -21,7 +26,41 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_routing.json
+TCP_BASELINE=BENCH_tcp.json
 GATED=(publish_batch srt_overlap covering_release)
+
+# TCP baseline shape + codec-speedup checks (every mode).
+python3 - "$TCP_BASELINE" <<'PY'
+import json, sys
+
+rows = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+def latest(group, field="ns_per_iter"):
+    out = {}
+    for r in rows:
+        if r["group"] == group and field in r:
+            out[r["bench"]] = r[field]
+    return out
+
+thr = latest("tcp_throughput")
+for need in ("bin/64", "bin/256", "json/64", "json/256"):
+    if need not in thr:
+        sys.exit(f"bench_check: {sys.argv[1]} missing tcp_throughput/{need}")
+lat = latest("tcp_latency")
+for need in ("bin/p99", "json/p99"):
+    if need not in lat:
+        sys.exit(f"bench_check: {sys.argv[1]} missing tcp_latency/{need}")
+summary = latest("tcp_summary", "msgs_per_sec")
+for need in ("bin/256", "json/256"):
+    if need not in summary:
+        sys.exit(f"bench_check: {sys.argv[1]} missing tcp_summary/{need} msgs/sec")
+ratio = thr["json/256"] / thr["bin/256"]
+if ratio < 2.0:
+    sys.exit(f"bench_check: baseline binary codec only {ratio:.2f}x JSON at batch 256 (< 2x)")
+print(
+    f"bench_check: tcp baseline ok (binary {ratio:.1f}x JSON msg rate at batch 256, "
+    f"p99 bin {lat['bin/p99']/1e3:.0f}us vs json {lat['json/p99']/1e3:.0f}us)"
+)
+PY
 
 # Baseline shape checks (every mode): parallel_match recorded, >=2x.
 python3 - "$BASELINE" <<'PY'
@@ -59,6 +98,8 @@ if [[ "${CI_FAST:-0}" == "1" ]]; then
         CRITERION_QUICK=1 CRITERION_JSON="$out" \
             cargo bench -p transmob-bench -q --bench routing -- \
             "${GATED[@]}" parallel_match broker_pipeline
+        CRITERION_QUICK=1 CRITERION_JSON="$out" \
+            cargo bench -p transmob-bench -q --bench tcp -- tcp_throughput
     fi
     python3 - "$out" "$BASELINE" "${GATED[@]}" <<'PY'
 import json, sys
@@ -75,8 +116,11 @@ gated = set(sys.argv[3:]) | {"parallel_match", "broker_pipeline"}
 missing = sorted(k for k in base if k[0] in gated and k not in seen)
 if missing:
     sys.exit(f"bench_check: benchmarks vanished from the quick run: {missing}")
+for need in ("bin/64", "bin/256", "json/64", "json/256"):
+    if ("tcp_throughput", need) not in seen:
+        sys.exit(f"bench_check: tcp_throughput/{need} vanished from the quick run")
 print(f"bench_check: CI_FAST=1 - all {len([k for k in seen if k[0] in gated])} "
-      "gated benchmarks still run; timing gate skipped")
+      "gated benchmarks plus tcp_throughput still run; timing gate skipped")
 PY
     exit 0
 fi
@@ -123,4 +167,27 @@ if not any(k[0] == "parallel_match" for k in meas):
 if failures:
     sys.exit(f"bench_check: regression >25% in {failures}")
 print("bench_check: regression gate passed")
+PY
+
+# Live codec-speedup gate: re-measure the wire throughput and demand
+# the binary codec keeps its >=2x message rate at batch 256.
+tcp_out=$(mktemp)
+trap 'rm -f "$out" "$tcp_out"' EXIT
+CRITERION_JSON="$tcp_out" cargo bench -p transmob-bench -q --bench tcp -- tcp_throughput
+
+python3 - "$tcp_out" <<'PY'
+import json, sys
+
+thr = {}
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    if r["group"] == "tcp_throughput":
+        thr[r["bench"]] = r["ns_per_iter"]
+for need in ("bin/256", "json/256"):
+    if need not in thr:
+        sys.exit(f"bench_check: live run missing tcp_throughput/{need}")
+ratio = thr["json/256"] / thr["bin/256"]
+if ratio < 2.0:
+    sys.exit(f"bench_check: live binary codec only {ratio:.2f}x JSON at batch 256 (< 2x)")
+print(f"bench_check: live codec gate passed (binary {ratio:.1f}x JSON at batch 256)")
 PY

@@ -5,7 +5,10 @@
 # explicit skip notice for it:
 #
 #   1. formatting + lints + full workspace tests (hard failures; the
-#      vendored offline stubs under vendor/ are workspace-excluded)
+#      vendored offline stubs under vendor/ are workspace-excluded),
+#      then the TCP runtime suites again under TRANSMOB_WIRE=json —
+#      the workspace pass exercised the default binary codec, this
+#      differential pass proves the JSON debug codec stays equivalent
 #   2. chaos smoke — seeded fault schedules per protocol; scales via
 #      CHAOS_CASES (e.g. CHAOS_CASES=5000), skipped under CI_FAST=1
 #   3. bench smoke — every criterion bench, one iteration each
@@ -29,6 +32,9 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+# Differential codec pass: the same TCP suites over the JSON debug
+# framing (the workspace run above used the default binary codec).
+TRANSMOB_WIRE=json cargo test -p transmob-runtime -q
 
 # ---- tier 2: chaos smoke ----------------------------------------------
 if [[ "${CI_FAST:-0}" == "1" ]]; then
