@@ -127,6 +127,7 @@ fn measure_p99_latency(mode: WireMode, samples: usize) -> u64 {
         TcpOptions {
             wire: mode,
             down_queue_hwm: DEFAULT_DOWN_QUEUE_HWM,
+            ..TcpOptions::default()
         },
         |_| "127.0.0.1:0".to_string(),
     )

@@ -361,6 +361,8 @@ impl BrokerCore {
                         PubSubMsg::Unadvertise(id) => self.handle_unadvertise(from, id),
                         PubSubMsg::Subscribe(s) => self.handle_subscribe(from, s),
                         PubSubMsg::Unsubscribe(id) => self.handle_unsubscribe(from, id),
+                        PubSubMsg::RepairAdv(a) => self.handle_repair_adv(from, a),
+                        PubSubMsg::RepairSub(s) => self.handle_repair_sub(from, s),
                         PubSubMsg::Publish(_) => unreachable!("publications batched above"),
                     });
                 }
@@ -436,11 +438,21 @@ impl BrokerCore {
                 );
             }
             if entry.lasthop != from {
-                // A re-route while the old and new subscription trees
-                // overlap (make-before-break): adopt the newest
-                // direction.
-                entry.lasthop = from;
-                self.stats.reroutes += 1;
+                if Self::anchored_here(&self.clients, entry.lasthop) {
+                    // The subscriber is attached HERE: the entry is
+                    // authoritative and only a movement commit may
+                    // re-point it. Adopting an overlay direction would
+                    // let a later retraction on that link (e.g. an
+                    // overlay-repair purge racing this re-propagation)
+                    // annihilate the client's own subscription.
+                    self.stats.reroutes += 1;
+                } else {
+                    // A re-route while the old and new subscription
+                    // trees overlap (make-before-break, overlay
+                    // repair): adopt the newest direction.
+                    entry.lasthop = from;
+                    self.stats.reroutes += 1;
+                }
             }
         } else {
             self.prt.insert(sub, from);
@@ -526,6 +538,13 @@ impl BrokerCore {
             let e = self.prt.get(oid).unwrap();
             oid != id && e.sent_to.contains(&n) && e.lasthop != Hop::Broker(n)
         })
+    }
+
+    /// Whether `hop` is a client currently attached to this broker —
+    /// the one case where a routing entry's lasthop is ground truth
+    /// rather than learned overlay state.
+    fn anchored_here(clients: &BTreeSet<ClientId>, hop: Hop) -> bool {
+        matches!(hop, Hop::Client(c) if clients.contains(&c))
     }
 
     fn handle_unsubscribe(&mut self, from: Hop, id: SubId) -> Vec<BrokerOutput> {
@@ -643,8 +662,14 @@ impl BrokerCore {
                 );
             }
             if entry.lasthop != from {
-                entry.lasthop = from;
-                self.stats.reroutes += 1;
+                if Self::anchored_here(&self.clients, entry.lasthop) {
+                    // Locally-anchored advertisement: authoritative,
+                    // see the matching guard in `handle_subscribe`.
+                    self.stats.reroutes += 1;
+                } else {
+                    entry.lasthop = from;
+                    self.stats.reroutes += 1;
+                }
             }
         } else {
             self.srt.insert(adv, from);
@@ -864,6 +889,173 @@ impl BrokerCore {
         out
     }
 
+    // ----- overlay repair --------------------------------------------
+
+    fn handle_repair_adv(&mut self, from: Hop, adv: Advertisement) -> Vec<BrokerOutput> {
+        // Same idempotent insert-or-adopt semantics as a plain
+        // advertisement — the lasthop adoption in `handle_advertise`
+        // is exactly what makes a repair flood converge regardless of
+        // whether it arrives before or after this broker ran its own
+        // purge. The onward flood and the pulled subscriptions keep
+        // the repair tag so repair traffic stays identifiable across
+        // the overlay.
+        Self::tag_repair(self.handle_advertise(from, adv))
+    }
+
+    fn handle_repair_sub(&mut self, from: Hop, sub: Subscription) -> Vec<BrokerOutput> {
+        Self::tag_repair(self.handle_subscribe(from, sub))
+    }
+
+    /// Rewrites forward-direction propagation (advertise / subscribe)
+    /// triggered by a repair message as repair variants; retractions
+    /// pass through untouched.
+    fn tag_repair(outputs: Vec<BrokerOutput>) -> Vec<BrokerOutput> {
+        outputs
+            .into_iter()
+            .map(|o| match o {
+                BrokerOutput::ToBroker(n, PubSubMsg::Advertise(a)) => {
+                    BrokerOutput::ToBroker(n, PubSubMsg::RepairAdv(a))
+                }
+                BrokerOutput::ToBroker(n, PubSubMsg::Subscribe(s)) => {
+                    BrokerOutput::ToBroker(n, PubSubMsg::RepairSub(s))
+                }
+                other => other,
+            })
+            .collect()
+    }
+
+    /// Applies an overlay repair at this broker after `dead` was
+    /// declared dead: mutates the neighbour set (`new_peers` are the
+    /// repair edges incident to this broker), purges every routing
+    /// entry learned through the dead link *as a retraction cascade*
+    /// (so prune and covering release propagate the cleanup through
+    /// the whole surviving subtree), and pushes the surviving
+    /// advertisements over each new edge as [`PubSubMsg::RepairAdv`].
+    /// The receiving side pulls its matching subscriptions back as
+    /// [`PubSubMsg::RepairSub`], so both directions converge once both
+    /// endpoints of a new edge have run their repair — no handshake
+    /// round-trip is needed.
+    ///
+    /// In covering modes the push deliberately skips the quench check:
+    /// over-propagating across a repair edge is always safe (the
+    /// downstream broker re-quenches), whereas quenching against
+    /// not-yet-repaired state could suppress a needed route.
+    ///
+    /// Returns the effects plus the ids of movement transactions whose
+    /// pending (shadow) configuration references the dead broker —
+    /// those can no longer commit toward it and must be aborted by the
+    /// movement layer.
+    pub fn repair_neighbors(
+        &mut self,
+        dead: BrokerId,
+        new_peers: &[BrokerId],
+    ) -> (Vec<BrokerOutput>, Vec<MoveId>) {
+        self.neighbors.remove(&dead);
+        for p in new_peers {
+            if *p != self.id {
+                self.neighbors.insert(*p);
+            }
+        }
+        // Movements whose shadow configuration routes via the dead
+        // broker: collected before the purge, which may remove the
+        // very entries holding them.
+        let mut doomed: BTreeSet<MoveId> = BTreeSet::new();
+        for (_, e) in self.srt.iter() {
+            if let Some(p) = &e.pending {
+                if p.lasthop == Hop::Broker(dead) {
+                    doomed.insert(p.move_id);
+                }
+            }
+        }
+        for (_, e) in self.prt.iter() {
+            if let Some(p) = &e.pending {
+                if p.lasthop == Hop::Broker(dead) {
+                    doomed.insert(p.move_id);
+                }
+            }
+        }
+        // Forwarding sets must stop referencing the dead link before
+        // the purge cascades, so no retraction is addressed to it.
+        let stale_advs: Vec<AdvId> = self
+            .srt
+            .iter()
+            .filter(|(_, e)| e.sent_to.contains(&dead))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale_advs {
+            // unwrap: ids drawn from the table just above
+            self.srt.get_mut(id).unwrap().sent_to.remove(&dead);
+        }
+        let stale_subs: Vec<SubId> = self
+            .prt
+            .iter()
+            .filter(|(_, e)| e.sent_to.contains(&dead))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale_subs {
+            // unwrap: ids drawn from the table just above
+            self.prt.get_mut(id).unwrap().sent_to.remove(&dead);
+        }
+        // Purge: withdraw every entry learned over the dead link
+        // exactly as if the dead broker had retracted it. The
+        // `lasthop == from` check in the retraction handlers holds by
+        // construction, and the resulting cascade cleans the entry
+        // from every surviving broker downstream.
+        let mut out = Vec::new();
+        let purge_advs: Vec<AdvId> = self
+            .srt
+            .iter()
+            .filter(|(_, e)| e.lasthop == Hop::Broker(dead))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in purge_advs {
+            out.extend(self.handle_unadvertise(Hop::Broker(dead), id));
+        }
+        let purge_subs: Vec<SubId> = self
+            .prt
+            .iter()
+            .filter(|(_, e)| e.lasthop == Hop::Broker(dead))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in purge_subs {
+            out.extend(self.handle_unsubscribe(Hop::Broker(dead), id));
+        }
+        // The purge may have dropped entries that carried pending
+        // state; sweep the out-of-band bookkeeping so nothing leaks.
+        let (srt, prt) = (&self.srt, &self.prt);
+        self.pending_meta.retain(|k, _| match k {
+            PendingKey::Sub(id, m) => prt
+                .get(*id)
+                .and_then(|e| e.pending.as_ref())
+                .is_some_and(|p| p.move_id == *m),
+            PendingKey::Adv(id, m) => srt
+                .get(*id)
+                .and_then(|e| e.pending.as_ref())
+                .is_some_and(|p| p.move_id == *m),
+        });
+        // Re-propagate the surviving advertisements over each new
+        // edge.
+        for &p in new_peers {
+            if p == self.id {
+                continue;
+            }
+            let push: Vec<AdvId> = self
+                .srt
+                .iter()
+                .filter(|(_, e)| e.lasthop != Hop::Broker(p) && !e.sent_to.contains(&p))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in push {
+                // unwrap: ids drawn from the table just above
+                let entry = self.srt.get_mut(id).unwrap();
+                entry.sent_to.insert(p);
+                let adv = entry.adv.clone();
+                out.push(BrokerOutput::ToBroker(p, PubSubMsg::RepairAdv(adv)));
+            }
+        }
+        (out, doomed.into_iter().collect())
+    }
+
     // ----- publications ----------------------------------------------
 
     /// Turns one publication's matched routes into forwarding effects:
@@ -994,7 +1186,11 @@ impl BrokerCore {
                     created: false,
                 });
             if let Some(add) = meta.commit_sent_add {
-                entry.sent_to.insert(add);
+                // An overlay repair may have removed the old
+                // direction; never resurrect a link to a dead broker.
+                if self.neighbors.contains(&add) {
+                    entry.sent_to.insert(add);
+                }
             }
             if !meta.created {
                 if let Hop::Broker(old_n) = old_lasthop {
@@ -1019,7 +1215,9 @@ impl BrokerCore {
                     created: false,
                 });
             if let Some(add) = meta.commit_sent_add {
-                entry.sent_to.insert(add);
+                if self.neighbors.contains(&add) {
+                    entry.sent_to.insert(add);
+                }
             }
         }
         // Prune subscriptions that pointed at the old advertisement

@@ -32,5 +32,5 @@ pub use broker::{BrokerConfig, BrokerCore, BrokerStats, CoveringMode, Prematched
 pub use messages::{BrokerOutput, Hop, MsgKind, OutputBatch, PubSubMsg};
 pub use routing::{AdvEntry, PendingRoute, Prt, Srt, SubEntry};
 pub use sync_net::{Delivery, SyncNet};
-pub use topology::{Route, Topology, TopologyError};
+pub use topology::{Route, Topology, TopologyChange, TopologyError};
 pub use transmob_pubsub::Parallelism;

@@ -73,6 +73,14 @@ pub enum PubSubMsg {
     Unsubscribe(SubId),
     /// A publication travelling toward interested subscribers.
     Publish(PublicationMsg),
+    /// An advertisement re-propagated across a new overlay edge during
+    /// repair after a broker death. Semantically an [`PubSubMsg::Advertise`]
+    /// (idempotent insert-or-adopt-lasthop), tagged separately so repair
+    /// traffic is identifiable end-to-end in metrics and traces.
+    RepairAdv(Advertisement),
+    /// A subscription re-propagated during repair (pulled toward a
+    /// [`PubSubMsg::RepairAdv`]); semantically a [`PubSubMsg::Subscribe`].
+    RepairSub(Subscription),
 }
 
 impl PubSubMsg {
@@ -84,6 +92,8 @@ impl PubSubMsg {
             PubSubMsg::Subscribe(_) => MsgKind::Subscribe,
             PubSubMsg::Unsubscribe(_) => MsgKind::Unsubscribe,
             PubSubMsg::Publish(_) => MsgKind::Publish,
+            PubSubMsg::RepairAdv(_) => MsgKind::RepairAdv,
+            PubSubMsg::RepairSub(_) => MsgKind::RepairSub,
         }
     }
 }
@@ -96,6 +106,8 @@ impl fmt::Display for PubSubMsg {
             PubSubMsg::Subscribe(s) => write!(f, "sub {s}"),
             PubSubMsg::Unsubscribe(id) => write!(f, "unsub {id}"),
             PubSubMsg::Publish(p) => write!(f, "pub {p}"),
+            PubSubMsg::RepairAdv(a) => write!(f, "repair-adv {a}"),
+            PubSubMsg::RepairSub(s) => write!(f, "repair-sub {s}"),
         }
     }
 }
@@ -115,6 +127,10 @@ pub enum MsgKind {
     Publish,
     /// Movement-protocol control message (tagged by higher layers).
     MoveCtl,
+    /// Advertisement re-propagated during overlay repair.
+    RepairAdv,
+    /// Subscription re-propagated during overlay repair.
+    RepairSub,
 }
 
 impl fmt::Display for MsgKind {
@@ -126,6 +142,8 @@ impl fmt::Display for MsgKind {
             MsgKind::Unsubscribe => "unsubscribe",
             MsgKind::Publish => "publish",
             MsgKind::MoveCtl => "move-ctl",
+            MsgKind::RepairAdv => "repair-adv",
+            MsgKind::RepairSub => "repair-sub",
         };
         f.write_str(s)
     }

@@ -12,7 +12,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use transmob_pubsub::BrokerId;
 
-/// Error building a [`Topology`].
+/// Error building or mutating a [`Topology`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologyError {
     /// An edge references a broker id that is not in the node set.
@@ -25,6 +25,10 @@ pub enum TopologyError {
     Disconnected,
     /// No brokers.
     Empty,
+    /// A joining broker id is already in the overlay.
+    AlreadyPresent(BrokerId),
+    /// Removing this broker would leave the overlay empty.
+    LastBroker(BrokerId),
 }
 
 impl fmt::Display for TopologyError {
@@ -35,6 +39,10 @@ impl fmt::Display for TopologyError {
             TopologyError::Cyclic => f.write_str("overlay contains a cycle"),
             TopologyError::Disconnected => f.write_str("overlay is not connected"),
             TopologyError::Empty => f.write_str("overlay has no brokers"),
+            TopologyError::AlreadyPresent(b) => write!(f, "broker {b} is already in the overlay"),
+            TopologyError::LastBroker(b) => {
+                write!(f, "cannot remove {b}: it is the last broker")
+            }
         }
     }
 }
@@ -239,6 +247,160 @@ impl Topology {
         let route = self.route(from, to)?;
         route.brokers.get(1).copied()
     }
+
+    /// Adds `broker` to the overlay, attached to `attach_to`.
+    ///
+    /// Attaching a fresh leaf to an existing node of a tree always
+    /// yields a tree, so this cannot violate the invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::AlreadyPresent`] if `broker` is in the
+    /// overlay and [`TopologyError::UnknownBroker`] if `attach_to` is
+    /// not.
+    pub fn join(
+        &mut self,
+        broker: BrokerId,
+        attach_to: BrokerId,
+    ) -> Result<TopologyChange, TopologyError> {
+        if self.brokers.contains(&broker) {
+            return Err(TopologyError::AlreadyPresent(broker));
+        }
+        if !self.brokers.contains(&attach_to) {
+            return Err(TopologyError::UnknownBroker(attach_to));
+        }
+        self.brokers.insert(broker);
+        self.adjacency.insert(broker, BTreeSet::from([attach_to]));
+        // unwrap: attach_to membership checked above
+        self.adjacency.get_mut(&attach_to).unwrap().insert(broker);
+        self.debug_check_tree();
+        Ok(TopologyChange {
+            removed_edges: Vec::new(),
+            added_edges: vec![ordered_edge(broker, attach_to)],
+        })
+    }
+
+    /// Removes `broker` gracefully, designating the neighbour that
+    /// inherits its responsibilities (routing state, attached-client
+    /// handover) and reconnecting the remaining subtrees through it.
+    ///
+    /// The designated neighbour is the smallest-id neighbour of the
+    /// leaving broker; every other neighbour gains an edge to it. This
+    /// is the same reconnection rule as [`Topology::repair`] — the
+    /// difference between leave and repair is purely at the routing
+    /// layer (state handover vs. re-propagation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownBroker`] if `broker` is not in
+    /// the overlay and [`TopologyError::LastBroker`] if it is the only
+    /// one.
+    pub fn leave(&mut self, broker: BrokerId) -> Result<(BrokerId, TopologyChange), TopologyError> {
+        let change = self.remove_reconnect(broker)?;
+        let designated = change
+            .added_edges
+            .first()
+            .map(|(a, _)| *a)
+            .or_else(|| {
+                change
+                    .removed_edges
+                    .iter()
+                    .flat_map(|&(a, b)| [a, b])
+                    .find(|x| *x != broker)
+            })
+            .expect("a non-last broker has at least one neighbour");
+        Ok((designated, change))
+    }
+
+    /// Repairs the overlay after `dead` crashed: removes it and
+    /// reconnects its orphaned subtrees with new edges, preserving
+    /// acyclicity and connectivity.
+    ///
+    /// The reconnection rule is deterministic: the smallest-id
+    /// neighbour of the dead broker (the *anchor*) gains an edge to
+    /// every other neighbour. Removing a degree-`k` tree node and
+    /// adding `k - 1` edges from one component to each of the others
+    /// yields a tree again. Determinism matters — every surviving
+    /// broker derives the same post-repair overlay from `(topology,
+    /// dead)` alone, with no coordination round.
+    ///
+    /// Returns the edge set that changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownBroker`] if `dead` is not in
+    /// the overlay and [`TopologyError::LastBroker`] if it is the only
+    /// one.
+    pub fn repair(&mut self, dead: BrokerId) -> Result<TopologyChange, TopologyError> {
+        self.remove_reconnect(dead)
+    }
+
+    /// Shared removal + reconnection for [`Topology::leave`] and
+    /// [`Topology::repair`].
+    fn remove_reconnect(&mut self, gone: BrokerId) -> Result<TopologyChange, TopologyError> {
+        if !self.brokers.contains(&gone) {
+            return Err(TopologyError::UnknownBroker(gone));
+        }
+        if self.brokers.len() == 1 {
+            return Err(TopologyError::LastBroker(gone));
+        }
+        // unwrap: membership checked above
+        let neighbors: Vec<BrokerId> = self.adjacency.remove(&gone).unwrap().into_iter().collect();
+        self.brokers.remove(&gone);
+        let mut removed_edges = Vec::new();
+        for n in &neighbors {
+            self.adjacency.get_mut(n).unwrap().remove(&gone);
+            removed_edges.push(ordered_edge(gone, *n));
+        }
+        // The neighbour set is sorted (BTreeSet), so the anchor is the
+        // smallest-id neighbour: under the TCP runtime's owner-dials
+        // rule (smaller id dials) the anchor owns every new link.
+        let mut added_edges = Vec::new();
+        if let Some((&anchor, rest)) = neighbors.split_first() {
+            for n in rest {
+                self.adjacency.get_mut(&anchor).unwrap().insert(*n);
+                self.adjacency.get_mut(n).unwrap().insert(anchor);
+                added_edges.push((anchor, *n));
+            }
+        }
+        self.debug_check_tree();
+        Ok(TopologyChange {
+            removed_edges,
+            added_edges,
+        })
+    }
+
+    /// Debug-build re-validation of the tree invariants after a
+    /// mutation (the mutation ops maintain them by construction).
+    fn debug_check_tree(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let rebuilt = Topology::new(self.brokers.iter().copied(), self.edges());
+            debug_assert!(
+                rebuilt.as_ref() == Ok(self),
+                "topology mutation broke the tree invariants: {rebuilt:?}"
+            );
+        }
+    }
+}
+
+/// Normalizes an undirected edge to (smaller, larger).
+fn ordered_edge(a: BrokerId, b: BrokerId) -> (BrokerId, BrokerId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The edge delta produced by a [`Topology`] mutation, each edge
+/// reported with the smaller id first.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyChange {
+    /// Edges that disappeared.
+    pub removed_edges: Vec<(BrokerId, BrokerId)>,
+    /// Edges that were created.
+    pub added_edges: Vec<(BrokerId, BrokerId)>,
 }
 
 /// The unique route between two brokers: the paper's
@@ -415,5 +577,87 @@ mod tests {
         assert_eq!(t.neighbors(b(1)).len(), 3);
         assert_eq!(t.neighbors(b(2)).len(), 1);
         assert_eq!(t.edges().len(), 3);
+    }
+
+    #[test]
+    fn join_attaches_leaf() {
+        let mut t = Topology::chain(3);
+        let change = t.join(b(9), b(2)).unwrap();
+        assert_eq!(change.added_edges, vec![(b(2), b(9))]);
+        assert!(change.removed_edges.is_empty());
+        assert!(t.contains(b(9)));
+        assert_eq!(t.route(b(9), b(1)).unwrap().brokers(), &[b(9), b(2), b(1)]);
+    }
+
+    #[test]
+    fn join_rejects_duplicates_and_unknown_attach() {
+        let mut t = Topology::chain(3);
+        assert_eq!(
+            t.join(b(2), b(1)).unwrap_err(),
+            TopologyError::AlreadyPresent(b(2))
+        );
+        assert_eq!(
+            t.join(b(9), b(8)).unwrap_err(),
+            TopologyError::UnknownBroker(b(8))
+        );
+    }
+
+    #[test]
+    fn repair_of_star_centre_reconnects_through_anchor() {
+        // Killing the centre of a star orphans every leaf; the anchor
+        // (smallest-id neighbour) must adopt all the others.
+        let mut t = Topology::star(5);
+        let change = t.repair(b(1)).unwrap();
+        assert_eq!(change.removed_edges.len(), 4);
+        assert_eq!(
+            change.added_edges,
+            vec![(b(2), b(3)), (b(2), b(4)), (b(2), b(5))]
+        );
+        assert!(!t.contains(b(1)));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.route(b(5), b(3)).unwrap().brokers(), &[b(5), b(2), b(3)]);
+    }
+
+    #[test]
+    fn repair_of_chain_interior_bridges_the_gap() {
+        let mut t = Topology::chain(4);
+        let change = t.repair(b(2)).unwrap();
+        assert_eq!(change.removed_edges, vec![(b(1), b(2)), (b(2), b(3))]);
+        assert_eq!(change.added_edges, vec![(b(1), b(3))]);
+        assert_eq!(t.route(b(1), b(4)).unwrap().brokers(), &[b(1), b(3), b(4)]);
+    }
+
+    #[test]
+    fn repair_of_leaf_adds_no_edges() {
+        let mut t = Topology::chain(3);
+        let change = t.repair(b(3)).unwrap();
+        assert_eq!(change.removed_edges, vec![(b(2), b(3))]);
+        assert!(change.added_edges.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn leave_designates_smallest_neighbor() {
+        let mut t = Topology::star(4);
+        let (designated, change) = t.leave(b(1)).unwrap();
+        assert_eq!(designated, b(2));
+        assert_eq!(change.added_edges, vec![(b(2), b(3)), (b(2), b(4))]);
+
+        let mut t = Topology::chain(3);
+        let (designated, change) = t.leave(b(3)).unwrap();
+        assert_eq!(designated, b(2));
+        assert!(change.added_edges.is_empty());
+    }
+
+    #[test]
+    fn removing_unknown_or_last_broker_rejected() {
+        let mut t = Topology::chain(2);
+        assert_eq!(
+            t.repair(b(9)).unwrap_err(),
+            TopologyError::UnknownBroker(b(9))
+        );
+        t.repair(b(2)).unwrap();
+        assert_eq!(t.repair(b(1)).unwrap_err(), TopologyError::LastBroker(b(1)));
+        assert_eq!(t.leave(b(1)).unwrap_err(), TopologyError::LastBroker(b(1)));
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Tag bytes are part of the wire contract (DESIGN.md §13) and must
 //! never be renumbered: 0 Advertise, 1 Unadvertise, 2 Subscribe,
-//! 3 Unsubscribe, 4 Publish.
+//! 3 Unsubscribe, 4 Publish, 5 RepairAdv, 6 RepairSub.
 
 use transmob_pubsub::wire::{Wire, WireError, WireReader, WireWriter};
 use transmob_pubsub::{AdvId, Advertisement, PublicationMsg, SubId, Subscription};
@@ -32,6 +32,14 @@ impl Wire for PubSubMsg {
                 w.byte(4);
                 p.enc(w);
             }
+            PubSubMsg::RepairAdv(a) => {
+                w.byte(5);
+                a.enc(w);
+            }
+            PubSubMsg::RepairSub(s) => {
+                w.byte(6);
+                s.enc(w);
+            }
         }
     }
 
@@ -42,6 +50,8 @@ impl Wire for PubSubMsg {
             2 => Ok(PubSubMsg::Subscribe(Subscription::dec(r)?)),
             3 => Ok(PubSubMsg::Unsubscribe(SubId::dec(r)?)),
             4 => Ok(PubSubMsg::Publish(PublicationMsg::dec(r)?)),
+            5 => Ok(PubSubMsg::RepairAdv(Advertisement::dec(r)?)),
+            6 => Ok(PubSubMsg::RepairSub(Subscription::dec(r)?)),
             t => Err(WireError(format!("unknown pubsub tag {t}"))),
         }
     }
@@ -73,6 +83,14 @@ mod tests {
                 PubId(77),
                 ClientId(3),
                 Publication::new().with("symbol", "IBM").with("price", 88),
+            )),
+            PubSubMsg::RepairAdv(Advertisement::new(
+                AdvId::new(ClientId(4), 1),
+                Filter::builder().ge("price", 10).build(),
+            )),
+            PubSubMsg::RepairSub(Subscription::new(
+                SubId::new(ClientId(5), 2),
+                Filter::builder().eq("symbol", "TSX").build(),
             )),
         ];
         for m in &msgs {

@@ -37,7 +37,7 @@ use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 use transmob_broker::Hop;
-use transmob_pubsub::ClientId;
+use transmob_pubsub::{BrokerId, ClientId};
 
 use crate::messages::{ClientOp, Message, TimerToken};
 use crate::persistence::BrokerSnapshot;
@@ -74,6 +74,14 @@ pub enum LoggedInput {
     CreateClient {
         /// The client.
         client: ClientId,
+    },
+    /// A broker-death declaration from the local failure detector
+    /// ([`MobileBroker::handle_broker_death`]). Replay re-derives the
+    /// overlay repair deterministically from `(topology, dead)`, so
+    /// the post-repair topology does not need to be logged.
+    BrokerDeath {
+        /// The broker declared dead.
+        dead: BrokerId,
     },
 }
 

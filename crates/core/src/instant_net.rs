@@ -262,7 +262,7 @@ impl InstantNet {
             *self.traffic.entry(msg.kind()).or_insert(0) += 1;
             let eff = match &msg {
                 Message::Move(mv) => Some(mv.move_id()),
-                Message::PubSub(_) => cause,
+                Message::PubSub(_) | Message::BrokerDeath { .. } => cause,
             };
             if !run.is_empty() && eff != run_cause {
                 let batch = std::mem::take(&mut run);

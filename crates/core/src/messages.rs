@@ -311,6 +311,15 @@ pub enum Message {
     PubSub(PubSubMsg),
     /// Movement-protocol message.
     Move(MoveMsg),
+    /// Overlay-repair notice: `dead` has been declared permanently
+    /// failed. Flooded over every surviving link; each receiver
+    /// repairs its topology copy deterministically and re-floods, so
+    /// processing is idempotent (a receiver that already repaired does
+    /// nothing, which terminates the flood).
+    BrokerDeath {
+        /// The broker declared dead.
+        dead: BrokerId,
+    },
 }
 
 impl Message {
@@ -318,7 +327,7 @@ impl Message {
     pub fn kind(&self) -> transmob_broker::MsgKind {
         match self {
             Message::PubSub(p) => p.kind(),
-            Message::Move(_) => transmob_broker::MsgKind::MoveCtl,
+            Message::Move(_) | Message::BrokerDeath { .. } => transmob_broker::MsgKind::MoveCtl,
         }
     }
 }
@@ -340,6 +349,7 @@ impl fmt::Display for Message {
         match self {
             Message::PubSub(p) => write!(f, "{p}"),
             Message::Move(m) => write!(f, "{m}"),
+            Message::BrokerDeath { dead } => write!(f, "broker-death({dead})"),
         }
     }
 }

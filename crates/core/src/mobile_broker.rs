@@ -220,6 +220,13 @@ impl MobileBroker {
         &self.core
     }
 
+    /// The overlay topology as this broker currently sees it. Brokers
+    /// start from a shared handle; an overlay repair
+    /// ([`MobileBroker::handle_broker_death`]) mutates the local copy.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
     /// A hosted client stub, if present.
     pub fn client(&self, id: ClientId) -> Option<&HostedClient> {
         self.clients.get(&id)
@@ -340,6 +347,9 @@ impl MobileBroker {
                     let _ = broker.handle_timer(token);
                 }
                 LoggedInput::CreateClient { client } => broker.create_client(client),
+                LoggedInput::BrokerDeath { dead } => {
+                    let _ = broker.handle_broker_death(dead);
+                }
             }
         }
         let timers = broker.rearm_timers();
@@ -498,9 +508,17 @@ impl MobileBroker {
     }
 
     fn route_next(&self, to: BrokerId) -> BrokerId {
-        self.topology
-            .next_hop(self.id(), to)
+        self.try_route_next(to)
             .expect("destination must be another broker in the topology")
+    }
+
+    /// Next hop toward `to`, or `None` when `to` is this broker or has
+    /// fallen out of the (possibly repaired) overlay. Movement
+    /// forwarding uses this so a broker death mid-protocol drops the
+    /// message instead of panicking; the endpoints' own death handling
+    /// resolves the transaction.
+    fn try_route_next(&self, to: BrokerId) -> Option<BrokerId> {
+        self.topology.next_hop(self.id(), to)
     }
 
     /// Converts routing-core effects into driver effects, routing
@@ -779,6 +797,10 @@ impl MobileBroker {
                     self.flush_pubsub_run(from, &mut run, &mut pre, &mut out);
                     out.extend(self.handle_move(from, mv));
                 }
+                Message::BrokerDeath { dead } => {
+                    self.flush_pubsub_run(from, &mut run, &mut pre, &mut out);
+                    out.extend(self.broker_death_apply(dead));
+                }
             }
         }
         self.flush_pubsub_run(from, &mut run, &mut pre, &mut out);
@@ -812,15 +834,25 @@ impl MobileBroker {
                 self.absorb(outs)
             }
             Message::Move(mv) => self.handle_move(from, mv),
+            Message::BrokerDeath { dead } => self.broker_death_apply(dead),
         }
     }
 
-    fn forward_move(&self, msg: MoveMsg) -> Vec<Output> {
+    fn forward_move(&mut self, msg: MoveMsg) -> Vec<Output> {
         let dest = msg.destination();
-        vec![Output::Send {
-            to: self.route_next(dest),
-            msg: Message::Move(msg),
-        }]
+        match self.try_route_next(dest) {
+            Some(next) => vec![Output::Send {
+                to: next,
+                msg: Message::Move(msg),
+            }],
+            None => {
+                // The destination fell out of the overlay (broker
+                // death): drop the message; the endpoints' death
+                // handling resolves the transaction.
+                self.anomalies += 1;
+                Vec::new()
+            }
+        }
     }
 
     fn handle_move(&mut self, from: Hop, msg: MoveMsg) -> Vec<Output> {
@@ -902,6 +934,12 @@ impl MobileBroker {
             self.anomalies += 1;
             return Vec::new();
         }
+        let Some(back) = self.try_route_next(source) else {
+            // The source died while its negotiate was in flight:
+            // there is no coordinator left to converse with.
+            self.anomalies += 1;
+            return Vec::new();
+        };
         self.tgt_moves.insert(
             m,
             TargetMove {
@@ -917,7 +955,6 @@ impl MobileBroker {
         self.core.attach_client(client);
         // Install the shadow routing configuration at the target
         // itself: the client's entries will point at the local client.
-        let back = self.route_next(source);
         for s in &profile.subs {
             self.core
                 .install_pending_sub(s, m, Hop::Client(client), Some(back));
@@ -948,11 +985,17 @@ impl MobileBroker {
         out
     }
 
-    fn forward_or_emit_toward(&self, dest: BrokerId, msg: MoveMsg) -> Vec<Output> {
-        vec![Output::Send {
-            to: self.route_next(dest),
-            msg: Message::Move(msg),
-        }]
+    fn forward_or_emit_toward(&mut self, dest: BrokerId, msg: MoveMsg) -> Vec<Output> {
+        match self.try_route_next(dest) {
+            Some(next) => vec![Output::Send {
+                to: next,
+                msg: Message::Move(msg),
+            }],
+            None => {
+                self.anomalies += 1;
+                Vec::new()
+            }
+        }
     }
 
     // ----- reconfiguration message, walked target → source ------------
@@ -976,7 +1019,13 @@ impl MobileBroker {
         // Intermediate broker: install shadow configuration pointing at
         // the target direction, perform the Sec. 4.4 PRT fix-ups, and
         // walk on toward the source.
-        let back = self.route_next(source);
+        let Some(back) = self.try_route_next(source) else {
+            // The source died while the reconfiguration message was
+            // walking toward it; the target's state timer aborts the
+            // movement.
+            self.anomalies += 1;
+            return Vec::new();
+        };
         let mut fixups = Vec::new();
         let mut outs: Vec<BrokerOutput> = Vec::new();
         for s in &profile.subs {
@@ -1122,16 +1171,24 @@ impl MobileBroker {
             let outs = self.core.commit_move(m);
             self.path_moves.remove(&m);
             let mut out = self.absorb(outs);
-            out.push(Output::Send {
-                to: self.route_next(target),
-                msg: Message::Move(MoveMsg::StateTransfer {
-                    m,
-                    client,
-                    source,
-                    target,
-                    snapshot,
+            match self.try_route_next(target) {
+                Some(next) => out.push(Output::Send {
+                    to: next,
+                    msg: Message::Move(MoveMsg::StateTransfer {
+                        m,
+                        client,
+                        source,
+                        target,
+                        snapshot,
+                    }),
                 }),
-            });
+                None => {
+                    // The target died mid-commit: the committed hops
+                    // stay consistent with the ones behind us; the
+                    // source's death handling resurrects the client.
+                    self.anomalies += 1;
+                }
+            }
             return out;
         }
         // Target: commit, start the client, ack.
@@ -1296,6 +1353,15 @@ impl MobileBroker {
         if self.id() == toward {
             if toward == source {
                 if let Some(rec) = self.src_moves.remove(&m) {
+                    if rec.state == SourceCoordState::Prepare {
+                        // The source already flipped its routing away
+                        // from the local client (commit pass sent, or
+                        // the covering protocol retracted the profile):
+                        // plain rollback cannot help because the
+                        // pendings are gone. Re-issue the profile so
+                        // the resurrected client is routable again.
+                        out.extend(self.reissue_profile(rec.client));
+                    }
                     out.extend(self.resume_client(rec.client));
                     out.push(Output::CancelTimer {
                         token: TimerToken {
@@ -1330,18 +1396,306 @@ impl MobileBroker {
                 }
             }
         } else {
-            out.push(Output::Send {
-                to: self.route_next(toward),
-                msg: Message::Move(MoveMsg::AbortMove {
+            out.extend(self.forward_or_emit_toward(
+                toward,
+                MoveMsg::AbortMove {
                     m,
                     client,
                     source,
                     target,
                     toward,
-                }),
+                },
+            ));
+        }
+        out
+    }
+
+    /// Re-issues a hosted client's full profile into the routing layer
+    /// (idempotent: the insert-or-adopt semantics of
+    /// `handle_subscribe`/`handle_advertise` flip surviving entries
+    /// back toward the client and re-propagate). Used when rolling
+    /// back a movement that already committed its source-side routing
+    /// flip.
+    fn reissue_profile(&mut self, client: ClientId) -> Vec<Output> {
+        let Some(stub) = self.clients.get(&client) else {
+            self.anomalies += 1;
+            return Vec::new();
+        };
+        let profile = stub.profile();
+        let mut outs: Vec<BrokerOutput> = Vec::new();
+        for s in &profile.subs {
+            outs.extend(
+                self.core
+                    .handle(Hop::Client(client), PubSubMsg::Subscribe(s.clone())),
+            );
+        }
+        for a in &profile.advs {
+            outs.extend(
+                self.core
+                    .handle(Hop::Client(client), PubSubMsg::Advertise(a.clone())),
+            );
+        }
+        self.absorb(outs)
+    }
+
+    // ----- overlay repair ------------------------------------------------
+
+    /// Declares `dead` permanently failed: repairs the local topology
+    /// copy (reconnecting the orphaned subtrees through the dead
+    /// broker's smallest-id neighbour), rebuilds the affected routing
+    /// state, resolves movement transactions that involved or crossed
+    /// the dead broker, and floods the death notice over every
+    /// surviving link — including the new repair edges, which is how
+    /// the notice crosses between the formerly separated subtrees.
+    ///
+    /// Idempotent: a broker that already repaired (or never knew
+    /// `dead`) does nothing, which terminates the flood. Logged
+    /// write-ahead like any other external input; replay re-derives
+    /// the repair deterministically from `(topology, dead)`.
+    pub fn handle_broker_death(&mut self, dead: BrokerId) -> Vec<Output> {
+        let outer = self.begin_input(|| LoggedInput::BrokerDeath { dead });
+        let out = self.broker_death_apply(dead);
+        self.end_input(outer);
+        out
+    }
+
+    fn broker_death_apply(&mut self, dead: BrokerId) -> Vec<Output> {
+        if dead == self.id() || !self.topology.contains(dead) {
+            return Vec::new();
+        }
+        // Keep the pre-repair overlay: movement resolution below needs
+        // to know which old routes crossed the dead broker.
+        let pre = Arc::clone(&self.topology);
+        let change = {
+            let topo = Arc::make_mut(&mut self.topology);
+            match topo.repair(dead) {
+                Ok(c) => c,
+                Err(_) => {
+                    self.anomalies += 1;
+                    return Vec::new();
+                }
+            }
+        };
+        let myid = self.id();
+        let new_peers: Vec<BrokerId> = change
+            .added_edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == myid {
+                    Some(b)
+                } else if b == myid {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let (core_outs, doomed) = self.core.repair_neighbors(dead, &new_peers);
+        let mut out = self.absorb(core_outs);
+        // Roll back the shadow configurations of movements whose
+        // reconfiguration path came through the dead broker. Endpoints
+        // resolve their coordinator records below instead.
+        for m in doomed {
+            if self.src_moves.contains_key(&m) || self.tgt_moves.contains_key(&m) {
+                continue;
+            }
+            let fixups = self
+                .path_moves
+                .remove(&m)
+                .map(|p| p.fixups)
+                .unwrap_or_default();
+            let mut outs = self.core.abort_move(m);
+            for (sid, n) in fixups {
+                outs.extend(self.core.prune_sub_link(sid, n));
+            }
+            out.extend(self.absorb(outs));
+        }
+        out.extend(self.resolve_moves_after_death(dead, &pre));
+        // Flood the notice over every surviving link.
+        let peers: Vec<BrokerId> = self.topology.neighbors(myid).iter().copied().collect();
+        for n in peers {
+            out.push(Output::Send {
+                to: n,
+                msg: Message::BrokerDeath { dead },
             });
         }
         out
+    }
+
+    /// Resolves this broker's movement coordinator records after
+    /// `dead` was removed from the overlay, using the `pre`-repair
+    /// topology to decide which transactions crossed it.
+    ///
+    /// Source side: a movement *toward* the dead broker, or whose path
+    /// crossed it, aborts as a negotiate timeout would — except that a
+    /// source already in `Prepare` with the *target itself* dead
+    /// resurrects the client locally (the copy died with the target,
+    /// so the single-instance guarantee holds). A source in `Prepare`
+    /// toward a surviving target is left alone: the target resolves it
+    /// (re-sent terminal message below, or its state timer).
+    ///
+    /// Target side: a copy whose source died before transferring state
+    /// is destroyed (the original still existed at the source when it
+    /// died). For a surviving source whose route crossed the dead
+    /// broker, the terminal message we may have lost with it —
+    /// `Ack`/`CovDone` after commit, `AbortMove` after a local abort —
+    /// is re-sent; both are idempotent at the source.
+    fn resolve_moves_after_death(&mut self, dead: BrokerId, pre: &Topology) -> Vec<Output> {
+        let myid = self.id();
+        let crossed = |other: BrokerId| {
+            other == dead || pre.route(myid, other).is_some_and(|r| r.contains(dead))
+        };
+        let mut out = Vec::new();
+        let src_ids: Vec<MoveId> = self
+            .src_moves
+            .iter()
+            .filter(|(_, r)| crossed(r.target))
+            .map(|(m, _)| *m)
+            .collect();
+        for m in src_ids {
+            // unwrap: ids collected from the map just above
+            let rec = self.src_moves.get(&m).unwrap().clone();
+            match rec.state {
+                SourceCoordState::Wait => {
+                    self.src_moves.remove(&m);
+                    let mut outs = self.core.abort_move(m);
+                    for (sid, n) in rec.fixups {
+                        outs.extend(self.core.prune_sub_link(sid, n));
+                    }
+                    out.extend(self.absorb(outs));
+                    out.push(Output::CancelTimer {
+                        token: TimerToken {
+                            m,
+                            kind: TimerKind::Negotiate,
+                        },
+                    });
+                    out.extend(self.resume_client(rec.client));
+                    out.push(Output::MoveFinished {
+                        m,
+                        client: rec.client,
+                        committed: false,
+                    });
+                    out.extend(self.sweep_abort(m, rec.client, myid, rec.target, dead, pre));
+                }
+                SourceCoordState::Prepare if rec.target == dead => {
+                    self.src_moves.remove(&m);
+                    let mut outs = self.core.abort_move(m);
+                    for (sid, n) in rec.fixups {
+                        outs.extend(self.core.prune_sub_link(sid, n));
+                    }
+                    out.extend(self.absorb(outs));
+                    out.extend(self.reissue_profile(rec.client));
+                    out.extend(self.resume_client(rec.client));
+                    out.push(Output::MoveFinished {
+                        m,
+                        client: rec.client,
+                        committed: false,
+                    });
+                    out.extend(self.sweep_abort(m, rec.client, myid, rec.target, dead, pre));
+                }
+                _ => {}
+            }
+        }
+        let tgt_ids: Vec<MoveId> = self
+            .tgt_moves
+            .iter()
+            .filter(|(_, r)| crossed(r.source))
+            .map(|(m, _)| *m)
+            .collect();
+        for m in tgt_ids {
+            // unwrap: ids collected from the map just above
+            let rec = self.tgt_moves.get(&m).unwrap().clone();
+            if rec.source == dead {
+                if rec.state == TargetCoordState::Prepare {
+                    self.tgt_moves.remove(&m);
+                    self.clients.remove(&rec.client);
+                    self.core.detach_client(rec.client);
+                    let outs = self.core.abort_move(m);
+                    out.extend(self.absorb(outs));
+                    out.push(Output::CancelTimer {
+                        token: TimerToken {
+                            m,
+                            kind: TimerKind::State,
+                        },
+                    });
+                    out.extend(self.sweep_abort(m, rec.client, rec.source, myid, dead, pre));
+                }
+                // Commit: the client runs here; the source can no
+                // longer clean up, which is fine — it is gone.
+            } else {
+                match rec.state {
+                    TargetCoordState::Commit => {
+                        let msg = match rec.protocol {
+                            ProtocolKind::Reconfig => MoveMsg::Ack {
+                                m,
+                                source: rec.source,
+                                target: myid,
+                            },
+                            ProtocolKind::Covering => MoveMsg::CovDone {
+                                m,
+                                source: rec.source,
+                                target: myid,
+                            },
+                        };
+                        out.extend(self.forward_or_emit_toward(rec.source, msg));
+                    }
+                    TargetCoordState::Abort => {
+                        out.extend(self.forward_or_emit_toward(
+                            rec.source,
+                            MoveMsg::AbortMove {
+                                m,
+                                client: rec.client,
+                                source: rec.source,
+                                target: myid,
+                                toward: rec.source,
+                            },
+                        ));
+                    }
+                    TargetCoordState::Prepare | TargetCoordState::Init => {} // state timer pending
+                }
+            }
+        }
+        out
+    }
+
+    /// Emits the abort pass for movement `m` down the surviving part
+    /// of the *old* route toward `far` (the remote end of the
+    /// transaction). When `far` is the dead broker itself the pass
+    /// stops at the last surviving broker before it; otherwise it runs
+    /// to `far` over the repaired overlay, which contains every
+    /// survivor of the old path (the repair replaces the dead broker
+    /// with at most its anchor neighbour).
+    fn sweep_abort(
+        &mut self,
+        m: MoveId,
+        client: ClientId,
+        source: BrokerId,
+        target: BrokerId,
+        dead: BrokerId,
+        pre: &Topology,
+    ) -> Vec<Output> {
+        let far = if source == self.id() { target } else { source };
+        let toward = if far == dead {
+            match pre.route(self.id(), far).and_then(|r| r.pre(dead)) {
+                Some(x) if x != self.id() => x,
+                _ => return Vec::new(),
+            }
+        } else {
+            far
+        };
+        if !self.topology.contains(toward) {
+            return Vec::new();
+        }
+        self.forward_or_emit_toward(
+            toward,
+            MoveMsg::AbortMove {
+                m,
+                client,
+                source,
+                target,
+                toward,
+            },
+        )
     }
 
     // ----- timers --------------------------------------------------------

@@ -45,6 +45,12 @@ pub struct BrokerSnapshot {
     pub moves: MovesSnapshot,
     /// Movement-id allocation counter.
     pub next_move_seq: u32,
+    /// The overlay topology as this broker saw it at checkpoint time.
+    /// Brokers repair their topology copy on broker death, so a
+    /// checkpoint taken after a repair must restore the repaired
+    /// overlay, not the one the restoring site was configured with.
+    /// `None` falls back to the restoring site's topology.
+    pub topology: Option<Topology>,
 }
 
 /// Serialized movement bookkeeping (source/target/path records).
@@ -69,6 +75,7 @@ impl MobileBroker {
                 .collect(),
             moves: self.moves_snapshot(),
             next_move_seq: self.next_move_seq_value(),
+            topology: Some(self.topology().clone()),
         }
     }
 
@@ -84,6 +91,10 @@ impl MobileBroker {
         snapshot: BrokerSnapshot,
     ) -> MobileBroker {
         let id = snapshot.core.id();
+        let topology = match snapshot.topology {
+            Some(t) => Arc::new(t),
+            None => topology,
+        };
         assert!(
             topology.contains(id),
             "snapshot broker {id} not in topology"
@@ -142,8 +153,27 @@ mod tests {
             Arc::clone(&topo),
             MobileBrokerConfig::reconfig(),
         );
-        let snap = b.snapshot();
+        // A legacy snapshot (no stored topology) falls back to the
+        // restoring site's overlay, which must contain the broker.
+        let mut snap = b.snapshot();
+        snap.topology = None;
         let other = Arc::new(Topology::chain(2));
         let _ = MobileBroker::restore(other, MobileBrokerConfig::reconfig(), snap);
+    }
+
+    #[test]
+    fn restore_prefers_the_snapshotted_topology() {
+        let topo = Arc::new(Topology::chain(4));
+        let b = MobileBroker::new(
+            BrokerId(3),
+            Arc::clone(&topo),
+            MobileBrokerConfig::reconfig(),
+        );
+        let snap = b.snapshot();
+        // The restoring site hands in a stale overlay; the snapshot's
+        // own (possibly repaired) copy wins.
+        let stale = Arc::new(Topology::chain(3));
+        let restored = MobileBroker::restore(stale, MobileBrokerConfig::reconfig(), snap);
+        assert_eq!(restored.topology().len(), 4);
     }
 }

@@ -2,7 +2,8 @@
 //! family and the unified [`Message`] envelope.
 //!
 //! Tag bytes are part of the wire contract (DESIGN.md §13) and must
-//! never be renumbered. `Message`: 0 PubSub, 1 Move. `MoveMsg`: the
+//! never be renumbered. `Message`: 0 PubSub, 1 Move, 2 BrokerDeath.
+//! `MoveMsg`: the
 //! variants in declaration order, 0 Negotiate … 9 CovDone. `ClientOp`:
 //! declaration order, 0 Subscribe … 7 MoveTo. `ProtocolKind`:
 //! 0 Reconfig, 1 Covering.
@@ -311,12 +312,19 @@ impl Wire for Message {
                 w.byte(1);
                 m.enc(w);
             }
+            Message::BrokerDeath { dead } => {
+                w.byte(2);
+                dead.enc(w);
+            }
         }
     }
     fn dec(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         match r.byte()? {
             0 => Ok(Message::PubSub(PubSubMsg::dec(r)?)),
             1 => Ok(Message::Move(MoveMsg::dec(r)?)),
+            2 => Ok(Message::BrokerDeath {
+                dead: BrokerId::dec(r)?,
+            }),
             t => Err(WireError(format!("unknown message tag {t}"))),
         }
     }
@@ -436,6 +444,13 @@ mod tests {
             let bytes = encode_one(&env);
             assert_eq!(decode_one::<Message>(&bytes).expect("decode"), env);
         }
+    }
+
+    #[test]
+    fn broker_death_round_trips() {
+        let env = Message::BrokerDeath { dead: BrokerId(7) };
+        let bytes = encode_one(&env);
+        assert_eq!(decode_one::<Message>(&bytes).expect("decode"), env);
     }
 
     #[test]

@@ -67,12 +67,18 @@ use transmob_pubsub::{BrokerId, ClientId, Filter, Publication, PublicationMsg};
 use crate::codec::{Frame, FrameDecoder, FrameEncoder, ReadError, WireMode};
 use crate::MoveOutcome;
 
-/// Heartbeat period: each broker pings every live link this often.
+/// Default heartbeat period: each broker pings every live link this
+/// often ([`TcpOptions::heartbeat_interval`]).
 pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(50);
-/// First redial delay after a link drops.
+/// Default first redial delay after a link drops
+/// ([`TcpOptions::redial_base`]).
 pub const REDIAL_BASE: Duration = Duration::from_millis(25);
-/// Redial backoff ceiling.
+/// Default redial backoff ceiling ([`TcpOptions::redial_cap`]).
 pub const REDIAL_CAP: Duration = Duration::from_millis(400);
+/// Default silence threshold for broker-death suspicion
+/// ([`TcpOptions::failure_timeout`]; only consulted when
+/// [`TcpOptions::suspicion_after`] is set).
+pub const FAILURE_TIMEOUT: Duration = Duration::from_secs(2);
 /// Handshake read deadline (a half-open peer must not wedge a dialer).
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
 
@@ -94,17 +100,71 @@ pub struct TcpOptions {
     /// control and movement-protocol frames are never dropped, even if
     /// that means exceeding the mark.
     pub down_queue_hwm: usize,
+    /// Heartbeat period (default [`HEARTBEAT_INTERVAL`]). The probe
+    /// doubles as write-path failure detection, so this bounds how
+    /// long a silent peer death goes unnoticed by the sender side.
+    pub heartbeat_interval: Duration,
+    /// First redial delay after a link drops (default [`REDIAL_BASE`]).
+    pub redial_base: Duration,
+    /// Redial backoff ceiling (default [`REDIAL_CAP`]). Jitter never
+    /// pushes a delay past it.
+    pub redial_cap: Duration,
+    /// How long a down link's inbound silence lasts before the
+    /// surviving endpoint *suspects the peer broker is permanently
+    /// dead* (default [`FAILURE_TIMEOUT`]). Only consulted when
+    /// [`TcpOptions::suspicion_after`] is set; it is the acceptor
+    /// side's detector — the dialer side detects by redial exhaustion.
+    pub failure_timeout: Duration,
+    /// Consecutive failed redials after which the dialer promotes the
+    /// link failure to broker-death suspicion and triggers the overlay
+    /// self-repair (`MobileBroker::handle_broker_death`). `None` (the
+    /// default) disables suspicion entirely: links queue and redial
+    /// forever, which is the right model when every outage is a
+    /// crash/restart rather than churn.
+    pub suspicion_after: Option<u32>,
 }
 
 impl Default for TcpOptions {
     /// Binary framing (JSON when `TRANSMOB_WIRE=json`, the debug/CI
-    /// differential mode) and [`DEFAULT_DOWN_QUEUE_HWM`].
+    /// differential mode), [`DEFAULT_DOWN_QUEUE_HWM`], today's timing
+    /// constants, and suspicion disabled.
     fn default() -> Self {
         TcpOptions {
             wire: WireMode::from_env(),
             down_queue_hwm: DEFAULT_DOWN_QUEUE_HWM,
+            heartbeat_interval: HEARTBEAT_INTERVAL,
+            redial_base: REDIAL_BASE,
+            redial_cap: REDIAL_CAP,
+            failure_timeout: FAILURE_TIMEOUT,
+            suspicion_after: None,
         }
     }
+}
+
+/// The `attempt`-th redial delay (0-based): capped exponential backoff
+/// with deterministic *equal jitter* — the envelope doubles from
+/// `base` up to `cap`, and the delay is drawn uniformly from the upper
+/// half `[envelope/2, envelope]` of it, so concurrently dropped links
+/// (a broker death severs every link at once) spread their dial storms
+/// instead of knocking in lockstep.
+///
+/// Pure and seed-deterministic: the same `(base, cap, attempt, seed)`
+/// always yields the same delay, which is what lets the backoff
+/// schedule be regression-tested as a value.
+pub fn redial_delay(base: Duration, cap: Duration, attempt: u32, seed: u64) -> Duration {
+    let envelope = base
+        .saturating_mul(1u32 << attempt.min(20))
+        .min(cap)
+        .max(Duration::from_nanos(1));
+    let half = envelope / 2;
+    // splitmix64 of (seed, attempt): cheap, stateless, well-mixed.
+    let mut z = seed ^ (u64::from(attempt)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let jitter = Duration::from_nanos(z % (half.as_nanos().max(1) as u64));
+    (half + jitter).min(cap)
 }
 
 /// Counters for one link endpoint, surviving reconnects (they belong
@@ -116,6 +176,7 @@ struct LinkStatCells {
     serialize_failures: AtomicU64,
     decode_failures: AtomicU64,
     dropped_publications: AtomicU64,
+    connects: AtomicU64,
     down_reason: Mutex<Option<String>>,
 }
 
@@ -139,6 +200,11 @@ pub struct LinkStats {
     /// Publications dropped from the down-queue by the high-water
     /// mark ([`TcpOptions::down_queue_hwm`]).
     pub dropped_publications: u64,
+    /// Connections installed on this endpoint (initial dial plus every
+    /// reconnect). Exactly one per link generation — a stale dialer or
+    /// reader from a superseded generation can neither install nor
+    /// tear down, so churn tests can pin this count.
+    pub connects: u64,
     /// Why the link last went down (`None` if it never did).
     pub down_reason: Option<String>,
 }
@@ -202,6 +268,14 @@ struct Link {
     state: Mutex<LinkState>,
     /// When a frame (of any kind) last arrived from the peer.
     last_heard: Mutex<Instant>,
+    /// The link's generation: bumped under the state lock whenever a
+    /// new connection is installed or the state is forcibly reset
+    /// (kill, shutdown). Redial threads and readers capture the
+    /// generation they were spawned for and stand down when it has
+    /// moved on — this is what makes "exactly one dialer, exactly one
+    /// authoritative connection per link" hold across kill/restart
+    /// races.
+    generation: AtomicU64,
     stats: LinkStatCells,
 }
 
@@ -210,6 +284,7 @@ impl Link {
         Link {
             state: Mutex::new(LinkState::fresh_down()),
             last_heard: Mutex::new(Instant::now()),
+            generation: AtomicU64::new(0),
             stats: LinkStatCells::default(),
         }
     }
@@ -266,13 +341,22 @@ struct Shared {
     inputs: RwLock<BTreeMap<BrokerId, Sender<Input>>>,
     registry: RwLock<Registry>,
     /// `links[owner][peer]`: owner's endpoint of the owner–peer edge.
-    links: BTreeMap<BrokerId, BTreeMap<BrokerId, Arc<Link>>>,
+    /// Starts as the static overlay's edge set; overlay self-repair
+    /// adds endpoints for the new repair edges at runtime (lock order:
+    /// this map's lock strictly before any `Link::state` mutex).
+    links: RwLock<BTreeMap<BrokerId, BTreeMap<BrokerId, Arc<Link>>>>,
     /// Every broker's listener address (stable across kill/restart —
     /// the "machine" keeps its port, only the process dies).
     addrs: BTreeMap<BrokerId, SocketAddr>,
     /// Brokers currently killed: their acceptor refuses connections
     /// and their links neither flush nor redial.
     down: RwLock<BTreeSet<BrokerId>>,
+    /// Brokers suspected permanently dead (redial exhaustion or
+    /// heartbeat silence past [`TcpOptions::failure_timeout`], or a
+    /// `BrokerDeath` flood notice). A suspected broker's links stop
+    /// redialing and it cannot rejoin — the overlay has repaired
+    /// around it.
+    suspected: RwLock<BTreeSet<BrokerId>>,
     shutting_down: AtomicBool,
     /// Heartbeats received, per broker (failure-detector liveness).
     pings: BTreeMap<BrokerId, AtomicU64>,
@@ -392,9 +476,10 @@ impl TcpNetwork {
             options,
             inputs: RwLock::new(inputs),
             registry: RwLock::new(Registry::default()),
-            links,
+            links: RwLock::new(links),
             addrs,
             down: RwLock::new(BTreeSet::new()),
+            suspected: RwLock::new(BTreeSet::new()),
             shutting_down: AtomicBool::new(false),
             pings,
             aux_threads: Mutex::new(Vec::new()),
@@ -415,7 +500,7 @@ impl TcpNetwork {
         // side redials after failures). The acceptors are already up,
         // so one synchronous attempt per edge suffices here.
         for (a, b) in topology.edges() {
-            dial_link(&shared, a, b)?;
+            dial_link(&shared, a, b, None)?;
         }
         // Phase 3: broker threads (from here on `net`'s Drop handles
         // cleanup if a later spawn fails).
@@ -489,18 +574,23 @@ impl TcpNetwork {
     /// Whether `owner`'s endpoint of the link to `peer` is currently
     /// connected (failure-detector view).
     pub fn link_up(&self, owner: BrokerId, peer: BrokerId) -> bool {
-        self.shared
-            .links
-            .get(&owner)
-            .and_then(|m| m.get(&peer))
+        link_of(&self.shared, owner, peer)
             .is_some_and(|l| matches!(*l.state.lock(), LinkState::Up { .. }))
     }
 
     /// How long ago `owner` last heard anything (heartbeat or protocol
     /// frame) from `peer`.
     pub fn peer_silence(&self, owner: BrokerId, peer: BrokerId) -> Option<Duration> {
-        let link = self.shared.links.get(&owner)?.get(&peer)?;
-        Some(link.last_heard.lock().elapsed())
+        let link = link_of(&self.shared, owner, peer)?;
+        let at = *link.last_heard.lock();
+        Some(at.elapsed())
+    }
+
+    /// Brokers this overlay suspects permanently dead (the overlay has
+    /// self-repaired around them). Empty unless
+    /// [`TcpOptions::suspicion_after`] is set.
+    pub fn suspected(&self) -> BTreeSet<BrokerId> {
+        self.shared.suspected.read().clone()
     }
 
     /// Total heartbeats `broker` has received from its neighbours.
@@ -524,15 +614,17 @@ impl TcpNetwork {
     /// Counters for `owner`'s endpoint of the link to `peer`. The
     /// counters belong to the edge and survive reconnects.
     pub fn link_stats(&self, owner: BrokerId, peer: BrokerId) -> Option<LinkStats> {
-        let link = self.shared.links.get(&owner)?.get(&peer)?;
+        let link = link_of(&self.shared, owner, peer)?;
         let s = &link.stats;
+        let down_reason = s.down_reason.lock().clone();
         Some(LinkStats {
             frames_sent: s.frames_sent.load(Ordering::Relaxed),
             flushes: s.flushes.load(Ordering::Relaxed),
             serialize_failures: s.serialize_failures.load(Ordering::Relaxed),
             decode_failures: s.decode_failures.load(Ordering::Relaxed),
             dropped_publications: s.dropped_publications.load(Ordering::Relaxed),
-            down_reason: s.down_reason.lock().clone(),
+            connects: s.connects.load(Ordering::Relaxed),
+            down_reason,
         })
     }
 
@@ -555,16 +647,26 @@ impl TcpNetwork {
         if let Some(old_tx) = old {
             let _ = old_tx.send(Input::Shutdown);
         }
-        // Sever every link endpoint; drop anything it had queued.
-        if let Some(peers) = self.shared.links.get(&broker) {
-            for link in peers.values() {
-                let mut st = link.state.lock();
-                if let LinkState::Up { sock, .. } = &*st {
-                    let _ = sock.shutdown(std::net::Shutdown::Both);
-                }
-                link.note_down("broker killed");
-                *st = LinkState::fresh_down();
+        // Sever every link endpoint; drop anything it had queued. The
+        // generation bump (under the state lock) retires any redial
+        // thread or reader still running for the old process — this is
+        // what prevents a stale dialer surviving the kill from racing
+        // the restart's fresh one.
+        let peers: Vec<Arc<Link>> = self
+            .shared
+            .links
+            .read()
+            .get(&broker)
+            .map(|m| m.values().cloned().collect())
+            .unwrap_or_default();
+        for link in peers {
+            let mut st = link.state.lock();
+            if let LinkState::Up { sock, .. } = &*st {
+                let _ = sock.shutdown(std::net::Shutdown::Both);
             }
+            link.generation.fetch_add(1, Ordering::SeqCst);
+            link.note_down("broker killed");
+            *st = LinkState::fresh_down();
         }
         if let Some(h) = self.broker_handles.lock().remove(&broker) {
             let _ = h.join();
@@ -587,6 +689,15 @@ impl TcpNetwork {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("broker {broker} is not killed"),
+            ));
+        }
+        if self.shared.suspected.read().contains(&broker) {
+            // The overlay declared it dead and repaired around it; its
+            // old edges no longer exist. Coming back is a *join*, not a
+            // restart.
+            return Err(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                format!("broker {broker} was excised by overlay self-repair"),
             ));
         }
         let log = Arc::clone(&self.wals[&broker]);
@@ -623,10 +734,18 @@ impl TcpNetwork {
         })?;
         self.shared.down.write().remove(&broker);
         self.spawn_broker(broker, recovered, timer_outs, rx)?;
-        // Rejoin the overlay: redial the edges this broker dials;
-        // for the rest, the surviving dialer's backoff loop is already
-        // knocking and will get through now that the acceptor answers.
-        for &n in self.shared.topology.neighbors(broker) {
+        // Rejoin the overlay: redial the edges this broker dials (its
+        // current link map — repair edges included); for the rest, the
+        // surviving dialer's backoff loop is already knocking and will
+        // get through now that the acceptor answers.
+        let peers: Vec<BrokerId> = self
+            .shared
+            .links
+            .read()
+            .get(&broker)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        for n in peers {
             if broker < n {
                 maybe_redial(&self.shared, broker, n);
             }
@@ -645,14 +764,20 @@ impl TcpNetwork {
         for tx in self.shared.inputs.read().values() {
             let _ = tx.send(Input::Shutdown);
         }
-        for peers in self.shared.links.values() {
-            for link in peers.values() {
-                let mut st = link.state.lock();
-                if let LinkState::Up { sock, .. } = &*st {
-                    let _ = sock.shutdown(std::net::Shutdown::Both);
-                }
-                *st = LinkState::fresh_down();
+        let all_links: Vec<Arc<Link>> = self
+            .shared
+            .links
+            .read()
+            .values()
+            .flat_map(|m| m.values().cloned())
+            .collect();
+        for link in all_links {
+            let mut st = link.state.lock();
+            if let LinkState::Up { sock, .. } = &*st {
+                let _ = sock.shutdown(std::net::Shutdown::Both);
             }
+            link.generation.fetch_add(1, Ordering::SeqCst);
+            *st = LinkState::fresh_down();
         }
         // Wake each acceptor so it can observe the flag and exit.
         for addr in self.shared.addrs.values() {
@@ -760,8 +885,32 @@ impl TcpClient {
 // Link management
 // ---------------------------------------------------------------------
 
-fn link_of(shared: &Shared, owner: BrokerId, peer: BrokerId) -> Option<&Arc<Link>> {
-    shared.links.get(&owner).and_then(|m| m.get(&peer))
+fn link_of(shared: &Shared, owner: BrokerId, peer: BrokerId) -> Option<Arc<Link>> {
+    shared
+        .links
+        .read()
+        .get(&owner)
+        .and_then(|m| m.get(&peer))
+        .cloned()
+}
+
+/// `link_of`, creating the endpoint if it does not exist yet. Overlay
+/// self-repair adds edges that were not in the static topology; the
+/// endpoints for them materialize lazily — on the anchor side when the
+/// repair outputs are dispatched, on the far side when the anchor's
+/// dial arrives.
+fn ensure_link(shared: &Shared, owner: BrokerId, peer: BrokerId) -> Arc<Link> {
+    if let Some(link) = link_of(shared, owner, peer) {
+        return link;
+    }
+    let mut links = shared.links.write();
+    Arc::clone(
+        links
+            .entry(owner)
+            .or_default()
+            .entry(peer)
+            .or_insert_with(|| Arc::new(Link::new_down())),
+    )
 }
 
 /// Writes one protocol-message frame on `owner`'s link to `peer`
@@ -770,10 +919,10 @@ fn link_of(shared: &Shared, owner: BrokerId, peer: BrokerId) -> Option<&Arc<Link
 /// messages queue un-encoded (the binary string table belongs to a
 /// single connection), bounded by the down-queue high-water mark.
 fn send_msgs(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId, msgs: Vec<Message>) {
-    let Some(link) = link_of(shared, owner, peer) else {
-        return;
-    };
-    let went_down = {
+    // Auto-vivify: repair edges are not in the static link map; the
+    // first frame the repair routes over one creates the endpoint.
+    let link = ensure_link(shared, owner, peer);
+    let kick = {
         let mut st = link.state.lock();
         match &mut *st {
             LinkState::Up {
@@ -781,6 +930,7 @@ fn send_msgs(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId, msgs: Vec<Me
                 sock,
                 enc,
                 pending,
+                ..
             } => {
                 let frame = Frame::Msg {
                     from: owner.0,
@@ -847,11 +997,13 @@ fn send_msgs(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId, msgs: Vec<Me
                     msgs,
                     shared.options.down_queue_hwm,
                 );
-                false
+                // A static edge already has a dialer knocking; a fresh
+                // repair edge does not — kick one (no-op when one runs).
+                true
             }
         }
     };
-    if went_down {
+    if kick {
         maybe_redial(shared, owner, peer);
     }
 }
@@ -872,6 +1024,7 @@ fn send_ping(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
                 sock,
                 enc,
                 pending,
+                ..
             } => {
                 let frame = Frame::Ping { from: owner.0 };
                 let write_ok = match enc.encode(&frame) {
@@ -959,12 +1112,26 @@ fn flush_link(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
 /// recording `reason` so chaos tests can assert *why* the link died,
 /// and kicks the redial loop if this endpoint is the dialer. Frames
 /// written but not yet flushed move to the down-queue for resend.
-fn mark_link_down(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId, reason: &str) {
+///
+/// `generation` is the connection the caller observed dying: if the
+/// link has since moved on (a newer connection was installed, or a
+/// kill reset the state), the stale teardown is a no-op — a reader
+/// from a superseded socket must not kill its healthy successor.
+fn mark_link_down(
+    shared: &Arc<Shared>,
+    owner: BrokerId,
+    peer: BrokerId,
+    reason: &str,
+    generation: u64,
+) {
     let Some(link) = link_of(shared, owner, peer) else {
         return;
     };
     {
         let mut st = link.state.lock();
+        if link.generation.load(Ordering::SeqCst) != generation {
+            return;
+        }
         if let LinkState::Up { sock, pending, .. } = &mut *st {
             let _ = sock.shutdown(std::net::Shutdown::Both);
             let queued: VecDeque<Message> = std::mem::take(pending).into();
@@ -981,18 +1148,29 @@ fn mark_link_down(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId, reason:
 }
 
 /// Starts a redial thread for the (owner → peer) link if owner is the
-/// edge's dialer, the link is down, and no redialer is running yet.
+/// edge's dialer, the link is down, no redialer is running yet, and
+/// the peer is not suspected dead.
+///
+/// The thread captures the link generation it was authorized under;
+/// every wake-up re-validates it, so a dialer stranded in a backoff
+/// sleep across a kill/restart of `owner` stands down instead of
+/// racing the restart's fresh dialer (the duplicate used to install a
+/// second connection whose leftover reader then tore down the healthy
+/// one).
 fn maybe_redial(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
     if owner > peer {
         return; // the peer dials this edge
     }
-    if shared.shutting_down.load(Ordering::SeqCst) || shared.down.read().contains(&owner) {
+    if shared.shutting_down.load(Ordering::SeqCst)
+        || shared.down.read().contains(&owner)
+        || shared.suspected.read().contains(&peer)
+    {
         return;
     }
     let Some(link) = link_of(shared, owner, peer) else {
         return;
     };
-    {
+    let my_gen = {
         let mut st = link.state.lock();
         match &mut *st {
             LinkState::Down { redialing, .. } => {
@@ -1003,30 +1181,64 @@ fn maybe_redial(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
             }
             LinkState::Up { .. } => return,
         }
-    }
+        link.generation.load(Ordering::SeqCst)
+    };
     let shared2 = Arc::clone(shared);
+    // The jitter seed only has to decorrelate the links of one
+    // process; edge identity plus generation does that and keeps runs
+    // reproducible.
+    let seed = (u64::from(owner.0) << 40) ^ (u64::from(peer.0) << 20) ^ my_gen;
     let handle = std::thread::Builder::new()
         .name(format!("tcp-redial-{owner}-{peer}"))
         .spawn(move || {
-            let mut delay = REDIAL_BASE;
-            loop {
-                std::thread::sleep(delay);
-                if shared2.shutting_down.load(Ordering::SeqCst)
-                    || shared2.down.read().contains(&owner)
-                {
-                    // Give up; clear the flag so a later restart can
-                    // start a fresh redialer.
-                    if let Some(link) = link_of(&shared2, owner, peer) {
-                        if let LinkState::Down { redialing, .. } = &mut *link.state.lock() {
+            let opts = &shared2.options;
+            let mut attempt = 0u32;
+            // Clears the redial flag iff this thread still owns it.
+            let stand_down = |shared: &Arc<Shared>| {
+                if let Some(link) = link_of(shared, owner, peer) {
+                    let mut st = link.state.lock();
+                    if link.generation.load(Ordering::SeqCst) == my_gen {
+                        if let LinkState::Down { redialing, .. } = &mut *st {
                             *redialing = false;
                         }
                     }
+                }
+            };
+            loop {
+                std::thread::sleep(redial_delay(
+                    opts.redial_base,
+                    opts.redial_cap,
+                    attempt,
+                    seed,
+                ));
+                attempt += 1;
+                if shared2.shutting_down.load(Ordering::SeqCst)
+                    || shared2.down.read().contains(&owner)
+                    || shared2.suspected.read().contains(&peer)
+                {
+                    stand_down(&shared2);
                     return;
                 }
-                if dial_link(&shared2, owner, peer).is_ok() {
+                // A kill/restart (or a competing install) moved the
+                // link to a new generation: this dialer is stale.
+                let Some(link) = link_of(&shared2, owner, peer) else {
+                    return;
+                };
+                if link.generation.load(Ordering::SeqCst) != my_gen {
+                    return;
+                }
+                if dial_link(&shared2, owner, peer, Some(my_gen)).is_ok() {
                     return; // install_link cleared the flag
                 }
-                delay = (delay * 2).min(REDIAL_CAP);
+                if let Some(limit) = opts.suspicion_after {
+                    if attempt >= limit {
+                        // Redial exhaustion: promote the dead link to a
+                        // dead *broker* and let the overlay self-repair.
+                        stand_down(&shared2);
+                        suspect_broker(&shared2, owner, peer);
+                        return;
+                    }
+                }
             }
         });
     match handle {
@@ -1039,12 +1251,38 @@ fn maybe_redial(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) {
     }
 }
 
+/// Promotes a suspicion into the protocol: marks `dead` suspected
+/// (first detector wins — the `BrokerDeath` flood reaches everyone
+/// else) and injects the death notice into `owner`'s own input queue,
+/// where the broker runs `MobileBroker::handle_broker_death`: repair
+/// the topology copy, rebuild routing state, resolve crossed
+/// movements, flood the notice — including over fresh repair edges,
+/// whose TCP links materialize on first send.
+fn suspect_broker(shared: &Arc<Shared>, owner: BrokerId, dead: BrokerId) {
+    if !shared.suspected.write().insert(dead) {
+        return; // already suspected; the flood is doing its job
+    }
+    if let Some(tx) = shared.inputs.read().get(&owner) {
+        let _ = tx.send(Input::FromBroker(dead, vec![Message::BrokerDeath { dead }]));
+    }
+}
+
 /// Dials `peer` on behalf of `owner` and installs the connection.
 /// Handshake: dialer sends its broker id and wire-mode token, acceptor
 /// answers `ok` only if its broker process is actually up and the
 /// codec matches — so queued frames are never flushed into a dead (or
 /// differently-framed) peer.
-fn dial_link(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) -> io::Result<()> {
+///
+/// `expect_generation` (redial path) makes the install conditional: if
+/// the link's generation moved while the dial was in flight (owner
+/// killed, competing install), the fresh socket is discarded instead
+/// of installed on behalf of a world that no longer exists.
+fn dial_link(
+    shared: &Arc<Shared>,
+    owner: BrokerId,
+    peer: BrokerId,
+    expect_generation: Option<u64>,
+) -> io::Result<()> {
     let stream = TcpStream::connect(shared.addrs[&peer])?;
     stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
     {
@@ -1077,7 +1315,7 @@ fn dial_link(shared: &Arc<Shared>, owner: BrokerId, peer: BrokerId) -> io::Resul
         ));
     }
     stream.set_read_timeout(None)?;
-    install_link(shared, owner, peer, stream)
+    install_link(shared, owner, peer, stream, expect_generation)
 }
 
 /// How many queued messages a reconnect packs into one frame when it
@@ -1099,23 +1337,29 @@ fn install_link(
     owner: BrokerId,
     peer: BrokerId,
     stream: TcpStream,
+    expect_generation: Option<u64>,
 ) -> io::Result<()> {
-    let Some(link) = link_of(shared, owner, peer) else {
-        return Err(io::Error::new(
-            io::ErrorKind::NotFound,
-            format!("no link {owner}–{peer}"),
-        ));
-    };
+    let link = ensure_link(shared, owner, peer);
     let reader_stream = stream.try_clone()?;
     let sock = stream.try_clone()?;
+    let reader_generation;
     {
         let mut st = link.state.lock();
         // Checked under the link lock: `stop` sets the flag before its
         // sever pass takes these locks, so no connection can slip in
         // after the pass and leave a reader blocked on a live socket.
-        if shared.shutting_down.load(Ordering::SeqCst) {
+        if shared.shutting_down.load(Ordering::SeqCst) || shared.down.read().contains(&owner) {
             let _ = sock.shutdown(std::net::Shutdown::Both);
             return Err(io::Error::new(io::ErrorKind::Interrupted, "shutting down"));
+        }
+        if let Some(expect) = expect_generation {
+            if link.generation.load(Ordering::SeqCst) != expect {
+                let _ = sock.shutdown(std::net::Shutdown::Both);
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "link generation moved during dial",
+                ));
+            }
         }
         let mut queued = match std::mem::replace(&mut *st, LinkState::fresh_down()) {
             LinkState::Up {
@@ -1178,6 +1422,10 @@ fn install_link(
         if frames > 0 {
             link.stats.flushes.fetch_add(1, Ordering::Relaxed);
         }
+        link.stats.connects.fetch_add(1, Ordering::Relaxed);
+        // New connection, new generation: retires any reader or dialer
+        // of the previous one.
+        reader_generation = link.generation.fetch_add(1, Ordering::SeqCst) + 1;
         *st = LinkState::Up {
             w,
             sock,
@@ -1186,7 +1434,7 @@ fn install_link(
         };
         *link.last_heard.lock() = Instant::now();
     }
-    spawn_reader(shared, owner, peer, reader_stream)
+    spawn_reader(shared, owner, peer, reader_stream, reader_generation)
 }
 
 /// Reads frames from one socket (in the overlay's wire mode) and
@@ -1199,6 +1447,7 @@ fn spawn_reader(
     owner: BrokerId,
     peer: BrokerId,
     stream: TcpStream,
+    generation: u64,
 ) -> io::Result<()> {
     // Snapshot the current input sender: a reader that outlives a
     // kill/restart must not feed the reborn broker from a stale
@@ -1243,7 +1492,7 @@ fn spawn_reader(
                 }
             };
             if !shared2.shutting_down.load(Ordering::SeqCst) {
-                mark_link_down(&shared2, owner, peer, &reason);
+                mark_link_down(&shared2, owner, peer, &reason, generation);
             }
         })
         .map_err(|e| io::Error::new(e.kind(), format!("spawn reader for {owner}: {e}")))?;
@@ -1288,11 +1537,18 @@ fn spawn_acceptor(shared: &Arc<Shared>, owner: BrokerId, listener: TcpListener) 
                     continue;
                 }
             }
-            if !shared2.topology.neighbors(owner).contains(&peer) {
-                continue; // not an overlay edge (or a shutdown wake-up)
+            // Any broker of this overlay may dial in: overlay
+            // self-repair creates edges the static topology never had,
+            // and the anchor's dial for one must not be refused. A
+            // shutdown wake-up (no valid id) still falls out here.
+            if peer == owner || !shared2.addrs.contains_key(&peer) {
+                continue;
             }
             if shared2.down.read().contains(&owner) {
                 continue; // process down: refuse, dialer keeps retrying
+            }
+            if shared2.suspected.read().contains(&peer) {
+                continue; // the overlay already repaired around it
             }
             let ok = (|| -> io::Result<()> {
                 let mut w = BufWriter::new(stream.try_clone()?);
@@ -1302,7 +1558,7 @@ fn spawn_acceptor(shared: &Arc<Shared>, owner: BrokerId, listener: TcpListener) 
                 Ok(())
             })();
             if ok.is_ok() {
-                let _ = install_link(&shared2, owner, peer, stream);
+                let _ = install_link(&shared2, owner, peer, stream, None);
             }
         })
         .map_err(|e| io::Error::new(e.kind(), format!("spawn acceptor for {owner}: {e}")))?;
@@ -1347,9 +1603,10 @@ fn tcp_broker_main(
     let (stage_tx, stage_rx) = bounded::<TcpStaged>(TCP_PIPELINE_DEPTH);
     let ingest = {
         let broker = Arc::clone(&broker);
+        let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name(format!("tcp-broker-{id}-ingest"))
-            .spawn(move || tcp_ingest_main(broker, rx, stage_tx))
+            .spawn(move || tcp_ingest_main(broker, rx, stage_tx, shared))
     };
     tcp_apply_main(id, &broker, initial_outs, stage_rx, &shared);
     // The ingest stage exits right after forwarding Shutdown (or on
@@ -1364,8 +1621,19 @@ fn tcp_ingest_main(
     broker: Arc<RwLock<MobileBroker>>,
     rx: Receiver<Input>,
     stage_tx: Sender<TcpStaged>,
+    shared: Arc<Shared>,
 ) {
     for input in rx.iter() {
+        // A death notice in the stream marks the victim suspected at
+        // the transport layer too, so this broker's own dialer toward
+        // it stands down instead of redialing a hole in the overlay.
+        if let Input::FromBroker(_, msgs) = &input {
+            for m in msgs {
+                if let Message::BrokerDeath { dead } = m {
+                    shared.suspected.write().insert(*dead);
+                }
+            }
+        }
         let staged = match input {
             Input::FromBroker(from, msgs) if msgs.len() > 1 => {
                 let pre = broker.read().prematch(&msgs);
@@ -1394,7 +1662,8 @@ fn tcp_apply_main(
 ) {
     let mut timers: BinaryHeap<Reverse<(Instant, TimerToken)>> = BinaryHeap::new();
     let mut cancelled: BTreeSet<TimerToken> = BTreeSet::new();
-    let mut next_ping = Instant::now() + HEARTBEAT_INTERVAL;
+    let heartbeat = shared.options.heartbeat_interval;
+    let mut next_ping = Instant::now() + heartbeat;
     // Timers re-armed by recovery (or empty on a fresh start).
     dispatch(id, shared, &mut timers, &mut cancelled, initial_outs);
     loop {
@@ -1412,11 +1681,37 @@ fn tcp_apply_main(
             dispatch(id, shared, &mut timers, &mut cancelled, outs);
         }
         // Heartbeat every live link (the probe doubles as write-path
-        // failure detection).
+        // failure detection). The peer set is the *current* link map,
+        // not the static topology — overlay repair adds edges.
         if Instant::now() >= next_ping {
-            next_ping = Instant::now() + HEARTBEAT_INTERVAL;
-            for &n in shared.topology.neighbors(id) {
+            next_ping = Instant::now() + heartbeat;
+            let peers: Vec<BrokerId> = shared
+                .links
+                .read()
+                .get(&id)
+                .map(|m| m.keys().copied().collect())
+                .unwrap_or_default();
+            for &n in &peers {
                 send_ping(shared, id, n);
+            }
+            // Acceptor-side failure detector: the dialer of a down
+            // link detects a dead peer by redial exhaustion, but the
+            // accepting endpoint never dials — it suspects on inbound
+            // silence past the failure timeout instead.
+            if shared.options.suspicion_after.is_some() {
+                for &n in &peers {
+                    if shared.suspected.read().contains(&n) {
+                        continue;
+                    }
+                    let Some(link) = link_of(shared, id, n) else {
+                        continue;
+                    };
+                    let is_down = matches!(*link.state.lock(), LinkState::Down { .. });
+                    let heard = *link.last_heard.lock();
+                    if is_down && heard.elapsed() >= shared.options.failure_timeout {
+                        suspect_broker(shared, id, n);
+                    }
+                }
             }
         }
         // Wait for the next input, timer deadline, or heartbeat tick.
@@ -1758,6 +2053,110 @@ mod tests {
         assert_eq!(stats2.dropped_publications.load(Ordering::Relaxed), 0);
     }
 
+    /// The redial backoff schedule: capped exponential envelope with
+    /// deterministic equal jitter. Pinned as a value so a regression in
+    /// the delay sequence (lost cap, lost jitter, non-determinism)
+    /// fails loudly.
+    #[test]
+    fn redial_backoff_is_capped_exponential_with_jitter() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_millis(400);
+        for seed in [0u64, 7, 0xdead_beef] {
+            for attempt in 0..12 {
+                let envelope = base.saturating_mul(1 << attempt.min(20)).min(cap);
+                let d = redial_delay(base, cap, attempt, seed);
+                assert!(
+                    d >= envelope / 2 && d <= envelope,
+                    "attempt {attempt} seed {seed}: {d:?} outside [{:?}, {envelope:?}]",
+                    envelope / 2
+                );
+                assert!(d <= cap, "attempt {attempt}: {d:?} exceeds the cap");
+                // Deterministic: the same inputs give the same delay.
+                assert_eq!(d, redial_delay(base, cap, attempt, seed));
+            }
+            // Past the doubling range every delay saturates into the
+            // cap's upper half.
+            let late = redial_delay(base, cap, 30, seed);
+            assert!(late >= cap / 2 && late <= cap);
+        }
+        // Jitter is real: two seeds must not produce identical
+        // schedules (decorrelating simultaneous redials is the point).
+        let schedule =
+            |seed| -> Vec<Duration> { (0..12).map(|a| redial_delay(base, cap, a, seed)).collect() };
+        assert_ne!(schedule(1), schedule(2), "jitter must depend on the seed");
+    }
+
+    /// Satellite bugfix (churn PR): a reader whose connection was
+    /// superseded must not tear down the fresh connection — the
+    /// generation guard makes the stale teardown a no-op.
+    #[test]
+    fn stale_reader_cannot_tear_down_fresh_connection() {
+        let net =
+            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        wait_link_up(&net, b(1), b(2));
+        let link = link_of(&net.shared, b(1), b(2)).expect("link");
+        let current = link.generation.load(Ordering::SeqCst);
+        // A teardown on behalf of the previous generation: no-op.
+        mark_link_down(&net.shared, b(1), b(2), "stale reader", current - 1);
+        assert!(
+            net.link_up(b(1), b(2)),
+            "stale-generation teardown must not kill the live connection"
+        );
+        // The same teardown with the live generation takes it down
+        // (and the redialer heals it again).
+        mark_link_down(&net.shared, b(1), b(2), "live reader", current);
+        assert_eq!(
+            net.link_stats(b(1), b(2)).expect("stats").down_reason,
+            Some("live reader".to_string())
+        );
+        wait_link_up(&net, b(1), b(2));
+        net.shutdown();
+    }
+
+    /// Satellite bugfix (churn PR): a dialer stranded in its backoff
+    /// sleep across a kill/restart of its own broker stands down
+    /// instead of installing a duplicate connection. Pinned via the
+    /// per-link connect counter: after the restart churn settles,
+    /// exactly one new connection may exist on the edge.
+    #[test]
+    fn restart_during_active_redial_spawns_no_duplicate_dialer() {
+        let net =
+            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        wait_link_up(&net, b(1), b(2));
+        // Take the acceptor side down: broker 1's dialer starts its
+        // backoff loop (the acceptor refuses while 2 is killed).
+        net.kill_broker(b(2));
+        for _ in 0..200 {
+            if !net.link_up(b(1), b(2)) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!net.link_up(b(1), b(2)), "kill must take the link down");
+        // Let the dialer's backoff grow toward the cap so it is very
+        // likely mid-sleep during the kill/restart below.
+        std::thread::sleep(Duration::from_millis(250));
+        // Kill and restart the *dialer* while its redial thread is
+        // stranded in backoff: the kill bumps the link generation, the
+        // restart authorizes a fresh dialer.
+        net.kill_broker(b(1));
+        net.restart_broker(b(1)).expect("restart dialer");
+        net.restart_broker(b(2)).expect("restart acceptor");
+        wait_link_up(&net, b(1), b(2));
+        let connects_after_heal = net.link_stats(b(1), b(2)).expect("stats").connects;
+        // Wait out the redial cap: a stale dialer that survived the
+        // kill would wake, dial, and install a duplicate connection in
+        // this window. With the generation guard it stands down.
+        std::thread::sleep(REDIAL_CAP + Duration::from_millis(200));
+        let connects_settled = net.link_stats(b(1), b(2)).expect("stats").connects;
+        assert_eq!(
+            connects_settled, connects_after_heal,
+            "a stale redialer installed a duplicate connection"
+        );
+        assert!(net.link_up(b(1), b(2)), "the healed link must stay up");
+        net.shutdown();
+    }
+
     /// Satellite bugfix 1: a frame that fails to serialize is counted
     /// in the link stats instead of vanishing, and the link survives.
     #[test]
@@ -1771,7 +2170,7 @@ mod tests {
             match &mut *link.state.lock() {
                 LinkState::Up { enc, .. } => enc.inject_encode_failure(),
                 LinkState::Down { .. } => panic!("link down"),
-            }
+            };
         }
         // Either this send or a concurrent heartbeat consumes the
         // injected failure; both paths must count it.

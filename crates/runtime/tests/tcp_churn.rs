@@ -1,0 +1,127 @@
+//! Overlay churn over real sockets: a broker dies *permanently*, the
+//! survivors' failure detectors promote the silent link to
+//! broker-death suspicion ([`TcpOptions::suspicion_after`]), the
+//! overlay self-repairs around the hole, and a publication published
+//! after the repair reaches every surviving matching subscriber
+//! exactly once (DESIGN.md §14).
+
+use std::time::Duration;
+
+use transmob_broker::Topology;
+use transmob_core::MobileBrokerConfig;
+use transmob_pubsub::{BrokerId, ClientId, Filter, Publication};
+use transmob_runtime::tcp::{TcpNetwork, TcpOptions};
+
+fn b(i: u32) -> BrokerId {
+    BrokerId(i)
+}
+fn c(i: u64) -> ClientId {
+    ClientId(i)
+}
+fn everything() -> Filter {
+    Filter::builder().ge("x", 0).le("x", 100).build()
+}
+
+/// Aggressive detector settings so the test converges in hundreds of
+/// milliseconds: suspect after 4 failed redials or 400 ms of inbound
+/// silence on a down link.
+fn churn_options() -> TcpOptions {
+    TcpOptions {
+        heartbeat_interval: Duration::from_millis(25),
+        failure_timeout: Duration::from_millis(400),
+        suspicion_after: Some(4),
+        ..TcpOptions::default()
+    }
+}
+
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    for _ in 0..600 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Kill the middle broker of a chain for good: both sides suspect it,
+/// repair creates the bypass edge, and a post-repair publication
+/// reaches both surviving subscribers exactly once over the new link.
+#[test]
+fn suspicion_promotes_death_and_repair_restores_delivery() {
+    let net = TcpNetwork::start_with_options(
+        Topology::chain(4),
+        MobileBrokerConfig::reconfig(),
+        churn_options(),
+        |_| "127.0.0.1:0".to_string(),
+    )
+    .expect("sockets");
+    let publisher = net.create_client(b(1), c(1));
+    let near_sub = net.create_client(b(2), c(2));
+    let far_sub = net.create_client(b(4), c(3));
+    publisher.advertise(everything());
+    near_sub.subscribe(everything());
+    far_sub.subscribe(everything());
+    // Sanity: the intact overlay delivers end to end.
+    std::thread::sleep(Duration::from_millis(150));
+    publisher.publish(Publication::new().with("x", 1));
+    assert!(near_sub.recv_timeout(Duration::from_secs(5)).is_some());
+    assert!(far_sub.recv_timeout(Duration::from_secs(5)).is_some());
+
+    // Permanent death of the path broker B3. B2 (the dialer of edge
+    // 2–3) suspects by redial exhaustion; B4 (the acceptor of edge
+    // 3–4) suspects by inbound silence; whoever fires first floods the
+    // death notice, and the repair's bypass edge 2–4 materializes as a
+    // real socket.
+    net.kill_broker(b(3));
+    wait_for("suspicion of broker 3", || net.suspected().contains(&b(3)));
+    wait_for("repair edge 2-4 up", || {
+        net.link_up(b(2), b(4)) && net.link_up(b(4), b(2))
+    });
+
+    // Delivery transparency after repair: a fresh publication reaches
+    // both surviving subscribers over the repaired overlay.
+    publisher.publish(Publication::new().with("x", 42));
+    let near = near_sub.recv_timeout(Duration::from_secs(5));
+    let far = far_sub.recv_timeout(Duration::from_secs(5));
+    assert!(
+        near.is_some(),
+        "survivor at B2 missed the post-repair publication"
+    );
+    assert!(
+        far.is_some(),
+        "survivor at B4 missed the post-repair publication"
+    );
+    // Exactly once: no repair-induced duplicates trail behind.
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(near_sub.drain().is_empty(), "duplicate at B2");
+    assert!(far_sub.drain().is_empty(), "duplicate at B4");
+
+    // A broker the overlay excised cannot be restarted back in.
+    let err = net
+        .restart_broker(b(3))
+        .expect_err("excised broker must not restart");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrNotAvailable, "{err}");
+    net.shutdown();
+}
+
+/// With suspicion disabled (the default), a dead broker is *never*
+/// promoted: links queue and redial forever, which is what the
+/// crash/restart recovery tests rely on.
+#[test]
+fn suspicion_disabled_never_promotes() {
+    let net =
+        TcpNetwork::start(Topology::chain(3), MobileBrokerConfig::reconfig()).expect("sockets");
+    net.kill_broker(b(3));
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(
+        net.suspected().is_empty(),
+        "default options must never suspect"
+    );
+    // The outage stays a recoverable crash: restarting heals the link.
+    net.restart_broker(b(3)).expect("restart");
+    wait_for("link 2-3 heals", || {
+        net.link_up(b(2), b(3)) && net.link_up(b(3), b(2))
+    });
+    net.shutdown();
+}

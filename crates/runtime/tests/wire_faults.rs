@@ -118,6 +118,7 @@ fn down_queue_bounds_flood_but_control_frames_survive() {
     let options = TcpOptions {
         wire: WireMode::from_env(),
         down_queue_hwm: HWM,
+        ..TcpOptions::default()
     };
     let net = TcpNetwork::start_with_options(
         Topology::chain(2),
@@ -192,7 +193,7 @@ fn binary_and_json_modes_agree_end_to_end() {
     let run = |wire: WireMode| -> Vec<u64> {
         let options = TcpOptions {
             wire,
-            down_queue_hwm: transmob_runtime::tcp::DEFAULT_DOWN_QUEUE_HWM,
+            ..TcpOptions::default()
         };
         let net = TcpNetwork::start_with_options(
             Topology::chain(3),

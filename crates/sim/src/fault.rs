@@ -13,6 +13,13 @@
 //!   `MobileBroker::recover`). Queue state still follows the paper's
 //!   persistent-queue assumption: messages addressed to the dead
 //!   broker wait and are redelivered after recovery.
+//! - **Deaths** ([`ScheduledDeath`]): a broker dies *permanently*
+//!   (overlay churn). Nothing of it survives — mail addressed to it is
+//!   dropped — and the overlay self-repairs around the hole: surviving
+//!   link peers detect the death and run
+//!   `MobileBroker::handle_broker_death`, which repairs the topology,
+//!   rebuilds affected routing state and resolves in-flight movements
+//!   that crossed the victim.
 //! - **Partitions** ([`Partition`]): a link is down for a window.
 //!   Consistent with persistent queues (and with the TCP runtime's
 //!   reconnect-and-retransmit links), partitioned traffic is *delayed
@@ -55,6 +62,19 @@ pub struct ScheduledCrash {
     pub restart_at: SimTime,
     /// What the crash destroys.
     pub kind: CrashKind,
+}
+
+/// One scheduled permanent broker death (overlay churn). Unlike a
+/// [`ScheduledCrash`] the broker never comes back: its queue and state
+/// are gone, messages addressed to it are dropped, and the surviving
+/// neighbors detect the death and run the overlay self-repair
+/// ([`transmob_core::MobileBroker::handle_broker_death`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledDeath {
+    /// When the broker dies.
+    pub at: SimTime,
+    /// The victim.
+    pub broker: BrokerId,
 }
 
 /// A link outage window: traffic between `a` and `b` (both
@@ -103,6 +123,8 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Broker crashes.
     pub crashes: Vec<ScheduledCrash>,
+    /// Permanent broker deaths (overlay churn; self-repair kicks in).
+    pub deaths: Vec<ScheduledDeath>,
     /// Link outage windows.
     pub partitions: Vec<Partition>,
     /// Per-message link faults.

@@ -33,7 +33,7 @@ pub mod time;
 pub mod wal;
 
 pub use durable::WalDurability;
-pub use fault::{CrashKind, FaultPlan, LinkFaults, Partition, ScheduledCrash};
+pub use fault::{CrashKind, FaultPlan, LinkFaults, Partition, ScheduledCrash, ScheduledDeath};
 pub use metrics::{DeliveryRecord, Metrics, MoveRecord};
 pub use network::{LinkModel, NetworkModel, NodeModel};
 pub use sim::{MovementPlan, Sim};

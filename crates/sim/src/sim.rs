@@ -87,7 +87,19 @@ enum EventKind {
     },
     /// A crashed broker restarts.
     Restart { broker: BrokerId, kind: CrashKind },
+    /// A broker dies permanently (overlay churn); it never restarts
+    /// and its queue state is lost with it.
+    Die { broker: BrokerId },
+    /// A survivor's failure detector declares `dead` gone, triggering
+    /// the overlay self-repair on `observer`.
+    Detect { observer: BrokerId, dead: BrokerId },
 }
+
+/// Per-link failure-detection delay: how long after a permanent death
+/// a survivor with a live link to the victim declares it gone (the
+/// sim's stand-in for the TCP runtime's heartbeat-timeout plus
+/// redial-exhaustion suspicion window).
+const DETECTION_DELAY: SimDuration = SimDuration(50_000_000);
 
 #[derive(Debug)]
 struct Event {
@@ -135,6 +147,9 @@ pub struct Sim {
     plans: BTreeMap<ClientId, (MovementPlan, usize)>,
     plan_deadline: Option<SimTime>,
     crashed: BTreeSet<BrokerId>,
+    /// Permanently dead brokers (overlay churn). Unlike `crashed`,
+    /// traffic addressed to a dead broker is *dropped*, not held.
+    dead: BTreeSet<BrokerId>,
     /// Events addressed to a crashed broker, held in arrival order
     /// (the paper's persisted-queue fault model) and replayed at
     /// restart.
@@ -189,6 +204,7 @@ impl Sim {
             plans: BTreeMap::new(),
             plan_deadline: None,
             crashed: BTreeSet::new(),
+            dead: BTreeSet::new(),
             held: BTreeMap::new(),
             events_processed: 0,
             logs: BTreeMap::new(),
@@ -248,6 +264,9 @@ impl Sim {
                     kind: c.kind,
                 },
             );
+        }
+        for d in &plan.deaths {
+            self.push(d.at, EventKind::Die { broker: d.broker });
         }
     }
 
@@ -402,6 +421,22 @@ impl Sim {
         );
     }
 
+    /// Schedules the permanent death of `broker` at `at` (overlay
+    /// churn). The broker never restarts: messages addressed to it are
+    /// dropped, its held queue and timers are discarded, and after a
+    /// detection delay every survivor holding a live link to it runs
+    /// the overlay self-repair
+    /// ([`MobileBroker::handle_broker_death`]), whose repair flood
+    /// then reaches the rest of the overlay.
+    pub fn kill_broker(&mut self, at: SimTime, broker: BrokerId) {
+        self.push(at, EventKind::Die { broker });
+    }
+
+    /// Brokers that have died permanently so far.
+    pub fn dead_brokers(&self) -> &BTreeSet<BrokerId> {
+        &self.dead
+    }
+
     /// Runs until the event queue is empty or the clock passes
     /// `until` (events after `until` remain queued).
     pub fn run_until(&mut self, until: SimTime) {
@@ -436,6 +471,9 @@ impl Sim {
                 msgs,
                 cause,
             } => {
+                if self.dead.contains(&dst) {
+                    return; // dead broker: mail is lost, not held
+                }
                 if self.crashed.contains(&dst) {
                     // Persisted queue: hold in arrival order and replay
                     // at restart — per-link FIFO must survive the
@@ -483,6 +521,9 @@ impl Sim {
                 msgs,
                 cause,
             } => {
+                if self.dead.contains(&dst) {
+                    return; // died between queueing and processing
+                }
                 if self.crashed.contains(&dst) {
                     // The broker died between queueing and processing:
                     // the batch goes back to the persisted input queue
@@ -509,7 +550,7 @@ impl Sim {
                 for msg in msgs {
                     let eff = match &msg {
                         Message::Move(mv) => Some(mv.move_id()),
-                        Message::PubSub(_) => cause,
+                        Message::PubSub(_) | Message::BrokerDeath { .. } => cause,
                     };
                     if !run.is_empty() && eff != run_cause {
                         let batch = std::mem::take(&mut run);
@@ -523,9 +564,26 @@ impl Sim {
                 }
             }
             EventKind::Cmd { client, op } => {
-                let Some(broker) = self.home.get(&client).copied() else {
+                let Some(mut broker) = self.home.get(&client).copied() else {
                     return; // client gone (never created or destroyed)
                 };
+                if self.dead.contains(&broker) {
+                    // The client's home died. If a stub survives
+                    // elsewhere (the movement machinery resurrected or
+                    // committed it), re-home the client there;
+                    // otherwise the client perished with its broker.
+                    match self.find_client(client) {
+                        Some(b) => {
+                            self.home.insert(client, b);
+                            broker = b;
+                        }
+                        None => {
+                            self.home.remove(&client);
+                            self.plans.remove(&client);
+                            return;
+                        }
+                    }
+                }
                 if self.crashed.contains(&broker) {
                     self.held.entry(broker).or_default().push(Event {
                         time: self.clock,
@@ -549,6 +607,13 @@ impl Sim {
                 self.push_continuation(done, ev_seq, EventKind::CmdExec { broker, client, op });
             }
             EventKind::CmdExec { broker, client, op } => {
+                if self.dead.contains(&broker) {
+                    // Died between command arrival and execution:
+                    // retry as a Cmd, which re-resolves the client's
+                    // home (or declares the client gone).
+                    self.push(self.clock, EventKind::Cmd { client, op });
+                    return;
+                }
                 if self.crashed.contains(&broker) {
                     // Crashed mid-processing: back to the persisted
                     // queue (as a Cmd, which also re-resolves the
@@ -620,6 +685,9 @@ impl Sim {
                 if self.cancelled.remove(&(broker, token)) {
                     return;
                 }
+                if self.dead.contains(&broker) {
+                    return; // timers die with the broker
+                }
                 if self.crashed.contains(&broker) {
                     self.held.entry(broker).or_default().push(Event {
                         time: self.clock,
@@ -644,7 +712,7 @@ impl Sim {
                 restart_at,
                 kind,
             } => {
-                if self.crashed.contains(&broker) {
+                if self.crashed.contains(&broker) || self.dead.contains(&broker) {
                     return; // already down; the first crash wins
                 }
                 self.crashed.insert(broker);
@@ -654,6 +722,9 @@ impl Sim {
                 );
             }
             EventKind::Restart { broker, kind } => {
+                if self.dead.contains(&broker) {
+                    return; // death trumps a pending restart
+                }
                 self.crashed.remove(&broker);
                 if kind == CrashKind::StateLoss {
                     self.recover_from_log(broker);
@@ -671,6 +742,70 @@ impl Sim {
                     held.time = self.clock;
                     self.heap.push(held);
                 }
+            }
+            EventKind::Die { broker } => {
+                if self.dead.contains(&broker) {
+                    return;
+                }
+                self.dead.insert(broker);
+                self.crashed.remove(&broker);
+                self.held.remove(&broker);
+                self.cancelled.retain(|(b, _)| *b != broker);
+                self.logs.remove(&broker);
+                self.brokers.remove(&broker);
+                // Keep the sim's gods-eye overlay in sync so the
+                // property checkers (NetworkView) see the post-churn
+                // topology the survivors converge to.
+                let _ = Arc::make_mut(&mut self.topology).repair(broker);
+                // Clients whose only stub lived here are gone; their
+                // queued commands drop at the Cmd re-resolution.
+                // Per-link failure detectors: every survivor that still
+                // carries a live link to the victim (per its *own*,
+                // possibly already-repaired overlay copy) notices
+                // independently after the detection delay; the repair
+                // flood spreads the declaration from there.
+                let observers: Vec<BrokerId> = self
+                    .brokers
+                    .iter()
+                    .filter(|(id, b)| {
+                        let topo = b.topology();
+                        topo.contains(broker) && topo.neighbors(broker).contains(id)
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                for obs in observers {
+                    // Jitter the per-link detection so repairs do not
+                    // start in lockstep (they race in the TCP runtime).
+                    let jitter = SimDuration::from_nanos(self.rng.gen_range(0..1_000_000));
+                    self.push(
+                        self.clock + DETECTION_DELAY + jitter,
+                        EventKind::Detect {
+                            observer: obs,
+                            dead: broker,
+                        },
+                    );
+                }
+            }
+            EventKind::Detect { observer, dead } => {
+                if self.dead.contains(&observer) {
+                    return;
+                }
+                if self.crashed.contains(&observer) {
+                    // The observer is down (but not dead): it detects
+                    // after it comes back.
+                    self.held.entry(observer).or_default().push(Event {
+                        time: self.clock,
+                        seq: ev_seq,
+                        kind: EventKind::Detect { observer, dead },
+                    });
+                    return;
+                }
+                let outs = self
+                    .brokers
+                    .get_mut(&observer)
+                    .expect("unknown broker")
+                    .handle_broker_death(dead);
+                self.dispatch(observer, None, outs);
             }
         }
     }
@@ -736,11 +871,14 @@ impl Sim {
         to: BrokerId,
         msgs: Vec<Message>,
     ) {
+        if self.dead.contains(&to) {
+            return; // link to a dead broker: frames vanish
+        }
         let mut wire: Vec<Message> = Vec::with_capacity(msgs.len());
         for msg in msgs {
             let eff_cause = match &msg {
                 Message::Move(mv) => Some(mv.move_id()),
-                Message::PubSub(_) => cause,
+                Message::PubSub(_) | Message::BrokerDeath { .. } => cause,
             };
             self.metrics.count_message(msg.kind(), eff_cause);
             if self.link_faults.drop_prob > 0.0

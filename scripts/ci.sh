@@ -9,7 +9,9 @@
 #      then the TCP runtime suites again under TRANSMOB_WIRE=json —
 #      the workspace pass exercised the default binary codec, this
 #      differential pass proves the JSON debug codec stays equivalent
-#   2. chaos smoke — seeded fault schedules per protocol; scales via
+#   2. chaos smoke — seeded fault schedules per protocol (recovery
+#      tier: crash/restart link faults; churn tier: permanent broker
+#      deaths + overlay self-repair, DESIGN.md §14); scales via
 #      CHAOS_CASES (e.g. CHAOS_CASES=5000), skipped under CI_FAST=1
 #   3. bench smoke — every criterion bench, one iteration each
 #      (CRITERION_QUICK, see vendor/criterion), so bench code cannot
@@ -42,6 +44,8 @@ if [[ "${CI_FAST:-0}" == "1" ]]; then
 else
     CHAOS_CASES="${CHAOS_CASES:-32}" \
         cargo test -p transmob-sim --test chaos_recovery -q
+    CHAOS_CASES="${CHAOS_CASES:-32}" \
+        cargo test -p transmob-sim --test chaos_churn -q
 fi
 
 # ---- tier 3: bench smoke (single pass, capture reused below) ----------
