@@ -18,7 +18,10 @@ fn b(i: u32) -> BrokerId {
 /// workload subscribers at the far end, and the mover (a root
 /// subscription) also at the far end.
 fn setup(chain: u32, bystanders: usize, config: MobileBrokerConfig) -> InstantNet {
-    let mut net = InstantNet::new(Topology::chain(chain), config);
+    let mut net = InstantNet::builder()
+        .overlay(Topology::chain(chain))
+        .options(config)
+        .start();
     net.create_client(b(1), ClientId(1));
     net.client_op(ClientId(1), ClientOp::Advertise(full_space_adv()));
     for i in 0..bystanders {

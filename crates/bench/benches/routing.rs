@@ -7,7 +7,9 @@
 //!   release vs. the precise variant — on the root-departure burst.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use transmob_broker::{BrokerConfig, BrokerCore, CoveringMode, Hop, Prt, PubSubMsg, Srt};
+use transmob_broker::{
+    BrokerConfig, BrokerCore, CoveringMode, Hop, Prt, PubSubMsg, Srt, SyncNet, Topology,
+};
 use transmob_pubsub::{
     AdvId, Advertisement, BrokerId, ClientId, Parallelism, PubId, Publication, PublicationMsg,
     SubId, Subscription,
@@ -424,6 +426,69 @@ fn bench_broker_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
+/// End-to-end publication routing over a 7-broker overlay
+/// (DESIGN.md §15 ablation): the acyclic chain as baseline; the same
+/// chain with the dedup gate forced on (`tree_dedup` — priced by the
+/// <10% overhead bar in scripts/bench_check.sh); and cyclic variants
+/// closing 1 and 3 extra edges, where publications fan out over the
+/// redundant routes and the per-broker dedup windows drop the second
+/// copies.
+fn bench_cyclic_routing(c: &mut Criterion) {
+    const BROKERS: u32 = 7;
+    const EXTRA: [(u32, u32); 3] = [(1, 7), (2, 6), (3, 5)];
+    let mut g = c.benchmark_group("cyclic_routing");
+    for (name, extra, force_multipath) in [
+        ("tree", 0usize, false),
+        ("tree_dedup", 0, true),
+        ("extra1", 1, false),
+        ("extra3", 3, false),
+    ] {
+        let mut topo = Topology::chain(BROKERS);
+        for (x, y) in EXTRA.iter().take(extra) {
+            topo.add_edge(b(*x), b(*y)).expect("cycle-closing edge");
+        }
+        let config = if force_multipath {
+            BrokerConfig::plain().with_multipath()
+        } else {
+            BrokerConfig::plain()
+        };
+        let mut net = SyncNet::builder().overlay(topo).options(config).start();
+        net.client_send(
+            b(1),
+            ClientId(1),
+            PubSubMsg::Advertise(Advertisement::new(
+                AdvId::new(ClientId(1), 0),
+                full_space_adv(),
+            )),
+        );
+        for (i, home) in [(0u64, 4u32), (1, BROKERS)] {
+            let cid = ClientId(100 + i);
+            let sub =
+                Subscription::new(SubId::new(cid, 0), SubWorkload::Covered.assign(i as usize));
+            net.client_send(b(home), cid, PubSubMsg::Subscribe(sub));
+        }
+        // Fresh PubIds per iteration: reused ids would be swallowed by
+        // the dedup windows and measure the drop path instead.
+        let mut next_id = 0u64;
+        g.bench_with_input(BenchmarkId::new(name, BROKERS), &BROKERS, |bch, _| {
+            bch.iter(|| {
+                next_id += 1;
+                net.client_send(
+                    b(1),
+                    ClientId(1),
+                    PubSubMsg::Publish(PublicationMsg::new(
+                        PubId(next_id),
+                        ClientId(1),
+                        Publication::new().with(ATTR, 1500),
+                    )),
+                );
+                black_box(net.take_deliveries())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_prt_matching_index_vs_linear,
@@ -435,6 +500,7 @@ criterion_group!(
     bench_advertise_flood,
     bench_publish_batch,
     bench_parallel_match,
-    bench_broker_pipeline
+    bench_broker_pipeline,
+    bench_cyclic_routing
 );
 criterion_main!(benches);

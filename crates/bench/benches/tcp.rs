@@ -121,17 +121,17 @@ fn append_json_row(group: &str, bench: &str, field: &str, value: f64, iters: usi
 /// Publish→notify latency through a full two-broker overlay; returns
 /// the p99 in nanoseconds.
 fn measure_p99_latency(mode: WireMode, samples: usize) -> u64 {
-    let net = TcpNetwork::start_with_options(
-        Topology::chain(2),
-        MobileBrokerConfig::reconfig(),
-        TcpOptions {
+    let net = TcpNetwork::builder()
+        .overlay(Topology::chain(2))
+        .options(MobileBrokerConfig::reconfig())
+        .tcp(TcpOptions {
             wire: mode,
             down_queue_hwm: DEFAULT_DOWN_QUEUE_HWM,
             ..TcpOptions::default()
-        },
-        |_| "127.0.0.1:0".to_string(),
-    )
-    .expect("sockets");
+        })
+        .bind(|_| "127.0.0.1:0".to_string())
+        .start()
+        .expect("sockets");
     let p = net.create_client(BrokerId(1), ClientId(1));
     let s = net.create_client(BrokerId(2), ClientId(2));
     let space = Filter::builder().ge("x", 0).build();

@@ -1,0 +1,114 @@
+//! Paired measurement behind the dedup-overhead gate
+//! (scripts/bench_check.sh): end-to-end publication routing on a
+//! 7-broker chain, plain vs. with the multi-path dedup gate forced on
+//! (`BrokerConfig::with_multipath`), reported as a ratio.
+//!
+//! A criterion row pair cannot carry this gate: the two rows run
+//! seconds apart and CPU frequency drift between them dwarfs the
+//! <10% bar. Here the two nets are timed in short *interleaved*
+//! slices (A/B then B/A, cancelling ordering bias), each round yields
+//! one paired ratio, and the median over all rounds is printed — a
+//! measurement design that survives noisy shared boxes.
+//!
+//! Prints one JSON line:
+//! `{"tree_ns_per_pub":..,"tree_dedup_ns_per_pub":..,"ratio":..}`
+
+use std::time::Instant;
+
+use transmob_broker::{BrokerConfig, PubSubMsg, SyncNet, Topology, DEDUP_WINDOW_CAP};
+use transmob_pubsub::{
+    AdvId, Advertisement, BrokerId, ClientId, PubId, Publication, PublicationMsg, SubId,
+    Subscription,
+};
+use transmob_workloads::{full_space_adv, SubWorkload, ATTR};
+
+const BROKERS: u32 = 7;
+const ROUNDS: usize = 21;
+const SLICE: u64 = 2_000;
+
+struct Net {
+    net: SyncNet,
+    next_id: u64,
+}
+
+impl Net {
+    fn new(config: BrokerConfig) -> Self {
+        let mut net = SyncNet::builder()
+            .overlay(Topology::chain(BROKERS))
+            .options(config)
+            .start();
+        net.client_send(
+            BrokerId(1),
+            ClientId(1),
+            PubSubMsg::Advertise(Advertisement::new(
+                AdvId::new(ClientId(1), 0),
+                full_space_adv(),
+            )),
+        );
+        for (i, home) in [(0u64, 4u32), (1, BROKERS)] {
+            let cid = ClientId(100 + i);
+            let sub =
+                Subscription::new(SubId::new(cid, 0), SubWorkload::Covered.assign(i as usize));
+            net.client_send(BrokerId(home), cid, PubSubMsg::Subscribe(sub));
+        }
+        Net { net, next_id: 0 }
+    }
+
+    /// Routes `n` fresh publications end to end; returns ns per pub.
+    fn slice(&mut self, n: u64) -> f64 {
+        let start = Instant::now();
+        for _ in 0..n {
+            self.next_id += 1;
+            self.net.client_send(
+                BrokerId(1),
+                ClientId(1),
+                PubSubMsg::Publish(PublicationMsg::new(
+                    PubId(self.next_id),
+                    ClientId(1),
+                    Publication::new().with(ATTR, 1500),
+                )),
+            );
+            std::hint::black_box(self.net.take_deliveries());
+        }
+        start.elapsed().as_nanos() as f64 / n as f64
+    }
+}
+
+fn main() {
+    let mut tree = Net::new(BrokerConfig::plain());
+    let mut dedup = Net::new(BrokerConfig::plain().with_multipath());
+    // Warm up into steady state: past DEDUP_WINDOW_CAP publications
+    // every dedup insert also evicts, the honest long-run cost.
+    tree.slice(DEDUP_WINDOW_CAP as u64 + SLICE);
+    dedup.slice(DEDUP_WINDOW_CAP as u64 + SLICE);
+
+    let mut tree_ns = Vec::with_capacity(2 * ROUNDS);
+    let mut dedup_ns = Vec::with_capacity(2 * ROUNDS);
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // Alternate the order each round so neither net systematically
+        // runs on the warmer half of the pair.
+        let (t, d) = if round % 2 == 0 {
+            let t = tree.slice(SLICE);
+            let d = dedup.slice(SLICE);
+            (t, d)
+        } else {
+            let d = dedup.slice(SLICE);
+            let t = tree.slice(SLICE);
+            (t, d)
+        };
+        tree_ns.push(t);
+        dedup_ns.push(d);
+        ratios.push(d / t);
+    }
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+        v[v.len() / 2]
+    };
+    let (t, d, r) = (
+        median(&mut tree_ns),
+        median(&mut dedup_ns),
+        median(&mut ratios),
+    );
+    println!("{{\"tree_ns_per_pub\":{t:.1},\"tree_dedup_ns_per_pub\":{d:.1},\"ratio\":{r:.4}}}");
+}

@@ -469,7 +469,12 @@ fn publishers(o: &Opts) {
             ProtocolKind::Covering => MobileBrokerConfig::covering(),
         };
         let topology = wl::default_14();
-        let mut sim = Sim::new(topology, config, NetworkModel::cluster(), o.seed);
+        let mut sim = Sim::builder()
+            .overlay(topology)
+            .options(config)
+            .network(NetworkModel::cluster())
+            .seed(o.seed)
+            .start();
         // Stationary subscribers spread over the leaf brokers.
         let sub_brokers = [5u32, 6, 7, 9, 10, 11, 12, 14];
         for i in 0..n_sub {
@@ -591,12 +596,12 @@ fn soak(o: &Opts) {
     println!("== Soak: {n} mixed clients, random routes, mixed protocols, {duration}s ==");
     let topology = wl::default_14();
     let all_brokers: Vec<BrokerId> = topology.brokers().collect();
-    let mut sim = Sim::new(
-        topology,
-        MobileBrokerConfig::covering(),
-        NetworkModel::cluster(),
-        o.seed,
-    );
+    let mut sim = Sim::builder()
+        .overlay(topology)
+        .options(MobileBrokerConfig::covering())
+        .network(NetworkModel::cluster())
+        .seed(o.seed)
+        .start();
     for (i, broker) in [6u32, 10, 14].iter().enumerate() {
         let id = ClientId(1 + i as u64);
         sim.create_client(BrokerId(*broker), id);

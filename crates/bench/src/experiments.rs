@@ -121,12 +121,12 @@ pub struct ExperimentResult {
 /// subscribe, network quiesces), then the measured phase (movement
 /// plans active for `duration`), then drain.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
-    let mut sim = Sim::new(
-        cfg.topology.clone(),
-        cfg.broker_config(),
-        cfg.network.clone(),
-        cfg.seed,
-    );
+    let mut sim = Sim::builder()
+        .overlay(cfg.topology.clone())
+        .options(cfg.broker_config())
+        .network(cfg.network.clone())
+        .seed(cfg.seed)
+        .start();
     // Publishers.
     for (i, broker) in cfg.publisher_brokers.iter().enumerate() {
         let id = ClientId(1 + i as u64);

@@ -47,8 +47,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
+use transmob_pubsub::fasthash::FastSet;
 use transmob_pubsub::{
-    AdvId, Advertisement, BrokerId, ClientId, Filter, MoveId, Parallelism, Publication,
+    AdvId, Advertisement, BrokerId, ClientId, Filter, MoveId, Parallelism, PubId, Publication,
     PublicationMsg, SubId, Subscription,
 };
 
@@ -104,6 +105,15 @@ pub struct BrokerConfig {
     /// the classic single-threaded index; any configuration produces
     /// identical routing decisions.
     pub parallelism: Parallelism,
+    /// Multi-path forwarding for cyclic overlays: duplicate
+    /// advertisement/subscription arrivals are recorded as redundant
+    /// routes (`alt_lasthops`), publications fan out along every known
+    /// route, and a bounded [`DedupWindow`] keeps delivery exactly
+    /// once. Off (the default) on trees, where the single-path
+    /// behaviour is bit-identical to previous releases; drivers turn
+    /// it on automatically when the topology contains a cycle.
+    #[serde(default)]
+    pub multipath: bool,
 }
 
 impl BrokerConfig {
@@ -137,6 +147,146 @@ impl BrokerConfig {
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.parallelism = par;
         self
+    }
+
+    /// The same configuration with multi-path forwarding enabled (for
+    /// cyclic overlays).
+    pub fn with_multipath(mut self) -> Self {
+        self.multipath = true;
+        self
+    }
+}
+
+/// Number of publication ids each broker remembers for exactly-once
+/// multi-path dedup. See [`DedupWindow`] for the sizing rationale.
+pub const DEDUP_WINDOW_CAP: usize = 2048;
+
+/// Hard upper bound on broker-to-broker hops a publication may travel
+/// under multi-path forwarding. The dedup window terminates cycles in
+/// every expected execution; the hop bound is the backstop that keeps
+/// a publication finite even if the window were to thrash, at which
+/// point the drop is counted as an anomaly.
+pub const MAX_PUB_HOPS: u32 = 64;
+
+/// Bounded exactly-once window over recently seen publication ids,
+/// with generational eviction.
+///
+/// On a cyclic overlay a publication can reach a broker over more than
+/// one path; the first arrival is forwarded/delivered and its id
+/// recorded, later arrivals are dropped. The window keeps two
+/// generations of `cap / 2` ids each: inserts fill the current
+/// generation, and when it is full the older generation is forgotten
+/// wholesale and the roles swap. The window therefore remembers
+/// between `cap / 2` and `cap` ids, and an id is guaranteed
+/// remembered for at least the next `cap / 2 - 1` *distinct*
+/// publications traversing the broker — with [`DEDUP_WINDOW_CAP`] =
+/// 2048, a duplicate only slips through if over 1023 distinct
+/// publications pass between the two arrivals of one id. Duplicate
+/// copies of one publication are separated by at most the overlay's
+/// in-flight capacity (the publications admitted while the slower
+/// copy finishes its alternate path), so the window only has to
+/// out-last that interval, not the full history (DESIGN.md §15
+/// documents the contract).
+///
+/// Sizing and layout are performance-critical: the insert sits on the
+/// per-publication forwarding path of every multipath broker. The
+/// generational design keeps it at two hashed probes with no
+/// per-insert eviction bookkeeping (a strict FIFO pays probe + queue
+/// traffic + per-insert removal for no protocol-level gain), and the
+/// capacity keeps both generations' tables cache-resident — the probes
+/// are random-access, so an oversized window turns every forward into
+/// a cache miss, which is what the `dedup_gate` bench gate in
+/// scripts/bench_check.sh would catch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DedupWindow {
+    // Serialized sorted so the hash sets' iteration order never leaks
+    // into checkpoint bytes.
+    #[serde(with = "serde_sorted_ids")]
+    cur: FastSet<PubId>,
+    #[serde(with = "serde_sorted_ids")]
+    old: FastSet<PubId>,
+    cap: usize,
+}
+
+/// Serializes the dedup membership set in sorted order: the hash
+/// set's iteration order must not leak into checkpoint bytes.
+mod serde_sorted_ids {
+    use serde::de::Deserializer;
+    use serde::ser::Serializer;
+    use serde::{Deserialize, Serialize};
+    use transmob_pubsub::fasthash::FastSet;
+    use transmob_pubsub::PubId;
+
+    pub fn serialize<S: Serializer>(set: &FastSet<PubId>, ser: S) -> Result<S::Ok, S::Error> {
+        let mut ids: Vec<PubId> = set.iter().copied().collect();
+        ids.sort_unstable();
+        ids.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<FastSet<PubId>, D::Error> {
+        let ids: Vec<PubId> = Vec::deserialize(de)?;
+        Ok(ids.into_iter().collect())
+    }
+}
+
+impl Default for DedupWindow {
+    fn default() -> Self {
+        DedupWindow::with_capacity(DEDUP_WINDOW_CAP)
+    }
+}
+
+impl DedupWindow {
+    /// A window remembering at most `cap` ids, at least the most
+    /// recent `cap / 2` (`cap >= 2`).
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 2, "dedup window needs capacity for a generation");
+        DedupWindow {
+            cur: FastSet::default(),
+            old: FastSet::default(),
+            cap,
+        }
+    }
+
+    /// Records `id`, rotating the older generation out if the current
+    /// one is full. Returns `true` when `id` was fresh (not currently
+    /// in the window) — i.e. when the caller should process the
+    /// publication rather than drop it as a duplicate.
+    pub fn insert(&mut self, id: PubId) -> bool {
+        if self.old.contains(&id) {
+            return false;
+        }
+        if !self.cur.insert(id) {
+            return false;
+        }
+        if self.cur.len() >= self.cap / 2 {
+            std::mem::swap(&mut self.cur, &mut self.old);
+            // clear() keeps the allocation, so after warm-up the
+            // rotation allocates nothing.
+            self.cur.clear();
+        }
+        true
+    }
+
+    /// Whether `id` is currently remembered.
+    pub fn contains(&self, id: PubId) -> bool {
+        self.cur.contains(&id) || self.old.contains(&id)
+    }
+
+    /// Number of ids currently remembered (at most the capacity).
+    /// The generations are disjoint: an id remembered in the older one
+    /// is never re-inserted into the current one.
+    pub fn len(&self) -> usize {
+        self.cur.len() + self.old.len()
+    }
+
+    /// Whether the window has seen nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.cur.is_empty() && self.old.is_empty()
+    }
+
+    /// The eviction capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 }
 
@@ -188,6 +338,17 @@ pub struct BrokerCore {
     /// (so abort removes it).
     #[serde(with = "crate::routing::serde_pairs")]
     pending_meta: BTreeMap<PendingKey, PendingMeta>,
+    /// Exactly-once window for multi-path forwarding; only consulted
+    /// when [`BrokerConfig::multipath`] is set, so tree deployments
+    /// pay nothing for it.
+    #[serde(default)]
+    dedup: DedupWindow,
+    /// Whether any PRT entry ever recorded a redundant route. Stays
+    /// `false` on tree overlays even with `multipath` forced, letting
+    /// the publication fan-out skip the per-route alt lookup. Never
+    /// cleared: it is a fast-path gate, not an invariant.
+    #[serde(default)]
+    prt_alt_routes: bool,
 }
 
 /// Key for out-of-band pending bookkeeping.
@@ -226,6 +387,8 @@ impl BrokerCore {
             config,
             stats: BrokerStats::default(),
             pending_meta: BTreeMap::new(),
+            dedup: DedupWindow::default(),
+            prt_alt_routes: false,
         }
     }
 
@@ -257,6 +420,12 @@ impl BrokerCore {
     /// Processing statistics.
     pub fn stats(&self) -> &BrokerStats {
         &self.stats
+    }
+
+    /// Read access to the multi-path dedup window (tests and property
+    /// checkers).
+    pub fn dedup_window(&self) -> &DedupWindow {
+        &self.dedup
     }
 
     /// Registers a locally attached client.
@@ -418,7 +587,14 @@ impl BrokerCore {
             );
         }
         for (p, routes_p) in run.drain(..).zip(routes) {
-            batch.extend(Self::emit_publish(from, p, routes_p));
+            if self.config.multipath && !self.dedup.insert(p.id) {
+                // Already forwarded and delivered here via another
+                // path of the cyclic overlay: drop the duplicate
+                // entirely. (The pre-computed routes row was consumed
+                // by the zip, keeping the cursor aligned.)
+                continue;
+            }
+            batch.extend(self.emit_publish(from, p, routes_p));
         }
     }
 
@@ -446,6 +622,14 @@ impl BrokerCore {
                     // overlay-repair purge racing this re-propagation)
                     // annihilate the client's own subscription.
                     self.stats.reroutes += 1;
+                } else if let (true, Hop::Broker(nb)) = (self.config.multipath, from) {
+                    // Cyclic overlay: the subscription reached this
+                    // broker over a second path. Keep the
+                    // first-arrival parent as the primary route and
+                    // record the new direction as a redundant one;
+                    // publications fan out along both.
+                    entry.alt_lasthops.insert(nb);
+                    self.prt_alt_routes = true;
                 } else {
                     // A re-route while the old and new subscription
                     // trees overlap (make-before-break, overlay
@@ -470,14 +654,23 @@ impl BrokerCore {
         let own_hop = entry.lasthop;
         let filter = entry.sub.filter.clone();
         // Collect the neighbours hosting (the direction of) intersecting
-        // advertisements, in both the active and any pending
-        // configuration.
+        // advertisements, in the active, any pending, and (under
+        // multi-path forwarding) every redundant configuration.
         let mut targets: BTreeSet<BrokerId> = BTreeSet::new();
-        for (_, active, pending) in self.srt.overlapping_routes(&filter) {
+        for (aid, active, pending) in self.srt.overlapping_routes(&filter) {
             for hop in [Some(active), pending].into_iter().flatten() {
                 if let Hop::Broker(n) = hop {
                     if Hop::Broker(n) != own_hop {
                         targets.insert(n);
+                    }
+                }
+            }
+            if self.config.multipath {
+                if let Some(e) = self.srt.get(aid) {
+                    for n in &e.alt_lasthops {
+                        if Hop::Broker(*n) != own_hop {
+                            targets.insert(*n);
+                        }
                     }
                 }
             }
@@ -496,7 +689,10 @@ impl BrokerCore {
         let Some(entry) = self.prt.get(id) else {
             return out;
         };
-        if entry.lasthop == Hop::Broker(n) || entry.sent_to.contains(&n) {
+        if entry.lasthop == Hop::Broker(n)
+            || entry.sent_to.contains(&n)
+            || entry.alt_lasthops.contains(&n)
+        {
             return out;
         }
         let filter = entry.sub.filter.clone();
@@ -555,11 +751,34 @@ impl BrokerCore {
             return Vec::new();
         };
         if entry.lasthop != from {
+            if let (true, Hop::Broker(nb)) = (self.config.multipath, from) {
+                if entry.alt_lasthops.contains(&nb) {
+                    // One of several redundant routes retracted; the
+                    // entry stays, justified by the primary route.
+                    // unwrap: presence checked above
+                    self.prt.get_mut(id).unwrap().alt_lasthops.remove(&nb);
+                    return Vec::new();
+                }
+            }
             // Unsubscriptions travel the reverse of the subscription
             // path; a mismatch means the entry was re-routed while the
             // retraction was in flight — ignore the stale retraction.
             self.stats.reroutes += 1;
             return Vec::new();
+        }
+        if self.config.multipath {
+            if let Some(&next) = entry.alt_lasthops.iter().next() {
+                // The primary route retracted but redundant routes
+                // survive: promote the smallest one instead of
+                // removing the entry. The other arms of the
+                // retraction will strip the remaining routes; only
+                // the last one removes the entry and cascades.
+                // unwrap: presence checked above
+                let e = self.prt.get_mut(id).unwrap();
+                e.alt_lasthops.remove(&next);
+                e.lasthop = Hop::Broker(next);
+                return Vec::new();
+            }
         }
         // unwrap: presence checked above
         let entry = self.prt.remove(id).unwrap();
@@ -614,13 +833,19 @@ impl BrokerCore {
             // unwrap: candidate ids drawn from the table and the only
             // mutation below is forwarding on the same id
             let filter = self.prt.get(id).unwrap().sub.filter.clone();
-            let needed = self
-                .srt
-                .overlapping_routes(&filter)
-                .iter()
-                .any(|(_, active, pending)| {
-                    *active == Hop::Broker(n) || *pending == Some(Hop::Broker(n))
-                });
+            let needed =
+                self.srt
+                    .overlapping_routes(&filter)
+                    .iter()
+                    .any(|(aid, active, pending)| {
+                        *active == Hop::Broker(n)
+                            || *pending == Some(Hop::Broker(n))
+                            || (self.config.multipath
+                                && self
+                                    .srt
+                                    .get(*aid)
+                                    .is_some_and(|e| e.alt_lasthops.contains(&n)))
+                    });
             if !needed {
                 continue;
             }
@@ -639,7 +864,10 @@ impl BrokerCore {
         let Some(entry) = self.prt.get_mut(id) else {
             return Vec::new();
         };
-        if entry.lasthop == Hop::Broker(n) || !entry.sent_to.insert(n) {
+        if entry.lasthop == Hop::Broker(n)
+            || entry.alt_lasthops.contains(&n)
+            || !entry.sent_to.insert(n)
+        {
             return Vec::new();
         }
         let sub = entry.sub.clone();
@@ -666,6 +894,13 @@ impl BrokerCore {
                     // Locally-anchored advertisement: authoritative,
                     // see the matching guard in `handle_subscribe`.
                     self.stats.reroutes += 1;
+                } else if let (true, Hop::Broker(nb)) = (self.config.multipath, from) {
+                    // Second arm of the advertisement flood on a
+                    // cyclic overlay: record the redundant direction
+                    // (the per-advertisement routing "tree" becomes a
+                    // DAG rooted at the advertiser); the pull below
+                    // extends known subscriptions along it.
+                    entry.alt_lasthops.insert(nb);
                 } else {
                     entry.lasthop = from;
                     self.stats.reroutes += 1;
@@ -695,7 +930,11 @@ impl BrokerCore {
             .neighbors
             .iter()
             .copied()
-            .filter(|n| Hop::Broker(*n) != own_hop && !entry.sent_to.contains(n))
+            .filter(|n| {
+                Hop::Broker(*n) != own_hop
+                    && !entry.sent_to.contains(n)
+                    && !entry.alt_lasthops.contains(n)
+            })
             .collect();
         for n in targets {
             out.extend(self.forward_adv_to(id, n));
@@ -703,19 +942,37 @@ impl BrokerCore {
         out
     }
 
+    /// The flood copy of an advertisement: its residual TTL budget
+    /// decremented by the hop about to be taken, or `None` when the
+    /// budget is exhausted and the flood must stop here.
+    fn flood_copy(adv: &Advertisement) -> Option<Advertisement> {
+        let mut a = adv.clone();
+        match &mut a.ttl {
+            Some(0) => return None,
+            Some(t) => *t -= 1,
+            None => {}
+        }
+        Some(a)
+    }
+
     fn forward_adv_to(&mut self, id: AdvId, n: BrokerId) -> Vec<BrokerOutput> {
         let mut out = Vec::new();
         let Some(entry) = self.srt.get(id) else {
             return out;
         };
-        if entry.lasthop == Hop::Broker(n) || entry.sent_to.contains(&n) {
+        if entry.lasthop == Hop::Broker(n)
+            || entry.sent_to.contains(&n)
+            || entry.alt_lasthops.contains(&n)
+        {
             return out;
         }
         let filter = entry.adv.filter.clone();
         if self.config.adv_covering.enabled() && self.adv_quenched_on(n, id, &filter) {
             return out;
         }
-        let adv = entry.adv.clone();
+        let Some(adv) = Self::flood_copy(&entry.adv) else {
+            return out;
+        };
         // unwrap: entry existence checked above
         self.srt.get_mut(id).unwrap().sent_to.insert(n);
         out.push(BrokerOutput::ToBroker(n, PubSubMsg::Advertise(adv)));
@@ -753,8 +1010,35 @@ impl BrokerCore {
             return Vec::new();
         };
         if entry.lasthop != from {
+            if let (true, Hop::Broker(nb)) = (self.config.multipath, from) {
+                if entry.alt_lasthops.contains(&nb) {
+                    // A redundant route retracted; the entry stays,
+                    // but subscriptions forwarded toward the vanished
+                    // direction may have lost their justification.
+                    // unwrap: presence checked above
+                    self.srt.get_mut(id).unwrap().alt_lasthops.remove(&nb);
+                    return self.prune_subs_on_link(nb);
+                }
+            }
             self.stats.reroutes += 1;
             return Vec::new();
+        }
+        if self.config.multipath {
+            if let Some(&next) = entry.alt_lasthops.iter().next() {
+                // Primary route retracted, redundant routes survive:
+                // promote the smallest one; the retraction's other
+                // arms strip the rest. Subscriptions pulled toward
+                // the old primary direction are re-examined.
+                let old = entry.lasthop;
+                // unwrap: presence checked above
+                let e = self.srt.get_mut(id).unwrap();
+                e.alt_lasthops.remove(&next);
+                e.lasthop = Hop::Broker(next);
+                if let Hop::Broker(old_n) = old {
+                    return self.prune_subs_on_link(old_n);
+                }
+                return Vec::new();
+            }
         }
         // unwrap: presence checked above
         let entry = self.srt.remove(id).unwrap();
@@ -810,8 +1094,14 @@ impl BrokerCore {
             self.srt
                 .overlapping_routes(&filter)
                 .iter()
-                .any(|(_, active, pending)| {
-                    *active == Hop::Broker(n) || *pending == Some(Hop::Broker(n))
+                .any(|(aid, active, pending)| {
+                    *active == Hop::Broker(n)
+                        || *pending == Some(Hop::Broker(n))
+                        || (self.config.multipath
+                            && self
+                                .srt
+                                .get(*aid)
+                                .is_some_and(|e| e.alt_lasthops.contains(&n)))
                 });
         if still_needed {
             return Vec::new();
@@ -856,10 +1146,15 @@ impl BrokerCore {
         let Some(entry) = self.srt.get_mut(id) else {
             return Vec::new();
         };
-        if entry.lasthop == Hop::Broker(n) || !entry.sent_to.insert(n) {
+        if entry.lasthop == Hop::Broker(n) || entry.alt_lasthops.contains(&n) {
             return Vec::new();
         }
-        let adv = entry.adv.clone();
+        let Some(adv) = Self::flood_copy(&entry.adv) else {
+            return Vec::new();
+        };
+        if !entry.sent_to.insert(n) {
+            return Vec::new();
+        }
         vec![BrokerOutput::ToBroker(n, PubSubMsg::Advertise(adv))]
     }
 
@@ -892,6 +1187,24 @@ impl BrokerCore {
     // ----- overlay repair --------------------------------------------
 
     fn handle_repair_adv(&mut self, from: Hop, adv: Advertisement) -> Vec<BrokerOutput> {
+        if let Some(entry) = self.srt.get(adv.id) {
+            if !entry.alt_lasthops.is_empty() {
+                // The entry already holds multiple routes, so "adopt
+                // the new unique route" — the tree-repair semantics
+                // below — has no well-defined target and would
+                // silently pick one. Publications already fan out
+                // along every surviving route under the multi-path
+                // forwarder, so the re-propagation is a no-op here.
+                debug_assert!(
+                    self.config.multipath,
+                    "advertisement {} holds multiple routes but multi-path \
+                     forwarding is disabled; repair re-propagation would \
+                     silently pick one of them",
+                    adv.id
+                );
+                return Vec::new();
+            }
+        }
         // Same idempotent insert-or-adopt semantics as a plain
         // advertisement — the lasthop adoption in `handle_advertise`
         // is exactly what makes a repair flood converge regardless of
@@ -903,6 +1216,21 @@ impl BrokerCore {
     }
 
     fn handle_repair_sub(&mut self, from: Hop, sub: Subscription) -> Vec<BrokerOutput> {
+        if let Some(entry) = self.prt.get(sub.id) {
+            if !entry.alt_lasthops.is_empty() {
+                // See `handle_repair_adv`: with multiple routes on
+                // the entry there is no unique route to re-point, and
+                // the multi-path forwarder already covers delivery.
+                debug_assert!(
+                    self.config.multipath,
+                    "subscription {} holds multiple routes but multi-path \
+                     forwarding is disabled; repair re-propagation would \
+                     silently pick one of them",
+                    sub.id
+                );
+                return Vec::new();
+            }
+        }
         Self::tag_repair(self.handle_subscribe(from, sub))
     }
 
@@ -973,6 +1301,29 @@ impl BrokerCore {
                     doomed.insert(p.move_id);
                 }
             }
+        }
+        // Redundant multi-path routes through the dead broker are
+        // gone; strip them first so the purge below promotes only
+        // *surviving* alternates when a primary route dies.
+        let alt_advs: Vec<AdvId> = self
+            .srt
+            .iter()
+            .filter(|(_, e)| e.alt_lasthops.contains(&dead))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in alt_advs {
+            // unwrap: ids drawn from the table just above
+            self.srt.get_mut(id).unwrap().alt_lasthops.remove(&dead);
+        }
+        let alt_subs: Vec<SubId> = self
+            .prt
+            .iter()
+            .filter(|(_, e)| e.alt_lasthops.contains(&dead))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in alt_subs {
+            // unwrap: ids drawn from the table just above
+            self.prt.get_mut(id).unwrap().alt_lasthops.remove(&dead);
         }
         // Forwarding sets must stop referencing the dead link before
         // the purge cascades, so no retraction is addressed to it.
@@ -1048,8 +1399,10 @@ impl BrokerCore {
             for id in push {
                 // unwrap: ids drawn from the table just above
                 let entry = self.srt.get_mut(id).unwrap();
+                let Some(adv) = Self::flood_copy(&entry.adv) else {
+                    continue;
+                };
                 entry.sent_to.insert(p);
-                let adv = entry.adv.clone();
                 out.push(BrokerOutput::ToBroker(p, PubSubMsg::RepairAdv(adv)));
             }
         }
@@ -1059,16 +1412,24 @@ impl BrokerCore {
     // ----- publications ----------------------------------------------
 
     /// Turns one publication's matched routes into forwarding effects:
-    /// deduplicated broker and client destinations, honouring both the
-    /// active and pending hops and suppressing the arrival direction.
+    /// deduplicated broker and client destinations, honouring the
+    /// active and pending hops (plus, under multi-path forwarding,
+    /// every redundant `alt_lasthops` route) and suppressing the
+    /// arrival direction.
     fn emit_publish(
+        &mut self,
         from: Hop,
         p: PublicationMsg,
         routes: Vec<(SubId, Hop, Option<Hop>)>,
     ) -> Vec<BrokerOutput> {
+        let multipath = self.config.multipath;
+        // On overlays where no redundant route was ever recorded
+        // (every tree, even with `multipath` forced) the alt lookup
+        // below can never add a destination — skip it wholesale.
+        let fan_out_alts = multipath && self.prt_alt_routes;
         let mut broker_dests: BTreeSet<BrokerId> = BTreeSet::new();
         let mut client_dests: BTreeSet<ClientId> = BTreeSet::new();
-        for (_, active, pending) in routes {
+        for (id, active, pending) in routes {
             for hop in [Some(active), pending].into_iter().flatten() {
                 if hop == from {
                     continue;
@@ -1082,10 +1443,34 @@ impl BrokerCore {
                     }
                 }
             }
+            if fan_out_alts {
+                if let Some(e) = self.prt.get(id) {
+                    for n in &e.alt_lasthops {
+                        if Hop::Broker(*n) != from {
+                            broker_dests.insert(*n);
+                        }
+                    }
+                }
+            }
+        }
+        if multipath && p.hops >= MAX_PUB_HOPS && !broker_dests.is_empty() {
+            // Backstop bound: the dedup window should have terminated
+            // any cycle long before this; count the drop so tests see
+            // it.
+            self.stats.anomalies += 1;
+            broker_dests.clear();
         }
         let mut out = Vec::new();
-        for n in broker_dests {
-            out.push(BrokerOutput::ToBroker(n, PubSubMsg::Publish(p.clone())));
+        if !broker_dests.is_empty() {
+            // The hop count only moves on cyclic overlays, keeping
+            // acyclic forwarding byte-identical to previous releases.
+            let mut fwd = p.clone();
+            if multipath {
+                fwd.hops += 1;
+            }
+            for n in broker_dests {
+                out.push(BrokerOutput::ToBroker(n, PubSubMsg::Publish(fwd.clone())));
+            }
         }
         for c in client_dests {
             out.push(BrokerOutput::Deliver(c, p.clone()));
@@ -1177,6 +1562,9 @@ impl BrokerCore {
             entry.lasthop = pending.lasthop;
             if let Hop::Broker(nb) = pending.lasthop {
                 entry.sent_to.remove(&nb);
+                // The committed primary can no longer also be a
+                // redundant route.
+                entry.alt_lasthops.remove(&nb);
             }
             let meta = self
                 .pending_meta
@@ -1206,6 +1594,9 @@ impl BrokerCore {
             entry.lasthop = pending.lasthop;
             if let Hop::Broker(nb) = pending.lasthop {
                 entry.sent_to.remove(&nb);
+                // The committed primary can no longer also be a
+                // redundant route.
+                entry.alt_lasthops.remove(&nb);
             }
             let meta = self
                 .pending_meta

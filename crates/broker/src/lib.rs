@@ -23,14 +23,19 @@
 
 pub mod broker;
 pub mod messages;
+pub mod overlay;
 pub mod routing;
 pub mod sync_net;
 pub mod topology;
 pub mod wire;
 
-pub use broker::{BrokerConfig, BrokerCore, BrokerStats, CoveringMode, PrematchedRoutes};
+pub use broker::{
+    BrokerConfig, BrokerCore, BrokerStats, CoveringMode, DedupWindow, PrematchedRoutes,
+    DEDUP_WINDOW_CAP, MAX_PUB_HOPS,
+};
 pub use messages::{BrokerOutput, Hop, MsgKind, OutputBatch, PubSubMsg};
+pub use overlay::OverlayBuilder;
 pub use routing::{AdvEntry, PendingRoute, Prt, Srt, SubEntry};
-pub use sync_net::{Delivery, SyncNet};
+pub use sync_net::{Delivery, SyncNet, SyncNetBuilder};
 pub use topology::{Route, Topology, TopologyChange, TopologyError};
 pub use transmob_pubsub::Parallelism;

@@ -69,8 +69,17 @@ pub struct PendingRoute {
 pub struct AdvEntry {
     /// The advertisement.
     pub adv: Advertisement,
-    /// Neighbour (or local client) the advertisement arrived from.
+    /// Neighbour (or local client) the advertisement arrived from
+    /// first: the *primary* parent in this advertisement's routing
+    /// tree.
     pub lasthop: Hop,
+    /// On cyclic overlays (multipath mode): additional neighbours the
+    /// same advertisement later arrived from. Each is a redundant
+    /// route toward the advertiser; subscriptions are forwarded along
+    /// these too, so publications reach this broker over every
+    /// surviving path. Always empty on tree overlays.
+    #[serde(default)]
+    pub alt_lasthops: BTreeSet<transmob_pubsub::BrokerId>,
     /// Neighbours this broker forwarded the advertisement to.
     pub sent_to: BTreeSet<transmob_pubsub::BrokerId>,
     /// Shadow configuration installed by an in-flight movement.
@@ -83,9 +92,17 @@ pub struct AdvEntry {
 pub struct SubEntry {
     /// The subscription.
     pub sub: Subscription,
-    /// Neighbour (or local client) the subscription arrived from; this
-    /// is the direction publications are forwarded in.
+    /// Neighbour (or local client) the subscription arrived from
+    /// first; this is the primary direction publications are forwarded
+    /// in.
     pub lasthop: Hop,
+    /// On cyclic overlays (multipath mode): additional neighbours the
+    /// same subscription later arrived from. Publications matching the
+    /// row are forwarded along these hops as well; the per-broker
+    /// dedup window keeps delivery exactly-once. Always empty on tree
+    /// overlays.
+    #[serde(default)]
+    pub alt_lasthops: BTreeSet<transmob_pubsub::BrokerId>,
     /// Neighbours this broker forwarded the subscription to.
     pub sent_to: BTreeSet<transmob_pubsub::BrokerId>,
     /// Shadow configuration installed by an in-flight movement.
@@ -212,6 +229,7 @@ impl Srt {
                 v.insert(AdvEntry {
                     adv,
                     lasthop,
+                    alt_lasthops: BTreeSet::new(),
                     sent_to: BTreeSet::new(),
                     pending: None,
                 });
@@ -480,6 +498,7 @@ impl Prt {
                 v.insert(SubEntry {
                     sub,
                     lasthop,
+                    alt_lasthops: BTreeSet::new(),
                     sent_to: BTreeSet::new(),
                     pending: None,
                 });
@@ -910,6 +929,7 @@ mod tests {
         let mk = |lo: i64, hi: i64| SubEntry {
             sub: sub(1, 0, lo, hi),
             lasthop: Hop::Client(ClientId(1)),
+            alt_lasthops: BTreeSet::new(),
             sent_to: BTreeSet::new(),
             pending: None,
         };
@@ -932,6 +952,7 @@ mod tests {
         let mk_adv = |lo: i64, hi: i64| AdvEntry {
             adv: adv(1, 0, lo, hi),
             lasthop: Hop::Broker(BrokerId(2)),
+            alt_lasthops: BTreeSet::new(),
             sent_to: BTreeSet::new(),
             pending: None,
         };

@@ -15,6 +15,7 @@ use transmob_pubsub::{BrokerId, ClientId, PublicationMsg};
 
 use crate::broker::{BrokerConfig, BrokerCore};
 use crate::messages::{BrokerOutput, Hop, MsgKind, PubSubMsg};
+use crate::overlay::OverlayBuilder;
 use crate::topology::Topology;
 
 /// A recorded delivery of a publication to a client.
@@ -40,7 +41,10 @@ pub struct Delivery {
 /// use transmob_broker::PubSubMsg;
 /// use transmob_pubsub::BrokerId;
 ///
-/// let mut net = SyncNet::new(Topology::chain(3), BrokerConfig::plain());
+/// let mut net = SyncNet::builder()
+///     .overlay(Topology::chain(3))
+///     .options(BrokerConfig::plain())
+///     .start();
 /// let publisher = ClientId(1);
 /// let subscriber = ClientId(2);
 /// let f = Filter::builder().ge("x", 0).build();
@@ -65,9 +69,26 @@ pub struct SyncNet {
 }
 
 impl SyncNet {
+    /// The builder entry point: `SyncNet::builder().overlay(..)
+    /// .options(..).start()`.
+    pub fn builder() -> SyncNetBuilder {
+        SyncNetBuilder::default()
+    }
+
     /// Builds a network over `topology` with every broker using
     /// `config`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SyncNet::builder().overlay(..).options(..).start()"
+    )]
     pub fn new(topology: Topology, config: BrokerConfig) -> Self {
+        Self::from_parts(topology, config)
+    }
+
+    /// A cyclic topology forces [`BrokerConfig::multipath`] on —
+    /// cyclic routing is undefined without it.
+    fn from_parts(topology: Topology, mut config: BrokerConfig) -> Self {
+        config.multipath |= !topology.is_tree();
         let brokers = topology
             .brokers()
             .map(|b| {
@@ -213,5 +234,47 @@ impl SyncNet {
     /// Iterates the brokers.
     pub fn brokers(&self) -> impl Iterator<Item = (&BrokerId, &BrokerCore)> {
         self.brokers.iter()
+    }
+}
+
+/// Builder for [`SyncNet`] — the same `builder().overlay(..)
+/// .options(..).start()` surface every driver exposes.
+#[derive(Debug, Default)]
+pub struct SyncNetBuilder {
+    overlay: OverlayBuilder,
+    config: BrokerConfig,
+}
+
+impl SyncNetBuilder {
+    /// The overlay: an [`OverlayBuilder`] or a pre-built [`Topology`].
+    pub fn overlay(mut self, overlay: impl Into<OverlayBuilder>) -> Self {
+        self.overlay = overlay.into();
+        self
+    }
+
+    /// The per-broker routing configuration (defaults to
+    /// [`BrokerConfig::plain`]).
+    pub fn options(mut self, config: impl Into<BrokerConfig>) -> Self {
+        self.config = config.into();
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay is invalid (empty, disconnected,
+    /// duplicate edges) — use [`OverlayBuilder::build`] directly for
+    /// the typed [`crate::TopologyError`].
+    pub fn start(self) -> SyncNet {
+        let (topology, par) = self
+            .overlay
+            .into_parts()
+            .expect("invalid overlay passed to SyncNet::builder()");
+        let mut config = self.config;
+        if let Some(par) = par {
+            config.parallelism = par;
+        }
+        SyncNet::from_parts(topology, config)
     }
 }

@@ -1,10 +1,17 @@
-//! Acyclic broker overlay topology.
+//! Broker overlay topology: a validated connected graph.
 //!
 //! The paper (Sec. 4.1) assumes an acyclic overlay of brokers, which
-//! makes the route between any two brokers unique. [`Topology`]
-//! validates acyclicity and connectivity at construction and provides
-//! the unique-route computation (`RouteS2T` in the paper's notation)
-//! that the hop-by-hop reconfiguration protocol walks.
+//! makes the route between any two brokers unique. [`Topology`] has
+//! since been generalized to any *connected* graph — the tree is the
+//! special case ([`Topology::is_tree`]) in which every route is
+//! unique. On a cyclic overlay [`Topology::route`] returns a
+//! deterministic shortest path (`RouteS2T` in the paper's notation);
+//! the broker layer switches to multi-path forwarding with
+//! publication dedup when the overlay has cycles (DESIGN.md §15).
+//!
+//! Construct with [`Topology::from_edges`] (or the [`Topology::chain`]
+//! / [`Topology::star`] / [`Topology::ring`] presets); the positional
+//! tree-only [`Topology::new`] survives as a deprecated wrapper.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -49,7 +56,8 @@ impl fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
-/// An acyclic, connected broker overlay (a tree).
+/// A connected broker overlay graph (a tree in the acyclic special
+/// case).
 ///
 /// # Examples
 ///
@@ -58,12 +66,25 @@ impl std::error::Error for TopologyError {}
 /// use transmob_pubsub::BrokerId;
 ///
 /// // A chain B1 - B2 - B3.
-/// let t = Topology::new(
+/// let t = Topology::from_edges(
 ///     vec![BrokerId(1), BrokerId(2), BrokerId(3)],
 ///     vec![(BrokerId(1), BrokerId(2)), (BrokerId(2), BrokerId(3))],
 /// )?;
+/// assert!(t.is_tree());
 /// let route = t.route(BrokerId(1), BrokerId(3)).unwrap();
 /// assert_eq!(route.brokers(), &[BrokerId(1), BrokerId(2), BrokerId(3)]);
+///
+/// // Closing the cycle is allowed; routes become shortest paths.
+/// let ring = Topology::from_edges(
+///     vec![BrokerId(1), BrokerId(2), BrokerId(3)],
+///     vec![
+///         (BrokerId(1), BrokerId(2)),
+///         (BrokerId(2), BrokerId(3)),
+///         (BrokerId(3), BrokerId(1)),
+///     ],
+/// )?;
+/// assert!(!ring.is_tree());
+/// assert_eq!(ring.route(BrokerId(1), BrokerId(3)).unwrap().hops(), 1);
 /// # Ok::<(), transmob_broker::TopologyError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -73,14 +94,40 @@ pub struct Topology {
 }
 
 impl Topology {
-    /// Builds and validates a topology.
+    /// Builds and validates a *tree* topology.
     ///
     /// # Errors
     ///
     /// Returns an error if the edge list references unknown brokers,
     /// contains self-loops or duplicates, or if the graph is not a
-    /// connected tree.
+    /// connected tree ([`TopologyError::Cyclic`] when it has extra
+    /// edges).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Topology::from_edges, which accepts any connected graph \
+                (check is_tree() if acyclicity is required)"
+    )]
     pub fn new(
+        brokers: impl IntoIterator<Item = BrokerId>,
+        edges: impl IntoIterator<Item = (BrokerId, BrokerId)>,
+    ) -> Result<Self, TopologyError> {
+        let t = Self::from_edges(brokers, edges)?;
+        if !t.is_tree() {
+            return Err(TopologyError::Cyclic);
+        }
+        Ok(t)
+    }
+
+    /// Builds and validates a topology over any connected graph —
+    /// cycles are allowed and enable multi-path forwarding at the
+    /// broker layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the edge list references unknown brokers,
+    /// contains self-loops or duplicates, or if the graph is empty or
+    /// not connected.
+    pub fn from_edges(
         brokers: impl IntoIterator<Item = BrokerId>,
         edges: impl IntoIterator<Item = (BrokerId, BrokerId)>,
     ) -> Result<Self, TopologyError> {
@@ -90,7 +137,6 @@ impl Topology {
         }
         let mut adjacency: BTreeMap<BrokerId, BTreeSet<BrokerId>> =
             brokers.iter().map(|b| (*b, BTreeSet::new())).collect();
-        let mut edge_count = 0usize;
         for (a, b) in edges {
             if a == b {
                 return Err(TopologyError::BadEdge(a, b));
@@ -106,16 +152,6 @@ impl Topology {
                 return Err(TopologyError::BadEdge(a, b));
             }
             adjacency.get_mut(&b).unwrap().insert(a);
-            edge_count += 1;
-        }
-        // A connected graph with |V| - 1 edges and no duplicate edges is
-        // a tree; verify connectivity by BFS.
-        if edge_count + 1 != brokers.len() {
-            return Err(if edge_count + 1 > brokers.len() {
-                TopologyError::Cyclic
-            } else {
-                TopologyError::Disconnected
-            });
         }
         let start = *brokers.iter().next().expect("non-empty");
         let mut seen = BTreeSet::new();
@@ -138,14 +174,71 @@ impl Topology {
     pub fn chain(n: u32) -> Self {
         let brokers: Vec<BrokerId> = (1..=n).map(BrokerId).collect();
         let edges: Vec<_> = (1..n).map(|i| (BrokerId(i), BrokerId(i + 1))).collect();
-        Topology::new(brokers, edges).expect("chain is a valid tree")
+        Topology::from_edges(brokers, edges).expect("chain is a valid tree")
     }
 
     /// A star with `B1` at the centre and `B2..=Bn` as leaves.
     pub fn star(n: u32) -> Self {
         let brokers: Vec<BrokerId> = (1..=n).map(BrokerId).collect();
         let edges: Vec<_> = (2..=n).map(|i| (BrokerId(1), BrokerId(i))).collect();
-        Topology::new(brokers, edges).expect("star is a valid tree")
+        Topology::from_edges(brokers, edges).expect("star is a valid tree")
+    }
+
+    /// A ring `B1 - B2 - ... - Bn - B1` (ids 1..=n, `n >= 3`): the
+    /// smallest cyclic overlay, giving every broker pair two disjoint
+    /// paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (two nodes cannot form a simple cycle).
+    pub fn ring(n: u32) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 brokers");
+        let brokers: Vec<BrokerId> = (1..=n).map(BrokerId).collect();
+        let mut edges: Vec<_> = (1..n).map(|i| (BrokerId(i), BrokerId(i + 1))).collect();
+        edges.push((BrokerId(n), BrokerId(1)));
+        Topology::from_edges(brokers, edges).expect("ring is a valid connected graph")
+    }
+
+    /// Whether the overlay is acyclic (a connected graph is a tree
+    /// exactly when it has `|V| - 1` edges). Tree overlays keep the
+    /// paper's unique-route forwarding; cyclic overlays switch the
+    /// broker layer to multi-path forwarding with publication dedup.
+    pub fn is_tree(&self) -> bool {
+        self.edge_count() + 1 == self.brokers.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.values().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Adds the undirected edge `a - b` (closing a cycle is allowed:
+    /// this is how cyclic overlays are grown from trees).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownBroker`] if either endpoint is
+    /// not in the overlay and [`TopologyError::BadEdge`] for
+    /// self-loops or edges that already exist.
+    pub fn add_edge(&mut self, a: BrokerId, b: BrokerId) -> Result<TopologyChange, TopologyError> {
+        if a == b {
+            return Err(TopologyError::BadEdge(a, b));
+        }
+        if !self.brokers.contains(&a) {
+            return Err(TopologyError::UnknownBroker(a));
+        }
+        if !self.brokers.contains(&b) {
+            return Err(TopologyError::UnknownBroker(b));
+        }
+        if !self.adjacency.get_mut(&a).unwrap().insert(b) {
+            return Err(TopologyError::BadEdge(a, b));
+        }
+        self.adjacency.get_mut(&b).unwrap().insert(a);
+        self.debug_check_invariants();
+        Ok(TopologyChange {
+            removed_edges: Vec::new(),
+            added_edges: vec![ordered_edge(a, b)],
+        })
     }
 
     /// The broker ids, in order.
@@ -191,7 +284,12 @@ impl Topology {
         out
     }
 
-    /// The unique route from `src` to `dst` (`RouteS2T` in the paper).
+    /// The route from `src` to `dst` (`RouteS2T` in the paper): the
+    /// unique path on a tree, a *deterministic shortest* path on a
+    /// cyclic overlay (BFS over sorted neighbour sets, so every broker
+    /// computes the same path, and hop-by-hop forwarding along
+    /// [`Topology::next_hop`] converges because the remaining distance
+    /// strictly decreases).
     ///
     /// Returns `None` if either endpoint is not in the overlay. The
     /// route includes both endpoints; `route(b, b)` is the single-node
@@ -204,7 +302,7 @@ impl Topology {
             return Some(Route { brokers: vec![src] });
         }
         // BFS from src recording parents; in a tree this finds the
-        // unique path.
+        // unique path, in a graph the deterministic shortest one.
         let mut parent: BTreeMap<BrokerId, BrokerId> = BTreeMap::new();
         let mut queue = VecDeque::from([src]);
         let mut seen = BTreeSet::from([src]);
@@ -240,7 +338,8 @@ impl Topology {
         out
     }
 
-    /// The next hop from `from` on the unique path toward `to`.
+    /// The next hop from `from` on the [`Topology::route`] toward `to`
+    /// (unique on trees, deterministic-shortest on cyclic overlays).
     ///
     /// Returns `None` when `from == to` or either is unknown.
     pub fn next_hop(&self, from: BrokerId, to: BrokerId) -> Option<BrokerId> {
@@ -250,8 +349,10 @@ impl Topology {
 
     /// Adds `broker` to the overlay, attached to `attach_to`.
     ///
-    /// Attaching a fresh leaf to an existing node of a tree always
-    /// yields a tree, so this cannot violate the invariants.
+    /// Attaching a fresh leaf to an existing node keeps the graph
+    /// connected (and keeps a tree a tree), so this cannot violate the
+    /// invariants. Extra edges for the new broker can then be added
+    /// with [`Topology::add_edge`].
     ///
     /// # Errors
     ///
@@ -273,7 +374,7 @@ impl Topology {
         self.adjacency.insert(broker, BTreeSet::from([attach_to]));
         // unwrap: attach_to membership checked above
         self.adjacency.get_mut(&attach_to).unwrap().insert(broker);
-        self.debug_check_tree();
+        self.debug_check_invariants();
         Ok(TopologyChange {
             removed_edges: Vec::new(),
             added_edges: vec![ordered_edge(broker, attach_to)],
@@ -282,13 +383,16 @@ impl Topology {
 
     /// Removes `broker` gracefully, designating the neighbour that
     /// inherits its responsibilities (routing state, attached-client
-    /// handover) and reconnecting the remaining subtrees through it.
+    /// handover) and reconnecting any remaining components through it.
     ///
     /// The designated neighbour is the smallest-id neighbour of the
-    /// leaving broker; every other neighbour gains an edge to it. This
-    /// is the same reconnection rule as [`Topology::repair`] — the
-    /// difference between leave and repair is purely at the routing
-    /// layer (state handover vs. re-propagation).
+    /// leaving broker; on a tree every other neighbour gains an edge
+    /// to it, on a general graph only the components actually
+    /// disconnected by the removal do (often none — redundant paths
+    /// keep the remainder connected). This is the same reconnection
+    /// rule as [`Topology::repair`] — the difference between leave and
+    /// repair is purely at the routing layer (state handover vs.
+    /// re-propagation).
     ///
     /// # Errors
     ///
@@ -312,17 +416,22 @@ impl Topology {
         Ok((designated, change))
     }
 
-    /// Repairs the overlay after `dead` crashed: removes it and
-    /// reconnects its orphaned subtrees with new edges, preserving
-    /// acyclicity and connectivity.
+    /// Repairs the overlay after `dead` crashed: removes it and, where
+    /// the removal actually disconnected the remainder, reconnects the
+    /// orphaned components with new edges, preserving connectivity
+    /// (and acyclicity on trees — reconnection never *adds* cycles).
     ///
     /// The reconnection rule is deterministic: the smallest-id
-    /// neighbour of the dead broker (the *anchor*) gains an edge to
-    /// every other neighbour. Removing a degree-`k` tree node and
-    /// adding `k - 1` edges from one component to each of the others
-    /// yields a tree again. Determinism matters — every surviving
-    /// broker derives the same post-repair overlay from `(topology,
-    /// dead)` alone, with no coordination round.
+    /// neighbour of the dead broker (the *anchor*) gains an edge into
+    /// every component of the remainder that it is not itself part of,
+    /// landing on that component's smallest-id ex-neighbour of the
+    /// dead broker. On a tree every ex-neighbour is its own component,
+    /// so this degenerates to the original rule (anchor gains an edge
+    /// to every other neighbour); on a cyclic overlay whose redundant
+    /// paths keep the remainder connected, no edges are added at all.
+    /// Determinism matters — every surviving broker derives the same
+    /// post-repair overlay from `(topology, dead)` alone, with no
+    /// coordination round.
     ///
     /// Returns the edge set that changed.
     ///
@@ -352,33 +461,60 @@ impl Topology {
             self.adjacency.get_mut(n).unwrap().remove(&gone);
             removed_edges.push(ordered_edge(gone, *n));
         }
-        // The neighbour set is sorted (BTreeSet), so the anchor is the
-        // smallest-id neighbour: under the TCP runtime's owner-dials
-        // rule (smaller id dials) the anchor owns every new link.
-        let mut added_edges = Vec::new();
-        if let Some((&anchor, rest)) = neighbors.split_first() {
-            for n in rest {
-                self.adjacency.get_mut(&anchor).unwrap().insert(*n);
-                self.adjacency.get_mut(n).unwrap().insert(anchor);
-                added_edges.push((anchor, *n));
+        // Label the connected components of the remainder. Every
+        // component contains at least one ex-neighbour of `gone` (its
+        // path to `gone` in the pre-removal graph entered through
+        // one), so reconnecting through ex-neighbours suffices.
+        let mut component: BTreeMap<BrokerId, usize> = BTreeMap::new();
+        for &start in &self.brokers {
+            if component.contains_key(&start) {
+                continue;
+            }
+            let idx = component.len(); // distinct per BFS start
+            component.insert(start, idx);
+            let mut queue = VecDeque::from([start]);
+            while let Some(b) = queue.pop_front() {
+                for n in &self.adjacency[&b] {
+                    if let std::collections::btree_map::Entry::Vacant(e) = component.entry(*n) {
+                        e.insert(idx);
+                        queue.push_back(*n);
+                    }
+                }
             }
         }
-        self.debug_check_tree();
+        // The neighbour set is sorted (BTreeSet), so the anchor is the
+        // smallest-id neighbour: under the TCP runtime's owner-dials
+        // rule (smaller id dials) the anchor owns every new link. Each
+        // still-disconnected component is adopted through its own
+        // smallest-id ex-neighbour; iterating `neighbors` in ascending
+        // order makes that the first one seen per component.
+        let mut added_edges = Vec::new();
+        if let Some((&anchor, rest)) = neighbors.split_first() {
+            let mut linked = BTreeSet::from([component[&anchor]]);
+            for n in rest {
+                if linked.insert(component[n]) {
+                    self.adjacency.get_mut(&anchor).unwrap().insert(*n);
+                    self.adjacency.get_mut(n).unwrap().insert(anchor);
+                    added_edges.push(ordered_edge(anchor, *n));
+                }
+            }
+        }
+        self.debug_check_invariants();
         Ok(TopologyChange {
             removed_edges,
             added_edges,
         })
     }
 
-    /// Debug-build re-validation of the tree invariants after a
+    /// Debug-build re-validation of the graph invariants after a
     /// mutation (the mutation ops maintain them by construction).
-    fn debug_check_tree(&self) {
+    fn debug_check_invariants(&self) {
         #[cfg(debug_assertions)]
         {
-            let rebuilt = Topology::new(self.brokers.iter().copied(), self.edges());
+            let rebuilt = Topology::from_edges(self.brokers.iter().copied(), self.edges());
             debug_assert!(
                 rebuilt.as_ref() == Ok(self),
-                "topology mutation broke the tree invariants: {rebuilt:?}"
+                "topology mutation broke the overlay invariants: {rebuilt:?}"
             );
         }
     }
@@ -499,8 +635,11 @@ mod tests {
         assert_eq!(r.brokers(), &[b(4), b(1), b(5)]);
     }
 
+    /// The deprecated tree-only constructor still enforces
+    /// acyclicity.
     #[test]
-    fn cycle_rejected() {
+    #[allow(deprecated)]
+    fn cycle_rejected_by_tree_constructor() {
         let err = Topology::new(
             vec![b(1), b(2), b(3)],
             vec![(b(1), b(2)), (b(2), b(3)), (b(3), b(1))],
@@ -510,19 +649,33 @@ mod tests {
     }
 
     #[test]
+    fn cycle_accepted_by_graph_constructor() {
+        let t = Topology::from_edges(
+            vec![b(1), b(2), b(3)],
+            vec![(b(1), b(2)), (b(2), b(3)), (b(3), b(1))],
+        )
+        .unwrap();
+        assert!(!t.is_tree());
+        assert_eq!(t.edge_count(), 3);
+        // Shortest path wins; the neighbour order makes it
+        // deterministic.
+        assert_eq!(t.route(b(1), b(3)).unwrap().brokers(), &[b(1), b(3)]);
+    }
+
+    #[test]
     fn disconnected_rejected() {
-        let err = Topology::new(vec![b(1), b(2), b(3)], vec![(b(1), b(2))]).unwrap_err();
+        let err = Topology::from_edges(vec![b(1), b(2), b(3)], vec![(b(1), b(2))]).unwrap_err();
         assert_eq!(err, TopologyError::Disconnected);
     }
 
     #[test]
     fn self_loop_and_duplicate_edges_rejected() {
         assert_eq!(
-            Topology::new(vec![b(1), b(2)], vec![(b(1), b(1))]).unwrap_err(),
+            Topology::from_edges(vec![b(1), b(2)], vec![(b(1), b(1))]).unwrap_err(),
             TopologyError::BadEdge(b(1), b(1))
         );
         assert_eq!(
-            Topology::new(vec![b(1), b(2)], vec![(b(1), b(2)), (b(2), b(1))]).unwrap_err(),
+            Topology::from_edges(vec![b(1), b(2)], vec![(b(1), b(2)), (b(2), b(1))]).unwrap_err(),
             TopologyError::BadEdge(b(2), b(1))
         );
     }
@@ -530,7 +683,7 @@ mod tests {
     #[test]
     fn unknown_broker_rejected() {
         assert_eq!(
-            Topology::new(vec![b(1)], vec![(b(1), b(9))]).unwrap_err(),
+            Topology::from_edges(vec![b(1)], vec![(b(1), b(9))]).unwrap_err(),
             TopologyError::UnknownBroker(b(9))
         );
     }
@@ -538,8 +691,84 @@ mod tests {
     #[test]
     fn empty_rejected() {
         assert_eq!(
-            Topology::new(Vec::<BrokerId>::new(), vec![]).unwrap_err(),
+            Topology::from_edges(Vec::<BrokerId>::new(), vec![]).unwrap_err(),
             TopologyError::Empty
+        );
+    }
+
+    #[test]
+    fn ring_preset_is_cyclic_and_routes_shortest() {
+        let t = Topology::ring(5);
+        assert!(!t.is_tree());
+        assert_eq!(t.edge_count(), 5);
+        // B1 -> B4: the short way round is B1 - B5 - B4.
+        assert_eq!(t.route(b(1), b(4)).unwrap().hops(), 2);
+        assert_eq!(t.neighbors(b(1)), &BTreeSet::from([b(2), b(5)]));
+    }
+
+    #[test]
+    fn add_edge_closes_cycles_and_validates() {
+        let mut t = Topology::chain(4);
+        let change = t.add_edge(b(4), b(1)).unwrap();
+        assert_eq!(change.added_edges, vec![(b(1), b(4))]);
+        assert!(!t.is_tree());
+        assert_eq!(t.route(b(1), b(4)).unwrap().hops(), 1);
+        assert_eq!(
+            t.add_edge(b(1), b(4)).unwrap_err(),
+            TopologyError::BadEdge(b(1), b(4))
+        );
+        assert_eq!(
+            t.add_edge(b(2), b(2)).unwrap_err(),
+            TopologyError::BadEdge(b(2), b(2))
+        );
+        assert_eq!(
+            t.add_edge(b(1), b(9)).unwrap_err(),
+            TopologyError::UnknownBroker(b(9))
+        );
+    }
+
+    #[test]
+    fn repair_on_a_ring_adds_no_edges() {
+        // Removing one ring node leaves a chain: still connected, so
+        // the repair delta is pure removal.
+        let mut t = Topology::ring(5);
+        let change = t.repair(b(3)).unwrap();
+        assert_eq!(change.removed_edges, vec![(b(2), b(3)), (b(3), b(4))]);
+        assert!(change.added_edges.is_empty());
+        assert!(t.is_tree(), "ring minus a node is a chain");
+        assert_eq!(
+            t.route(b(2), b(4)).unwrap().brokers(),
+            &[b(2), b(1), b(5), b(4)]
+        );
+    }
+
+    #[test]
+    fn repair_reconnects_only_disconnected_components() {
+        // Two triangles sharing node B4: killing B4 splits them, and
+        // the anchor (B1) adopts the other component through its
+        // smallest ex-neighbour (B5) — one edge, not one per
+        // neighbour.
+        let mut t = Topology::from_edges(
+            vec![b(1), b(2), b(3), b(5), b(6), b(4)],
+            vec![
+                (b(1), b(2)),
+                (b(2), b(3)),
+                (b(3), b(1)),
+                (b(5), b(6)),
+                (b(1), b(4)),
+                (b(3), b(4)),
+                (b(5), b(4)),
+                (b(6), b(4)),
+            ],
+        )
+        .unwrap();
+        let change = t.repair(b(4)).unwrap();
+        assert_eq!(change.added_edges, vec![(b(1), b(5))]);
+        assert_eq!(change.removed_edges.len(), 4);
+        assert!(t.contains(b(5)));
+        assert_eq!(
+            t.route(b(2), b(6)).unwrap().brokers(),
+            &[b(2), b(1), b(5), b(6)]
         );
     }
 

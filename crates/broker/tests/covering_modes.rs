@@ -19,15 +19,15 @@ fn range(lo: i64, hi: i64) -> Filter {
 }
 
 fn net_with(mode: CoveringMode) -> SyncNet {
-    let mut net = SyncNet::new(
-        Topology::chain(4),
-        BrokerConfig {
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(4))
+        .options(BrokerConfig {
             sub_covering: mode,
             adv_covering: CoveringMode::Off,
             conservative_release: true,
             ..Default::default()
-        },
-    );
+        })
+        .start();
     net.client_send(
         b(1),
         c(1),
@@ -121,15 +121,15 @@ fn lazy_release_still_recovers_quenched_subs() {
 #[test]
 fn adv_covering_independent_of_sub_covering() {
     // Advertisement covering runs on its own mode switch.
-    let mut net = SyncNet::new(
-        Topology::chain(3),
-        BrokerConfig {
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(3))
+        .options(BrokerConfig {
             sub_covering: CoveringMode::Off,
             adv_covering: CoveringMode::Lazy,
             conservative_release: true,
             ..Default::default()
-        },
-    );
+        })
+        .start();
     net.client_send(
         b(1),
         c(1),

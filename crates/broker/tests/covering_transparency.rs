@@ -59,7 +59,10 @@ fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
 
 /// Applies the toggle sequence to a network, returning it quiescent.
 fn build_net(config: BrokerConfig, steps: &[Step]) -> SyncNet {
-    let mut net = SyncNet::new(Topology::chain(5), config);
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(5))
+        .options(config)
+        .start();
     // Full-space advertiser at B1.
     net.client_send(
         BrokerId(1),
@@ -225,7 +228,10 @@ fn quench_release_round_trip_preserves_delivery() {
     // Deterministic witness of the cascade correctness: root quenches
     // leaves, root leaves, leaves released, root returns, leaves
     // retracted — deliveries identical at every stage.
-    let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::covering());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(4))
+        .options(BrokerConfig::covering())
+        .start();
     net.client_send(
         BrokerId(1),
         ClientId(1),

@@ -23,7 +23,10 @@ fn range(a: &str, lo: i64, hi: i64) -> Filter {
 /// attributes, stream publications from both ends, unsubscribe some
 /// rows mid-stream; returns (deliveries, traffic, per-broker state).
 fn run(config: BrokerConfig) -> (Vec<String>, Vec<(String, u64)>, Vec<String>) {
-    let mut net = SyncNet::new(Topology::chain(5), config);
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(5))
+        .options(config)
+        .start();
     net.client_send(
         b(1),
         c(1),

@@ -95,7 +95,7 @@ fn adv_slot(slot: u8, shift: u8) -> (BrokerId, ClientId, Filter) {
 /// sub can be quenched toward B5 but live toward B3), which a chain
 /// cannot express.
 fn tree6() -> Topology {
-    Topology::new(
+    Topology::from_edges(
         (1..=6).map(BrokerId),
         [
             (BrokerId(1), BrokerId(2)),
@@ -132,7 +132,7 @@ fn arb_batches() -> impl Strategy<Value = Vec<Vec<Op>>> {
 /// traffic from different ops crosses in flight; otherwise each op
 /// runs to quiescence (the schedule the older suites use).
 fn build_net(config: BrokerConfig, batches: &[Vec<Op>], batched: bool) -> SyncNet {
-    let mut net = SyncNet::new(tree6(), config);
+    let mut net = SyncNet::builder().overlay(tree6()).options(config).start();
     // Permanent full-space advertisers at both ends, so probes from
     // either side always have a routed path.
     for (broker, client) in [(BrokerId(1), ClientId(1)), (BrokerId(4), ClientId(2))] {
@@ -314,7 +314,10 @@ fn crossing_root_and_leaf_unsubscribe_cancel() {
         BrokerConfig::covering(),
         BrokerConfig::covering_precise_release(),
     ] {
-        let mut net = SyncNet::new(Topology::chain(4), config);
+        let mut net = SyncNet::builder()
+            .overlay(Topology::chain(4))
+            .options(config)
+            .start();
         net.client_send(
             BrokerId(1),
             ClientId(1),
@@ -360,7 +363,10 @@ fn crossing_leaf_then_root_unsubscribe_cancel() {
         BrokerConfig::covering(),
         BrokerConfig::covering_precise_release(),
     ] {
-        let mut net = SyncNet::new(Topology::chain(4), config);
+        let mut net = SyncNet::builder()
+            .overlay(Topology::chain(4))
+            .options(config)
+            .start();
         net.client_send(
             BrokerId(1),
             ClientId(1),

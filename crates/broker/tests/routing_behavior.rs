@@ -45,7 +45,10 @@ fn publish(net: &mut SyncNet, broker: BrokerId, client: u64, id: u64, x: i64) {
 
 #[test]
 fn advertisement_floods_entire_overlay() {
-    let mut net = SyncNet::new(Topology::chain(5), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(5))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 10))));
     for i in 1..=5 {
         assert_eq!(net.broker(b(i)).srt().len(), 1, "broker {i} missing adv");
@@ -74,7 +77,10 @@ fn advertisement_floods_entire_overlay() {
 #[test]
 fn subscription_routes_only_toward_intersecting_advertisement() {
     // Star: advertiser on leaf 2, subscriber on leaf 3, bystander leaf 4.
-    let mut net = SyncNet::new(Topology::star(4), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::star(4))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(2), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 10))));
     net.client_send(b(3), c(2), PubSubMsg::Subscribe(sub(2, 0, range(5, 15))));
     // Subscription installed at B3 (access), B1 (centre), B2 (advertiser),
@@ -87,7 +93,10 @@ fn subscription_routes_only_toward_intersecting_advertisement() {
 
 #[test]
 fn non_intersecting_subscription_stays_local() {
-    let mut net = SyncNet::new(Topology::chain(3), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(3))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 10))));
     net.client_send(b(3), c(2), PubSubMsg::Subscribe(sub(2, 0, range(50, 60))));
     assert_eq!(net.broker(b(3)).prt().len(), 1); // stored at access broker
@@ -96,7 +105,10 @@ fn non_intersecting_subscription_stays_local() {
 
 #[test]
 fn publication_delivered_end_to_end_exactly_once() {
-    let mut net = SyncNet::new(Topology::chain(5), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(5))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     net.client_send(b(5), c(2), PubSubMsg::Subscribe(sub(2, 0, range(0, 50))));
     publish(&mut net, b(1), 1, 1, 25);
@@ -111,7 +123,10 @@ fn publication_delivered_end_to_end_exactly_once() {
 
 #[test]
 fn publication_not_routed_into_empty_branches() {
-    let mut net = SyncNet::new(Topology::star(4), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::star(4))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(2), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     net.client_send(b(3), c(2), PubSubMsg::Subscribe(sub(2, 0, range(0, 100))));
     net.reset_traffic();
@@ -126,7 +141,10 @@ fn publication_not_routed_into_empty_branches() {
 
 #[test]
 fn multiple_matching_subs_of_one_client_deliver_once() {
-    let mut net = SyncNet::new(Topology::chain(2), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(2))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     net.client_send(b(2), c(2), PubSubMsg::Subscribe(sub(2, 0, range(0, 50))));
     net.client_send(b(2), c(2), PubSubMsg::Subscribe(sub(2, 1, range(0, 30))));
@@ -136,7 +154,10 @@ fn multiple_matching_subs_of_one_client_deliver_once() {
 
 #[test]
 fn two_subscribers_both_receive() {
-    let mut net = SyncNet::new(Topology::star(4), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::star(4))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     net.client_send(b(2), c(2), PubSubMsg::Subscribe(sub(2, 0, range(0, 50))));
     net.client_send(b(3), c(3), PubSubMsg::Subscribe(sub(3, 0, range(0, 50))));
@@ -148,7 +169,10 @@ fn two_subscribers_both_receive() {
 
 #[test]
 fn publisher_does_not_receive_own_publication() {
-    let mut net = SyncNet::new(Topology::chain(2), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(2))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     net.client_send(b(1), c(1), PubSubMsg::Subscribe(sub(1, 0, range(0, 100))));
     publish(&mut net, b(1), 1, 1, 10);
@@ -157,7 +181,10 @@ fn publisher_does_not_receive_own_publication() {
 
 #[test]
 fn unsubscribe_retracts_along_path() {
-    let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(4))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     net.client_send(b(4), c(2), PubSubMsg::Subscribe(sub(2, 0, range(0, 100))));
     assert_eq!(net.broker(b(1)).prt().len(), 1);
@@ -171,7 +198,10 @@ fn unsubscribe_retracts_along_path() {
 
 #[test]
 fn unadvertise_retracts_and_prunes_subscriptions() {
-    let mut net = SyncNet::new(Topology::chain(3), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(3))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     net.client_send(b(3), c(2), PubSubMsg::Subscribe(sub(2, 0, range(0, 100))));
     // Sub reached B1.
@@ -189,7 +219,10 @@ fn unadvertise_retracts_and_prunes_subscriptions() {
 
 #[test]
 fn late_advertisement_pulls_existing_subscriptions() {
-    let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(4))
+        .options(BrokerConfig::plain())
+        .start();
     // Subscriber first: no adv yet, sub stays local.
     net.client_send(b(4), c(2), PubSubMsg::Subscribe(sub(2, 0, range(0, 100))));
     assert_eq!(net.broker(b(3)).prt().len(), 0);
@@ -202,7 +235,10 @@ fn late_advertisement_pulls_existing_subscriptions() {
 
 #[test]
 fn second_advertisement_does_not_duplicate_deliveries() {
-    let mut net = SyncNet::new(Topology::chain(3), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(3))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 1, range(0, 100))));
     net.client_send(b(3), c(2), PubSubMsg::Subscribe(sub(2, 0, range(0, 100))));
@@ -213,15 +249,15 @@ fn second_advertisement_does_not_duplicate_deliveries() {
 // ----- covering behaviour -------------------------------------------
 
 fn covering_net(n: u32) -> SyncNet {
-    SyncNet::new(
-        Topology::chain(n),
-        BrokerConfig {
+    SyncNet::builder()
+        .overlay(Topology::chain(n))
+        .options(BrokerConfig {
             sub_covering: CoveringMode::Active,
             adv_covering: CoveringMode::Off,
             conservative_release: false,
             ..Default::default()
-        },
-    )
+        })
+        .start()
 }
 
 #[test]
@@ -302,15 +338,15 @@ fn covering_chain_workload_quenches_transitively() {
 
 #[test]
 fn adv_covering_quenches_flood_and_release_on_unadvertise() {
-    let mut net = SyncNet::new(
-        Topology::chain(4),
-        BrokerConfig {
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(4))
+        .options(BrokerConfig {
             sub_covering: CoveringMode::Off,
             adv_covering: CoveringMode::Active,
             conservative_release: false,
             ..Default::default()
-        },
-    );
+        })
+        .start();
     // Covering adv first.
     net.client_send(b(1), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     net.reset_traffic();
@@ -349,7 +385,10 @@ fn subscription_routed_by_covering_sub_still_delivers_downstream() {
 fn pending_sub_config_routes_to_both_until_commit() {
     // Subscriber moves B4 → B1 on a chain; install pending configs by
     // hand (the protocol in transmob-core automates this).
-    let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(4))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(4), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     let s = sub(2, 0, range(0, 100));
     net.client_send(b(1), c(2), PubSubMsg::Subscribe(s.clone()));
@@ -389,7 +428,10 @@ fn pending_sub_config_routes_to_both_until_commit() {
 
 #[test]
 fn pending_sub_abort_restores_original_routing() {
-    let mut net = SyncNet::new(Topology::chain(3), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(3))
+        .options(BrokerConfig::plain())
+        .start();
     net.client_send(b(3), c(1), PubSubMsg::Advertise(adv(1, 0, range(0, 100))));
     let s = sub(2, 0, range(0, 100));
     net.client_send(b(1), c(2), PubSubMsg::Subscribe(s.clone()));
@@ -421,7 +463,10 @@ fn pending_sub_abort_restores_original_routing() {
 fn pending_created_entry_removed_on_abort() {
     // No advertisement: subscription never propagates, so path brokers
     // get created-by-move entries which abort must remove.
-    let mut net = SyncNet::new(Topology::chain(3), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(3))
+        .options(BrokerConfig::plain())
+        .start();
     let s = sub(2, 0, range(0, 100));
     net.client_send(b(1), c(2), PubSubMsg::Subscribe(s.clone()));
     use transmob_pubsub::MoveId;
@@ -437,7 +482,10 @@ fn pending_created_entry_removed_on_abort() {
 fn pending_adv_move_with_commit_prunes_stale_sub_paths() {
     // Publisher moves B1 → B4; a subscriber sits at B3 (so its sub,
     // with lasthop toward B3, is case 1/3 material).
-    let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(4))
+        .options(BrokerConfig::plain())
+        .start();
     let a = adv(1, 0, range(0, 100));
     net.client_send(b(1), c(1), PubSubMsg::Advertise(a.clone()));
     let s = sub(2, 0, range(0, 100));
@@ -478,7 +526,10 @@ fn pending_adv_move_with_commit_prunes_stale_sub_paths() {
 
 #[test]
 fn broker_stats_count_and_anomalies() {
-    let mut net = SyncNet::new(Topology::chain(2), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(2))
+        .options(BrokerConfig::plain())
+        .start();
     // An unsubscribe for an unknown id is a tolerated stale retraction.
     net.client_send(b(1), c(1), PubSubMsg::Unsubscribe(SubId::new(c(1), 0)));
     assert_eq!(net.broker(b(1)).stats().reroutes, 1);

@@ -64,7 +64,7 @@ fn reconfigure_adv_move(net: &mut SyncNet, a: &Advertisement) {
 fn case1_offpath_subscriber_is_pulled_toward_new_location() {
     // B3 has an off-path branch to B6 hosting the subscriber: its
     // subscription's lasthop at B3 is B6 ∉ RouteS2T.
-    let topo = Topology::new(
+    let topo = Topology::from_edges(
         (1..=6).map(b).collect::<Vec<_>>(),
         vec![
             (b(1), b(2)),
@@ -75,7 +75,10 @@ fn case1_offpath_subscriber_is_pulled_toward_new_location() {
         ],
     )
     .unwrap();
-    let mut net = SyncNet::new(topo, BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(topo)
+        .options(BrokerConfig::plain())
+        .start();
     let a = Advertisement::new(AdvId::new(c(1), 0), range(0, 100));
     net.client_send(b(1), c(1), PubSubMsg::Advertise(a.clone()));
     let s = Subscription::new(SubId::new(c(2), 0), range(0, 100));
@@ -110,7 +113,10 @@ fn case2_stale_entry_toward_target_is_pruned_on_commit() {
     // subscription extends B5 → ... → B1 toward the adv; post-move
     // those entries are stale (the publisher is co-located now) and
     // the commit pass prunes them.
-    let mut net = SyncNet::new(Topology::chain(5), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(5))
+        .options(BrokerConfig::plain())
+        .start();
     let a = Advertisement::new(AdvId::new(c(1), 0), range(0, 100));
     net.client_send(b(1), c(1), PubSubMsg::Advertise(a.clone()));
     let s = Subscription::new(SubId::new(c(2), 0), range(0, 100));
@@ -151,7 +157,10 @@ fn case2_entry_kept_when_another_advertisement_justifies_it() {
     // Same as case 2, but a second (stationary) publisher at B1 also
     // intersects the subscription — the entries must survive the
     // commit-pass prune.
-    let mut net = SyncNet::new(Topology::chain(5), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(5))
+        .options(BrokerConfig::plain())
+        .start();
     let a = Advertisement::new(AdvId::new(c(1), 0), range(0, 100));
     net.client_send(b(1), c(1), PubSubMsg::Advertise(a.clone()));
     let other = Advertisement::new(AdvId::new(c(9), 0), range(0, 100));
@@ -196,7 +205,10 @@ fn case3_subscription_from_source_direction_forwarded_onward() {
     // is also justified by a second advertisement hanging at B1: at B2
     // the entry's lasthop is B1 = RouteS2T.pre(B2): case 3. After the
     // move it must be forwarded toward B5.
-    let mut net = SyncNet::new(Topology::chain(5), BrokerConfig::plain());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(5))
+        .options(BrokerConfig::plain())
+        .start();
     let a = Advertisement::new(AdvId::new(c(1), 0), range(0, 100));
     net.client_send(b(1), c(1), PubSubMsg::Advertise(a.clone()));
     let other = Advertisement::new(AdvId::new(c(9), 0), range(50, 200));

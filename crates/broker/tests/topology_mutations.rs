@@ -35,12 +35,13 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 /// Full revalidation: rebuilding the overlay from its broker and edge
 /// sets re-runs the constructor's acyclicity + connectivity checks.
 fn assert_valid_tree(topo: &Topology) {
-    let rebuilt = Topology::new(topo.brokers(), topo.edges());
+    let rebuilt = Topology::from_edges(topo.brokers(), topo.edges());
     assert_eq!(
         rebuilt.as_ref(),
         Ok(topo),
-        "mutation broke the tree invariants"
+        "mutation broke the connectivity invariants"
     );
+    assert!(topo.is_tree(), "mutation introduced a cycle");
 }
 
 /// `route` must agree with the mutated edge set: every pair is

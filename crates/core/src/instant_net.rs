@@ -13,11 +13,12 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-use transmob_broker::{Hop, MsgKind, Topology};
+use transmob_broker::{Hop, MsgKind, OverlayBuilder, Topology};
 use transmob_pubsub::{BrokerId, ClientId, MoveId, PublicationMsg};
 
 use crate::messages::{ClientOp, Message, Output, TimerToken};
 use crate::mobile_broker::{MobileBroker, MobileBrokerConfig};
+use crate::options::NetworkOptions;
 use crate::transport::{flush_outputs, Transport};
 
 /// An observable event produced while draining the network.
@@ -81,8 +82,22 @@ pub struct InstantNet {
 }
 
 impl InstantNet {
+    /// The builder entry point: `InstantNet::builder().overlay(..)
+    /// .options(..).start()`.
+    pub fn builder() -> InstantNetBuilder {
+        InstantNetBuilder::default()
+    }
+
     /// Builds a network over `topology`, all brokers sharing `config`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use InstantNet::builder().overlay(..).options(..).start()"
+    )]
     pub fn new(topology: Topology, config: MobileBrokerConfig) -> Self {
+        Self::from_parts(topology, config)
+    }
+
+    fn from_parts(topology: Topology, config: MobileBrokerConfig) -> Self {
         let topology = Arc::new(topology);
         let brokers = topology
             .brokers()
@@ -444,5 +459,47 @@ impl crate::properties::NetworkView for InstantNet {
 
     fn view_find_client(&self, client: ClientId) -> Option<BrokerId> {
         self.find_client(client)
+    }
+}
+
+/// Builder for [`InstantNet`] — the same `builder().overlay(..)
+/// .options(..).start()` surface every driver exposes.
+#[derive(Debug, Default)]
+pub struct InstantNetBuilder {
+    overlay: OverlayBuilder,
+    options: NetworkOptions,
+}
+
+impl InstantNetBuilder {
+    /// The overlay: an [`OverlayBuilder`] or a pre-built [`Topology`].
+    pub fn overlay(mut self, overlay: impl Into<OverlayBuilder>) -> Self {
+        self.overlay = overlay.into();
+        self
+    }
+
+    /// Per-broker options ([`NetworkOptions`], [`MobileBrokerConfig`],
+    /// or a bare `BrokerConfig`).
+    pub fn options(mut self, options: impl Into<NetworkOptions>) -> Self {
+        self.options = options.into();
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay is invalid (empty, disconnected,
+    /// duplicate edges) — use [`OverlayBuilder::build`] directly for
+    /// the typed `TopologyError`.
+    pub fn start(self) -> InstantNet {
+        let (topology, par) = self
+            .overlay
+            .into_parts()
+            .expect("invalid overlay passed to InstantNet::builder()");
+        let mut config = self.options.config;
+        if let Some(par) = par {
+            config.broker.parallelism = par;
+        }
+        InstantNet::from_parts(topology, config)
     }
 }

@@ -35,7 +35,7 @@
 //! use transmob_broker::Topology;
 //! use transmob_pubsub::{BrokerId, ClientId, Filter, Publication};
 //!
-//! let mut net = InstantNet::new(Topology::chain(5), MobileBrokerConfig::reconfig());
+//! let mut net = InstantNet::builder().overlay(Topology::chain(5)).options(MobileBrokerConfig::reconfig()).start();
 //! let publisher = ClientId(1);
 //! let subscriber = ClientId(2);
 //! net.create_client(BrokerId(1), publisher);
@@ -58,6 +58,7 @@ pub mod instant_net;
 pub mod messages;
 pub mod mobile_broker;
 pub mod modelcheck;
+pub mod options;
 pub mod persistence;
 pub mod properties;
 pub mod states;
@@ -68,12 +69,13 @@ pub use client_stub::{DeliverOutcome, HostedClient};
 pub use durability::{
     DurabilityLog, DurabilityRecord, LoggedInput, MemoryLog, DURABILITY_FORMAT_VERSION,
 };
-pub use instant_net::{ArmedTimer, InstantNet, NetEvent};
+pub use instant_net::{ArmedTimer, InstantNet, InstantNetBuilder, NetEvent};
 pub use messages::{
     ClientOp, ClientProfile, ClientSnapshot, Message, MoveMsg, Output, ProtocolKind, TimerKind,
     TimerToken,
 };
 pub use mobile_broker::{MobileBroker, MobileBrokerConfig};
+pub use options::NetworkOptions;
 pub use persistence::BrokerSnapshot;
 pub use properties::NetworkView;
 pub use states::{ClientState, SourceCoordState, TargetCoordState};

@@ -191,8 +191,14 @@ impl MobileBroker {
     /// # Panics
     ///
     /// Panics if `id` is not in `topology`.
-    pub fn new(id: BrokerId, topology: Arc<Topology>, config: MobileBrokerConfig) -> Self {
+    pub fn new(id: BrokerId, topology: Arc<Topology>, mut config: MobileBrokerConfig) -> Self {
         assert!(topology.contains(id), "broker {id} not in topology");
+        // A cyclic overlay *requires* multi-path forwarding (routing
+        // entries hold redundant routes, publications need dedup);
+        // turn it on here so every driver constructing through this
+        // point gets it without opting in. Trees keep the bit as
+        // configured (default off: single-path, zero dedup cost).
+        config.broker.multipath |= !topology.is_tree();
         let neighbors = topology.neighbors(id).iter().copied();
         MobileBroker {
             core: BrokerCore::new(id, neighbors, config.broker),

@@ -1,0 +1,79 @@
+//! The single options struct every mobile-broker driver accepts.
+//!
+//! [`NetworkOptions`] wraps [`MobileBrokerConfig`] so that all four
+//! drivers — [`crate::InstantNet`], `transmob_broker::SyncNet`, the
+//! simulator, and the TCP runtime — share one `builder().overlay(..)
+//! .options(..).start()` construction surface. Anything convertible
+//! (`MobileBrokerConfig`, a bare routing-layer
+//! [`BrokerConfig`](transmob_broker::BrokerConfig), or the options
+//! struct itself) can be passed to an `options(..)` call.
+
+use transmob_broker::BrokerConfig;
+use transmob_pubsub::Parallelism;
+
+use crate::mobile_broker::MobileBrokerConfig;
+
+/// Driver-independent network options: the per-broker configuration
+/// applied to every node of the overlay.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkOptions {
+    /// The per-broker configuration (routing + movement layers).
+    pub config: MobileBrokerConfig,
+}
+
+impl NetworkOptions {
+    /// Default options: plain routing, reconfiguration-protocol
+    /// movement.
+    pub fn new() -> Self {
+        NetworkOptions::default()
+    }
+
+    /// Plain routing, reconfiguration-protocol deployment
+    /// ([`MobileBrokerConfig::reconfig`]).
+    pub fn reconfig() -> Self {
+        MobileBrokerConfig::reconfig().into()
+    }
+
+    /// Active covering, covering-protocol deployment
+    /// ([`MobileBrokerConfig::covering`]).
+    pub fn covering() -> Self {
+        MobileBrokerConfig::covering().into()
+    }
+
+    /// Applies a sharded / worker-pool layout to every broker's match
+    /// tables.
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.config.broker.parallelism = par;
+        self
+    }
+}
+
+impl From<MobileBrokerConfig> for NetworkOptions {
+    fn from(config: MobileBrokerConfig) -> Self {
+        NetworkOptions { config }
+    }
+}
+
+impl From<BrokerConfig> for NetworkOptions {
+    fn from(broker: BrokerConfig) -> Self {
+        NetworkOptions {
+            config: MobileBrokerConfig {
+                broker,
+                ..MobileBrokerConfig::default()
+            },
+        }
+    }
+}
+
+impl From<NetworkOptions> for MobileBrokerConfig {
+    fn from(o: NetworkOptions) -> Self {
+        o.config
+    }
+}
+
+impl From<NetworkOptions> for BrokerConfig {
+    fn from(o: NetworkOptions) -> Self {
+        o.config.broker
+    }
+}

@@ -99,6 +99,13 @@ where
                     }
                 }
             }
+            // Multi-path forwarding fans publications out along every
+            // redundant route too (empty on acyclic overlays).
+            for n in &e.alt_lasthops {
+                if Some(*n) != from {
+                    queue.push_back((*n, Some(b)));
+                }
+            }
         }
     }
     delivered
@@ -196,25 +203,39 @@ pub fn assert_all_delivered(
     }
 }
 
-/// The paper's routing-consistency clause (ii), checked structurally:
-/// at every broker `B`, every SRT entry's lasthop must be `B`'s
-/// neighbour on the unique path from `B` toward the advertisement's
-/// publisher (or the publisher itself when co-located). Movement
-/// transactions must leave this invariant intact for every
-/// advertisement of every (possibly relocated) publisher.
+/// The paper's routing-consistency clause (ii), checked structurally.
+///
+/// On an acyclic overlay: at every broker `B`, every SRT entry's
+/// lasthop must be `B`'s neighbour on the unique path from `B` toward
+/// the advertisement's publisher (or the publisher itself when
+/// co-located). Movement transactions must leave this invariant intact
+/// for every advertisement of every (possibly relocated) publisher.
+///
+/// On a cyclic overlay there is no unique path; the generalized
+/// invariant is that the chain of *primary* lasthops from any broker
+/// holding the entry reaches the publisher's home in at most one hop
+/// per broker (no primary-route cycles, no dead ends) — redundant
+/// `alt_lasthops` routes are extra and unchecked.
 ///
 /// # Errors
 ///
-/// Returns the first broker/advertisement pair whose lasthop points
-/// the wrong way.
+/// Returns the first broker/advertisement pair whose route points the
+/// wrong way (tree) or whose primary-route walk fails to reach the
+/// publisher (graph).
 pub fn check_srt_paths<N: NetworkView + ?Sized>(net: &N) -> Result<(), PropertyViolation> {
     let topology = net.view_topology();
+    let is_tree = topology.is_tree();
+    let bound = net.view_broker_ids().len();
     for b in net.view_broker_ids() {
         let broker = net.view_broker(b);
         for (adv_id, entry) in broker.core().srt().iter() {
             let Some(home) = net.view_find_client(adv_id.client) else {
                 continue; // publisher currently mid-move; skip
             };
+            if !is_tree {
+                walk_primary_route(net, b, *adv_id, home, bound)?;
+                continue;
+            }
             let expected: Hop = if home == b {
                 Hop::Client(adv_id.client)
             } else {
@@ -239,6 +260,48 @@ pub fn check_srt_paths<N: NetworkView + ?Sized>(net: &N) -> Result<(), PropertyV
         }
     }
     Ok(())
+}
+
+/// Follows the chain of primary SRT lasthops for `adv_id` from `start`
+/// and demands it reach the publisher's `home` within `bound` hops
+/// (the broker count — each broker contributes at most one hop, so a
+/// longer walk means a primary-route cycle).
+///
+/// Brokers mid-transaction (pending configurations), entries already
+/// retracted along the walk, and stale client anchors are all skipped
+/// rather than failed: they are transient windows the message-level
+/// checks cover.
+fn walk_primary_route<N: NetworkView + ?Sized>(
+    net: &N,
+    start: BrokerId,
+    adv_id: transmob_pubsub::AdvId,
+    home: BrokerId,
+    bound: usize,
+) -> Result<(), PropertyViolation> {
+    let mut cur = start;
+    let mut seen: BTreeSet<BrokerId> = BTreeSet::new();
+    for _ in 0..=bound {
+        if cur == home {
+            return Ok(());
+        }
+        if !seen.insert(cur) {
+            break; // primary-route cycle
+        }
+        let Some(entry) = net.view_broker(cur).core().srt().get(adv_id) else {
+            return Ok(()); // retraction in flight along this path
+        };
+        if entry.pending.is_some() {
+            return Ok(()); // movement window: message-level checks own this
+        }
+        match entry.lasthop {
+            Hop::Client(_) => return Ok(()), // mid-move client anchor
+            Hop::Broker(n) => cur = n,
+        }
+    }
+    Err(PropertyViolation(format!(
+        "at {start}, advertisement {adv_id}'s primary-route walk never reaches \
+         its publisher at {home}"
+    )))
 }
 
 /// Counts, per client, how many `Started` copies exist across the

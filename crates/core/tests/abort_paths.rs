@@ -29,7 +29,10 @@ fn timed_config() -> MobileBrokerConfig {
 }
 
 fn setup(n: u32, config: MobileBrokerConfig) -> InstantNet {
-    let mut net = InstantNet::new(Topology::chain(n), config);
+    let mut net = InstantNet::builder()
+        .overlay(Topology::chain(n))
+        .options(config)
+        .start();
     net.create_client(b(1), c(1));
     net.create_client(b(n), c(2));
     net.client_op(c(1), ClientOp::Advertise(range(0, 100)));

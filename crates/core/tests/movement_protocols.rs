@@ -24,7 +24,10 @@ fn range(lo: i64, hi: i64) -> Filter {
 
 /// A publisher at B1 and a subscriber that will move, on a chain.
 fn chain_setup(n: u32, config: MobileBrokerConfig) -> InstantNet {
-    let mut net = InstantNet::new(Topology::chain(n), config);
+    let mut net = InstantNet::builder()
+        .overlay(Topology::chain(n))
+        .options(config)
+        .start();
     net.create_client(b(1), c(1)); // publisher
     net.create_client(b(n), c(2)); // subscriber
     net.client_op(c(1), ClientOp::Advertise(range(0, 100)));
@@ -93,7 +96,10 @@ fn reconfig_move_loses_nothing_published_during_any_phase() {
 
 #[test]
 fn reconfig_publisher_move_keeps_routing_consistent() {
-    let mut net = InstantNet::new(Topology::chain(5), MobileBrokerConfig::reconfig());
+    let mut net = InstantNet::builder()
+        .overlay(Topology::chain(5))
+        .options(MobileBrokerConfig::reconfig())
+        .start();
     net.create_client(b(1), c(1)); // moving publisher
     net.create_client(b(3), c(2)); // stationary subscriber
     net.client_op(c(1), ClientOp::Advertise(range(0, 100)));
@@ -223,7 +229,10 @@ fn covering_move_cost_grows_with_quenched_subscriptions() {
     // The paper's pathological case: moving the client whose (root)
     // subscription covers many others forces their re-propagation.
     let mk = |covered: u64| {
-        let mut net = InstantNet::new(Topology::chain(6), covering_config());
+        let mut net = InstantNet::builder()
+            .overlay(Topology::chain(6))
+            .options(covering_config())
+            .start();
         net.create_client(b(1), c(1));
         net.client_op(c(1), ClientOp::Advertise(range(0, 1000)));
         // Root subscription (the mover).
@@ -271,7 +280,10 @@ fn covering_protocol_loses_no_messages_published_when_idle() {
 
 #[test]
 fn covering_stationary_bystanders_keep_receiving_during_moves() {
-    let mut net = InstantNet::new(Topology::chain(5), covering_config());
+    let mut net = InstantNet::builder()
+        .overlay(Topology::chain(5))
+        .options(covering_config())
+        .start();
     net.create_client(b(1), c(1));
     net.client_op(c(1), ClientOp::Advertise(range(0, 100)));
     net.create_client(b(5), c(2)); // mover (root sub)
@@ -359,7 +371,10 @@ fn negotiate_timeout_aborts_and_resumes_at_source() {
 
 #[test]
 fn per_move_traffic_attribution_covers_cascades() {
-    let mut net = InstantNet::new(Topology::chain(4), covering_config());
+    let mut net = InstantNet::builder()
+        .overlay(Topology::chain(4))
+        .options(covering_config())
+        .start();
     net.create_client(b(1), c(1));
     net.client_op(c(1), ClientOp::Advertise(range(0, 100)));
     net.create_client(b(4), c(2));

@@ -36,7 +36,10 @@ fn run(
         ProtocolKind::Reconfig => MobileBrokerConfig::reconfig(),
         ProtocolKind::Covering => MobileBrokerConfig::covering(),
     };
-    let mut net = InstantNet::new(default_14(), config);
+    let mut net = InstantNet::builder()
+        .overlay(default_14())
+        .options(config)
+        .start();
     let publisher = c(1);
     let mover = c(2);
     let observer = c(3);
@@ -102,7 +105,10 @@ fn consistency_moved_equals_stayed_covering_quiescent() {
 fn rejected_move_emits_reject_not_timeout() {
     // The admission rejection travels the explicit Reject path (paper
     // message (3)); no timers are involved and no pendings linger.
-    let mut net = InstantNet::new(default_14(), MobileBrokerConfig::reconfig());
+    let mut net = InstantNet::builder()
+        .overlay(default_14())
+        .options(MobileBrokerConfig::reconfig())
+        .start();
     net.create_client(b(13), c(2));
     net.client_op(c(2), ClientOp::Subscribe(range(0, 500)));
     net.broker_mut(b(2)).set_accept_moves(false);
@@ -124,7 +130,10 @@ fn isolation_mover_publications_reach_others_exactly_once() {
     // stream whether it moves or not, and every other client receives
     // each publication exactly once. Here the mover publishes around a
     // movement; the observer's stream must be loss- and dup-free.
-    let mut net = InstantNet::new(default_14(), MobileBrokerConfig::reconfig());
+    let mut net = InstantNet::builder()
+        .overlay(default_14())
+        .options(MobileBrokerConfig::reconfig())
+        .start();
     let mover = c(2);
     let observer = c(3);
     net.create_client(b(13), mover);

@@ -127,7 +127,10 @@ fn flush_sequence_is_identical_under_parallel_config() {
 /// publish stream, mid-stream movement, more publications — logs the
 /// same `NetEvent` stream under both configs.
 fn instant_events(config: MobileBrokerConfig) -> Vec<transmob_core::NetEvent> {
-    let mut net = InstantNet::new(Topology::chain(5), config);
+    let mut net = InstantNet::builder()
+        .overlay(Topology::chain(5))
+        .options(config)
+        .start();
     net.create_client(b(1), c(1));
     net.create_client(b(5), c(2));
     net.create_client(b(3), c(3));

@@ -42,7 +42,10 @@ fn run_and_probe(moves: &[Move], protocol: ProtocolKind) -> Result<(), TestCaseE
         ProtocolKind::Reconfig => MobileBrokerConfig::reconfig(),
         ProtocolKind::Covering => MobileBrokerConfig::covering(),
     };
-    let mut net = InstantNet::new(default_14(), config);
+    let mut net = InstantNet::builder()
+        .overlay(default_14())
+        .options(config)
+        .start();
     let publisher = ClientId(500);
     net.create_client(BrokerId(6), publisher);
     net.client_op(publisher, ClientOp::Advertise(full_space_adv()));
@@ -112,7 +115,10 @@ fn run_publisher_moves(
     moves: &[Move],
 ) -> Result<(), TestCaseError> {
     let brokers: Vec<BrokerId> = topology.brokers().collect();
-    let mut net = InstantNet::new(topology, MobileBrokerConfig::reconfig());
+    let mut net = InstantNet::builder()
+        .overlay(topology)
+        .options(MobileBrokerConfig::reconfig())
+        .start();
     // Three moving publishers, four stationary subscribers.
     let fs = filters();
     for i in 0..3u64 {

@@ -137,12 +137,28 @@ pub struct Advertisement {
     pub id: AdvId,
     /// The content filter.
     pub filter: Filter,
+    /// Residual flood budget on cyclic overlays: decremented per
+    /// broker hop, the flood stops at zero. `None` (the default, and
+    /// the only value on acyclic overlays) leaves termination to the
+    /// per-broker visited set alone.
+    #[serde(default)]
+    pub ttl: Option<u32>,
 }
 
 impl Advertisement {
-    /// Creates an advertisement.
+    /// Creates an advertisement with no flood budget.
     pub fn new(id: AdvId, filter: Filter) -> Self {
-        Advertisement { id, filter }
+        Advertisement {
+            id,
+            filter,
+            ttl: None,
+        }
+    }
+
+    /// The same advertisement with a bounded flood budget.
+    pub fn with_ttl(mut self, ttl: u32) -> Self {
+        self.ttl = Some(ttl);
+        self
     }
 }
 
@@ -162,6 +178,12 @@ pub struct PublicationMsg {
     pub publisher: ClientId,
     /// The content.
     pub content: Publication,
+    /// Broker-to-broker hops travelled so far. Incremented only by
+    /// multi-path forwarders on cyclic overlays, where it hard-bounds
+    /// a publication's lifetime should the dedup window ever fail to;
+    /// stays zero on acyclic overlays.
+    #[serde(default)]
+    pub hops: u32,
 }
 
 impl PublicationMsg {
@@ -171,6 +193,7 @@ impl PublicationMsg {
             id,
             publisher,
             content,
+            hops: 0,
         }
     }
 }

@@ -540,12 +540,23 @@ impl Wire for Advertisement {
     fn enc(&self, w: &mut WireWriter<'_>) {
         self.id.enc(w);
         self.filter.enc(w);
+        match self.ttl {
+            None => w.byte(0),
+            Some(t) => {
+                w.byte(1);
+                w.varint(u64::from(t));
+            }
+        }
     }
     fn dec(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(Advertisement {
-            id: AdvId::dec(r)?,
-            filter: Filter::dec(r)?,
-        })
+        let id = AdvId::dec(r)?;
+        let filter = Filter::dec(r)?;
+        let ttl = match r.byte()? {
+            0 => None,
+            1 => Some(u32::dec(r)?),
+            b => return err(format!("invalid ttl presence byte {b}")),
+        };
+        Ok(Advertisement { id, filter, ttl })
     }
 }
 
@@ -554,12 +565,14 @@ impl Wire for PublicationMsg {
         self.id.enc(w);
         self.publisher.enc(w);
         self.content.enc(w);
+        w.varint(u64::from(self.hops));
     }
     fn dec(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(PublicationMsg {
             id: PubId::dec(r)?,
             publisher: ClientId::dec(r)?,
             content: Publication::dec(r)?,
+            hops: u32::dec(r)?,
         })
     }
 }

@@ -18,7 +18,10 @@
 //! use transmob_pubsub::{BrokerId, ClientId, Filter, Publication};
 //! use std::time::Duration;
 //!
-//! let net = Network::start(Topology::chain(3), MobileBrokerConfig::reconfig());
+//! let net = Network::builder()
+//!     .overlay(Topology::chain(3))
+//!     .options(MobileBrokerConfig::reconfig())
+//!     .start();
 //! let publisher = net.create_client(BrokerId(1), ClientId(1));
 //! let subscriber = net.create_client(BrokerId(3), ClientId(2));
 //! publisher.advertise(Filter::builder().ge("x", 0).build());
@@ -49,10 +52,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::RwLock;
-use transmob_broker::{Hop, PrematchedRoutes, Topology};
+use transmob_broker::{Hop, OverlayBuilder, PrematchedRoutes, Topology};
 use transmob_core::transport::{flush_outputs, Transport};
 use transmob_core::{
-    ClientOp, Message, MobileBroker, MobileBrokerConfig, Output, ProtocolKind, TimerToken,
+    ClientOp, Message, MobileBroker, MobileBrokerConfig, NetworkOptions, Output, ProtocolKind,
+    TimerToken,
 };
 use transmob_pubsub::{BrokerId, ClientId, Filter, MoveId, Publication, PublicationMsg};
 
@@ -109,9 +113,23 @@ pub struct Network {
 }
 
 impl Network {
+    /// The builder entry point: `Network::builder().overlay(..)
+    /// .options(..).start()`.
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
     /// Starts one broker thread per topology node, all configured with
     /// `config`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Network::builder().overlay(..).options(..).start()"
+    )]
     pub fn start(topology: Topology, config: MobileBrokerConfig) -> Self {
+        Self::from_parts(topology, config)
+    }
+
+    fn from_parts(topology: Topology, config: MobileBrokerConfig) -> Self {
         let topology = Arc::new(topology);
         let mut senders = BTreeMap::new();
         let mut receivers = BTreeMap::new();
@@ -542,6 +560,48 @@ impl Transport for ChannelFlush<'_> {
     }
 }
 
+/// Builder for [`Network`] — the same `builder().overlay(..)
+/// .options(..).start()` surface every driver exposes.
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    overlay: OverlayBuilder,
+    options: NetworkOptions,
+}
+
+impl NetworkBuilder {
+    /// The overlay: an [`OverlayBuilder`] or a pre-built [`Topology`].
+    pub fn overlay(mut self, overlay: impl Into<OverlayBuilder>) -> Self {
+        self.overlay = overlay.into();
+        self
+    }
+
+    /// Per-broker options ([`NetworkOptions`], [`MobileBrokerConfig`],
+    /// or a bare `BrokerConfig`).
+    pub fn options(mut self, options: impl Into<NetworkOptions>) -> Self {
+        self.options = options.into();
+        self
+    }
+
+    /// Starts the broker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay is invalid (empty, disconnected,
+    /// duplicate edges) — use [`OverlayBuilder::build`] directly for
+    /// the typed `TopologyError`.
+    pub fn start(self) -> Network {
+        let (topology, par) = self
+            .overlay
+            .into_parts()
+            .expect("invalid overlay passed to Network::builder()");
+        let mut config = self.options.config;
+        if let Some(par) = par {
+            config.broker.parallelism = par;
+        }
+        Network::from_parts(topology, config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,7 +618,10 @@ mod tests {
 
     #[test]
     fn end_to_end_delivery() {
-        let net = Network::start(Topology::chain(4), MobileBrokerConfig::reconfig());
+        let net = Network::builder()
+            .overlay(Topology::chain(4))
+            .options(MobileBrokerConfig::reconfig())
+            .start();
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(4), c(2));
         p.advertise(range(0, 100));
@@ -572,7 +635,10 @@ mod tests {
 
     #[test]
     fn reconfig_move_over_threads() {
-        let net = Network::start(Topology::chain(5), MobileBrokerConfig::reconfig());
+        let net = Network::builder()
+            .overlay(Topology::chain(5))
+            .options(MobileBrokerConfig::reconfig())
+            .start();
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(5), c(2));
         p.advertise(range(0, 100));
@@ -587,7 +653,10 @@ mod tests {
 
     #[test]
     fn covering_move_over_threads() {
-        let net = Network::start(Topology::chain(5), MobileBrokerConfig::covering());
+        let net = Network::builder()
+            .overlay(Topology::chain(5))
+            .options(MobileBrokerConfig::covering())
+            .start();
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(5), c(2));
         p.advertise(range(0, 100));
@@ -601,7 +670,10 @@ mod tests {
 
     #[test]
     fn no_duplicates_across_repeated_moves() {
-        let net = Network::start(Topology::chain(4), MobileBrokerConfig::reconfig());
+        let net = Network::builder()
+            .overlay(Topology::chain(4))
+            .options(MobileBrokerConfig::reconfig())
+            .start();
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(4), c(2));
         p.advertise(range(0, 100));
@@ -630,7 +702,10 @@ mod tests {
     /// and routing must keep following the subscriber afterwards.
     #[test]
     fn publish_flood_during_moves_stays_consistent() {
-        let net = Network::start(Topology::chain(4), MobileBrokerConfig::reconfig());
+        let net = Network::builder()
+            .overlay(Topology::chain(4))
+            .options(MobileBrokerConfig::reconfig())
+            .start();
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(4), c(2));
         p.advertise(range(0, 100_000));
@@ -680,7 +755,10 @@ mod tests {
 
     #[test]
     fn drop_shuts_down_threads() {
-        let net = Network::start(Topology::chain(2), MobileBrokerConfig::reconfig());
+        let net = Network::builder()
+            .overlay(Topology::chain(2))
+            .options(MobileBrokerConfig::reconfig())
+            .start();
         let _cl = net.create_client(b(1), c(1));
         drop(net); // must not hang
     }

@@ -39,7 +39,10 @@
 //! use transmob_broker::Topology;
 //! use transmob_core::MobileBrokerConfig;
 //!
-//! let net = TcpNetwork::start(Topology::chain(3), MobileBrokerConfig::reconfig())
+//! let net = TcpNetwork::builder()
+//!     .overlay(Topology::chain(3))
+//!     .options(MobileBrokerConfig::reconfig())
+//!     .start()
 //!     .expect("bind overlay sockets");
 //! // ... create clients, publish, move — same API as Network ...
 //! net.shutdown();
@@ -56,11 +59,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use transmob_broker::{Hop, PrematchedRoutes, PubSubMsg, Topology};
+use transmob_broker::{Hop, OverlayBuilder, PrematchedRoutes, PubSubMsg, Topology};
 use transmob_core::transport::{flush_outputs, Transport};
 use transmob_core::{
-    ClientOp, DurabilityLog, MemoryLog, Message, MobileBroker, MobileBrokerConfig, Output,
-    TimerToken,
+    ClientOp, DurabilityLog, MemoryLog, Message, MobileBroker, MobileBrokerConfig, NetworkOptions,
+    Output, TimerToken,
 };
 use transmob_pubsub::{BrokerId, ClientId, Filter, Publication, PublicationMsg};
 
@@ -391,6 +394,12 @@ impl std::fmt::Debug for TcpNetwork {
 }
 
 impl TcpNetwork {
+    /// The builder entry point: `TcpNetwork::builder().overlay(..)
+    /// .options(..).bind(..).tcp(..).start()`.
+    pub fn builder() -> TcpNetworkBuilder {
+        TcpNetworkBuilder::default()
+    }
+
     /// Binds one loopback listener per broker on an ephemeral port,
     /// connects every overlay edge, and starts the broker threads.
     ///
@@ -399,16 +408,26 @@ impl TcpNetwork {
     /// Propagates socket bind/connect and thread-spawn errors; any
     /// threads already started are shut down and joined before the
     /// error is returned.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TcpNetwork::builder().overlay(..).options(..).start()"
+    )]
     pub fn start(topology: Topology, config: MobileBrokerConfig) -> io::Result<TcpNetwork> {
-        Self::start_with(topology, config, |_| "127.0.0.1:0".to_string())
+        Self::start_inner(topology, config, TcpOptions::default(), |_| {
+            "127.0.0.1:0".to_string()
+        })
     }
 
-    /// Like [`TcpNetwork::start`], but with explicit transport options
+    /// Like `TcpNetwork::start`, but with explicit transport options
     /// (frame codec, down-queue bound) and bind addresses.
     ///
     /// # Errors
     ///
-    /// Same as [`TcpNetwork::start_with`].
+    /// Same as `TcpNetwork::start_with`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TcpNetwork::builder().overlay(..).options(..).tcp(..).bind(..).start()"
+    )]
     pub fn start_with_options(
         topology: Topology,
         config: MobileBrokerConfig,
@@ -418,7 +437,7 @@ impl TcpNetwork {
         Self::start_inner(topology, config, options, bind_addr)
     }
 
-    /// Like [`TcpNetwork::start`], but binds each broker's listener at
+    /// Like `TcpNetwork::start`, but binds each broker's listener at
     /// the address chosen by `bind_addr` (e.g. fixed ports for a
     /// firewall-pinned deployment). Port `0` picks an ephemeral port.
     ///
@@ -427,6 +446,10 @@ impl TcpNetwork {
     /// Propagates socket bind/connect and thread-spawn errors — a
     /// colliding or unbindable address reports `AddrInUse` (or the
     /// underlying error) instead of aborting the process.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TcpNetwork::builder().overlay(..).options(..).bind(..).start()"
+    )]
     pub fn start_with(
         topology: Topology,
         config: MobileBrokerConfig,
@@ -1840,6 +1863,91 @@ fn dispatch(
     }
 }
 
+/// Builder for [`TcpNetwork`] — the same `builder().overlay(..)
+/// .options(..).start()` surface every driver exposes, plus the
+/// TCP-specific transport options and bind-address chooser.
+pub struct TcpNetworkBuilder {
+    overlay: OverlayBuilder,
+    options: NetworkOptions,
+    tcp: TcpOptions,
+    bind: Box<dyn FnMut(BrokerId) -> String>,
+}
+
+impl std::fmt::Debug for TcpNetworkBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpNetworkBuilder")
+            .field("overlay", &self.overlay)
+            .field("tcp", &self.tcp)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for TcpNetworkBuilder {
+    fn default() -> Self {
+        TcpNetworkBuilder {
+            overlay: OverlayBuilder::default(),
+            options: NetworkOptions::default(),
+            tcp: TcpOptions::default(),
+            bind: Box::new(|_| "127.0.0.1:0".to_string()),
+        }
+    }
+}
+
+impl TcpNetworkBuilder {
+    /// The overlay: an [`OverlayBuilder`] or a pre-built [`Topology`].
+    pub fn overlay(mut self, overlay: impl Into<OverlayBuilder>) -> Self {
+        self.overlay = overlay.into();
+        self
+    }
+
+    /// Per-broker options ([`NetworkOptions`], [`MobileBrokerConfig`],
+    /// or a bare `BrokerConfig`).
+    pub fn options(mut self, options: impl Into<NetworkOptions>) -> Self {
+        self.options = options.into();
+        self
+    }
+
+    /// Transport options (frame codec, queue bounds, heartbeat and
+    /// redial timing).
+    pub fn tcp(mut self, options: TcpOptions) -> Self {
+        self.tcp = options;
+        self
+    }
+
+    /// Chooses each broker's listener bind address (default: loopback
+    /// on an ephemeral port). Port `0` picks an ephemeral port.
+    pub fn bind(mut self, bind_addr: impl FnMut(BrokerId) -> String + 'static) -> Self {
+        self.bind = Box::new(bind_addr);
+        self
+    }
+
+    /// Binds the listeners, connects every overlay edge, and starts
+    /// the broker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/connect and thread-spawn errors; any
+    /// threads already started are shut down and joined before the
+    /// error is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay is invalid (empty, disconnected,
+    /// duplicate edges) — use `OverlayBuilder::build` directly for the
+    /// typed `TopologyError`.
+    pub fn start(self) -> io::Result<TcpNetwork> {
+        let (topology, par) = self
+            .overlay
+            .into_parts()
+            .expect("invalid overlay passed to TcpNetwork::builder()");
+        let mut config = self.options.config;
+        if let Some(par) = par {
+            config.broker.parallelism = par;
+        }
+        TcpNetwork::start_inner(topology, config, self.tcp, self.bind)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1857,8 +1965,11 @@ mod tests {
 
     #[test]
     fn delivery_over_real_sockets() {
-        let net =
-            TcpNetwork::start(Topology::chain(4), MobileBrokerConfig::reconfig()).expect("sockets");
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(4))
+            .options(MobileBrokerConfig::reconfig())
+            .start()
+            .expect("sockets");
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(4), c(2));
         p.advertise(range(0, 100));
@@ -1872,8 +1983,11 @@ mod tests {
 
     #[test]
     fn transactional_move_over_real_sockets() {
-        let net =
-            TcpNetwork::start(Topology::chain(5), MobileBrokerConfig::reconfig()).expect("sockets");
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(5))
+            .options(MobileBrokerConfig::reconfig())
+            .start()
+            .expect("sockets");
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(5), c(2));
         p.advertise(range(0, 100));
@@ -1891,8 +2005,11 @@ mod tests {
 
     #[test]
     fn covering_protocol_over_real_sockets() {
-        let net =
-            TcpNetwork::start(Topology::chain(4), MobileBrokerConfig::covering()).expect("sockets");
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(4))
+            .options(MobileBrokerConfig::covering())
+            .start()
+            .expect("sockets");
         let p = net.create_client(b(1), c(1));
         let s = net.create_client(b(4), c(2));
         p.advertise(range(0, 100));
@@ -1906,8 +2023,11 @@ mod tests {
 
     #[test]
     fn heartbeats_flow_between_neighbours() {
-        let net =
-            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(2))
+            .options(MobileBrokerConfig::reconfig())
+            .start()
+            .expect("sockets");
         std::thread::sleep(HEARTBEAT_INTERVAL * 6);
         assert!(net.heartbeats_seen(b(1)) > 0, "no pings reached broker 1");
         assert!(net.heartbeats_seen(b(2)) > 0, "no pings reached broker 2");
@@ -1923,10 +2043,11 @@ mod tests {
         // used to abort the process via `expect`).
         let occupied = TcpListener::bind("127.0.0.1:0").expect("bind blocker");
         let addr = occupied.local_addr().expect("blocker addr").to_string();
-        let err =
-            TcpNetwork::start_with(Topology::chain(3), MobileBrokerConfig::reconfig(), |_| {
-                addr.clone()
-            })
+        let err = TcpNetwork::builder()
+            .overlay(Topology::chain(3))
+            .options(MobileBrokerConfig::reconfig())
+            .bind(move |_| addr.clone())
+            .start()
             .expect_err("colliding bind must fail");
         assert_eq!(err.kind(), io::ErrorKind::AddrInUse, "{err}");
         assert!(
@@ -1942,24 +2063,34 @@ mod tests {
         // a subsequent start on fresh ports must succeed.
         let occupied = TcpListener::bind("127.0.0.1:0").expect("bind blocker");
         let addr = occupied.local_addr().expect("blocker addr").to_string();
-        let err = TcpNetwork::start_with(Topology::chain(3), MobileBrokerConfig::reconfig(), |b| {
-            if b == BrokerId(2) {
-                addr.clone()
-            } else {
-                "127.0.0.1:0".to_string()
-            }
-        })
-        .expect_err("colliding bind must fail");
+        let err = TcpNetwork::builder()
+            .overlay(Topology::chain(3))
+            .options(MobileBrokerConfig::reconfig())
+            .bind(move |b| {
+                if b == BrokerId(2) {
+                    addr.clone()
+                } else {
+                    "127.0.0.1:0".to_string()
+                }
+            })
+            .start()
+            .expect_err("colliding bind must fail");
         assert_eq!(err.kind(), io::ErrorKind::AddrInUse, "{err}");
-        let net = TcpNetwork::start(Topology::chain(3), MobileBrokerConfig::reconfig())
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(3))
+            .options(MobileBrokerConfig::reconfig())
+            .start()
             .expect("fresh ephemeral start succeeds after failed attempt");
         net.shutdown();
     }
 
     #[test]
     fn drop_is_clean() {
-        let net =
-            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(2))
+            .options(MobileBrokerConfig::reconfig())
+            .start()
+            .expect("sockets");
         let _c = net.create_client(b(1), c(1));
         drop(net); // must join without hanging
     }
@@ -1986,8 +2117,11 @@ mod tests {
     /// single flush instead of one syscall each.
     #[test]
     fn batched_frames_share_one_flush() {
-        let net =
-            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(2))
+            .options(MobileBrokerConfig::reconfig())
+            .start()
+            .expect("sockets");
         wait_link_up(&net, b(1), b(2));
         let before = net.link_stats(b(1), b(2)).expect("stats");
         for i in 0..3 {
@@ -2091,8 +2225,11 @@ mod tests {
     /// generation guard makes the stale teardown a no-op.
     #[test]
     fn stale_reader_cannot_tear_down_fresh_connection() {
-        let net =
-            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(2))
+            .options(MobileBrokerConfig::reconfig())
+            .start()
+            .expect("sockets");
         wait_link_up(&net, b(1), b(2));
         let link = link_of(&net.shared, b(1), b(2)).expect("link");
         let current = link.generation.load(Ordering::SeqCst);
@@ -2120,8 +2257,11 @@ mod tests {
     /// exactly one new connection may exist on the edge.
     #[test]
     fn restart_during_active_redial_spawns_no_duplicate_dialer() {
-        let net =
-            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(2))
+            .options(MobileBrokerConfig::reconfig())
+            .start()
+            .expect("sockets");
         wait_link_up(&net, b(1), b(2));
         // Take the acceptor side down: broker 1's dialer starts its
         // backoff loop (the acceptor refuses while 2 is killed).
@@ -2162,8 +2302,11 @@ mod tests {
     #[test]
     #[cfg(debug_assertions)]
     fn serialize_failure_is_counted_not_silent() {
-        let net =
-            TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(2))
+            .options(MobileBrokerConfig::reconfig())
+            .start()
+            .expect("sockets");
         wait_link_up(&net, b(1), b(2));
         {
             let link = link_of(&net.shared, b(1), b(2)).expect("link");

@@ -18,7 +18,11 @@ fn range(lo: i64, hi: i64) -> Filter {
 #[test]
 fn tcp_delivers_and_moves_under_parallel_config() {
     let config = MobileBrokerConfig::reconfig().with_parallelism(Parallelism::sharded(4, 2));
-    let net = TcpNetwork::start(Topology::chain(3), config).expect("sockets");
+    let net = TcpNetwork::builder()
+        .overlay(Topology::chain(3))
+        .options(config)
+        .start()
+        .expect("sockets");
     let p = net.create_client(BrokerId(1), ClientId(1));
     let s = net.create_client(BrokerId(3), ClientId(2));
     p.advertise(range(0, 100));
@@ -52,7 +56,11 @@ fn tcp_delivers_and_moves_under_parallel_config() {
 #[test]
 fn tcp_publish_flood_during_moves_stays_consistent() {
     let config = MobileBrokerConfig::reconfig().with_parallelism(Parallelism::sharded(4, 4));
-    let net = TcpNetwork::start(Topology::chain(3), config).expect("sockets");
+    let net = TcpNetwork::builder()
+        .overlay(Topology::chain(3))
+        .options(config)
+        .start()
+        .expect("sockets");
     let p = net.create_client(BrokerId(1), ClientId(1));
     let s = net.create_client(BrokerId(3), ClientId(2));
     p.advertise(range(0, 100_000));

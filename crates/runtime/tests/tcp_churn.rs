@@ -49,13 +49,13 @@ fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
 /// reaches both surviving subscribers exactly once over the new link.
 #[test]
 fn suspicion_promotes_death_and_repair_restores_delivery() {
-    let net = TcpNetwork::start_with_options(
-        Topology::chain(4),
-        MobileBrokerConfig::reconfig(),
-        churn_options(),
-        |_| "127.0.0.1:0".to_string(),
-    )
-    .expect("sockets");
+    let net = TcpNetwork::builder()
+        .overlay(Topology::chain(4))
+        .options(MobileBrokerConfig::reconfig())
+        .tcp(churn_options())
+        .bind(|_| "127.0.0.1:0".to_string())
+        .start()
+        .expect("sockets");
     let publisher = net.create_client(b(1), c(1));
     let near_sub = net.create_client(b(2), c(2));
     let far_sub = net.create_client(b(4), c(3));
@@ -110,8 +110,11 @@ fn suspicion_promotes_death_and_repair_restores_delivery() {
 /// crash/restart recovery tests rely on.
 #[test]
 fn suspicion_disabled_never_promotes() {
-    let net =
-        TcpNetwork::start(Topology::chain(3), MobileBrokerConfig::reconfig()).expect("sockets");
+    let net = TcpNetwork::builder()
+        .overlay(Topology::chain(3))
+        .options(MobileBrokerConfig::reconfig())
+        .start()
+        .expect("sockets");
     net.kill_broker(b(3));
     std::thread::sleep(Duration::from_millis(600));
     assert!(

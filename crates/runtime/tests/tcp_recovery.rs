@@ -30,7 +30,11 @@ fn setup(
     transmob_runtime::tcp::TcpClient,
     transmob_runtime::tcp::TcpClient,
 ) {
-    let net = TcpNetwork::start(Topology::chain(3), config).expect("sockets");
+    let net = TcpNetwork::builder()
+        .overlay(Topology::chain(3))
+        .options(config)
+        .start()
+        .expect("sockets");
     let p = net.create_client(B1, PUBLISHER);
     let s = net.create_client(B3, MOVER);
     p.advertise(range(0, 100));
@@ -161,8 +165,11 @@ fn killed_source_mid_movement_aborts_cleanly_after_restart() {
 /// heartbeats and connectivity resume after the restart.
 #[test]
 fn failure_detector_tracks_kill_and_restart() {
-    let net =
-        TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+    let net = TcpNetwork::builder()
+        .overlay(Topology::chain(2))
+        .options(MobileBrokerConfig::reconfig())
+        .start()
+        .expect("sockets");
     std::thread::sleep(Duration::from_millis(300));
     assert!(net.heartbeats_seen(B1) > 0, "no heartbeats while healthy");
     assert!(net.link_up(B1, B2));

@@ -46,8 +46,11 @@ fn assert_delivery(p: &TcpClient, s: &TcpClient, name: &str, val: i64) {
 /// reason names the corruption, and the overlay heals by redial.
 #[test]
 fn corrupt_frame_is_counted_and_names_the_cause() {
-    let net =
-        TcpNetwork::start(Topology::chain(2), MobileBrokerConfig::reconfig()).expect("sockets");
+    let net = TcpNetwork::builder()
+        .overlay(Topology::chain(2))
+        .options(MobileBrokerConfig::reconfig())
+        .start()
+        .expect("sockets");
     let p = net.create_client(B1, ClientId(1));
     let s = net.create_client(B2, ClientId(2));
     p.advertise(attr("x", 0, 100));
@@ -120,13 +123,13 @@ fn down_queue_bounds_flood_but_control_frames_survive() {
         down_queue_hwm: HWM,
         ..TcpOptions::default()
     };
-    let net = TcpNetwork::start_with_options(
-        Topology::chain(2),
-        MobileBrokerConfig::reconfig(),
-        options,
-        |_| "127.0.0.1:0".to_string(),
-    )
-    .expect("sockets");
+    let net = TcpNetwork::builder()
+        .overlay(Topology::chain(2))
+        .options(MobileBrokerConfig::reconfig())
+        .tcp(options)
+        .bind(|_| "127.0.0.1:0".to_string())
+        .start()
+        .expect("sockets");
     let p = net.create_client(B1, ClientId(1));
     let s = net.create_client(B2, ClientId(2));
     let a2 = net.create_client(B2, ClientId(3));
@@ -195,13 +198,13 @@ fn binary_and_json_modes_agree_end_to_end() {
             wire,
             ..TcpOptions::default()
         };
-        let net = TcpNetwork::start_with_options(
-            Topology::chain(3),
-            MobileBrokerConfig::reconfig(),
-            options,
-            |_| "127.0.0.1:0".to_string(),
-        )
-        .expect("sockets");
+        let net = TcpNetwork::builder()
+            .overlay(Topology::chain(3))
+            .options(MobileBrokerConfig::reconfig())
+            .tcp(options)
+            .bind(|_| "127.0.0.1:0".to_string())
+            .start()
+            .expect("sockets");
         assert_eq!(net.wire_mode(), wire);
         let p = net.create_client(B1, ClientId(1));
         let s = net.create_client(BrokerId(3), ClientId(2));

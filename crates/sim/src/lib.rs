@@ -36,6 +36,6 @@ pub use durable::WalDurability;
 pub use fault::{CrashKind, FaultPlan, LinkFaults, Partition, ScheduledCrash, ScheduledDeath};
 pub use metrics::{DeliveryRecord, Metrics, MoveRecord};
 pub use network::{LinkModel, NetworkModel, NodeModel};
-pub use sim::{MovementPlan, Sim};
+pub use sim::{MovementPlan, Sim, SimBuilder};
 pub use time::{SimDuration, SimTime};
 pub use wal::{SyncPolicy, Wal};

@@ -18,11 +18,11 @@ use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use transmob_broker::{Hop, Topology};
+use transmob_broker::{Hop, OverlayBuilder, Topology};
 use transmob_core::transport::{flush_outputs, Transport};
 use transmob_core::{
-    ClientOp, DurabilityLog, MemoryLog, Message, MobileBroker, MobileBrokerConfig, Output,
-    ProtocolKind, TimerToken,
+    ClientOp, DurabilityLog, MemoryLog, Message, MobileBroker, MobileBrokerConfig, NetworkOptions,
+    Output, ProtocolKind, TimerToken,
 };
 use transmob_pubsub::{BrokerId, ClientId, MoveId, PublicationMsg};
 
@@ -168,9 +168,28 @@ pub struct Sim {
 }
 
 impl Sim {
+    /// The builder entry point: `Sim::builder().overlay(..)
+    /// .options(..).network(..).seed(..).start()`.
+    pub fn builder() -> SimBuilder {
+        SimBuilder::default()
+    }
+
     /// Builds a simulator over `topology` with every broker using
     /// `config`, driven by `model`, seeded by `seed`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Sim::builder().overlay(..).options(..).network(..).seed(..).start()"
+    )]
     pub fn new(
+        topology: Topology,
+        config: MobileBrokerConfig,
+        model: NetworkModel,
+        seed: u64,
+    ) -> Self {
+        Self::from_parts(topology, config, model, seed)
+    }
+
+    fn from_parts(
         topology: Topology,
         config: MobileBrokerConfig,
         model: NetworkModel,
@@ -1067,12 +1086,12 @@ mod tests {
     }
 
     fn base_sim() -> Sim {
-        let mut sim = Sim::new(
-            Topology::chain(5),
-            MobileBrokerConfig::reconfig(),
-            NetworkModel::cluster(),
-            7,
-        );
+        let mut sim = Sim::builder()
+            .overlay(Topology::chain(5))
+            .options(MobileBrokerConfig::reconfig())
+            .network(NetworkModel::cluster())
+            .seed(7)
+            .start();
         sim.create_client(b(1), c(1));
         sim.create_client(b(5), c(2));
         sim.schedule_cmd(SimTime(0), c(1), ClientOp::Advertise(range(0, 100)));
@@ -1147,12 +1166,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed: u64| {
-            let mut sim = Sim::new(
-                Topology::chain(5),
-                MobileBrokerConfig::reconfig(),
-                NetworkModel::cluster(),
-                seed,
-            );
+            let mut sim = Sim::builder()
+                .overlay(Topology::chain(5))
+                .options(MobileBrokerConfig::reconfig())
+                .network(NetworkModel::cluster())
+                .seed(seed)
+                .start();
             sim.create_client(b(1), c(1));
             sim.create_client(b(5), c(2));
             sim.schedule_cmd(SimTime(0), c(1), ClientOp::Advertise(range(0, 100)));
@@ -1219,7 +1238,12 @@ mod fifo_tests {
     fn per_link_fifo_survives_jitter() {
         let topology = Topology::chain(3);
         let model = NetworkModel::planetlab(&topology.edges(), 5);
-        let mut sim = Sim::new(topology, MobileBrokerConfig::reconfig(), model, 5);
+        let mut sim = Sim::builder()
+            .overlay(topology)
+            .options(MobileBrokerConfig::reconfig())
+            .network(model)
+            .seed(5)
+            .start();
         sim.enable_delivery_log();
         sim.create_client(BrokerId(1), ClientId(1));
         sim.create_client(BrokerId(3), ClientId(2));
@@ -1276,12 +1300,12 @@ mod fault_tests {
     }
 
     fn durable_sim(n: u32, seed: u64) -> Sim {
-        let mut sim = Sim::new(
-            Topology::chain(n),
-            MobileBrokerConfig::reconfig(),
-            NetworkModel::cluster(),
-            seed,
-        );
+        let mut sim = Sim::builder()
+            .overlay(Topology::chain(n))
+            .options(MobileBrokerConfig::reconfig())
+            .network(NetworkModel::cluster())
+            .seed(seed)
+            .start();
         sim.enable_durability();
         sim.create_client(b(1), c(1));
         sim.create_client(b(n), c(2));
@@ -1512,7 +1536,12 @@ mod timer_tests {
             negotiate_timeout_ns: Some(500_000_000), // 0.5 s
             ..MobileBrokerConfig::reconfig()
         };
-        let mut sim = Sim::new(Topology::chain(4), config, NetworkModel::cluster(), 3);
+        let mut sim = Sim::builder()
+            .overlay(Topology::chain(4))
+            .options(config)
+            .network(NetworkModel::cluster())
+            .seed(3)
+            .start();
         sim.enable_delivery_log();
         sim.create_client(BrokerId(1), ClientId(1));
         sim.create_client(BrokerId(4), ClientId(2));
@@ -1561,5 +1590,74 @@ mod timer_tests {
         assert_eq!(sim.home_of(ClientId(2)), Some(BrokerId(2)));
         assert_eq!(sim.metrics.delivery_count, 1, "publication lost");
         assert_eq!(sim.total_anomalies(), 0);
+    }
+}
+
+/// Builder for [`Sim`] — the same `builder().overlay(..).options(..)
+/// .start()` surface every driver exposes, plus the sim-specific
+/// network model and RNG seed.
+#[derive(Debug)]
+pub struct SimBuilder {
+    overlay: OverlayBuilder,
+    options: NetworkOptions,
+    model: NetworkModel,
+    seed: u64,
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        SimBuilder {
+            overlay: OverlayBuilder::default(),
+            options: NetworkOptions::default(),
+            model: NetworkModel::cluster(),
+            seed: 0,
+        }
+    }
+}
+
+impl SimBuilder {
+    /// The overlay: an [`OverlayBuilder`] or a pre-built [`Topology`].
+    pub fn overlay(mut self, overlay: impl Into<OverlayBuilder>) -> Self {
+        self.overlay = overlay.into();
+        self
+    }
+
+    /// Per-broker options ([`NetworkOptions`], [`MobileBrokerConfig`],
+    /// or a bare `BrokerConfig`).
+    pub fn options(mut self, options: impl Into<NetworkOptions>) -> Self {
+        self.options = options.into();
+        self
+    }
+
+    /// The link/node timing model (defaults to
+    /// [`NetworkModel::cluster`]).
+    pub fn network(mut self, model: NetworkModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// RNG seed for jitter and fault injection (defaults to 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay is invalid (empty, disconnected,
+    /// duplicate edges) — use `OverlayBuilder::build` directly for the
+    /// typed `TopologyError`.
+    pub fn start(self) -> Sim {
+        let (topology, par) = self
+            .overlay
+            .into_parts()
+            .expect("invalid overlay passed to Sim::builder()");
+        let mut config = self.options.config;
+        if let Some(par) = par {
+            config.broker.parallelism = par;
+        }
+        Sim::from_parts(topology, config, self.model, self.seed)
     }
 }

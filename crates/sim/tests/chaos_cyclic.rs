@@ -1,30 +1,30 @@
-//! Churn tier of the chaos suite: *permanent* broker deaths injected
-//! mid-movement, with the overlay self-repair asserted to preserve the
-//! paper's Sec. 3 ACI properties for every **surviving** participant.
+//! Cyclic tier of the chaos suite: the churn contract of
+//! `chaos_churn.rs` re-run on a **ring** overlay, where every
+//! publisher/subscriber pair is connected by two arcs and multi-path
+//! forwarding (DESIGN.md §15) is auto-enabled.
 //!
-//! Churn contract (DESIGN.md §14):
+//! What the ring adds on top of the tree-churn contract:
 //!
-//! - **Atomicity under churn**: every movement whose source coordinator
-//!   survives either commits or aborts cleanly — no transaction wedges,
-//!   no half-moved client. The moving client keeps exactly one
-//!   `Started` stub among the survivors (or died with its only host).
-//! - **Isolation / exactly-once**: no surviving client is surfaced the
-//!   same publication twice, even while repair floods re-propagate
-//!   routing state over new edges.
-//! - **Delivery transparency after repair**: once the repair has
-//!   quiesced, a fresh publication reaches *every* surviving matching
-//!   subscriber. (Publications in flight at the death instant may be
-//!   lost with the victim's queues — permanent death forfeits the
-//!   persisted-queue assumption that crash/restart keeps.)
+//! - **Degradation before repair**: killing one broker on a redundant
+//!   arc must leave delivery intact *immediately* — publications fan
+//!   out over both arcs, so the copy travelling the surviving arc
+//!   arrives while the failure detector is still inside its
+//!   `DETECTION_DELAY` window and no repair has run anywhere.
+//! - **Exactly-once on redundant routes**: with two copies of every
+//!   publication racing around the ring, the per-broker dedup windows
+//!   (not repair, not luck) must keep the application-layer log
+//!   duplicate-free through movement and churn.
+//! - **ACI across the cyclic region**: the movement protocols
+//!   negotiate along one route of the ring; deaths on and off that
+//!   route must still resolve every transaction (source surviving).
 //!
-//! The randomized tier honours `CHAOS_CASES` (default 128); the death
-//! offset sweeps the whole protocol window so the victim dies in every
-//! phase of both movement protocols.
+//! The randomized tier honours `CHAOS_CASES` (default 128).
 
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 use transmob_broker::Topology;
+use transmob_core::properties::NetworkView;
 use transmob_core::{properties, ClientOp, MobileBrokerConfig, ProtocolKind};
 use transmob_pubsub::{BrokerId, ClientId, Filter, Publication};
 use transmob_sim::{FaultPlan, NetworkModel, ScheduledDeath, Sim, SimDuration, SimTime};
@@ -32,15 +32,26 @@ use transmob_sim::{FaultPlan, NetworkModel, ScheduledDeath, Sim, SimDuration, Si
 const PUBLISHER: ClientId = ClientId(1);
 const MOVER: ClientId = ClientId(2);
 const STATIC_SUB: ClientId = ClientId(3);
-/// Chain B1–B2–B3–B4–B5; publisher at B1, static subscriber at B5.
+/// Ring B1–B2–B3–B4–B5–B1; the publisher at B1 and the static
+/// subscriber at B3 are joined by two arcs (1–2–3 and 1–5–4–3).
 const PUB_HOME: BrokerId = BrokerId(1);
+const SUB_HOME: BrokerId = BrokerId(3);
+/// The mover travels B4 → B2; the (shortest) movement route is
+/// 4–3–2, so B3 doubles as the on-path broker.
 const SOURCE: BrokerId = BrokerId(4);
 const TARGET: BrokerId = BrokerId(2);
-const PATH: BrokerId = BrokerId(3);
-const SUB_HOME: BrokerId = BrokerId(5);
+const PATH: BrokerId = SUB_HOME;
+/// On the redundant arc between publisher and subscriber, off the
+/// movement route.
+const ARC: BrokerId = BrokerId(5);
 
-/// One randomized churn schedule: who dies, and when (offset after the
-/// MOVE command, spanning every protocol phase).
+/// Mirrors `sim::DETECTION_DELAY` (private): survivors declare a dead
+/// neighbour gone this long after the death. The degradation test
+/// must finish its probe well inside this window.
+const DETECTION_DELAY: SimDuration = SimDuration(50_000_000);
+
+/// One randomized churn schedule on the ring: who dies, and when
+/// (offset after the MOVE command, spanning every protocol phase).
 #[derive(Debug, Clone)]
 struct ChurnCase {
     seed: u64,
@@ -49,9 +60,9 @@ struct ChurnCase {
 }
 
 fn arb_case() -> impl Strategy<Value = ChurnCase> {
-    (0u64..1 << 48, 0usize..3, 0u64..12_000).prop_map(|(seed, victim, death_offset_us)| ChurnCase {
+    (0u64..1 << 48, 0usize..4, 0u64..12_000).prop_map(|(seed, victim, death_offset_us)| ChurnCase {
         seed,
-        victim: [PATH, TARGET, SOURCE][victim],
+        victim: [PATH, TARGET, SOURCE, ARC][victim],
         death_offset_us,
     })
 }
@@ -68,7 +79,7 @@ fn config_for(protocol: ProtocolKind) -> MobileBrokerConfig {
 
 fn setup(protocol: ProtocolKind, seed: u64) -> Sim {
     let mut sim = Sim::builder()
-        .overlay(Topology::chain(5))
+        .overlay(Topology::ring(5))
         .options(config_for(protocol))
         .network(NetworkModel::cluster())
         .seed(seed)
@@ -107,8 +118,9 @@ fn inject(sim: &mut Sim, case: &ChurnCase, protocol: ProtocolKind) {
     sim.apply_fault_plan(&plan);
 }
 
-/// Exactly-once at the application layer, across repair re-propagation
-/// and transient multi-path forwarding.
+/// Exactly-once at the application layer: with two copies of every
+/// publication racing around the ring, only the dedup windows stand
+/// between the subscribers and duplicate deliveries.
 fn assert_app_exactly_once(sim: &Sim) -> Result<(), TestCaseError> {
     let log = sim
         .metrics
@@ -127,11 +139,15 @@ fn assert_app_exactly_once(sim: &Sim) -> Result<(), TestCaseError> {
     Ok(())
 }
 
-/// After quiescence, publishes a fresh probe and demands it reach every
-/// surviving matching subscriber exactly once (delivery transparency
-/// after repair).
+/// After quiescence, publishes a fresh probe and demands it reach
+/// every surviving matching subscriber exactly once. Unlike the chain
+/// tier, the static subscriber's home is a legal victim here (it is
+/// the movement-path broker), so both subscribers are conditional.
 fn assert_post_repair_delivery(sim: &mut Sim, ctx: &str) -> Result<(), TestCaseError> {
-    let mut expected: BTreeSet<ClientId> = BTreeSet::from([STATIC_SUB]);
+    let mut expected: BTreeSet<ClientId> = BTreeSet::new();
+    if sim.find_client(STATIC_SUB).is_some() {
+        expected.insert(STATIC_SUB);
+    }
     if sim.find_client(MOVER).is_some() {
         expected.insert(MOVER);
     }
@@ -168,7 +184,6 @@ fn assert_post_repair_delivery(sim: &mut Sim, ctx: &str) -> Result<(), TestCaseE
         "{}: post-repair probe duplicated",
         ctx
     );
-    // The static routing fixpoint over the survivors' tables must agree.
     let probe_case = properties::ConsistencyCase {
         publisher_broker: PUB_HOME,
         probe: Publication::new().with("x", 55),
@@ -183,9 +198,8 @@ fn run_case(case: &ChurnCase, protocol: ProtocolKind) -> Result<(), TestCaseErro
     let mut sim = setup(protocol, case.seed);
     inject(&mut sim, case, protocol);
     sim.run_to_quiescence();
-    let ctx = format!("{protocol:?} {case:?}");
+    let ctx = format!("ring {protocol:?} {case:?}");
 
-    // Safety half of ACI among the survivors.
     properties::assert_single_instance(&sim)
         .map_err(|e| TestCaseError::fail(format!("{ctx}: {e}")))?;
     assert_app_exactly_once(&sim)?;
@@ -201,10 +215,6 @@ fn run_case(case: &ChurnCase, protocol: ProtocolKind) -> Result<(), TestCaseErro
                 m
             );
         }
-        // A committed movement placed the client at the target (which
-        // may then have died with it — same fate as any stationary
-        // client whose broker dies); an aborted one resumed it at the
-        // source. Never anywhere else, never in two places.
         let committed = sim
             .metrics
             .moves
@@ -224,8 +234,9 @@ fn run_case(case: &ChurnCase, protocol: ProtocolKind) -> Result<(), TestCaseErro
         );
     }
 
-    // Routing reconstruction: every survivor's SRT points along the
-    // repaired tree toward each live publisher.
+    // Routing reconstruction over the (possibly still cyclic) repaired
+    // overlay: every survivor's primary route leads to each live
+    // publisher.
     properties::check_srt_paths(&sim).map_err(|e| TestCaseError::fail(format!("{ctx}: {e}")))?;
 
     assert_post_repair_delivery(&mut sim, &ctx)
@@ -238,57 +249,132 @@ fn chaos_cases() -> u32 {
         .unwrap_or(128)
 }
 
+/// The acceptance criterion of the multi-path redesign: a broker death
+/// on one redundant arc must NOT interrupt delivery while the failure
+/// detector is still blind. A probe published *inside* the detection
+/// window — after the death, before any survivor has noticed — must
+/// reach both subscribers via the surviving arc.
+#[test]
+fn surviving_arc_delivers_inside_the_detection_window() {
+    for victim in [TARGET, ARC] {
+        let mut sim = setup(ProtocolKind::Reconfig, 11);
+        let t0 = sim.now();
+        let death_at = t0 + SimDuration::from_millis(1);
+        sim.kill_broker(death_at, victim);
+        let before = sim
+            .metrics
+            .delivery_log
+            .as_ref()
+            .expect("delivery log enabled")
+            .len();
+        sim.schedule_cmd(
+            t0 + SimDuration::from_millis(3),
+            PUBLISHER,
+            ClientOp::Publish(Publication::new().with("x", 77)),
+        );
+        // Run to a horizon strictly inside the detection window: the
+        // victim is dead but no survivor has declared it yet.
+        let horizon = t0 + SimDuration::from_millis(20);
+        assert!(horizon < death_at + DETECTION_DELAY);
+        sim.run_until(horizon);
+        assert!(sim.dead_brokers().contains(&victim));
+        // No survivor has detected the death yet: every live broker's
+        // own overlay copy still carries the victim. (The sim's
+        // gods-eye `topology()` is bookkeeping — it repairs eagerly at
+        // the death instant.)
+        for id in sim.view_broker_ids() {
+            assert!(
+                sim.view_broker(id).topology().contains(victim),
+                "survivor {id} repaired before the detection delay elapsed"
+            );
+        }
+        let log = sim
+            .metrics
+            .delivery_log
+            .as_ref()
+            .expect("delivery log enabled");
+        let got: Vec<ClientId> = log[before..].iter().map(|d| d.client).collect();
+        let got_set: BTreeSet<ClientId> = got.iter().copied().collect();
+        assert_eq!(
+            got_set,
+            BTreeSet::from([MOVER, STATIC_SUB]),
+            "victim {victim}: pre-repair probe must arrive via the surviving arc"
+        );
+        assert_eq!(
+            got.len(),
+            got_set.len(),
+            "victim {victim}: probe duplicated"
+        );
+
+        // The full run afterwards stays consistent: repair prunes the
+        // dead arc, exactly-once holds end to end.
+        sim.run_to_quiescence();
+        for id in sim.view_broker_ids() {
+            assert!(
+                !sim.view_broker(id).topology().contains(victim),
+                "survivor {id} never repaired"
+            );
+        }
+        assert_app_exactly_once(&sim).expect("exactly-once across repair");
+        assert_post_repair_delivery(&mut sim, &format!("detection-window victim {victim}"))
+            .expect("delivery after repair");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
 
     #[test]
-    fn broker_death_mid_movement_preserves_aci(case in arb_case()) {
+    fn broker_death_mid_movement_on_the_ring_preserves_aci(case in arb_case()) {
         run_case(&case, ProtocolKind::Reconfig)?;
         run_case(&case, ProtocolKind::Covering)?;
     }
 }
 
-/// Deterministic sweep: kill the path broker, the target, and the
-/// source with every millisecond offset across the protocol window,
-/// for both protocols.
+/// Deterministic sweep: kill every non-publisher broker with offsets
+/// across the protocol window, for both protocols.
 #[test]
-fn death_sweep_over_every_protocol_step() {
+fn ring_death_sweep_over_every_protocol_step() {
     for protocol in [ProtocolKind::Reconfig, ProtocolKind::Covering] {
-        for victim in [PATH, TARGET, SOURCE] {
-            for offset_ms in 0..=12u64 {
+        for victim in [PATH, TARGET, SOURCE, ARC] {
+            for offset_ms in (0..=12u64).step_by(2) {
                 let case = ChurnCase {
                     seed: 1000 * offset_ms + victim.0 as u64,
                     victim,
                     death_offset_us: offset_ms * 1000,
                 };
                 if let Err(e) = run_case(&case, protocol) {
-                    panic!("sweep {protocol:?} victim {victim} offset {offset_ms}ms: {e}");
+                    panic!("ring sweep {protocol:?} victim {victim} offset {offset_ms}ms: {e}");
                 }
             }
         }
     }
 }
 
-/// Repair without any movement in flight: the overlay heals and
-/// publications flow along the new edge.
+/// Repair without any movement in flight: the ring degrades to a
+/// chain, no repair edge is needed, and publications keep flowing.
 #[test]
-fn repair_restores_delivery_with_no_movement() {
+fn ring_repair_needs_no_new_edge() {
     let mut sim = setup(ProtocolKind::Reconfig, 7);
-    sim.kill_broker(sim.now() + SimDuration::from_millis(1), PATH);
+    sim.kill_broker(sim.now() + SimDuration::from_millis(1), ARC);
     sim.run_to_quiescence();
-    assert!(sim.dead_brokers().contains(&PATH));
-    assert!(!sim.topology().contains(PATH), "gods-eye overlay repaired");
-    assert_post_repair_delivery(&mut sim, "no-movement repair").expect("delivery after repair");
+    assert!(sim.dead_brokers().contains(&ARC));
+    assert!(!sim.topology().contains(ARC), "gods-eye overlay repaired");
+    assert!(
+        sim.topology().is_tree(),
+        "ring minus one broker is a chain — repair must not add edges"
+    );
+    assert_post_repair_delivery(&mut sim, "ring repair").expect("delivery after repair");
     assert_eq!(sim.total_anomalies(), 0, "clean repair counts no anomalies");
 }
 
-/// Same schedule, same seed, same result: churn must not perturb
-/// determinism.
+/// Same schedule, same seed, same result: multi-path fan-out and
+/// dedup must not perturb determinism.
 #[test]
-fn churn_runs_are_deterministic_per_seed() {
+fn cyclic_churn_runs_are_deterministic_per_seed() {
     let case = ChurnCase {
         seed: 42,
-        victim: PATH,
+        victim: ARC,
         death_offset_us: 2_500,
     };
     let fingerprint = |_: u32| {

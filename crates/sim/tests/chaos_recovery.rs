@@ -102,12 +102,12 @@ fn config_for(protocol: ProtocolKind) -> MobileBrokerConfig {
 
 /// Chain B1–B2–B3–B4; publisher at B1, mover at B4 heading for B2.
 fn setup(protocol: ProtocolKind, seed: u64) -> Sim {
-    let mut sim = Sim::new(
-        Topology::chain(4),
-        config_for(protocol),
-        NetworkModel::cluster(),
-        seed,
-    );
+    let mut sim = Sim::builder()
+        .overlay(Topology::chain(4))
+        .options(config_for(protocol))
+        .network(NetworkModel::cluster())
+        .seed(seed)
+        .start();
     sim.enable_durability();
     sim.enable_delivery_log();
     sim.create_client(BrokerId(1), PUBLISHER);

@@ -30,7 +30,12 @@ fn stream_across_move(
     n_pubs: u64,
     seed: u64,
 ) -> (BTreeSet<PubId>, usize) {
-    let mut sim = Sim::new(Topology::chain(6), config, NetworkModel::cluster(), seed);
+    let mut sim = Sim::builder()
+        .overlay(Topology::chain(6))
+        .options(config)
+        .network(NetworkModel::cluster())
+        .seed(seed)
+        .start();
     sim.enable_delivery_log();
     sim.create_client(b(1), c(1));
     sim.create_client(b(6), c(2));
@@ -138,12 +143,12 @@ fn reconfig_survives_a_burst_of_background_churn() {
     // Heavy background: 30 other subscribers churn (unsubscribe and
     // resubscribe) while the mover crosses the overlay; the mover's
     // stream stays exactly-once.
-    let mut sim = Sim::new(
-        Topology::chain(6),
-        MobileBrokerConfig::reconfig(),
-        NetworkModel::cluster(),
-        9,
-    );
+    let mut sim = Sim::builder()
+        .overlay(Topology::chain(6))
+        .options(MobileBrokerConfig::reconfig())
+        .network(NetworkModel::cluster())
+        .seed(9)
+        .start();
     sim.enable_delivery_log();
     sim.create_client(b(1), c(1));
     sim.create_client(b(6), c(2));

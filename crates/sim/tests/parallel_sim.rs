@@ -23,7 +23,12 @@ fn range(lo: i64, hi: i64) -> Filter {
 /// notification-property experiments; returns the full delivery log
 /// rendered to strings.
 fn run(config: MobileBrokerConfig, seed: u64) -> Vec<String> {
-    let mut sim = Sim::new(Topology::chain(6), config, NetworkModel::cluster(), seed);
+    let mut sim = Sim::builder()
+        .overlay(Topology::chain(6))
+        .options(config)
+        .network(NetworkModel::cluster())
+        .seed(seed)
+        .start();
     sim.enable_delivery_log();
     sim.create_client(b(1), c(1));
     sim.create_client(b(6), c(2));

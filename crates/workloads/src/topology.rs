@@ -48,7 +48,7 @@ pub fn default_14() -> Topology {
         (b(8), b(13)),
         (b(12), b(14)),
     ];
-    Topology::new(brokers, edges).expect("default topology is a valid tree")
+    Topology::from_edges(brokers, edges).expect("default topology is a valid tree")
 }
 
 /// The Fig. 13 growing topologies: `n` brokers (n ≥ 14), built from
@@ -71,7 +71,7 @@ pub fn grown(n: u32) -> Topology {
         brokers.push(b(i));
         edges.push((parent, b(i)));
     }
-    Topology::new(brokers, edges).expect("grown topology is a valid tree")
+    Topology::from_edges(brokers, edges).expect("grown topology is a valid tree")
 }
 
 /// A balanced binary tree with `depth` levels (2^depth − 1 brokers),
@@ -81,7 +81,7 @@ pub fn balanced_binary(depth: u32) -> Topology {
     let n = (1u32 << depth) - 1;
     let brokers: Vec<BrokerId> = (1..=n).map(b).collect();
     let edges: Vec<_> = (2..=n).map(|i| (b(i / 2), b(i))).collect();
-    Topology::new(brokers, edges).expect("balanced tree is valid")
+    Topology::from_edges(brokers, edges).expect("balanced tree is valid")
 }
 
 /// A deterministic pseudo-random tree over `n` brokers: broker `i`
@@ -98,7 +98,7 @@ pub fn random_tree(n: u32, seed: u64) -> Topology {
         let parent = 1 + (state >> 33) as u32 % (i - 1);
         edges.push((b(parent), b(i)));
     }
-    Topology::new(brokers, edges).expect("random tree is valid")
+    Topology::from_edges(brokers, edges).expect("random tree is valid")
 }
 
 #[cfg(test)]

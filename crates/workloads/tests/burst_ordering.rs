@@ -20,7 +20,10 @@ fn c(i: u64) -> ClientId {
 /// then unsubscribes the group-0 instance and counts the released
 /// subscription traffic.
 fn root_departure_burst(workload: SubWorkload) -> u64 {
-    let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::covering());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(4))
+        .options(BrokerConfig::covering())
+        .start();
     net.client_send(
         b(1),
         c(1),
@@ -66,7 +69,10 @@ fn covered_burst_scales_with_population() {
     // The Fig. 10/11 mechanism: more quenched instances ⇒ bigger burst
     // when the quencher departs.
     let burst_at = |per_group: u64| {
-        let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::covering());
+        let mut net = SyncNet::builder()
+            .overlay(Topology::chain(4))
+            .options(BrokerConfig::covering())
+            .start();
         net.client_send(
             b(1),
             c(1),
@@ -102,7 +108,10 @@ fn second_root_suppresses_the_burst() {
     // release re-forwards regardless (that is the paper's behaviour),
     // but the released subscriptions are re-quenched one hop
     // downstream, so the burst stays local instead of cascading.
-    let mut net = SyncNet::new(Topology::chain(4), BrokerConfig::covering());
+    let mut net = SyncNet::builder()
+        .overlay(Topology::chain(4))
+        .options(BrokerConfig::covering())
+        .start();
     net.client_send(
         b(1),
         c(1),

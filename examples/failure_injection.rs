@@ -42,7 +42,10 @@ fn main() {
     );
 
     // --- 2. Rejected movement ----------------------------------------
-    let mut net = InstantNet::new(Topology::chain(4), MobileBrokerConfig::reconfig());
+    let mut net = InstantNet::builder()
+        .overlay(Topology::chain(4))
+        .options(MobileBrokerConfig::reconfig())
+        .start();
     net.create_client(BrokerId(1), ClientId(1));
     net.create_client(BrokerId(4), ClientId(2));
     net.client_op(
@@ -80,12 +83,12 @@ fn main() {
     assert_eq!(net.deliveries_to(ClientId(2)).len(), 1);
 
     // --- 3. Crash during movement (simulator) ------------------------
-    let mut sim = Sim::new(
-        Topology::chain(5),
-        MobileBrokerConfig::reconfig(),
-        NetworkModel::cluster(),
-        7,
-    );
+    let mut sim = Sim::builder()
+        .overlay(Topology::chain(5))
+        .options(MobileBrokerConfig::reconfig())
+        .network(NetworkModel::cluster())
+        .seed(7)
+        .start();
     sim.create_client(BrokerId(1), ClientId(1));
     sim.create_client(BrokerId(5), ClientId(2));
     sim.schedule_cmd(

@@ -24,7 +24,10 @@ use transmob::workloads::default_14;
 
 fn main() {
     // The paper's default 14-broker overlay (Fig. 6).
-    let net = Network::start(default_14(), MobileBrokerConfig::reconfig());
+    let net = Network::builder()
+        .overlay(default_14())
+        .options(MobileBrokerConfig::reconfig())
+        .start();
     let _ = Topology::chain(2); // (see transmob::broker for custom overlays)
 
     // The zone manager starts near the original player hotspot (B2).

@@ -14,7 +14,10 @@ use transmob::runtime::Network;
 
 fn main() {
     // A chain of three brokers: B1 - B2 - B3.
-    let net = Network::start(Topology::chain(3), MobileBrokerConfig::reconfig());
+    let net = Network::builder()
+        .overlay(Topology::chain(3))
+        .options(MobileBrokerConfig::reconfig())
+        .start();
 
     // A publisher of stock quotes at B1 and a subscriber at B3.
     let publisher = net.create_client(BrokerId(1), ClientId(1));

@@ -22,7 +22,10 @@ use transmob::runtime::Network;
 
 fn main() {
     // A chain: source side (B1) — middle (B3) — sink side (B5).
-    let net = Network::start(Topology::chain(5), MobileBrokerConfig::reconfig());
+    let net = Network::builder()
+        .overlay(Topology::chain(5))
+        .options(MobileBrokerConfig::reconfig())
+        .start();
 
     let source = net.create_client(BrokerId(1), ClientId(1));
     let operator = net.create_client(BrokerId(5), ClientId(2)); // starts at the sink side

@@ -17,7 +17,10 @@ use transmob::workloads::default_14;
 
 fn main() -> std::io::Result<()> {
     // The paper's 14-broker overlay: 13 links = 13 sockets.
-    let net = TcpNetwork::start(default_14(), MobileBrokerConfig::reconfig())?;
+    let net = TcpNetwork::builder()
+        .overlay(default_14())
+        .options(MobileBrokerConfig::reconfig())
+        .start()?;
     println!("overlay up: 14 brokers, 13 TCP links");
 
     let publisher = net.create_client(BrokerId(6), ClientId(1));

@@ -11,6 +11,13 @@
 #     shards4 over the sequential sweep AND a >=2x speedup of shards4
 #     (4 workers) over shards1 (1 worker) — the acceptance bars of the
 #     parallel matching stage and of the pooled multi-worker kernel.
+#   - The baseline must record the cyclic_routing group (tree /
+#     tree_dedup / extra1 / extra3 at 7 brokers) with the forced-dedup
+#     tree row within 10% of the plain tree row — the multi-path PR's
+#     acceptance bar: tree deployments pay <10% for the dedup gate.
+#     Non-fast runs re-measure that ratio live with the dedicated
+#     dedup_gate binary (interleaved paired slices, immune to the
+#     between-row machine drift that criterion medians carry).
 #   - The TCP wire-protocol baseline BENCH_tcp.json must record the
 #     tcp_throughput group (bin/json x batch 64/256), tcp_latency p99
 #     rows and tcp_summary msgs/sec rows, with the binary codec >=2x
@@ -86,6 +93,14 @@ print(
     f"bench_check: baseline ok (parallel_match shards4 speedup {ratio:.2f}x "
     f"vs sequential, {wratio:.2f}x vs shards1/workers1)"
 )
+cy = {r["bench"]: r["ns_per_iter"] for r in rows if r["group"] == "cyclic_routing"}
+for need in ("tree/7", "tree_dedup/7", "extra1/7", "extra3/7"):
+    if need not in cy:
+        sys.exit(f"bench_check: baseline missing cyclic_routing/{need}")
+dratio = cy["tree_dedup/7"] / cy["tree/7"]
+if dratio > 1.10:
+    sys.exit(f"bench_check: baseline dedup overhead {dratio:.2f}x > 1.10x on the tree")
+print(f"bench_check: baseline ok (cyclic_routing dedup overhead {dratio:.2f}x on the tree)")
 PY
 
 if [[ "${CI_FAST:-0}" == "1" ]]; then
@@ -97,7 +112,7 @@ if [[ "${CI_FAST:-0}" == "1" ]]; then
         trap 'rm -f "$cleanup"' EXIT
         CRITERION_QUICK=1 CRITERION_JSON="$out" \
             cargo bench -p transmob-bench -q --bench routing -- \
-            "${GATED[@]}" parallel_match broker_pipeline
+            "${GATED[@]}" parallel_match broker_pipeline cyclic_routing
         CRITERION_QUICK=1 CRITERION_JSON="$out" \
             cargo bench -p transmob-bench -q --bench tcp -- tcp_throughput
     fi
@@ -112,7 +127,7 @@ base = set()
 for line in open(sys.argv[2]):
     r = json.loads(line)
     base.add((r["group"], r["bench"]))
-gated = set(sys.argv[3:]) | {"parallel_match", "broker_pipeline"}
+gated = set(sys.argv[3:]) | {"parallel_match", "broker_pipeline", "cyclic_routing"}
 missing = sorted(k for k in base if k[0] in gated and k not in seen)
 if missing:
     sys.exit(f"bench_check: benchmarks vanished from the quick run: {missing}")
@@ -130,7 +145,7 @@ out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 for _ in $(seq "$runs"); do
     CRITERION_JSON="$out" cargo bench -p transmob-bench -q --bench routing -- \
-        "${GATED[@]}" parallel_match
+        "${GATED[@]}" parallel_match cyclic_routing
 done
 
 python3 - "$out" "$BASELINE" "${GATED[@]}" <<'PY'
@@ -164,9 +179,32 @@ if missing:
     sys.exit(f"bench_check: gated benchmarks vanished: {missing}")
 if not any(k[0] == "parallel_match" for k in meas):
     sys.exit("bench_check: parallel_match group was not measured")
+missing_cy = [n for n in ("tree/7", "tree_dedup/7", "extra1/7", "extra3/7")
+              if ("cyclic_routing", n) not in meas]
+if missing_cy:
+    sys.exit(f"bench_check: cyclic_routing rows were not measured: {missing_cy}")
+
 if failures:
     sys.exit(f"bench_check: regression >25% in {failures}")
 print("bench_check: regression gate passed")
+PY
+
+# Live dedup-overhead gate: the forced-dedup tree must stay within 10%
+# of the plain tree. Criterion rows run seconds apart and machine
+# drift between them dwarfs the bar, so the gate uses the dedicated
+# paired-measurement binary (interleaved A/B slices, median of paired
+# ratios — see crates/bench/src/bin/dedup_gate.rs).
+dedup_json=$(cargo run -q --release -p transmob-bench --bin dedup_gate)
+python3 - "$dedup_json" <<'PY'
+import json, sys
+
+r = json.loads(sys.argv[1])
+ratio = r["ratio"]
+if ratio > 1.10:
+    sys.exit(f"bench_check: live dedup overhead {ratio:.2f}x > 1.10x on the tree "
+             f"({r['tree_dedup_ns_per_pub']:.0f} vs {r['tree_ns_per_pub']:.0f} ns/pub)")
+print(f"bench_check: live dedup gate passed ({ratio:.2f}x on the tree, "
+      f"{r['tree_dedup_ns_per_pub']:.0f} vs {r['tree_ns_per_pub']:.0f} ns/pub)")
 PY
 
 # Live codec-speedup gate: re-measure the wire throughput and demand

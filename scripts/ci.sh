@@ -11,8 +11,10 @@
 #      differential pass proves the JSON debug codec stays equivalent
 #   2. chaos smoke — seeded fault schedules per protocol (recovery
 #      tier: crash/restart link faults; churn tier: permanent broker
-#      deaths + overlay self-repair, DESIGN.md §14); scales via
-#      CHAOS_CASES (e.g. CHAOS_CASES=5000), skipped under CI_FAST=1
+#      deaths + overlay self-repair, DESIGN.md §14; cyclic tier: the
+#      same churn contract on a ring overlay with multi-path
+#      forwarding, DESIGN.md §15); scales via CHAOS_CASES
+#      (e.g. CHAOS_CASES=5000), skipped under CI_FAST=1
 #   3. bench smoke — every criterion bench, one iteration each
 #      (CRITERION_QUICK, see vendor/criterion), so bench code cannot
 #      silently rot between perf PRs; captured once and reused by the
@@ -46,6 +48,8 @@ else
         cargo test -p transmob-sim --test chaos_recovery -q
     CHAOS_CASES="${CHAOS_CASES:-32}" \
         cargo test -p transmob-sim --test chaos_churn -q
+    CHAOS_CASES="${CHAOS_CASES:-32}" \
+        cargo test -p transmob-sim --test chaos_cyclic -q
 fi
 
 # ---- tier 3: bench smoke (single pass, capture reused below) ----------

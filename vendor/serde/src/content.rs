@@ -67,6 +67,15 @@ pub fn take_entry<E: de::Error>(
     }
 }
 
+/// Removes and returns the entry for `key`, or `None` when the map has
+/// no such key (callers supply a default — `#[serde(default)]`).
+pub fn take_entry_opt(map: &mut Vec<(Content, Content)>, key: &str) -> Option<Content> {
+    let pos = map
+        .iter()
+        .position(|(k, _)| matches!(k, Content::Str(s) if s == key));
+    pos.map(|i| map.swap_remove(i).1)
+}
+
 /// Coerces content to a sequence body.
 pub fn as_seq<E: de::Error>(c: Content) -> Result<Vec<Content>, E> {
     match c {

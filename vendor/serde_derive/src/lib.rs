@@ -9,7 +9,9 @@
 //!   (externally tagged, matching `serde_json`'s default),
 //! * type generics (bounds `T: Serialize` / `T: Deserialize<'de>` are
 //!   added per parameter),
-//! * the field attribute `#[serde(with = "path")]`.
+//! * the field attributes `#[serde(with = "path")]` and
+//!   `#[serde(default)]` (missing fields fall back to
+//!   `Default::default()` on deserialize).
 //!
 //! Anything else (lifetimes, const generics, other serde attributes)
 //! fails loudly at compile time rather than silently misbehaving.
@@ -19,6 +21,15 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     with: Option<String>,
+    /// `#[serde(default)]`: on deserialize, a missing entry falls
+    /// back to `Default::default()` instead of erroring.
+    default: bool,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: bool,
 }
 
 enum VariantBody {
@@ -172,23 +183,25 @@ fn parse_input(ts: TokenStream) -> Input {
     Input { name, params, body }
 }
 
-/// Consumes leading attributes at `*i`, returning the `with` path of a
-/// `#[serde(with = "...")]` attribute if one is present.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
-    let mut with = None;
+/// Consumes leading attributes at `*i`, returning the recognized
+/// serde field attributes (`with = "..."`, `default`) if present.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         *i += 1;
         if let Some(TokenTree::Group(g)) = tokens.get(*i) {
-            if let Some(w) = serde_with_from_attr(g.stream()) {
-                with = Some(w);
+            let found = serde_attrs_from_attr(g.stream());
+            if found.with.is_some() {
+                attrs.with = found.with;
             }
+            attrs.default |= found.default;
             *i += 1;
         }
     }
-    with
+    attrs
 }
 
-fn serde_with_from_attr(attr: TokenStream) -> Option<String> {
+fn serde_attrs_from_attr(attr: TokenStream) -> FieldAttrs {
     let toks: Vec<TokenTree> = attr.into_iter().collect();
     match (toks.first(), toks.get(1)) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
@@ -200,15 +213,25 @@ fn serde_with_from_attr(attr: TokenStream) -> Option<String> {
                     Some(TokenTree::Literal(lit)),
                 ) if kw.to_string() == "with" && eq.as_char() == '=' => {
                     let s = lit.to_string();
-                    Some(s.trim_matches('"').to_string())
+                    FieldAttrs {
+                        with: Some(s.trim_matches('"').to_string()),
+                        default: false,
+                    }
+                }
+                (Some(TokenTree::Ident(kw)), None, None) if kw.to_string() == "default" => {
+                    FieldAttrs {
+                        with: None,
+                        default: true,
+                    }
                 }
                 _ => panic!(
-                    "serde_derive: only #[serde(with = \"path\")] is supported, got #[serde({})]",
+                    "serde_derive: only #[serde(with = \"path\")] and #[serde(default)] \
+                     are supported, got #[serde({})]",
                     args.stream()
                 ),
             }
         }
-        _ => None, // non-serde attribute (doc comment etc.)
+        _ => FieldAttrs::default(), // non-serde attribute (doc comment etc.)
     }
 }
 
@@ -241,7 +264,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        let with = skip_attrs(&tokens, &mut i);
+        let attrs = skip_attrs(&tokens, &mut i);
         skip_vis(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -255,7 +278,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         skip_until_comma(&tokens, &mut i);
         i += 1; // past the comma (or end)
-        fields.push(Field { name, with });
+        fields.push(Field {
+            name,
+            with: attrs.with,
+            default: attrs.default,
+        });
     }
     fields
 }
@@ -265,7 +292,7 @@ fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        let with = skip_attrs(&tokens, &mut i);
+        let attrs = skip_attrs(&tokens, &mut i);
         skip_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
@@ -274,7 +301,8 @@ fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
         i += 1;
         fields.push(Field {
             name: fields.len().to_string(),
-            with,
+            with: attrs.with,
+            default: attrs.default,
         });
     }
     fields
@@ -465,6 +493,28 @@ fn de_field_from(content_expr: &str, with: &Option<String>) -> String {
     format!("{de_call}(::serde::de::ContentDeserializer::<__D::Error>::new({content_expr}))?")
 }
 
+/// Extraction of one named field from the content map `map_var`,
+/// honouring `#[serde(default)]` (missing entry falls back to
+/// `Default::default()`).
+fn de_named_field(f: &Field, map_var: &str) -> String {
+    if f.default {
+        let de = de_field_from("__c", &f.with);
+        format!(
+            "match ::serde::content::take_entry_opt(&mut {map_var}, \"{}\") {{ \
+                ::std::option::Option::Some(__c) => {de}, \
+                ::std::option::Option::None => ::std::default::Default::default(), \
+            }}",
+            f.name
+        )
+    } else {
+        let take = format!(
+            "::serde::content::take_entry::<__D::Error>(&mut {map_var}, \"{}\")?",
+            f.name
+        );
+        de_field_from(&take, &f.with)
+    }
+}
+
 fn gen_deserialize(input: &Input) -> String {
     let name = &input.name;
     let (impl_generics, ty_generics) = if input.params.is_empty() {
@@ -524,13 +574,7 @@ fn gen_deserialize(input: &Input) -> String {
         Body::NamedStruct(fields) => {
             let items: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    let take = format!(
-                        "::serde::content::take_entry::<__D::Error>(&mut __m, \"{}\")?",
-                        f.name
-                    );
-                    format!("{}: {}", f.name, de_field_from(&take, &f.with))
-                })
+                .map(|f| format!("{}: {}", f.name, de_named_field(f, "__m")))
                 .collect();
             format!(
                 "let __c = ::serde::Deserializer::take_content(__deserializer)?; \
@@ -575,14 +619,7 @@ fn gen_deserialize(input: &Input) -> String {
                         VariantBody::Named(fields) => {
                             let items: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    let take = format!(
-                                        "::serde::content::take_entry::<__D::Error>(\
-                                         &mut __vm, \"{}\")?",
-                                        f.name
-                                    );
-                                    format!("{}: {}", f.name, de_field_from(&take, &f.with))
-                                })
+                                .map(|f| format!("{}: {}", f.name, de_named_field(f, "__vm")))
                                 .collect();
                             format!(
                                 "\"{vn}\" => {{ \
